@@ -1,0 +1,361 @@
+//! The Apriori algorithm for Boolean association rules
+//! (Agrawal & Srikant, VLDB'94 — the paper's reference \[4\]).
+//!
+//! Level-wise search: frequent `k`-itemsets are joined into `(k+1)`-
+//! candidates, pruned by the downward-closure property, and counted with
+//! a pass over the transactions — the multi-pass behaviour the Ratio
+//! Rules paper contrasts with its single-pass mining. Rules
+//! `antecedent => consequent` are generated from each frequent itemset
+//! with the usual support/confidence thresholds.
+
+use crate::transactions::Item;
+use crate::{AssocError, Result};
+use std::collections::{HashMap, HashSet};
+
+/// A frequent itemset with its support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// Sorted item ids.
+    pub items: Vec<Item>,
+    /// Number of transactions containing all the items.
+    pub count: usize,
+}
+
+/// A Boolean association rule `antecedent => consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Sorted antecedent items.
+    pub antecedent: Vec<Item>,
+    /// Sorted consequent items (disjoint from the antecedent).
+    pub consequent: Vec<Item>,
+    /// Fraction of transactions containing antecedent and consequent.
+    pub support: f64,
+    /// `support(A u C) / support(A)`.
+    pub confidence: f64,
+}
+
+/// Configurable Apriori miner.
+#[derive(Debug, Clone, Copy)]
+pub struct Apriori {
+    /// Minimum support as a fraction of transactions, in `(0, 1]`.
+    pub min_support: f64,
+    /// Minimum rule confidence, in `(0, 1]`.
+    pub min_confidence: f64,
+    /// Upper bound on itemset size (guards pathological inputs).
+    pub max_len: usize,
+}
+
+impl Default for Apriori {
+    fn default() -> Self {
+        Apriori {
+            min_support: 0.1,
+            min_confidence: 0.5,
+            max_len: 5,
+        }
+    }
+}
+
+impl Apriori {
+    /// Creates a miner with the given thresholds.
+    pub fn new(min_support: f64, min_confidence: f64) -> Result<Self> {
+        if !(0.0 < min_support && min_support <= 1.0) {
+            return Err(AssocError::Invalid(format!(
+                "min_support must be in (0, 1], got {min_support}"
+            )));
+        }
+        if !(0.0 < min_confidence && min_confidence <= 1.0) {
+            return Err(AssocError::Invalid(format!(
+                "min_confidence must be in (0, 1], got {min_confidence}"
+            )));
+        }
+        Ok(Apriori {
+            min_support,
+            min_confidence,
+            ..Apriori::default()
+        })
+    }
+
+    /// Number of passes over the transactions the last
+    /// [`Apriori::frequent_itemsets`] call would need — one per level.
+    /// Exposed to make the single-pass vs multi-pass comparison explicit
+    /// in the benchmarks.
+    pub fn passes_needed(itemsets: &[FrequentItemset]) -> usize {
+        itemsets.iter().map(|s| s.items.len()).max().unwrap_or(0)
+    }
+
+    /// Mines all frequent itemsets level by level.
+    pub fn frequent_itemsets(&self, transactions: &[Vec<Item>]) -> Result<Vec<FrequentItemset>> {
+        if transactions.is_empty() {
+            return Err(AssocError::EmptyInput);
+        }
+        let n = transactions.len() as f64;
+        let min_count = (self.min_support * n).ceil() as usize;
+        // Normalize transactions: sorted, deduped.
+        let txns: Vec<Vec<Item>> = transactions
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+
+        let mut all = Vec::new();
+
+        // L1.
+        let mut counts: HashMap<Item, usize> = HashMap::new();
+        for t in &txns {
+            for &item in t {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        let mut current: Vec<FrequentItemset> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .map(|(item, count)| FrequentItemset {
+                items: vec![item],
+                count,
+            })
+            .collect();
+        current.sort_by(|a, b| a.items.cmp(&b.items));
+
+        let mut level = 1usize;
+        loop {
+            if current.is_empty() {
+                break;
+            }
+            all.extend(current.iter().cloned());
+            if level >= self.max_len {
+                break;
+            }
+            // Candidate generation: join itemsets sharing a (k-1)-prefix.
+            let frequent_keys: HashSet<&[Item]> =
+                current.iter().map(|s| s.items.as_slice()).collect();
+            let mut candidates: Vec<Vec<Item>> = Vec::new();
+            for i in 0..current.len() {
+                for j in (i + 1)..current.len() {
+                    let a = &current[i].items;
+                    let b = &current[j].items;
+                    if a[..level - 1] != b[..level - 1] {
+                        break; // sorted order: no further matches for i
+                    }
+                    let mut cand = a.clone();
+                    cand.push(b[level - 1]);
+                    // Downward-closure prune: every (k)-subset must be
+                    // frequent.
+                    let mut ok = true;
+                    for drop in 0..cand.len() {
+                        let mut sub = cand.clone();
+                        sub.remove(drop);
+                        if !frequent_keys.contains(sub.as_slice()) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        candidates.push(cand);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            // Counting pass.
+            let mut counts: HashMap<&[Item], usize> = HashMap::new();
+            for t in &txns {
+                for cand in &candidates {
+                    if is_subset(cand, t) {
+                        *counts.entry(cand.as_slice()).or_insert(0) += 1;
+                    }
+                }
+            }
+            current = candidates
+                .iter()
+                .filter_map(|cand| {
+                    let c = counts.get(cand.as_slice()).copied().unwrap_or(0);
+                    (c >= min_count).then(|| FrequentItemset {
+                        items: cand.clone(),
+                        count: c,
+                    })
+                })
+                .collect();
+            current.sort_by(|a, b| a.items.cmp(&b.items));
+            level += 1;
+        }
+        Ok(all)
+    }
+
+    /// Generates rules from frequent itemsets.
+    pub fn rules(
+        &self,
+        itemsets: &[FrequentItemset],
+        n_transactions: usize,
+    ) -> Result<Vec<AssociationRule>> {
+        if n_transactions == 0 {
+            return Err(AssocError::EmptyInput);
+        }
+        let support_of: HashMap<&[Item], usize> = itemsets
+            .iter()
+            .map(|s| (s.items.as_slice(), s.count))
+            .collect();
+        let n = n_transactions as f64;
+        let mut out = Vec::new();
+        for set in itemsets.iter().filter(|s| s.items.len() >= 2) {
+            // All non-trivial antecedent subsets (bitmask enumeration).
+            let len = set.items.len();
+            for mask in 1..(1u32 << len) - 1 {
+                let antecedent: Vec<Item> = (0..len)
+                    .filter(|&b| mask & (1 << b) != 0)
+                    .map(|b| set.items[b])
+                    .collect();
+                let consequent: Vec<Item> = (0..len)
+                    .filter(|&b| mask & (1 << b) == 0)
+                    .map(|b| set.items[b])
+                    .collect();
+                let Some(&ant_count) = support_of.get(antecedent.as_slice()) else {
+                    continue;
+                };
+                let confidence = set.count as f64 / ant_count as f64;
+                if confidence >= self.min_confidence {
+                    out.push(AssociationRule {
+                        antecedent,
+                        consequent,
+                        support: set.count as f64 / n,
+                        confidence,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap()
+                .then(b.support.partial_cmp(&a.support).unwrap())
+        });
+        Ok(out)
+    }
+
+    /// End-to-end: frequent itemsets, then rules.
+    pub fn mine(&self, transactions: &[Vec<Item>]) -> Result<Vec<AssociationRule>> {
+        let itemsets = self.frequent_itemsets(transactions)?;
+        self.rules(&itemsets, transactions.len())
+    }
+}
+
+/// True when sorted `needle` is a subset of sorted `haystack`.
+fn is_subset(needle: &[Item], haystack: &[Item]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic market-basket example: {bread=0, milk=1, butter=2}.
+    fn txns() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+            vec![0],
+            vec![1],
+        ]
+    }
+
+    #[test]
+    fn frequent_itemsets_counts_are_exact() {
+        let ap = Apriori::new(0.25, 0.5).unwrap(); // min count = 2
+        let sets = ap.frequent_itemsets(&txns()).unwrap();
+        let find = |items: &[Item]| sets.iter().find(|s| s.items == items).map(|s| s.count);
+        assert_eq!(find(&[0]), Some(6));
+        assert_eq!(find(&[1]), Some(6));
+        assert_eq!(find(&[2]), Some(5));
+        assert_eq!(find(&[0, 1]), Some(4));
+        assert_eq!(find(&[0, 2]), Some(4));
+        assert_eq!(find(&[1, 2]), Some(4));
+        assert_eq!(find(&[0, 1, 2]), Some(3));
+    }
+
+    #[test]
+    fn min_support_prunes() {
+        // min support 0.6 => count >= 5: only singletons {0}, {1}, {2}.
+        let ap = Apriori::new(0.6, 0.5).unwrap();
+        let sets = ap.frequent_itemsets(&txns()).unwrap();
+        assert!(sets.iter().all(|s| s.items.len() == 1));
+        assert_eq!(sets.len(), 3);
+    }
+
+    #[test]
+    fn bread_milk_implies_butter() {
+        // The paper's flagship example: {bread, milk} => butter with
+        // confidence support({0,1,2}) / support({0,1}) = 3/4.
+        let ap = Apriori::new(0.25, 0.7).unwrap();
+        let rules = ap.mine(&txns()).unwrap();
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == [0, 1] && r.consequent == [2])
+            .expect("rule {bread, milk} => butter not found");
+        assert!((rule.confidence - 0.75).abs() < 1e-12);
+        assert!((rule.support - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_threshold_filters_rules() {
+        let ap = Apriori::new(0.25, 0.99).unwrap();
+        let rules = ap.mine(&txns()).unwrap();
+        assert!(rules.iter().all(|r| r.confidence >= 0.99));
+        // {bread, milk} => butter at 0.75 must be gone.
+        assert!(!rules
+            .iter()
+            .any(|r| r.antecedent == [0, 1] && r.consequent == [2]));
+    }
+
+    #[test]
+    fn rules_sorted_by_confidence() {
+        let ap = Apriori::new(0.2, 0.3).unwrap();
+        let rules = ap.mine(&txns()).unwrap();
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn multi_pass_structure_is_visible() {
+        let ap = Apriori::new(0.25, 0.5).unwrap();
+        let sets = ap.frequent_itemsets(&txns()).unwrap();
+        // Largest frequent itemset has 3 items -> 3 counting passes,
+        // vs Ratio Rules' single pass.
+        assert_eq!(Apriori::passes_needed(&sets), 3);
+    }
+
+    #[test]
+    fn duplicate_items_in_transaction_counted_once() {
+        let t = vec![vec![0, 0, 1], vec![0, 1, 1], vec![0, 1]];
+        let ap = Apriori::new(0.9, 0.5).unwrap();
+        let sets = ap.frequent_itemsets(&t).unwrap();
+        let pair = sets.iter().find(|s| s.items == [0, 1]).unwrap();
+        assert_eq!(pair.count, 3);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Apriori::new(0.0, 0.5).is_err());
+        assert!(Apriori::new(1.5, 0.5).is_err());
+        assert!(Apriori::new(0.5, 0.0).is_err());
+        let ap = Apriori::default();
+        assert!(ap.frequent_itemsets(&[]).is_err());
+        assert!(ap.rules(&[], 0).is_err());
+    }
+
+    #[test]
+    fn is_subset_helper() {
+        assert!(is_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[0, 1, 2, 3]));
+        assert!(is_subset(&[], &[0]));
+    }
+}

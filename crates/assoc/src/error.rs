@@ -1,0 +1,36 @@
+//! Error type for the association-rule crate.
+
+use std::fmt;
+
+/// Errors from mining or applying association rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssocError {
+    /// Invalid mining parameter (support/confidence out of range, ...).
+    Invalid(String),
+    /// The input matrix is empty.
+    EmptyInput,
+}
+
+impl fmt::Display for AssocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssocError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+            AssocError::EmptyInput => write!(f, "input matrix is empty"),
+        }
+    }
+}
+
+impl std::error::Error for AssocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AssocError::Invalid("support".into())
+            .to_string()
+            .contains("support"));
+        assert!(AssocError::EmptyInput.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Association-rule baselines for the Ratio Rules comparison
+//! (paper Sec. 2 and 6.3).
+//!
+//! The paper positions Ratio Rules against two existing paradigms:
+//!
+//! * **Boolean association rules** (Agrawal et al., SIGMOD'93):
+//!   `{bread, milk} => butter (90%)`. Implemented by [`apriori`] over the
+//!   binarized matrix — the paper's point being that binarization
+//!   "tends to lose valuable information".
+//! * **Quantitative association rules** (Srikant & Agrawal, SIGMOD'96):
+//!   `bread: [3-5] and milk: [1-2] => butter: [1.5-2]`. Implemented by
+//!   [`quantitative`] via attribute partitioning into intervals, then
+//!   Boolean mining over the interval items.
+//!
+//! [`predict`] gives quantitative rules their best shot at the hole-filling
+//! task and demonstrates the paper's Fig. 12 claim: outside the mined
+//! bounding rectangles, *no rule fires* and they cannot extrapolate,
+//! whereas Ratio Rules can. [`measures`] supplies the support/confidence
+//! framework plus the chi-square and lift interestingness criteria cited
+//! as related work.
+//!
+//! # Example
+//!
+//! ```
+//! use assoc::apriori::Apriori;
+//!
+//! // {bread = 0, milk = 1} => {butter = 2} with confidence 3/4.
+//! let txns = vec![
+//!     vec![0, 1, 2], vec![0, 1, 2], vec![0, 1, 2], vec![0, 1],
+//!     vec![0, 2], vec![1, 2], vec![0], vec![1],
+//! ];
+//! let rules = Apriori::new(0.25, 0.7)?.mine(&txns)?;
+//! let r = rules.iter().find(|r| r.antecedent == [0, 1]).unwrap();
+//! assert_eq!(r.consequent, [2]);
+//! assert!((r.confidence - 0.75).abs() < 1e-12);
+//! # Ok::<(), assoc::AssocError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod error;
+pub mod measures;
+pub mod predict;
+pub mod quantitative;
+pub mod transactions;
+
+pub use error::AssocError;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, AssocError>;

@@ -1,0 +1,266 @@
+//! Interestingness measures for rules.
+//!
+//! Support and confidence are the classic framework (paper ref. \[2\]); the
+//! paper's related-work section also cites the chi-square test (Brin,
+//! Motwani & Silverstein, SIGMOD'97, ref. \[7\]) and probability-based
+//! criteria — lift is the standard representative. These are used by the
+//! baselines and the qualitative-comparison harness.
+
+use crate::{AssocError, Result};
+
+/// 2x2 contingency counts for a rule `A => C` over `n` transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contingency {
+    /// Transactions with A and C.
+    pub both: usize,
+    /// Transactions with A, without C.
+    pub a_only: usize,
+    /// Transactions with C, without A.
+    pub c_only: usize,
+    /// Transactions with neither.
+    pub neither: usize,
+}
+
+impl Contingency {
+    /// Total transactions.
+    pub fn n(&self) -> usize {
+        self.both + self.a_only + self.c_only + self.neither
+    }
+
+    /// Support of the rule: `P(A and C)`.
+    pub fn support(&self) -> f64 {
+        self.both as f64 / self.n().max(1) as f64
+    }
+
+    /// Confidence: `P(C | A)`.
+    pub fn confidence(&self) -> Result<f64> {
+        let a = self.both + self.a_only;
+        if a == 0 {
+            return Err(AssocError::Invalid("antecedent never occurs".into()));
+        }
+        Ok(self.both as f64 / a as f64)
+    }
+
+    /// Lift: `P(A and C) / (P(A) P(C))`; 1.0 means independence.
+    pub fn lift(&self) -> Result<f64> {
+        let n = self.n() as f64;
+        let a = (self.both + self.a_only) as f64;
+        let c = (self.both + self.c_only) as f64;
+        if a == 0.0 || c == 0.0 {
+            return Err(AssocError::Invalid("degenerate marginals".into()));
+        }
+        Ok((self.both as f64 * n) / (a * c))
+    }
+
+    /// Pearson chi-square statistic of the 2x2 table (1 degree of
+    /// freedom; > 3.84 is significant at the 5% level).
+    pub fn chi_square(&self) -> Result<f64> {
+        let n = self.n() as f64;
+        if n == 0.0 {
+            return Err(AssocError::EmptyInput);
+        }
+        let a = (self.both + self.a_only) as f64; // P(A) marginal count
+        let c = (self.both + self.c_only) as f64; // P(C) marginal count
+        let not_a = n - a;
+        let not_c = n - c;
+        if a == 0.0 || c == 0.0 || not_a == 0.0 || not_c == 0.0 {
+            return Err(AssocError::Invalid("degenerate marginals".into()));
+        }
+        let observed = [
+            (self.both as f64, a * c / n),
+            (self.a_only as f64, a * not_c / n),
+            (self.c_only as f64, not_a * c / n),
+            (self.neither as f64, not_a * not_c / n),
+        ];
+        Ok(observed.iter().map(|(o, e)| (o - e) * (o - e) / e).sum())
+    }
+}
+
+/// A rule scored by the alternative interestingness criteria of the
+/// paper's related work (chi-square per Brin et al. \[7\], lift as the
+/// probability-based representative of \[21\]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredRule {
+    /// The underlying rule.
+    pub rule: crate::apriori::AssociationRule,
+    /// Lift (1.0 = independence).
+    pub lift: f64,
+    /// Pearson chi-square statistic (1 dof; > 3.84 significant at 5%).
+    pub chi_square: f64,
+}
+
+/// Scores mined rules against the transactions, dropping rules whose
+/// contingency table is degenerate. Sorted by descending chi-square.
+pub fn score_rules(
+    rules: &[crate::apriori::AssociationRule],
+    transactions: &[Vec<usize>],
+) -> Vec<ScoredRule> {
+    let mut out: Vec<ScoredRule> = rules
+        .iter()
+        .filter_map(|r| {
+            let table = contingency(transactions, &r.antecedent, &r.consequent);
+            Some(ScoredRule {
+                rule: r.clone(),
+                lift: table.lift().ok()?,
+                chi_square: table.chi_square().ok()?,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| b.chi_square.partial_cmp(&a.chi_square).unwrap());
+    out
+}
+
+/// Keeps only rules that pass the chi-square significance threshold
+/// (Brin et al.'s criterion; 3.84 = 5% level for one degree of freedom)
+/// *and* have lift above 1 (positive association, not just co-frequency).
+pub fn significant_rules(scored: &[ScoredRule], chi_square_threshold: f64) -> Vec<&ScoredRule> {
+    scored
+        .iter()
+        .filter(|s| s.chi_square >= chi_square_threshold && s.lift > 1.0)
+        .collect()
+}
+
+/// Builds the contingency table for item sets `a` and `c` over
+/// transactions (each transaction sorted or not; membership is by
+/// containment of *all* items).
+pub fn contingency(transactions: &[Vec<usize>], a: &[usize], c: &[usize]) -> Contingency {
+    let mut t = Contingency {
+        both: 0,
+        a_only: 0,
+        c_only: 0,
+        neither: 0,
+    };
+    for txn in transactions {
+        let has = |items: &[usize]| items.iter().all(|i| txn.contains(i));
+        match (has(a), has(c)) {
+            (true, true) => t.both += 1,
+            (true, false) => t.a_only += 1,
+            (false, true) => t.c_only += 1,
+            (false, false) => t.neither += 1,
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_confidence_lift_on_known_table() {
+        // 100 transactions: 40 both, 10 a-only, 20 c-only, 30 neither.
+        let t = Contingency {
+            both: 40,
+            a_only: 10,
+            c_only: 20,
+            neither: 30,
+        };
+        assert_eq!(t.n(), 100);
+        assert!((t.support() - 0.4).abs() < 1e-15);
+        assert!((t.confidence().unwrap() - 0.8).abs() < 1e-15);
+        // lift = 0.4 / (0.5 * 0.6) = 1.333...
+        assert!((t.lift().unwrap() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_has_unit_lift_and_zero_chi2() {
+        // P(A) = 0.5, P(C) = 0.5, independent.
+        let t = Contingency {
+            both: 25,
+            a_only: 25,
+            c_only: 25,
+            neither: 25,
+        };
+        assert!((t.lift().unwrap() - 1.0).abs() < 1e-15);
+        assert!(t.chi_square().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_association_has_large_chi2() {
+        let t = Contingency {
+            both: 50,
+            a_only: 0,
+            c_only: 0,
+            neither: 50,
+        };
+        // Perfect dependence on a 2x2 with balanced marginals: chi2 = n.
+        assert!((t.chi_square().unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_tables_error() {
+        let t = Contingency {
+            both: 0,
+            a_only: 0,
+            c_only: 5,
+            neither: 5,
+        };
+        assert!(t.confidence().is_err());
+        assert!(t.lift().is_err());
+        assert!(t.chi_square().is_err());
+        let empty = Contingency {
+            both: 0,
+            a_only: 0,
+            c_only: 0,
+            neither: 0,
+        };
+        assert!(empty.chi_square().is_err());
+    }
+
+    #[test]
+    fn scoring_separates_real_from_spurious_rules() {
+        use crate::apriori::Apriori;
+        // Items 0 and 1 genuinely co-occur; item 2 appears everywhere, so
+        // any rule into {2} has confidence 1.0 but lift 1.0 (no
+        // information) — the support/confidence framework keeps it, the
+        // chi-square/lift filter kills it.
+        let txns: Vec<Vec<usize>> = (0..40)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 2]
+                } else {
+                    vec![3, 2]
+                }
+            })
+            .collect();
+        let rules = Apriori::new(0.2, 0.9).unwrap().mine(&txns).unwrap();
+        let into_2: Vec<_> = rules
+            .iter()
+            .filter(|r| r.consequent == [2] && r.antecedent == [0])
+            .collect();
+        assert!(
+            !into_2.is_empty(),
+            "support/confidence keeps the spurious rule"
+        );
+
+        let scored = score_rules(&rules, &txns);
+        let significant = significant_rules(&scored, 3.84);
+        // {0} => {1} survives (perfect association)...
+        assert!(significant
+            .iter()
+            .any(|s| s.rule.antecedent == [0] && s.rule.consequent == [1]));
+        // ...but {0} => {2} does not (lift exactly 1).
+        assert!(!significant
+            .iter()
+            .any(|s| s.rule.antecedent == [0] && s.rule.consequent == [2]));
+        // Scored list is sorted by chi-square.
+        for w in scored.windows(2) {
+            assert!(w[0].chi_square >= w[1].chi_square);
+        }
+    }
+
+    #[test]
+    fn contingency_from_transactions() {
+        let txns = vec![vec![0, 1], vec![0, 1], vec![0], vec![1], vec![2]];
+        let t = contingency(&txns, &[0], &[1]);
+        assert_eq!(
+            t,
+            Contingency {
+                both: 2,
+                a_only: 1,
+                c_only: 1,
+                neither: 1
+            }
+        );
+    }
+}

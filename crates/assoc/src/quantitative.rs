@@ -1,0 +1,298 @@
+//! Quantitative association rules (Srikant & Agrawal, SIGMOD'96 — the
+//! paper's reference \[23\]).
+//!
+//! Attributes are partitioned into intervals; each `(attribute, interval)`
+//! pair becomes a Boolean item; Apriori mines over those items; decoding
+//! the items back yields rules like `bread: [3-5] => butter: [1.5-2]`.
+//! This is the strongest existing baseline the Ratio Rules paper compares
+//! against qualitatively (Sec. 6.3 / Fig. 12).
+
+use crate::apriori::Apriori;
+use crate::transactions::Partitioning;
+use crate::{AssocError, Result};
+use linalg::Matrix;
+use std::fmt;
+
+/// One side of a quantitative rule: an attribute constrained to a range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeRange {
+    /// Attribute (column) index.
+    pub attribute: usize,
+    /// Inclusive lower bound (`-inf` for the lowest interval).
+    pub lo: f64,
+    /// Exclusive upper bound (`+inf` for the highest interval).
+    pub hi: f64,
+}
+
+impl AttributeRange {
+    /// True when `v` falls inside the range.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v < self.hi
+    }
+
+    /// Midpoint of the range, clamping unbounded ends to the finite bound
+    /// (used by the best-effort predictor).
+    pub fn midpoint(&self) -> f64 {
+        match (self.lo.is_finite(), self.hi.is_finite()) {
+            (true, true) => 0.5 * (self.lo + self.hi),
+            (true, false) => self.lo,
+            (false, true) => self.hi,
+            (false, false) => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for AttributeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attr{}: [{:.3}, {:.3})",
+            self.attribute, self.lo, self.hi
+        )
+    }
+}
+
+/// A quantitative association rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantitativeRule {
+    /// Conjunction of antecedent ranges.
+    pub antecedent: Vec<AttributeRange>,
+    /// Conjunction of consequent ranges.
+    pub consequent: Vec<AttributeRange>,
+    /// Fraction of rows satisfying antecedent and consequent.
+    pub support: f64,
+    /// Rule confidence.
+    pub confidence: f64,
+}
+
+impl fmt::Display for QuantitativeRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_side = |side: &[AttributeRange]| {
+            side.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" and ")
+        };
+        write!(
+            f,
+            "{} => {} (sup {:.2}, conf {:.2})",
+            fmt_side(&self.antecedent),
+            fmt_side(&self.consequent),
+            self.support,
+            self.confidence
+        )
+    }
+}
+
+/// Miner for quantitative association rules.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantitativeMiner {
+    /// Intervals per attribute for the equi-depth partitioning.
+    pub intervals: usize,
+    /// Minimum support (fraction of rows).
+    pub min_support: f64,
+    /// Minimum confidence.
+    pub min_confidence: f64,
+}
+
+impl Default for QuantitativeMiner {
+    fn default() -> Self {
+        QuantitativeMiner {
+            intervals: 4,
+            min_support: 0.1,
+            min_confidence: 0.6,
+        }
+    }
+}
+
+/// A mined quantitative model: the rules plus the partitioning that
+/// produced them (needed to interpret new rows).
+#[derive(Debug, Clone)]
+pub struct QuantitativeModel {
+    /// The mined rules, best confidence first.
+    pub rules: Vec<QuantitativeRule>,
+    /// The attribute partitioning.
+    pub partitioning: Partitioning,
+}
+
+impl QuantitativeMiner {
+    /// Mines quantitative rules from an amounts matrix.
+    pub fn mine(&self, x: &Matrix) -> Result<QuantitativeModel> {
+        if self.intervals < 2 {
+            return Err(AssocError::Invalid(format!(
+                "need at least 2 intervals, got {}",
+                self.intervals
+            )));
+        }
+        let partitioning = Partitioning::equi_depth(x, self.intervals)?;
+        let transactions = partitioning.encode(x)?;
+        let apriori = Apriori::new(self.min_support, self.min_confidence)?;
+        let boolean_rules = apriori.mine(&transactions)?;
+
+        let decode = |items: &[usize]| -> Vec<AttributeRange> {
+            items
+                .iter()
+                .map(|&item| {
+                    let (attr, interval) = partitioning.decode_item(item);
+                    let (lo, hi) = partitioning.interval_range(attr, interval);
+                    AttributeRange {
+                        attribute: attr,
+                        lo,
+                        hi,
+                    }
+                })
+                .collect()
+        };
+
+        let mut rules: Vec<QuantitativeRule> = boolean_rules
+            .iter()
+            .map(|r| QuantitativeRule {
+                antecedent: decode(&r.antecedent),
+                consequent: decode(&r.consequent),
+                support: r.support,
+                confidence: r.confidence,
+            })
+            // A rule whose antecedent and consequent mention the same
+            // attribute twice is impossible here (one interval item per
+            // attribute per row), but keep the model clean regardless.
+            .filter(|r| {
+                let mut attrs: Vec<usize> = r
+                    .antecedent
+                    .iter()
+                    .chain(&r.consequent)
+                    .map(|ar| ar.attribute)
+                    .collect();
+                attrs.sort_unstable();
+                attrs.windows(2).all(|w| w[0] != w[1])
+            })
+            .collect();
+        rules.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
+        Ok(QuantitativeModel {
+            rules,
+            partitioning,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Correlated bread/butter amounts: butter tracks bread closely, so
+    /// low-bread rows imply low-butter intervals etc.
+    fn correlated() -> Matrix {
+        Matrix::from_fn(80, 2, |i, j| {
+            let bread = 1.0 + (i % 8) as f64;
+            if j == 0 {
+                bread
+            } else {
+                0.7 * bread + 0.01 * (i % 3) as f64
+            }
+        })
+    }
+
+    #[test]
+    fn mines_cross_attribute_rules() {
+        let model = QuantitativeMiner {
+            intervals: 4,
+            min_support: 0.1,
+            min_confidence: 0.8,
+        }
+        .mine(&correlated())
+        .unwrap();
+        assert!(!model.rules.is_empty());
+        // There must be a rule from a bread interval to a butter interval.
+        let cross = model.rules.iter().find(|r| {
+            r.antecedent.len() == 1
+                && r.antecedent[0].attribute == 0
+                && r.consequent.len() == 1
+                && r.consequent[0].attribute == 1
+        });
+        assert!(
+            cross.is_some(),
+            "no bread => butter rule among {:?}",
+            model.rules
+        );
+    }
+
+    #[test]
+    fn rule_ranges_are_consistent_with_data() {
+        let x = correlated();
+        let model = QuantitativeMiner::default().mine(&x).unwrap();
+        for rule in &model.rules {
+            // The promised confidence must be reproducible by counting.
+            let mut ant = 0usize;
+            let mut both = 0usize;
+            for row in x.row_iter() {
+                let ant_ok = rule.antecedent.iter().all(|r| r.contains(row[r.attribute]));
+                if ant_ok {
+                    ant += 1;
+                    if rule.consequent.iter().all(|r| r.contains(row[r.attribute])) {
+                        both += 1;
+                    }
+                }
+            }
+            assert!(ant > 0);
+            let conf = both as f64 / ant as f64;
+            assert!(
+                (conf - rule.confidence).abs() < 1e-9,
+                "rule {rule}: recomputed confidence {conf}"
+            );
+        }
+    }
+
+    #[test]
+    fn attribute_range_contains_and_midpoint() {
+        let r = AttributeRange {
+            attribute: 0,
+            lo: 2.0,
+            hi: 4.0,
+        };
+        assert!(r.contains(2.0));
+        assert!(r.contains(3.9));
+        assert!(!r.contains(4.0));
+        assert_eq!(r.midpoint(), 3.0);
+
+        let unbounded = AttributeRange {
+            attribute: 0,
+            lo: f64::NEG_INFINITY,
+            hi: 4.0,
+        };
+        assert!(unbounded.contains(-1e9));
+        assert_eq!(unbounded.midpoint(), 4.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = QuantitativeRule {
+            antecedent: vec![AttributeRange {
+                attribute: 0,
+                lo: 3.0,
+                hi: 5.0,
+            }],
+            consequent: vec![AttributeRange {
+                attribute: 1,
+                lo: 1.5,
+                hi: 2.0,
+            }],
+            support: 0.25,
+            confidence: 0.9,
+        };
+        let s = r.to_string();
+        assert!(s.contains("attr0"));
+        assert!(s.contains("=>"));
+        assert!(s.contains("0.90"));
+    }
+
+    #[test]
+    fn validation() {
+        let m = QuantitativeMiner {
+            intervals: 1,
+            ..QuantitativeMiner::default()
+        };
+        assert!(m.mine(&correlated()).is_err());
+        assert!(QuantitativeMiner::default()
+            .mine(&Matrix::zeros(0, 2))
+            .is_err());
+    }
+}

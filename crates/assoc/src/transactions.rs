@@ -1,0 +1,210 @@
+//! Transaction views of a data matrix.
+//!
+//! Boolean association mining needs transactions = sets of items. For an
+//! amounts matrix, an item is "bought" when the amount exceeds a
+//! threshold (the binarization the paper criticizes for losing
+//! information). Quantitative mining instead maps each attribute into
+//! interval items ("bread in [3, 5)"), preserving magnitudes at interval
+//! granularity.
+
+use crate::{AssocError, Result};
+use linalg::Matrix;
+
+/// An item identifier. For Boolean mining it is the column index; for
+/// quantitative mining it is `(column, interval)` flattened by the
+/// partitioner.
+pub type Item = usize;
+
+/// Binarizes an amounts matrix into transactions: item `j` is present in
+/// transaction `i` when `x[i][j] > threshold`.
+pub fn binarize(x: &Matrix, threshold: f64) -> Result<Vec<Vec<Item>>> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(AssocError::EmptyInput);
+    }
+    Ok(x.row_iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter_map(|(j, &v)| (v > threshold).then_some(j))
+                .collect()
+        })
+        .collect())
+}
+
+/// An equi-depth partitioning of each attribute into intervals — the
+/// Srikant–Agrawal preprocessing step for quantitative rules.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// Per attribute: sorted interval boundaries. Attribute `j` with
+    /// boundaries `b` has intervals `(-inf, b[0]), [b[0], b[1]), ...,
+    /// [b[last], +inf)`, i.e. `b.len() + 1` intervals.
+    pub boundaries: Vec<Vec<f64>>,
+    /// Number of intervals per attribute (same for all).
+    pub intervals_per_attr: usize,
+}
+
+impl Partitioning {
+    /// Builds equi-depth boundaries with `intervals` buckets per attribute.
+    pub fn equi_depth(x: &Matrix, intervals: usize) -> Result<Self> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(AssocError::EmptyInput);
+        }
+        if intervals < 2 {
+            return Err(AssocError::Invalid(format!(
+                "need at least 2 intervals, got {intervals}"
+            )));
+        }
+        let n = x.rows();
+        let mut boundaries = Vec::with_capacity(x.cols());
+        for j in 0..x.cols() {
+            let mut col = x.col(j);
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut b = Vec::with_capacity(intervals - 1);
+            for q in 1..intervals {
+                let pos = (q * n) / intervals;
+                b.push(col[pos.min(n - 1)]);
+            }
+            b.dedup();
+            boundaries.push(b);
+        }
+        Ok(Partitioning {
+            boundaries,
+            intervals_per_attr: intervals,
+        })
+    }
+
+    /// Interval index of value `v` for attribute `j` (0-based).
+    pub fn interval_of(&self, j: usize, v: f64) -> usize {
+        let b = &self.boundaries[j];
+        b.iter().take_while(|&&bound| v >= bound).count()
+    }
+
+    /// Half-open numeric range `[lo, hi)` of interval `idx` for attribute
+    /// `j`; unbounded ends are `-inf` / `+inf`.
+    pub fn interval_range(&self, j: usize, idx: usize) -> (f64, f64) {
+        let b = &self.boundaries[j];
+        let lo = if idx == 0 {
+            f64::NEG_INFINITY
+        } else {
+            b[idx - 1]
+        };
+        let hi = if idx >= b.len() {
+            f64::INFINITY
+        } else {
+            b[idx]
+        };
+        (lo, hi)
+    }
+
+    /// Flattens `(attribute, interval)` into a global item id.
+    pub fn item_id(&self, j: usize, interval: usize) -> Item {
+        j * self.intervals_per_attr + interval
+    }
+
+    /// Inverse of [`Partitioning::item_id`].
+    pub fn decode_item(&self, item: Item) -> (usize, usize) {
+        (
+            item / self.intervals_per_attr,
+            item % self.intervals_per_attr,
+        )
+    }
+
+    /// Encodes every row of a matrix into interval items (one item per
+    /// attribute).
+    pub fn encode(&self, x: &Matrix) -> Result<Vec<Vec<Item>>> {
+        if x.cols() != self.boundaries.len() {
+            return Err(AssocError::Invalid(format!(
+                "matrix has {} columns, partitioning {}",
+                x.cols(),
+                self.boundaries.len()
+            )));
+        }
+        Ok(x.row_iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &v)| self.item_id(j, self.interval_of(j, v)))
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amounts() -> Matrix {
+        Matrix::from_rows(&[
+            &[5.0, 0.0, 2.0],
+            &[0.0, 3.0, 1.0],
+            &[2.0, 2.0, 0.0],
+            &[8.0, 0.0, 4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn binarize_thresholds() {
+        let t = binarize(&amounts(), 0.0).unwrap();
+        assert_eq!(t[0], vec![0, 2]);
+        assert_eq!(t[1], vec![1, 2]);
+        assert_eq!(t[2], vec![0, 1]);
+        assert_eq!(t[3], vec![0, 2]);
+
+        let t = binarize(&amounts(), 2.5).unwrap();
+        assert_eq!(t[0], vec![0]);
+        assert!(binarize(&Matrix::zeros(0, 2), 0.0).is_err());
+    }
+
+    #[test]
+    fn equi_depth_boundaries_split_mass() {
+        let x = Matrix::from_fn(100, 1, |i, _| i as f64);
+        let p = Partitioning::equi_depth(&x, 4).unwrap();
+        assert_eq!(p.boundaries[0].len(), 3);
+        // Quartiles of 0..100.
+        assert_eq!(p.boundaries[0], vec![25.0, 50.0, 75.0]);
+        assert_eq!(p.interval_of(0, 10.0), 0);
+        assert_eq!(p.interval_of(0, 25.0), 1);
+        assert_eq!(p.interval_of(0, 99.0), 3);
+    }
+
+    #[test]
+    fn interval_ranges_cover_the_line() {
+        let x = Matrix::from_fn(100, 1, |i, _| i as f64);
+        let p = Partitioning::equi_depth(&x, 4).unwrap();
+        assert_eq!(p.interval_range(0, 0), (f64::NEG_INFINITY, 25.0));
+        assert_eq!(p.interval_range(0, 1), (25.0, 50.0));
+        assert_eq!(p.interval_range(0, 3), (75.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn item_id_roundtrip() {
+        let x = amounts();
+        let p = Partitioning::equi_depth(&x, 3).unwrap();
+        for j in 0..3 {
+            for iv in 0..3 {
+                let id = p.item_id(j, iv);
+                assert_eq!(p.decode_item(id), (j, iv));
+            }
+        }
+    }
+
+    #[test]
+    fn encode_emits_one_item_per_attribute() {
+        let x = amounts();
+        let p = Partitioning::equi_depth(&x, 2).unwrap();
+        let enc = p.encode(&x).unwrap();
+        assert_eq!(enc.len(), 4);
+        for row in &enc {
+            assert_eq!(row.len(), 3);
+        }
+        assert!(p.encode(&Matrix::zeros(2, 5)).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Partitioning::equi_depth(&Matrix::zeros(0, 1), 3).is_err());
+        assert!(Partitioning::equi_depth(&amounts(), 1).is_err());
+    }
+}

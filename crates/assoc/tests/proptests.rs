@@ -1,0 +1,106 @@
+//! Property-based tests for the association-rule baselines.
+
+use assoc::apriori::Apriori;
+use assoc::measures::contingency;
+use assoc::transactions::{binarize, Partitioning};
+use linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: random transaction lists over `n_items` items.
+fn transactions(n_txns: usize, n_items: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0..n_items, 1..=n_items.min(6)),
+        1..=n_txns,
+    )
+    .prop_map(|txns| txns.into_iter().map(|s| s.into_iter().collect()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Downward closure: every sub-itemset of a frequent itemset is
+    /// itself frequent with at least the same count.
+    #[test]
+    fn frequent_itemsets_are_downward_closed(txns in transactions(25, 8)) {
+        let ap = Apriori::new(0.2, 0.5).unwrap();
+        let sets = ap.frequent_itemsets(&txns).unwrap();
+        let count_of = |items: &[usize]| {
+            sets.iter().find(|s| s.items == items).map(|s| s.count)
+        };
+        for set in &sets {
+            if set.items.len() < 2 {
+                continue;
+            }
+            for drop in 0..set.items.len() {
+                let mut sub = set.items.clone();
+                sub.remove(drop);
+                let sub_count = count_of(&sub)
+                    .unwrap_or_else(|| panic!("subset {sub:?} of {:?} missing", set.items));
+                prop_assert!(sub_count >= set.count);
+            }
+        }
+    }
+
+    /// Reported supports are exact re-countable facts.
+    #[test]
+    fn itemset_counts_are_exact(txns in transactions(20, 6)) {
+        let ap = Apriori::new(0.15, 0.5).unwrap();
+        let sets = ap.frequent_itemsets(&txns).unwrap();
+        for set in &sets {
+            let actual = txns
+                .iter()
+                .filter(|t| set.items.iter().all(|i| t.contains(i)))
+                .count();
+            prop_assert_eq!(actual, set.count, "itemset {:?}", set.items);
+        }
+    }
+
+    /// Every generated rule satisfies its advertised confidence when
+    /// recounted, and support(rule) <= support(antecedent).
+    #[test]
+    fn rules_are_self_consistent(txns in transactions(20, 6)) {
+        let ap = Apriori::new(0.15, 0.4).unwrap();
+        let rules = ap.mine(&txns).unwrap();
+        let n = txns.len() as f64;
+        for r in &rules {
+            let table = contingency(&txns, &r.antecedent, &r.consequent);
+            prop_assert!((table.support() - r.support).abs() < 1e-12);
+            let conf = table.confidence().unwrap();
+            prop_assert!((conf - r.confidence).abs() < 1e-12);
+            prop_assert!(r.confidence >= 0.4 - 1e-12);
+            prop_assert!(r.support * n <= (table.both + table.a_only) as f64 + 1e-9);
+        }
+    }
+
+    /// Partitioning assigns every value to exactly the interval whose
+    /// range contains it.
+    #[test]
+    fn partition_interval_of_matches_ranges(
+        values in proptest::collection::vec(-100.0..100.0f64, 12),
+        intervals in 2usize..6,
+    ) {
+        let m = Matrix::from_vec(values.len(), 1, values.clone()).unwrap();
+        let p = Partitioning::equi_depth(&m, intervals).unwrap();
+        for &v in &values {
+            let idx = p.interval_of(0, v);
+            let (lo, hi) = p.interval_range(0, idx);
+            prop_assert!(v >= lo && v < hi || (v == lo), "{v} not in [{lo}, {hi})");
+        }
+    }
+
+    /// Binarization keeps exactly the cells above the threshold.
+    #[test]
+    fn binarize_respects_threshold(
+        cells in proptest::collection::vec(0.0..10.0f64, 12),
+        threshold in 0.0..10.0f64,
+    ) {
+        let m = Matrix::from_vec(4, 3, cells.clone()).unwrap();
+        let txns = binarize(&m, threshold).unwrap();
+        for (i, txn) in txns.iter().enumerate() {
+            for j in 0..3 {
+                let present = txn.contains(&j);
+                prop_assert_eq!(present, cells[i * 3 + j] > threshold);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation benchmark: covariance construction strategies.
+//!
+//! Compares the paper's single-pass raw-moment accumulator against the
+//! numerically safer two-pass centered product, and against the
+//! crossbeam-parallel shard-and-merge scan (extension). The single-pass
+//! variant is the paper's efficiency claim; the parallel one shows the
+//! mergeable-accumulator design paying off on modern hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataset::synth::quest::{generate, QuestConfig};
+use ratio_rules::covariance::CovarianceAccumulator;
+use ratio_rules::parallel::covariance_parallel;
+
+fn bench_covariance(c: &mut Criterion) {
+    let n = 20_000usize;
+    let cfg = QuestConfig {
+        n_rows: n,
+        n_items: 100,
+        ..QuestConfig::default()
+    };
+    let data = generate(&cfg, 7).expect("quest");
+    let x = data.matrix();
+
+    let mut group = c.benchmark_group("covariance_20k_x_100");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("single_pass_paper", |b| {
+        b.iter(|| {
+            let mut acc = CovarianceAccumulator::new(x.cols());
+            for row in x.row_iter() {
+                acc.push_row(row).expect("push");
+            }
+            acc.finalize().expect("finalize")
+        });
+    });
+
+    group.bench_function("two_pass_centered", |b| {
+        b.iter(|| dataset::stats::covariance_two_pass(x).expect("two-pass"));
+    });
+
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| {
+                covariance_parallel(x, t)
+                    .expect("parallel")
+                    .finalize()
+                    .expect("fin")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_covariance);
+criterion_main!(benches);

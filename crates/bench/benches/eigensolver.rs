@@ -1,0 +1,55 @@
+//! Ablation benchmark: Householder+QL (the production eigensolver) vs
+//! cyclic Jacobi, across matrix sizes.
+//!
+//! The paper calls the eigensolve an off-the-shelf `O(M^3)` step whose
+//! cost is negligible next to the `O(N M^2)` covariance pass; this bench
+//! quantifies both solvers so the claim can be checked against Fig. 8's
+//! intercept.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::eigen::SymmetricEigen;
+use linalg::jacobi::jacobi_eigen;
+use linalg::lanczos::lanczos_top_k;
+use linalg::Matrix;
+
+/// Deterministic symmetric test matrix of side `m`.
+fn symmetric(m: usize) -> Matrix {
+    let mut state = 0x9E3779B97F4A7C15_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut a = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in 0..=i {
+            let v = next();
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigensolver");
+    for m in [10usize, 25, 50, 100] {
+        let a = symmetric(m);
+        group.bench_with_input(BenchmarkId::new("householder_ql", m), &a, |b, a| {
+            b.iter(|| SymmetricEigen::new(a).expect("ql"));
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi", m), &a, |b, a| {
+            b.iter(|| jacobi_eigen(a, 1e-8).expect("jacobi"));
+        });
+        // The footnote-1 alternative: only the top 3 eigenpairs, as a
+        // Ratio-Rules miner would request.
+        group.bench_with_input(BenchmarkId::new("lanczos_top3", m), &a, |b, a| {
+            b.iter(|| lanczos_top_k(a, 3, None).expect("lanczos"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigensolvers);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Benchmark: miner backends and incremental maintenance.
+//!
+//! * dense vs Lanczos eigensolver backends inside the full mining
+//!   pipeline (the footnote-1 trade-off at M = 100: full spectrum vs
+//!   top rules only);
+//! * incremental `observe` cost per row, and rule re-derivation cost —
+//!   the two numbers a live deployment cares about.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dataset::synth::quest::{generate, QuestConfig};
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::incremental::IncrementalMiner;
+use ratio_rules::miner::{EigenSolver, RatioRuleMiner};
+
+fn bench_miner_backends(c: &mut Criterion) {
+    let cfg = QuestConfig {
+        n_rows: 5_000,
+        n_items: 100,
+        ..QuestConfig::default()
+    };
+    let data = generate(&cfg, 21).expect("quest");
+    let x = data.matrix();
+
+    let mut group = c.benchmark_group("miner_backend_5k_x_100");
+    group.sample_size(10);
+    group.bench_function("dense_full_spectrum", |b| {
+        b.iter(|| {
+            RatioRuleMiner::new(Cutoff::FixedK(5))
+                .fit_matrix(x)
+                .expect("dense")
+        });
+    });
+    group.bench_function("lanczos_top5", |b| {
+        b.iter(|| {
+            RatioRuleMiner::new(Cutoff::FixedK(5))
+                .with_solver(EigenSolver::Lanczos { max_k: 5 })
+                .fit_matrix(x)
+                .expect("lanczos")
+        });
+    });
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let cfg = QuestConfig {
+        n_rows: 1_000,
+        n_items: 100,
+        ..QuestConfig::default()
+    };
+    let data = generate(&cfg, 22).expect("quest");
+    let x = data.matrix();
+
+    let mut group = c.benchmark_group("incremental_m100");
+    group.throughput(Throughput::Elements(x.rows() as u64));
+    group.bench_function("observe_1k_rows", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalMiner::new(100, Cutoff::default());
+            inc.observe_matrix(x).expect("observe");
+            inc
+        });
+    });
+
+    let mut warm = IncrementalMiner::new(100, Cutoff::default());
+    warm.observe_matrix(x).expect("observe");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("rederive_rules", |b| {
+        b.iter(|| warm.rules().expect("rules"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_miner_backends, bench_incremental);
+criterion_main!(benches);

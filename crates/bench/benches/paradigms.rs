@@ -1,0 +1,67 @@
+//! Benchmark: mining cost of the three paradigms on the same data
+//! (Sec. 6.3 made quantitative).
+//!
+//! Ratio Rules (single pass + eigensolve) vs Apriori Boolean rules
+//! (multi-pass level-wise counting) vs quantitative rules (partition +
+//! Apriori over interval items). The point the paper makes qualitatively
+//! — single-pass mining is cheap — shows up here as wall-clock.
+
+use assoc::apriori::Apriori;
+use assoc::quantitative::QuantitativeMiner;
+use assoc::transactions::binarize;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset::synth::quest::{generate, QuestConfig};
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::miner::RatioRuleMiner;
+
+fn bench_paradigms(c: &mut Criterion) {
+    // Kept deliberately small: quantitative mining over interval items is
+    // combinatorial (every row holds one item per attribute, so frequent
+    // pairs abound), and the point here is the *ratio* between paradigms,
+    // not their absolute scale.
+    let cfg = QuestConfig {
+        n_rows: 1_000,
+        n_items: 16,
+        ..QuestConfig::default()
+    };
+    let data = generate(&cfg, 11).expect("quest");
+    let x = data.matrix();
+
+    let mut group = c.benchmark_group("mining_paradigms_1k_x_16");
+    group.sample_size(10);
+
+    group.bench_function("ratio_rules", |b| {
+        b.iter(|| {
+            RatioRuleMiner::new(Cutoff::default())
+                .fit_matrix(x)
+                .expect("rr")
+        });
+    });
+
+    let transactions = binarize(x, 0.0).expect("binarize");
+    group.bench_function("apriori_boolean", |b| {
+        b.iter(|| {
+            Apriori::new(0.1, 0.5)
+                .expect("config")
+                .mine(&transactions)
+                .expect("apriori")
+        });
+    });
+
+    group.bench_function("quantitative_rules", |b| {
+        b.iter(|| {
+            QuantitativeMiner {
+                intervals: 4,
+                min_support: 0.1,
+                min_confidence: 0.5,
+            }
+            .mine(x)
+            .expect("quant")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_paradigms);
+criterion_main!(benches);

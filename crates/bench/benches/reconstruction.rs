@@ -1,0 +1,86 @@
+//! Benchmark: hole-filling throughput across the three solve cases and
+//! the guessing-error evaluation that drives Figs. 6-7.
+//!
+//! Also contrasts the pseudo-inverse (paper CASE 2) against QR least
+//! squares on the same over-specified systems — the hole-solver ablation
+//! from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset::holes::HoleSet;
+use dataset::split::train_test_split;
+use linalg::pinv::solve_least_squares;
+use linalg::qr::Qr;
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::guessing::GuessingErrorEvaluator;
+use ratio_rules::miner::RatioRuleMiner;
+use ratio_rules::predictor::RuleSetPredictor;
+use ratio_rules::reconstruct::fill_holes;
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let (data, _) = dataset::synth::sports::nba_like(1).expect("nba");
+    let split = train_test_split(&data, 0.9, 1).expect("split");
+    let m = data.n_cols();
+
+    let mut group = c.benchmark_group("reconstruction");
+
+    // Over-specified: k = 3, h = 1 -> M - h = 11 > 3 (pseudo-inverse).
+    let rules3 = RatioRuleMiner::new(Cutoff::FixedK(3))
+        .fit_data(&split.train)
+        .expect("k=3");
+    let row = split.test.row(0).to_vec();
+    let hole1 = HoleSet::new(vec![4], m).expect("holes");
+    let holed1 = hole1.apply(&row).expect("apply");
+    group.bench_function("fill_over_specified_k3_h1", |b| {
+        b.iter(|| fill_holes(&rules3, &holed1).expect("fill"));
+    });
+
+    // Exactly-specified: k = 3, h = M - 3 = 9.
+    let hole9 = HoleSet::new((0..9).collect(), m).expect("holes");
+    let holed9 = hole9.apply(&row).expect("apply");
+    group.bench_function("fill_exactly_specified_k3_h9", |b| {
+        b.iter(|| fill_holes(&rules3, &holed9).expect("fill"));
+    });
+
+    // Under-specified: k = 6, h = 10 -> M - h = 2 < 6.
+    let rules6 = RatioRuleMiner::new(Cutoff::FixedK(6))
+        .fit_data(&split.train)
+        .expect("k=6");
+    let hole10 = HoleSet::new((0..10).collect(), m).expect("holes");
+    let holed10 = hole10.apply(&row).expect("apply");
+    group.bench_function("fill_under_specified_k6_h10", |b| {
+        b.iter(|| fill_holes(&rules6, &holed10).expect("fill"));
+    });
+
+    // Ablation: pseudo-inverse vs QR on the over-specified system.
+    let v_prime = rules3.v_matrix().select_rows(&holed1.known_indices());
+    let b_vec: Vec<f64> = holed1
+        .known_values()
+        .iter()
+        .zip(
+            holed1
+                .known_indices()
+                .iter()
+                .map(|&j| rules3.column_means()[j]),
+        )
+        .map(|(v, mean)| v - mean)
+        .collect();
+    group.bench_function("solver_pinv_svd", |b| {
+        b.iter(|| solve_least_squares(&v_prime, &b_vec, 1e-12).expect("pinv"));
+    });
+    group.bench_function("solver_qr_least_squares", |b| {
+        b.iter(|| Qr::new(&v_prime).expect("qr").solve(&b_vec).expect("solve"));
+    });
+
+    // End-to-end GE_1 on the nba test split (the Fig. 7 inner loop).
+    let predictor = RuleSetPredictor::new(rules3.clone());
+    let ev = GuessingErrorEvaluator::default();
+    group.sample_size(10);
+    group.bench_function("ge1_nba_test_split", |b| {
+        b.iter(|| ev.ge1(&predictor, split.test.matrix()).expect("ge1"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconstruction);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark backing Figure 8: Ratio-Rule mining time vs N.
+//!
+//! The experiment binary `fig8_scaleup` prints the full 10-point sweep at
+//! N up to 100,000; this bench measures a smaller, statistically rigorous
+//! sweep so `cargo bench` stays fast while still exposing the linear
+//! shape (time per row roughly constant in N).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataset::synth::quest::{generate, QuestConfig};
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::miner::RatioRuleMiner;
+
+fn bench_scaleup(c: &mut Criterion) {
+    let full_n = 20_000usize;
+    let cfg = QuestConfig {
+        n_rows: full_n,
+        n_items: 100,
+        ..QuestConfig::default()
+    };
+    let data = generate(&cfg, 0xF168).expect("quest generation");
+    let matrix = data.matrix();
+    let miner = RatioRuleMiner::new(Cutoff::default());
+
+    let mut group = c.benchmark_group("fig8_scaleup_m100");
+    group.sample_size(10);
+    for n in [2_500usize, 5_000, 10_000, 20_000] {
+        let prefix = matrix.select_rows(&(0..n).collect::<Vec<_>>());
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prefix, |b, m| {
+            b.iter(|| miner.fit_matrix(m).expect("mining"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaleup);
+criterion_main!(benches);

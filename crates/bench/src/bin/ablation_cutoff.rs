@@ -1,0 +1,43 @@
+//! Ablation (beyond the paper): sensitivity of `GE_1` to the energy
+//! cutoff of Eq. 1.
+//!
+//! The paper fixes the "simplest textbook heuristic" of 85%. This sweep
+//! shows how the guessing error and the retained `k` move as the
+//! threshold varies from 50% to 99%, plus fixed-k rows for context —
+//! useful for judging whether the 85% default is doing real work.
+
+use bench::{format_table, ge1_pair, train_contenders, PaperDataset, EXPERIMENT_SEED};
+use ratio_rules::cutoff::Cutoff;
+
+fn main() {
+    println!("== Ablation: energy-cutoff sweep (GE_1, 90/10 split) ==");
+    for ds in PaperDataset::ALL {
+        let data = ds.load(EXPERIMENT_SEED);
+        let mut rows = Vec::new();
+        for f in [0.50, 0.70, 0.85, 0.95, 0.99] {
+            let c = train_contenders(&data, Cutoff::EnergyFraction(f), EXPERIMENT_SEED);
+            let (rr, ca) = ge1_pair(&c);
+            rows.push(vec![
+                format!("energy {:.0}%", f * 100.0),
+                c.rr.rules().k().to_string(),
+                format!("{rr:.4}"),
+                format!("{:.1}%", 100.0 * rr / ca),
+            ]);
+        }
+        for k in [1usize, 2, 3] {
+            let c = train_contenders(&data, Cutoff::FixedK(k), EXPERIMENT_SEED);
+            let (rr, ca) = ge1_pair(&c);
+            rows.push(vec![
+                format!("fixed k={k}"),
+                c.rr.rules().k().to_string(),
+                format!("{rr:.4}"),
+                format!("{:.1}%", 100.0 * rr / ca),
+            ]);
+        }
+        println!("\n-- '{}' --", ds.name());
+        println!(
+            "{}",
+            format_table(&["cutoff", "k", "GE1(RR)", "RR/col-avgs"], &rows)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Numerical ablation: where does the paper's single-pass covariance
+//! formula lose accuracy?
+//!
+//! The Fig. 2(a) raw-moment update `C -= N * avg_j * avg_l` is subject to
+//! catastrophic cancellation when column means dwarf the variance. This
+//! sweep shifts the same correlated dataset by increasing offsets and
+//! compares the first Ratio Rule mined three ways:
+//!
+//! * single-pass raw moments (the paper's algorithm);
+//! * two-pass centered covariance;
+//! * SVD of the centered matrix (gold standard — no squaring at all).
+//!
+//! Reported: angular error of RR1 against the gold standard, in degrees.
+
+use bench::format_table;
+use linalg::Matrix;
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::miner::{fit_svd, RatioRuleMiner};
+
+fn angle_deg(a: &[f64], b: &[f64]) -> f64 {
+    linalg::vector::cosine(a, b)
+        .map(|c| c.abs().min(1.0).acos().to_degrees())
+        .unwrap_or(90.0)
+}
+
+fn main() {
+    println!("== Numerical ablation: RR1 error vs column-mean magnitude ==\n");
+    let n = 500usize;
+    let mut rows = Vec::new();
+    for exp in [0i32, 2, 4, 6, 8, 10] {
+        let shift = 10f64.powi(exp);
+        let x = Matrix::from_fn(n, 3, |i, j| {
+            let t = (i as f64 / 40.0).sin();
+            let noise = ((i * 13 + j * 7) % 11) as f64 * 1e-3;
+            shift + t * [3.0, 2.0, 1.0][j] + noise
+        });
+
+        // Gold standard: SVD of the centered matrix.
+        let gold = fit_svd(&x, Cutoff::FixedK(1), None).expect("svd mining");
+        let gold_v = &gold.rule(0).loadings;
+
+        // The paper's single-pass path.
+        let single = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .expect("single-pass mining");
+
+        // Two-pass covariance then eigensolve.
+        let c2 = dataset::stats::covariance_two_pass(&x).expect("two-pass");
+        let eig = linalg::eigen::SymmetricEigen::new(&c2).expect("eigen");
+        let two_pass_v = eig.eigenvector(0);
+
+        rows.push(vec![
+            format!("1e{exp}"),
+            format!("{:.2e}", angle_deg(&single.rule(0).loadings, gold_v)),
+            format!("{:.2e}", angle_deg(&two_pass_v, gold_v)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["column mean", "single-pass err (deg)", "two-pass err (deg)"],
+            &rows
+        )
+    );
+    println!("Expected: all three agree at small means; the single-pass raw-moment");
+    println!("formula degrades as means grow (cancellation), the centered paths hold.");
+    println!("The paper's dollar-amount regime (means ~ 1e0-1e3) is safely inside");
+    println!("the accurate zone, which is why the single-pass trade-off is sound.");
+}

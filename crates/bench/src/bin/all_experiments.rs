@@ -1,0 +1,44 @@
+//! Runs every experiment binary in sequence — the one-command
+//! regeneration of all the paper's tables and figures (EXPERIMENTS.md is
+//! written from this output).
+//!
+//! Each experiment also lives as its own binary for selective runs:
+//! `cargo run --release -p bench --bin fig7_prediction_accuracy`, etc.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig7_prediction_accuracy",
+    "fig6_error_stability",
+    "table2_interpretation",
+    "fig9_scatter",
+    "fig11_nba_views",
+    "fig12_extrapolation",
+    "fig8_scaleup",
+    "ablation_cutoff",
+    "model_cards",
+    "compactness",
+    "mlr_baseline",
+    "ablation_numerics",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("target dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n######## {name} ########\n");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 12: Ratio Rules vs quantitative association rules on
+//! extrapolation.
+//!
+//! The paper's fictitious bread/butter dataset: quantitative rules carve
+//! the cloud into bounding rectangles and cannot answer "a customer
+//! bought $8.50 of bread — how much butter?" because no rectangle covers
+//! bread = 8.5; Ratio Rules extrapolate along RR1 and answer ~$6.10.
+
+use assoc::predict::{predict_hole, PredictOutcome};
+use assoc::quantitative::QuantitativeMiner;
+use dataset::holes::HoledRow;
+use linalg::Matrix;
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::miner::RatioRuleMiner;
+use ratio_rules::reconstruct::fill_holes;
+
+/// The fictitious dataset: bread in [1, 8], butter ~ 0.7176 * bread with
+/// a little scatter, echoing the figure's cloud and its RR1 slope
+/// (prediction 6.1 at bread 8.5).
+fn fictitious() -> Matrix {
+    Matrix::from_fn(64, 2, |i, j| {
+        let bread = 1.0 + 7.0 * ((i % 32) as f64) / 31.0;
+        let wiggle = 0.15 * (((i * 7) % 5) as f64 - 2.0) / 2.0;
+        if j == 0 {
+            bread
+        } else {
+            0.7176 * bread + wiggle
+        }
+    })
+}
+
+fn main() {
+    let x = fictitious();
+    let given_bread = 8.5;
+
+    println!("== Figure 12: prediction for bread = ${given_bread} ==\n");
+
+    // (a) Quantitative association rules.
+    let model = QuantitativeMiner {
+        intervals: 4,
+        min_support: 0.05,
+        min_confidence: 0.5,
+    }
+    .mine(&x)
+    .expect("quantitative mining");
+    // Bounded rectangles only — the figure draws finite boxes; equi-depth
+    // partitioning leaves the outermost interval unbounded, which would
+    // let it fire on any extreme value and misrepresent the method.
+    let mut bounded = model.clone();
+    bounded.rules.retain(|r| {
+        r.antecedent
+            .iter()
+            .all(|a| a.lo.is_finite() && a.hi.is_finite())
+            && r.consequent
+                .iter()
+                .all(|c| c.lo.is_finite() && c.hi.is_finite())
+    });
+    println!(
+        "quantitative rules mined: {} ({} with bounded rectangles)",
+        model.rules.len(),
+        bounded.rules.len()
+    );
+    for r in bounded.rules.iter().take(5) {
+        println!("  {r}");
+    }
+    let outcome = predict_hole(&bounded, &[Some(given_bread), None], 1).expect("predict");
+    match outcome {
+        PredictOutcome::NoRuleFires => {
+            println!(
+                "\nquantitative rules: NO RULE FIRES at bread = {given_bread} -> no prediction"
+            )
+        }
+        PredictOutcome::Predicted { value, rules_fired } => {
+            println!("\nquantitative rules: predicted {value:.2} ({rules_fired} rules)")
+        }
+    }
+
+    // Interpolation sanity check: inside the cloud they do fire.
+    let inside = predict_hole(&bounded, &[Some(4.0), None], 1).expect("predict");
+    println!("(control at bread = 4.00, inside the data: {inside:?})");
+
+    // (b) Ratio Rules.
+    let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+        .fit_matrix(&x)
+        .expect("mining");
+    let v = &rules.rule(0).loadings;
+    println!(
+        "\nRR1 direction: bread : butter = {:.2} : {:.2}",
+        v[0], v[1]
+    );
+    let filled = fill_holes(&rules, &HoledRow::new(vec![Some(given_bread), None])).expect("fill");
+    println!(
+        "Ratio Rules: predicted butter = ${:.2} (paper: $6.10)",
+        filled.values[1]
+    );
+}

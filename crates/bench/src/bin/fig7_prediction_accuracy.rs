@@ -1,0 +1,44 @@
+//! Figure 7: relative guessing error over the three datasets.
+//!
+//! The paper plots the `GE_1` of Ratio Rules normalized by the `GE_1` of
+//! col-avgs (whose own bar is 100% by construction) for `nba`, `baseball`
+//! and `abalone`, reporting RR "as low as one-fifth the guessing error"
+//! on the most linearly correlated dataset.
+
+use bench::{format_table, ge1_pair, train_contenders, PaperDataset, EXPERIMENT_SEED};
+use ratio_rules::cutoff::Cutoff;
+
+fn main() {
+    println!("== Figure 7: GE_1 of RR relative to col-avgs (90/10 split) ==\n");
+    let mut rows = Vec::new();
+    for ds in PaperDataset::ALL {
+        let data = ds.load(EXPERIMENT_SEED);
+        let c = train_contenders(&data, Cutoff::default(), EXPERIMENT_SEED);
+        let (rr, ca) = ge1_pair(&c);
+        let percent = 100.0 * rr / ca;
+        rows.push(vec![
+            ds.name().to_string(),
+            format!("{}", c.rr.rules().k()),
+            format!("{:.1}%", c.rr.rules().retained_energy() * 100.0),
+            format!("{rr:.4}"),
+            format!("{ca:.4}"),
+            format!("{percent:.1}%"),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "dataset",
+                "k",
+                "energy",
+                "GE1(RR)",
+                "GE1(col-avgs)",
+                "RR/col-avgs"
+            ],
+            &rows
+        )
+    );
+    println!("col-avgs normalized bar is 100% for every dataset by definition.");
+    println!("Paper's shape: RR wins everywhere, down to ~20% on the most linear dataset.");
+}

@@ -1,0 +1,181 @@
+//! Hand-rolled argument parsing: `--flag value` and `--switch` pairs.
+
+use crate::{CliError, Result};
+use std::collections::HashMap;
+
+/// Parsed options: flag name (without dashes) to value; boolean switches
+/// map to `"true"`.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    values: HashMap<String, String>,
+}
+
+/// Switches that take no value.
+const SWITCHES: &[&str] = &["no-header", "help", "json"];
+
+impl Options {
+    /// Parses `--key value` / `--switch` pairs.
+    pub fn parse(args: &[String]) -> Result<Options> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::new(format!(
+                    "unexpected positional argument {arg:?}; options are --key value"
+                )));
+            };
+            if SWITCHES.contains(&name) {
+                values.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let Some(value) = args.get(i + 1) else {
+                    return Err(CliError::new(format!("option --{name} needs a value")));
+                };
+                values.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Options { values })
+    }
+
+    /// True when a boolean switch is present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Raw string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str> {
+        self.get(name)
+            .ok_or_else(|| CliError::new(format!("missing required option --{name}")))
+    }
+
+    /// Optional typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| CliError::new(format!("option --{name}: cannot parse {s:?}"))),
+        }
+    }
+
+    /// Rejects unknown option names (catches typos).
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<()> {
+        for key in self.values.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(CliError::new(format!(
+                    "unknown option --{key}; allowed: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a cutoff spec: either `--k N` or `--energy F` (default 0.85).
+pub fn parse_cutoff(opts: &Options) -> Result<ratio_rules::cutoff::Cutoff> {
+    use ratio_rules::cutoff::Cutoff;
+    match (opts.get("k"), opts.get("energy")) {
+        (Some(_), Some(_)) => Err(CliError::new("pass either --k or --energy, not both")),
+        (Some(k), None) => {
+            let k: usize = k
+                .parse()
+                .map_err(|_| CliError::new(format!("--k: cannot parse {k:?}")))?;
+            Ok(Cutoff::FixedK(k))
+        }
+        (None, Some(f)) => {
+            let f: f64 = f
+                .parse()
+                .map_err(|_| CliError::new(format!("--energy: cannot parse {f:?}")))?;
+            Ok(Cutoff::EnergyFraction(f))
+        }
+        (None, None) => Ok(Cutoff::default()),
+    }
+}
+
+/// Parses a record with holes: comma-separated, `?` marks a hole.
+pub fn parse_holed_row(spec: &str) -> Result<Vec<Option<f64>>> {
+    spec.split(',')
+        .map(str::trim)
+        .map(|tok| {
+            if tok == "?" {
+                Ok(None)
+            } else {
+                tok.parse::<f64>().map(Some).map_err(|_| {
+                    CliError::new(format!("cannot parse cell {tok:?} (use '?' for holes)"))
+                })
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratio_rules::cutoff::Cutoff;
+
+    fn opts(args: &[&str]) -> Options {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let o = opts(&["--input", "x.csv", "--no-header", "--k", "3"]);
+        assert_eq!(o.get("input"), Some("x.csv"));
+        assert!(o.switch("no-header"));
+        assert!(!o.switch("json"));
+        assert_eq!(o.get_parsed::<usize>("k", 1).unwrap(), 3);
+        assert_eq!(o.get_parsed::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_positionals_and_dangling() {
+        assert!(Options::parse(&["x.csv".to_string()]).is_err());
+        assert!(Options::parse(&["--input".to_string()]).is_err());
+    }
+
+    #[test]
+    fn require_and_allow_only() {
+        let o = opts(&["--input", "x.csv"]);
+        assert_eq!(o.require("input").unwrap(), "x.csv");
+        assert!(o.require("output").is_err());
+        assert!(o.allow_only(&["input"]).is_ok());
+        assert!(o.allow_only(&["output"]).is_err());
+    }
+
+    #[test]
+    fn cutoff_parsing() {
+        assert_eq!(
+            parse_cutoff(&opts(&[])).unwrap(),
+            Cutoff::EnergyFraction(0.85)
+        );
+        assert_eq!(
+            parse_cutoff(&opts(&["--k", "2"])).unwrap(),
+            Cutoff::FixedK(2)
+        );
+        assert_eq!(
+            parse_cutoff(&opts(&["--energy", "0.9"])).unwrap(),
+            Cutoff::EnergyFraction(0.9)
+        );
+        assert!(parse_cutoff(&opts(&["--k", "2", "--energy", "0.9"])).is_err());
+        assert!(parse_cutoff(&opts(&["--k", "two"])).is_err());
+    }
+
+    #[test]
+    fn holed_row_parsing() {
+        let row = parse_holed_row("1.5, ?, 3").unwrap();
+        assert_eq!(row, vec![Some(1.5), None, Some(3.0)]);
+        assert!(parse_holed_row("1.5, x").is_err());
+    }
+}

@@ -1,0 +1,672 @@
+//! Subcommand implementations. Each takes parsed [`Options`] and returns
+//! the text to print, so tests can drive them without spawning
+//! processes.
+
+use crate::args::{parse_cutoff, parse_holed_row, Options};
+use crate::{CliError, Result};
+use dataset::holes::HoledRow;
+use dataset::split::train_test_split;
+use ratio_rules::guessing::GuessingErrorEvaluator;
+use ratio_rules::interpret;
+use ratio_rules::miner::RatioRuleMiner;
+use ratio_rules::outlier::OutlierDetector;
+use ratio_rules::predictor::{ColAvgs, RuleSetPredictor};
+use ratio_rules::reconstruct::fill_holes;
+use ratio_rules::rules::RuleSet;
+use ratio_rules::visualize::project_2d;
+
+fn load_csv(opts: &Options) -> Result<dataset::DataMatrix> {
+    let path = opts.require("input")?;
+    Ok(dataset::csv::read_csv_file(
+        path,
+        !opts.switch("no-header"),
+    )?)
+}
+
+fn load_model(opts: &Options) -> Result<RuleSet> {
+    let path = opts.require("model")?;
+    let json = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// `ratio-rules mine --input data.csv --output model.json [--k N | --energy F] [--no-header]`
+pub fn mine(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok(
+            "mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [--no-header]\n"
+                .into(),
+        );
+    }
+    opts.allow_only(&[
+        "input",
+        "output",
+        "k",
+        "energy",
+        "lanczos",
+        "no-header",
+        "help",
+    ])?;
+    let data = load_csv(opts)?;
+    let cutoff = parse_cutoff(opts)?;
+    let mut miner = RatioRuleMiner::new(cutoff);
+    if let Some(max_k) = opts.get("lanczos") {
+        let max_k: usize = max_k
+            .parse()
+            .map_err(|_| CliError::new(format!("--lanczos: cannot parse {max_k:?}")))?;
+        miner = miner.with_solver(ratio_rules::miner::EigenSolver::Lanczos { max_k });
+    }
+    let rules = miner.fit_data(&data)?;
+    let out_path = opts.require("output")?;
+    std::fs::write(out_path, serde_json::to_string_pretty(&rules)?)?;
+    Ok(format!(
+        "mined {} rules over {} attributes from {} rows ({:.1}% energy) -> {}\n{}",
+        rules.k(),
+        rules.n_attributes(),
+        rules.n_train(),
+        rules.retained_energy() * 100.0,
+        out_path,
+        rules
+    ))
+}
+
+/// `ratio-rules interpret --model model.json [--threshold 0.05]`
+pub fn interpret_cmd(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok("interpret --model <model.json> [--threshold 0.05]\n".into());
+    }
+    opts.allow_only(&["model", "threshold", "help"])?;
+    let rules = load_model(opts)?;
+    let threshold: f64 = opts.get_parsed("threshold", 0.05)?;
+    let mut out = ratio_rules::visualize::scree_plot(&rules, 30);
+    out.push('\n');
+    out.push_str(&interpret::table(&rules, threshold));
+    out.push('\n');
+    for i in 0..rules.k() {
+        out.push_str(&interpret::histogram(&rules, i, 40));
+        out.push('\n');
+    }
+    for sentence in interpret::describe(&rules, threshold.max(0.2)) {
+        out.push_str(&sentence);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `ratio-rules fill --model model.json --row "1.5,?,3"`
+pub fn fill(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok(
+            "fill --model <model.json> --row \"1.5,?,3\" (use '?' for unknown cells)\n".into(),
+        );
+    }
+    opts.allow_only(&["model", "row", "help"])?;
+    let rules = load_model(opts)?;
+    let row = parse_holed_row(opts.require("row")?)?;
+    let filled = fill_holes(&rules, &HoledRow::new(row.clone()))?;
+    let mut out = format!("solve case: {:?}\n", filled.case);
+    for (j, (given, value)) in row.iter().zip(&filled.values).enumerate() {
+        let label = &rules.attribute_labels()[j];
+        match given {
+            Some(_) => out.push_str(&format!("  {label:>20}: {value:>12.4}\n")),
+            None => out.push_str(&format!("  {label:>20}: {value:>12.4}  <- filled\n")),
+        }
+    }
+    Ok(out)
+}
+
+/// `ratio-rules outliers --input data.csv --model model.json [--top 10]`
+pub fn outliers(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok("outliers --input <csv> --model <model.json> [--top 10] [--no-header]\n".into());
+    }
+    opts.allow_only(&["input", "model", "top", "no-header", "help"])?;
+    let data = load_csv(opts)?;
+    let rules = load_model(opts)?;
+    let top: usize = opts.get_parsed("top", 10)?;
+    let detector = OutlierDetector::new(&rules);
+    let scores = detector.row_scores(data.matrix())?;
+    let mut out = String::from("rows ranked by distance from the rule hyperplane:\n");
+    for s in scores.iter().take(top) {
+        out.push_str(&format!(
+            "  {:>20}  residual {:>12.4}\n",
+            data.row_labels()[s.row],
+            s.residual
+        ));
+    }
+    Ok(out)
+}
+
+/// `ratio-rules project --input data.csv --model model.json [--axes 0,1]`
+pub fn project(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok(
+            "project --input <csv> --model <model.json> [--axes 0,1] [--width 70] [--height 20] [--no-header]\n"
+                .into(),
+        );
+    }
+    opts.allow_only(&[
+        "input",
+        "model",
+        "axes",
+        "width",
+        "height",
+        "no-header",
+        "help",
+    ])?;
+    let data = load_csv(opts)?;
+    let rules = load_model(opts)?;
+    let axes = opts.get("axes").unwrap_or("0,1");
+    let parts: Vec<&str> = axes.split(',').collect();
+    if parts.len() != 2 {
+        return Err(CliError::new("--axes must be two rule indices, e.g. 0,1"));
+    }
+    let x: usize = parts[0]
+        .trim()
+        .parse()
+        .map_err(|_| CliError::new("--axes: bad x index"))?;
+    let y: usize = parts[1]
+        .trim()
+        .parse()
+        .map_err(|_| CliError::new("--axes: bad y index"))?;
+    let width: usize = opts.get_parsed("width", 70)?;
+    let height: usize = opts.get_parsed("height", 20)?;
+    let proj = project_2d(&rules, data.matrix(), x, y)?;
+    let mut out = proj.ascii_plot(width, height, &[]);
+    out.push_str("\nmost extreme rows:\n");
+    for &i in proj.extremes(5).iter() {
+        let (px, py) = proj.points[i];
+        out.push_str(&format!(
+            "  {:>20}  ({px:10.2}, {py:10.2})\n",
+            data.row_labels()[i]
+        ));
+    }
+    Ok(out)
+}
+
+/// `ratio-rules evaluate --input data.csv [--train-frac 0.9] [--seed 42] [--holes 1]`
+pub fn evaluate(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok(
+            "evaluate --input <csv> [--train-frac 0.9] [--seed 42] [--holes H] [--k N | --energy F] [--no-header]\n"
+                .into(),
+        );
+    }
+    opts.allow_only(&[
+        "input",
+        "train-frac",
+        "seed",
+        "holes",
+        "k",
+        "energy",
+        "no-header",
+        "help",
+    ])?;
+    let data = load_csv(opts)?;
+    let frac: f64 = opts.get_parsed("train-frac", 0.9)?;
+    let seed: u64 = opts.get_parsed("seed", 42)?;
+    let h_max: usize = opts.get_parsed("holes", 1)?;
+    let cutoff = parse_cutoff(opts)?;
+
+    let split = train_test_split(&data, frac, seed)?;
+    let rules = RatioRuleMiner::new(cutoff).fit_data(&split.train)?;
+    let rr = RuleSetPredictor::new(rules.clone());
+    let baseline = ColAvgs::fit(split.train.matrix())?;
+    let ev = GuessingErrorEvaluator::default();
+
+    let mut out = format!(
+        "train {} rows / test {} rows; {} rules ({:.1}% energy)\n\n",
+        split.train.n_rows(),
+        split.test.n_rows(),
+        rules.k(),
+        rules.retained_energy() * 100.0
+    );
+    out.push_str(&format!(
+        "{:>7}  {:>12}  {:>14}  {:>12}\n",
+        "holes", "GE(RR)", "GE(col-avgs)", "RR/col-avgs"
+    ));
+    for h in 1..=h_max.max(1) {
+        let (ge_rr, ge_ca) = if h == 1 {
+            (
+                ev.ge1(&rr, split.test.matrix())?,
+                ev.ge1(&baseline, split.test.matrix())?,
+            )
+        } else {
+            (
+                ev.ge_h(&rr, split.test.matrix(), h)?,
+                ev.ge_h(&baseline, split.test.matrix(), h)?,
+            )
+        };
+        out.push_str(&format!(
+            "{h:>7}  {ge_rr:>12.4}  {ge_ca:>14.4}  {:>11.1}%\n",
+            100.0 * ge_rr / ge_ca
+        ));
+    }
+    Ok(out)
+}
+
+/// `ratio-rules impute --input holey.csv --output clean.csv`
+pub fn impute(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok(
+            "impute --input <csv with '?' or empty cells> --output <csv> [--k N | --energy F] [--max-iter 25] [--no-header]\n"
+                .into(),
+        );
+    }
+    opts.allow_only(&[
+        "input",
+        "output",
+        "k",
+        "energy",
+        "max-iter",
+        "no-header",
+        "help",
+    ])?;
+    let path = opts.require("input")?;
+    let (rows, labels) = dataset::csv::read_csv_holed_file(path, !opts.switch("no-header"))?;
+    let n_holes: usize = rows.iter().flatten().filter(|v| v.is_none()).count();
+
+    let imputer = ratio_rules::impute::Imputer {
+        cutoff: parse_cutoff(opts)?,
+        max_iterations: opts.get_parsed("max-iter", 25)?,
+        ..Default::default()
+    };
+    let result = imputer.impute(&rows)?;
+
+    let dm = dataset::DataMatrix::with_labels(
+        result.matrix,
+        (0..rows.len()).map(|i| format!("row{i}")).collect(),
+        labels,
+    )?;
+    let out_path = opts.require("output")?;
+    dataset::csv::write_csv_file(&dm, out_path)?;
+    Ok(format!(
+        "filled {n_holes} holes in {} rows over {} EM iterations (final delta {:.2e}) -> {out_path}\n",
+        rows.len(),
+        result.iterations,
+        result.final_delta
+    ))
+}
+
+/// `ratio-rules whatif --model model.json --set "cheerios=2x,milk=3.5"`
+pub fn whatif(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok(
+            "whatif --model <model.json> --set \"attr=VALUE,attr2=2x\" (Nx = N times the training mean)\n"
+                .into(),
+        );
+    }
+    opts.allow_only(&["model", "set", "help"])?;
+    let rules = load_model(opts)?;
+    let spec = opts.require("set")?;
+    let mut scenario = ratio_rules::whatif::Scenario::new(&rules);
+    for assignment in spec.split(',') {
+        let Some((attr, value)) = assignment.split_once('=') else {
+            return Err(CliError::new(format!(
+                "bad assignment {assignment:?}; use attr=VALUE or attr=2x"
+            )));
+        };
+        let (attr, value) = (attr.trim(), value.trim());
+        scenario = if let Some(factor) = value.strip_suffix(['x', 'X']) {
+            let factor: f64 = factor
+                .parse()
+                .map_err(|_| CliError::new(format!("bad scale factor in {assignment:?}")))?;
+            scenario.scale_of_mean(attr, factor)?
+        } else {
+            let v: f64 = value
+                .parse()
+                .map_err(|_| CliError::new(format!("bad value in {assignment:?}")))?;
+            scenario.set(attr, v)?
+        };
+    }
+    let forecast = scenario.forecast()?;
+    let mut out = format!("forecast (case: {:?}):\n", forecast.case);
+    for (label, (value, mean)) in forecast
+        .labels
+        .iter()
+        .zip(forecast.values.iter().zip(rules.column_means()))
+    {
+        let delta = if *mean != 0.0 {
+            format!("  ({:+.1}% vs training mean)", (value / mean - 1.0) * 100.0)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("  {label:>20}: {value:>12.4}{delta}\n"));
+    }
+    Ok(out)
+}
+
+/// `ratio-rules card --input test.csv --model model.json`
+pub fn card(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok("card --input <test csv> --model <model.json> [--no-header]\n".into());
+    }
+    opts.allow_only(&["input", "model", "no-header", "help"])?;
+    let data = load_csv(opts)?;
+    let rules = load_model(opts)?;
+    let card = ratio_rules::diagnostics::ModelCard::evaluate(&rules, data.matrix())?;
+    Ok(card.render())
+}
+
+/// Dispatches a full command line (without the program name).
+pub fn run(args: &[String]) -> Result<String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(crate::USAGE.to_string());
+    };
+    let opts = Options::parse(rest)?;
+    match cmd.as_str() {
+        "mine" => mine(&opts),
+        "interpret" => interpret_cmd(&opts),
+        "fill" => fill(&opts),
+        "outliers" => outliers(&opts),
+        "project" => project(&opts),
+        "evaluate" => evaluate(&opts),
+        "impute" => impute(&opts),
+        "card" => card(&opts),
+        "whatif" => whatif(&opts),
+        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+        other => Err(CliError::new(format!(
+            "unknown command {other:?}; run 'ratio-rules help'"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn workdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rr_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_linear_csv(path: &std::path::Path) {
+        let mut text = String::from("bread,milk,butter\n");
+        for i in 0..60 {
+            let t = 1.0 + i as f64;
+            text.push_str(&format!("{},{},{}\n", 3.0 * t, 2.0 * t, t));
+        }
+        std::fs::write(path, text).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_mine_fill_interpret() {
+        let dir = workdir();
+        let csv = dir.join("sales.csv");
+        let model = dir.join("model.json");
+        write_linear_csv(&csv);
+
+        let out = run(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--k",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("mined 1 rules"));
+        assert!(model.exists());
+
+        let out = run(&args(&[
+            "fill",
+            "--model",
+            model.to_str().unwrap(),
+            "--row",
+            "30,?,?",
+        ]))
+        .unwrap();
+        // bread = 30 -> milk = 20, butter = 10.
+        assert!(out.contains("<- filled"));
+        assert!(out.contains("20.00"), "fill output:\n{out}");
+        assert!(out.contains("10.00"), "fill output:\n{out}");
+
+        let out = run(&args(&["interpret", "--model", model.to_str().unwrap()])).unwrap();
+        assert!(out.contains("RR1"));
+        assert!(out.contains("bread"));
+        assert!(out.contains("cutoff (Eq. 1)"));
+
+        let out = run(&args(&[
+            "card",
+            "--input",
+            csv.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("model card: 1 rules"));
+        assert!(out.contains("GE_1"));
+    }
+
+    #[test]
+    fn evaluate_reports_rr_win() {
+        let dir = workdir();
+        let csv = dir.join("eval.csv");
+        write_linear_csv(&csv);
+        let out = run(&args(&[
+            "evaluate",
+            "--input",
+            csv.to_str().unwrap(),
+            "--holes",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("GE(RR)"));
+        // Three lines: header + h=1 + h=2.
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn outliers_and_project_run() {
+        let dir = workdir();
+        let csv = dir.join("o.csv");
+        let model = dir.join("o_model.json");
+        write_linear_csv(&csv);
+        run(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--k",
+            "2",
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "outliers",
+            "--input",
+            csv.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--top",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(out.lines().count(), 4);
+
+        let out = run(&args(&[
+            "project",
+            "--input",
+            csv.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--axes",
+            "0,1",
+        ]))
+        .unwrap();
+        assert!(out.contains("RR1 (x) vs RR2 (y)"));
+    }
+
+    #[test]
+    fn mine_with_lanczos_backend() {
+        let dir = workdir();
+        let csv = dir.join("lz.csv");
+        let model = dir.join("lz_model.json");
+        write_linear_csv(&csv);
+        let out = run(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--k",
+            "1",
+            "--lanczos",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("mined 1 rules"), "output: {out}");
+        // The Lanczos-mined model predicts on the planted 3:2:1 line.
+        let out = run(&args(&[
+            "fill",
+            "--model",
+            model.to_str().unwrap(),
+            "--row",
+            "30,?,?",
+        ]))
+        .unwrap();
+        assert!(out.contains("20.00"), "fill output: {out}");
+        // Bad value rejected.
+        assert!(run(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--lanczos",
+            "two",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn whatif_scales_and_pins() {
+        let dir = workdir();
+        let csv = dir.join("wi.csv");
+        let model = dir.join("wi_model.json");
+        write_linear_csv(&csv);
+        run(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--k",
+            "1",
+        ]))
+        .unwrap();
+
+        // Doubling bread should roughly double milk and butter.
+        let out = run(&args(&[
+            "whatif",
+            "--model",
+            model.to_str().unwrap(),
+            "--set",
+            "bread=2x",
+        ]))
+        .unwrap();
+        assert!(out.contains("+100.0% vs training mean"), "output:\n{out}");
+
+        // Pin an absolute value.
+        let out = run(&args(&[
+            "whatif",
+            "--model",
+            model.to_str().unwrap(),
+            "--set",
+            "bread=30",
+        ]))
+        .unwrap();
+        assert!(out.contains("30.0000"), "output:\n{out}");
+
+        // Bad specs error.
+        assert!(run(&args(&[
+            "whatif",
+            "--model",
+            model.to_str().unwrap(),
+            "--set",
+            "bread",
+        ]))
+        .is_err());
+        assert!(run(&args(&[
+            "whatif",
+            "--model",
+            model.to_str().unwrap(),
+            "--set",
+            "bread=abcx",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn impute_repairs_holed_csv() {
+        let dir = workdir();
+        let csv = dir.join("holey.csv");
+        let out_csv = dir.join("clean.csv");
+        let mut text = String::from("a,b,c\n");
+        for i in 0..40 {
+            let t = 1.0 + i as f64;
+            if i % 5 == 1 {
+                text.push_str(&format!("{},?,{}\n", 3.0 * t, t));
+            } else {
+                text.push_str(&format!("{},{},{}\n", 3.0 * t, 2.0 * t, t));
+            }
+        }
+        std::fs::write(&csv, text).unwrap();
+        let out = run(&args(&[
+            "impute",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            out_csv.to_str().unwrap(),
+            "--k",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("filled 8 holes"), "output: {out}");
+        // Repaired values follow b = 2/3 a.
+        let repaired = dataset::csv::read_csv_file(&out_csv, true).unwrap();
+        for i in 0..40 {
+            let row = repaired.row(i);
+            // Tolerance tracks the imputer's default convergence
+            // threshold (relative to the data scale ~120).
+            assert!(
+                (row[1] - 2.0 / 3.0 * row[0]).abs() < 1e-3,
+                "row {i}: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&["mine"])).is_err()); // missing --input
+        assert!(run(&args(&["mine", "--input", "x", "--bogus", "1"])).is_err());
+        let usage = run(&[]).unwrap();
+        assert!(usage.contains("USAGE"));
+        let usage = run(&args(&["help"])).unwrap();
+        assert!(usage.contains("COMMANDS"));
+    }
+
+    #[test]
+    fn per_command_help() {
+        for cmd in [
+            "mine",
+            "interpret",
+            "fill",
+            "outliers",
+            "project",
+            "evaluate",
+            "impute",
+            "card",
+            "whatif",
+        ] {
+            let out = run(&args(&[cmd, "--help"])).unwrap();
+            assert!(out.contains(cmd), "help for {cmd}: {out}");
+        }
+    }
+}

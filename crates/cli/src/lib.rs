@@ -1,0 +1,90 @@
+//! Library backing the `ratio-rules` command-line tool.
+//!
+//! The CLI covers the workflow a data analyst would run against a CSV
+//! export: mine a model, inspect/interpret it, fill missing values in new
+//! records, score outliers, project for visualization, and evaluate the
+//! guessing error against the col-avgs baseline. Argument parsing is
+//! hand-rolled (the workspace's dependency policy has no CLI crates) and
+//! lives in [`args`]; each subcommand is a pure function from parsed
+//! options to an output string, so everything is unit-testable without a
+//! process boundary.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// CLI-level error: message plus exit-code semantics.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message printed to stderr.
+    pub message: String,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Builds an error from anything printable.
+    pub fn new(message: impl fmt::Display) -> Self {
+        CliError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl From<ratio_rules::RatioRuleError> for CliError {
+    fn from(e: ratio_rules::RatioRuleError) -> Self {
+        CliError::new(e)
+    }
+}
+
+impl From<dataset::DatasetError> for CliError {
+    fn from(e: dataset::DatasetError) -> Self {
+        CliError::new(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::new(e)
+    }
+}
+
+/// Result alias for CLI code.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ratio-rules — mine and apply Ratio Rules (VLDB'98) on CSV data
+
+USAGE:
+    ratio-rules <COMMAND> [OPTIONS]
+
+COMMANDS:
+    mine        mine a model from a CSV file
+    interpret   print the rules of a model as a table and histograms
+    fill        fill missing values ('?') in a record
+    outliers    rank the rows of a CSV by outlier score
+    project     project a CSV onto two rules (ASCII scatter plot)
+    evaluate    guessing-error report (RR vs col-avgs) on a train/test split
+    impute      fill holes ('?' or empty cells) throughout a CSV via EM
+    card        model-quality report (per-attribute guessing error)
+    whatif      what-if scenario: pin attributes, forecast the rest
+    help        print this message
+
+Run 'ratio-rules <COMMAND> --help' for per-command options.
+";

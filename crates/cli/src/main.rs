@@ -1,0 +1,12 @@
+//! The `ratio-rules` binary: thin wrapper over [`ratio_rules_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ratio_rules_cli::commands::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Process-level integration tests: run the actual `ratio-rules` binary
+//! end to end (Cargo builds it and exposes the path via
+//! `CARGO_BIN_EXE_ratio-rules`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ratio-rules"))
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rr_bin_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_sales_csv(path: &std::path::Path) {
+    let mut text = String::from("bread,milk,butter\n");
+    for i in 0..50 {
+        let t = 1.0 + i as f64 * 0.5;
+        text.push_str(&format!("{},{},{}\n", 3.0 * t, 2.0 * t, t));
+    }
+    std::fs::write(path, text).unwrap();
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = binary().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("mine"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = binary().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("COMMANDS"));
+}
+
+#[test]
+fn unknown_command_fails_with_stderr() {
+    let out = binary().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn mine_then_fill_pipeline() {
+    let dir = workdir();
+    let csv = dir.join("sales.csv");
+    let model = dir.join("model.json");
+    write_sales_csv(&csv);
+
+    let out = binary()
+        .args(["mine", "--input"])
+        .arg(&csv)
+        .arg("--output")
+        .arg(&model)
+        .args(["--k", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("mined 1 rules"));
+
+    let out = binary()
+        .args(["fill", "--model"])
+        .arg(&model)
+        .args(["--row", "30,?,?"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // bread = 30 -> milk 20, butter 10 on the planted 3:2:1 line.
+    assert!(stdout.contains("20.00"), "fill output: {stdout}");
+    assert!(stdout.contains("10.00"), "fill output: {stdout}");
+}
+
+#[test]
+fn evaluate_runs_on_real_file() {
+    let dir = workdir();
+    let csv = dir.join("eval.csv");
+    write_sales_csv(&csv);
+    let out = binary()
+        .args(["evaluate", "--input"])
+        .arg(&csv)
+        .args(["--holes", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("GE(col-avgs)"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = binary()
+        .args([
+            "mine",
+            "--input",
+            "/nonexistent/x.csv",
+            "--output",
+            "/tmp/m.json",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(!String::from_utf8(out.stderr).unwrap().is_empty());
+}

@@ -1,0 +1,291 @@
+//! Single-pass covariance accumulation — the paper's Fig. 2(a).
+//!
+//! One scan over the rows maintains the column sums and the raw moment
+//! matrix `sum_i x_ij * x_il`; finalization applies the correction
+//! `C[j][l] -= N * avg_j * avg_l`. This needs `O(M^2)` memory and
+//! `O(N M^2)` work, reads each row exactly once, and is the reason Ratio
+//! Rules mine in a single pass where Apriori-style algorithms need many.
+//!
+//! Accumulators are mergeable, which gives the parallel scan in
+//! [`crate::parallel`] for free and lets distributed workers each scan a
+//! shard.
+
+use crate::{RatioRuleError, Result};
+use linalg::Matrix;
+
+/// Streaming accumulator for column averages and the covariance (scatter)
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct CovarianceAccumulator {
+    m: usize,
+    n: usize,
+    col_sums: Vec<f64>,
+    /// Upper triangle (including diagonal) of the raw moment matrix,
+    /// packed row-major: entry `(j, l)` with `l >= j` at
+    /// `j * m - j*(j-1)/2 + (l - j)`.
+    raw_upper: Vec<f64>,
+}
+
+impl CovarianceAccumulator {
+    /// Creates an accumulator for `m` attributes.
+    pub fn new(m: usize) -> Self {
+        CovarianceAccumulator {
+            m,
+            n: 0,
+            col_sums: vec![0.0; m],
+            raw_upper: vec![0.0; m * (m + 1) / 2],
+        }
+    }
+
+    /// Number of attributes `M`.
+    pub fn n_cols(&self) -> usize {
+        self.m
+    }
+
+    /// Number of rows absorbed so far.
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn upper_index(&self, j: usize, l: usize) -> usize {
+        debug_assert!(j <= l && l < self.m);
+        // Offset of row j in the packed upper triangle:
+        // sum_{r<j} (m - r) = j*m - j*(j-1)/2, written overflow-safe.
+        (j * (2 * self.m - j + 1)) / 2 + (l - j)
+    }
+
+    /// Absorbs one row (the body of the paper's single-pass loop).
+    ///
+    /// Rejects non-finite cells up front: a single NaN would silently
+    /// poison the whole covariance matrix and surface much later as an
+    /// eigensolver convergence failure.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.m {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: self.m,
+                actual: row.len(),
+            });
+        }
+        if let Some(j) = row.iter().position(|v| !v.is_finite()) {
+            return Err(RatioRuleError::Invalid(format!(
+                "non-finite value {} at column {j} of row {}",
+                row[j],
+                self.n + 1
+            )));
+        }
+        self.n += 1;
+        let mut idx = 0usize;
+        for j in 0..self.m {
+            let xj = row[j];
+            self.col_sums[j] += xj;
+            // Unrolled upper-triangle walk: idx tracks upper_index(j, l).
+            for &xl in &row[j..] {
+                self.raw_upper[idx] += xj * xl;
+                idx += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges another accumulator (same width) into this one.
+    pub fn merge(&mut self, other: &CovarianceAccumulator) -> Result<()> {
+        if other.m != self.m {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: self.m,
+                actual: other.m,
+            });
+        }
+        self.n += other.n;
+        for (a, b) in self.col_sums.iter_mut().zip(&other.col_sums) {
+            *a += b;
+        }
+        for (a, b) in self.raw_upper.iter_mut().zip(&other.raw_upper) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Column averages seen so far.
+    pub fn column_means(&self) -> Vec<f64> {
+        if self.n == 0 {
+            return vec![0.0; self.m];
+        }
+        self.col_sums.iter().map(|s| s / self.n as f64).collect()
+    }
+
+    /// Finalizes into `(C, means, n)` where `C = Xc^t Xc` is the scatter
+    /// matrix of the centered data (paper Eq. 2; the paper does not divide
+    /// by `N`, and the eigenvectors are identical either way).
+    pub fn finalize(&self) -> Result<(Matrix, Vec<f64>, usize)> {
+        if self.n == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        let means = self.column_means();
+        let mut c = Matrix::zeros(self.m, self.m);
+        for j in 0..self.m {
+            for l in j..self.m {
+                let raw = self.raw_upper[self.upper_index(j, l)];
+                let v = raw - self.n as f64 * means[j] * means[l];
+                c[(j, l)] = v;
+                c[(l, j)] = v;
+            }
+        }
+        Ok((c, means, self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::stats;
+
+    fn x() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 5.0, -2.0],
+            &[2.0, 3.0, 0.0],
+            &[4.0, -1.0, 1.0],
+            &[0.5, 2.0, 7.0],
+            &[3.0, 3.0, 3.0],
+        ])
+        .unwrap()
+    }
+
+    fn accumulate(m: &Matrix) -> CovarianceAccumulator {
+        let mut acc = CovarianceAccumulator::new(m.cols());
+        for row in m.row_iter() {
+            acc.push_row(row).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_two_pass_reference() {
+        let m = x();
+        let acc = accumulate(&m);
+        let (c, means, n) = acc.finalize().unwrap();
+        assert_eq!(n, 5);
+
+        let reference = stats::covariance_two_pass(&m).unwrap();
+        assert!(
+            c.max_abs_diff(&reference).unwrap() < 1e-10,
+            "single-pass covariance deviates from two-pass oracle"
+        );
+        let ref_stats = stats::column_stats(&m);
+        for (a, b) in means.iter().zip(&ref_stats.means) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn finalize_is_symmetric() {
+        let (c, _, _) = accumulate(&x()).finalize().unwrap();
+        assert!(c.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn rejects_wrong_width_row() {
+        let mut acc = CovarianceAccumulator::new(3);
+        assert!(matches!(
+            acc.push_row(&[1.0, 2.0]),
+            Err(RatioRuleError::WidthMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_cells() {
+        let mut acc = CovarianceAccumulator::new(2);
+        acc.push_row(&[1.0, 2.0]).unwrap();
+        let err = acc.push_row(&[f64::NAN, 1.0]).unwrap_err();
+        assert!(err.to_string().contains("column 0"));
+        assert!(acc.push_row(&[1.0, f64::INFINITY]).is_err());
+        assert!(acc.push_row(&[1.0, f64::NEG_INFINITY]).is_err());
+        // The accumulator stays usable: the poisoned rows were not
+        // absorbed.
+        acc.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(acc.n_rows(), 2);
+        let (c, _, _) = acc.finalize().unwrap();
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    fn empty_accumulator_cannot_finalize() {
+        let acc = CovarianceAccumulator::new(3);
+        assert!(matches!(acc.finalize(), Err(RatioRuleError::EmptyInput)));
+        assert_eq!(acc.column_means(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn merge_equals_single_scan() {
+        let m = x();
+        let whole = accumulate(&m);
+
+        // Split rows 0..2 and 2..5 into two accumulators and merge.
+        let mut a = CovarianceAccumulator::new(3);
+        let mut b = CovarianceAccumulator::new(3);
+        for (i, row) in m.row_iter().enumerate() {
+            if i < 2 {
+                a.push_row(row).unwrap();
+            } else {
+                b.push_row(row).unwrap();
+            }
+        }
+        a.merge(&b).unwrap();
+
+        let (c1, m1, n1) = whole.finalize().unwrap();
+        let (c2, m2, n2) = a.finalize().unwrap();
+        assert_eq!(n1, n2);
+        assert!(c1.max_abs_diff(&c2).unwrap() < 1e-10);
+        for (x, y) in m1.iter().zip(&m2) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_width() {
+        let mut a = CovarianceAccumulator::new(3);
+        let b = CovarianceAccumulator::new(2);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn single_row_gives_zero_covariance() {
+        let mut acc = CovarianceAccumulator::new(2);
+        acc.push_row(&[3.0, 4.0]).unwrap();
+        let (c, means, n) = acc.finalize().unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(means, vec![3.0, 4.0]);
+        assert!(c.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_triangle_indexing_is_bijective() {
+        let acc = CovarianceAccumulator::new(6);
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..6 {
+            for l in j..6 {
+                assert!(seen.insert(acc.upper_index(j, l)));
+            }
+        }
+        assert_eq!(seen.len(), 21);
+        assert_eq!(*seen.iter().max().unwrap(), 20);
+    }
+
+    #[test]
+    fn cancellation_error_is_bounded_for_shifted_data() {
+        // The raw-moment formula loses precision when means are huge
+        // relative to the variance. Document that the error stays small
+        // for a moderate shift (1e6) — the regime the paper assumes.
+        let shift = 1e6;
+        let m = Matrix::from_fn(50, 2, |i, j| {
+            shift + (i as f64) * 0.1 + (j as f64) * 0.01 * (i as f64 % 7.0)
+        });
+        let (c, _, _) = accumulate(&m).finalize().unwrap();
+        let reference = stats::covariance_two_pass(&m).unwrap();
+        let rel = c.max_abs_diff(&reference).unwrap() / reference.max_abs().max(1e-30);
+        assert!(rel < 1e-3, "relative cancellation error {rel}");
+    }
+}

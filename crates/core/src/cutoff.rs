@@ -1,0 +1,137 @@
+//! Cutoff policies: how many Ratio Rules to keep.
+//!
+//! The paper's Eq. 1 keeps the smallest `k` whose eigenvalues cover at
+//! least 85% of the total spectral energy ("the simplest textbook
+//! heuristic", Jolliffe p. 94). Alternative policies are provided for the
+//! cutoff ablation experiment.
+
+use crate::{RatioRuleError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Policy selecting the number of retained rules `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Cutoff {
+    /// Keep the smallest `k` with `sum_{i<=k} lambda_i / sum lambda_j >=
+    /// fraction` (paper Eq. 1; the paper uses 0.85).
+    EnergyFraction(f64),
+    /// Keep exactly `k` rules (clamped to the number of attributes).
+    FixedK(usize),
+    /// Keep every rule with a positive eigenvalue.
+    All,
+}
+
+impl Default for Cutoff {
+    /// The paper's default: 85% energy.
+    fn default() -> Self {
+        Cutoff::EnergyFraction(0.85)
+    }
+}
+
+impl Cutoff {
+    /// Selects `k` for a spectrum sorted in descending order. Negative
+    /// eigenvalues (numerical noise — a covariance matrix is PSD) are
+    /// treated as zero energy.
+    pub fn select(&self, eigenvalues: &[f64]) -> Result<usize> {
+        if eigenvalues.is_empty() {
+            return Err(RatioRuleError::Invalid("empty spectrum".into()));
+        }
+        match *self {
+            Cutoff::EnergyFraction(f) => {
+                if !(0.0 < f && f <= 1.0) {
+                    return Err(RatioRuleError::Invalid(format!(
+                        "energy fraction must be in (0, 1], got {f}"
+                    )));
+                }
+                let total: f64 = eigenvalues.iter().map(|l| l.max(0.0)).sum();
+                if total <= 0.0 {
+                    // Degenerate spectrum (constant data): keep one rule so
+                    // downstream code has something to work with.
+                    return Ok(1);
+                }
+                let mut acc = 0.0;
+                for (i, l) in eigenvalues.iter().enumerate() {
+                    acc += l.max(0.0);
+                    if acc / total >= f {
+                        return Ok(i + 1);
+                    }
+                }
+                Ok(eigenvalues.len())
+            }
+            Cutoff::FixedK(k) => {
+                if k == 0 {
+                    return Err(RatioRuleError::Invalid("FixedK(0) keeps no rules".into()));
+                }
+                Ok(k.min(eigenvalues.len()))
+            }
+            Cutoff::All => {
+                let positive = eigenvalues.iter().filter(|&&l| l > 0.0).count();
+                Ok(positive.max(1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_85_percent_rule() {
+        // Spectrum 8, 1, 1: k=1 covers 80% (<85), k=2 covers 90%.
+        let k = Cutoff::EnergyFraction(0.85)
+            .select(&[8.0, 1.0, 1.0])
+            .unwrap();
+        assert_eq!(k, 2);
+        // Spectrum 9, 1: k=1 covers 90%.
+        let k = Cutoff::EnergyFraction(0.85).select(&[9.0, 1.0]).unwrap();
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn full_energy_keeps_all() {
+        let k = Cutoff::EnergyFraction(1.0)
+            .select(&[5.0, 3.0, 2.0])
+            .unwrap();
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn negative_tail_ignored() {
+        // Tiny negative values are rounding noise from the eigensolver.
+        let k = Cutoff::EnergyFraction(0.85)
+            .select(&[10.0, -1e-14])
+            .unwrap();
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn zero_spectrum_keeps_one() {
+        let k = Cutoff::EnergyFraction(0.85).select(&[0.0, 0.0]).unwrap();
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn fixed_k_clamped() {
+        assert_eq!(Cutoff::FixedK(2).select(&[3.0, 2.0, 1.0]).unwrap(), 2);
+        assert_eq!(Cutoff::FixedK(10).select(&[3.0, 2.0, 1.0]).unwrap(), 3);
+        assert!(Cutoff::FixedK(0).select(&[3.0]).is_err());
+    }
+
+    #[test]
+    fn all_counts_positive() {
+        assert_eq!(Cutoff::All.select(&[3.0, 2.0, 0.0, -1e-20]).unwrap(), 2);
+        assert_eq!(Cutoff::All.select(&[0.0, 0.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(Cutoff::EnergyFraction(0.0).select(&[1.0]).is_err());
+        assert!(Cutoff::EnergyFraction(1.5).select(&[1.0]).is_err());
+        assert!(Cutoff::EnergyFraction(0.85).select(&[]).is_err());
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(Cutoff::default(), Cutoff::EnergyFraction(0.85));
+    }
+}

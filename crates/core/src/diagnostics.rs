@@ -1,0 +1,223 @@
+//! Model diagnostics: a "model card" for a mined rule set.
+//!
+//! The paper argues the guessing error lets developers and end-users
+//! judge whether "the derived rules have captured the essence of this
+//! dataset". This module packages that judgement: scree data (per-rule
+//! energy), per-column guessing errors against the col-avgs yardstick,
+//! and a plain-text report.
+
+use crate::guessing::GuessingErrorEvaluator;
+use crate::predictor::{ColAvgs, RuleSetPredictor};
+use crate::rules::RuleSet;
+use crate::{RatioRuleError, Result};
+use linalg::Matrix;
+
+/// Quality report for a rule set against a held-out test matrix.
+#[derive(Debug, Clone)]
+pub struct ModelCard {
+    /// Rules retained.
+    pub k: usize,
+    /// Attribute count.
+    pub m: usize,
+    /// Training rows.
+    pub n_train: usize,
+    /// Fraction of spectral energy retained.
+    pub retained_energy: f64,
+    /// Per-rule energy fractions (descending).
+    pub rule_energy: Vec<f64>,
+    /// Aggregate `GE_1` of the rules on the test matrix.
+    pub ge1: f64,
+    /// Aggregate `GE_1` of col-avgs on the same matrix.
+    pub ge1_baseline: f64,
+    /// Per-attribute `(label, ge_rr, ge_colavgs)`.
+    pub per_column: Vec<(String, f64, f64)>,
+}
+
+impl ModelCard {
+    /// Builds the card by evaluating both contenders on `test`.
+    pub fn evaluate(rules: &RuleSet, test: &Matrix) -> Result<ModelCard> {
+        if test.rows() == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        if test.cols() != rules.n_attributes() {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: rules.n_attributes(),
+                actual: test.cols(),
+            });
+        }
+        let total: f64 = rules.spectrum().iter().map(|l| l.max(0.0)).sum();
+        let rule_energy = rules
+            .rules()
+            .iter()
+            .map(|r| {
+                if total > 0.0 {
+                    r.eigenvalue.max(0.0) / total
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        let ev = GuessingErrorEvaluator::default();
+        let rr = RuleSetPredictor::new(rules.clone());
+        let baseline = ColAvgs::new(rules.column_means().to_vec())?;
+        let ge1 = ev.ge1(&rr, test)?;
+        let ge1_baseline = ev.ge1(&baseline, test)?;
+        let rr_cols = ev.ge1_per_column(&rr, test)?;
+        let ca_cols = ev.ge1_per_column(&baseline, test)?;
+        let per_column = rules
+            .attribute_labels()
+            .iter()
+            .cloned()
+            .zip(rr_cols)
+            .zip(ca_cols)
+            .map(|((label, a), b)| (label, a, b))
+            .collect();
+
+        Ok(ModelCard {
+            k: rules.k(),
+            m: rules.n_attributes(),
+            n_train: rules.n_train(),
+            retained_energy: rules.retained_energy(),
+            rule_energy,
+            ge1,
+            ge1_baseline,
+            per_column,
+        })
+    }
+
+    /// Ratio of the rules' guessing error to the baseline's (the paper's
+    /// Fig. 7 number; < 1 means the rules add value).
+    pub fn improvement_ratio(&self) -> f64 {
+        if self.ge1_baseline > 0.0 {
+            self.ge1 / self.ge1_baseline
+        } else {
+            1.0
+        }
+    }
+
+    /// Labels of attributes whose RR guessing error is not *meaningfully*
+    /// better than the baseline's (within 5%) — the attributes the rules
+    /// fail to explain.
+    pub fn unexplained_attributes(&self) -> Vec<&str> {
+        self.per_column
+            .iter()
+            .filter(|(_, rr, ca)| *rr >= 0.95 * ca)
+            .map(|(label, _, _)| label.as_str())
+            .collect()
+    }
+
+    /// Renders the card as a plain-text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "model card: {} rules / {} attributes, trained on {} rows\n",
+            self.k, self.m, self.n_train
+        ));
+        out.push_str(&format!(
+            "energy retained: {:.1}% (per rule:",
+            self.retained_energy * 100.0
+        ));
+        for e in &self.rule_energy {
+            out.push_str(&format!(" {:.1}%", e * 100.0));
+        }
+        out.push_str(")\n");
+        out.push_str(&format!(
+            "GE_1: {:.4} vs col-avgs {:.4} ({:.1}% of baseline)\n\n",
+            self.ge1,
+            self.ge1_baseline,
+            self.improvement_ratio() * 100.0
+        ));
+        let width = self
+            .per_column
+            .iter()
+            .map(|(l, _, _)| l.len())
+            .max()
+            .unwrap_or(9)
+            .max(9);
+        out.push_str(&format!(
+            "{:width$}  {:>10}  {:>10}  {:>8}\n",
+            "attribute", "GE(RR)", "GE(avg)", "ratio"
+        ));
+        for (label, rr, ca) in &self.per_column {
+            let ratio = if *ca > 0.0 { rr / ca } else { 1.0 };
+            let marker = if ratio >= 0.95 {
+                "  <- unexplained"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{label:width$}  {rr:>10.4}  {ca:>10.4}  {:>7.1}%{marker}\n",
+                ratio * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+
+    fn mixed_quality_data() -> Matrix {
+        // Two correlated attributes + one independent alternating one.
+        Matrix::from_fn(50, 3, |i, j| {
+            let t = 1.0 + i as f64;
+            match j {
+                0 => 3.0 * t,
+                1 => 2.0 * t,
+                _ => {
+                    if i % 2 == 0 {
+                        8.0
+                    } else {
+                        -8.0
+                    }
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn card_reports_quality_structure() {
+        let x = mixed_quality_data();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let card = ModelCard::evaluate(&rules, &x).unwrap();
+        assert_eq!(card.k, 1);
+        assert_eq!(card.m, 3);
+        assert!(card.improvement_ratio() < 1.0);
+        assert_eq!(card.rule_energy.len(), 1);
+        assert!(card.rule_energy[0] > 0.9);
+        // The alternating attribute is flagged as unexplained.
+        let unexplained = card.unexplained_attributes();
+        assert_eq!(unexplained, vec!["attr2"]);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let x = mixed_quality_data();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let card = ModelCard::evaluate(&rules, &x).unwrap();
+        let text = card.render();
+        assert!(text.contains("model card: 1 rules"));
+        assert!(text.contains("attr0"));
+        assert!(text.contains("unexplained"));
+        // Header + blank-line separated table with one row per attribute.
+        assert!(text.lines().count() >= 7);
+    }
+
+    #[test]
+    fn validation() {
+        let x = mixed_quality_data();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        assert!(ModelCard::evaluate(&rules, &Matrix::zeros(0, 3)).is_err());
+        assert!(ModelCard::evaluate(&rules, &Matrix::zeros(5, 2)).is_err());
+    }
+}

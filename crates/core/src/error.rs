@@ -1,0 +1,87 @@
+//! Error type for the Ratio Rules core crate.
+
+use std::fmt;
+
+/// Errors from mining or applying Ratio Rules.
+#[derive(Debug)]
+pub enum RatioRuleError {
+    /// Underlying linear algebra failure.
+    Linalg(linalg::LinalgError),
+    /// Underlying dataset failure (streaming, holes...).
+    Dataset(dataset::DatasetError),
+    /// A row has a different width than the model.
+    WidthMismatch {
+        /// Width the model was trained with.
+        expected: usize,
+        /// Width of the offending row.
+        actual: usize,
+    },
+    /// The input stream yielded no rows.
+    EmptyInput,
+    /// Invalid argument (bad cutoff, no holes, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for RatioRuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatioRuleError::Linalg(e) => write!(f, "linalg error: {e}"),
+            RatioRuleError::Dataset(e) => write!(f, "dataset error: {e}"),
+            RatioRuleError::WidthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "row width {actual} does not match model width {expected}"
+                )
+            }
+            RatioRuleError::EmptyInput => write!(f, "input stream yielded no rows"),
+            RatioRuleError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RatioRuleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RatioRuleError::Linalg(e) => Some(e),
+            RatioRuleError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linalg::LinalgError> for RatioRuleError {
+    fn from(e: linalg::LinalgError) -> Self {
+        RatioRuleError::Linalg(e)
+    }
+}
+
+impl From<dataset::DatasetError> for RatioRuleError {
+    fn from(e: dataset::DatasetError) -> Self {
+        RatioRuleError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = RatioRuleError::WidthMismatch {
+            expected: 5,
+            actual: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.source().is_none());
+
+        let e: RatioRuleError = linalg::LinalgError::Singular { op: "solve" }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("singular"));
+
+        let e: RatioRuleError = dataset::DatasetError::Invalid("bad".into()).into();
+        assert!(e.source().is_some());
+
+        assert!(RatioRuleError::EmptyInput.to_string().contains("no rows"));
+    }
+}

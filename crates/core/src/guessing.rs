@@ -1,0 +1,389 @@
+//! The "guessing error": a quantifiable measure of rule quality
+//! (paper Sec. 4.3, Definitions 1 and 2).
+//!
+//! Pretend cells of a held-out test matrix are hidden, reconstruct them
+//! from the rules, and report the root-mean-square error. `GE_1` hides one
+//! cell at a time and sweeps every cell; `GE_h` hides `h` cells at a time
+//! over a set `H_h` of hole combinations ("some subset of the (M choose h)
+//! combinations", per Definition 2 — we sample it deterministically).
+
+use crate::predictor::Predictor;
+use crate::{RatioRuleError, Result};
+use dataset::holes::{sample_hole_sets, HoleSet};
+use linalg::Matrix;
+
+/// Evaluator configuration for `GE_h`.
+#[derive(Debug, Clone, Copy)]
+pub struct GuessingErrorEvaluator {
+    /// Maximum number of hole sets per `h` (Definition 2's `|H_h|`).
+    pub max_hole_sets: usize,
+    /// Seed for hole-set sampling.
+    pub seed: u64,
+}
+
+impl Default for GuessingErrorEvaluator {
+    fn default() -> Self {
+        GuessingErrorEvaluator {
+            max_hole_sets: 32,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl GuessingErrorEvaluator {
+    /// Single-hole guessing error `GE_1` (Definition 1): RMS over all
+    /// `N x M` cells of the test matrix, hiding one cell at a time.
+    pub fn ge1<P: Predictor + ?Sized>(&self, predictor: &P, test: &Matrix) -> Result<f64> {
+        let (n, m) = test.shape();
+        if n == 0 || m == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        if predictor.n_attributes() != m {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: predictor.n_attributes(),
+                actual: m,
+            });
+        }
+        let mut sum_sq = 0.0_f64;
+        for i in 0..n {
+            let row = test.row(i);
+            for j in 0..m {
+                let hs = HoleSet::new(vec![j], m)?;
+                let holed = hs.apply(row)?;
+                let filled = predictor.fill(&holed)?;
+                let err = filled[j] - row[j];
+                sum_sq += err * err;
+            }
+        }
+        Ok((sum_sq / (n * m) as f64).sqrt())
+    }
+
+    /// `h`-hole guessing error `GE_h` (Definition 2): RMS over rows and
+    /// sampled hole sets, `h` holes at a time.
+    pub fn ge_h<P: Predictor + ?Sized>(
+        &self,
+        predictor: &P,
+        test: &Matrix,
+        h: usize,
+    ) -> Result<f64> {
+        let (n, m) = test.shape();
+        if n == 0 || m == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        if predictor.n_attributes() != m {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: predictor.n_attributes(),
+                actual: m,
+            });
+        }
+        if h == 0 || h >= m {
+            return Err(RatioRuleError::Invalid(format!(
+                "need 0 < h < M, got h={h}, M={m}"
+            )));
+        }
+        let hole_sets = sample_hole_sets(m, h, self.max_hole_sets, self.seed)?;
+        let mut sum_sq = 0.0_f64;
+        for i in 0..n {
+            let row = test.row(i);
+            for hs in &hole_sets {
+                let holed = hs.apply(row)?;
+                let filled = predictor.fill(&holed)?;
+                for &l in hs.holes() {
+                    let err = filled[l] - row[l];
+                    sum_sq += err * err;
+                }
+            }
+        }
+        let denom = (n * h * hole_sets.len()) as f64;
+        Ok((sum_sq / denom).sqrt())
+    }
+
+    /// Per-column breakdown of `GE_1`: the RMS guessing error of each
+    /// attribute separately. Columns the rules capture well score low;
+    /// columns carrying independent variance score near their standard
+    /// deviation. Useful for diagnosing *which* attributes a rule set
+    /// actually explains.
+    pub fn ge1_per_column<P: Predictor + ?Sized>(
+        &self,
+        predictor: &P,
+        test: &Matrix,
+    ) -> Result<Vec<f64>> {
+        let (n, m) = test.shape();
+        if n == 0 || m == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        if predictor.n_attributes() != m {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: predictor.n_attributes(),
+                actual: m,
+            });
+        }
+        let mut sums = vec![0.0_f64; m];
+        for i in 0..n {
+            let row = test.row(i);
+            for (j, sum) in sums.iter_mut().enumerate() {
+                let hs = HoleSet::new(vec![j], m)?;
+                let filled = predictor.fill(&hs.apply(row)?)?;
+                let err = filled[j] - row[j];
+                *sum += err * err;
+            }
+        }
+        Ok(sums.into_iter().map(|s| (s / n as f64).sqrt()).collect())
+    }
+
+    /// `GE_h` for a range of `h` values: the curve of the paper's Fig. 6.
+    pub fn ge_curve<P: Predictor + ?Sized>(
+        &self,
+        predictor: &P,
+        test: &Matrix,
+        h_max: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        (1..=h_max)
+            .map(|h| Ok((h, self.ge_h(predictor, test, h)?)))
+            .collect()
+    }
+
+    /// Multi-threaded `GE_1`: rows are sharded over `n_threads` crossbeam
+    /// scoped threads. Bit-identical to [`GuessingErrorEvaluator::ge1`]
+    /// up to the final summation order (each cell's squared error is
+    /// computed independently; per-shard partial sums are added in shard
+    /// order).
+    pub fn ge1_parallel<P: Predictor + Sync + ?Sized>(
+        &self,
+        predictor: &P,
+        test: &Matrix,
+        n_threads: usize,
+    ) -> Result<f64> {
+        let (n, m) = test.shape();
+        if n == 0 || m == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        if predictor.n_attributes() != m {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: predictor.n_attributes(),
+                actual: m,
+            });
+        }
+        let n_threads = n_threads.clamp(1, n);
+        let chunk = n.div_ceil(n_threads);
+
+        let mut partials: Vec<Result<f64>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..n_threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(scope.spawn(move |_| -> Result<f64> {
+                    let mut sum_sq = 0.0_f64;
+                    for i in lo..hi {
+                        let row = test.row(i);
+                        for j in 0..m {
+                            let hs = HoleSet::new(vec![j], m)?;
+                            let filled = predictor.fill(&hs.apply(row)?)?;
+                            let err = filled[j] - row[j];
+                            sum_sq += err * err;
+                        }
+                    }
+                    Ok(sum_sq)
+                }));
+            }
+            partials = handles
+                .into_iter()
+                .map(|h| h.join().expect("GE worker"))
+                .collect();
+        })
+        .map_err(|_| RatioRuleError::Invalid("GE worker thread panicked".into()))?;
+
+        let mut total = 0.0_f64;
+        for p in partials {
+            total += p?;
+        }
+        Ok((total / (n * m) as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+    use crate::predictor::{ColAvgs, RuleSetPredictor};
+
+    fn linear(n: usize) -> Matrix {
+        Matrix::from_fn(n, 3, |i, j| {
+            let t = 1.0 + i as f64;
+            t * [3.0, 2.0, 1.0][j]
+        })
+    }
+
+    #[test]
+    fn ge1_is_zero_for_perfect_predictor_on_exact_data() {
+        let train = linear(20);
+        let test = linear(7);
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&train)
+            .unwrap();
+        let p = RuleSetPredictor::new(rules);
+        let ge = GuessingErrorEvaluator::default().ge1(&p, &test).unwrap();
+        assert!(ge < 1e-8, "GE1 = {ge}");
+    }
+
+    #[test]
+    fn ge1_of_col_avgs_equals_rms_deviation() {
+        // For col-avgs, the guess for cell (i, j) is always mean_j, so
+        // GE1^2 = mean over cells of (x_ij - mean_j)^2 = average column
+        // variance (when means come from the same matrix).
+        let test = linear(10);
+        let p = ColAvgs::fit(&test).unwrap();
+        let ge = GuessingErrorEvaluator::default().ge1(&p, &test).unwrap();
+        let stats = dataset::stats::column_stats(&test);
+        let expected = (stats.variances.iter().sum::<f64>() / 3.0).sqrt();
+        assert!((ge - expected).abs() < 1e-10, "GE1 {ge} vs {expected}");
+    }
+
+    #[test]
+    fn rr_beats_col_avgs_on_correlated_data() {
+        // Correlated data with noise: RR must have smaller guessing error.
+        let train = Matrix::from_fn(100, 3, |i, j| {
+            let t = i as f64;
+            let noise = ((i * 13 + j * 7) % 17) as f64 * 0.05;
+            t * [3.0, 2.0, 1.0][j] + noise
+        });
+        let test = Matrix::from_fn(20, 3, |i, j| {
+            let t = (i * 5) as f64 + 0.5;
+            let noise = ((i * 11 + j * 3) % 13) as f64 * 0.05;
+            t * [3.0, 2.0, 1.0][j] + noise
+        });
+        let rules = RatioRuleMiner::paper_defaults().fit_matrix(&train).unwrap();
+        let rr = RuleSetPredictor::new(rules);
+        let baseline = ColAvgs::fit(&train).unwrap();
+        let ev = GuessingErrorEvaluator::default();
+        let ge_rr = ev.ge1(&rr, &test).unwrap();
+        let ge_ca = ev.ge1(&baseline, &test).unwrap();
+        assert!(
+            ge_rr < ge_ca / 5.0,
+            "RR ({ge_rr}) should be at least 5x better than col-avgs ({ge_ca})"
+        );
+    }
+
+    #[test]
+    fn ge_h_constant_for_col_avgs() {
+        // The paper notes GE_h is constant in h for col-avgs: each hole's
+        // guess never depends on the other values.
+        let test = linear(12);
+        let p = ColAvgs::fit(&test).unwrap();
+        let ev = GuessingErrorEvaluator {
+            max_hole_sets: 3,
+            seed: 1,
+        }; // C(3,h) tiny: enumerated
+        let ge1 = ev.ge_h(&p, &test, 1).unwrap();
+        let ge2 = ev.ge_h(&p, &test, 2).unwrap();
+        // Both are RMS over (cell, hole-set) pairs of the same per-cell
+        // errors; with full enumeration every cell appears equally often,
+        // so the values coincide.
+        assert!((ge1 - ge2).abs() < 1e-10, "GE1 {ge1} vs GE2 {ge2}");
+    }
+
+    #[test]
+    fn per_column_breakdown_identifies_unexplained_attribute() {
+        // Attributes 0 and 1 are perfectly correlated; attribute 2 is an
+        // independent alternating signal the single rule cannot explain.
+        let train = Matrix::from_fn(60, 3, |i, j| {
+            let t = 1.0 + i as f64;
+            match j {
+                0 => 3.0 * t,
+                1 => 2.0 * t,
+                _ => {
+                    if i % 2 == 0 {
+                        10.0
+                    } else {
+                        -10.0
+                    }
+                }
+            }
+        });
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&train)
+            .unwrap();
+        let p = RuleSetPredictor::new(rules);
+        let ev = GuessingErrorEvaluator::default();
+        let per_col = ev.ge1_per_column(&p, &train).unwrap();
+        assert_eq!(per_col.len(), 3);
+        assert!(per_col[0] < 1.0, "col 0 GE {}", per_col[0]);
+        assert!(per_col[1] < 1.0, "col 1 GE {}", per_col[1]);
+        assert!(per_col[2] > 5.0, "col 2 GE {} should be large", per_col[2]);
+
+        // The aggregate GE1 is the RMS of the per-column values.
+        let ge1 = ev.ge1(&p, &train).unwrap();
+        let rms = (per_col.iter().map(|g| g * g).sum::<f64>() / 3.0).sqrt();
+        assert!((ge1 - rms).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ge_curve_has_requested_length() {
+        let test = linear(8);
+        let p = ColAvgs::fit(&test).unwrap();
+        let curve = GuessingErrorEvaluator::default()
+            .ge_curve(&p, &test, 2)
+            .unwrap();
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].0, 1);
+        assert_eq!(curve[1].0, 2);
+    }
+
+    #[test]
+    fn parallel_ge1_matches_serial() {
+        let train = Matrix::from_fn(60, 3, |i, j| {
+            let t = 1.0 + i as f64;
+            t * [3.0, 2.0, 1.0][j] + ((i * 7 + j * 3) % 5) as f64 * 0.05
+        });
+        let test = Matrix::from_fn(23, 3, |i, j| {
+            let t = 2.0 + i as f64 * 1.7;
+            t * [3.0, 2.0, 1.0][j] + ((i * 11 + j) % 7) as f64 * 0.05
+        });
+        let rules = RatioRuleMiner::paper_defaults().fit_matrix(&train).unwrap();
+        let p = RuleSetPredictor::new(rules);
+        let ev = GuessingErrorEvaluator::default();
+        let serial = ev.ge1(&p, &test).unwrap();
+        for threads in [1usize, 2, 4, 16] {
+            let parallel = ev.ge1_parallel(&p, &test, threads).unwrap();
+            assert!(
+                (serial - parallel).abs() < 1e-12 * serial.max(1.0),
+                "threads={threads}: {serial} vs {parallel}"
+            );
+        }
+        // Validation paths.
+        assert!(ev.ge1_parallel(&p, &Matrix::zeros(0, 3), 2).is_err());
+        assert!(ev.ge1_parallel(&p, &Matrix::zeros(5, 2), 2).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let test = linear(10);
+        let p = ColAvgs::fit(&test).unwrap();
+        let ev = GuessingErrorEvaluator {
+            max_hole_sets: 5,
+            seed: 42,
+        };
+        assert_eq!(
+            ev.ge_h(&p, &test, 2).unwrap(),
+            ev.ge_h(&p, &test, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let test = linear(5);
+        let p = ColAvgs::fit(&test).unwrap();
+        let ev = GuessingErrorEvaluator::default();
+        assert!(ev.ge1(&p, &Matrix::zeros(0, 3)).is_err());
+        assert!(ev.ge_h(&p, &test, 0).is_err());
+        assert!(ev.ge_h(&p, &test, 3).is_err());
+        let narrow = ColAvgs::new(vec![0.0, 0.0]).unwrap();
+        assert!(ev.ge1(&narrow, &test).is_err());
+        assert!(ev.ge_h(&narrow, &test, 1).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Training on incomplete data: EM-style iterative imputation
+//! (extension beyond the paper).
+//!
+//! The paper mines rules from a *complete* training matrix and uses them
+//! to fill holes in new records. Real warehouse tables are often already
+//! holey. This module closes the loop with the classic EM-flavoured
+//! iteration:
+//!
+//! 1. initialize every hole with its column mean (the col-avgs guess);
+//! 2. mine Ratio Rules from the completed matrix;
+//! 3. re-fill every hole using the rules (Sec. 4.4 reconstruction);
+//! 4. repeat until the filled values stop moving (or an iteration cap).
+//!
+//! On data that genuinely lies near a low-dimensional RR-hyperplane this
+//! converges in a handful of iterations and recovers far better values
+//! than the initial means — the same reason the paper's guessing error
+//! beats col-avgs.
+
+use crate::cutoff::Cutoff;
+use crate::miner::RatioRuleMiner;
+use crate::reconstruct::fill_holes;
+use crate::rules::RuleSet;
+use crate::{RatioRuleError, Result};
+use dataset::holes::HoledRow;
+use linalg::Matrix;
+
+/// Configuration for the imputation loop.
+#[derive(Debug, Clone, Copy)]
+pub struct Imputer {
+    /// Cutoff used for the per-iteration mining.
+    pub cutoff: Cutoff,
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Stop when the largest change of any filled cell drops below this
+    /// fraction of the data scale.
+    pub rel_tolerance: f64,
+}
+
+impl Default for Imputer {
+    fn default() -> Self {
+        Imputer {
+            cutoff: Cutoff::default(),
+            max_iterations: 25,
+            rel_tolerance: 1e-6,
+        }
+    }
+}
+
+/// Result of an imputation run.
+#[derive(Debug, Clone)]
+pub struct Imputed {
+    /// The completed matrix (holes filled, known cells untouched).
+    pub matrix: Matrix,
+    /// Rules mined from the final completed matrix.
+    pub rules: RuleSet,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Final largest relative change (`< rel_tolerance` unless the
+    /// iteration cap was hit).
+    pub final_delta: f64,
+}
+
+impl Imputer {
+    /// Fills every `None` cell of `data`, leaving known cells untouched.
+    ///
+    /// Rows with no known values are rejected (nothing anchors them);
+    /// rows with no holes just participate in mining.
+    pub fn impute(&self, data: &[Vec<Option<f64>>]) -> Result<Imputed> {
+        let n = data.len();
+        if n == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        let m = data[0].len();
+        if m == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        for (i, row) in data.iter().enumerate() {
+            if row.len() != m {
+                return Err(RatioRuleError::WidthMismatch {
+                    expected: m,
+                    actual: row.len(),
+                });
+            }
+            if row.iter().all(Option::is_none) {
+                return Err(RatioRuleError::Invalid(format!(
+                    "row {i} has no known values; it cannot be imputed"
+                )));
+            }
+        }
+
+        // Column means over known cells only.
+        let mut means = vec![0.0_f64; m];
+        let mut counts = vec![0usize; m];
+        for row in data {
+            for (j, v) in row.iter().enumerate() {
+                if let Some(x) = v {
+                    means[j] += x;
+                    counts[j] += 1;
+                }
+            }
+        }
+        for (mj, &c) in means.iter_mut().zip(&counts) {
+            if c > 0 {
+                *mj /= c as f64;
+            }
+        }
+
+        // Step 1: initialize.
+        let mut completed = Matrix::from_fn(n, m, |i, j| data[i][j].unwrap_or(means[j]));
+        let scale = completed.max_abs().max(1.0);
+
+        let mut rules = RatioRuleMiner::new(self.cutoff).fit_matrix(&completed)?;
+        let mut iterations = 0usize;
+        let mut final_delta = f64::INFINITY;
+
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            let mut delta = 0.0_f64;
+            for (i, row) in data.iter().enumerate() {
+                if row.iter().all(Option::is_some) {
+                    continue;
+                }
+                let filled = fill_holes(&rules, &HoledRow::new(row.clone()))?;
+                for (j, v) in row.iter().enumerate() {
+                    if v.is_none() {
+                        delta = delta.max((filled.values[j] - completed[(i, j)]).abs());
+                        completed[(i, j)] = filled.values[j];
+                    }
+                }
+            }
+            final_delta = delta / scale;
+            rules = RatioRuleMiner::new(self.cutoff).fit_matrix(&completed)?;
+            if final_delta < self.rel_tolerance {
+                break;
+            }
+        }
+
+        Ok(Imputed {
+            matrix: completed,
+            rules,
+            iterations,
+            final_delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rank-1 ground truth with a deterministic hole mask.
+    fn masked_rank1(n: usize, hole_every: usize) -> (Matrix, Vec<Vec<Option<f64>>>) {
+        let truth = Matrix::from_fn(n, 3, |i, j| {
+            let t = 1.0 + i as f64;
+            t * [3.0, 2.0, 1.0][j]
+        });
+        let data: Vec<Vec<Option<f64>>> = (0..n)
+            .map(|i| {
+                (0..3)
+                    .map(|j| {
+                        if (i * 3 + j) % hole_every == 0 && i % 2 == 1 {
+                            None
+                        } else {
+                            Some(truth[(i, j)])
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (truth, data)
+    }
+
+    #[test]
+    fn recovers_rank1_holes_exactly() {
+        let (truth, data) = masked_rank1(40, 5);
+        let result = Imputer {
+            cutoff: Cutoff::FixedK(1),
+            rel_tolerance: 1e-12,
+            ..Imputer::default()
+        }
+        .impute(&data)
+        .unwrap();
+        let err = result.matrix.max_abs_diff(&truth).unwrap();
+        assert!(err < 1e-6, "max recovery error {err}");
+        assert!(result.iterations >= 1);
+        assert!(result.final_delta < 1e-10);
+    }
+
+    #[test]
+    fn beats_mean_imputation() {
+        let (truth, data) = masked_rank1(60, 4);
+        // Mean imputation error for comparison.
+        let result = Imputer {
+            cutoff: Cutoff::FixedK(1),
+            ..Imputer::default()
+        }
+        .impute(&data)
+        .unwrap();
+
+        let mut mean_err = 0.0_f64;
+        let mut em_err = 0.0_f64;
+        let col_mean = |j: usize| {
+            let known: Vec<f64> = data.iter().filter_map(|row| row[j]).collect();
+            known.iter().sum::<f64>() / known.len() as f64
+        };
+        let means = [col_mean(0), col_mean(1), col_mean(2)];
+        for (i, row) in data.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                if v.is_none() {
+                    mean_err += (means[j] - truth[(i, j)]).powi(2);
+                    em_err += (result.matrix[(i, j)] - truth[(i, j)]).powi(2);
+                }
+            }
+        }
+        assert!(
+            em_err < mean_err / 100.0,
+            "EM {em_err} should crush mean imputation {mean_err}"
+        );
+    }
+
+    #[test]
+    fn known_cells_are_never_touched() {
+        let (_, data) = masked_rank1(30, 5);
+        let result = Imputer::default().impute(&data).unwrap();
+        for (i, row) in data.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                if let Some(x) = v {
+                    assert_eq!(result.matrix[(i, j)], *x, "cell ({i},{j}) modified");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_data_converges_immediately() {
+        let truth = Matrix::from_fn(20, 3, |i, j| (i + j) as f64);
+        let data: Vec<Vec<Option<f64>>> = (0..20)
+            .map(|i| (0..3).map(|j| Some(truth[(i, j)])).collect())
+            .collect();
+        let result = Imputer::default().impute(&data).unwrap();
+        assert_eq!(result.matrix, truth);
+        assert_eq!(result.iterations, 1);
+        assert_eq!(result.final_delta, 0.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(Imputer::default().impute(&[]).is_err());
+        assert!(Imputer::default().impute(&[vec![]]).is_err());
+        // Ragged.
+        assert!(Imputer::default()
+            .impute(&[vec![Some(1.0), Some(2.0)], vec![Some(1.0)]])
+            .is_err());
+        // All-hole row.
+        assert!(Imputer::default()
+            .impute(&[vec![Some(1.0), Some(2.0)], vec![None, None]])
+            .is_err());
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let (_, data) = masked_rank1(30, 5);
+        let result = Imputer {
+            cutoff: Cutoff::FixedK(1),
+            max_iterations: 2,
+            rel_tolerance: 0.0, // never converges by tolerance
+        }
+        .impute(&data)
+        .unwrap();
+        assert_eq!(result.iterations, 2);
+    }
+}

@@ -1,0 +1,360 @@
+//! Rule interpretation (paper Sec. 6.2, Fig. 10 and Table 2).
+//!
+//! The paper's methodology: display each retained rule as a histogram over
+//! attributes, observe positive/negative correlations, and read off the
+//! meaning ("RR1 is court action; RR2 separates guards from forwards").
+//! This module renders exactly that: a Table-2 style report of significant
+//! loadings, the sign structure, and the headline ratio between the two
+//! dominant attributes.
+
+use crate::rules::{RatioRule, RuleSet};
+
+/// One attribute's appearance in a rule summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadingEntry {
+    /// Attribute index.
+    pub attribute: usize,
+    /// Attribute label.
+    pub label: String,
+    /// Signed loading.
+    pub loading: f64,
+}
+
+/// A digested, human-readable view of one rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSummary {
+    /// 0-based rule index (RR1 is index 0).
+    pub index: usize,
+    /// Eigenvalue (variance captured).
+    pub eigenvalue: f64,
+    /// Significant loadings, by decreasing magnitude.
+    pub significant: Vec<LoadingEntry>,
+    /// Attributes loading positively (among the significant ones).
+    pub positive: Vec<usize>,
+    /// Attributes loading negatively (among the significant ones).
+    pub negative: Vec<usize>,
+    /// The "a : b = x : y" reading between the two dominant attributes,
+    /// when at least two attributes are significant.
+    pub headline_ratio: Option<(String, String, f64, f64)>,
+}
+
+/// Summarizes all rules of a set, keeping loadings with
+/// `|loading| >= threshold` (the paper's Table 2 blanks small entries;
+/// 0.05 reproduces its look).
+pub fn summarize(rules: &RuleSet, threshold: f64) -> Vec<RuleSummary> {
+    rules
+        .rules()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| summarize_rule(r, i, rules.attribute_labels(), threshold))
+        .collect()
+}
+
+fn summarize_rule(
+    rule: &RatioRule,
+    index: usize,
+    labels: &[String],
+    threshold: f64,
+) -> RuleSummary {
+    let mut significant: Vec<LoadingEntry> = rule
+        .loadings
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l.abs() >= threshold)
+        .map(|(a, &l)| LoadingEntry {
+            attribute: a,
+            label: labels[a].clone(),
+            loading: l,
+        })
+        .collect();
+    significant.sort_by(|a, b| b.loading.abs().partial_cmp(&a.loading.abs()).unwrap());
+
+    let positive = significant
+        .iter()
+        .filter(|e| e.loading > 0.0)
+        .map(|e| e.attribute)
+        .collect();
+    let negative = significant
+        .iter()
+        .filter(|e| e.loading < 0.0)
+        .map(|e| e.attribute)
+        .collect();
+    let headline_ratio = if significant.len() >= 2 {
+        let a = &significant[0];
+        let b = &significant[1];
+        Some((a.label.clone(), b.label.clone(), a.loading, b.loading))
+    } else {
+        None
+    };
+    RuleSummary {
+        index,
+        eigenvalue: rule.eigenvalue,
+        significant,
+        positive,
+        negative,
+        headline_ratio,
+    }
+}
+
+/// Renders the Table-2 style text report: one column per rule, one row per
+/// attribute, blanks below the threshold.
+pub fn table(rules: &RuleSet, threshold: f64) -> String {
+    let labels = rules.attribute_labels();
+    let label_width = labels.iter().map(String::len).max().unwrap_or(5).max(5);
+    let k = rules.k();
+
+    let mut out = String::new();
+    out.push_str(&format!("{:label_width$}", "field"));
+    for i in 0..k {
+        out.push_str(&format!(" {:>8}", format!("RR{}", i + 1)));
+    }
+    out.push('\n');
+    for (a, label) in labels.iter().enumerate() {
+        out.push_str(&format!("{label:label_width$}"));
+        for rule in rules.rules() {
+            let l = rule.loadings[a];
+            if l.abs() >= threshold {
+                out.push_str(&format!(" {l:>8.3}"));
+            } else {
+                out.push_str(&format!(" {:>8}", ""));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Generates a one-sentence English description per rule, following the
+/// paper's Sec. 6.2 reading style: a rule with same-sign significant
+/// loadings is a "volume" factor with a headline ratio; a rule with
+/// mixed signs "contrasts" one group against the other.
+pub fn describe(rules: &RuleSet, threshold: f64) -> Vec<String> {
+    summarize(rules, threshold)
+        .into_iter()
+        .map(|s| {
+            let labels = |idx: &[usize]| {
+                idx.iter()
+                    .map(|&a| rules.attribute_labels()[a].clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let energy = {
+                let total: f64 = rules.spectrum().iter().map(|l| l.max(0.0)).sum();
+                if total > 0.0 {
+                    s.eigenvalue.max(0.0) / total * 100.0
+                } else {
+                    0.0
+                }
+            };
+            if s.significant.is_empty() {
+                format!("RR{}: no attribute loads above the threshold.", s.index + 1)
+            } else if s.negative.is_empty() || s.positive.is_empty() {
+                // Volume factor.
+                let mut text = format!(
+                    "RR{} ({energy:.0}% of variance): {{{}}} rise and fall together",
+                    s.index + 1,
+                    labels(
+                        &s.positive
+                            .iter()
+                            .chain(&s.negative)
+                            .copied()
+                            .collect::<Vec<_>>()
+                    ),
+                );
+                if let Some((a, b, la, lb)) = &s.headline_ratio {
+                    text.push_str(&format!(
+                        "; typical ratio {a} : {b} = {:.2} : 1",
+                        (la / lb).abs()
+                    ));
+                }
+                text.push('.');
+                text
+            } else {
+                format!(
+                    "RR{} ({energy:.0}% of variance): contrasts {{{}}} against {{{}}}.",
+                    s.index + 1,
+                    labels(&s.positive),
+                    labels(&s.negative)
+                )
+            }
+        })
+        .collect()
+}
+
+/// Renders a horizontal ASCII histogram of one rule's loadings — the
+/// paper's Fig. 10 step 3 ("display Ratio Rules graphically in a
+/// histogram").
+pub fn histogram(rules: &RuleSet, rule_index: usize, bar_width: usize) -> String {
+    let rule = rules.rule(rule_index);
+    let labels = rules.attribute_labels();
+    let label_width = labels.iter().map(String::len).max().unwrap_or(5);
+    let max_abs = rule
+        .loadings
+        .iter()
+        .fold(0.0_f64, |m, &l| m.max(l.abs()))
+        .max(1e-12);
+    let half = bar_width.max(10) / 2;
+
+    let mut out = format!("RR{} (eigenvalue {:.4})\n", rule_index + 1, rule.eigenvalue);
+    for (a, label) in labels.iter().enumerate() {
+        let l = rule.loadings[a];
+        let len = ((l.abs() / max_abs) * half as f64).round() as usize;
+        let mut bar = String::new();
+        if l < 0.0 {
+            bar.push_str(&" ".repeat(half - len));
+            bar.push_str(&"<".repeat(len));
+            bar.push('|');
+            bar.push_str(&" ".repeat(half));
+        } else {
+            bar.push_str(&" ".repeat(half));
+            bar.push('|');
+            bar.push_str(&">".repeat(len));
+            bar.push_str(&" ".repeat(half - len));
+        }
+        out.push_str(&format!("{label:label_width$} {bar} {l:+.3}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+    use dataset::DataMatrix;
+    use linalg::Matrix;
+
+    fn rules() -> RuleSet {
+        // Factor 1: (a, b) move together; factor 2: c alone.
+        let x = Matrix::from_fn(60, 3, |i, j| {
+            let t = (i % 12) as f64;
+            let u = (i % 5) as f64;
+            match j {
+                0 => 4.0 * t,
+                1 => 2.0 * t,
+                _ => 3.0 * u,
+            }
+        });
+        let dm = DataMatrix::with_labels(
+            x,
+            (0..60).map(|i| format!("r{i}")).collect(),
+            vec!["minutes".into(), "points".into(), "rebounds".into()],
+        )
+        .unwrap();
+        RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_data(&dm)
+            .unwrap()
+    }
+
+    #[test]
+    fn summaries_identify_dominant_attributes() {
+        let rs = rules();
+        let sums = summarize(&rs, 0.05);
+        assert_eq!(sums.len(), 2);
+        // RR1: minutes and points dominate, minutes first (larger scale),
+        // both positive.
+        let rr1 = &sums[0];
+        assert_eq!(rr1.significant[0].label, "minutes");
+        assert_eq!(rr1.significant[1].label, "points");
+        assert!(rr1.negative.is_empty());
+        // Headline ratio minutes : points = 2 : 1.
+        let (a, b, la, lb) = rr1.headline_ratio.clone().unwrap();
+        assert_eq!(a, "minutes");
+        assert_eq!(b, "points");
+        assert!((la / lb - 2.0).abs() < 0.05, "ratio {}", la / lb);
+    }
+
+    #[test]
+    fn threshold_filters_small_loadings() {
+        let rs = rules();
+        let sums = summarize(&rs, 0.05);
+        // RR1 barely loads on rebounds (independent factor).
+        assert!(sums[0].significant.iter().all(|e| e.label != "rebounds"));
+        // With a zero threshold everything appears.
+        let all = summarize(&rs, 0.0);
+        assert_eq!(all[0].significant.len(), 3);
+    }
+
+    #[test]
+    fn single_significant_attribute_has_no_headline() {
+        let rs = rules();
+        // RR2 is essentially the rebounds axis.
+        let sums = summarize(&rs, 0.5);
+        let rr2 = &sums[1];
+        assert_eq!(rr2.significant.len(), 1);
+        assert_eq!(rr2.significant[0].label, "rebounds");
+        assert!(rr2.headline_ratio.is_none());
+    }
+
+    #[test]
+    fn table_renders_blanks_and_values() {
+        let rs = rules();
+        let t = table(&rs, 0.05);
+        assert!(t.contains("RR1"));
+        assert!(t.contains("RR2"));
+        assert!(t.contains("minutes"));
+        // "rebounds" row: blank under RR1, value under RR2.
+        let row = t.lines().find(|l| l.starts_with("rebounds")).unwrap();
+        assert!(row.contains("0.9") || row.contains("1.0"), "row: {row}");
+        // Header + one line per attribute.
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn describe_reads_volume_and_contrast_factors() {
+        let rs = rules();
+        let sentences = describe(&rs, 0.05);
+        assert_eq!(sentences.len(), 2);
+        // RR1: minutes and points move together, ratio ~2:1.
+        assert!(
+            sentences[0].contains("rise and fall together"),
+            "{}",
+            sentences[0]
+        );
+        assert!(sentences[0].contains("minutes"));
+        assert!(sentences[0].contains("2.0"), "{}", sentences[0]);
+
+        // Build a contrast rule: attr0 up, attr1 down.
+        let x = Matrix::from_fn(50, 2, |i, j| {
+            let t = (i % 9) as f64 - 4.0;
+            if j == 0 {
+                10.0 + t
+            } else {
+                10.0 - t
+            }
+        });
+        let contrast = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let sentences = describe(&contrast, 0.05);
+        assert!(sentences[0].contains("contrasts"), "{}", sentences[0]);
+    }
+
+    #[test]
+    fn describe_handles_empty_significance() {
+        let rs = rules();
+        let sentences = describe(&rs, 10.0); // nothing passes
+        assert!(sentences[0].contains("no attribute"));
+    }
+
+    #[test]
+    fn histogram_marks_signs() {
+        // Build a rule set with a genuinely negative loading: points vs
+        // rebounds contrast.
+        let x = Matrix::from_fn(50, 2, |i, j| {
+            let t = (i % 9) as f64 - 4.0;
+            if j == 0 {
+                10.0 + t
+            } else {
+                10.0 - t
+            }
+        });
+        let rs = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let h = histogram(&rs, 0, 20);
+        assert!(h.contains('>'), "missing positive bar:\n{h}");
+        assert!(h.contains('<'), "missing negative bar:\n{h}");
+        assert!(h.contains("eigenvalue"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Ratio Rules — a reproduction of Korn, Labrinidis, Kotidis, Faloutsos,
+//! *"Ratio Rules: A New Paradigm for Fast, Quantifiable Data Mining"*,
+//! VLDB 1998.
+//!
+//! Given an `N x M` data matrix (e.g. customers x products with dollar
+//! amounts), Ratio Rules are the top-`k` eigenvectors of the covariance
+//! matrix of the column-centered data. They capture correlations as
+//! *ratios* — "customers spend bread : milk : butter = 1 : 2 : 5" — and,
+//! unlike boolean/quantitative association rules, support principled
+//! estimation of missing values, which in turn enables forecasting,
+//! what-if scenarios, outlier detection, and a *quantifiable* measure of
+//! rule quality (the "guessing error").
+//!
+//! # Quick start
+//!
+//! ```
+//! use linalg::Matrix;
+//! use ratio_rules::cutoff::Cutoff;
+//! use ratio_rules::miner::RatioRuleMiner;
+//! use dataset::holes::HoledRow;
+//!
+//! // Customers x {bread, butter}: spendings follow a 2:1 ratio.
+//! let x = Matrix::from_rows(&[
+//!     &[2.0, 1.0],
+//!     &[4.0, 2.1],
+//!     &[6.0, 2.9],
+//!     &[8.0, 4.0],
+//! ]).unwrap();
+//!
+//! let rules = RatioRuleMiner::new(Cutoff::EnergyFraction(0.85))
+//!     .fit_matrix(&x)
+//!     .unwrap();
+//!
+//! // Guess the butter spending of a customer who bought $10 of bread.
+//! let row = HoledRow::new(vec![Some(10.0), None]);
+//! let filled = ratio_rules::reconstruct::fill_holes(&rules, &row).unwrap();
+//! assert!((filled.values[1] - 5.0).abs() < 0.3);
+//! ```
+//!
+//! # Module map
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`covariance`] | Fig. 2a | single-pass covariance accumulator |
+//! | [`miner`] | Fig. 2 | end-to-end mining from a row stream |
+//! | [`cutoff`] | Eq. 1 | how many rules to keep |
+//! | [`rules`] | Sec. 4.1 | `RatioRule` / `RuleSet` model types |
+//! | [`reconstruct`] | Sec. 4.4 | hole filling (CASEs 1–3) |
+//! | [`predictor`] | Sec. 5 | `Predictor` trait, RR and col-avgs impls |
+//! | [`guessing`] | Sec. 4.3 | `GE_1` / `GE_h` metrics |
+//! | [`outlier`] | Sec. 3, 6.1 | reconstruction-based outlier scores |
+//! | [`whatif`] | Sec. 3 | what-if scenario API |
+//! | [`visualize`] | Sec. 6.1 | RR-space projections and ASCII plots |
+//! | [`interpret`] | Sec. 6.2 | Table-2 style rule rendering |
+//! | [`parallel`] | extension | multi-threaded covariance scan |
+//! | [`incremental`] | extension | live model maintenance, shard merging |
+//! | [`impute`] | extension | EM imputation of holey training tables |
+//! | [`diagnostics`] | extension | model cards (per-attribute GE) |
+//! | [`regression`] | Sec. 5 | MLR baseline (strict / mean-fallback) |
+
+#![warn(missing_docs)]
+
+pub mod covariance;
+pub mod cutoff;
+pub mod diagnostics;
+pub mod error;
+pub mod guessing;
+pub mod impute;
+pub mod incremental;
+pub mod interpret;
+pub mod miner;
+pub mod outlier;
+pub mod parallel;
+pub mod predictor;
+pub mod reconstruct;
+pub mod regression;
+pub mod rules;
+pub mod visualize;
+pub mod whatif;
+
+pub use error::RatioRuleError;
+pub use rules::{RatioRule, RuleSet};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RatioRuleError>;

@@ -1,0 +1,266 @@
+//! Outlier detection by reconstruction (paper Sec. 3, 4.4 and 6.1).
+//!
+//! The paper's recipe: hide a cell, reconstruct it from the rules, and
+//! flag the cell when the reconstruction differs from the actual value by
+//! more than a threshold ("e.g., two standard deviations"). Row-level
+//! outliers fall out of the same machinery via the residual distance of a
+//! row from the RR-hyperplane — that is how Jordan and Rodman pop out of
+//! the `nba` scatter plots.
+
+use crate::reconstruct::fill_holes;
+use crate::rules::RuleSet;
+use crate::{RatioRuleError, Result};
+use dataset::holes::HoleSet;
+use linalg::Matrix;
+
+/// A flagged cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutlier {
+    /// Row index in the scored matrix.
+    pub row: usize,
+    /// Column (attribute) index.
+    pub col: usize,
+    /// Actual value.
+    pub actual: f64,
+    /// Reconstructed (expected) value.
+    pub expected: f64,
+    /// `|actual - expected|` in units of the column's residual standard
+    /// deviation.
+    pub z_score: f64,
+}
+
+/// A row scored by its distance from the RR-hyperplane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowScore {
+    /// Row index in the scored matrix.
+    pub row: usize,
+    /// Euclidean distance between the row and its projection onto the
+    /// rule subspace.
+    pub residual: f64,
+}
+
+/// Reconstruction-based outlier detector.
+#[derive(Debug, Clone)]
+pub struct OutlierDetector<'a> {
+    rules: &'a RuleSet,
+    /// Flag cells whose |actual - expected| exceeds this many residual
+    /// standard deviations (paper suggests 2.0).
+    pub z_threshold: f64,
+}
+
+impl<'a> OutlierDetector<'a> {
+    /// Creates a detector with the paper's suggested 2-sigma threshold.
+    pub fn new(rules: &'a RuleSet) -> Self {
+        OutlierDetector {
+            rules,
+            z_threshold: 2.0,
+        }
+    }
+
+    /// Overrides the flagging threshold.
+    pub fn with_threshold(mut self, z: f64) -> Self {
+        self.z_threshold = z;
+        self
+    }
+
+    /// Scores every cell of `data` by leave-one-cell-out reconstruction
+    /// and returns the flagged outliers, most extreme first.
+    ///
+    /// Residual scale is estimated per column from the reconstruction
+    /// errors themselves (RMS), so a column that the rules predict well
+    /// gets a tight threshold and a noisy column a loose one.
+    pub fn cell_outliers(&self, data: &Matrix) -> Result<Vec<CellOutlier>> {
+        let (n, m) = data.shape();
+        if n == 0 || m == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        if m != self.rules.n_attributes() {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: self.rules.n_attributes(),
+                actual: m,
+            });
+        }
+        // Pass 1: all reconstruction errors.
+        let mut expected = Matrix::zeros(n, m);
+        for i in 0..n {
+            let row = data.row(i);
+            for j in 0..m {
+                let hs = HoleSet::new(vec![j], m)?;
+                let filled = fill_holes(self.rules, &hs.apply(row)?)?;
+                expected[(i, j)] = filled.values[j];
+            }
+        }
+        // Per-column residual RMS.
+        let mut col_rms = vec![0.0_f64; m];
+        for i in 0..n {
+            for j in 0..m {
+                let e = expected[(i, j)] - data[(i, j)];
+                col_rms[j] += e * e;
+            }
+        }
+        for r in &mut col_rms {
+            *r = (*r / n as f64).sqrt();
+        }
+        // Pass 2: flag.
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..m {
+                let scale = col_rms[j];
+                if scale <= 0.0 {
+                    continue;
+                }
+                let z = (expected[(i, j)] - data[(i, j)]).abs() / scale;
+                if z > self.z_threshold {
+                    out.push(CellOutlier {
+                        row: i,
+                        col: j,
+                        actual: data[(i, j)],
+                        expected: expected[(i, j)],
+                        z_score: z,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| b.z_score.partial_cmp(&a.z_score).unwrap());
+        Ok(out)
+    }
+
+    /// Scores every row by its distance from the rule subspace (the part
+    /// of the centered row not explained by the retained rules), most
+    /// extreme first.
+    pub fn row_scores(&self, data: &Matrix) -> Result<Vec<RowScore>> {
+        let (n, m) = data.shape();
+        if n == 0 || m == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        if m != self.rules.n_attributes() {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: self.rules.n_attributes(),
+                actual: m,
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = data.row(i);
+            let concept = self.rules.project_row(row)?;
+            let back = self.rules.reconstruct_row(&concept)?;
+            let residual = row
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            out.push(RowScore { row: i, residual });
+        }
+        out.sort_by(|a, b| b.residual.partial_cmp(&a.residual).unwrap());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+
+    /// Clean rank-1 data with one corrupted cell.
+    fn data_with_planted_outliers() -> Matrix {
+        let mut x = Matrix::from_fn(30, 3, |i, j| {
+            let t = 1.0 + i as f64;
+            t * [3.0, 2.0, 1.0][j]
+        });
+        // Corrupt cell (5, 1): should be 12, make it 40.
+        x[(5, 1)] = 40.0;
+        x
+    }
+
+    #[test]
+    fn corrupted_cell_is_flagged_first() {
+        let x = data_with_planted_outliers();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let det = OutlierDetector::new(&rules);
+        let outliers = det.cell_outliers(&x).unwrap();
+        assert!(!outliers.is_empty());
+        // All flagged cells live in the corrupted row: the bad value also
+        // poisons the reconstruction of its neighbours, so the whole row
+        // lights up (which is what a user investigating "which record is
+        // broken" needs).
+        assert!(outliers.iter().all(|o| o.row == 5), "flagged {outliers:?}");
+        // The corrupted cell itself is among them, with the expected value
+        // close to the uncorrupted 12.
+        let bad = outliers
+            .iter()
+            .find(|o| o.col == 1)
+            .expect("cell (5,1) not flagged");
+        assert!(bad.z_score > det.z_threshold);
+        assert!(
+            (bad.expected - 12.0).abs() < 2.0,
+            "expected {}",
+            bad.expected
+        );
+    }
+
+    #[test]
+    fn clean_data_yields_no_cell_outliers() {
+        let x = Matrix::from_fn(25, 3, |i, j| {
+            let t = 1.0 + i as f64;
+            // Small deterministic noise so column RMS is nonzero.
+            t * [3.0, 2.0, 1.0][j] + ((i * 7 + j * 3) % 5) as f64 * 0.01
+        });
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let outliers = OutlierDetector::new(&rules)
+            .with_threshold(5.0)
+            .cell_outliers(&x)
+            .unwrap();
+        assert!(outliers.is_empty(), "flagged {outliers:?}");
+    }
+
+    #[test]
+    fn row_scores_rank_off_plane_row_first() {
+        let mut x = Matrix::from_fn(20, 3, |i, j| {
+            let t = 1.0 + i as f64;
+            t * [3.0, 2.0, 1.0][j]
+        });
+        // Row 7 pushed orthogonally off the (3,2,1) line.
+        x[(7, 0)] += 5.0;
+        x[(7, 1)] -= 7.0;
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let scores = OutlierDetector::new(&rules).row_scores(&x).unwrap();
+        assert_eq!(scores[0].row, 7);
+        assert!(scores[0].residual > 4.0 * scores[1].residual.max(1e-12));
+    }
+
+    #[test]
+    fn on_plane_rows_have_tiny_residual() {
+        let x = Matrix::from_fn(15, 3, |i, j| {
+            let t = 1.0 + i as f64;
+            t * [3.0, 2.0, 1.0][j]
+        });
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let scores = OutlierDetector::new(&rules).row_scores(&x).unwrap();
+        for s in scores {
+            assert!(s.residual < 1e-8);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let x = data_with_planted_outliers();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let det = OutlierDetector::new(&rules);
+        assert!(det.cell_outliers(&Matrix::zeros(0, 3)).is_err());
+        assert!(det.cell_outliers(&Matrix::zeros(2, 2)).is_err());
+        assert!(det.row_scores(&Matrix::zeros(0, 3)).is_err());
+        assert!(det.row_scores(&Matrix::zeros(2, 2)).is_err());
+    }
+}

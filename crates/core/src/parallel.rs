@@ -1,0 +1,137 @@
+//! Parallel covariance scan (extension beyond the paper).
+//!
+//! The single-pass accumulator in [`crate::covariance`] is mergeable, so
+//! the one pass parallelizes trivially: shard the rows, scan each shard on
+//! its own thread, merge the partial accumulators. On 1998 hardware the
+//! paper ran serially; on a modern multicore box this is the natural
+//! implementation, and `bench/benches/covariance.rs` quantifies the
+//! speedup. The mining result is *bit-for-bit identical* to the serial
+//! scan up to floating-point reassociation across shard boundaries (the
+//! per-shard sums are exact partial sums, merged once).
+
+use crate::covariance::CovarianceAccumulator;
+use crate::cutoff::Cutoff;
+use crate::miner::RatioRuleMiner;
+use crate::rules::RuleSet;
+use crate::{RatioRuleError, Result};
+use linalg::Matrix;
+use parking_lot::Mutex;
+
+/// Builds the covariance accumulator for `x` using `n_threads` crossbeam
+/// scoped threads over row shards.
+pub fn covariance_parallel(x: &Matrix, n_threads: usize) -> Result<CovarianceAccumulator> {
+    let n = x.rows();
+    let m = x.cols();
+    if n == 0 || m == 0 {
+        return Err(RatioRuleError::EmptyInput);
+    }
+    let n_threads = n_threads.clamp(1, n);
+    let chunk = n.div_ceil(n_threads);
+
+    let merged = Mutex::new(CovarianceAccumulator::new(m));
+    let mut first_error: Mutex<Option<RatioRuleError>> = Mutex::new(None);
+
+    crossbeam::scope(|scope| {
+        for t in 0..n_threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                continue;
+            }
+            let merged = &merged;
+            let first_error = &first_error;
+            scope.spawn(move |_| {
+                let mut local = CovarianceAccumulator::new(m);
+                for i in lo..hi {
+                    if let Err(e) = local.push_row(x.row(i)) {
+                        *first_error.lock() = Some(e);
+                        return;
+                    }
+                }
+                if let Err(e) = merged.lock().merge(&local) {
+                    *first_error.lock() = Some(e);
+                }
+            });
+        }
+    })
+    .map_err(|_| RatioRuleError::Invalid("worker thread panicked".into()))?;
+
+    if let Some(e) = first_error.get_mut().take() {
+        return Err(e);
+    }
+    Ok(merged.into_inner())
+}
+
+/// Mines a rule set using the parallel covariance scan, then the usual
+/// eigensolve + cutoff.
+pub fn fit_parallel(x: &Matrix, cutoff: Cutoff, n_threads: usize) -> Result<RuleSet> {
+    let acc = covariance_parallel(x, n_threads)?;
+    RatioRuleMiner::new(cutoff).finish(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Matrix {
+        Matrix::from_fn(257, 5, |i, j| {
+            let t = i as f64;
+            (t * [3.0, 2.0, 1.0, 0.5, 0.1][j]).sin() * 10.0 + t * 0.01 * (j as f64 + 1.0)
+        })
+    }
+
+    #[test]
+    fn parallel_matches_serial_covariance() {
+        let x = data();
+        let mut serial = CovarianceAccumulator::new(5);
+        for row in x.row_iter() {
+            serial.push_row(row).unwrap();
+        }
+        let (c_serial, m_serial, n_serial) = serial.finalize().unwrap();
+
+        for threads in [1, 2, 3, 8] {
+            let par = covariance_parallel(&x, threads).unwrap();
+            let (c_par, m_par, n_par) = par.finalize().unwrap();
+            assert_eq!(n_serial, n_par);
+            assert!(
+                c_serial.max_abs_diff(&c_par).unwrap() < 1e-8,
+                "threads = {threads}"
+            );
+            for (a, b) in m_serial.iter().zip(&m_par) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mining_matches_serial_rules() {
+        let x = data();
+        let serial = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        let parallel = fit_parallel(&x, Cutoff::FixedK(2), 4).unwrap();
+        assert_eq!(serial.k(), parallel.k());
+        for (rs, rp) in serial.rules().iter().zip(parallel.rules()) {
+            assert!((rs.eigenvalue - rp.eigenvalue).abs() < 1e-6);
+            for (a, b) in rs.loadings.iter().zip(&rp.loadings) {
+                assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        // More threads than rows must still work.
+        let acc = covariance_parallel(&x, 64).unwrap();
+        assert_eq!(acc.n_rows(), 2);
+        // Zero threads clamps to one.
+        let acc = covariance_parallel(&x, 0).unwrap();
+        assert_eq!(acc.n_rows(), 2);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(covariance_parallel(&Matrix::zeros(0, 3), 2).is_err());
+    }
+}

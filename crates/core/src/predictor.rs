@@ -1,0 +1,182 @@
+//! The [`Predictor`] abstraction and the paper's two contenders.
+//!
+//! The guessing-error metric (Sec. 4.3) applies to "any type of rules, as
+//! long as they can do estimation of hidden values"; `Predictor` is that
+//! contract. Implementations here: [`RuleSetPredictor`] (the proposed
+//! method) and [`ColAvgs`] (the paper's straightforward competitor, which
+//! it notes equals Ratio Rules with `k = 0`).
+
+use crate::reconstruct::fill_holes;
+use crate::rules::RuleSet;
+use crate::{RatioRuleError, Result};
+use dataset::holes::HoledRow;
+use linalg::Matrix;
+
+/// Anything that can fill holes in a partially known row.
+pub trait Predictor {
+    /// Human-readable name for experiment tables.
+    fn name(&self) -> &str;
+
+    /// Expected row width `M`.
+    fn n_attributes(&self) -> usize;
+
+    /// Returns the full row with holes filled (known values must pass
+    /// through unchanged).
+    fn fill(&self, row: &HoledRow) -> Result<Vec<f64>>;
+}
+
+/// Ratio-Rules predictor: wraps a [`RuleSet`] and fills holes via the
+/// Sec. 4.4 reconstruction.
+#[derive(Debug, Clone)]
+pub struct RuleSetPredictor {
+    rules: RuleSet,
+    name: String,
+}
+
+impl RuleSetPredictor {
+    /// Wraps a mined rule set.
+    pub fn new(rules: RuleSet) -> Self {
+        let name = format!("RR(k={})", rules.k());
+        RuleSetPredictor { rules, name }
+    }
+
+    /// The wrapped rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+}
+
+impl Predictor for RuleSetPredictor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn n_attributes(&self) -> usize {
+        self.rules.n_attributes()
+    }
+
+    fn fill(&self, row: &HoledRow) -> Result<Vec<f64>> {
+        Ok(fill_holes(&self.rules, row)?.values)
+    }
+}
+
+/// The paper's baseline: fill every hole with the training column average.
+#[derive(Debug, Clone)]
+pub struct ColAvgs {
+    means: Vec<f64>,
+}
+
+impl ColAvgs {
+    /// Builds from explicit column means.
+    pub fn new(means: Vec<f64>) -> Result<Self> {
+        if means.is_empty() {
+            return Err(RatioRuleError::Invalid("no columns".into()));
+        }
+        Ok(ColAvgs { means })
+    }
+
+    /// Computes the column means of a training matrix.
+    pub fn fit(train: &Matrix) -> Result<Self> {
+        if train.rows() == 0 || train.cols() == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        Self::new(dataset::stats::column_stats(train).means)
+    }
+
+    /// The stored means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+}
+
+impl Predictor for ColAvgs {
+    fn name(&self) -> &str {
+        "col-avgs"
+    }
+
+    fn n_attributes(&self) -> usize {
+        self.means.len()
+    }
+
+    fn fill(&self, row: &HoledRow) -> Result<Vec<f64>> {
+        if row.width() != self.means.len() {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: self.means.len(),
+                actual: row.width(),
+            });
+        }
+        Ok(row
+            .values
+            .iter()
+            .zip(&self.means)
+            .map(|(v, &m)| v.unwrap_or(m))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+
+    fn linear() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 2.0], &[6.0, 3.0], &[8.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn ruleset_predictor_fills_along_rule() {
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&linear())
+            .unwrap();
+        let p = RuleSetPredictor::new(rules);
+        assert_eq!(p.name(), "RR(k=1)");
+        assert_eq!(p.n_attributes(), 2);
+        let filled = p.fill(&HoledRow::new(vec![Some(10.0), None])).unwrap();
+        assert!((filled[1] - 5.0).abs() < 1e-9);
+        assert_eq!(filled[0], 10.0);
+        assert_eq!(p.rules().k(), 1);
+    }
+
+    #[test]
+    fn col_avgs_fills_with_means() {
+        let p = ColAvgs::fit(&linear()).unwrap();
+        assert_eq!(p.name(), "col-avgs");
+        assert_eq!(p.means(), &[5.0, 2.5]);
+        let filled = p.fill(&HoledRow::new(vec![None, Some(9.0)])).unwrap();
+        assert_eq!(filled, vec![5.0, 9.0]);
+    }
+
+    #[test]
+    fn col_avgs_ignores_known_values_when_filling() {
+        // The baseline has no cross-attribute structure: the fill for a
+        // hole is the same whatever the known values are.
+        let p = ColAvgs::fit(&linear()).unwrap();
+        let a = p.fill(&HoledRow::new(vec![Some(100.0), None])).unwrap();
+        let b = p.fill(&HoledRow::new(vec![Some(-3.0), None])).unwrap();
+        assert_eq!(a[1], b[1]);
+    }
+
+    #[test]
+    fn col_avgs_validation() {
+        assert!(ColAvgs::new(vec![]).is_err());
+        assert!(ColAvgs::fit(&Matrix::zeros(0, 2)).is_err());
+        let p = ColAvgs::new(vec![1.0, 2.0]).unwrap();
+        assert!(p.fill(&HoledRow::new(vec![None])).is_err());
+    }
+
+    #[test]
+    fn predictors_are_object_safe() {
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&linear())
+            .unwrap();
+        let predictors: Vec<Box<dyn Predictor>> = vec![
+            Box::new(RuleSetPredictor::new(rules)),
+            Box::new(ColAvgs::fit(&linear()).unwrap()),
+        ];
+        for p in &predictors {
+            let filled = p.fill(&HoledRow::new(vec![Some(4.0), None])).unwrap();
+            assert_eq!(filled.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Hole filling: determining hidden and unknown values (paper Sec. 4.4).
+//!
+//! Given a row with holes `H`, the retained rules span a `k`-dimensional
+//! "RR-hyperplane" on or near which data points lie, while the known
+//! values constrain the answer to an `h`-dimensional "feasible solution
+//! space". Intersecting the two means solving `V' x_concept = b'`, where
+//! `V' = E_H V` keeps the known rows of the rule matrix and `b'` stacks
+//! the known (centered) values. Three shapes arise (paper Fig. 4–5):
+//!
+//! * **CASE 1, exactly-specified** (`M - h == k`): square system, direct
+//!   solve (Eq. 6).
+//! * **CASE 2, over-specified** (`M - h > k`): least squares via the
+//!   Moore–Penrose pseudo-inverse of `V'` (Eqs. 7–9).
+//! * **CASE 3, under-specified** (`M - h < k`): infinitely many solutions;
+//!   the paper keeps the one needing the fewest eigenvectors, i.e. it
+//!   drops the `(k + h) - M` weakest rules and solves the resulting
+//!   exactly-specified system.
+//!
+//! One practical addition over the paper's pseudo-code: when the CASE 1 /
+//! CASE 3 square system is singular (e.g. the known attributes carry no
+//! information about some retained rule), we fall back to the
+//! pseudo-inverse rather than failing — the pseudo-inverse solution
+//! coincides with the exact one whenever the exact one exists.
+
+use crate::rules::RuleSet;
+use crate::{RatioRuleError, Result};
+use dataset::holes::HoledRow;
+use linalg::lu::Lu;
+use linalg::pinv::pseudo_inverse;
+use linalg::Matrix;
+
+/// Which of the paper's three cases a reconstruction hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveCase {
+    /// `M - h == k`: direct solve (paper CASE 1).
+    ExactlySpecified,
+    /// `M - h > k`: pseudo-inverse least squares (paper CASE 2).
+    OverSpecified,
+    /// `M - h < k`: weakest rules dropped, then direct solve (paper
+    /// CASE 3). The payload is the number of rules actually used.
+    UnderSpecified {
+        /// Number of strongest rules retained for the solve (`M - h`).
+        rules_used: usize,
+    },
+}
+
+/// A reconstructed row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilledRow {
+    /// The full row: known values passed through, holes filled.
+    pub values: Vec<f64>,
+    /// The solved RR-space coordinates `x_concept` (length = rules used).
+    pub concept: Vec<f64>,
+    /// Which solve shape was used.
+    pub case: SolveCase,
+}
+
+/// Fills the holes of `row` using the rule set (paper Fig. 3 pseudo-code).
+pub fn fill_holes(rules: &RuleSet, row: &HoledRow) -> Result<FilledRow> {
+    let m = rules.n_attributes();
+    if row.width() != m {
+        return Err(RatioRuleError::WidthMismatch {
+            expected: m,
+            actual: row.width(),
+        });
+    }
+    let holes = row.hole_indices();
+    let h = holes.len();
+    if h == 0 {
+        return Err(RatioRuleError::Invalid("row has no holes to fill".into()));
+    }
+    if h == m {
+        return Err(RatioRuleError::Invalid("row has no known values".into()));
+    }
+
+    let known = row.known_indices();
+    if let Some(&j) = known.iter().find(|&&j| !row.values[j].unwrap().is_finite()) {
+        return Err(RatioRuleError::Invalid(format!(
+            "non-finite known value at attribute {j}"
+        )));
+    }
+    let k = rules.k();
+    let known_count = m - h; // rows of V'
+
+    // b' = centered known values.
+    let means = rules.column_means();
+    let b: Vec<f64> = known
+        .iter()
+        .map(|&j| row.values[j].unwrap() - means[j])
+        .collect();
+
+    // Decide the case and pick the rule matrix to use.
+    let (v_used, case) = if known_count < k {
+        // CASE 3: keep only the strongest (M - h) rules.
+        (
+            rules.v_matrix_truncated(known_count),
+            SolveCase::UnderSpecified {
+                rules_used: known_count,
+            },
+        )
+    } else if known_count == k {
+        (rules.v_matrix(), SolveCase::ExactlySpecified)
+    } else {
+        (rules.v_matrix(), SolveCase::OverSpecified)
+    };
+
+    // V' = E_H V: keep the known rows.
+    let v_prime = v_used.select_rows(&known);
+
+    // Solve V' x = b'.
+    let concept = match case {
+        SolveCase::OverSpecified => {
+            let pinv = pseudo_inverse(&v_prime, 1e-12)?;
+            pinv.mul_vec(&b)?
+        }
+        _ => match Lu::new(&v_prime).and_then(|lu| lu.solve(&b)) {
+            Ok(x) => x,
+            // Singular square system: minimum-norm solution instead.
+            Err(_) => {
+                let pinv = pseudo_inverse(&v_prime, 1e-12)?;
+                pinv.mul_vec(&b)?
+            }
+        },
+    };
+
+    // x_hat = V x_concept + means; then overwrite known positions with the
+    // given values (paper step 5).
+    let reconstructed = reconstruct_from(&v_used, &concept, means)?;
+    let mut values = reconstructed;
+    for &j in &known {
+        values[j] = row.values[j].unwrap();
+    }
+
+    Ok(FilledRow {
+        values,
+        concept,
+        case,
+    })
+}
+
+/// Classifies the conditioning of the linear system a hole-filling call
+/// would solve for this row (the `V'` matrix), *without* solving it.
+///
+/// [`linalg::norms::Conditioning::Poor`] means the known attributes
+/// barely constrain some retained rule, so the fill will technically
+/// succeed (minimum-norm fallback) but should not be trusted. Downstream
+/// users can gate automated repairs on this.
+pub fn system_conditioning(rules: &RuleSet, row: &HoledRow) -> Result<linalg::norms::Conditioning> {
+    let m = rules.n_attributes();
+    if row.width() != m {
+        return Err(RatioRuleError::WidthMismatch {
+            expected: m,
+            actual: row.width(),
+        });
+    }
+    let holes = row.hole_indices();
+    let h = holes.len();
+    if h == 0 || h == m {
+        return Err(RatioRuleError::Invalid(
+            "conditioning is defined for rows with 0 < holes < M".into(),
+        ));
+    }
+    let known = row.known_indices();
+    let known_count = m - h;
+    let v_used = if known_count < rules.k() {
+        rules.v_matrix_truncated(known_count)
+    } else {
+        rules.v_matrix()
+    };
+    let v_prime = v_used.select_rows(&known);
+    Ok(linalg::norms::classify_conditioning(&v_prime)?)
+}
+
+/// `V x + means` for an `M x k` rule matrix.
+fn reconstruct_from(v: &Matrix, concept: &[f64], means: &[f64]) -> Result<Vec<f64>> {
+    let full = v.mul_vec(concept)?;
+    Ok(full.iter().zip(means).map(|(x, m)| x + m).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+    use dataset::holes::HoleSet;
+
+    /// Perfectly linear data along direction (2, 1): bread = 2 * butter.
+    fn linear_2d() -> Matrix {
+        Matrix::from_rows(&[
+            &[2.0, 1.0],
+            &[4.0, 2.0],
+            &[6.0, 3.0],
+            &[8.0, 4.0],
+            &[10.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    /// Rank-2 data in 4-d: rows are a*d1 + b*d2 with orthogonal d1, d2.
+    fn rank2_4d() -> Matrix {
+        let d1 = [2.0, 1.0, 0.0, 1.0];
+        let d2 = [0.0, 1.0, 3.0, -1.0];
+        Matrix::from_fn(40, 4, |i, j| {
+            let a = (i as f64 % 7.0) - 3.0;
+            let b = (i as f64 % 5.0) - 2.0;
+            a * d1[j] + b * d2[j]
+        })
+    }
+
+    #[test]
+    fn exactly_specified_2d_fig4a() {
+        // M = 2, k = 1, h = 1: the paper's Fig. 4(a).
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&linear_2d())
+            .unwrap();
+        let row = HoledRow::new(vec![Some(7.0), None]);
+        let filled = fill_holes(&rules, &row).unwrap();
+        assert_eq!(filled.case, SolveCase::ExactlySpecified);
+        // bread = 7 lies on the line bread = 2 * butter -> butter = 3.5.
+        assert!(
+            (filled.values[1] - 3.5).abs() < 1e-9,
+            "got {}",
+            filled.values[1]
+        );
+        // Known value is passed through untouched.
+        assert_eq!(filled.values[0], 7.0);
+    }
+
+    #[test]
+    fn paper_fig12_extrapolation() {
+        // The paper's Fig. 12: given $8.50 of bread on a linear dataset,
+        // RRs predict ~$6.10 of butter (their fictitious data has slope
+        // ~0.72). Construct data with exactly that slope.
+        let x = Matrix::from_fn(30, 2, |i, j| {
+            let bread = 1.0 + 0.25 * i as f64;
+            if j == 0 {
+                bread
+            } else {
+                0.7176 * bread
+            }
+        });
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let row = HoledRow::new(vec![Some(8.5), None]);
+        let filled = fill_holes(&rules, &row).unwrap();
+        assert!(
+            (filled.values[1] - 6.1).abs() < 0.01,
+            "butter guess {}",
+            filled.values[1]
+        );
+    }
+
+    #[test]
+    fn over_specified_uses_pseudo_inverse() {
+        // M = 4, k = 1, h = 1 -> M - h = 3 > 1.
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&rank2_4d())
+            .unwrap();
+        let hs = HoleSet::new(vec![2], 4).unwrap();
+        let original = [4.0, 2.0, 0.0, 2.0]; // 2 * d1, on the first factor
+        let row = hs.apply(&original).unwrap();
+        let filled = fill_holes(&rules, &row).unwrap();
+        assert_eq!(filled.case, SolveCase::OverSpecified);
+        assert_eq!(filled.concept.len(), 1);
+    }
+
+    #[test]
+    fn over_specified_recovers_exact_rank2_point() {
+        // Keep k = 2 on rank-2 data; hide 1 of 4 values: M - h = 3 > 2.
+        // Points lie exactly on the RR-plane, so recovery is exact.
+        let x = rank2_4d();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        for i in [0usize, 7, 13] {
+            let original: Vec<f64> = x.row(i).to_vec();
+            for hole in 0..4 {
+                let hs = HoleSet::new(vec![hole], 4).unwrap();
+                let row = hs.apply(&original).unwrap();
+                let filled = fill_holes(&rules, &row).unwrap();
+                assert_eq!(filled.case, SolveCase::OverSpecified);
+                assert!(
+                    (filled.values[hole] - original[hole]).abs() < 1e-8,
+                    "row {i} hole {hole}: {} vs {}",
+                    filled.values[hole],
+                    original[hole]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn under_specified_drops_weakest_rules_fig5() {
+        // M = 4, k = 3, h = 2 -> M - h = 2 < 3: the paper's CASE 3 keeps
+        // the 2 strongest rules.
+        let x = rank2_4d();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(3))
+            .fit_matrix(&x)
+            .unwrap();
+        assert_eq!(rules.k(), 3);
+        let hs = HoleSet::new(vec![1, 3], 4).unwrap();
+        let original: Vec<f64> = x.row(9).to_vec();
+        let row = hs.apply(&original).unwrap();
+        let filled = fill_holes(&rules, &row).unwrap();
+        assert_eq!(filled.case, SolveCase::UnderSpecified { rules_used: 2 });
+        assert_eq!(filled.concept.len(), 2);
+        // Data is exactly rank 2 and the 2 strongest rules span it, so the
+        // holes are recovered exactly.
+        for &hole in &[1usize, 3] {
+            assert!(
+                (filled.values[hole] - original[hole]).abs() < 1e-8,
+                "hole {hole}: {} vs {}",
+                filled.values[hole],
+                original[hole]
+            );
+        }
+    }
+
+    #[test]
+    fn k0_equivalent_behaviour_is_column_means() {
+        // With a single rule on pure-noise data the guess degrades towards
+        // the column mean; verify the centering/uncentering plumbing by
+        // checking the reconstruction of a row whose known value equals
+        // the column mean: the fill must then be exactly the hole's mean.
+        let x = linear_2d();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let means = rules.column_means().to_vec();
+        let row = HoledRow::new(vec![Some(means[0]), None]);
+        let filled = fill_holes(&rules, &row).unwrap();
+        assert!((filled.values[1] - means[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_simultaneous_holes() {
+        // M = 4, k = 2, h = 2 -> exactly specified.
+        let x = rank2_4d();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        let hs = HoleSet::new(vec![0, 2], 4).unwrap();
+        let original: Vec<f64> = x.row(11).to_vec();
+        let row = hs.apply(&original).unwrap();
+        let filled = fill_holes(&rules, &row).unwrap();
+        assert_eq!(filled.case, SolveCase::ExactlySpecified);
+        assert!((filled.values[0] - original[0]).abs() < 1e-8);
+        assert!((filled.values[2] - original[2]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn singular_square_system_falls_back_to_pinv() {
+        // Rules from data where attribute 0 carries all the variance; if
+        // the only known attribute has zero loading on the retained rule,
+        // the square system is singular. The fallback must return the
+        // minimum-norm solution (concept = 0 -> fill with column means).
+        let x = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 5.0], &[3.0, 5.0], &[4.0, 5.0]]).unwrap();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        // RR1 = (1, 0): attribute 1 is constant.
+        assert!(rules.rule(0).loadings[1].abs() < 1e-9);
+        // Know only attribute 1 (zero loading), hide attribute 0.
+        let row = HoledRow::new(vec![None, Some(5.0)]);
+        let filled = fill_holes(&rules, &row).unwrap();
+        // Minimum-norm: concept 0, hole filled with its column mean (2.5).
+        assert!(
+            (filled.values[0] - 2.5).abs() < 1e-9,
+            "got {}",
+            filled.values[0]
+        );
+    }
+
+    #[test]
+    fn conditioning_flags_uninformative_systems() {
+        use linalg::norms::Conditioning;
+        // Well-posed: rule (0.894, 0.447); knowing bread constrains it.
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&linear_2d())
+            .unwrap();
+        let good = system_conditioning(&rules, &HoledRow::new(vec![Some(7.0), None])).unwrap();
+        assert_eq!(good, Conditioning::Good);
+
+        // Ill-posed: attribute 1 is constant -> its rule loading is ~0;
+        // knowing only attribute 1 constrains nothing.
+        let x = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 5.0], &[3.0, 5.0], &[4.0, 5.0]]).unwrap();
+        let degenerate = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let poor = system_conditioning(&degenerate, &HoledRow::new(vec![None, Some(5.0)])).unwrap();
+        assert_eq!(poor, Conditioning::Poor);
+
+        // Validation.
+        assert!(system_conditioning(&rules, &HoledRow::new(vec![Some(1.0)])).is_err());
+        assert!(system_conditioning(&rules, &HoledRow::new(vec![Some(1.0), Some(2.0)])).is_err());
+        assert!(system_conditioning(&rules, &HoledRow::new(vec![None, None])).is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&linear_2d())
+            .unwrap();
+        // Wrong width.
+        let row = HoledRow::new(vec![Some(1.0), None, None]);
+        assert!(matches!(
+            fill_holes(&rules, &row),
+            Err(RatioRuleError::WidthMismatch { .. })
+        ));
+        // No holes.
+        let row = HoledRow::new(vec![Some(1.0), Some(2.0)]);
+        assert!(fill_holes(&rules, &row).is_err());
+        // All holes.
+        let row = HoledRow::new(vec![None, None]);
+        assert!(fill_holes(&rules, &row).is_err());
+        // Non-finite known value.
+        let row = HoledRow::new(vec![Some(f64::NAN), None]);
+        assert!(matches!(
+            fill_holes(&rules, &row),
+            Err(RatioRuleError::Invalid(_))
+        ));
+        let row = HoledRow::new(vec![Some(f64::INFINITY), None]);
+        assert!(fill_holes(&rules, &row).is_err());
+    }
+}

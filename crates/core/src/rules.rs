@@ -1,0 +1,380 @@
+//! Model types: [`RatioRule`] and [`RuleSet`].
+//!
+//! A Ratio Rule is one eigenvector of the (centered) covariance matrix; a
+//! `RuleSet` is the mined model: the top-`k` rules, their eigenvalues, the
+//! column means needed to center/uncenter data, and the attribute labels.
+//! `RuleSet` is `serde`-serializable, so trained models can be persisted
+//! and shipped.
+
+use crate::{RatioRuleError, Result};
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One Ratio Rule: a unit direction over the attributes, plus its
+/// eigenvalue (the variance captured along it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioRule {
+    /// Unit-norm loadings over the `M` attributes.
+    pub loadings: Vec<f64>,
+    /// Variance captured along this direction (eigenvalue of the scatter
+    /// matrix).
+    pub eigenvalue: f64,
+}
+
+impl RatioRule {
+    /// Restates the rule as ratios between two attributes: "attribute `a`
+    /// relates to attribute `b` as `loadings[a] : loadings[b]`" — the
+    /// paper's "bread : butter => 0.866 : 0.5" reading.
+    pub fn ratio(&self, a: usize, b: usize) -> Option<(f64, f64)> {
+        let &la = self.loadings.get(a)?;
+        let &lb = self.loadings.get(b)?;
+        Some((la, lb))
+    }
+
+    /// Indices of the attributes with the largest absolute loadings,
+    /// descending.
+    pub fn dominant_attributes(&self, count: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.loadings.len()).collect();
+        idx.sort_by(|&i, &j| {
+            self.loadings[j]
+                .abs()
+                .partial_cmp(&self.loadings[i].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(count);
+        idx
+    }
+}
+
+/// A mined set of Ratio Rules — the complete model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<RatioRule>,
+    column_means: Vec<f64>,
+    /// Full spectrum of the covariance matrix (descending), kept so the
+    /// energy of the retained cut can be reported.
+    spectrum: Vec<f64>,
+    /// Attribute labels carried from the training data.
+    attribute_labels: Vec<String>,
+    /// Number of training rows.
+    n_train: usize,
+}
+
+impl RuleSet {
+    /// Assembles a rule set. `rules` must all have `column_means.len()`
+    /// loadings.
+    pub fn new(
+        rules: Vec<RatioRule>,
+        column_means: Vec<f64>,
+        spectrum: Vec<f64>,
+        attribute_labels: Vec<String>,
+        n_train: usize,
+    ) -> Result<Self> {
+        let m = column_means.len();
+        if m == 0 {
+            return Err(RatioRuleError::Invalid("zero attributes".into()));
+        }
+        if rules.is_empty() {
+            return Err(RatioRuleError::Invalid("empty rule set".into()));
+        }
+        for (i, r) in rules.iter().enumerate() {
+            if r.loadings.len() != m {
+                return Err(RatioRuleError::Invalid(format!(
+                    "rule {i} has {} loadings for {m} attributes",
+                    r.loadings.len()
+                )));
+            }
+        }
+        if attribute_labels.len() != m {
+            return Err(RatioRuleError::Invalid(format!(
+                "{} labels for {m} attributes",
+                attribute_labels.len()
+            )));
+        }
+        Ok(RuleSet {
+            rules,
+            column_means,
+            spectrum,
+            attribute_labels,
+            n_train,
+        })
+    }
+
+    /// Number of retained rules `k`.
+    pub fn k(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of attributes `M`.
+    pub fn n_attributes(&self) -> usize {
+        self.column_means.len()
+    }
+
+    /// The retained rules, strongest first.
+    pub fn rules(&self) -> &[RatioRule] {
+        &self.rules
+    }
+
+    /// Rule `i` (0 = strongest).
+    pub fn rule(&self, i: usize) -> &RatioRule {
+        &self.rules[i]
+    }
+
+    /// Column means of the training data (used for centering).
+    pub fn column_means(&self) -> &[f64] {
+        &self.column_means
+    }
+
+    /// Full covariance spectrum, descending.
+    pub fn spectrum(&self) -> &[f64] {
+        &self.spectrum
+    }
+
+    /// Attribute labels.
+    pub fn attribute_labels(&self) -> &[String] {
+        &self.attribute_labels
+    }
+
+    /// Number of training rows the model was mined from.
+    pub fn n_train(&self) -> usize {
+        self.n_train
+    }
+
+    /// The `M x k` rule matrix `V` (rules as columns) used by the
+    /// hole-filling equations.
+    pub fn v_matrix(&self) -> Matrix {
+        let m = self.n_attributes();
+        let k = self.k();
+        Matrix::from_fn(m, k, |i, j| self.rules[j].loadings[i])
+    }
+
+    /// Like [`RuleSet::v_matrix`] but keeping only the first `k` rules
+    /// (used by the under-specified hole case, which drops weak rules).
+    pub fn v_matrix_truncated(&self, k: usize) -> Matrix {
+        let m = self.n_attributes();
+        let k = k.min(self.k());
+        Matrix::from_fn(m, k, |i, j| self.rules[j].loadings[i])
+    }
+
+    /// Fraction of total spectral energy covered by the retained rules.
+    pub fn retained_energy(&self) -> f64 {
+        let total: f64 = self.spectrum.iter().map(|l| l.max(0.0)).sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let kept: f64 = self.rules.iter().map(|r| r.eigenvalue.max(0.0)).sum();
+        (kept / total).min(1.0)
+    }
+
+    /// Centers a row: subtracts the training column means.
+    pub fn center_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.len() != self.n_attributes() {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: self.n_attributes(),
+                actual: row.len(),
+            });
+        }
+        Ok(row
+            .iter()
+            .zip(&self.column_means)
+            .map(|(v, m)| v - m)
+            .collect())
+    }
+
+    /// Projects a (raw, uncentered) row onto the retained rules, returning
+    /// its `k` coordinates in RR-space. This is the visualization
+    /// projection of Sec. 6.1.
+    pub fn project_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        let centered = self.center_row(row)?;
+        Ok(self
+            .rules
+            .iter()
+            .map(|r| linalg::vector::dot(&centered, &r.loadings))
+            .collect())
+    }
+
+    /// Reconstructs a row from its RR-space coordinates (inverse of
+    /// [`RuleSet::project_row`] up to the discarded directions).
+    pub fn reconstruct_row(&self, concept: &[f64]) -> Result<Vec<f64>> {
+        if concept.len() != self.k() {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: self.k(),
+                actual: concept.len(),
+            });
+        }
+        let mut out = self.column_means.clone();
+        for (r, &c) in self.rules.iter().zip(concept) {
+            for (o, &l) in out.iter_mut().zip(&r.loadings) {
+                *o += c * l;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "RuleSet: {} rules over {} attributes ({} training rows, {:.1}% energy)",
+            self.k(),
+            self.n_attributes(),
+            self.n_train,
+            self.retained_energy() * 100.0
+        )?;
+        for (i, r) in self.rules.iter().enumerate() {
+            let dom = r.dominant_attributes(3);
+            let parts: Vec<String> = dom
+                .iter()
+                .map(|&a| format!("{} {:+.3}", self.attribute_labels[a], r.loadings[a]))
+                .collect();
+            writeln!(
+                f,
+                "  RR{}: eigenvalue {:.4}; top: {}",
+                i + 1,
+                r.eigenvalue,
+                parts.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(loadings: &[f64], eigenvalue: f64) -> RatioRule {
+        RatioRule {
+            loadings: loadings.to_vec(),
+            eigenvalue,
+        }
+    }
+
+    fn sample() -> RuleSet {
+        RuleSet::new(
+            vec![rule(&[0.8, 0.6], 10.0), rule(&[-0.6, 0.8], 2.0)],
+            vec![5.0, 3.0],
+            vec![10.0, 2.0],
+            vec!["bread".into(), "butter".into()],
+            100,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(RuleSet::new(vec![], vec![1.0], vec![], vec!["a".into()], 1).is_err());
+        assert!(RuleSet::new(vec![rule(&[1.0], 1.0)], vec![], vec![], vec![], 1).is_err());
+        assert!(RuleSet::new(
+            vec![rule(&[1.0, 0.0], 1.0)],
+            vec![0.0],
+            vec![1.0],
+            vec!["a".into()],
+            1
+        )
+        .is_err());
+        assert!(RuleSet::new(
+            vec![rule(&[1.0], 1.0)],
+            vec![0.0],
+            vec![1.0],
+            vec!["a".into(), "b".into()],
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let rs = sample();
+        assert_eq!(rs.k(), 2);
+        assert_eq!(rs.n_attributes(), 2);
+        assert_eq!(rs.n_train(), 100);
+        assert_eq!(rs.rule(0).eigenvalue, 10.0);
+        assert_eq!(rs.column_means(), &[5.0, 3.0]);
+        assert_eq!(rs.attribute_labels(), &["bread", "butter"]);
+        assert_eq!(rs.spectrum(), &[10.0, 2.0]);
+        assert!((rs.retained_energy() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn v_matrix_has_rules_as_columns() {
+        let rs = sample();
+        let v = rs.v_matrix();
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v.col(0), vec![0.8, 0.6]);
+        assert_eq!(v.col(1), vec![-0.6, 0.8]);
+        let v1 = rs.v_matrix_truncated(1);
+        assert_eq!(v1.shape(), (2, 1));
+        assert_eq!(v1.col(0), vec![0.8, 0.6]);
+        // Truncation clamps.
+        assert_eq!(rs.v_matrix_truncated(5).shape(), (2, 2));
+    }
+
+    #[test]
+    fn ratio_reading() {
+        let rs = sample();
+        let (a, b) = rs.rule(0).ratio(0, 1).unwrap();
+        assert_eq!((a, b), (0.8, 0.6));
+        assert!(rs.rule(0).ratio(0, 9).is_none());
+    }
+
+    #[test]
+    fn dominant_attributes_sorted_by_magnitude() {
+        let r = rule(&[0.1, -0.9, 0.5], 1.0);
+        assert_eq!(r.dominant_attributes(2), vec![1, 2]);
+        assert_eq!(r.dominant_attributes(10), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn center_and_project_roundtrip() {
+        let rs = sample();
+        // Rules are orthonormal, so project + reconstruct is exact for
+        // k = M.
+        let row = [7.0, 4.0];
+        let proj = rs.project_row(&row).unwrap();
+        let back = rs.reconstruct_row(&proj).unwrap();
+        assert!((back[0] - row[0]).abs() < 1e-12);
+        assert!((back[1] - row[1]).abs() < 1e-12);
+        assert!(rs.project_row(&[1.0]).is_err());
+        assert!(rs.reconstruct_row(&[1.0]).is_err());
+        assert!(rs.center_row(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn projection_of_mean_row_is_origin() {
+        let rs = sample();
+        let proj = rs.project_row(&[5.0, 3.0]).unwrap();
+        assert!(proj.iter().all(|&c| c.abs() < 1e-12));
+    }
+
+    #[test]
+    fn retained_energy_partial() {
+        let rs = RuleSet::new(
+            vec![rule(&[1.0, 0.0], 8.0)],
+            vec![0.0, 0.0],
+            vec![8.0, 2.0],
+            vec!["a".into(), "b".into()],
+            10,
+        )
+        .unwrap();
+        assert!((rs.retained_energy() - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_renders_rules() {
+        let text = format!("{}", sample());
+        assert!(text.contains("RR1"));
+        assert!(text.contains("bread"));
+        assert!(text.contains("100 training rows"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let rs = sample();
+        let json = serde_json::to_string(&rs).unwrap();
+        let back: RuleSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rs);
+    }
+}

@@ -1,0 +1,285 @@
+//! Visualization in RR-space (paper Sec. 6.1, Figs. 9 and 11).
+//!
+//! Ratio Rules give "visualization for free": projecting rows onto the
+//! top two or three rules reveals the structure of the dataset. This
+//! module computes those projections and renders terminal-friendly ASCII
+//! scatter plots of the kind the paper prints — good enough to spot
+//! Jordan and Rodman in the corners.
+
+use crate::rules::RuleSet;
+use crate::{RatioRuleError, Result};
+use linalg::Matrix;
+
+/// A 2-d projection of a dataset onto a pair of rules.
+#[derive(Debug, Clone)]
+pub struct Projection2d {
+    /// Per-row `(x, y)` coordinates in RR-space.
+    pub points: Vec<(f64, f64)>,
+    /// Which rule indexes the axes: `(x_rule, y_rule)` (0-based).
+    pub axes: (usize, usize),
+}
+
+/// Projects every row of `data` onto rules `x_rule` and `y_rule`
+/// (0-based; the paper's Fig. 11(a) is `(0, 1)`, Fig. 11(b) is `(1, 2)`).
+pub fn project_2d(
+    rules: &RuleSet,
+    data: &Matrix,
+    x_rule: usize,
+    y_rule: usize,
+) -> Result<Projection2d> {
+    let k = rules.k();
+    if x_rule >= k || y_rule >= k {
+        return Err(RatioRuleError::Invalid(format!(
+            "axes ({x_rule}, {y_rule}) out of range for k = {k} rules"
+        )));
+    }
+    if data.cols() != rules.n_attributes() {
+        return Err(RatioRuleError::WidthMismatch {
+            expected: rules.n_attributes(),
+            actual: data.cols(),
+        });
+    }
+    let mut points = Vec::with_capacity(data.rows());
+    for i in 0..data.rows() {
+        let concept = rules.project_row(data.row(i))?;
+        points.push((concept[x_rule], concept[y_rule]));
+    }
+    Ok(Projection2d {
+        points,
+        axes: (x_rule, y_rule),
+    })
+}
+
+impl Projection2d {
+    /// Indices of the `count` points farthest from the projection's
+    /// centroid — the visually obvious outliers.
+    pub fn extremes(&self, count: usize) -> Vec<usize> {
+        let n = self.points.len() as f64;
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let cx = self.points.iter().map(|p| p.0).sum::<f64>() / n;
+        let cy = self.points.iter().map(|p| p.1).sum::<f64>() / n;
+        let mut idx: Vec<usize> = (0..self.points.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let da = (self.points[a].0 - cx).powi(2) + (self.points[a].1 - cy).powi(2);
+            let db = (self.points[b].0 - cx).powi(2) + (self.points[b].1 - cy).powi(2);
+            db.partial_cmp(&da).unwrap()
+        });
+        idx.truncate(count);
+        idx
+    }
+
+    /// Renders an ASCII scatter plot (`width x height` characters).
+    /// Denser cells escalate `.` -> `:` -> `*` -> `#`; `label_rows` marks
+    /// specific rows with capital letters A, B, C...
+    pub fn ascii_plot(&self, width: usize, height: usize, label_rows: &[usize]) -> String {
+        let width = width.max(8);
+        let height = height.max(4);
+        if self.points.is_empty() {
+            return String::from("(no points)\n");
+        }
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &self.points {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        let xspan = (xmax - xmin).max(1e-12);
+        let yspan = (ymax - ymin).max(1e-12);
+
+        let mut counts = vec![vec![0usize; width]; height];
+        let mut labels = vec![vec![None::<char>; width]; height];
+        for (i, &(x, y)) in self.points.iter().enumerate() {
+            let cx = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            // Flip y so larger values are at the top.
+            let cy = height - 1 - (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+            counts[cy][cx] += 1;
+            if let Some(pos) = label_rows.iter().position(|&r| r == i) {
+                labels[cy][cx] = Some((b'A' + (pos % 26) as u8) as char);
+            }
+        }
+
+        let mut out = String::with_capacity((width + 3) * (height + 2));
+        out.push_str(&format!(
+            "RR{} (x) vs RR{} (y); x in [{:.2}, {:.2}], y in [{:.2}, {:.2}]\n",
+            self.axes.0 + 1,
+            self.axes.1 + 1,
+            xmin,
+            xmax,
+            ymin,
+            ymax
+        ));
+        for (cy, row) in counts.iter().enumerate() {
+            out.push('|');
+            for (cx, &c) in row.iter().enumerate() {
+                let ch = if let Some(l) = labels[cy][cx] {
+                    l
+                } else {
+                    match c {
+                        0 => ' ',
+                        1 => '.',
+                        2..=3 => ':',
+                        4..=8 => '*',
+                        _ => '#',
+                    }
+                };
+                out.push(ch);
+            }
+            out.push('|');
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders an ASCII scree plot of the full covariance spectrum with the
+/// retained-rule boundary marked — the visual counterpart of the Eq. 1
+/// cutoff decision.
+pub fn scree_plot(rules: &RuleSet, bar_width: usize) -> String {
+    let spectrum = rules.spectrum();
+    let total: f64 = spectrum.iter().map(|l| l.max(0.0)).sum();
+    let max = spectrum
+        .first()
+        .copied()
+        .unwrap_or(0.0)
+        .max(f64::MIN_POSITIVE);
+    let width = bar_width.max(10);
+
+    let mut out = format!(
+        "spectrum of {} eigenvalues; {} retained ({:.1}% energy)\n",
+        spectrum.len(),
+        rules.k(),
+        rules.retained_energy() * 100.0
+    );
+    let mut cumulative = 0.0;
+    for (i, &l) in spectrum.iter().enumerate() {
+        let frac = if total > 0.0 { l.max(0.0) / total } else { 0.0 };
+        cumulative += frac;
+        let len = ((l.max(0.0) / max) * width as f64).round() as usize;
+        let marker = if i + 1 == rules.k() {
+            " <= cutoff (Eq. 1)"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  l{:<3} {:bar$} {:6.1}% (cum {:5.1}%){}\n",
+            i + 1,
+            "#".repeat(len),
+            frac * 100.0,
+            cumulative * 100.0,
+            marker,
+            bar = width
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+
+    fn rank2_data() -> Matrix {
+        let d1 = [2.0, 1.0, 0.0];
+        let d2 = [0.0, 1.0, 2.0];
+        Matrix::from_fn(30, 3, |i, j| {
+            let a = (i as f64 % 6.0) - 2.5;
+            let b = (i as f64 % 4.0) - 1.5;
+            10.0 + 3.0 * a * d1[j] + b * d2[j]
+        })
+    }
+
+    #[test]
+    fn projection_shape_and_axes() {
+        let x = rank2_data();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        let p = project_2d(&rules, &x, 0, 1).unwrap();
+        assert_eq!(p.points.len(), 30);
+        assert_eq!(p.axes, (0, 1));
+    }
+
+    #[test]
+    fn projection_variance_is_larger_on_first_axis() {
+        let x = rank2_data();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        let p = project_2d(&rules, &x, 0, 1).unwrap();
+        let var = |sel: fn(&(f64, f64)) -> f64| {
+            let mean = p.points.iter().map(sel).sum::<f64>() / p.points.len() as f64;
+            p.points
+                .iter()
+                .map(|pt| (sel(pt) - mean).powi(2))
+                .sum::<f64>()
+        };
+        assert!(var(|pt| pt.0) > var(|pt| pt.1));
+    }
+
+    #[test]
+    fn extremes_finds_planted_outlier() {
+        let mut x = rank2_data();
+        for j in 0..3 {
+            x[(17, j)] *= 10.0;
+        }
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        let p = project_2d(&rules, &x, 0, 1).unwrap();
+        assert_eq!(p.extremes(1), vec![17]);
+    }
+
+    #[test]
+    fn invalid_axes_and_width_rejected() {
+        let x = rank2_data();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        assert!(project_2d(&rules, &x, 0, 5).is_err());
+        assert!(project_2d(&rules, &Matrix::zeros(3, 2), 0, 1).is_err());
+    }
+
+    #[test]
+    fn ascii_plot_renders_and_labels() {
+        let x = rank2_data();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        let p = project_2d(&rules, &x, 0, 1).unwrap();
+        let plot = p.ascii_plot(40, 12, &[3]);
+        assert!(plot.contains("RR1 (x) vs RR2 (y)"));
+        assert!(plot.contains('A'), "labeled point missing:\n{plot}");
+        // Correct number of plot lines: header + height.
+        assert_eq!(plot.lines().count(), 13);
+    }
+
+    #[test]
+    fn ascii_plot_empty_projection() {
+        let p = Projection2d {
+            points: vec![],
+            axes: (0, 1),
+        };
+        assert_eq!(p.ascii_plot(10, 5, &[]), "(no points)\n");
+    }
+
+    #[test]
+    fn scree_plot_marks_cutoff_and_sums_to_100() {
+        let x = rank2_data();
+        let rules = RatioRuleMiner::new(Cutoff::EnergyFraction(0.85))
+            .fit_matrix(&x)
+            .unwrap();
+        let plot = scree_plot(&rules, 30);
+        assert!(plot.contains("<= cutoff"));
+        assert!(plot.contains("l1"));
+        // One line per eigenvalue + header.
+        assert_eq!(plot.lines().count(), 1 + rules.spectrum().len());
+        // Cumulative column ends at ~100%.
+        let last = plot.lines().last().unwrap();
+        assert!(last.contains("100.0%"), "last line: {last}");
+    }
+}

@@ -1,0 +1,253 @@
+//! What-if scenarios (paper Sec. 3 and 4.4).
+//!
+//! "We expect the demand for Cheerios to double; how much milk should we
+//! stock up on?" — pin some attributes to hypothetical values, let the
+//! rules forecast the rest. This is hole-filling with a scenario-building
+//! API on top: attributes are addressed by label, and unset attributes
+//! are the holes.
+
+use crate::reconstruct::{fill_holes, SolveCase};
+use crate::rules::RuleSet;
+use crate::{RatioRuleError, Result};
+use dataset::holes::HoledRow;
+
+/// Builder for a what-if scenario over a rule set.
+#[derive(Debug, Clone)]
+pub struct Scenario<'a> {
+    rules: &'a RuleSet,
+    pinned: Vec<Option<f64>>,
+}
+
+/// Outcome of a scenario forecast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forecast {
+    /// Full attribute vector: pinned values pass through, the rest are
+    /// forecast.
+    pub values: Vec<f64>,
+    /// Which solve shape the reconstruction used.
+    pub case: SolveCase,
+    /// Labels aligned with `values` (cloned from the rule set).
+    pub labels: Vec<String>,
+}
+
+impl Forecast {
+    /// Looks up a forecast value by attribute label.
+    pub fn get(&self, label: &str) -> Option<f64> {
+        let idx = self.labels.iter().position(|l| l == label)?;
+        Some(self.values[idx])
+    }
+}
+
+impl<'a> Scenario<'a> {
+    /// Starts an empty scenario (every attribute unknown).
+    pub fn new(rules: &'a RuleSet) -> Self {
+        Scenario {
+            rules,
+            pinned: vec![None; rules.n_attributes()],
+        }
+    }
+
+    /// Pins an attribute by index.
+    pub fn set_index(mut self, index: usize, value: f64) -> Result<Self> {
+        if index >= self.pinned.len() {
+            return Err(RatioRuleError::Invalid(format!(
+                "attribute index {index} out of range (M = {})",
+                self.pinned.len()
+            )));
+        }
+        self.pinned[index] = Some(value);
+        Ok(self)
+    }
+
+    /// Pins an attribute by label.
+    pub fn set(self, label: &str, value: f64) -> Result<Self> {
+        let idx = self
+            .rules
+            .attribute_labels()
+            .iter()
+            .position(|l| l == label)
+            .ok_or_else(|| RatioRuleError::Invalid(format!("unknown attribute label {label:?}")))?;
+        self.set_index(idx, value)
+    }
+
+    /// Pins an attribute to a multiple of its training mean — the paper's
+    /// "demand for Cheerios doubles" phrasing (`factor = 2.0`).
+    pub fn scale_of_mean(self, label: &str, factor: f64) -> Result<Self> {
+        let idx = self
+            .rules
+            .attribute_labels()
+            .iter()
+            .position(|l| l == label)
+            .ok_or_else(|| RatioRuleError::Invalid(format!("unknown attribute label {label:?}")))?;
+        let mean = self.rules.column_means()[idx];
+        self.set_index(idx, mean * factor)
+    }
+
+    /// Runs the forecast: fills every unpinned attribute.
+    pub fn forecast(&self) -> Result<Forecast> {
+        if self.pinned.iter().all(Option::is_none) {
+            return Err(RatioRuleError::Invalid(
+                "scenario pins no attributes".into(),
+            ));
+        }
+        if self.pinned.iter().all(Option::is_some) {
+            return Err(RatioRuleError::Invalid(
+                "scenario pins every attribute; nothing to forecast".into(),
+            ));
+        }
+        let row = HoledRow::new(self.pinned.clone());
+        let filled = fill_holes(self.rules, &row)?;
+        Ok(Forecast {
+            values: filled.values,
+            case: filled.case,
+            labels: self.rules.attribute_labels().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+    use dataset::DataMatrix;
+    use linalg::Matrix;
+
+    /// Cereal and milk move together 1 : 2.
+    fn rules() -> RuleSet {
+        let x = Matrix::from_fn(40, 2, |i, j| {
+            let t = 1.0 + (i % 10) as f64;
+            t * [1.0, 2.0][j]
+        });
+        let dm = DataMatrix::with_labels(
+            x,
+            (0..40).map(|i| format!("r{i}")).collect(),
+            vec!["cheerios".into(), "milk".into()],
+        )
+        .unwrap();
+        RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_data(&dm)
+            .unwrap()
+    }
+
+    #[test]
+    fn doubling_cheerios_doubles_milk() {
+        let rs = rules();
+        let mean_cheerios = rs.column_means()[0];
+        let mean_milk = rs.column_means()[1];
+        let fc = Scenario::new(&rs)
+            .scale_of_mean("cheerios", 2.0)
+            .unwrap()
+            .forecast()
+            .unwrap();
+        assert!((fc.get("cheerios").unwrap() - 2.0 * mean_cheerios).abs() < 1e-12);
+        // Milk follows the 1 : 2 rule: doubling cheerios doubles milk.
+        assert!(
+            (fc.get("milk").unwrap() - 2.0 * mean_milk).abs() < 1e-9,
+            "milk {} vs {}",
+            fc.get("milk").unwrap(),
+            2.0 * mean_milk
+        );
+    }
+
+    #[test]
+    fn set_by_label_and_index_agree() {
+        let rs = rules();
+        let a = Scenario::new(&rs)
+            .set("cheerios", 7.0)
+            .unwrap()
+            .forecast()
+            .unwrap();
+        let b = Scenario::new(&rs)
+            .set_index(0, 7.0)
+            .unwrap()
+            .forecast()
+            .unwrap();
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn forecast_values_follow_the_rule() {
+        let rs = rules();
+        let fc = Scenario::new(&rs)
+            .set("cheerios", 8.0)
+            .unwrap()
+            .forecast()
+            .unwrap();
+        assert!((fc.get("milk").unwrap() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let rs = rules();
+        assert!(Scenario::new(&rs).set("bread", 1.0).is_err());
+        assert!(Scenario::new(&rs).scale_of_mean("bread", 2.0).is_err());
+        assert!(Scenario::new(&rs).set_index(5, 1.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_scenarios_rejected() {
+        let rs = rules();
+        // Nothing pinned.
+        assert!(Scenario::new(&rs).forecast().is_err());
+        // Everything pinned.
+        let s = Scenario::new(&rs)
+            .set("cheerios", 1.0)
+            .unwrap()
+            .set("milk", 2.0)
+            .unwrap();
+        assert!(s.forecast().is_err());
+    }
+
+    #[test]
+    fn under_specified_scenario_uses_strongest_rules() {
+        // Four attributes in two independent factor pairs; keep 3 rules,
+        // pin only one attribute -> M - h = 1 < k = 3: the reconstruction
+        // must drop down to the strongest rule (paper CASE 3).
+        let x = Matrix::from_fn(80, 4, |i, j| {
+            let t = (i % 10) as f64;
+            let u = (i % 7) as f64;
+            match j {
+                0 => 5.0 * t,
+                1 => 2.5 * t,
+                2 => 2.0 * u,
+                _ => 1.0 * u,
+            }
+        });
+        let dm = DataMatrix::with_labels(
+            x,
+            (0..80).map(|i| format!("r{i}")).collect(),
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        )
+        .unwrap();
+        let rs = RatioRuleMiner::new(Cutoff::FixedK(3))
+            .fit_data(&dm)
+            .unwrap();
+        let fc = Scenario::new(&rs)
+            .set("a", 50.0)
+            .unwrap()
+            .forecast()
+            .unwrap();
+        assert!(matches!(
+            fc.case,
+            crate::reconstruct::SolveCase::UnderSpecified { rules_used: 1 }
+        ));
+        // The strongest rule is the t-factor (a, b): b follows a at half.
+        assert!(
+            (fc.get("b").unwrap() - 25.0).abs() < 1.0,
+            "b = {:?}",
+            fc.get("b")
+        );
+    }
+
+    #[test]
+    fn forecast_get_unknown_label_is_none() {
+        let rs = rules();
+        let fc = Scenario::new(&rs)
+            .set("cheerios", 1.0)
+            .unwrap()
+            .forecast()
+            .unwrap();
+        assert!(fc.get("bread").is_none());
+    }
+}

@@ -1,0 +1,397 @@
+//! Categorical attributes for Ratio Rules — the paper's stated future
+//! work ("Future research could focus on applying Ratio Rules to
+//! datasets that contain categorical data", Sec. 7).
+//!
+//! The approach is the standard one the eigensystem machinery admits:
+//! one-hot ("indicator") encoding. Each categorical column with `L`
+//! levels becomes `L` numeric columns holding `scale * [v == level]`;
+//! the centered covariance of indicator columns captures
+//! category/numeric correlations, Ratio Rules mine it unchanged, and a
+//! reconstructed row is decoded by arg-max over each category block.
+//! The `scale` knob matters because eigenanalysis is variance-weighted:
+//! it puts the indicator block on a comparable footing with the numeric
+//! columns.
+
+use crate::{DataMatrix, DatasetError, Result};
+use linalg::Matrix;
+
+/// A column of a mixed-type table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MixedColumn {
+    /// Plain numeric attribute.
+    Numeric {
+        /// Attribute name.
+        name: String,
+        /// Values, length = number of rows.
+        values: Vec<f64>,
+    },
+    /// Categorical attribute with string levels.
+    Categorical {
+        /// Attribute name.
+        name: String,
+        /// Values, length = number of rows.
+        values: Vec<String>,
+    },
+}
+
+impl MixedColumn {
+    fn len(&self) -> usize {
+        match self {
+            MixedColumn::Numeric { values, .. } => values.len(),
+            MixedColumn::Categorical { values, .. } => values.len(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            MixedColumn::Numeric { name, .. } => name,
+            MixedColumn::Categorical { name, .. } => name,
+        }
+    }
+}
+
+/// How an encoded (numeric) column maps back to the mixed schema.
+#[derive(Debug, Clone, PartialEq)]
+enum EncodedColumn {
+    Numeric { name: String },
+    Indicator { attribute: usize, level: String },
+}
+
+/// A one-hot encoder fitted to a mixed table.
+#[derive(Debug, Clone)]
+pub struct OneHotEncoder {
+    /// Distinct levels per original attribute (empty for numeric ones).
+    levels: Vec<Vec<String>>,
+    /// Original attribute names.
+    names: Vec<String>,
+    /// Which original attributes are categorical.
+    categorical: Vec<bool>,
+    /// Layout of the encoded matrix.
+    encoded: Vec<EncodedColumn>,
+    /// Indicator magnitude.
+    scale: f64,
+}
+
+impl OneHotEncoder {
+    /// Fits an encoder to the columns and encodes them in one step.
+    ///
+    /// `scale` is the indicator magnitude (must be positive). A
+    /// reasonable choice is the typical numeric-column standard
+    /// deviation; `1.0` works when numeric columns are O(1).
+    pub fn fit_encode(columns: &[MixedColumn], scale: f64) -> Result<(Self, DataMatrix)> {
+        if columns.is_empty() {
+            return Err(DatasetError::Invalid("no columns".into()));
+        }
+        if scale <= 0.0 {
+            return Err(DatasetError::Invalid(format!(
+                "scale must be positive, got {scale}"
+            )));
+        }
+        let n = columns[0].len();
+        if n == 0 {
+            return Err(DatasetError::Invalid("no rows".into()));
+        }
+        for c in columns {
+            if c.len() != n {
+                return Err(DatasetError::Invalid(format!(
+                    "column {:?} has {} rows, expected {n}",
+                    c.name(),
+                    c.len()
+                )));
+            }
+        }
+
+        let mut levels: Vec<Vec<String>> = Vec::with_capacity(columns.len());
+        let mut names = Vec::with_capacity(columns.len());
+        let mut categorical = Vec::with_capacity(columns.len());
+        let mut encoded: Vec<EncodedColumn> = Vec::new();
+        for (a, c) in columns.iter().enumerate() {
+            names.push(c.name().to_string());
+            match c {
+                MixedColumn::Numeric { name, .. } => {
+                    levels.push(Vec::new());
+                    categorical.push(false);
+                    encoded.push(EncodedColumn::Numeric { name: name.clone() });
+                }
+                MixedColumn::Categorical { values, .. } => {
+                    let mut lv: Vec<String> = values.clone();
+                    lv.sort();
+                    lv.dedup();
+                    if lv.len() < 2 {
+                        return Err(DatasetError::Invalid(format!(
+                            "categorical column {:?} has {} distinct level(s); need >= 2",
+                            c.name(),
+                            lv.len()
+                        )));
+                    }
+                    for l in &lv {
+                        encoded.push(EncodedColumn::Indicator {
+                            attribute: a,
+                            level: l.clone(),
+                        });
+                    }
+                    levels.push(lv);
+                    categorical.push(true);
+                }
+            }
+        }
+
+        let enc = OneHotEncoder {
+            levels,
+            names,
+            categorical,
+            encoded,
+            scale,
+        };
+        let matrix = enc.encode_columns(columns, n)?;
+        Ok((enc, matrix))
+    }
+
+    fn encode_columns(&self, columns: &[MixedColumn], n: usize) -> Result<DataMatrix> {
+        let m = self.encoded.len();
+        let mut data = vec![0.0_f64; n * m];
+        let mut j = 0usize;
+        for (a, c) in columns.iter().enumerate() {
+            match c {
+                MixedColumn::Numeric { values, .. } => {
+                    for (i, &v) in values.iter().enumerate() {
+                        data[i * m + j] = v;
+                    }
+                    j += 1;
+                }
+                MixedColumn::Categorical { values, .. } => {
+                    let width = self.levels[a].len();
+                    for (i, v) in values.iter().enumerate() {
+                        let Some(pos) = self.levels[a].iter().position(|l| l == v) else {
+                            return Err(DatasetError::Invalid(format!(
+                                "unknown level {v:?} for attribute {:?}",
+                                self.names[a]
+                            )));
+                        };
+                        data[i * m + j + pos] = self.scale;
+                    }
+                    j += width;
+                }
+            }
+        }
+        let matrix = Matrix::from_vec(n, m, data)?;
+        let labels = self
+            .encoded
+            .iter()
+            .map(|e| match e {
+                EncodedColumn::Numeric { name } => name.clone(),
+                EncodedColumn::Indicator { attribute, level } => {
+                    format!("{}={}", self.names[*attribute], level)
+                }
+            })
+            .collect();
+        let mut dm = DataMatrix::new(matrix);
+        dm.set_col_labels(labels)?;
+        Ok(dm)
+    }
+
+    /// Width of the encoded matrix.
+    pub fn encoded_width(&self) -> usize {
+        self.encoded.len()
+    }
+
+    /// Names of the original attributes.
+    pub fn attribute_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Encoded column range `[start, end)` of original attribute `a`.
+    pub fn block_of(&self, a: usize) -> Result<std::ops::Range<usize>> {
+        if a >= self.names.len() {
+            return Err(DatasetError::Invalid(format!("attribute {a} out of range")));
+        }
+        let mut start = 0usize;
+        for (idx, cat) in self.categorical.iter().enumerate() {
+            let width = if *cat { self.levels[idx].len() } else { 1 };
+            if idx == a {
+                return Ok(start..start + width);
+            }
+            start += width;
+        }
+        unreachable!("attribute index validated above");
+    }
+
+    /// Decodes a reconstructed numeric row back to mixed values: numeric
+    /// columns pass through; each categorical block becomes the arg-max
+    /// level (with its soft score in `[0, 1]`-ish units of `scale`).
+    pub fn decode_row(&self, row: &[f64]) -> Result<Vec<DecodedValue>> {
+        if row.len() != self.encoded.len() {
+            return Err(DatasetError::Invalid(format!(
+                "row width {} != encoded width {}",
+                row.len(),
+                self.encoded.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.names.len());
+        for a in 0..self.names.len() {
+            let block = self.block_of(a)?;
+            if !self.categorical[a] {
+                out.push(DecodedValue::Numeric(row[block.start]));
+            } else {
+                let slice = &row[block.clone()];
+                let (best, &score) = slice
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                    .expect(">= 2 levels");
+                out.push(DecodedValue::Categorical {
+                    level: self.levels[a][best].clone(),
+                    score: score / self.scale,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A decoded mixed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodedValue {
+    /// Numeric attribute value.
+    Numeric(f64),
+    /// Categorical attribute: chosen level and its soft score
+    /// (reconstructed indicator / scale; near 1 means confident).
+    Categorical {
+        /// Arg-max level.
+        level: String,
+        /// Soft score of that level.
+        score: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed() -> Vec<MixedColumn> {
+        vec![
+            MixedColumn::Numeric {
+                name: "length".into(),
+                values: vec![1.0, 2.0, 3.0, 4.0],
+            },
+            MixedColumn::Categorical {
+                name: "sex".into(),
+                values: vec!["M".into(), "F".into(), "I".into(), "M".into()],
+            },
+            MixedColumn::Numeric {
+                name: "weight".into(),
+                values: vec![10.0, 20.0, 30.0, 40.0],
+            },
+        ]
+    }
+
+    #[test]
+    fn encoding_layout_and_labels() {
+        let (enc, dm) = OneHotEncoder::fit_encode(&mixed(), 1.0).unwrap();
+        assert_eq!(enc.encoded_width(), 5); // length, sex=F, sex=I, sex=M, weight
+        assert_eq!(
+            dm.col_labels(),
+            &["length", "sex=F", "sex=I", "sex=M", "weight"]
+        );
+        assert_eq!(dm.n_rows(), 4);
+        // Row 0: length 1, sex M -> indicator in the M slot, weight 10.
+        assert_eq!(dm.row(0), &[1.0, 0.0, 0.0, 1.0, 10.0]);
+        assert_eq!(dm.row(1), &[2.0, 1.0, 0.0, 0.0, 20.0]);
+    }
+
+    #[test]
+    fn scale_is_applied() {
+        let (_, dm) = OneHotEncoder::fit_encode(&mixed(), 2.5).unwrap();
+        assert_eq!(dm.row(0)[3], 2.5);
+    }
+
+    #[test]
+    fn block_ranges() {
+        let (enc, _) = OneHotEncoder::fit_encode(&mixed(), 1.0).unwrap();
+        assert_eq!(enc.block_of(0).unwrap(), 0..1);
+        assert_eq!(enc.block_of(1).unwrap(), 1..4);
+        assert_eq!(enc.block_of(2).unwrap(), 4..5);
+        assert!(enc.block_of(3).is_err());
+    }
+
+    #[test]
+    fn decode_argmax() {
+        let (enc, _) = OneHotEncoder::fit_encode(&mixed(), 1.0).unwrap();
+        let decoded = enc.decode_row(&[2.2, 0.1, 0.7, 0.2, 21.0]).unwrap();
+        assert_eq!(decoded[0], DecodedValue::Numeric(2.2));
+        match &decoded[1] {
+            DecodedValue::Categorical { level, score } => {
+                assert_eq!(level, "I");
+                assert!((score - 0.7).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(decoded[2], DecodedValue::Numeric(21.0));
+        assert!(enc.decode_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        let cols = mixed();
+        let (enc, dm) = OneHotEncoder::fit_encode(&cols, 1.0).unwrap();
+        for i in 0..4 {
+            let decoded = enc.decode_row(dm.row(i)).unwrap();
+            match (&cols[1], &decoded[1]) {
+                (
+                    MixedColumn::Categorical { values, .. },
+                    DecodedValue::Categorical { level, score },
+                ) => {
+                    assert_eq!(level, &values[i]);
+                    assert!((score - 1.0).abs() < 1e-12);
+                }
+                _ => panic!("wrong decode shape"),
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(OneHotEncoder::fit_encode(&[], 1.0).is_err());
+        assert!(OneHotEncoder::fit_encode(&mixed(), 0.0).is_err());
+        let ragged = vec![
+            MixedColumn::Numeric {
+                name: "a".into(),
+                values: vec![1.0],
+            },
+            MixedColumn::Numeric {
+                name: "b".into(),
+                values: vec![1.0, 2.0],
+            },
+        ];
+        assert!(OneHotEncoder::fit_encode(&ragged, 1.0).is_err());
+        let single_level = vec![MixedColumn::Categorical {
+            name: "c".into(),
+            values: vec!["x".into(), "x".into()],
+        }];
+        assert!(OneHotEncoder::fit_encode(&single_level, 1.0).is_err());
+        let empty = vec![MixedColumn::Numeric {
+            name: "a".into(),
+            values: vec![],
+        }];
+        assert!(OneHotEncoder::fit_encode(&empty, 1.0).is_err());
+    }
+
+    #[test]
+    fn unknown_level_rejected_on_reencode() {
+        // Construct an encoder, then feed a column set with a new level
+        // through encode_columns via fit on one set and manual misuse:
+        // covered indirectly — fit_encode always sees its own levels, so
+        // exercise the error by decoding width mismatch instead (above)
+        // and by two-step misuse here.
+        let cols_a = vec![MixedColumn::Categorical {
+            name: "sex".into(),
+            values: vec!["M".into(), "F".into()],
+        }];
+        let (enc, _) = OneHotEncoder::fit_encode(&cols_a, 1.0).unwrap();
+        let cols_b = vec![MixedColumn::Categorical {
+            name: "sex".into(),
+            values: vec!["M".into(), "X".into()],
+        }];
+        assert!(enc.encode_columns(&cols_b, 2).is_err());
+    }
+}

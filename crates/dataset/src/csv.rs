@@ -1,0 +1,291 @@
+//! Minimal CSV persistence for data matrices.
+//!
+//! Deliberately small: numeric cells only, comma separated, with an
+//! optional header row of column labels. This matches how the paper's
+//! datasets (NBA/baseball/abalone tables) are distributed, without pulling
+//! in a CSV dependency.
+
+use crate::{DataMatrix, DatasetError, Result};
+use linalg::Matrix;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads a matrix from CSV text.
+///
+/// When `has_header` is true the first line supplies column labels;
+/// otherwise labels are generated. Empty lines are skipped.
+pub fn read_csv<R: Read>(reader: R, has_header: bool) -> Result<DataMatrix> {
+    let buf = BufReader::new(reader);
+    let mut header: Option<Vec<String>> = None;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if has_header && header.is_none() {
+            header = Some(fields.into_iter().map(String::from).collect());
+            continue;
+        }
+        if let Some(w) = width {
+            if fields.len() != w {
+                return Err(DatasetError::RaggedRows {
+                    line: idx + 1,
+                    expected: w,
+                    actual: fields.len(),
+                });
+            }
+        } else {
+            width = Some(fields.len());
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (col, tok) in fields.iter().enumerate() {
+            let v: f64 = tok.parse().map_err(|_| DatasetError::Parse {
+                line: idx + 1,
+                column: col,
+                token: (*tok).to_string(),
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+
+    let n = rows.len();
+    let m = width.unwrap_or_else(|| header.as_ref().map_or(0, Vec::len));
+    if n == 0 || m == 0 {
+        return Err(DatasetError::Invalid("empty CSV input".into()));
+    }
+    if let Some(h) = &header {
+        if h.len() != m {
+            return Err(DatasetError::RaggedRows {
+                line: 1,
+                expected: m,
+                actual: h.len(),
+            });
+        }
+    }
+
+    let mut data = Vec::with_capacity(n * m);
+    for row in &rows {
+        data.extend_from_slice(row);
+    }
+    let matrix = Matrix::from_vec(n, m, data)?;
+    let mut dm = DataMatrix::new(matrix);
+    if let Some(h) = header {
+        dm.set_col_labels(h)?;
+    }
+    Ok(dm)
+}
+
+/// Reads a matrix from a CSV file on disk.
+pub fn read_csv_file(path: impl AsRef<Path>, has_header: bool) -> Result<DataMatrix> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file, has_header)
+}
+
+/// Rows of optional cells plus the column labels, as returned by the
+/// holed readers.
+pub type HoledRows = (Vec<Vec<Option<f64>>>, Vec<String>);
+
+/// Reads a CSV that may contain holes: empty cells or `?` parse to
+/// `None`. Returns `(rows, column_labels)` for use with the imputation
+/// API.
+pub fn read_csv_holed<R: Read>(reader: R, has_header: bool) -> Result<HoledRows> {
+    let buf = BufReader::new(reader);
+    let mut header: Option<Vec<String>> = None;
+    let mut rows: Vec<Vec<Option<f64>>> = Vec::new();
+    let mut width: Option<usize> = None;
+
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if has_header && header.is_none() {
+            header = Some(fields.into_iter().map(String::from).collect());
+            continue;
+        }
+        if let Some(w) = width {
+            if fields.len() != w {
+                return Err(DatasetError::RaggedRows {
+                    line: idx + 1,
+                    expected: w,
+                    actual: fields.len(),
+                });
+            }
+        } else {
+            width = Some(fields.len());
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (col, tok) in fields.iter().enumerate() {
+            if tok.is_empty() || *tok == "?" {
+                row.push(None);
+            } else {
+                let v: f64 = tok.parse().map_err(|_| DatasetError::Parse {
+                    line: idx + 1,
+                    column: col,
+                    token: (*tok).to_string(),
+                })?;
+                row.push(Some(v));
+            }
+        }
+        rows.push(row);
+    }
+    let m = width.unwrap_or(0);
+    if rows.is_empty() || m == 0 {
+        return Err(DatasetError::Invalid("empty CSV input".into()));
+    }
+    let labels = header.unwrap_or_else(|| (0..m).map(|j| format!("attr{j}")).collect());
+    if labels.len() != m {
+        return Err(DatasetError::RaggedRows {
+            line: 1,
+            expected: m,
+            actual: labels.len(),
+        });
+    }
+    Ok((rows, labels))
+}
+
+/// Reads a holed CSV from disk (see [`read_csv_holed`]).
+pub fn read_csv_holed_file(path: impl AsRef<Path>, has_header: bool) -> Result<HoledRows> {
+    let file = std::fs::File::open(path)?;
+    read_csv_holed(file, has_header)
+}
+
+/// Writes a matrix as CSV (header row of column labels included).
+pub fn write_csv<W: Write>(dm: &DataMatrix, mut writer: W) -> Result<()> {
+    writeln!(writer, "{}", dm.col_labels().join(","))?;
+    for i in 0..dm.n_rows() {
+        let cells: Vec<String> = dm.row(i).iter().map(|v| format!("{v}")).collect();
+        writeln!(writer, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes a matrix to a CSV file on disk.
+pub fn write_csv_file(dm: &DataMatrix, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(dm, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let dm = DataMatrix::with_labels(
+            Matrix::from_rows(&[&[1.5, 2.0], &[3.25, -4.0]]).unwrap(),
+            vec!["r0".into(), "r1".into()],
+            vec!["bread".into(), "butter".into()],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&dm, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("bread,butter\n"));
+
+        let back = read_csv(&buf[..], true).unwrap();
+        assert_eq!(back.matrix(), dm.matrix());
+        assert_eq!(back.col_labels(), dm.col_labels());
+    }
+
+    #[test]
+    fn headerless_input_gets_generated_labels() {
+        let dm = read_csv("1,2\n3,4\n".as_bytes(), false).unwrap();
+        assert_eq!(dm.n_rows(), 2);
+        assert_eq!(dm.col_labels(), &["attr0", "attr1"]);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_trims_spaces() {
+        let dm = read_csv("a, b\n 1 , 2 \n\n3,4\n".as_bytes(), true).unwrap();
+        assert_eq!(dm.n_rows(), 2);
+        assert_eq!(dm.col_labels(), &["a", "b"]);
+        assert_eq!(dm.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_location() {
+        let err = read_csv("1,x\n".as_bytes(), false).unwrap_err();
+        match err {
+            DatasetError::Parse {
+                line,
+                column,
+                token,
+            } => {
+                assert_eq!(line, 1);
+                assert_eq!(column, 1);
+                assert_eq!(token, "x");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_ragged_rows() {
+        let err = read_csv("1,2\n3\n".as_bytes(), false).unwrap_err();
+        assert!(matches!(
+            err,
+            DatasetError::RaggedRows {
+                line: 2,
+                expected: 2,
+                actual: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn header_width_mismatch_detected() {
+        let err = read_csv("a,b,c\n1,2\n".as_bytes(), true).unwrap_err();
+        assert!(matches!(err, DatasetError::RaggedRows { .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            read_csv("".as_bytes(), false),
+            Err(DatasetError::Invalid(_))
+        ));
+        assert!(matches!(
+            read_csv("\n\n".as_bytes(), true),
+            Err(DatasetError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn holed_reader_parses_question_marks_and_blanks() {
+        let (rows, labels) = read_csv_holed("a,b,c\n1,?,3\n4,5,\n".as_bytes(), true).unwrap();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+        assert_eq!(rows[0], vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(rows[1], vec![Some(4.0), Some(5.0), None]);
+    }
+
+    #[test]
+    fn holed_reader_validates() {
+        assert!(read_csv_holed("".as_bytes(), false).is_err());
+        assert!(read_csv_holed("1,2\n3\n".as_bytes(), false).is_err());
+        assert!(read_csv_holed("1,x\n".as_bytes(), false).is_err());
+        // Headerless gets generated labels.
+        let (_, labels) = read_csv_holed("1,?\n".as_bytes(), false).unwrap();
+        assert_eq!(labels, vec!["attr0", "attr1"]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rr_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.csv");
+        let dm = DataMatrix::new(Matrix::from_rows(&[&[1.0, 2.0]]).unwrap());
+        write_csv_file(&dm, &path).unwrap();
+        let back = read_csv_file(&path, true).unwrap();
+        assert_eq!(back.matrix(), dm.matrix());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

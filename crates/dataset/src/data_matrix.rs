@@ -1,0 +1,195 @@
+//! Labeled data matrix.
+
+use crate::{DatasetError, Result};
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An `N x M` data matrix with optional row and column labels.
+///
+/// Rows are the paper's "records" (customers, players, specimens) and
+/// columns its "attributes" (products, statistics, measurements). Labels
+/// are carried so mined rules can be rendered in attribute terms
+/// ("bread : butter = 0.866 : 0.5") rather than raw indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataMatrix {
+    matrix: Matrix,
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+}
+
+impl DataMatrix {
+    /// Wraps a matrix with generated labels (`row0...`, `attr0...`).
+    pub fn new(matrix: Matrix) -> Self {
+        let row_labels = (0..matrix.rows()).map(|i| format!("row{i}")).collect();
+        let col_labels = (0..matrix.cols()).map(|j| format!("attr{j}")).collect();
+        DataMatrix {
+            matrix,
+            row_labels,
+            col_labels,
+        }
+    }
+
+    /// Wraps a matrix with explicit labels.
+    ///
+    /// Label counts must match the matrix shape.
+    pub fn with_labels(
+        matrix: Matrix,
+        row_labels: Vec<String>,
+        col_labels: Vec<String>,
+    ) -> Result<Self> {
+        if row_labels.len() != matrix.rows() {
+            return Err(DatasetError::Invalid(format!(
+                "{} row labels for {} rows",
+                row_labels.len(),
+                matrix.rows()
+            )));
+        }
+        if col_labels.len() != matrix.cols() {
+            return Err(DatasetError::Invalid(format!(
+                "{} column labels for {} columns",
+                col_labels.len(),
+                matrix.cols()
+            )));
+        }
+        Ok(DataMatrix {
+            matrix,
+            row_labels,
+            col_labels,
+        })
+    }
+
+    /// Sets the column labels in place (count must match).
+    pub fn set_col_labels(&mut self, labels: Vec<String>) -> Result<()> {
+        if labels.len() != self.matrix.cols() {
+            return Err(DatasetError::Invalid(format!(
+                "{} column labels for {} columns",
+                labels.len(),
+                self.matrix.cols()
+            )));
+        }
+        self.col_labels = labels;
+        Ok(())
+    }
+
+    /// Number of records (rows).
+    pub fn n_rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of attributes (columns).
+    pub fn n_cols(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.matrix.row(i)
+    }
+
+    /// Row labels.
+    pub fn row_labels(&self) -> &[String] {
+        &self.row_labels
+    }
+
+    /// Column labels.
+    pub fn col_labels(&self) -> &[String] {
+        &self.col_labels
+    }
+
+    /// Index of the column with the given label.
+    pub fn col_index(&self, label: &str) -> Option<usize> {
+        self.col_labels.iter().position(|l| l == label)
+    }
+
+    /// Builds a new `DataMatrix` keeping only the given rows (labels
+    /// follow).
+    pub fn select_rows(&self, indices: &[usize]) -> DataMatrix {
+        DataMatrix {
+            matrix: self.matrix.select_rows(indices),
+            row_labels: indices
+                .iter()
+                .map(|&i| self.row_labels[i].clone())
+                .collect(),
+            col_labels: self.col_labels.clone(),
+        }
+    }
+
+    /// Consumes self, returning the inner matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.matrix
+    }
+}
+
+impl From<Matrix> for DataMatrix {
+    fn from(m: Matrix) -> Self {
+        DataMatrix::new(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataMatrix {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        DataMatrix::with_labels(
+            m,
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["bread".into(), "butter".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generated_labels() {
+        let dm = DataMatrix::new(Matrix::zeros(2, 3));
+        assert_eq!(dm.row_labels(), &["row0", "row1"]);
+        assert_eq!(dm.col_labels(), &["attr0", "attr1", "attr2"]);
+    }
+
+    #[test]
+    fn label_validation() {
+        let m = Matrix::zeros(2, 2);
+        assert!(
+            DataMatrix::with_labels(m.clone(), vec!["x".into()], vec!["a".into(), "b".into()])
+                .is_err()
+        );
+        assert!(
+            DataMatrix::with_labels(m, vec!["x".into(), "y".into()], vec!["a".into()]).is_err()
+        );
+
+        let mut dm = DataMatrix::new(Matrix::zeros(2, 2));
+        assert!(dm.set_col_labels(vec!["only-one".into()]).is_err());
+        assert!(dm.set_col_labels(vec!["p".into(), "q".into()]).is_ok());
+        assert_eq!(dm.col_labels(), &["p", "q"]);
+    }
+
+    #[test]
+    fn col_index_lookup() {
+        let dm = sample();
+        assert_eq!(dm.col_index("butter"), Some(1));
+        assert_eq!(dm.col_index("milk"), None);
+    }
+
+    #[test]
+    fn select_rows_carries_labels() {
+        let dm = sample();
+        let sub = dm.select_rows(&[2, 0]);
+        assert_eq!(sub.n_rows(), 2);
+        assert_eq!(sub.row_labels(), &["c", "a"]);
+        assert_eq!(sub.row(0), &[5.0, 6.0]);
+        assert_eq!(sub.col_labels(), dm.col_labels());
+    }
+
+    #[test]
+    fn from_matrix_conversion() {
+        let dm: DataMatrix = Matrix::identity(2).into();
+        assert_eq!(dm.n_rows(), 2);
+        assert_eq!(dm.into_matrix(), Matrix::identity(2));
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type for the dataset crate.
+
+use std::fmt;
+
+/// Errors from loading, splitting, or generating datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Underlying linear algebra failure (e.g. bad shape).
+    Linalg(linalg::LinalgError),
+    /// I/O failure while reading or writing a dataset file.
+    Io(std::io::Error),
+    /// A CSV cell could not be parsed as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+        /// Offending token.
+        token: String,
+    },
+    /// Rows with inconsistent numbers of fields.
+    RaggedRows {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Expected field count (from the first row).
+        expected: usize,
+        /// Actual field count.
+        actual: usize,
+    },
+    /// Invalid argument (bad fraction, empty matrix, label mismatch...).
+    Invalid(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Linalg(e) => write!(f, "linalg error: {e}"),
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+            DatasetError::Parse {
+                line,
+                column,
+                token,
+            } => {
+                write!(
+                    f,
+                    "line {line}, column {column}: cannot parse {token:?} as a number"
+                )
+            }
+            DatasetError::RaggedRows {
+                line,
+                expected,
+                actual,
+            } => {
+                write!(f, "line {line}: expected {expected} fields, found {actual}")
+            }
+            DatasetError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Linalg(e) => Some(e),
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linalg::LinalgError> for DatasetError {
+    fn from(e: linalg::LinalgError) -> Self {
+        DatasetError::Linalg(e)
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DatasetError::Parse {
+            line: 3,
+            column: 2,
+            token: "abc".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("abc"));
+
+        let e = DatasetError::RaggedRows {
+            line: 5,
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expected 4"));
+
+        let e = DatasetError::Invalid("fraction out of range".into());
+        assert!(e.to_string().contains("fraction"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error;
+        let e: DatasetError = linalg::LinalgError::Singular { op: "solve" }.into();
+        assert!(e.source().is_some());
+        let e: DatasetError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(e.source().is_some());
+    }
+}

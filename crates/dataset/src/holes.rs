@@ -1,0 +1,303 @@
+//! Hole masks and hole-set sampling for the guessing-error metric.
+//!
+//! Definition 2 of the paper averages over "some subset of the (M choose h)
+//! combinations" of `h`-hole sets. This module provides that machinery:
+//! deterministic enumeration for small `M`, seeded sampling otherwise, and
+//! the [`HoledRow`] view used by the reconstruction code.
+
+use crate::{DatasetError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A set of hole positions `H` within a row of width `m`.
+///
+/// Invariant: indices are strictly increasing and `< m`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HoleSet {
+    indices: Vec<usize>,
+    m: usize,
+}
+
+impl HoleSet {
+    /// Builds a hole set, validating and sorting the indices.
+    pub fn new(mut indices: Vec<usize>, m: usize) -> Result<Self> {
+        indices.sort_unstable();
+        indices.dedup();
+        if indices.len() >= m {
+            return Err(DatasetError::Invalid(format!(
+                "{} holes leaves no known values in a width-{m} row",
+                indices.len()
+            )));
+        }
+        if let Some(&max) = indices.last() {
+            if max >= m {
+                return Err(DatasetError::Invalid(format!(
+                    "hole index {max} >= width {m}"
+                )));
+            }
+        }
+        if indices.is_empty() {
+            return Err(DatasetError::Invalid("empty hole set".into()));
+        }
+        Ok(HoleSet { indices, m })
+    }
+
+    /// Hole positions, ascending.
+    pub fn holes(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of holes `h`.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Always false (construction rejects empty sets) — provided for
+    /// clippy-friendliness alongside `len`.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Row width `M`.
+    pub fn width(&self) -> usize {
+        self.m
+    }
+
+    /// The complement: indices of *known* positions, ascending. These are
+    /// the rows kept by the paper's elimination matrix `E_H`.
+    pub fn known(&self) -> Vec<usize> {
+        (0..self.m).filter(|i| !self.indices.contains(i)).collect()
+    }
+
+    /// True if `j` is a hole.
+    pub fn contains(&self, j: usize) -> bool {
+        self.indices.binary_search(&j).is_ok()
+    }
+
+    /// Punches the holes into a row, producing a [`HoledRow`].
+    pub fn apply(&self, row: &[f64]) -> Result<HoledRow> {
+        if row.len() != self.m {
+            return Err(DatasetError::Invalid(format!(
+                "row width {} != hole-set width {}",
+                row.len(),
+                self.m
+            )));
+        }
+        let values = row
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| if self.contains(j) { None } else { Some(v) })
+            .collect();
+        Ok(HoledRow { values })
+    }
+}
+
+/// A row vector with holes: the paper's `b_H` ("?" entries are `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoledRow {
+    /// `None` marks a hole.
+    pub values: Vec<Option<f64>>,
+}
+
+impl HoledRow {
+    /// Builds directly from optional values.
+    pub fn new(values: Vec<Option<f64>>) -> Self {
+        HoledRow { values }
+    }
+
+    /// Row width `M`.
+    pub fn width(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Indices of holes, ascending.
+    pub fn hole_indices(&self) -> Vec<usize> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(j, v)| v.is_none().then_some(j))
+            .collect()
+    }
+
+    /// Indices of known values, ascending.
+    pub fn known_indices(&self) -> Vec<usize> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(j, v)| v.is_some().then_some(j))
+            .collect()
+    }
+
+    /// The known values, in index order (the paper's `b' = E_H b_H^t`).
+    pub fn known_values(&self) -> Vec<f64> {
+        self.values.iter().flatten().copied().collect()
+    }
+}
+
+/// Enumerates *all* `h`-hole subsets of `{0..m}` in lexicographic order.
+///
+/// Use only for small `(m, h)`; the count is `C(m, h)`.
+pub fn enumerate_hole_sets(m: usize, h: usize) -> Result<Vec<HoleSet>> {
+    if h == 0 || h >= m {
+        return Err(DatasetError::Invalid(format!(
+            "need 0 < h < m, got h={h}, m={m}"
+        )));
+    }
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = (0..h).collect();
+    loop {
+        out.push(HoleSet::new(combo.clone(), m)?);
+        // Next combination.
+        let mut i = h;
+        loop {
+            if i == 0 {
+                return Ok(out);
+            }
+            i -= 1;
+            if combo[i] != i + m - h {
+                break;
+            }
+        }
+        combo[i] += 1;
+        for j in (i + 1)..h {
+            combo[j] = combo[j - 1] + 1;
+        }
+    }
+}
+
+/// Samples `count` distinct `h`-hole sets uniformly (seeded). Falls back to
+/// full enumeration when `C(m, h)` is small enough to enumerate exactly.
+pub fn sample_hole_sets(m: usize, h: usize, count: usize, seed: u64) -> Result<Vec<HoleSet>> {
+    if h == 0 || h >= m {
+        return Err(DatasetError::Invalid(format!(
+            "need 0 < h < m, got h={h}, m={m}"
+        )));
+    }
+    // If the exact number of combinations is small, enumerate and subsample.
+    if let Some(total) = binomial(m, h) {
+        if total <= count.max(64) {
+            let mut all = enumerate_hole_sets(m, h)?;
+            if all.len() > count {
+                let mut rng = StdRng::seed_from_u64(seed);
+                all.shuffle(&mut rng);
+                all.truncate(count);
+            }
+            return Ok(all);
+        }
+    }
+    // Otherwise sample without replacement via rejection.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    let mut indices: Vec<usize> = (0..m).collect();
+    while out.len() < count {
+        indices.shuffle(&mut rng);
+        let mut pick: Vec<usize> = indices[..h].to_vec();
+        pick.sort_unstable();
+        if seen.insert(pick.clone()) {
+            out.push(HoleSet::new(pick, m)?);
+        }
+    }
+    Ok(out)
+}
+
+/// `C(n, k)` with overflow detection.
+fn binomial(n: usize, k: usize) -> Option<usize> {
+    let k = k.min(n - k);
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = acc.checked_mul(n - i)?;
+        acc /= i + 1;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hole_set_validation() {
+        assert!(HoleSet::new(vec![], 5).is_err());
+        assert!(HoleSet::new(vec![5], 5).is_err());
+        assert!(HoleSet::new(vec![0, 1, 2], 3).is_err()); // no known values left
+        let h = HoleSet::new(vec![3, 1, 1], 5).unwrap(); // dedup + sort
+        assert_eq!(h.holes(), &[1, 3]);
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn known_is_complement() {
+        let h = HoleSet::new(vec![1, 3], 5).unwrap();
+        assert_eq!(h.known(), vec![0, 2, 4]);
+        assert!(h.contains(3));
+        assert!(!h.contains(2));
+    }
+
+    #[test]
+    fn apply_punches_holes() {
+        let h = HoleSet::new(vec![1, 3], 5).unwrap();
+        let row = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let holed = h.apply(&row).unwrap();
+        assert_eq!(
+            holed.values,
+            vec![Some(10.0), None, Some(30.0), None, Some(50.0)]
+        );
+        assert_eq!(holed.hole_indices(), vec![1, 3]);
+        assert_eq!(holed.known_indices(), vec![0, 2, 4]);
+        assert_eq!(holed.known_values(), vec![10.0, 30.0, 50.0]);
+        assert_eq!(holed.width(), 5);
+        assert!(h.apply(&row[..4]).is_err());
+    }
+
+    #[test]
+    fn paper_example_2hole_vector() {
+        // The paper's example: b_{2,4} = [b1, ?, b3, ?, b5] (1-indexed)
+        // == holes at 0-indexed {1, 3} of a width-5 row.
+        let h = HoleSet::new(vec![1, 3], 5).unwrap();
+        let holed = h.apply(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        // E_H b^t keeps (b1, b3, b5) in paper terms.
+        assert_eq!(holed.known_values(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn enumeration_counts_match_binomial() {
+        let sets = enumerate_hole_sets(5, 2).unwrap();
+        assert_eq!(sets.len(), 10);
+        // All distinct.
+        let uniq: std::collections::HashSet<_> = sets.iter().collect();
+        assert_eq!(uniq.len(), 10);
+        // Lexicographically first and last.
+        assert_eq!(sets[0].holes(), &[0, 1]);
+        assert_eq!(sets[9].holes(), &[3, 4]);
+
+        assert!(enumerate_hole_sets(5, 0).is_err());
+        assert!(enumerate_hole_sets(5, 5).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let a = sample_hole_sets(20, 3, 25, 99).unwrap();
+        let b = sample_hole_sets(20, 3, 25, 99).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 25);
+        let uniq: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(uniq.len(), 25);
+    }
+
+    #[test]
+    fn sampling_small_space_enumerates() {
+        // C(4,2) = 6 < requested 10 -> must return all 6.
+        let sets = sample_hole_sets(4, 2, 10, 1).unwrap();
+        assert_eq!(sets.len(), 6);
+    }
+
+    #[test]
+    fn binomial_helper() {
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(10, 0), Some(1));
+        assert_eq!(binomial(52, 5), Some(2598960));
+    }
+}

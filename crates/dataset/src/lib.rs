@@ -1,0 +1,55 @@
+//! Data layer for the Ratio Rules reproduction.
+//!
+//! Provides the `N x M` data matrices the paper mines (customers x
+//! products, players x statistics, ...), plus everything around them:
+//!
+//! * [`DataMatrix`] — a [`linalg::Matrix`] with row/column labels.
+//! * [`csv`] — minimal CSV persistence.
+//! * [`stats`] — two-pass column statistics used as the numerical oracle
+//!   for the single-pass covariance in the core crate.
+//! * [`split`] — seeded 90/10 train/test splits (paper Sec. 4.3/5).
+//! * [`source`] — the [`source::RowSource`] streaming abstraction: the
+//!   paper's algorithm reads the matrix one row at a time from disk, and
+//!   this trait models exactly that access pattern.
+//! * [`holes`] — hole masks and hole-set sampling for the `GE_h` metric.
+//! * [`synth`] — synthetic stand-ins for the paper's datasets (`nba`,
+//!   `baseball`, `abalone`) and the Quest-style scale-up workload; see
+//!   DESIGN.md for the substitution rationale.
+//! * [`categorical`] — one-hot encoding of mixed tables (the paper's
+//!   Sec. 7 future-work item).
+//!
+//! # Example
+//!
+//! ```
+//! use dataset::{DataMatrix, split::train_test_split, holes::HoleSet};
+//! use linalg::Matrix;
+//!
+//! let data = DataMatrix::new(Matrix::from_fn(100, 4, |i, j| (i + j) as f64));
+//! // The paper's 90/10 protocol, seeded for reproducibility.
+//! let split = train_test_split(&data, 0.9, 42)?;
+//! assert_eq!(split.train.n_rows(), 90);
+//!
+//! // Punch two holes into a test row (Definition 2's h = 2 case).
+//! let holes = HoleSet::new(vec![1, 3], 4)?;
+//! let holed = holes.apply(split.test.row(0))?;
+//! assert_eq!(holed.hole_indices(), vec![1, 3]);
+//! # Ok::<(), dataset::DatasetError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod categorical;
+pub mod csv;
+pub mod data_matrix;
+pub mod error;
+pub mod holes;
+pub mod source;
+pub mod split;
+pub mod stats;
+pub mod synth;
+
+pub use data_matrix::DataMatrix;
+pub use error::DatasetError;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DatasetError>;

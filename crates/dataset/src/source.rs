@@ -1,0 +1,402 @@
+//! Streaming row access.
+//!
+//! The paper's headline efficiency claim is that Ratio Rules need a
+//! *single pass* over the data matrix, which may be far larger than
+//! memory. [`RowSource`] models that access pattern: a cursor that yields
+//! rows in order and can be rewound for algorithms that genuinely need
+//! another pass (the two-pass oracle, not the miner). The core crate's
+//! miner consumes any `RowSource` and provably touches it once.
+
+use crate::{DataMatrix, DatasetError, Result};
+use linalg::Matrix;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// A forward-only, rewindable stream of fixed-width rows.
+pub trait RowSource {
+    /// Number of attributes per row.
+    fn n_cols(&self) -> usize;
+
+    /// Copies the next row into `buf` (length `n_cols()`). Returns `false`
+    /// at end of stream, in which case `buf` is unspecified.
+    fn next_row(&mut self, buf: &mut [f64]) -> Result<bool>;
+
+    /// Resets the cursor to the first row.
+    fn rewind(&mut self) -> Result<()>;
+
+    /// Convenience: drains the stream into a dense matrix (rewinds first).
+    fn collect_matrix(&mut self) -> Result<Matrix> {
+        self.rewind()?;
+        let m = self.n_cols();
+        let mut data = Vec::new();
+        let mut buf = vec![0.0; m];
+        let mut n = 0usize;
+        while self.next_row(&mut buf)? {
+            data.extend_from_slice(&buf);
+            n += 1;
+        }
+        Ok(Matrix::from_vec(n, m, data)?)
+    }
+}
+
+/// In-memory row source over a matrix (zero-copy per row).
+#[derive(Debug, Clone)]
+pub struct MatrixSource<'a> {
+    matrix: &'a Matrix,
+    cursor: usize,
+}
+
+impl<'a> MatrixSource<'a> {
+    /// Wraps a matrix.
+    pub fn new(matrix: &'a Matrix) -> Self {
+        MatrixSource { matrix, cursor: 0 }
+    }
+}
+
+impl<'a> From<&'a DataMatrix> for MatrixSource<'a> {
+    fn from(dm: &'a DataMatrix) -> Self {
+        MatrixSource::new(dm.matrix())
+    }
+}
+
+impl RowSource for MatrixSource<'_> {
+    fn n_cols(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    fn next_row(&mut self, buf: &mut [f64]) -> Result<bool> {
+        if self.cursor >= self.matrix.rows() {
+            return Ok(false);
+        }
+        buf.copy_from_slice(self.matrix.row(self.cursor));
+        self.cursor += 1;
+        Ok(true)
+    }
+
+    fn rewind(&mut self) -> Result<()> {
+        self.cursor = 0;
+        Ok(())
+    }
+}
+
+/// File-backed row source reading CSV-formatted rows lazily from disk —
+/// the paper's "read the ith row of X from disk" setting.
+pub struct CsvFileSource {
+    path: PathBuf,
+    reader: BufReader<std::fs::File>,
+    n_cols: usize,
+    has_header: bool,
+    line: usize,
+    line_buf: String,
+}
+
+impl CsvFileSource {
+    /// Opens a CSV file. The column count is sniffed from the first data
+    /// row; when `has_header` is true the first line is skipped on every
+    /// pass.
+    pub fn open(path: impl AsRef<Path>, has_header: bool) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::open(&path)?;
+        let mut src = CsvFileSource {
+            path,
+            reader: BufReader::new(file),
+            n_cols: 0,
+            has_header,
+            line: 0,
+            line_buf: String::new(),
+        };
+        src.rewind()?;
+        // Sniff width from the first data row.
+        let mut probe = Vec::new();
+        if src.read_raw_row(&mut probe)? {
+            src.n_cols = probe.len();
+        } else {
+            return Err(DatasetError::Invalid("CSV file has no data rows".into()));
+        }
+        src.rewind()?;
+        Ok(src)
+    }
+
+    fn read_raw_row(&mut self, out: &mut Vec<f64>) -> Result<bool> {
+        loop {
+            self.line_buf.clear();
+            let bytes = self.reader.read_line(&mut self.line_buf)?;
+            if bytes == 0 {
+                return Ok(false);
+            }
+            self.line += 1;
+            let trimmed = self.line_buf.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            out.clear();
+            for (col, tok) in trimmed.split(',').map(str::trim).enumerate() {
+                let v: f64 = tok.parse().map_err(|_| DatasetError::Parse {
+                    line: self.line,
+                    column: col,
+                    token: tok.to_string(),
+                })?;
+                out.push(v);
+            }
+            return Ok(true);
+        }
+    }
+}
+
+impl RowSource for CsvFileSource {
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    fn next_row(&mut self, buf: &mut [f64]) -> Result<bool> {
+        let mut tmp = Vec::with_capacity(self.n_cols);
+        if !self.read_raw_row(&mut tmp)? {
+            return Ok(false);
+        }
+        if tmp.len() != self.n_cols {
+            return Err(DatasetError::RaggedRows {
+                line: self.line,
+                expected: self.n_cols,
+                actual: tmp.len(),
+            });
+        }
+        buf.copy_from_slice(&tmp);
+        Ok(true)
+    }
+
+    fn rewind(&mut self) -> Result<()> {
+        self.reader.seek(SeekFrom::Start(0))?;
+        self.line = 0;
+        if self.has_header {
+            self.line_buf.clear();
+            self.reader.read_line(&mut self.line_buf)?;
+            self.line = 1;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for CsvFileSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsvFileSource")
+            .field("path", &self.path)
+            .field("n_cols", &self.n_cols)
+            .finish()
+    }
+}
+
+/// Concatenates several row sources into one stream — the warehouse
+/// scenario where each day/shard lives in its own file and the miner
+/// should see them as a single pass over the union.
+pub struct ChainSource<S> {
+    sources: Vec<S>,
+    current: usize,
+}
+
+impl<S: RowSource> ChainSource<S> {
+    /// Chains sources in order. All must agree on the column count.
+    pub fn new(sources: Vec<S>) -> Result<Self> {
+        let Some(first) = sources.first() else {
+            return Err(DatasetError::Invalid(
+                "ChainSource needs at least one source".into(),
+            ));
+        };
+        let m = first.n_cols();
+        for (i, s) in sources.iter().enumerate() {
+            if s.n_cols() != m {
+                return Err(DatasetError::Invalid(format!(
+                    "source {i} has {} columns, expected {m}",
+                    s.n_cols()
+                )));
+            }
+        }
+        Ok(ChainSource {
+            sources,
+            current: 0,
+        })
+    }
+}
+
+impl<S: RowSource> RowSource for ChainSource<S> {
+    fn n_cols(&self) -> usize {
+        self.sources[0].n_cols()
+    }
+
+    fn next_row(&mut self, buf: &mut [f64]) -> Result<bool> {
+        while self.current < self.sources.len() {
+            if self.sources[self.current].next_row(buf)? {
+                return Ok(true);
+            }
+            self.current += 1;
+        }
+        Ok(false)
+    }
+
+    fn rewind(&mut self) -> Result<()> {
+        for s in &mut self.sources {
+            s.rewind()?;
+        }
+        self.current = 0;
+        Ok(())
+    }
+}
+
+/// A wrapper that counts passes and rows delivered — used by tests to
+/// *prove* the miner is single-pass.
+#[derive(Debug)]
+pub struct CountingSource<S> {
+    inner: S,
+    /// Number of `rewind` calls (== passes started).
+    pub rewinds: usize,
+    /// Total rows delivered across all passes.
+    pub rows_delivered: usize,
+}
+
+impl<S: RowSource> CountingSource<S> {
+    /// Wraps another source.
+    pub fn new(inner: S) -> Self {
+        CountingSource {
+            inner,
+            rewinds: 0,
+            rows_delivered: 0,
+        }
+    }
+}
+
+impl<S: RowSource> RowSource for CountingSource<S> {
+    fn n_cols(&self) -> usize {
+        self.inner.n_cols()
+    }
+
+    fn next_row(&mut self, buf: &mut [f64]) -> Result<bool> {
+        let got = self.inner.next_row(buf)?;
+        if got {
+            self.rows_delivered += 1;
+        }
+        Ok(got)
+    }
+
+    fn rewind(&mut self) -> Result<()> {
+        self.rewinds += 1;
+        self.inner.rewind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn matrix_source_streams_all_rows() {
+        let m = sample_matrix();
+        let mut src = MatrixSource::new(&m);
+        let mut buf = [0.0; 2];
+        let mut rows = Vec::new();
+        while src.next_row(&mut buf).unwrap() {
+            rows.push(buf.to_vec());
+        }
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec![5.0, 6.0]);
+        // Exhausted.
+        assert!(!src.next_row(&mut buf).unwrap());
+        // Rewind restarts.
+        src.rewind().unwrap();
+        assert!(src.next_row(&mut buf).unwrap());
+        assert_eq!(buf, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn collect_matrix_roundtrips() {
+        let m = sample_matrix();
+        let mut src = MatrixSource::new(&m);
+        // Consume a row first; collect_matrix must still see everything.
+        let mut buf = [0.0; 2];
+        src.next_row(&mut buf).unwrap();
+        let collected = src.collect_matrix().unwrap();
+        assert_eq!(collected, m);
+    }
+
+    #[test]
+    fn csv_file_source_streams_and_rewinds() {
+        let dir = std::env::temp_dir().join("rr_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.csv");
+        std::fs::write(&path, "a,b\n1,2\n\n3,4\n").unwrap();
+
+        let mut src = CsvFileSource::open(&path, true).unwrap();
+        assert_eq!(src.n_cols(), 2);
+        let collected = src.collect_matrix().unwrap();
+        assert_eq!(
+            collected,
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap()
+        );
+        // Second pass after rewind gives the same data.
+        let again = src.collect_matrix().unwrap();
+        assert_eq!(again, collected);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn csv_file_source_detects_ragged_rows() {
+        let dir = std::env::temp_dir().join("rr_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.csv");
+        std::fs::write(&path, "1,2\n3\n").unwrap();
+        let mut src = CsvFileSource::open(&path, false).unwrap();
+        let mut buf = [0.0; 2];
+        assert!(src.next_row(&mut buf).unwrap());
+        assert!(matches!(
+            src.next_row(&mut buf),
+            Err(DatasetError::RaggedRows { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn csv_file_source_rejects_empty() {
+        let dir = std::env::temp_dir().join("rr_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.csv");
+        std::fs::write(&path, "header,only\n").unwrap();
+        assert!(CsvFileSource::open(&path, true).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chain_source_concatenates_and_rewinds() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0]]).unwrap();
+        let mut chain =
+            ChainSource::new(vec![MatrixSource::new(&a), MatrixSource::new(&b)]).unwrap();
+        assert_eq!(chain.n_cols(), 2);
+        let collected = chain.collect_matrix().unwrap();
+        assert_eq!(
+            collected,
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap()
+        );
+        // A second pass after rewind sees everything again.
+        assert_eq!(chain.collect_matrix().unwrap(), collected);
+    }
+
+    #[test]
+    fn chain_source_validates_widths() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 3);
+        assert!(ChainSource::new(vec![MatrixSource::new(&a), MatrixSource::new(&b)]).is_err());
+        let empty: Vec<MatrixSource> = vec![];
+        assert!(ChainSource::new(empty).is_err());
+    }
+
+    #[test]
+    fn counting_source_tracks_traffic() {
+        let m = sample_matrix();
+        let mut src = CountingSource::new(MatrixSource::new(&m));
+        let _ = src.collect_matrix().unwrap();
+        assert_eq!(src.rewinds, 1);
+        assert_eq!(src.rows_delivered, 3);
+    }
+}

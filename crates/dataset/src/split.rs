@@ -1,0 +1,130 @@
+//! Seeded train/test splits.
+//!
+//! The paper (Sec. 4.3, 5) derives rules from a 90% training portion and
+//! measures the guessing error on the held-out 10%. Splits here are
+//! seeded `StdRng` shuffles, so every experiment is reproducible.
+
+use crate::{DataMatrix, DatasetError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test partition of a [`DataMatrix`].
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training portion (paper: 90%).
+    pub train: DataMatrix,
+    /// Held-out testing portion (paper: 10%).
+    pub test: DataMatrix,
+    /// Original row indices that went into `train`.
+    pub train_indices: Vec<usize>,
+    /// Original row indices that went into `test`.
+    pub test_indices: Vec<usize>,
+}
+
+/// Splits the rows of `data` into train/test with `train_fraction` of rows
+/// (rounded down, but at least one row on each side) going to training.
+///
+/// Returns an error when `train_fraction` is outside `(0, 1)` or the
+/// matrix has fewer than two rows.
+pub fn train_test_split(data: &DataMatrix, train_fraction: f64, seed: u64) -> Result<Split> {
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(DatasetError::Invalid(format!(
+            "train_fraction must be in (0, 1), got {train_fraction}"
+        )));
+    }
+    let n = data.n_rows();
+    if n < 2 {
+        return Err(DatasetError::Invalid(format!(
+            "need at least 2 rows to split, got {n}"
+        )));
+    }
+
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+
+    let mut n_train = ((n as f64) * train_fraction).floor() as usize;
+    n_train = n_train.clamp(1, n - 1);
+
+    let train_indices = indices[..n_train].to_vec();
+    let test_indices = indices[n_train..].to_vec();
+    Ok(Split {
+        train: data.select_rows(&train_indices),
+        test: data.select_rows(&test_indices),
+        train_indices,
+        test_indices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+
+    fn data(n: usize) -> DataMatrix {
+        DataMatrix::new(Matrix::from_fn(n, 3, |i, j| (i * 3 + j) as f64))
+    }
+
+    #[test]
+    fn split_sizes_match_fraction() {
+        let s = train_test_split(&data(100), 0.9, 42).unwrap();
+        assert_eq!(s.train.n_rows(), 90);
+        assert_eq!(s.test.n_rows(), 10);
+        assert_eq!(s.train_indices.len(), 90);
+        assert_eq!(s.test_indices.len(), 10);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = train_test_split(&data(37), 0.8, 7).unwrap();
+        let mut all: Vec<usize> = s
+            .train_indices
+            .iter()
+            .chain(&s.test_indices)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rows_are_copied_correctly() {
+        let d = data(20);
+        let s = train_test_split(&d, 0.5, 3).unwrap();
+        for (k, &orig) in s.train_indices.iter().enumerate() {
+            assert_eq!(s.train.row(k), d.row(orig));
+        }
+        for (k, &orig) in s.test_indices.iter().enumerate() {
+            assert_eq!(s.test.row(k), d.row(orig));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_split() {
+        let d = data(50);
+        let a = train_test_split(&d, 0.9, 123).unwrap();
+        let b = train_test_split(&d, 0.9, 123).unwrap();
+        assert_eq!(a.train_indices, b.train_indices);
+        let c = train_test_split(&d, 0.9, 124).unwrap();
+        assert_ne!(a.train_indices, c.train_indices);
+    }
+
+    #[test]
+    fn both_sides_nonempty_even_for_extreme_fractions() {
+        let d = data(5);
+        let s = train_test_split(&d, 0.99, 1).unwrap();
+        assert!(s.test.n_rows() >= 1);
+        let s = train_test_split(&d, 0.01, 1).unwrap();
+        assert!(s.train.n_rows() >= 1);
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        let d = data(10);
+        assert!(train_test_split(&d, 0.0, 1).is_err());
+        assert!(train_test_split(&d, 1.0, 1).is_err());
+        assert!(train_test_split(&d, -0.5, 1).is_err());
+        assert!(train_test_split(&data(1), 0.5, 1).is_err());
+    }
+}

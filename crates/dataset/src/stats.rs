@@ -1,0 +1,170 @@
+//! Two-pass column statistics: the numerical *oracle* for the single-pass
+//! covariance accumulator in the core crate.
+//!
+//! The paper's Fig. 2a computes the covariance matrix in one pass using the
+//! raw-moment formula `C = sum(x_i x_l) - N avg_i avg_l`. That formula is
+//! fast but can suffer catastrophic cancellation; this module computes the
+//! same quantities the numerically safe way (center first, then
+//! accumulate), so tests can quantify the single-pass error.
+
+use crate::Result;
+use linalg::Matrix;
+
+/// Per-column summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column means, length `M`.
+    pub means: Vec<f64>,
+    /// Column population variances (divide by `N`), length `M`.
+    pub variances: Vec<f64>,
+    /// Column minima.
+    pub mins: Vec<f64>,
+    /// Column maxima.
+    pub maxs: Vec<f64>,
+    /// Number of rows observed.
+    pub n: usize,
+}
+
+/// Computes per-column mean/variance/min/max in two passes.
+pub fn column_stats(x: &Matrix) -> ColumnStats {
+    let (n, m) = x.shape();
+    let mut means = vec![0.0; m];
+    let mut mins = vec![f64::INFINITY; m];
+    let mut maxs = vec![f64::NEG_INFINITY; m];
+    for row in x.row_iter() {
+        for j in 0..m {
+            means[j] += row[j];
+            mins[j] = mins[j].min(row[j]);
+            maxs[j] = maxs[j].max(row[j]);
+        }
+    }
+    if n > 0 {
+        for mj in &mut means {
+            *mj /= n as f64;
+        }
+    }
+    let mut variances = vec![0.0; m];
+    for row in x.row_iter() {
+        for j in 0..m {
+            let d = row[j] - means[j];
+            variances[j] += d * d;
+        }
+    }
+    if n > 0 {
+        for vj in &mut variances {
+            *vj /= n as f64;
+        }
+    }
+    if n == 0 {
+        mins = vec![f64::NAN; m];
+        maxs = vec![f64::NAN; m];
+    }
+    ColumnStats {
+        means,
+        variances,
+        mins,
+        maxs,
+        n,
+    }
+}
+
+/// Centers a matrix column-wise: returns `(X_c, means)` where every column
+/// of `X_c` has zero mean. This is the paper's `X_c`.
+pub fn center_columns(x: &Matrix) -> (Matrix, Vec<f64>) {
+    let stats = column_stats(x);
+    let mut xc = x.clone();
+    for i in 0..x.rows() {
+        let row = xc.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v -= stats.means[j];
+        }
+    }
+    (xc, stats.means)
+}
+
+/// Reference covariance (scatter) matrix `C = X_c^t X_c` computed the
+/// numerically safe two-pass way (paper Eq. 2; note the paper does not
+/// divide by `N` — this is the *scatter* matrix, and eigenvectors are
+/// unaffected by the scaling).
+pub fn covariance_two_pass(x: &Matrix) -> Result<Matrix> {
+    let (xc, _) = center_columns(x);
+    Ok(xc.transpose().matmul(&xc)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]).unwrap()
+    }
+
+    #[test]
+    fn stats_on_known_matrix() {
+        let s = column_stats(&x());
+        assert_eq!(s.means, vec![2.0, 20.0]);
+        // Population variance of {1,2,3} is 2/3.
+        assert!((s.variances[0] - 2.0 / 3.0).abs() < 1e-15);
+        assert!((s.variances[1] - 200.0 / 3.0).abs() < 1e-15);
+        assert_eq!(s.mins, vec![1.0, 10.0]);
+        assert_eq!(s.maxs, vec![3.0, 30.0]);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn stats_on_empty_matrix() {
+        let s = column_stats(&Matrix::zeros(0, 2));
+        assert_eq!(s.n, 0);
+        assert_eq!(s.means, vec![0.0, 0.0]);
+        assert!(s.mins.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn centering_zeroes_column_means() {
+        let (xc, means) = center_columns(&x());
+        assert_eq!(means, vec![2.0, 20.0]);
+        let s = column_stats(&xc);
+        for m in s.means {
+            assert!(m.abs() < 1e-15);
+        }
+        // Variance is translation invariant.
+        assert!((s.variances[0] - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn covariance_on_known_matrix() {
+        // Columns are perfectly correlated: col1 = 10 * col0.
+        let c = covariance_two_pass(&x()).unwrap();
+        assert!((c[(0, 0)] - 2.0).abs() < 1e-14);
+        assert!((c[(0, 1)] - 20.0).abs() < 1e-14);
+        assert!((c[(1, 0)] - 20.0).abs() < 1e-14);
+        assert!((c[(1, 1)] - 200.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 5.0, -2.0],
+            &[2.0, 3.0, 0.0],
+            &[4.0, -1.0, 1.0],
+            &[0.5, 2.0, 7.0],
+        ])
+        .unwrap();
+        let c = covariance_two_pass(&m).unwrap();
+        assert!(c.is_symmetric(1e-12));
+        let e = linalg::eigen::SymmetricEigen::new(&c).unwrap();
+        for l in e.eigenvalues {
+            assert!(l > -1e-10, "covariance eigenvalue {l} negative");
+        }
+    }
+
+    #[test]
+    fn constant_column_has_zero_variance() {
+        let m = Matrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0], &[5.0, 3.0]]).unwrap();
+        let s = column_stats(&m);
+        assert_eq!(s.variances[0], 0.0);
+        let c = covariance_two_pass(&m).unwrap();
+        assert_eq!(c[(0, 0)], 0.0);
+        assert_eq!(c[(0, 1)], 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Latent-factor Gaussian dataset generation.
+//!
+//! Each record is `mean + sum_f z_f * sigma_f * loading_f + eps`, where
+//! `z_f ~ N(0,1)` are independent latent factors with loading vectors over
+//! the attributes, and `eps` is per-attribute Gaussian noise. Datasets
+//! built this way have covariance `sum_f sigma_f^2 L_f L_f^t + diag(noise^2)`
+//! — i.e. their top eigenvectors are (rotations of) the planted loadings,
+//! which is exactly what Ratio Rules are supposed to recover.
+
+use crate::synth::standard_normal;
+use crate::{DataMatrix, DatasetError, Result};
+use linalg::cholesky::Cholesky;
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One planted latent factor.
+#[derive(Debug, Clone)]
+pub struct Factor {
+    /// Loading of the factor on each attribute (length = M). Does not need
+    /// to be normalized; it is used as-is.
+    pub loadings: Vec<f64>,
+    /// Standard deviation of the factor's latent variable.
+    pub sigma: f64,
+}
+
+/// Specification of a latent-factor dataset.
+#[derive(Debug, Clone)]
+pub struct LatentFactorSpec {
+    /// Number of records to generate.
+    pub n_rows: usize,
+    /// Attribute means (length = M).
+    pub means: Vec<f64>,
+    /// Planted factors (each loading vector has length M).
+    pub factors: Vec<Factor>,
+    /// Per-attribute independent noise standard deviations (length = M).
+    pub noise: Vec<f64>,
+    /// Clamp generated values at zero (dollar amounts / count statistics
+    /// cannot be negative).
+    pub nonnegative: bool,
+}
+
+impl LatentFactorSpec {
+    /// Number of attributes `M`.
+    pub fn n_cols(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Validates internal consistency (all vectors length M, positive
+    /// sigmas).
+    pub fn validate(&self) -> Result<()> {
+        let m = self.n_cols();
+        if m == 0 || self.n_rows == 0 {
+            return Err(DatasetError::Invalid("empty latent-factor spec".into()));
+        }
+        if self.noise.len() != m {
+            return Err(DatasetError::Invalid(format!(
+                "noise vector length {} != {} attributes",
+                self.noise.len(),
+                m
+            )));
+        }
+        for (k, f) in self.factors.iter().enumerate() {
+            if f.loadings.len() != m {
+                return Err(DatasetError::Invalid(format!(
+                    "factor {k} has {} loadings for {m} attributes",
+                    f.loadings.len()
+                )));
+            }
+            if f.sigma <= 0.0 {
+                return Err(DatasetError::Invalid(format!(
+                    "factor {k} sigma must be positive, got {}",
+                    f.sigma
+                )));
+            }
+        }
+        if self.noise.iter().any(|&s| s < 0.0) {
+            return Err(DatasetError::Invalid("negative noise sigma".into()));
+        }
+        Ok(())
+    }
+
+    /// Generates the dataset with a seeded RNG.
+    pub fn generate(&self, seed: u64) -> Result<DataMatrix> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = self.n_cols();
+        let mut data = Vec::with_capacity(self.n_rows * m);
+        let mut row = vec![0.0_f64; m];
+        for _ in 0..self.n_rows {
+            row.copy_from_slice(&self.means);
+            for f in &self.factors {
+                let z = standard_normal(&mut rng) * f.sigma;
+                for (v, &l) in row.iter_mut().zip(&f.loadings) {
+                    *v += z * l;
+                }
+            }
+            for (v, &s) in row.iter_mut().zip(&self.noise) {
+                if s > 0.0 {
+                    *v += standard_normal(&mut rng) * s;
+                }
+                if self.nonnegative {
+                    *v = v.max(0.0);
+                }
+            }
+            data.extend_from_slice(&row);
+        }
+        Ok(DataMatrix::new(Matrix::from_vec(self.n_rows, m, data)?))
+    }
+
+    /// The population covariance implied by the spec (before any
+    /// nonnegativity clamping): `sum sigma^2 L L^t + diag(noise^2)`.
+    pub fn population_covariance(&self) -> Matrix {
+        let m = self.n_cols();
+        let mut c = Matrix::zeros(m, m);
+        for f in &self.factors {
+            let s2 = f.sigma * f.sigma;
+            for i in 0..m {
+                for j in 0..m {
+                    c[(i, j)] += s2 * f.loadings[i] * f.loadings[j];
+                }
+            }
+        }
+        for j in 0..m {
+            c[(j, j)] += self.noise[j] * self.noise[j];
+        }
+        c
+    }
+}
+
+/// Samples `n_rows` Gaussian records with the given mean and covariance via
+/// the Cholesky factor (covariance must be SPD).
+pub fn gaussian_from_covariance(
+    n_rows: usize,
+    means: &[f64],
+    covariance: &Matrix,
+    seed: u64,
+) -> Result<DataMatrix> {
+    if covariance.rows() != means.len() {
+        return Err(DatasetError::Invalid(format!(
+            "covariance side {} != means length {}",
+            covariance.rows(),
+            means.len()
+        )));
+    }
+    let chol = Cholesky::new(covariance)?;
+    let m = means.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n_rows * m);
+    let mut z = vec![0.0_f64; m];
+    for _ in 0..n_rows {
+        for zi in &mut z {
+            *zi = standard_normal(&mut rng);
+        }
+        let correlated = chol.apply(&z)?;
+        for (j, &v) in correlated.iter().enumerate() {
+            data.push(means[j] + v);
+        }
+    }
+    Ok(DataMatrix::new(Matrix::from_vec(n_rows, m, data)?))
+}
+
+/// Replaces `count` randomly chosen rows with scaled-up "outlier" versions
+/// (multiplying the deviation from the column means by `factor`). Returns
+/// the indices of the outlier rows.
+///
+/// Used to plant Jordan/Rodman-style extremes for the outlier-detection
+/// experiments (paper Sec. 6.1).
+pub fn inject_outliers(
+    data: &mut DataMatrix,
+    count: usize,
+    factor: f64,
+    seed: u64,
+) -> Result<Vec<usize>> {
+    let n = data.n_rows();
+    if count >= n {
+        return Err(DatasetError::Invalid(format!(
+            "{count} outliers in {n} rows"
+        )));
+    }
+    let stats = crate::stats::column_stats(data.matrix());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < count {
+        chosen.insert(rng.gen_range(0..n));
+    }
+    let mut matrix = data.matrix().clone();
+    for &i in &chosen {
+        let row = matrix.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = stats.means[j] + (*v - stats.means[j]) * factor;
+        }
+    }
+    let labels_r = data.row_labels().to_vec();
+    let labels_c = data.col_labels().to_vec();
+    *data = DataMatrix::with_labels(matrix, labels_r, labels_c)?;
+    Ok(chosen.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn two_factor_spec() -> LatentFactorSpec {
+        LatentFactorSpec {
+            n_rows: 4000,
+            means: vec![10.0, 20.0, 5.0],
+            factors: vec![
+                Factor {
+                    loadings: vec![1.0, 2.0, 0.5],
+                    sigma: 3.0,
+                },
+                Factor {
+                    loadings: vec![0.5, -0.5, 1.0],
+                    sigma: 1.0,
+                },
+            ],
+            noise: vec![0.1, 0.1, 0.1],
+            nonnegative: false,
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut s = two_factor_spec();
+        s.noise = vec![0.1];
+        assert!(s.validate().is_err());
+
+        let mut s = two_factor_spec();
+        s.factors[0].loadings = vec![1.0];
+        assert!(s.validate().is_err());
+
+        let mut s = two_factor_spec();
+        s.factors[0].sigma = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = two_factor_spec();
+        s.n_rows = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = two_factor_spec();
+        s.noise = vec![-1.0, 0.1, 0.1];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = LatentFactorSpec {
+            n_rows: 10,
+            ..two_factor_spec()
+        };
+        let a = s.generate(5).unwrap();
+        let b = s.generate(5).unwrap();
+        assert_eq!(a.matrix(), b.matrix());
+        let c = s.generate(6).unwrap();
+        assert_ne!(a.matrix(), c.matrix());
+    }
+
+    #[test]
+    fn sample_covariance_approaches_population() {
+        let s = two_factor_spec();
+        let data = s.generate(42).unwrap();
+        let expected = s.population_covariance();
+        // Two-pass sample covariance (normalized by N).
+        let scatter = stats::covariance_two_pass(data.matrix()).unwrap();
+        let sample = scatter.scale(1.0 / data.n_rows() as f64);
+        let diff = sample.max_abs_diff(&expected).unwrap();
+        let scale = expected.max_abs();
+        assert!(
+            diff / scale < 0.1,
+            "relative covariance error {}",
+            diff / scale
+        );
+    }
+
+    #[test]
+    fn sample_means_approach_spec_means() {
+        let s = two_factor_spec();
+        let data = s.generate(43).unwrap();
+        let st = stats::column_stats(data.matrix());
+        for (got, want) in st.means.iter().zip(&s.means) {
+            assert!((got - want).abs() < 0.3, "mean {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn nonnegative_clamps() {
+        let s = LatentFactorSpec {
+            n_rows: 500,
+            means: vec![0.0, 0.0],
+            factors: vec![Factor {
+                loadings: vec![1.0, 1.0],
+                sigma: 5.0,
+            }],
+            noise: vec![1.0, 1.0],
+            nonnegative: true,
+        };
+        let data = s.generate(1).unwrap();
+        assert!(data.matrix().data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn gaussian_from_covariance_matches_target() {
+        let cov = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let data = gaussian_from_covariance(6000, &[1.0, -1.0], &cov, 9).unwrap();
+        let scatter = stats::covariance_two_pass(data.matrix()).unwrap();
+        let sample = scatter.scale(1.0 / data.n_rows() as f64);
+        assert!(sample.max_abs_diff(&cov).unwrap() < 0.2);
+        assert!(gaussian_from_covariance(10, &[0.0], &cov, 9).is_err());
+    }
+
+    #[test]
+    fn inject_outliers_scales_deviations() {
+        let s = LatentFactorSpec {
+            n_rows: 100,
+            ..two_factor_spec()
+        };
+        let mut data = s.generate(11).unwrap();
+        let before = data.matrix().clone();
+        let idx = inject_outliers(&mut data, 3, 10.0, 77).unwrap();
+        assert_eq!(idx.len(), 3);
+        // Non-outlier rows untouched.
+        for i in 0..100 {
+            if !idx.contains(&i) {
+                assert_eq!(data.row(i), before.row(i), "row {i} modified");
+            }
+        }
+        // Outlier rows have larger deviation from the mean.
+        let st = stats::column_stats(&before);
+        for &i in &idx {
+            let dev_before: f64 = before
+                .row(i)
+                .iter()
+                .zip(&st.means)
+                .map(|(v, m)| (v - m).abs())
+                .sum();
+            let dev_after: f64 = data
+                .row(i)
+                .iter()
+                .zip(&st.means)
+                .map(|(v, m)| (v - m).abs())
+                .sum();
+            assert!(dev_after > dev_before * 5.0, "outlier {i} not amplified");
+        }
+        assert!(inject_outliers(&mut data, 100, 2.0, 1).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Patients-by-measurements generator (the paper's clinical
+//! interpretation: "patients and medical test measurements (blood
+//! pressure, body weight, etc.)", Sec. 4.1).
+//!
+//! Physiology gives medical panels strong cross-correlations: systolic
+//! and diastolic pressure track each other; weight drives BMI, glucose
+//! and pressure; haemoglobin and haematocrit are almost proportional.
+//! The generator plants exactly those couplings, so Ratio Rules recover
+//! clinically readable factors ("body habitus", "blood pressure",
+//! "red-cell mass"), and a corrupted record (a data-entry error) shows
+//! up through reconstruction.
+
+use crate::synth::standard_normal;
+use crate::{DataMatrix, DatasetError, Result};
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Measurement names for the patient panel.
+pub const PATIENT_ATTRS: [&str; 10] = [
+    "weight kg",
+    "bmi",
+    "systolic mmHg",
+    "diastolic mmHg",
+    "heart rate",
+    "glucose mg/dL",
+    "cholesterol mg/dL",
+    "hemoglobin g/dL",
+    "hematocrit %",
+    "creatinine mg/dL",
+];
+
+/// Generates an `n_rows x 10` patient panel.
+pub fn patients_like(n_rows: usize, seed: u64) -> Result<DataMatrix> {
+    if n_rows == 0 {
+        return Err(DatasetError::Invalid("patients: zero rows".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = PATIENT_ATTRS.len();
+    let mut data = Vec::with_capacity(n_rows * m);
+    for _ in 0..n_rows {
+        // Latent drivers.
+        let habitus = standard_normal(&mut rng); // body size / adiposity
+        let vascular = standard_normal(&mut rng); // blood-pressure tone
+        let red_cell = standard_normal(&mut rng); // red-cell mass
+        let noise = |rng: &mut StdRng, s: f64| standard_normal(rng) * s;
+
+        let weight = 78.0 + 14.0 * habitus + noise(&mut rng, 2.0);
+        let bmi = 26.0 + 4.5 * habitus + noise(&mut rng, 0.8);
+        let systolic = 122.0 + 9.0 * vascular + 5.0 * habitus + noise(&mut rng, 3.0);
+        let diastolic = 79.0 + 6.0 * vascular + 2.5 * habitus + noise(&mut rng, 2.5);
+        let heart_rate = 72.0 + 4.0 * vascular - 1.5 * red_cell + noise(&mut rng, 4.0);
+        let glucose = 96.0 + 9.0 * habitus + noise(&mut rng, 6.0);
+        let cholesterol = 190.0 + 16.0 * habitus + 5.0 * vascular + noise(&mut rng, 12.0);
+        let hemoglobin = 14.2 + 1.1 * red_cell + noise(&mut rng, 0.2);
+        let hematocrit = 42.5 + 3.2 * red_cell + noise(&mut rng, 0.5);
+        let creatinine = 0.95 + 0.12 * habitus + 0.05 * red_cell + noise(&mut rng, 0.06);
+
+        data.extend_from_slice(&[
+            weight.max(30.0),
+            bmi.max(12.0),
+            systolic.max(70.0),
+            diastolic.max(40.0),
+            heart_rate.max(35.0),
+            glucose.max(50.0),
+            cholesterol.max(90.0),
+            hemoglobin.max(6.0),
+            hematocrit.max(20.0),
+            creatinine.max(0.3),
+        ]);
+    }
+    let matrix = Matrix::from_vec(n_rows, m, data)?;
+    let mut dm = DataMatrix::new(matrix);
+    dm.set_col_labels(PATIENT_ATTRS.iter().map(|s| s.to_string()).collect())?;
+    Ok(dm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn shape_labels_and_plausible_ranges() {
+        let dm = patients_like(500, 1).unwrap();
+        assert_eq!(dm.n_rows(), 500);
+        assert_eq!(dm.n_cols(), 10);
+        assert_eq!(dm.col_labels()[2], "systolic mmHg");
+        let s = stats::column_stats(dm.matrix());
+        // Plausible clinical means.
+        assert!(
+            (60.0..100.0).contains(&s.means[0]),
+            "weight mean {}",
+            s.means[0]
+        );
+        assert!(
+            (100.0..140.0).contains(&s.means[2]),
+            "systolic mean {}",
+            s.means[2]
+        );
+        assert!(
+            (12.0..17.0).contains(&s.means[7]),
+            "hemoglobin mean {}",
+            s.means[7]
+        );
+    }
+
+    #[test]
+    fn planted_couplings_are_present() {
+        let dm = patients_like(3000, 2).unwrap();
+        let c = stats::covariance_two_pass(dm.matrix()).unwrap();
+        let corr = |i: usize, j: usize| c[(i, j)] / (c[(i, i)] * c[(j, j)]).sqrt();
+        // Systolic-diastolic strongly coupled.
+        assert!(corr(2, 3) > 0.5, "sys/dia corr {}", corr(2, 3));
+        // Hemoglobin-hematocrit nearly proportional.
+        assert!(corr(7, 8) > 0.8, "hgb/hct corr {}", corr(7, 8));
+        // Weight-BMI strongly coupled.
+        assert!(corr(0, 1) > 0.8, "weight/bmi corr {}", corr(0, 1));
+        // Weight and hemoglobin essentially independent.
+        assert!(corr(0, 7).abs() < 0.2, "weight/hgb corr {}", corr(0, 7));
+    }
+
+    #[test]
+    fn deterministic_and_validated() {
+        assert_eq!(
+            patients_like(50, 9).unwrap().matrix(),
+            patients_like(50, 9).unwrap().matrix()
+        );
+        assert!(patients_like(0, 1).is_err());
+    }
+}

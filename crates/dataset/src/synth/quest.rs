@@ -1,0 +1,223 @@
+//! Quest-style market-basket workload for the scale-up experiment.
+//!
+//! The paper's Fig. 8 times Ratio Rule computation on a 100,000 x 100
+//! matrix "created using the Quest Synthetic Data Generation Tool" (IBM
+//! Almaden). Quest builds transactions by drawing from a pool of frequent
+//! itemset templates; we reproduce that mechanism with dollar amounts:
+//! each customer draws a couple of "taste profiles" (itemset templates
+//! with per-item typical spendings), buys those items with lognormal-ish
+//! noise, and adds a few impulse purchases. The result is a sparse,
+//! nonnegative, correlated matrix — the same regime the real tool
+//! produces — and the scale-up experiment only needs *any* such matrix to
+//! exercise the single-pass covariance path.
+
+use crate::synth::standard_normal;
+use crate::{DataMatrix, DatasetError, Result};
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the Quest-like generator.
+#[derive(Debug, Clone)]
+pub struct QuestConfig {
+    /// Number of transactions (rows). Paper: up to 100,000.
+    pub n_rows: usize,
+    /// Number of items (columns). Paper: 100.
+    pub n_items: usize,
+    /// Number of taste-profile templates in the pool. Quest default ~ a
+    /// few thousand patterns; a few dozen suffice at M = 100.
+    pub n_templates: usize,
+    /// Average items per template (Quest's |I| parameter, default 4).
+    pub avg_template_size: usize,
+    /// Average templates per transaction.
+    pub avg_templates_per_row: f64,
+    /// Probability of an extra impulse purchase per item.
+    pub impulse_prob: f64,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        QuestConfig {
+            n_rows: 10_000,
+            n_items: 100,
+            n_templates: 25,
+            avg_template_size: 4,
+            avg_templates_per_row: 2.0,
+            impulse_prob: 0.02,
+        }
+    }
+}
+
+/// A taste profile: items with typical dollar amounts.
+#[derive(Debug, Clone)]
+struct Template {
+    items: Vec<(usize, f64)>,
+}
+
+/// Generates a Quest-like basket matrix.
+pub fn generate(config: &QuestConfig, seed: u64) -> Result<DataMatrix> {
+    if config.n_rows == 0 || config.n_items == 0 {
+        return Err(DatasetError::Invalid("quest: empty dimensions".into()));
+    }
+    if config.n_templates == 0 || config.avg_template_size == 0 {
+        return Err(DatasetError::Invalid(
+            "quest: need at least one nonempty template".into(),
+        ));
+    }
+    if config.avg_template_size > config.n_items {
+        return Err(DatasetError::Invalid(format!(
+            "quest: template size {} exceeds item count {}",
+            config.avg_template_size, config.n_items
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Build the template pool.
+    let templates: Vec<Template> = (0..config.n_templates)
+        .map(|_| {
+            // Size jitter: avg +- 2, at least 1.
+            let size = (config.avg_template_size as i64 + rng.gen_range(-2..=2))
+                .clamp(1, config.n_items as i64) as usize;
+            let mut items = Vec::with_capacity(size);
+            let mut used = std::collections::HashSet::new();
+            while items.len() < size {
+                let item = rng.gen_range(0..config.n_items);
+                if used.insert(item) {
+                    // Typical spend: $2 - $40.
+                    let amount = 2.0 + rng.gen::<f64>() * 38.0;
+                    items.push((item, amount));
+                }
+            }
+            Template { items }
+        })
+        .collect();
+
+    let n = config.n_rows;
+    let m = config.n_items;
+    let mut data = vec![0.0_f64; n * m];
+    for i in 0..n {
+        let row = &mut data[i * m..(i + 1) * m];
+        // Number of templates for this customer: geometric-ish around avg.
+        let mut k = 1;
+        while (k as f64) < config.avg_templates_per_row
+            && rng.gen::<f64>() < 1.0 - 1.0 / config.avg_templates_per_row
+        {
+            k += 1;
+        }
+        for _ in 0..k {
+            let t = &templates[rng.gen_range(0..templates.len())];
+            // Customers follow a template with a personal "volume" scale.
+            let volume = (standard_normal(&mut rng) * 0.3).exp();
+            for &(item, amount) in &t.items {
+                // Occasionally skip an item (Quest's corruption level).
+                if rng.gen::<f64>() < 0.15 {
+                    continue;
+                }
+                let noise = (standard_normal(&mut rng) * 0.15).exp();
+                row[item] += amount * volume * noise;
+            }
+        }
+        // Impulse purchases.
+        for v in row.iter_mut() {
+            if rng.gen::<f64>() < config.impulse_prob {
+                *v += rng.gen::<f64>() * 10.0;
+            }
+        }
+    }
+
+    let matrix = Matrix::from_vec(n, m, data)?;
+    let mut dm = DataMatrix::new(matrix);
+    dm.set_col_labels((0..m).map(|j| format!("item{j}")).collect())?;
+    Ok(dm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn shape_and_nonnegativity() {
+        let cfg = QuestConfig {
+            n_rows: 500,
+            ..QuestConfig::default()
+        };
+        let dm = generate(&cfg, 1).unwrap();
+        assert_eq!(dm.n_rows(), 500);
+        assert_eq!(dm.n_cols(), 100);
+        assert!(dm.matrix().data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn matrix_is_sparse_but_not_empty() {
+        let cfg = QuestConfig {
+            n_rows: 500,
+            ..QuestConfig::default()
+        };
+        let dm = generate(&cfg, 2).unwrap();
+        let nonzero = dm.matrix().data().iter().filter(|&&v| v > 0.0).count() as f64;
+        let frac = nonzero / (500.0 * 100.0);
+        assert!(frac > 0.01, "too sparse: {frac}");
+        assert!(frac < 0.60, "too dense: {frac}");
+    }
+
+    #[test]
+    fn items_within_a_template_are_correlated() {
+        let cfg = QuestConfig {
+            n_rows: 4000,
+            ..QuestConfig::default()
+        };
+        let dm = generate(&cfg, 3).unwrap();
+        let c = stats::covariance_two_pass(dm.matrix()).unwrap();
+        // There must exist strongly positively correlated item pairs
+        // (co-templated items), i.e. a large positive off-diagonal
+        // covariance relative to the diagonal scale.
+        let mdim = dm.n_cols();
+        let mut best = 0.0_f64;
+        for i in 0..mdim {
+            for j in (i + 1)..mdim {
+                let denom = (c[(i, i)] * c[(j, j)]).sqrt();
+                if denom > 0.0 {
+                    best = best.max(c[(i, j)] / denom);
+                }
+            }
+        }
+        assert!(best > 0.3, "max item correlation {best}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = QuestConfig {
+            n_rows: 50,
+            ..QuestConfig::default()
+        };
+        assert_eq!(
+            generate(&cfg, 9).unwrap().matrix(),
+            generate(&cfg, 9).unwrap().matrix()
+        );
+        assert_ne!(
+            generate(&cfg, 9).unwrap().matrix(),
+            generate(&cfg, 10).unwrap().matrix()
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let cfg = QuestConfig {
+            n_rows: 0,
+            ..QuestConfig::default()
+        };
+        assert!(generate(&cfg, 1).is_err());
+        let cfg = QuestConfig {
+            n_templates: 0,
+            ..QuestConfig::default()
+        };
+        assert!(generate(&cfg, 1).is_err());
+        let cfg = QuestConfig {
+            avg_template_size: 200,
+            n_items: 100,
+            ..QuestConfig::default()
+        };
+        assert!(generate(&cfg, 1).is_err());
+    }
+}

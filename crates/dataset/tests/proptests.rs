@@ -1,0 +1,120 @@
+//! Property-based tests for the dataset layer: CSV roundtrips, splits,
+//! hole machinery, and the one-hot encoder.
+
+use dataset::categorical::{DecodedValue, MixedColumn, OneHotEncoder};
+use dataset::csv::{read_csv, read_csv_holed, write_csv};
+use dataset::holes::HoleSet;
+use dataset::split::train_test_split;
+use dataset::DataMatrix;
+use linalg::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1e6..1e6f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSV write-then-read reproduces the matrix exactly (shortest-float
+    /// formatting is roundtrip-exact for f64).
+    #[test]
+    fn csv_roundtrip_is_exact(m in matrix(7, 4)) {
+        let dm = DataMatrix::new(m);
+        let mut buf = Vec::new();
+        write_csv(&dm, &mut buf).unwrap();
+        let back = read_csv(&buf[..], true).unwrap();
+        prop_assert_eq!(back.matrix(), dm.matrix());
+        prop_assert_eq!(back.col_labels(), dm.col_labels());
+    }
+
+    /// The holed reader agrees with the plain reader on hole-free input.
+    #[test]
+    fn holed_reader_agrees_on_complete_input(m in matrix(5, 3)) {
+        let dm = DataMatrix::new(m);
+        let mut buf = Vec::new();
+        write_csv(&dm, &mut buf).unwrap();
+        let (rows, labels) = read_csv_holed(&buf[..], true).unwrap();
+        prop_assert_eq!(labels, dm.col_labels().to_vec());
+        for (i, row) in rows.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                prop_assert_eq!(v.unwrap(), dm.row(i)[j]);
+            }
+        }
+    }
+
+    /// Splits partition the rows for any fraction and seed.
+    #[test]
+    fn split_partitions_rows(
+        n in 2usize..60,
+        frac in 0.05..0.95f64,
+        seed in 0u64..500,
+    ) {
+        let data = DataMatrix::new(Matrix::from_fn(n, 3, |i, j| (i * 3 + j) as f64));
+        let split = train_test_split(&data, frac, seed).unwrap();
+        prop_assert!(split.train.n_rows() >= 1);
+        prop_assert!(split.test.n_rows() >= 1);
+        prop_assert_eq!(split.train.n_rows() + split.test.n_rows(), n);
+        let mut all: Vec<usize> = split
+            .train_indices
+            .iter()
+            .chain(&split.test_indices)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Hole application is inverse to reading known values back out.
+    #[test]
+    fn hole_apply_roundtrip(
+        row in proptest::collection::vec(-100.0..100.0f64, 6),
+        holes in proptest::collection::btree_set(0usize..6, 1..5),
+    ) {
+        let holes: Vec<usize> = holes.into_iter().collect();
+        let hs = HoleSet::new(holes.clone(), 6).unwrap();
+        let holed = hs.apply(&row).unwrap();
+        // Known + holes together reconstruct the original positions.
+        let known = holed.known_indices();
+        let known_vals = holed.known_values();
+        for (idx, &j) in known.iter().enumerate() {
+            prop_assert_eq!(known_vals[idx], row[j]);
+        }
+        prop_assert_eq!(holed.hole_indices(), holes);
+    }
+
+    /// One-hot encode/decode roundtrips arbitrary mixed tables.
+    #[test]
+    fn one_hot_roundtrip(
+        numeric in proptest::collection::vec(-50.0..50.0f64, 8),
+        labels in proptest::collection::vec(0usize..3, 8),
+        scale in 0.1..10.0f64,
+    ) {
+        // Ensure at least two distinct levels.
+        prop_assume!(labels.iter().collect::<std::collections::HashSet<_>>().len() >= 2);
+        let level_names = ["red", "green", "blue"];
+        let cols = vec![
+            MixedColumn::Numeric { name: "x".into(), values: numeric.clone() },
+            MixedColumn::Categorical {
+                name: "color".into(),
+                values: labels.iter().map(|&l| level_names[l].to_string()).collect(),
+            },
+        ];
+        let (enc, encoded) = OneHotEncoder::fit_encode(&cols, scale).unwrap();
+        for i in 0..8 {
+            let decoded = enc.decode_row(encoded.row(i)).unwrap();
+            match &decoded[0] {
+                DecodedValue::Numeric(v) => prop_assert_eq!(*v, numeric[i]),
+                other => prop_assert!(false, "wrong shape {:?}", other),
+            }
+            match &decoded[1] {
+                DecodedValue::Categorical { level, score } => {
+                    prop_assert_eq!(level, level_names[labels[i]]);
+                    prop_assert!((score - 1.0).abs() < 1e-12);
+                }
+                other => prop_assert!(false, "wrong shape {:?}", other),
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Symmetric eigendecomposition: the "off-the-shelf eigensystem package"
+//! the Ratio Rules paper relies on (Fig. 2b), built in-house.
+//!
+//! The pipeline is Householder tridiagonalization ([`crate::householder`])
+//! followed by implicit-shift QL ([`crate::tridiagonal`]). Eigenpairs are
+//! returned sorted by descending eigenvalue with a canonical sign
+//! convention, so the "first Ratio Rule" is always well defined.
+
+use crate::householder::tridiagonalize;
+use crate::tridiagonal::ql_implicit;
+use crate::vector::canonicalize_sign;
+use crate::{Matrix, Result};
+
+/// Relative symmetry tolerance accepted by [`SymmetricEigen::new`].
+pub const DEFAULT_SYMMETRY_TOL: f64 = 1e-8;
+
+/// Eigendecomposition of a real symmetric matrix.
+///
+/// Invariants (checked by the test suite):
+/// * `eigenvalues` are sorted in descending order;
+/// * column `j` of `eigenvectors` is a unit vector paired with
+///   `eigenvalues[j]`;
+/// * each eigenvector's largest-magnitude component is positive
+///   (deterministic sign).
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors as columns, aligned with `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the full eigendecomposition of a symmetric matrix.
+    ///
+    /// Symmetry is validated up to [`DEFAULT_SYMMETRY_TOL`] (relative to the
+    /// largest element); use [`SymmetricEigen::with_tolerance`] to override.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        Self::with_tolerance(a, DEFAULT_SYMMETRY_TOL)
+    }
+
+    /// Like [`SymmetricEigen::new`] with an explicit symmetry tolerance.
+    pub fn with_tolerance(a: &Matrix, sym_tol: f64) -> Result<Self> {
+        let mut tri = tridiagonalize(a, sym_tol)?;
+        let mut d = tri.diagonal.clone();
+        let mut e = tri.off_diagonal.clone();
+        ql_implicit(&mut d, &mut e, &mut tri.q)?;
+
+        // Sort descending and canonicalize signs.
+        let n = d.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
+
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            let mut col = tri.q.col(old_j);
+            canonicalize_sign(&mut col);
+            for i in 0..n {
+                eigenvectors[(i, new_j)] = col[i];
+            }
+        }
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Eigenvector `j` as an owned vector.
+    pub fn eigenvector(&self, j: usize) -> Vec<f64> {
+        self.eigenvectors.col(j)
+    }
+
+    /// Reconstructs the original matrix as `V diag(lambda) V^t`
+    /// (testing/validation convenience).
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let lambda = Matrix::from_diagonal(&self.eigenvalues);
+        self.eigenvectors
+            .matmul(&lambda)?
+            .matmul(&self.eigenvectors.transpose())
+    }
+
+    /// Largest residual `max |A v - lambda v|` over all eigenpairs — a
+    /// direct measure of decomposition quality.
+    pub fn max_residual(&self, a: &Matrix) -> Result<f64> {
+        let mut worst = 0.0_f64;
+        for j in 0..self.dim() {
+            let v = self.eigenvector(j);
+            let av = a.mul_vec(&v)?;
+            for i in 0..self.dim() {
+                worst = worst.max((av[i] - self.eigenvalues[j] * v[i]).abs());
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Fraction of total spectral energy captured by the first `k`
+    /// eigenvalues, treating the spectrum as nonnegative (covariance use
+    /// case). This is the left-hand side of the paper's Eq. 1.
+    pub fn energy_fraction(&self, k: usize) -> f64 {
+        let total: f64 = self.eigenvalues.iter().map(|l| l.max(0.0)).sum();
+        if total <= 0.0 {
+            return if k == 0 { 0.0 } else { 1.0 };
+        }
+        let head: f64 = self.eigenvalues.iter().take(k).map(|l| l.max(0.0)).sum();
+        head / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]]: eigenvalues 3, 1 with vectors (1,1)/sqrt2, (1,-1)/sqrt2.
+        let a = sym(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        let s = 1.0 / 2.0_f64.sqrt();
+        let v0 = e.eigenvector(0);
+        assert!((v0[0] - s).abs() < 1e-12 && (v0[1] - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_figure1_direction() {
+        // The paper's Fig. 1 dataset: bread/butter amounts whose first
+        // eigenvector is approximately (0.866, 0.5), i.e. 30 degrees.
+        // Construct a covariance matrix with exactly that direction:
+        // C = R diag(10, 1) R^t where R rotates by 30 degrees.
+        let th = std::f64::consts::PI / 6.0;
+        let (c, s) = (th.cos(), th.sin());
+        let r = sym(&[&[c, -s], &[s, c]]);
+        let d = Matrix::from_diagonal(&[10.0, 1.0]);
+        let cov = r.matmul(&d).unwrap().matmul(&r.transpose()).unwrap();
+
+        let e = SymmetricEigen::new(&cov).unwrap();
+        let v0 = e.eigenvector(0);
+        assert!((v0[0] - 0.866).abs() < 1e-3, "got {v0:?}");
+        assert!((v0[1] - 0.5).abs() < 1e-3, "got {v0:?}");
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = sym(&[
+            &[4.0, 1.0, -2.0, 2.0],
+            &[1.0, 2.0, 0.0, 1.0],
+            &[-2.0, 0.0, 3.0, -2.0],
+            &[2.0, 1.0, -2.0, -1.0],
+        ]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn reconstruction_and_residual() {
+        let a = sym(&[
+            &[4.0, 1.0, -2.0, 2.0],
+            &[1.0, 2.0, 0.0, 1.0],
+            &[-2.0, 0.0, 3.0, -2.0],
+            &[2.0, 1.0, -2.0, -1.0],
+        ]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let rec = e.reconstruct().unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-10);
+        assert!(e.max_residual(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = sym(&[&[10.0, 2.0, 3.0], &[2.0, 7.0, 1.0], &[3.0, 1.0, 5.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn signs_are_canonical() {
+        let a = sym(&[&[10.0, 2.0, 3.0], &[2.0, 7.0, 1.0], &[3.0, 1.0, 5.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        for j in 0..3 {
+            let v = e.eigenvector(j);
+            let dominant = v
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap())
+                .unwrap();
+            assert!(
+                dominant > 0.0,
+                "eigenvector {j} has negative dominant component"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_eigenvalues_supported() {
+        // Indefinite symmetric matrix.
+        let a = sym(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_fraction_cutoff() {
+        let a = Matrix::from_diagonal(&[8.0, 1.0, 1.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.energy_fraction(1) - 0.8).abs() < 1e-12);
+        assert!((e.energy_fraction(3) - 1.0).abs() < 1e-12);
+        assert_eq!(e.energy_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn energy_fraction_ignores_negative_tail() {
+        let a = Matrix::from_diagonal(&[3.0, -1.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.energy_fraction(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn large_random_symmetric_residual() {
+        // Deterministic pseudo-random symmetric matrix via an LCG; checks
+        // the solver on something bigger than a textbook example.
+        let n = 40;
+        let mut state = 0x2545F4914F6CDD1D_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!(e.max_residual(&a).unwrap() < 1e-9);
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-10);
+    }
+}

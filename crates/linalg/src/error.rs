@@ -1,0 +1,153 @@
+//! Error type for the linear algebra crate.
+
+use std::fmt;
+
+/// Errors produced by decompositions and matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The operation requires a square matrix but got a rectangular one.
+    NotSquare {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be solved.
+    Singular {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An iterative decomposition failed to converge.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        op: &'static str,
+        /// Number of iterations attempted before giving up.
+        iterations: usize,
+    },
+    /// The matrix is not positive definite (Cholesky).
+    NotPositiveDefinite,
+    /// The matrix is not symmetric but the algorithm requires symmetry.
+    NotSymmetric {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Maximum observed asymmetry `|a_ij - a_ji|`.
+        max_asymmetry: u64,
+    },
+    /// Construction from raw data failed because the element count is wrong.
+    BadLength {
+        /// Expected number of elements.
+        expected: usize,
+        /// Actual number of elements supplied.
+        actual: usize,
+    },
+    /// The input is empty where a non-empty matrix/vector is required.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: dimension mismatch between {}x{} and {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { op, shape } => {
+                write!(
+                    f,
+                    "{op}: requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
+            }
+            LinalgError::Singular { op } => write!(f, "{op}: matrix is singular"),
+            LinalgError::NoConvergence { op, iterations } => {
+                write!(f, "{op}: failed to converge after {iterations} iterations")
+            }
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "cholesky: matrix is not positive definite")
+            }
+            LinalgError::NotSymmetric { op, max_asymmetry } => write!(
+                f,
+                "{op}: matrix is not symmetric (max |a_ij - a_ji| = {})",
+                f64::from_bits(*max_asymmetry)
+            ),
+            LinalgError::BadLength { expected, actual } => {
+                write!(
+                    f,
+                    "bad data length: expected {expected} elements, got {actual}"
+                )
+            }
+            LinalgError::Empty { op } => write!(f, "{op}: input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl LinalgError {
+    /// Builds a `NotSymmetric` error, storing the asymmetry as raw bits so
+    /// the error type stays `Eq`.
+    pub fn not_symmetric(op: &'static str, max_asymmetry: f64) -> Self {
+        LinalgError::NotSymmetric {
+            op,
+            max_asymmetry: max_asymmetry.to_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "matmul: dimension mismatch between 2x3 and 4x5"
+        );
+
+        let e = LinalgError::NotSquare {
+            op: "lu",
+            shape: (2, 3),
+        };
+        assert!(e.to_string().contains("square"));
+
+        let e = LinalgError::NoConvergence {
+            op: "svd",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("30"));
+
+        let e = LinalgError::not_symmetric("eigen", 0.5);
+        assert!(e.to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::Singular { op: "solve" },
+            LinalgError::Singular { op: "solve" }
+        );
+        assert_ne!(
+            LinalgError::Singular { op: "solve" },
+            LinalgError::NotPositiveDefinite
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Householder tridiagonalization of real symmetric matrices.
+//!
+//! This is the classic EISPACK `tred2` routine: a sequence of Householder
+//! reflections reduces a symmetric matrix `A` to a symmetric tridiagonal
+//! matrix `T = Q^t A Q`, accumulating the orthogonal transform `Q`. Combined
+//! with the implicit-shift QL iteration in [`crate::tridiagonal`], it yields
+//! the full symmetric eigendecomposition the Ratio Rules method requires.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Result of tridiagonalizing a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct Tridiagonalization {
+    /// Accumulated orthogonal transform; `q^t * a * q` is tridiagonal.
+    pub q: Matrix,
+    /// Diagonal of the tridiagonal matrix, length `n`.
+    pub diagonal: Vec<f64>,
+    /// Sub-diagonal of the tridiagonal matrix; `off_diagonal[0]` is unused
+    /// and set to zero, `off_diagonal[i]` couples rows `i-1` and `i`.
+    pub off_diagonal: Vec<f64>,
+}
+
+impl Tridiagonalization {
+    /// Reconstructs the tridiagonal matrix `T` as a dense matrix (testing
+    /// convenience).
+    pub fn tridiagonal_matrix(&self) -> Matrix {
+        let n = self.diagonal.len();
+        let mut t = Matrix::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = self.diagonal[i];
+            if i > 0 {
+                t[(i, i - 1)] = self.off_diagonal[i];
+                t[(i - 1, i)] = self.off_diagonal[i];
+            }
+        }
+        t
+    }
+}
+
+/// Reduces a symmetric matrix to tridiagonal form with accumulated
+/// transformations (EISPACK `tred2`).
+///
+/// The input must be square; symmetry is checked up to `sym_tol` relative to
+/// the largest element. Only the lower triangle is read.
+pub fn tridiagonalize(a: &Matrix, sym_tol: f64) -> Result<Tridiagonalization> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            op: "tridiagonalize",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty {
+            op: "tridiagonalize",
+        });
+    }
+    let asym = a.max_asymmetry();
+    if asym > sym_tol * a.max_abs().max(1.0) {
+        return Err(LinalgError::not_symmetric("tridiagonalize", asym));
+    }
+
+    // Work on a copy; `z` ends up holding Q.
+    let mut z = a.clone();
+    let mut d = vec![0.0_f64; n];
+    let mut e = vec![0.0_f64; n];
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0_f64;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                // Row already in tridiagonal form; skip the transformation.
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                let mut f_acc = 0.0_f64;
+                for j in 0..=l {
+                    // Store u/H in the column so Q can be accumulated later.
+                    z[(j, i)] = z[(i, j)] / h;
+                    // g = (A . u)_j using the lower triangle only.
+                    let mut g = 0.0_f64;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f_acc += e[j] * z[(i, j)];
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+
+    d[0] = 0.0;
+    e[0] = 0.0;
+
+    // Accumulate the transformations into z (becomes Q).
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0_f64;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * z[(k, i)];
+                    z[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(i, j)] = 0.0;
+            z[(j, i)] = 0.0;
+        }
+    }
+
+    Ok(Tridiagonalization {
+        q: z,
+        diagonal: d,
+        off_diagonal: e,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    fn sym4() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0, 2.0],
+            &[1.0, 2.0, 0.0, 1.0],
+            &[-2.0, 0.0, 3.0, -2.0],
+            &[2.0, 1.0, -2.0, -1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_rectangular_and_asymmetric() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            tridiagonalize(&rect, 1e-12),
+            Err(LinalgError::NotSquare { .. })
+        ));
+
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]).unwrap();
+        assert!(matches!(
+            tridiagonalize(&asym, 1e-12),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+
+        assert!(matches!(
+            tridiagonalize(&Matrix::zeros(0, 0), 1e-12),
+            Err(LinalgError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = sym4();
+        let t = tridiagonalize(&a, 1e-10).unwrap();
+        let qtq = t.q.transpose().matmul(&t.q).unwrap();
+        let diff = qtq.max_abs_diff(&Matrix::identity(4)).unwrap();
+        assert!(diff < 1e-12, "Q^t Q differs from I by {diff}");
+    }
+
+    #[test]
+    fn similarity_transform_reproduces_t() {
+        let a = sym4();
+        let t = tridiagonalize(&a, 1e-10).unwrap();
+        // Q^t A Q must equal the tridiagonal matrix.
+        let qtaq = t.q.transpose().matmul(&a).unwrap().matmul(&t.q).unwrap();
+        let diff = qtaq.max_abs_diff(&t.tridiagonal_matrix()).unwrap();
+        assert!(diff < 1e-12, "Q^t A Q differs from T by {diff}");
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = sym4();
+        let t = tridiagonalize(&a, 1e-10).unwrap();
+        assert_close(t.diagonal.iter().sum::<f64>(), a.trace(), 1e-12);
+    }
+
+    #[test]
+    fn already_tridiagonal_input_passes_through() {
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, -1.0], &[0.0, -1.0, 4.0]]).unwrap();
+        let t = tridiagonalize(&a, 1e-10).unwrap();
+        let qtaq = t.q.transpose().matmul(&a).unwrap().matmul(&t.q).unwrap();
+        assert!(qtaq.max_abs_diff(&t.tridiagonal_matrix()).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::from_rows(&[&[7.0]]).unwrap();
+        let t = tridiagonalize(&a, 1e-10).unwrap();
+        assert_eq!(t.diagonal, vec![7.0]);
+        assert_eq!(t.q, Matrix::identity(1));
+    }
+
+    #[test]
+    fn two_by_two_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 5.0]]).unwrap();
+        let t = tridiagonalize(&a, 1e-10).unwrap();
+        let qtaq = t.q.transpose().matmul(&a).unwrap().matmul(&t.q).unwrap();
+        assert!(qtaq.max_abs_diff(&t.tridiagonal_matrix()).unwrap() < 1e-12);
+    }
+}

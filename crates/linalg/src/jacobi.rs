@@ -1,0 +1,202 @@
+//! Cyclic Jacobi eigensolver for symmetric matrices.
+//!
+//! Slower than the Householder + QL pipeline in [`crate::eigen`] but built
+//! on completely different math (plane rotations annihilating off-diagonal
+//! elements one at a time). The test suites use it as an independent
+//! cross-check, and `bench/benches/eigensolver.rs` compares the two as an
+//! ablation.
+
+use crate::vector::canonicalize_sign;
+use crate::{LinalgError, Matrix, Result};
+
+/// Maximum full sweeps before reporting non-convergence.
+pub const MAX_JACOBI_SWEEPS: usize = 100;
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue
+/// with canonical eigenvector signs, matching [`crate::eigen::SymmetricEigen`].
+pub fn jacobi_eigen(a: &Matrix, sym_tol: f64) -> Result<(Vec<f64>, Matrix)> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            op: "jacobi_eigen",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty { op: "jacobi_eigen" });
+    }
+    let asym = a.max_asymmetry();
+    if asym > sym_tol * a.max_abs().max(1.0) {
+        return Err(LinalgError::not_symmetric("jacobi_eigen", asym));
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_JACOBI_SWEEPS {
+        // Off-diagonal Frobenius norm decides convergence.
+        let mut off = 0.0_f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += 2.0 * m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * m.max_abs().max(1.0) {
+            return Ok(finish(m, v));
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Compute the rotation that zeroes a_pq (Golub & Van Loan
+                // 8.4.2, numerically stable form).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    Err(LinalgError::NoConvergence {
+        op: "jacobi_eigen",
+        iterations: MAX_JACOBI_SWEEPS,
+    })
+}
+
+fn finish(m: Matrix, v: Matrix) -> (Vec<f64>, Matrix) {
+    let n = m.rows();
+    let d: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let mut col = v.col(old_j);
+        canonicalize_sign(&mut col);
+        for i in 0..n {
+            eigenvectors[(i, new_j)] = col[i];
+        }
+    }
+    (eigenvalues, eigenvectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::SymmetricEigen;
+
+    fn sym4() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0, 2.0],
+            &[1.0, 2.0, 0.0, 1.0],
+            &[-2.0, 0.0, 3.0, -2.0],
+            &[2.0, 1.0, -2.0, -1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(jacobi_eigen(&Matrix::zeros(2, 3), 1e-10).is_err());
+        assert!(jacobi_eigen(&Matrix::zeros(0, 0), 1e-10).is_err());
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[9.0, 1.0]]).unwrap();
+        assert!(jacobi_eigen(&asym, 1e-10).is_err());
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let (vals, _) = jacobi_eigen(&a, 1e-10).unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_definition() {
+        let a = sym4();
+        let (vals, vecs) = jacobi_eigen(&a, 1e-10).unwrap();
+        for (j, &val) in vals.iter().enumerate() {
+            let v = vecs.col(j);
+            let av = a.mul_vec(&v).unwrap();
+            for (avi, vi) in av.iter().zip(&v) {
+                assert!((avi - val * vi).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_householder_ql_solver() {
+        let a = sym4();
+        let (jv, jvecs) = jacobi_eigen(&a, 1e-10).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        for (j, (jvj, evj)) in jv.iter().zip(&e.eigenvalues).enumerate() {
+            assert!(
+                (jvj - evj).abs() < 1e-10,
+                "eigenvalue {j}: jacobi {} vs ql {}",
+                jvj,
+                evj
+            );
+            // Same canonical sign convention => vectors should match directly
+            // (all eigenvalues of this matrix are simple).
+            let a_col = jvecs.col(j);
+            let b_col = e.eigenvector(j);
+            for i in 0..4 {
+                assert!(
+                    (a_col[i] - b_col[i]).abs() < 1e-8,
+                    "vector {j} component {i}: {} vs {}",
+                    a_col[i],
+                    b_col[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_fixed_point() {
+        let a = Matrix::from_diagonal(&[5.0, -2.0, 3.0]);
+        let (vals, _) = jacobi_eigen(&a, 1e-10).unwrap();
+        assert_eq!(vals, vec![5.0, 3.0, -2.0]);
+    }
+
+    #[test]
+    fn orthonormal_eigenvectors() {
+        let a = sym4();
+        let (_, vecs) = jacobi_eigen(&a, 1e-10).unwrap();
+        let vtv = vecs.transpose().matmul(&vecs).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-12);
+    }
+}

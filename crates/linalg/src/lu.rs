@@ -1,0 +1,247 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Used by the paper's exactly-specified hole-filling case (CASE 1,
+//! Eq. 6), which solves a square `k x k` system `V' x = b'` directly.
+
+// Triangular solves index rows and columns of packed factors with the
+// loop variable; iterator rewrites obscure the recurrences, so the lint
+// is opted out for this file.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Relative pivot threshold below which a matrix is declared singular.
+pub const SINGULARITY_TOL: f64 = 1e-13;
+
+/// LU decomposition `P A = L U` with partial (row) pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: `U` on and above the diagonal, the unit-lower
+    /// `L` multipliers below it.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix. Returns [`LinalgError::Singular`] when a
+    /// pivot falls below [`SINGULARITY_TOL`] relative to the largest
+    /// element of its column.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                op: "lu",
+                shape: a.shape(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty { op: "lu" });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0_f64;
+        let scale = a.max_abs().max(1.0);
+
+        for col in 0..n {
+            // Pick the pivot row.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for r in (col + 1)..n {
+                if lu[(r, col)].abs() > pivot_val {
+                    pivot_val = lu[(r, col)].abs();
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= SINGULARITY_TOL * scale {
+                return Err(LinalgError::Singular { op: "lu" });
+            }
+            if pivot_row != col {
+                perm.swap(pivot_row, col);
+                perm_sign = -perm_sign;
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            // Eliminate below the pivot.
+            let inv_pivot = 1.0 / lu[(col, col)];
+            for r in (col + 1)..n {
+                let m = lu[(r, col)] * inv_pivot;
+                lu[(r, col)] = m;
+                for j in (col + 1)..n {
+                    let delta = m * lu[(col, j)];
+                    lu[(r, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution on the permuted RHS.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Inverse of the original matrix (column-by-column solve).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0_f64; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// One-shot solve of `A x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular_and_empty() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.determinant() - 10.0).abs() < 1e-12);
+
+        // Permutation sign: swapping rows flips determinant sign.
+        let b = Matrix::from_rows(&[&[2.0, 6.0], &[4.0, 7.0]]).unwrap();
+        let lub = Lu::new(&b).unwrap();
+        assert!((lub.determinant() + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a =
+            Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]).unwrap();
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn residual_small_on_pseudo_random_systems() {
+        let mut state = 0xDEADBEEFCAFEBABE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in [1usize, 2, 5, 12, 25] {
+            let a = Matrix::from_fn(n, n, |i, j| {
+                // Diagonally dominant so the system is well conditioned.
+                if i == j {
+                    next() + n as f64
+                } else {
+                    next()
+                }
+            });
+            let b: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+            let x = solve(&a, &b).unwrap();
+            let ax = a.mul_vec(&x).unwrap();
+            for i in 0..n {
+                assert!((ax[i] - b[i]).abs() < 1e-9, "n={n} residual too large");
+            }
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! Dense row-major `f64` matrix.
+
+use crate::{LinalgError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The data layout is a single contiguous `Vec<f64>` of length
+/// `rows * cols`; element `(i, j)` lives at `i * cols + j`. Rows are the
+/// natural streaming unit for the paper's single-pass algorithms, so row
+/// access ([`Matrix::row`]) is free while column access copies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns [`LinalgError::BadLength`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::BadLength {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested row slices.
+    ///
+    /// Returns an error if rows have inconsistent lengths or the input is
+    /// empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::Empty { op: "from_rows" });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "from_rows",
+                    lhs: (1, cols),
+                    rhs: (i, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a square matrix with `diag` on the diagonal, zero elsewhere.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Creates a column vector (`n x 1`) from a slice.
+    pub fn column_vector(v: &[f64]) -> Self {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Creates a row vector (`1 x n`) from a slice.
+    pub fn row_vector(v: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Iterates over rows as slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses the cache-friendly i-k-j loop order. Returns
+    /// [`LinalgError::DimensionMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "mul_vec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(self
+            .row_iter()
+            .map(|row| crate::vector::dot(row, v))
+            .collect())
+    }
+
+    /// Vector-matrix product `v * self` (v treated as a row vector).
+    pub fn vec_mul(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "vec_mul",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &aij) in out.iter_mut().zip(self.row(i)) {
+                *o += vi * aij;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise scaling by a constant.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Returns a new matrix keeping only the rows whose indices appear in
+    /// `indices` (in the given order). This is the "elimination matrix"
+    /// operation `E_H * A` from the paper, applied directly.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (oi, &i) in indices.iter().enumerate() {
+            out.row_mut(oi).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Returns a new matrix keeping only the columns whose indices appear in
+    /// `indices` (in the given order).
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for i in 0..self.rows {
+            for (oj, &j) in indices.iter().enumerate() {
+                out[(i, oj)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm: `sqrt(sum a_ij^2)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    ///
+    /// Returns `None` when shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f64> {
+        if self.shape() != other.shape() {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs())),
+        )
+    }
+
+    /// Maximum asymmetry `max |a_ij - a_ji|`; zero for symmetric matrices.
+    pub fn max_asymmetry(&self) -> f64 {
+        let mut worst = 0.0_f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols.min(self.rows) {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// True when the matrix is square and symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.is_square() && self.max_asymmetry() <= tol
+    }
+
+    /// Extracts the main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
+    }
+
+    /// Sum of the diagonal elements.
+    pub fn trace(&self) -> f64 {
+        self.diagonal().iter().sum()
+    }
+
+    /// Checks that every entry is finite (no NaN/inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Result<Matrix>;
+
+    fn add(self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Result<Matrix>;
+
+    fn sub(self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        })
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Result<Matrix>;
+
+    fn mul(self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{}]", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            let row: Vec<String> = self.row(i).iter().map(|x| format!("{x:>12.6}")).collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2x3() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.data().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.trace(), 3.0);
+
+        let d = Matrix::from_diagonal(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+
+        let f = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(f[(1, 0)], 10.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        let err = Matrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            LinalgError::BadLength {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn from_rows_validates_consistency() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        let ragged: [&[f64]; 2] = [&[1.0, 2.0], &[3.0]];
+        assert!(Matrix::from_rows(&ragged).is_err());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = m2x3();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+        let rows: Vec<&[f64]> = m.row_iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = m2x3();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m2x3();
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m2x3();
+        let i3 = Matrix::identity(3);
+        assert_eq!(a.matmul(&i3).unwrap(), a);
+        let i2 = Matrix::identity(2);
+        assert_eq!(i2.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = m2x3();
+        let err = a.matmul(&a).unwrap_err();
+        assert!(matches!(
+            err,
+            LinalgError::DimensionMismatch { op: "matmul", .. }
+        ));
+    }
+
+    #[test]
+    fn mul_vec_and_vec_mul() {
+        let a = m2x3();
+        assert_eq!(a.mul_vec(&[1.0, 0.0, -1.0]).unwrap(), vec![-2.0, -2.0]);
+        assert_eq!(a.vec_mul(&[1.0, 1.0]).unwrap(), vec![5.0, 7.0, 9.0]);
+        assert!(a.mul_vec(&[1.0]).is_err());
+        assert!(a.vec_mul(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale_neg() {
+        let a = m2x3();
+        let b = a.scale(2.0);
+        let sum = (&a + &a).unwrap();
+        assert_eq!(sum, b);
+        let diff = (&b - &a).unwrap();
+        assert_eq!(diff, a);
+        let n = -&a;
+        assert_eq!(n[(0, 0)], -1.0);
+        assert!((&a + &Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
+        let r = m.select_rows(&[2, 0]);
+        assert_eq!(r.row(0), &[7.0, 8.0, 9.0]);
+        assert_eq!(r.row(1), &[1.0, 2.0, 3.0]);
+        let c = m.select_cols(&[1]);
+        assert_eq!(c.shape(), (3, 1));
+        assert_eq!(c.col(0), vec![2.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn select_rows_matches_elimination_matrix_product() {
+        // E_H * A where E_H is the identity with rows {1} removed must equal
+        // select_rows(&[0, 2]).
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let e = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        assert_eq!(e.matmul(&a).unwrap(), a.select_rows(&[0, 2]));
+    }
+
+    #[test]
+    fn norms_and_symmetry() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[4.0, 0.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(m.max_abs(), 4.0);
+
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 5.0]]).unwrap();
+        assert!(s.is_symmetric(0.0));
+        assert!(!m.is_symmetric(1e-9));
+        assert_eq!(m.max_asymmetry(), 4.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_shape_mismatch() {
+        let a = m2x3();
+        assert!(a.max_abs_diff(&Matrix::zeros(3, 2)).is_none());
+        assert_eq!(a.max_abs_diff(&a), Some(0.0));
+        let b = a.scale(1.5);
+        assert_eq!(a.max_abs_diff(&b), Some(3.0));
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.is_finite());
+        m[(0, 1)] = f64::NAN;
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let s = format!("{}", m2x3());
+        assert!(s.contains("[2x3]"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = m2x3();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

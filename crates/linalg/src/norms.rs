@@ -1,0 +1,166 @@
+//! Matrix norms and condition estimation.
+//!
+//! Small diagnostic kit used when judging the hole-filling systems: the
+//! spectral norm (largest singular value, by power iteration on `A^t A`),
+//! the induced 1- and infinity-norms, and a 2-norm condition estimate.
+//! Ill-conditioned `V'` systems mean the known attributes barely
+//! constrain some retained rule, so the fill is untrustworthy — the
+//! model card surfaces that through these estimates.
+
+use crate::svd::Svd;
+use crate::vector::normalize;
+use crate::{LinalgError, Matrix, Result};
+
+/// Iteration cap for the power method.
+pub const MAX_POWER_ITERATIONS: usize = 200;
+
+/// Induced 1-norm: maximum absolute column sum.
+pub fn norm_1(a: &Matrix) -> f64 {
+    let mut best = 0.0_f64;
+    for j in 0..a.cols() {
+        let s: f64 = (0..a.rows()).map(|i| a[(i, j)].abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// Induced infinity-norm: maximum absolute row sum.
+pub fn norm_inf(a: &Matrix) -> f64 {
+    a.row_iter()
+        .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0_f64, f64::max)
+}
+
+/// Spectral norm (largest singular value) by power iteration on `A^t A`.
+///
+/// Converges geometrically with ratio `(s2/s1)^2`; `rel_tol` controls the
+/// stopping test on successive estimates.
+pub fn spectral_norm(a: &Matrix, rel_tol: f64) -> Result<f64> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(LinalgError::Empty {
+            op: "spectral_norm",
+        });
+    }
+    // Deterministic dense start vector.
+    let mut v: Vec<f64> = (0..a.cols())
+        .map(|i| 1.0 + ((i as f64) * 0.754_877_666).cos())
+        .collect();
+    normalize(&mut v);
+    let mut estimate = 0.0_f64;
+    for _ in 0..MAX_POWER_ITERATIONS {
+        let av = a.mul_vec(&v)?;
+        let mut atav = a.vec_mul(&av)?;
+        let next = normalize(&mut atav).sqrt(); // ||A^t A v||^(1/2) ~ s1
+        v = atav;
+        if (next - estimate).abs() <= rel_tol * next.max(f64::MIN_POSITIVE) {
+            return Ok(next);
+        }
+        estimate = next;
+    }
+    Ok(estimate)
+}
+
+/// 2-norm condition number `s_max / s_min` via the (exact) SVD.
+pub fn condition_number(a: &Matrix) -> Result<f64> {
+    Ok(Svd::new(a)?.condition_number())
+}
+
+/// Quick conditioning verdict for a linear system matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conditioning {
+    /// Condition number below 1e4: solves are trustworthy.
+    Good,
+    /// Condition number in [1e4, 1e8): expect some digits lost.
+    Marginal,
+    /// Condition number >= 1e8 (or infinite): solves are unreliable.
+    Poor,
+}
+
+/// Classifies a matrix's conditioning (see [`Conditioning`]).
+pub fn classify_conditioning(a: &Matrix) -> Result<Conditioning> {
+    let kappa = condition_number(a)?;
+    Ok(if kappa < 1e4 {
+        Conditioning::Good
+    } else if kappa < 1e8 {
+        Conditioning::Marginal
+    } else {
+        Conditioning::Poor
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_and_inf_norms() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        // Column sums: |1|+|3| = 4, |-2|+|4| = 6.
+        assert_eq!(norm_1(&a), 6.0);
+        // Row sums: 3, 7.
+        assert_eq!(norm_inf(&a), 7.0);
+        // Transpose swaps them.
+        assert_eq!(norm_1(&a.transpose()), norm_inf(&a));
+    }
+
+    #[test]
+    fn spectral_norm_matches_svd() {
+        let a =
+            Matrix::from_rows(&[&[2.0, -1.0, 0.5], &[0.0, 3.0, 1.0], &[1.0, 1.0, 1.0]]).unwrap();
+        let power = spectral_norm(&a, 1e-12).unwrap();
+        let svd = Svd::new(&a).unwrap();
+        assert!(
+            (power - svd.singular_values[0]).abs() < 1e-8,
+            "power {power} vs svd {}",
+            svd.singular_values[0]
+        );
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let a = Matrix::from_diagonal(&[3.0, -7.0, 2.0]);
+        assert!((spectral_norm(&a, 1e-12).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_norm_bounds() {
+        // ||A||_2 <= sqrt(||A||_1 ||A||_inf) (Hölder).
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-4.0, 0.0, 1.0]]).unwrap();
+        let s = spectral_norm(&a, 1e-10).unwrap();
+        assert!(s <= (norm_1(&a) * norm_inf(&a)).sqrt() + 1e-9);
+        assert!(s >= a.frobenius_norm() / 2.0_f64.sqrt() - 1e-9);
+    }
+
+    #[test]
+    fn conditioning_classification() {
+        assert_eq!(
+            classify_conditioning(&Matrix::identity(3)).unwrap(),
+            Conditioning::Good
+        );
+        let marginal = Matrix::from_diagonal(&[1.0, 1e-5]);
+        assert_eq!(
+            classify_conditioning(&marginal).unwrap(),
+            Conditioning::Marginal
+        );
+        let poor = Matrix::from_diagonal(&[1.0, 1e-12]);
+        assert_eq!(classify_conditioning(&poor).unwrap(), Conditioning::Poor);
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(
+            classify_conditioning(&singular).unwrap(),
+            Conditioning::Poor
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(spectral_norm(&Matrix::zeros(0, 0), 1e-10).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_norms() {
+        let z = Matrix::zeros(3, 3);
+        assert_eq!(norm_1(&z), 0.0);
+        assert_eq!(norm_inf(&z), 0.0);
+        assert_eq!(spectral_norm(&z, 1e-10).unwrap(), 0.0);
+    }
+}

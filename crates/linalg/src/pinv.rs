@@ -1,0 +1,134 @@
+//! Moore–Penrose pseudo-inverse (paper Eqs. 7–9).
+//!
+//! The paper's CASE 2 (over-specified hole filling) computes
+//! `[V']^-1 = S diag(1/sigma_j) R^t` from the SVD `V' = R diag(sigma_j) S^t`
+//! and uses it as a least-squares solve. Singular values below a relative
+//! threshold are zeroed rather than inverted, which is what makes the
+//! pseudo-inverse well-defined for rank-deficient systems.
+
+use crate::svd::Svd;
+use crate::{Matrix, Result};
+
+/// Default relative cutoff below which singular values are treated as zero.
+pub const DEFAULT_RANK_TOL: f64 = 1e-12;
+
+/// Computes the Moore–Penrose pseudo-inverse `A^+`.
+///
+/// Singular values `sigma_j <= rel_tol * sigma_max` are dropped. For a
+/// square nonsingular matrix this equals the ordinary inverse; for
+/// rectangular or singular systems, `A^+ b` is the minimum-norm
+/// least-squares solution of `A x = b`.
+///
+/// ```
+/// use linalg::{Matrix, pinv::pseudo_inverse};
+/// let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]])?;
+/// let p = pseudo_inverse(&a, 1e-12)?;
+/// let prod = a.matmul(&p)?;
+/// assert!(prod.max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-12);
+/// # Ok::<(), linalg::LinalgError>(())
+/// ```
+pub fn pseudo_inverse(a: &Matrix, rel_tol: f64) -> Result<Matrix> {
+    let svd = Svd::new(a)?;
+    let smax = svd.singular_values.first().copied().unwrap_or(0.0);
+    let cutoff = rel_tol * smax;
+    let inv_s: Vec<f64> = svd
+        .singular_values
+        .iter()
+        .map(|&s| if s > cutoff && s > 0.0 { 1.0 / s } else { 0.0 })
+        .collect();
+    // A^+ = V diag(1/s) U^t.
+    let d = Matrix::from_diagonal(&inv_s);
+    svd.v.matmul(&d)?.matmul(&svd.u.transpose())
+}
+
+/// Solves `A x = b` in the minimum-norm least-squares sense via the
+/// pseudo-inverse.
+pub fn solve_least_squares(a: &Matrix, b: &[f64], rel_tol: f64) -> Result<Vec<f64>> {
+    let pinv = pseudo_inverse(a, rel_tol)?;
+    pinv.mul_vec(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_of_nonsingular_square() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let p = pseudo_inverse(&a, DEFAULT_RANK_TOL).unwrap();
+        let prod = a.matmul(&p).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn penrose_conditions_on_rank_deficient_matrix() {
+        // Rank-1 matrix; check all four Moore-Penrose conditions.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let p = pseudo_inverse(&a, DEFAULT_RANK_TOL).unwrap();
+        assert_eq!(p.shape(), (2, 3));
+
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.max_abs_diff(&a).unwrap() < 1e-12, "A A+ A != A");
+
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(pap.max_abs_diff(&p).unwrap() < 1e-12, "A+ A A+ != A+");
+
+        let ap = a.matmul(&p).unwrap();
+        assert!(
+            ap.max_abs_diff(&ap.transpose()).unwrap() < 1e-12,
+            "A A+ not symmetric"
+        );
+
+        let pa = p.matmul(&a).unwrap();
+        assert!(
+            pa.max_abs_diff(&pa.transpose()).unwrap() < 1e-12,
+            "A+ A not symmetric"
+        );
+    }
+
+    #[test]
+    fn least_squares_solution_of_overdetermined_system() {
+        // Fit y = 2x + 1 exactly: design matrix [x, 1].
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0]]).unwrap();
+        let b = [1.0, 3.0, 5.0, 7.0];
+        let x = solve_least_squares(&a, &b, DEFAULT_RANK_TOL).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: solution must be the projection.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let b = [1.0, 3.0, 5.0];
+        let x = solve_least_squares(&a, &b, DEFAULT_RANK_TOL).unwrap();
+        // First column fitted to mean(1,3)=2, second to 5.
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimum_norm_solution_of_underdetermined_system() {
+        // x1 + x2 = 2 has minimum-norm solution (1, 1).
+        let a = Matrix::row_vector(&[1.0, 1.0]);
+        let x = solve_least_squares(&a, &[2.0], DEFAULT_RANK_TOL).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinv_of_zero_matrix_is_zero() {
+        let a = Matrix::zeros(2, 3);
+        let p = pseudo_inverse(&a, DEFAULT_RANK_TOL).unwrap();
+        assert_eq!(p.shape(), (3, 2));
+        assert_eq!(p.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn pinv_of_orthonormal_columns_is_transpose() {
+        let s = 1.0 / 2.0_f64.sqrt();
+        let a = Matrix::from_rows(&[&[s, s], &[s, -s], &[0.0, 0.0]]).unwrap();
+        let p = pseudo_inverse(&a, DEFAULT_RANK_TOL).unwrap();
+        assert!(p.max_abs_diff(&a.transpose()).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,224 @@
+//! Householder QR decomposition and least-squares solve.
+//!
+//! Not used by the paper's own pseudo-code — CASE 2 uses the SVD
+//! pseudo-inverse — but provided as an alternative least-squares backend
+//! for the hole-solver ablation (`bench`), and as a second opinion in the
+//! test suites.
+
+// Triangular solves index rows and columns of packed factors with the
+// loop variable; iterator rewrites obscure the recurrences, so the lint
+// is opted out for this file.
+#![allow(clippy::needless_range_loop)]
+
+use crate::vector::dot;
+use crate::{LinalgError, Matrix, Result};
+
+/// QR decomposition `A = Q R` with `Q` having orthonormal columns
+/// (thin QR: for `m x n` input with `m >= n`, `Q` is `m x n`, `R` is `n x n`).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal factor.
+    pub q: Matrix,
+    /// Upper-triangular factor.
+    pub r: Matrix,
+}
+
+impl Qr {
+    /// Computes the thin QR factorization of a tall (or square) matrix.
+    ///
+    /// Returns an error for `m < n` inputs or empty matrices.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty { op: "qr" });
+        }
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+
+        // Householder vectors stored per column; R built in place.
+        let mut r = a.clone();
+        let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+            let alpha = -v[0].signum() * crate::vector::norm(&v);
+            if alpha == 0.0 {
+                // Column already zero below (and at) the diagonal; identity
+                // reflection.
+                vs.push(vec![0.0; m - k]);
+                continue;
+            }
+            v[0] -= alpha;
+            let vnorm = crate::vector::norm(&v);
+            if vnorm > 0.0 {
+                for x in &mut v {
+                    *x /= vnorm;
+                }
+            }
+            // Apply H = I - 2 v v^t to the trailing submatrix.
+            for j in k..n {
+                let mut proj = 0.0;
+                for (t, &vi) in v.iter().enumerate() {
+                    proj += vi * r[(k + t, j)];
+                }
+                proj *= 2.0;
+                for (t, &vi) in v.iter().enumerate() {
+                    r[(k + t, j)] -= proj * vi;
+                }
+            }
+            vs.push(v);
+        }
+
+        // Zero strictly-below-diagonal entries (clean numerical dust) and
+        // truncate R to n x n.
+        let mut r_thin = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r_thin[(i, j)] = r[(i, j)];
+            }
+        }
+
+        // Accumulate thin Q by applying reflections to the first n columns
+        // of the identity, in reverse order.
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        for k in (0..n).rev() {
+            let v = &vs[k];
+            if v.iter().all(|&x| x == 0.0) {
+                continue;
+            }
+            for j in 0..n {
+                let mut proj = 0.0;
+                for (t, &vi) in v.iter().enumerate() {
+                    proj += vi * q[(k + t, j)];
+                }
+                proj *= 2.0;
+                for (t, &vi) in v.iter().enumerate() {
+                    q[(k + t, j)] -= proj * vi;
+                }
+            }
+        }
+
+        Ok(Qr { q, r: r_thin })
+    }
+
+    /// Solves `A x = b` in the least-squares sense: `R x = Q^t b` by back
+    /// substitution. Returns [`LinalgError::Singular`] when `R` has a
+    /// (near-)zero diagonal entry, i.e. `A` is rank deficient.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.q.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Q^t b
+        let mut y = vec![0.0_f64; n];
+        for j in 0..n {
+            y[j] = dot(&self.q.col(j), b);
+        }
+        // Back substitution.
+        let scale = self.r.max_abs().max(1.0);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.r[(i, j)] * y[j];
+            }
+            let d = self.r[(i, i)];
+            if d.abs() <= 1e-13 * scale {
+                return Err(LinalgError::Singular { op: "qr_solve" });
+            }
+            y[i] = sum / d;
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_qr(a: &Matrix, tol: f64) -> Qr {
+        let qr = Qr::new(a).unwrap();
+        // A = QR.
+        let rec = qr.q.matmul(&qr.r).unwrap();
+        assert!(
+            rec.max_abs_diff(a).unwrap() < tol,
+            "QR reconstruction failed"
+        );
+        // Q^t Q = I.
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(a.cols())).unwrap() < tol);
+        // R upper triangular.
+        for i in 0..qr.r.rows() {
+            for j in 0..i {
+                assert_eq!(qr.r[(i, j)], 0.0);
+            }
+        }
+        qr
+    }
+
+    #[test]
+    fn square_factorization() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[3.0, 2.0]]).unwrap();
+        check_qr(&a, 1e-12);
+    }
+
+    #[test]
+    fn tall_factorization() {
+        let a = Matrix::from_rows(&[&[1.0, -1.0], &[1.0, 4.0], &[1.0, 4.0], &[1.0, -1.0]]).unwrap();
+        check_qr(&a, 1e-12);
+    }
+
+    #[test]
+    fn rejects_wide_and_empty() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Qr::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn least_squares_matches_pinv() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0]]).unwrap();
+        let b = [1.1, 2.9, 5.2, 6.8];
+        let x_qr = Qr::new(&a).unwrap().solve(&b).unwrap();
+        let x_pinv = crate::pinv::solve_least_squares(&a, &b, 1e-12).unwrap();
+        for i in 0..2 {
+            assert!((x_qr[i] - x_pinv[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs() {
+        let a = Matrix::identity(3);
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = Qr::new(&a).unwrap().solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,513 @@
+//! Singular value decomposition (Golub–Kahan–Reinsch).
+//!
+//! The paper's over-specified hole-filling case (Sec. 4.4, CASE 2) solves
+//! `V' x = b'` in the least-squares sense through the Moore–Penrose
+//! pseudo-inverse, "using the singular value decomposition of V'" (Eqs.
+//! 7–9). This module provides that SVD: Householder bidiagonalization
+//! followed by implicit-shift QR on the bidiagonal form — the classic
+//! `svdcmp` routine.
+
+use crate::{hypot, sign, LinalgError, Matrix, Result};
+
+/// Maximum QR sweeps per singular value.
+pub const MAX_SVD_ITERATIONS: usize = 60;
+
+/// Thin singular value decomposition `A = U diag(s) V^t`.
+///
+/// For an `m x n` input with `m >= n`: `u` is `m x n` with orthonormal
+/// columns, `singular_values` has length `n` (descending, nonnegative), and
+/// `v` is `n x n` orthogonal. Inputs with `m < n` are handled by decomposing
+/// the transpose, so `u` is `m x m` and `v` is `n x m`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns).
+    pub u: Matrix,
+    /// Singular values, sorted descending.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors (columns).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of an arbitrary real matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() == 0 || a.cols() == 0 {
+            return Err(LinalgError::Empty { op: "svd" });
+        }
+        if a.rows() >= a.cols() {
+            svd_tall(a)
+        } else {
+            // A = (A^t)^t = (U' S V'^t)^t = V' S U'^t.
+            let t = svd_tall(&a.transpose())?;
+            Ok(Svd {
+                u: t.v,
+                singular_values: t.singular_values,
+                v: t.u,
+            })
+        }
+    }
+
+    /// Rank of the matrix: singular values above `tol * s_max`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        if smax == 0.0 {
+            return 0;
+        }
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > rel_tol * smax)
+            .count()
+    }
+
+    /// Condition number `s_max / s_min` (`inf` if singular).
+    pub fn condition_number(&self) -> f64 {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        let smin = self.singular_values.last().copied().unwrap_or(0.0);
+        if smin == 0.0 {
+            f64::INFINITY
+        } else {
+            smax / smin
+        }
+    }
+
+    /// Reconstructs the original matrix `U diag(s) V^t` (testing aid).
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let s = Matrix::from_diagonal(&self.singular_values);
+        self.u.matmul(&s)?.matmul(&self.v.transpose())
+    }
+}
+
+/// SVD for `m >= n` matrices — the core GKR routine.
+fn svd_tall(input: &Matrix) -> Result<Svd> {
+    let m = input.rows();
+    let n = input.cols();
+    debug_assert!(m >= n);
+
+    let mut a = input.clone(); // becomes U
+    let mut w = vec![0.0_f64; n]; // singular values
+    let mut v = Matrix::zeros(n, n);
+    let mut rv1 = vec![0.0_f64; n];
+
+    // --- Householder bidiagonalization ---------------------------------
+    let mut g = 0.0_f64;
+    let mut scale = 0.0_f64;
+    let mut anorm = 0.0_f64;
+    for i in 0..n {
+        let l = i + 1;
+        rv1[i] = scale * g;
+        g = 0.0;
+        scale = 0.0;
+        if i < m {
+            for k in i..m {
+                scale += a[(k, i)].abs();
+            }
+            if scale != 0.0 {
+                let mut s = 0.0_f64;
+                for k in i..m {
+                    a[(k, i)] /= scale;
+                    s += a[(k, i)] * a[(k, i)];
+                }
+                let f = a[(i, i)];
+                g = -sign(s.sqrt(), f);
+                let h = f * g - s;
+                a[(i, i)] = f - g;
+                for j in l..n {
+                    let mut s = 0.0_f64;
+                    for k in i..m {
+                        s += a[(k, i)] * a[(k, j)];
+                    }
+                    let f = s / h;
+                    for k in i..m {
+                        let inc = f * a[(k, i)];
+                        a[(k, j)] += inc;
+                    }
+                }
+                for k in i..m {
+                    a[(k, i)] *= scale;
+                }
+            }
+        }
+        w[i] = scale * g;
+        g = 0.0;
+        scale = 0.0;
+        if i < m && i + 1 != n {
+            for k in l..n {
+                scale += a[(i, k)].abs();
+            }
+            if scale != 0.0 {
+                let mut s = 0.0_f64;
+                for k in l..n {
+                    a[(i, k)] /= scale;
+                    s += a[(i, k)] * a[(i, k)];
+                }
+                let f = a[(i, l)];
+                g = -sign(s.sqrt(), f);
+                let h = f * g - s;
+                a[(i, l)] = f - g;
+                for k in l..n {
+                    rv1[k] = a[(i, k)] / h;
+                }
+                for j in l..m {
+                    let mut s = 0.0_f64;
+                    for k in l..n {
+                        s += a[(j, k)] * a[(i, k)];
+                    }
+                    for k in l..n {
+                        let inc = s * rv1[k];
+                        a[(j, k)] += inc;
+                    }
+                }
+                for k in l..n {
+                    a[(i, k)] *= scale;
+                }
+            }
+        }
+        anorm = anorm.max(w[i].abs() + rv1[i].abs());
+    }
+
+    // --- Accumulate right-hand transformations (V) ----------------------
+    {
+        let mut l = n; // sentinel: "previous i + 1"
+        for i in (0..n).rev() {
+            if i + 1 < n {
+                if g != 0.0 {
+                    for j in l..n {
+                        v[(j, i)] = (a[(i, j)] / a[(i, l)]) / g;
+                    }
+                    for j in l..n {
+                        let mut s = 0.0_f64;
+                        for k in l..n {
+                            s += a[(i, k)] * v[(k, j)];
+                        }
+                        for k in l..n {
+                            let inc = s * v[(k, i)];
+                            v[(k, j)] += inc;
+                        }
+                    }
+                }
+                for j in l..n {
+                    v[(i, j)] = 0.0;
+                    v[(j, i)] = 0.0;
+                }
+            }
+            v[(i, i)] = 1.0;
+            g = rv1[i];
+            l = i;
+        }
+    }
+
+    // --- Accumulate left-hand transformations (U) -----------------------
+    for i in (0..n.min(m)).rev() {
+        let l = i + 1;
+        g = w[i];
+        for j in l..n {
+            a[(i, j)] = 0.0;
+        }
+        if g != 0.0 {
+            g = 1.0 / g;
+            for j in l..n {
+                let mut s = 0.0_f64;
+                for k in l..m {
+                    s += a[(k, i)] * a[(k, j)];
+                }
+                let f = (s / a[(i, i)]) * g;
+                for k in i..m {
+                    let inc = f * a[(k, i)];
+                    a[(k, j)] += inc;
+                }
+            }
+            for j in i..m {
+                a[(j, i)] *= g;
+            }
+        } else {
+            for j in i..m {
+                a[(j, i)] = 0.0;
+            }
+        }
+        a[(i, i)] += 1.0;
+    }
+
+    // --- Diagonalize the bidiagonal form --------------------------------
+    for k in (0..n).rev() {
+        let mut converged = false;
+        for its in 0..MAX_SVD_ITERATIONS {
+            // Test for splitting.
+            let mut l = k;
+            let mut flag = true;
+            loop {
+                if rv1[l].abs() + anorm == anorm {
+                    flag = false;
+                    break;
+                }
+                // rv1[0] == 0 guarantees l >= 1 here.
+                if w[l - 1].abs() + anorm == anorm {
+                    break;
+                }
+                l -= 1;
+            }
+            if flag {
+                // Cancellation of rv1[l] if l > 0.
+                let nm = l - 1;
+                let mut c = 0.0_f64;
+                let mut s = 1.0_f64;
+                for i in l..=k {
+                    let f = s * rv1[i];
+                    rv1[i] *= c;
+                    if f.abs() + anorm == anorm {
+                        break;
+                    }
+                    g = w[i];
+                    let h = hypot(f, g);
+                    w[i] = h;
+                    let h_inv = 1.0 / h;
+                    c = g * h_inv;
+                    s = -f * h_inv;
+                    for j in 0..m {
+                        let y = a[(j, nm)];
+                        let z = a[(j, i)];
+                        a[(j, nm)] = y * c + z * s;
+                        a[(j, i)] = z * c - y * s;
+                    }
+                }
+            }
+            let z = w[k];
+            if l == k {
+                // Convergence; enforce nonnegative singular value.
+                if z < 0.0 {
+                    w[k] = -z;
+                    for j in 0..n {
+                        v[(j, k)] = -v[(j, k)];
+                    }
+                }
+                converged = true;
+                break;
+            }
+            if its + 1 == MAX_SVD_ITERATIONS {
+                break;
+            }
+
+            // Shift from bottom 2x2 minor.
+            let mut x = w[l];
+            let nm = k - 1;
+            let mut y = w[nm];
+            g = rv1[nm];
+            let mut h = rv1[k];
+            let mut f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y);
+            g = hypot(f, 1.0);
+            f = ((x - z) * (x + z) + h * ((y / (f + sign(g, f))) - h)) / x;
+
+            // Next QR transformation.
+            let mut c = 1.0_f64;
+            let mut s = 1.0_f64;
+            for j in l..=nm {
+                let i = j + 1;
+                g = rv1[i];
+                y = w[i];
+                h = s * g;
+                g *= c;
+                let mut zz = hypot(f, h);
+                rv1[j] = zz;
+                c = f / zz;
+                s = h / zz;
+                f = x * c + g * s;
+                g = g * c - x * s;
+                h = y * s;
+                y *= c;
+                for jj in 0..n {
+                    let xx = v[(jj, j)];
+                    let z2 = v[(jj, i)];
+                    v[(jj, j)] = xx * c + z2 * s;
+                    v[(jj, i)] = z2 * c - xx * s;
+                }
+                zz = hypot(f, h);
+                w[j] = zz;
+                if zz != 0.0 {
+                    let inv = 1.0 / zz;
+                    c = f * inv;
+                    s = h * inv;
+                }
+                f = c * g + s * y;
+                x = c * y - s * g;
+                for jj in 0..m {
+                    let yy = a[(jj, j)];
+                    let z2 = a[(jj, i)];
+                    a[(jj, j)] = yy * c + z2 * s;
+                    a[(jj, i)] = z2 * c - yy * s;
+                }
+            }
+            rv1[l] = 0.0;
+            rv1[k] = f;
+            w[k] = x;
+        }
+        if !converged {
+            return Err(LinalgError::NoConvergence {
+                op: "svd",
+                iterations: MAX_SVD_ITERATIONS,
+            });
+        }
+    }
+
+    // --- Sort singular values descending, permuting U and V columns -----
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| w[j].partial_cmp(&w[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let singular_values: Vec<f64> = order.iter().map(|&i| w[i]).collect();
+    let u = permute_cols(&a, &order);
+    let v = permute_cols(&v, &order);
+
+    Ok(Svd {
+        u,
+        singular_values,
+        v,
+    })
+}
+
+fn permute_cols(m: &Matrix, order: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), order.len());
+    for (new_j, &old_j) in order.iter().enumerate() {
+        for i in 0..m.rows() {
+            out[(i, new_j)] = m[(i, old_j)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_svd(a: &Matrix, tol: f64) -> Svd {
+        let svd = Svd::new(a).unwrap();
+        // Reconstruction.
+        let rec = svd.reconstruct().unwrap();
+        let diff = rec.max_abs_diff(a).unwrap();
+        assert!(diff < tol, "reconstruction error {diff} (tol {tol})");
+        // Orthonormal columns.
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let k = utu.rows();
+        assert!(
+            utu.max_abs_diff(&Matrix::identity(k)).unwrap() < tol,
+            "U columns not orthonormal"
+        );
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        let k = vtv.rows();
+        assert!(
+            vtv.max_abs_diff(&Matrix::identity(k)).unwrap() < tol,
+            "V columns not orthonormal"
+        );
+        // Nonnegative, descending.
+        for s in &svd.singular_values {
+            assert!(*s >= 0.0);
+        }
+        for pair in svd.singular_values.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        svd
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_diagonal(&[3.0, 1.0, 2.0]);
+        let svd = check_svd(&a, 1e-12);
+        assert!((svd.singular_values[0] - 3.0).abs() < 1e-12);
+        assert!((svd.singular_values[1] - 2.0).abs() < 1e-12);
+        assert!((svd.singular_values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_singular_values() {
+        // A = [[3, 0], [4, 5]] has singular values sqrt(45) and sqrt(5).
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[4.0, 5.0]]).unwrap();
+        let svd = check_svd(&a, 1e-12);
+        assert!((svd.singular_values[0] - 45.0_f64.sqrt()).abs() < 1e-12);
+        assert!((svd.singular_values[1] - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tall_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let svd = check_svd(&a, 1e-12);
+        assert_eq!(svd.u.shape(), (4, 2));
+        assert_eq!(svd.v.shape(), (2, 2));
+        assert_eq!(svd.singular_values.len(), 2);
+    }
+
+    #[test]
+    fn wide_matrix_via_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]).unwrap();
+        let svd = check_svd(&a, 1e-12);
+        assert_eq!(svd.u.shape(), (2, 2));
+        assert_eq!(svd.v.shape(), (4, 2));
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Rank 1: second row is twice the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let svd = check_svd(&a, 1e-12);
+        assert_eq!(svd.rank(1e-10), 1);
+        assert!(svd.singular_values[1].abs() < 1e-12);
+        assert_eq!(svd.condition_number(), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(3, 2);
+        let svd = check_svd(&a, 1e-14);
+        assert_eq!(svd.rank(1e-10), 0);
+        assert!(svd.singular_values.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn single_column_and_row() {
+        let col = Matrix::column_vector(&[3.0, 4.0]);
+        let svd = check_svd(&col, 1e-12);
+        assert!((svd.singular_values[0] - 5.0).abs() < 1e-12);
+
+        let row = Matrix::row_vector(&[3.0, 4.0]);
+        let svd = check_svd(&row, 1e-12);
+        assert!((svd.singular_values[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Svd::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_of_gram_matrix() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[-2.0, 0.5, 2.0],
+        ])
+        .unwrap();
+        let svd = check_svd(&a, 1e-11);
+        let gram = a.transpose().matmul(&a).unwrap();
+        let eig = crate::eigen::SymmetricEigen::new(&gram).unwrap();
+        for j in 0..3 {
+            let expected = eig.eigenvalues[j].max(0.0).sqrt();
+            assert!(
+                (svd.singular_values[j] - expected).abs() < 1e-10,
+                "sv {j}: {} vs sqrt(eigenvalue) {}",
+                svd.singular_values[j],
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn pseudo_random_matrices_reconstruct() {
+        let mut state = 0x9E3779B97F4A7C15_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for &(m, n) in &[(5, 5), (8, 3), (3, 8), (10, 10), (20, 7)] {
+            let a = Matrix::from_fn(m, n, |_, _| next() * 10.0);
+            check_svd(&a, 1e-9);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Implicit-shift QL iteration for symmetric tridiagonal matrices.
+//!
+//! This is the EISPACK `tql2` routine (Numerical Recipes `tqli`): given the
+//! diagonal `d` and sub-diagonal `e` of a symmetric tridiagonal matrix plus
+//! an orthogonal matrix `z` (typically the Householder accumulation from
+//! [`crate::householder`]), it overwrites `d` with the eigenvalues and the
+//! columns of `z` with the corresponding eigenvectors.
+
+use crate::{hypot, sign, LinalgError, Matrix, Result};
+
+/// Maximum QL sweeps per eigenvalue before reporting non-convergence.
+pub const MAX_QL_ITERATIONS: usize = 50;
+
+/// Diagonalizes a symmetric tridiagonal matrix in place.
+///
+/// * `d` — diagonal on input, eigenvalues on output (length `n`).
+/// * `e` — sub-diagonal on input with `e[0]` unused; destroyed.
+/// * `z` — `n x n` orthogonal matrix; its columns are rotated into the
+///   eigenvectors (pass the identity to diagonalize a raw tridiagonal
+///   matrix).
+///
+/// Eigenvalues come out unordered; [`crate::eigen`] sorts them.
+pub fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
+    let n = d.len();
+    if e.len() != n || z.shape() != (n, n) {
+        return Err(LinalgError::DimensionMismatch {
+            op: "ql_implicit",
+            lhs: (n, 1),
+            rhs: z.shape(),
+        });
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty { op: "ql_implicit" });
+    }
+
+    // Renumber e so that e[i] couples d[i] and d[i+1].
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Find a negligible off-diagonal element e[m]; the block
+            // [l..=m] is then isolated.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERATIONS {
+                return Err(LinalgError::NoConvergence {
+                    op: "ql_implicit",
+                    iterations: MAX_QL_ITERATIONS,
+                });
+            }
+
+            // Form the implicit Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = hypot(g, 1.0);
+            g = d[m] - d[l] + e[l] / (g + sign(r, g));
+            let mut s = 1.0_f64;
+            let mut c = 1.0_f64;
+            let mut p = 0.0_f64;
+
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = hypot(f, g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow by deflating.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Convenience wrapper: eigendecomposition of a raw symmetric tridiagonal
+/// matrix given as `(diagonal, sub_diagonal)` where `sub_diagonal[i]`
+/// couples rows `i-1` and `i` (index 0 unused).
+///
+/// Returns `(eigenvalues, eigenvector_matrix)` with eigenvectors as columns,
+/// both unordered.
+pub fn eigen_tridiagonal(diagonal: &[f64], sub_diagonal: &[f64]) -> Result<(Vec<f64>, Matrix)> {
+    let n = diagonal.len();
+    let mut d = diagonal.to_vec();
+    let mut e = sub_diagonal.to_vec();
+    let mut z = Matrix::identity(n);
+    ql_implicit(&mut d, &mut e, &mut z)?;
+    Ok((d, z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut d = vec![1.0, 2.0];
+        let mut e = vec![0.0];
+        let mut z = Matrix::identity(2);
+        assert!(ql_implicit(&mut d, &mut e, &mut z).is_err());
+
+        let mut d: Vec<f64> = vec![];
+        let mut e: Vec<f64> = vec![];
+        let mut z = Matrix::zeros(0, 0);
+        assert!(ql_implicit(&mut d, &mut e, &mut z).is_err());
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let (vals, vecs) = eigen_tridiagonal(&[3.0, 1.0, 2.0], &[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(sorted(vals), vec![1.0, 2.0, 3.0]);
+        assert!(vecs.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let (vals, _) = eigen_tridiagonal(&[2.0, 2.0], &[0.0, 1.0]).unwrap();
+        let s = sorted(vals);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_chain_eigenvalues() {
+        // The path-graph Laplacian-like matrix with diagonal 2 and
+        // off-diagonal -1 has eigenvalues 2 - 2 cos(k*pi/(n+1)).
+        let n = 8;
+        let d = vec![2.0; n];
+        let mut e = vec![-1.0; n];
+        e[0] = 0.0;
+        let (vals, vecs) = eigen_tridiagonal(&d, &e).unwrap();
+        let got = sorted(vals);
+        for (k, &v) in got.iter().enumerate() {
+            let expected =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!(
+                (v - expected).abs() < 1e-10,
+                "eigenvalue {k}: {v} vs {expected}"
+            );
+        }
+        // Eigenvector matrix must stay orthogonal.
+        let qtq = vecs.transpose().matmul(&vecs).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_definition() {
+        let diag = [4.0, 1.0, -2.0, 0.5, 3.0];
+        let mut sub = [0.0, 1.5, -0.5, 2.0, 1.0];
+        sub[0] = 0.0;
+        let (vals, vecs) = eigen_tridiagonal(&diag, &sub).unwrap();
+
+        // Rebuild dense T and check T v = lambda v for each pair.
+        let n = diag.len();
+        let mut t = Matrix::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = diag[i];
+            if i > 0 {
+                t[(i, i - 1)] = sub[i];
+                t[(i - 1, i)] = sub[i];
+            }
+        }
+        for (j, &val) in vals.iter().enumerate() {
+            let v = vecs.col(j);
+            let tv = t.mul_vec(&v).unwrap();
+            for (i, (tvi, vi)) in tv.iter().zip(&v).enumerate() {
+                assert!(
+                    (tvi - val * vi).abs() < 1e-10,
+                    "pair {j}: (Tv)_{i}={} vs lambda v_{i}={}",
+                    tvi,
+                    val * vi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let (vals, vecs) = eigen_tridiagonal(&[5.0], &[0.0]).unwrap();
+        assert_eq!(vals, vec![5.0]);
+        assert_eq!(vecs, Matrix::identity(1));
+    }
+}

@@ -1,0 +1,157 @@
+//! Small vector helpers over `&[f64]` slices.
+//!
+//! These are the hot inner kernels of the covariance scan and the
+//! decompositions, so they are kept free of bounds checks where the iterator
+//! style allows the compiler to elide them.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Debug-asserts that the lengths match; in release the shorter length wins
+/// (the zip truncates), so callers must validate shapes beforehand.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x` in place.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a vector in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean length in place.
+///
+/// Returns the original norm. A zero vector is left untouched and `0.0` is
+/// returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Element-wise difference `a - b` as a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Mean of a slice; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Cosine of the angle between two vectors, in `[-1, 1]`.
+///
+/// Returns `None` if either vector has zero norm.
+pub fn cosine(a: &[f64], b: &[f64]) -> Option<f64> {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return None;
+    }
+    Some((dot(a, b) / (na * nb)).clamp(-1.0, 1.0))
+}
+
+/// Flips the sign of `v` so its largest-magnitude component is positive.
+///
+/// Eigenvectors are only defined up to sign; fixing the sign this way makes
+/// mined Ratio Rules deterministic and comparable across solvers.
+pub fn canonicalize_sign(v: &mut [f64]) {
+    let mut best = 0.0_f64;
+    let mut best_val = 0.0_f64;
+    for &x in v.iter() {
+        if x.abs() > best {
+            best = x.abs();
+            best_val = x;
+        }
+    }
+    if best_val < 0.0 {
+        scale(-1.0, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        let n = normalize(&mut v);
+        assert!((n - 5.0).abs() < 1e-15);
+        assert!((norm(&v) - 1.0).abs() < 1e-15);
+
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sub_and_mean() {
+        assert_eq!(sub(&[3.0, 5.0], &[1.0, 2.0]), vec![2.0, 3.0]);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_cases() {
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0]).unwrap()).abs() < 1e-15);
+        assert!((cosine(&[2.0, 0.0], &[5.0, 0.0]).unwrap() - 1.0).abs() < 1e-15);
+        assert!((cosine(&[1.0, 0.0], &[-3.0, 0.0]).unwrap() + 1.0).abs() < 1e-15);
+        assert!(cosine(&[0.0, 0.0], &[1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn canonicalize_sign_flips_when_needed() {
+        let mut v = vec![0.1, -0.9, 0.2];
+        canonicalize_sign(&mut v);
+        assert_eq!(v, vec![-0.1, 0.9, -0.2]);
+
+        let mut w = vec![0.1, 0.9, -0.2];
+        canonicalize_sign(&mut w);
+        assert_eq!(w, vec![0.1, 0.9, -0.2]);
+
+        let mut z: Vec<f64> = vec![0.0, 0.0];
+        canonicalize_sign(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the linear algebra substrate.
+//!
+//! These check algebraic invariants on randomly generated matrices rather
+//! than hand-picked examples: orthogonality of computed bases,
+//! reconstruction identities, and agreement between independent algorithms
+//! (Householder+QL vs Jacobi, SVD vs Gram-matrix eigenvalues).
+
+use linalg::cholesky::Cholesky;
+use linalg::eigen::SymmetricEigen;
+use linalg::jacobi::jacobi_eigen;
+use linalg::lu;
+use linalg::pinv::pseudo_inverse;
+use linalg::qr::Qr;
+use linalg::svd::Svd;
+use linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: arbitrary matrix with entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+/// Strategy: random symmetric matrix of side `n`.
+fn symmetric(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(|m| {
+        let mt = m.transpose();
+        (&m + &mt).unwrap().scale(0.5)
+    })
+}
+
+/// Strategy: random SPD matrix `B B^t + n*I`.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(move |b| {
+        let g = b.matmul(&b.transpose()).unwrap();
+        let bump = Matrix::identity(n).scale(n as f64);
+        (&g + &bump).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(a in matrix(4, 3), b in matrix(3, 5), c in matrix(5, 2)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        let diff = left.max_abs_diff(&right).unwrap();
+        prop_assert!(diff < 1e-9, "associativity violated by {diff}");
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in matrix(4, 3), b in matrix(3, 5)) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(a in symmetric(6)) {
+        let e = SymmetricEigen::new(&a).unwrap();
+        let rec = e.reconstruct().unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace(a in symmetric(5)) {
+        let e = SymmetricEigen::new(&a).unwrap();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-9 * a.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal(a in symmetric(6)) {
+        let e = SymmetricEigen::new(&a).unwrap();
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
+        prop_assert!(vtv.max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_agrees_with_ql_on_eigenvalues(a in symmetric(5)) {
+        let e = SymmetricEigen::new(&a).unwrap();
+        let (jv, _) = jacobi_eigen(&a, 1e-8).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for (x, y) in e.eigenvalues.iter().zip(&jv) {
+            prop_assert!((x - y).abs() < 1e-8 * scale, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs(a in matrix(7, 4)) {
+        let svd = Svd::new(&a).unwrap();
+        let rec = svd.reconstruct().unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn svd_frobenius_identity(a in matrix(5, 6)) {
+        // ||A||_F^2 == sum of squared singular values.
+        let svd = Svd::new(&a).unwrap();
+        let fro2 = a.frobenius_norm().powi(2);
+        let ssq: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - ssq).abs() < 1e-8 * fro2.max(1.0));
+    }
+
+    #[test]
+    fn pinv_satisfies_first_penrose_condition(a in matrix(6, 3)) {
+        let p = pseudo_inverse(&a, 1e-12).unwrap();
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(apa.max_abs_diff(&a).unwrap() < 1e-8 * scale);
+    }
+
+    #[test]
+    fn lu_solve_has_small_residual(a in spd(5), b in proptest::collection::vec(-10.0..10.0f64, 5)) {
+        // SPD inputs are guaranteed nonsingular.
+        let x = lu::solve(&a, &b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        for i in 0..5 {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-8 * a.max_abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn lu_and_cholesky_agree_on_spd(a in spd(4), b in proptest::collection::vec(-5.0..5.0f64, 4)) {
+        let x_lu = lu::solve(&a, &b).unwrap();
+        let x_ch = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        for i in 0..4 {
+            prop_assert!((x_lu[i] - x_ch[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd(5)) {
+        let c = Cholesky::new(&a).unwrap();
+        let rec = c.l.matmul(&c.l.transpose()).unwrap();
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-8 * a.max_abs());
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_orthonormal(a in matrix(6, 4)) {
+        let qr = Qr::new(&a).unwrap();
+        let rec = qr.q.matmul(&qr.r).unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-9 * scale);
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_product_rule(a in spd(3), b in spd(3)) {
+        let det_a = lu::Lu::new(&a).unwrap().determinant();
+        let det_b = lu::Lu::new(&b).unwrap().determinant();
+        let det_ab = lu::Lu::new(&a.matmul(&b).unwrap()).unwrap().determinant();
+        let rel = ((det_ab - det_a * det_b) / det_ab.abs().max(1.0)).abs();
+        prop_assert!(rel < 1e-8, "det(AB)={det_ab} vs det(A)det(B)={}", det_a * det_b);
+    }
+
+    #[test]
+    fn svd_rank_bounded_by_min_dim(a in matrix(5, 3)) {
+        let svd = Svd::new(&a).unwrap();
+        prop_assert!(svd.rank(1e-12) <= 3);
+    }
+
+    #[test]
+    fn svd_is_scale_equivariant_across_extreme_magnitudes(
+        a in matrix(5, 4),
+        exp in -120i32..120,
+    ) {
+        // Scaling the matrix scales the singular values and leaves the
+        // singular vectors unchanged — across 240 orders of magnitude
+        // (the hypot-based kernels must neither overflow nor underflow).
+        let scale = 10f64.powi(exp);
+        let scaled = a.scale(scale);
+        let s1 = Svd::new(&a).unwrap();
+        let s2 = Svd::new(&scaled).unwrap();
+        for (x, y) in s1.singular_values.iter().zip(&s2.singular_values) {
+            let expected = x * scale;
+            prop_assert!(
+                (y - expected).abs() <= 1e-9 * expected.abs().max(f64::MIN_POSITIVE),
+                "sv {x} scaled to {y}, expected {expected}"
+            );
+        }
+        // First singular vector matches up to sign when well separated.
+        if s1.singular_values[0] > 1.5 * s1.singular_values[1] {
+            let c = linalg::vector::cosine(&s1.v.col(0), &s2.v.col(0)).unwrap();
+            prop_assert!(c.abs() > 1.0 - 1e-8, "cosine {c}");
+        }
+    }
+
+    #[test]
+    fn lanczos_top1_matches_dense(a in symmetric(8)) {
+        let dense = SymmetricEigen::new(&a).unwrap();
+        let lz = linalg::lanczos::lanczos_top_k(&a, 1, Some(8)).unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(
+            (lz.eigenvalues[0] - dense.eigenvalues[0]).abs() < 1e-8 * scale,
+            "{} vs {}", lz.eigenvalues[0], dense.eigenvalues[0]
+        );
+    }
+
+    #[test]
+    fn spectral_norm_consistent_with_svd(a in matrix(4, 6)) {
+        let power = linalg::norms::spectral_norm(&a, 1e-12).unwrap();
+        let svd = Svd::new(&a).unwrap();
+        let s1 = svd.singular_values[0];
+        prop_assert!((power - s1).abs() <= 1e-6 * s1.max(1.0), "{power} vs {s1}");
+    }
+}

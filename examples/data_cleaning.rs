@@ -1,0 +1,67 @@
+//! Data cleaning: repairing missing values in a damaged table
+//! (paper Sec. 3, "reconstructing lost data ... perhaps as a result of
+//! consolidating data from many heterogeneous sources for use in a data
+//! warehouse").
+//!
+//! We take the abalone-like table, erase a random 5% of the cells, repair
+//! them with Ratio Rules, and report the repair error against both the
+//! ground truth and the col-avgs baseline.
+//!
+//! Run with: `cargo run --release --example data_cleaning`
+
+use dataset::holes::HoleSet;
+use dataset::split::train_test_split;
+use dataset::synth::abalone::abalone_like_sized;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::miner::RatioRuleMiner;
+use ratio_rules::predictor::{ColAvgs, Predictor, RuleSetPredictor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = abalone_like_sized(2000, 3)?;
+    let split = train_test_split(&data, 0.9, 3)?;
+    let m = data.n_cols();
+
+    // Train the repair model on the intact 90%.
+    let rules = RatioRuleMiner::new(Cutoff::EnergyFraction(0.85)).fit_data(&split.train)?;
+    println!("{rules}");
+    let rr = RuleSetPredictor::new(rules);
+    let baseline = ColAvgs::fit(split.train.matrix())?;
+
+    // Damage the held-out 10%: each row loses 1-3 random cells.
+    let test = split.test.matrix();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut rr_sq = 0.0_f64;
+    let mut ca_sq = 0.0_f64;
+    let mut holes_total = 0usize;
+    for i in 0..test.rows() {
+        let row = test.row(i);
+        let h = rng.gen_range(1..=3);
+        let mut idx: Vec<usize> = Vec::new();
+        while idx.len() < h {
+            let j = rng.gen_range(0..m);
+            if !idx.contains(&j) {
+                idx.push(j);
+            }
+        }
+        let holes = HoleSet::new(idx, m)?;
+        let damaged = holes.apply(row)?;
+        let repaired = rr.fill(&damaged)?;
+        let naive = baseline.fill(&damaged)?;
+        for &j in holes.holes() {
+            rr_sq += (repaired[j] - row[j]).powi(2);
+            ca_sq += (naive[j] - row[j]).powi(2);
+            holes_total += 1;
+        }
+    }
+    let rr_rms = (rr_sq / holes_total as f64).sqrt();
+    let ca_rms = (ca_sq / holes_total as f64).sqrt();
+    println!(
+        "repaired {holes_total} damaged cells across {} rows",
+        test.rows()
+    );
+    println!("repair RMS error: Ratio Rules {rr_rms:.4} vs col-avgs {ca_rms:.4}");
+    println!("({:.1}x more accurate repairs)", ca_rms / rr_rms);
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Ratio Rules vs Boolean vs quantitative association rules on the same
+//! basket data — the paper's Sec. 6.3 comparison, end to end.
+//!
+//! Run with: `cargo run --release --example paradigm_comparison`
+
+use assoc::apriori::Apriori;
+use assoc::predict::{predict_hole, PredictOutcome};
+use assoc::quantitative::QuantitativeMiner;
+use assoc::transactions::binarize;
+use dataset::holes::HoledRow;
+use dataset::synth::quest::{generate, QuestConfig};
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::miner::RatioRuleMiner;
+use ratio_rules::reconstruct::fill_holes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = QuestConfig {
+        n_rows: 2_000,
+        n_items: 12,
+        ..QuestConfig::default()
+    };
+    let data = generate(&cfg, 5)?;
+    let x = data.matrix();
+
+    // --- Boolean association rules (Apriori) --------------------------
+    let transactions = binarize(x, 0.0)?;
+    let apriori = Apriori::new(0.08, 0.6)?;
+    let itemsets = apriori.frequent_itemsets(&transactions)?;
+    let bool_rules = apriori.rules(&itemsets, transactions.len())?;
+    println!("== Boolean association rules (binarized amounts) ==");
+    println!(
+        "{} frequent itemsets, {} rules, needing {} passes over the data",
+        itemsets.len(),
+        bool_rules.len(),
+        Apriori::passes_needed(&itemsets)
+    );
+    for r in bool_rules.iter().take(3) {
+        println!(
+            "  {:?} => {:?} (sup {:.2}, conf {:.2})",
+            r.antecedent, r.consequent, r.support, r.confidence
+        );
+    }
+    println!("  (amounts were discarded: a $1 and a $40 purchase look identical)\n");
+
+    // --- Quantitative association rules --------------------------------
+    let quant = QuantitativeMiner {
+        intervals: 4,
+        min_support: 0.05,
+        min_confidence: 0.5,
+    }
+    .mine(x)?;
+    println!("== Quantitative association rules (interval items) ==");
+    println!("{} rules; first three:", quant.rules.len());
+    for r in quant.rules.iter().take(3) {
+        println!("  {r}");
+    }
+
+    // --- Ratio Rules ----------------------------------------------------
+    let rules = RatioRuleMiner::new(Cutoff::EnergyFraction(0.85)).fit_data(&data)?;
+    println!("\n== Ratio Rules (single pass) ==");
+    println!("{rules}");
+
+    // --- Head-to-head: predict item1 given only item0 -------------------
+    let probe = 1.5 * rules.column_means()[0].max(1.0) + 30.0; // outside the data range
+    println!("prediction task: item0 = ${probe:.2} (an extreme customer), item1 = ?");
+
+    let mut row = vec![None; x.cols()];
+    row[0] = Some(probe);
+    match predict_hole(&quant, &row, 1)? {
+        PredictOutcome::Predicted { value, rules_fired } => {
+            println!("  quantitative rules: ${value:.2} ({rules_fired} rules fired)")
+        }
+        PredictOutcome::NoRuleFires => {
+            println!("  quantitative rules: NO RULE FIRES (cannot extrapolate)")
+        }
+    }
+    let mut holed = vec![None; x.cols()];
+    holed[0] = Some(probe);
+    let filled = fill_holes(&rules, &HoledRow::new(holed))?;
+    println!(
+        "  ratio rules:        ${:.2} (extrapolates along RR1)",
+        filled.values[1]
+    );
+    println!("  boolean rules:      no numeric prediction is even defined");
+    Ok(())
+}

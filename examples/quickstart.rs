@@ -1,0 +1,53 @@
+//! Quickstart: mine Ratio Rules from the paper's Figure 1 dataset and
+//! guess a missing value.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dataset::holes::HoledRow;
+use dataset::DataMatrix;
+use linalg::Matrix;
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::interpret;
+use ratio_rules::miner::RatioRuleMiner;
+use ratio_rules::reconstruct::fill_holes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Figure 1: five customers, dollar amounts spent on
+    // (bread, butter).
+    let x = Matrix::from_rows(&[
+        &[0.89, 0.49],
+        &[3.34, 1.85],
+        &[5.00, 3.09],
+        &[1.78, 0.99],
+        &[4.02, 2.61],
+    ])?;
+    let data = DataMatrix::with_labels(
+        x,
+        vec![
+            "Billie".into(),
+            "Charlie".into(),
+            "Ella".into(),
+            "John".into(),
+            "Miles".into(),
+        ],
+        vec!["bread".into(), "butter".into()],
+    )?;
+
+    // Mine with the paper's default cutoff (85% energy, Eq. 1).
+    let rules = RatioRuleMiner::new(Cutoff::EnergyFraction(0.85)).fit_data(&data)?;
+    println!("{rules}");
+    println!("{}", interpret::table(&rules, 0.0));
+
+    let rr1 = rules.rule(0);
+    let (bread, butter) = rr1.ratio(0, 1).expect("two attributes");
+    println!("RR1: bread : butter = {bread:.3} : {butter:.3}  (paper: 0.866 : 0.5)\n");
+
+    // A new customer bought $10 of bread; how much butter?
+    let row = HoledRow::new(vec![Some(10.0), None]);
+    let filled = fill_holes(&rules, &row)?;
+    println!(
+        "customer spends $10.00 on bread -> predicted butter: ${:.2} (case: {:?})",
+        filled.values[1], filled.case
+    );
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the Ratio Rules reproduction workspace.
+//!
+//! This crate exists so the workspace root can host runnable `examples/` and
+//! cross-crate integration `tests/`. It re-exports the member crates so
+//! examples can write `use ratio_rules_repro::prelude::*;`.
+
+pub use assoc;
+pub use dataset;
+pub use linalg;
+pub use ratio_rules;
+
+/// Convenient re-exports for examples and integration tests.
+pub mod prelude {
+    pub use assoc::{apriori::Apriori, quantitative::QuantitativeMiner};
+    pub use dataset::{split::train_test_split, DataMatrix};
+    pub use linalg::Matrix;
+    pub use ratio_rules::{
+        cutoff::Cutoff, guessing::GuessingErrorEvaluator, miner::RatioRuleMiner,
+        predictor::Predictor, rules::RuleSet,
+    };
+}

@@ -1,0 +1,153 @@
+//! Cross-crate property-based tests: invariants of the mining +
+//! reconstruction pipeline on randomized low-rank datasets.
+
+use dataset::holes::{HoleSet, HoledRow};
+use linalg::Matrix;
+use proptest::prelude::*;
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::miner::RatioRuleMiner;
+use ratio_rules::reconstruct::fill_holes;
+use ratio_rules::rules::RuleSet;
+
+/// Strategy: a random rank-`r` matrix `n x m` built from `r` random
+/// direction/coefficient pairs, plus optional noise.
+fn low_rank(n: usize, m: usize, r: usize, noise: f64) -> impl Strategy<Value = Matrix> {
+    let dirs = proptest::collection::vec(0.2..1.0f64, r * m);
+    let coeffs = proptest::collection::vec(-5.0..5.0f64, r * n);
+    let noise_cells = proptest::collection::vec(-1.0..1.0f64, n * m);
+    (dirs, coeffs, noise_cells).prop_map(move |(d, c, eps)| {
+        Matrix::from_fn(n, m, |i, j| {
+            let mut v = 0.0;
+            for f in 0..r {
+                // Alternate direction signs per factor so they differ.
+                let sign = if (f + j) % 2 == 0 { 1.0 } else { -1.0 };
+                v += c[f * n + i] * d[f * m + j] * sign;
+            }
+            v + noise * eps[i * m + j]
+        })
+    })
+}
+
+fn mine(x: &Matrix, k: usize) -> RuleSet {
+    RatioRuleMiner::new(Cutoff::FixedK(k))
+        .fit_matrix(x)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Known values always pass through hole filling unchanged.
+    #[test]
+    fn known_values_pass_through(
+        x in low_rank(30, 5, 2, 0.1),
+        hole in 0usize..5,
+        row_idx in 0usize..30,
+    ) {
+        let rules = mine(&x, 2);
+        let row = x.row(row_idx);
+        let hs = HoleSet::new(vec![hole], 5).unwrap();
+        let filled = fill_holes(&rules, &hs.apply(row).unwrap()).unwrap();
+        for (j, (filled_j, row_j)) in filled.values.iter().zip(row).enumerate() {
+            if j != hole {
+                prop_assert_eq!(filled_j, row_j);
+            }
+        }
+        prop_assert!(filled.values.iter().all(|v| v.is_finite()));
+    }
+
+    /// On exactly rank-k data, filling any single hole with k rules
+    /// recovers the original value (up to numerical error).
+    #[test]
+    fn exact_recovery_on_noiseless_low_rank(
+        x in low_rank(40, 6, 2, 0.0),
+        hole in 0usize..6,
+        row_idx in 0usize..40,
+    ) {
+        let rules = mine(&x, 2);
+        let row = x.row(row_idx);
+        let hs = HoleSet::new(vec![hole], 6).unwrap();
+        let filled = fill_holes(&rules, &hs.apply(row).unwrap()).unwrap();
+        let scale = x.max_abs().max(1.0);
+        prop_assert!(
+            (filled.values[hole] - row[hole]).abs() < 1e-6 * scale,
+            "hole {}: {} vs {}", hole, filled.values[hole], row[hole]
+        );
+    }
+
+    /// Mined eigenvalues are nonnegative and descending, loadings are
+    /// unit-norm, and retained energy is in [0, 1].
+    #[test]
+    fn ruleset_structural_invariants(x in low_rank(25, 5, 3, 0.5)) {
+        let rules = RatioRuleMiner::paper_defaults().fit_matrix(&x).unwrap();
+        let mut prev = f64::INFINITY;
+        for r in rules.rules() {
+            prop_assert!(r.eigenvalue <= prev);
+            prop_assert!(r.eigenvalue > -1e-6);
+            prev = r.eigenvalue;
+            let norm = linalg::vector::norm(&r.loadings);
+            prop_assert!((norm - 1.0).abs() < 1e-9, "loading norm {norm}");
+        }
+        let e = rules.retained_energy();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&e));
+        // 85% cutoff must actually reach 85% (or keep everything).
+        prop_assert!(e >= 0.85 - 1e-9 || rules.k() == 5);
+    }
+
+    /// Projection then reconstruction is a contraction towards the rule
+    /// subspace: reconstructing twice changes nothing.
+    #[test]
+    fn reconstruction_is_idempotent(x in low_rank(20, 5, 2, 1.0), row_idx in 0usize..20) {
+        let rules = mine(&x, 2);
+        let row = x.row(row_idx);
+        let c1 = rules.project_row(row).unwrap();
+        let r1 = rules.reconstruct_row(&c1).unwrap();
+        let c2 = rules.project_row(&r1).unwrap();
+        let r2 = rules.reconstruct_row(&c2).unwrap();
+        for (a, b) in r1.iter().zip(&r2) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    /// GE_1 of any predictor is nonnegative and zero only for perfect
+    /// reconstruction; col-avgs GE_1 equals the RMS column deviation.
+    #[test]
+    fn guessing_error_properties(x in low_rank(20, 4, 2, 0.3)) {
+        use ratio_rules::guessing::GuessingErrorEvaluator;
+        use ratio_rules::predictor::ColAvgs;
+        let ev = GuessingErrorEvaluator::default();
+        let ca = ColAvgs::fit(&x).unwrap();
+        let ge = ev.ge1(&ca, &x).unwrap();
+        prop_assert!(ge >= 0.0);
+        let stats = dataset::stats::column_stats(&x);
+        let expected = (stats.variances.iter().sum::<f64>() / 4.0).sqrt();
+        prop_assert!((ge - expected).abs() < 1e-9 * expected.max(1.0));
+    }
+
+    /// Hole sets sampled for GE_h are valid: distinct, sorted, in range.
+    #[test]
+    fn sampled_hole_sets_are_valid(m in 3usize..12, h in 1usize..4, seed in 0u64..1000) {
+        prop_assume!(h < m);
+        let sets = dataset::holes::sample_hole_sets(m, h, 10, seed).unwrap();
+        prop_assert!(!sets.is_empty());
+        for s in &sets {
+            prop_assert_eq!(s.len(), h);
+            prop_assert!(s.holes().windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(s.holes().iter().all(|&j| j < m));
+        }
+    }
+
+    /// Filling a row whose known values sit exactly at the training means
+    /// yields the means everywhere (the centered problem is homogeneous).
+    #[test]
+    fn mean_row_fills_to_means(x in low_rank(25, 5, 2, 0.2), hole in 0usize..5) {
+        let rules = mine(&x, 2);
+        let means = rules.column_means().to_vec();
+        let mut vals: Vec<Option<f64>> = means.iter().copied().map(Some).collect();
+        vals[hole] = None;
+        let filled = fill_holes(&rules, &HoledRow::new(vals)).unwrap();
+        prop_assert!(
+            (filled.values[hole] - means[hole]).abs() < 1e-7 * means[hole].abs().max(1.0)
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Robustness and failure-injection tests: degenerate datasets, corrupt
+//! input, extreme scales — the situations a production deployment hits
+//! that the paper's clean experiments never exercise.
+
+use dataset::holes::HoledRow;
+use dataset::source::MatrixSource;
+use linalg::Matrix;
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::guessing::GuessingErrorEvaluator;
+use ratio_rules::miner::{EigenSolver, RatioRuleMiner};
+use ratio_rules::predictor::{ColAvgs, RuleSetPredictor};
+use ratio_rules::reconstruct::fill_holes;
+use ratio_rules::RatioRuleError;
+
+/// A NaN cell in the stream is reported with its location, not silently
+/// absorbed into the covariance.
+#[test]
+fn nan_cell_is_rejected_with_location() {
+    let mut x = Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as f64);
+    x[(4, 2)] = f64::NAN;
+    let err = RatioRuleMiner::paper_defaults().fit_matrix(&x).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("column 2"), "message: {msg}");
+    assert!(msg.contains("row 5"), "message: {msg}");
+}
+
+/// A completely constant matrix has zero variance everywhere: mining
+/// still succeeds (one rule, by the degenerate-spectrum convention) and
+/// every prediction equals the column mean.
+#[test]
+fn constant_matrix_degenerates_to_means() {
+    let x = Matrix::from_fn(20, 3, |_, j| [7.0, -2.0, 0.5][j]);
+    let rules = RatioRuleMiner::paper_defaults().fit_matrix(&x).unwrap();
+    assert_eq!(rules.k(), 1);
+    let filled = fill_holes(&rules, &HoledRow::new(vec![Some(7.0), None, None])).unwrap();
+    assert!((filled.values[1] + 2.0).abs() < 1e-9);
+    assert!((filled.values[2] - 0.5).abs() < 1e-9);
+
+    // And its guessing error equals the baseline's exactly (both zero
+    // here: the data is constant).
+    let ev = GuessingErrorEvaluator::default();
+    let rr = RuleSetPredictor::new(rules);
+    let ca = ColAvgs::fit(&x).unwrap();
+    assert_eq!(ev.ge1(&rr, &x).unwrap(), 0.0);
+    assert_eq!(ev.ge1(&ca, &x).unwrap(), 0.0);
+}
+
+/// Single-row training: covariance is all zeros, but the pipeline does
+/// not panic and predictions return the (only) row's values as means.
+#[test]
+fn single_training_row_is_survivable() {
+    let x = Matrix::from_rows(&[&[3.0, 6.0, 9.0]]).unwrap();
+    let rules = RatioRuleMiner::paper_defaults().fit_matrix(&x).unwrap();
+    let filled = fill_holes(&rules, &HoledRow::new(vec![Some(1.0), None, None])).unwrap();
+    assert!((filled.values[1] - 6.0).abs() < 1e-9);
+}
+
+/// Duplicated rows must not break anything and must not change the mined
+/// directions (covariance scales, eigenvectors do not).
+#[test]
+fn duplicated_rows_leave_directions_unchanged() {
+    let base = Matrix::from_fn(30, 3, |i, j| {
+        let t = 1.0 + i as f64;
+        t * [3.0, 2.0, 1.0][j] + ((i * 7 + j) % 5) as f64 * 0.01
+    });
+    let mut doubled_rows: Vec<f64> = base.data().to_vec();
+    doubled_rows.extend_from_slice(base.data());
+    let doubled = Matrix::from_vec(60, 3, doubled_rows).unwrap();
+
+    let a = RatioRuleMiner::new(Cutoff::FixedK(1))
+        .fit_matrix(&base)
+        .unwrap();
+    let b = RatioRuleMiner::new(Cutoff::FixedK(1))
+        .fit_matrix(&doubled)
+        .unwrap();
+    for (x, y) in a.rule(0).loadings.iter().zip(&b.rule(0).loadings) {
+        assert!((x - y).abs() < 1e-10);
+    }
+    // Eigenvalue (scatter) doubles with the row count.
+    assert!(
+        (2.0 * a.rule(0).eigenvalue - b.rule(0).eigenvalue).abs() < 1e-6 * b.rule(0).eigenvalue
+    );
+}
+
+/// Data at 1e9 magnitude: the single-pass covariance loses some digits
+/// to cancellation (documented paper trade-off) but the mined direction
+/// still matches the two-pass oracle to good precision.
+#[test]
+fn extreme_scale_mining_stays_accurate() {
+    let x = Matrix::from_fn(200, 3, |i, j| {
+        let t = i as f64;
+        1e9 + t * [30.0, 20.0, 10.0][j] + ((i * 13 + j * 7) % 11) as f64
+    });
+    let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+        .fit_matrix(&x)
+        .unwrap();
+
+    let c_ref = dataset::stats::covariance_two_pass(&x).unwrap();
+    let eig = linalg::eigen::SymmetricEigen::new(&c_ref).unwrap();
+    let reference = eig.eigenvector(0);
+    let cos = linalg::vector::cosine(&rules.rule(0).loadings, &reference).unwrap();
+    assert!(cos > 1.0 - 1e-6, "direction cosine {cos}");
+}
+
+/// Near-duplicate attributes (correlation ~1) produce a nearly singular
+/// covariance; mining, filling, and outlier scoring must all stay finite.
+#[test]
+fn collinear_attributes_do_not_explode() {
+    let x = Matrix::from_fn(50, 4, |i, j| {
+        let t = 1.0 + i as f64;
+        match j {
+            0 => t,
+            1 => t + 1e-9 * (i % 3) as f64, // virtually identical to attr 0
+            2 => 2.0 * t,
+            _ => 5.0,
+        }
+    });
+    let rules = RatioRuleMiner::paper_defaults().fit_matrix(&x).unwrap();
+    let filled = fill_holes(&rules, &HoledRow::new(vec![Some(10.0), None, None, None])).unwrap();
+    assert!(filled.values.iter().all(|v| v.is_finite()));
+    assert!(
+        (filled.values[1] - 10.0).abs() < 1e-3,
+        "near-copy should track attr 0"
+    );
+    assert!((filled.values[2] - 20.0).abs() < 1e-3);
+}
+
+/// Lanczos backend on a moderately wide matrix agrees with dense mining
+/// end to end (predictions, not just eigenvalues).
+#[test]
+fn wide_matrix_lanczos_predictions_match_dense() {
+    let m = 60;
+    let x = Matrix::from_fn(300, m, |i, j| {
+        let a = ((i * 7) % 13) as f64 - 6.0;
+        let b = ((i * 11) % 17) as f64 - 8.0;
+        a * ((j % 5) as f64 + 1.0) + b * if j % 2 == 0 { 1.0 } else { -0.5 }
+    });
+    let dense = RatioRuleMiner::new(Cutoff::FixedK(2))
+        .fit_matrix(&x)
+        .unwrap();
+    let lanczos = RatioRuleMiner::new(Cutoff::FixedK(2))
+        .with_solver(EigenSolver::Lanczos { max_k: 4 })
+        .fit_matrix(&x)
+        .unwrap();
+
+    let mut probe: Vec<Option<f64>> = x.row(5).iter().copied().map(Some).collect();
+    probe[3] = None;
+    probe[40] = None;
+    let row = HoledRow::new(probe);
+    let a = fill_holes(&dense, &row).unwrap();
+    let b = fill_holes(&lanczos, &row).unwrap();
+    for (x, y) in a.values.iter().zip(&b.values) {
+        assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+    }
+}
+
+/// Empty and absurd inputs fail loudly everywhere, never panic.
+#[test]
+fn degenerate_inputs_error_cleanly() {
+    // Zero-column stream.
+    let x = Matrix::zeros(5, 0);
+    let mut src = MatrixSource::new(&x);
+    assert!(RatioRuleMiner::paper_defaults().fit(&mut src).is_err());
+
+    // Fill against a mismatched model.
+    let good = Matrix::from_fn(10, 2, |i, j| (i + j) as f64);
+    let rules = RatioRuleMiner::paper_defaults().fit_matrix(&good).unwrap();
+    assert!(matches!(
+        fill_holes(&rules, &HoledRow::new(vec![Some(1.0), None, None])),
+        Err(RatioRuleError::WidthMismatch { .. })
+    ));
+}
+
+/// The guessing error of RR can never be *worse* than col-avgs by more
+/// than the evaluation noise on data where both see the same means —
+/// sanity bound on the k=0 equivalence argument.
+#[test]
+fn rr_never_catastrophically_underperforms_baseline() {
+    // Pure noise data: no structure to exploit.
+    let x = Matrix::from_fn(80, 4, |i, j| (((i * 31 + j * 17) % 23) as f64) - 11.0);
+    let rules = RatioRuleMiner::paper_defaults().fit_matrix(&x).unwrap();
+    let ev = GuessingErrorEvaluator::default();
+    let rr = RuleSetPredictor::new(rules);
+    let ca = ColAvgs::fit(&x).unwrap();
+    let ge_rr = ev.ge1(&rr, &x).unwrap();
+    let ge_ca = ev.ge1(&ca, &x).unwrap();
+    assert!(
+        ge_rr < 2.0 * ge_ca,
+        "on structureless data RR ({ge_rr}) must stay near the baseline ({ge_ca})"
+    );
+}
