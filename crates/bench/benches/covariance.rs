@@ -6,7 +6,8 @@
 //! variant is the paper's efficiency claim; the parallel one shows the
 //! mergeable-accumulator design paying off on modern hardware.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::trajectory::{measure, BenchReport};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use dataset::synth::quest::{generate, QuestConfig};
 use ratio_rules::covariance::CovarianceAccumulator;
 use ratio_rules::parallel::covariance_parallel;
@@ -52,5 +53,61 @@ fn bench_covariance(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same 20k x 100 workload as the criterion group, recorded as
+/// medians + rows/s in `BENCH_covariance.json` at the repo root.
+fn emit_trajectory() {
+    let n = 20_000usize;
+    let cfg = QuestConfig {
+        n_rows: n,
+        n_items: 100,
+        ..QuestConfig::default()
+    };
+    let data = generate(&cfg, 7).expect("quest");
+    let x = data.matrix();
+    let rows = Some(n as u64);
+
+    let mut report = BenchReport::new("covariance");
+    report.push(measure("single_pass_paper_20k_x_100", 5, rows, || {
+        let mut acc = CovarianceAccumulator::new(x.cols());
+        for row in x.row_iter() {
+            acc.push_row(row).expect("push");
+        }
+        std::hint::black_box(acc.finalize().expect("finalize"));
+    }));
+    report.push(measure("two_pass_centered_20k_x_100", 5, rows, || {
+        std::hint::black_box(dataset::stats::covariance_two_pass(x).expect("two-pass"));
+    }));
+    for threads in [2usize, 4, 8] {
+        report.push(measure(
+            &format!("parallel_{threads}_20k_x_100"),
+            5,
+            rows,
+            || {
+                std::hint::black_box(
+                    covariance_parallel(x, threads)
+                        .expect("parallel")
+                        .finalize()
+                        .expect("fin"),
+                );
+            },
+        ));
+    }
+    report.derive(
+        "speedup_parallel_8_vs_single_pass",
+        report
+            .speedup("single_pass_paper_20k_x_100", "parallel_8_20k_x_100")
+            .expect("both measured"),
+    );
+    let path = report
+        .write_to_repo_root(env!("CARGO_MANIFEST_DIR"))
+        .expect("write BENCH_covariance.json");
+    println!("trajectory -> {}", path.display());
+}
+
 criterion_group!(benches, bench_covariance);
-criterion_main!(benches);
+
+fn main() {
+    emit_trajectory();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -5,16 +5,18 @@
 //! squares on the same over-specified systems — the hole-solver ablation
 //! from DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::trajectory::{measure, BenchReport};
+use criterion::{criterion_group, Criterion};
 use dataset::holes::HoleSet;
 use dataset::split::train_test_split;
 use linalg::pinv::solve_least_squares;
 use linalg::qr::Qr;
+use linalg::Matrix;
 use ratio_rules::cutoff::Cutoff;
 use ratio_rules::guessing::GuessingErrorEvaluator;
 use ratio_rules::miner::RatioRuleMiner;
 use ratio_rules::predictor::RuleSetPredictor;
-use ratio_rules::reconstruct::fill_holes;
+use ratio_rules::reconstruct::{fill_holes, SolverCache};
 
 fn bench_reconstruction(c: &mut Criterion) {
     let (data, _) = dataset::synth::sports::nba_like(1).expect("nba");
@@ -82,5 +84,106 @@ fn bench_reconstruction(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR's acceptance workload: `GE_h` at `N = 1000, M = 20, h = 5`,
+/// solver cache vs. the factor-per-row seed path. Written to
+/// `BENCH_reconstruction.json` at the repo root with the speedup as a
+/// derived metric (the bar is >= 5x).
+fn emit_trajectory() {
+    // Rank-5 data with mild deterministic noise, so k = 5 rules are
+    // meaningful and every solve case is well conditioned.
+    let (n, m, h) = (1000usize, 20usize, 5usize);
+    let dirs: Vec<f64> = (0..5 * m)
+        .map(|t| 0.3 + ((t * 37 + 11) % 17) as f64 / 17.0)
+        .collect();
+    let x = Matrix::from_fn(n, m, |i, j| {
+        let mut v = 0.0;
+        for f in 0..5 {
+            let c = ((i * (f + 3) + 7 * f) % 23) as f64 - 11.0;
+            let sign = if (f + j) % 2 == 0 { 1.0 } else { -1.0 };
+            v += c * dirs[f * m + j] * sign;
+        }
+        v + ((i * 13 + j * 5) % 29) as f64 * 0.01
+    });
+    let rules = RatioRuleMiner::new(Cutoff::FixedK(5))
+        .fit_matrix(&x)
+        .expect("mine k=5");
+    let ev = GuessingErrorEvaluator::default();
+    let fills_per_op = (n * ev.max_hole_sets) as u64;
+
+    let cached = RuleSetPredictor::new(rules.clone());
+    let uncached = RuleSetPredictor::uncached(rules.clone());
+    // Identical numbers, or the timing comparison is meaningless.
+    let ge_cached = ev.ge_h(&cached, &x, h).expect("ge_h cached");
+    let ge_uncached = ev.ge_h(&uncached, &x, h).expect("ge_h uncached");
+    assert!(
+        (ge_cached - ge_uncached).abs() <= 1e-12 * ge_uncached.max(1.0),
+        "cached GE_h {ge_cached} != uncached {ge_uncached}"
+    );
+
+    let mut report = BenchReport::new("reconstruction");
+    report.push(measure(
+        "ge_h_uncached_n1000_m20_h5",
+        3,
+        Some(fills_per_op),
+        || {
+            std::hint::black_box(ev.ge_h(&uncached, &x, h).expect("ge_h"));
+        },
+    ));
+    report.push(measure(
+        "ge_h_cached_n1000_m20_h5",
+        5,
+        Some(fills_per_op),
+        || {
+            std::hint::black_box(ev.ge_h(&cached, &x, h).expect("ge_h"));
+        },
+    ));
+    report.push(measure(
+        "ge_h_cached_parallel4_n1000_m20_h5",
+        5,
+        Some(fills_per_op),
+        || {
+            std::hint::black_box(ev.ge_h_parallel(&cached, &x, h, 4).expect("ge_h_parallel"));
+        },
+    ));
+
+    // Single-row microbenches: one-shot fill vs. a warm cache hit.
+    let holes: Vec<usize> = (0..h).map(|t| t * 3).collect();
+    let holed = HoleSet::new(holes, m)
+        .expect("holes")
+        .apply(x.row(17))
+        .expect("apply");
+    report.push(measure("fill_one_shot_m20_h5", 200, Some(1), || {
+        std::hint::black_box(fill_holes(&rules, &holed).expect("fill"));
+    }));
+    let cache = SolverCache::new(&rules);
+    cache.fill(&holed).expect("warm the cache");
+    report.push(measure("fill_cache_warm_m20_h5", 200, Some(1), || {
+        std::hint::black_box(cache.fill(&holed).expect("fill"));
+    }));
+
+    let ge_speedup = report
+        .speedup("ge_h_uncached_n1000_m20_h5", "ge_h_cached_n1000_m20_h5")
+        .expect("both measured");
+    report.derive("speedup_ge_h_cached_vs_uncached", ge_speedup);
+    report.derive(
+        "speedup_fill_cache_warm_vs_one_shot",
+        report
+            .speedup("fill_one_shot_m20_h5", "fill_cache_warm_m20_h5")
+            .expect("both measured"),
+    );
+    let path = report
+        .write_to_repo_root(env!("CARGO_MANIFEST_DIR"))
+        .expect("write BENCH_reconstruction.json");
+    println!(
+        "trajectory: GE_h cache speedup {ge_speedup:.1}x -> {}",
+        path.display()
+    );
+}
+
 criterion_group!(benches, bench_reconstruction);
-criterion_main!(benches);
+
+fn main() {
+    emit_trajectory();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod trajectory;
+
 use dataset::split::{train_test_split, Split};
 use dataset::DataMatrix;
 use ratio_rules::cutoff::Cutoff;

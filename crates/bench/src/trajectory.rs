@@ -1,0 +1,176 @@
+//! Machine-readable benchmark trajectory: `BENCH_*.json` files at the
+//! repo root.
+//!
+//! Criterion's HTML/stdout output is great for humans but awkward for
+//! tracking performance *across commits*. Each bench binary additionally
+//! runs a small fixed workload through [`measure`] and appends the
+//! medians to a `BENCH_<name>.json` file at the repository root, so the
+//! numbers live in version control next to the code that produced them.
+//! Derived ratios (e.g. "solver cache speedup over the factor-per-row
+//! path") are first-class so acceptance bars are checkable with `jq`.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Workload identifier, stable across commits.
+    pub name: String,
+    /// Median wall time per operation, nanoseconds.
+    pub median_ns_per_op: f64,
+    /// Throughput in rows (or cells) per second, when the workload has a
+    /// natural row count.
+    pub rows_per_s: Option<f64>,
+    /// Number of timed samples the median came from.
+    pub samples: usize,
+}
+
+/// A report: the records of one bench binary plus derived ratios.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Bench binary name (`reconstruction`, `covariance`, ...).
+    pub bench: String,
+    /// Measured workloads.
+    pub records: Vec<BenchRecord>,
+    /// Derived scalar metrics, e.g. speedup ratios.
+    pub derived: Vec<(String, f64)>,
+}
+
+/// Times `op` `samples` times (after one untimed warmup) and returns the
+/// median as a [`BenchRecord`]. `rows_per_op` is the number of rows the
+/// operation processes, used to derive throughput.
+pub fn measure<F: FnMut()>(
+    name: &str,
+    samples: usize,
+    rows_per_op: Option<u64>,
+    mut op: F,
+) -> BenchRecord {
+    let samples = samples.max(1);
+    op(); // warmup: page in data, warm caches (incl. solver caches)
+    let mut times_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            op();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median_ns_per_op = times_ns[times_ns.len() / 2];
+    BenchRecord {
+        name: name.to_string(),
+        median_ns_per_op,
+        rows_per_s: rows_per_op.map(|r| r as f64 * 1e9 / median_ns_per_op),
+        samples,
+    }
+}
+
+impl BenchReport {
+    /// Starts an empty report for the named bench binary.
+    pub fn new(bench: &str) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            ..BenchReport::default()
+        }
+    }
+
+    /// Appends one measured workload.
+    pub fn push(&mut self, record: BenchRecord) {
+        self.records.push(record);
+    }
+
+    /// Records a derived scalar (a ratio of medians, typically).
+    pub fn derive(&mut self, name: &str, value: f64) {
+        self.derived.push((name.to_string(), value));
+    }
+
+    /// Ratio of two already-pushed records' medians (`slow / fast`), or
+    /// `None` if either name is missing.
+    pub fn speedup(&self, slow: &str, fast: &str) -> Option<f64> {
+        let find = |n: &str| {
+            self.records
+                .iter()
+                .find(|r| r.name == n)
+                .map(|r| r.median_ns_per_op)
+        };
+        Some(find(slow)? / find(fast)?)
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "bench": self.bench,
+            "results": self.records.iter().map(|r| {
+                serde_json::json!({
+                    "name": r.name,
+                    "median_ns_per_op": r.median_ns_per_op,
+                    "rows_per_s": r.rows_per_s,
+                    "samples": r.samples,
+                })
+            }).collect::<Vec<_>>(),
+            "derived": self.derived.iter().map(|(name, value)| {
+                serde_json::json!({ "name": name, "value": value })
+            }).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Writes `BENCH_<bench>.json` to the repository root, resolved as
+    /// `<manifest_dir>/../..` (pass `env!("CARGO_MANIFEST_DIR")`).
+    /// Returns the path written.
+    pub fn write_to_repo_root(&self, manifest_dir: &str) -> std::io::Result<PathBuf> {
+        let path = Path::new(manifest_dir)
+            .join("..")
+            .join("..")
+            .join(format!("BENCH_{}.json", self.bench));
+        let mut file = std::fs::File::create(&path)?;
+        writeln!(file, "{:#}", self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_positive_median_and_throughput() {
+        let mut calls = 0usize;
+        let rec = measure("spin", 5, Some(100), || {
+            calls += 1;
+            std::hint::black_box((0..1000).sum::<usize>());
+        });
+        assert_eq!(calls, 6); // warmup + 5 samples
+        assert_eq!(rec.samples, 5);
+        assert!(rec.median_ns_per_op > 0.0);
+        let rows = rec.rows_per_s.expect("throughput");
+        assert!((rows - 100.0 * 1e9 / rec.median_ns_per_op).abs() < 1e-6);
+    }
+
+    #[test]
+    fn report_json_shape_and_speedup() {
+        let mut report = BenchReport::new("demo");
+        report.push(BenchRecord {
+            name: "slow".into(),
+            median_ns_per_op: 1000.0,
+            rows_per_s: None,
+            samples: 3,
+        });
+        report.push(BenchRecord {
+            name: "fast".into(),
+            median_ns_per_op: 100.0,
+            rows_per_s: Some(1e6),
+            samples: 3,
+        });
+        let speedup = report.speedup("slow", "fast").expect("both present");
+        assert!((speedup - 10.0).abs() < 1e-12);
+        assert!(report.speedup("slow", "missing").is_none());
+        report.derive("speedup", speedup);
+
+        let json = report.to_json();
+        assert_eq!(json["bench"], "demo");
+        assert_eq!(json["results"].as_array().unwrap().len(), 2);
+        assert_eq!(json["results"][1]["name"], "fast");
+        assert_eq!(json["derived"][0]["value"], 10.0);
+    }
+}

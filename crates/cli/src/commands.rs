@@ -187,7 +187,7 @@ pub fn project(opts: &Options) -> Result<String> {
 pub fn evaluate(opts: &Options) -> Result<String> {
     if opts.switch("help") {
         return Ok(
-            "evaluate --input <csv> [--train-frac 0.9] [--seed 42] [--holes H] [--k N | --energy F] [--no-header]\n"
+            "evaluate --input <csv> [--train-frac 0.9] [--seed 42] [--holes H] [--threads T] [--k N | --energy F] [--no-header]\n"
                 .into(),
         );
     }
@@ -196,6 +196,7 @@ pub fn evaluate(opts: &Options) -> Result<String> {
         "train-frac",
         "seed",
         "holes",
+        "threads",
         "k",
         "energy",
         "no-header",
@@ -205,6 +206,10 @@ pub fn evaluate(opts: &Options) -> Result<String> {
     let frac: f64 = opts.get_parsed("train-frac", 0.9)?;
     let seed: u64 = opts.get_parsed("seed", 42)?;
     let h_max: usize = opts.get_parsed("holes", 1)?;
+    let threads: usize = opts.get_parsed("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError::new("--threads must be at least 1"));
+    }
     let cutoff = parse_cutoff(opts)?;
 
     let split = train_test_split(&data, frac, seed)?;
@@ -225,16 +230,23 @@ pub fn evaluate(opts: &Options) -> Result<String> {
         "holes", "GE(RR)", "GE(col-avgs)", "RR/col-avgs"
     ));
     for h in 1..=h_max.max(1) {
-        let (ge_rr, ge_ca) = if h == 1 {
-            (
+        let (ge_rr, ge_ca) = match (h, threads) {
+            (1, 1) => (
                 ev.ge1(&rr, split.test.matrix())?,
                 ev.ge1(&baseline, split.test.matrix())?,
-            )
-        } else {
-            (
+            ),
+            (1, t) => (
+                ev.ge1_parallel(&rr, split.test.matrix(), t)?,
+                ev.ge1_parallel(&baseline, split.test.matrix(), t)?,
+            ),
+            (h, 1) => (
                 ev.ge_h(&rr, split.test.matrix(), h)?,
                 ev.ge_h(&baseline, split.test.matrix(), h)?,
-            )
+            ),
+            (h, t) => (
+                ev.ge_h_parallel(&rr, split.test.matrix(), h, t)?,
+                ev.ge_h_parallel(&baseline, split.test.matrix(), h, t)?,
+            ),
         };
         out.push_str(&format!(
             "{h:>7}  {ge_rr:>12.4}  {ge_ca:>14.4}  {:>11.1}%\n",
@@ -459,6 +471,49 @@ mod tests {
         assert!(out.contains("GE(RR)"));
         // Three lines: header + h=1 + h=2.
         assert!(out.lines().count() >= 4);
+
+        // --threads changes the schedule, not the answer: every numeric
+        // cell of the report matches the serial run to high precision.
+        let parallel = run(&args(&[
+            "evaluate",
+            "--input",
+            csv.to_str().unwrap(),
+            "--holes",
+            "2",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        let cells = |s: &str| -> Vec<f64> {
+            s.lines()
+                .skip_while(|l| !l.trim_start().starts_with("holes"))
+                .skip(1)
+                .flat_map(|l| {
+                    l.split_whitespace()
+                        .filter_map(|tok| tok.trim_end_matches('%').parse::<f64>().ok())
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let (serial_cells, parallel_cells) = (cells(&out), cells(&parallel));
+        assert_eq!(serial_cells.len(), parallel_cells.len());
+        assert!(!serial_cells.is_empty());
+        for (s, p) in serial_cells.iter().zip(&parallel_cells) {
+            // Cells are printed to 4 decimals, so allow one formatting ulp
+            // on top of the summation-order noise (pinned at 1e-10 in the
+            // core evaluator tests).
+            assert!((s - p).abs() <= 1e-3 * s.abs().max(100.0), "{s} vs {p}");
+        }
+
+        // Zero threads is rejected.
+        assert!(run(&args(&[
+            "evaluate",
+            "--input",
+            csv.to_str().unwrap(),
+            "--threads",
+            "0",
+        ]))
+        .is_err());
     }
 
     #[test]

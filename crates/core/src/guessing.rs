@@ -203,6 +203,95 @@ impl GuessingErrorEvaluator {
         }
         Ok((total / (n * m) as f64).sqrt())
     }
+
+    /// Multi-threaded `GE_h`: rows are sharded over `n_threads` crossbeam
+    /// scoped threads, all evaluating the *same* deterministically sampled
+    /// hole sets as [`GuessingErrorEvaluator::ge_h`]. Per-shard partial
+    /// sums are added in shard order, so the result matches the serial
+    /// value up to summation order (well inside 1e-10 relative).
+    ///
+    /// With a caching predictor (e.g. [`crate::predictor::RuleSetPredictor`])
+    /// the shards share one solver cache: each hole pattern is factored
+    /// once, warm fills are two matvecs.
+    pub fn ge_h_parallel<P: Predictor + Sync + ?Sized>(
+        &self,
+        predictor: &P,
+        test: &Matrix,
+        h: usize,
+        n_threads: usize,
+    ) -> Result<f64> {
+        let (n, m) = test.shape();
+        if n == 0 || m == 0 {
+            return Err(RatioRuleError::EmptyInput);
+        }
+        if predictor.n_attributes() != m {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: predictor.n_attributes(),
+                actual: m,
+            });
+        }
+        if h == 0 || h >= m {
+            return Err(RatioRuleError::Invalid(format!(
+                "need 0 < h < M, got h={h}, M={m}"
+            )));
+        }
+        let hole_sets = sample_hole_sets(m, h, self.max_hole_sets, self.seed)?;
+        let hole_sets = &hole_sets;
+        let n_threads = n_threads.clamp(1, n);
+        let chunk = n.div_ceil(n_threads);
+
+        let mut partials: Vec<Result<f64>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..n_threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(scope.spawn(move |_| -> Result<f64> {
+                    let mut sum_sq = 0.0_f64;
+                    for i in lo..hi {
+                        let row = test.row(i);
+                        for hs in hole_sets {
+                            let filled = predictor.fill(&hs.apply(row)?)?;
+                            for &l in hs.holes() {
+                                let err = filled[l] - row[l];
+                                sum_sq += err * err;
+                            }
+                        }
+                    }
+                    Ok(sum_sq)
+                }));
+            }
+            partials = handles
+                .into_iter()
+                .map(|h| h.join().expect("GE worker"))
+                .collect();
+        })
+        .map_err(|_| RatioRuleError::Invalid("GE worker thread panicked".into()))?;
+
+        let mut total = 0.0_f64;
+        for p in partials {
+            total += p?;
+        }
+        let denom = (n * h * hole_sets.len()) as f64;
+        Ok((total / denom).sqrt())
+    }
+
+    /// Multi-threaded [`GuessingErrorEvaluator::ge_curve`]: each `h` of
+    /// the curve runs through [`GuessingErrorEvaluator::ge_h_parallel`].
+    pub fn ge_curve_parallel<P: Predictor + Sync + ?Sized>(
+        &self,
+        predictor: &P,
+        test: &Matrix,
+        h_max: usize,
+        n_threads: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        (1..=h_max)
+            .map(|h| Ok((h, self.ge_h_parallel(predictor, test, h, n_threads)?)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +447,54 @@ mod tests {
         // Validation paths.
         assert!(ev.ge1_parallel(&p, &Matrix::zeros(0, 3), 2).is_err());
         assert!(ev.ge1_parallel(&p, &Matrix::zeros(5, 2), 2).is_err());
+    }
+
+    #[test]
+    fn parallel_ge_h_matches_serial() {
+        // The PR's acceptance bar: GE_h parallel == serial within 1e-10
+        // for 1, 2, 4, and 16 threads, on a predictor with a shared
+        // solver cache.
+        let train = Matrix::from_fn(80, 5, |i, j| {
+            let t = 1.0 + i as f64;
+            t * [5.0, 4.0, 3.0, 2.0, 1.0][j] + ((i * 7 + j * 3) % 11) as f64 * 0.05
+        });
+        let test = Matrix::from_fn(33, 5, |i, j| {
+            let t = 2.0 + i as f64 * 1.3;
+            t * [5.0, 4.0, 3.0, 2.0, 1.0][j] + ((i * 13 + j * 5) % 7) as f64 * 0.05
+        });
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&train)
+            .unwrap();
+        let p = RuleSetPredictor::new(rules);
+        let ev = GuessingErrorEvaluator::default();
+        for h in [1usize, 2, 3] {
+            let serial = ev.ge_h(&p, &test, h).unwrap();
+            for threads in [1usize, 2, 4, 16] {
+                let parallel = ev.ge_h_parallel(&p, &test, h, threads).unwrap();
+                assert!(
+                    (serial - parallel).abs() < 1e-10 * serial.max(1.0),
+                    "h={h} threads={threads}: {serial} vs {parallel}"
+                );
+            }
+        }
+        // Validation paths mirror the serial ones.
+        assert!(ev.ge_h_parallel(&p, &Matrix::zeros(0, 5), 1, 2).is_err());
+        assert!(ev.ge_h_parallel(&p, &test, 0, 2).is_err());
+        assert!(ev.ge_h_parallel(&p, &test, 5, 2).is_err());
+    }
+
+    #[test]
+    fn parallel_ge_curve_matches_serial() {
+        let test = linear(10);
+        let p = ColAvgs::fit(&test).unwrap();
+        let ev = GuessingErrorEvaluator::default();
+        let serial = ev.ge_curve(&p, &test, 2).unwrap();
+        let parallel = ev.ge_curve_parallel(&p, &test, 2, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for ((h_s, ge_s), (h_p, ge_p)) in serial.iter().zip(&parallel) {
+            assert_eq!(h_s, h_p);
+            assert!((ge_s - ge_p).abs() < 1e-10 * ge_s.max(1.0));
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::cutoff::Cutoff;
 use crate::miner::RatioRuleMiner;
-use crate::reconstruct::fill_holes;
+use crate::reconstruct::SolverCache;
 use crate::rules::RuleSet;
 use crate::{RatioRuleError, Result};
 use dataset::holes::HoledRow;
@@ -116,11 +116,15 @@ impl Imputer {
         for _ in 0..self.max_iterations {
             iterations += 1;
             let mut delta = 0.0_f64;
+            // Rules change every iteration, but within one iteration the
+            // holey rows share a handful of hole patterns: factor each
+            // pattern once per iteration instead of once per row.
+            let cache = SolverCache::new(&rules);
             for (i, row) in data.iter().enumerate() {
                 if row.iter().all(Option::is_some) {
                     continue;
                 }
-                let filled = fill_holes(&rules, &HoledRow::new(row.clone()))?;
+                let filled = cache.fill(&HoledRow::new(row.clone()))?;
                 for (j, v) in row.iter().enumerate() {
                     if v.is_none() {
                         delta = delta.max((filled.values[j] - completed[(i, j)]).abs());
@@ -129,6 +133,7 @@ impl Imputer {
                 }
             }
             final_delta = delta / scale;
+            drop(cache);
             rules = RatioRuleMiner::new(self.cutoff).fit_matrix(&completed)?;
             if final_delta < self.rel_tolerance {
                 break;

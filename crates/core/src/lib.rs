@@ -45,7 +45,7 @@
 //! | [`miner`] | Fig. 2 | end-to-end mining from a row stream |
 //! | [`cutoff`] | Eq. 1 | how many rules to keep |
 //! | [`rules`] | Sec. 4.1 | `RatioRule` / `RuleSet` model types |
-//! | [`reconstruct`] | Sec. 4.4 | hole filling (CASEs 1–3) |
+//! | [`reconstruct`] | Sec. 4.4 | hole filling (CASEs 1–3), pattern-keyed solver cache |
 //! | [`predictor`] | Sec. 5 | `Predictor` trait, RR and col-avgs impls |
 //! | [`guessing`] | Sec. 4.3 | `GE_1` / `GE_h` metrics |
 //! | [`outlier`] | Sec. 3, 6.1 | reconstruction-based outlier scores |

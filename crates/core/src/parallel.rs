@@ -41,15 +41,20 @@ pub fn covariance_parallel(x: &Matrix, n_threads: usize) -> Result<CovarianceAcc
             let merged = &merged;
             let first_error = &first_error;
             scope.spawn(move |_| {
+                // Keep the *first* reported error: a later shard must not
+                // overwrite an earlier shard's failure under the lock.
+                let report = |e: RatioRuleError| {
+                    first_error.lock().get_or_insert(e);
+                };
                 let mut local = CovarianceAccumulator::new(m);
                 for i in lo..hi {
                     if let Err(e) = local.push_row(x.row(i)) {
-                        *first_error.lock() = Some(e);
+                        report(e);
                         return;
                     }
                 }
                 if let Err(e) = merged.lock().merge(&local) {
-                    *first_error.lock() = Some(e);
+                    report(e);
                 }
             });
         }
@@ -133,5 +138,29 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert!(covariance_parallel(&Matrix::zeros(0, 3), 2).is_err());
+    }
+
+    #[test]
+    fn poisoned_row_surfaces_exactly_one_error() {
+        // Poison one row in *every* shard so several workers fail
+        // concurrently: the scan must still return a single, coherent
+        // error (the first one reported wins; none is overwritten).
+        let n = 64;
+        let threads = 8;
+        let x = Matrix::from_fn(n, 3, |i, j| {
+            if i % (n / threads) == 3 && j == 1 {
+                f64::NAN
+            } else {
+                (i * 3 + j) as f64
+            }
+        });
+        for t in [1usize, 2, threads] {
+            let err = covariance_parallel(&x, t).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("non-finite") && msg.contains("column 1"),
+                "threads={t}: unexpected error {msg}"
+            );
+        }
     }
 }

@@ -6,11 +6,15 @@
 //! method) and [`ColAvgs`] (the paper's straightforward competitor, which
 //! it notes equals Ratio Rules with `k = 0`).
 
-use crate::reconstruct::fill_holes;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::reconstruct::{fill_holes, PatternKey, PatternSolver};
 use crate::rules::RuleSet;
 use crate::{RatioRuleError, Result};
 use dataset::holes::HoledRow;
 use linalg::Matrix;
+use parking_lot::RwLock;
 
 /// Anything that can fill holes in a partially known row.
 pub trait Predictor {
@@ -27,22 +31,79 @@ pub trait Predictor {
 
 /// Ratio-Rules predictor: wraps a [`RuleSet`] and fills holes via the
 /// Sec. 4.4 reconstruction.
-#[derive(Debug, Clone)]
+///
+/// By default the predictor memoizes the factored solver for every hole
+/// pattern it sees (the factorization depends only on the pattern, not
+/// the row values), so evaluation loops like `GE_1`/`GE_h` — which fill
+/// thousands of rows over a handful of patterns — pay for each SVD/LU
+/// once. Cached and uncached fills are bit-for-bit identical; see
+/// [`crate::reconstruct`]. [`RuleSetPredictor::uncached`] opts out, which
+/// exists mainly so benchmarks can measure the cache against the naive
+/// factor-per-row path.
+#[derive(Debug)]
 pub struct RuleSetPredictor {
     rules: RuleSet,
     name: String,
+    /// `None` disables memoization (the factor-per-row reference path).
+    solvers: Option<RwLock<HashMap<PatternKey, Arc<PatternSolver>>>>,
+}
+
+impl Clone for RuleSetPredictor {
+    fn clone(&self) -> Self {
+        RuleSetPredictor {
+            rules: self.rules.clone(),
+            name: self.name.clone(),
+            // Cached solvers are shared Arcs; cloning the map is cheap.
+            solvers: self
+                .solvers
+                .as_ref()
+                .map(|s| RwLock::new(s.read().clone())),
+        }
+    }
 }
 
 impl RuleSetPredictor {
-    /// Wraps a mined rule set.
+    /// Wraps a mined rule set, with solver caching on.
     pub fn new(rules: RuleSet) -> Self {
         let name = format!("RR(k={})", rules.k());
-        RuleSetPredictor { rules, name }
+        RuleSetPredictor {
+            rules,
+            name,
+            solvers: Some(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// Wraps a mined rule set with solver caching *off*: every fill
+    /// re-factors its hole pattern, as the paper's pseudo-code is written.
+    pub fn uncached(rules: RuleSet) -> Self {
+        let mut p = Self::new(rules);
+        p.solvers = None;
+        p
     }
 
     /// The wrapped rule set.
     pub fn rules(&self) -> &RuleSet {
         &self.rules
+    }
+
+    /// Number of distinct hole patterns factored so far (0 when caching
+    /// is disabled).
+    pub fn cached_patterns(&self) -> usize {
+        self.solvers.as_ref().map_or(0, |s| s.read().len())
+    }
+
+    fn solver_for(
+        &self,
+        cache: &RwLock<HashMap<PatternKey, Arc<PatternSolver>>>,
+        holes: &[usize],
+    ) -> Result<Arc<PatternSolver>> {
+        let key = PatternKey::new(holes, self.rules.n_attributes())?;
+        if let Some(solver) = cache.read().get(&key) {
+            return Ok(Arc::clone(solver));
+        }
+        // Factor outside the write lock; first insert wins.
+        let built = Arc::new(PatternSolver::build(&self.rules, holes)?);
+        Ok(Arc::clone(cache.write().entry(key).or_insert(built)))
     }
 }
 
@@ -56,7 +117,19 @@ impl Predictor for RuleSetPredictor {
     }
 
     fn fill(&self, row: &HoledRow) -> Result<Vec<f64>> {
-        Ok(fill_holes(&self.rules, row)?.values)
+        match &self.solvers {
+            Some(cache) => {
+                if row.width() != self.rules.n_attributes() {
+                    return Err(RatioRuleError::WidthMismatch {
+                        expected: self.rules.n_attributes(),
+                        actual: row.width(),
+                    });
+                }
+                let solver = self.solver_for(cache, &row.hole_indices())?;
+                Ok(solver.fill(row)?.values)
+            }
+            None => Ok(fill_holes(&self.rules, row)?.values),
+        }
     }
 }
 
@@ -163,6 +236,31 @@ mod tests {
         assert!(ColAvgs::fit(&Matrix::zeros(0, 2)).is_err());
         let p = ColAvgs::new(vec![1.0, 2.0]).unwrap();
         assert!(p.fill(&HoledRow::new(vec![None])).is_err());
+    }
+
+    #[test]
+    fn cached_and_uncached_predictors_agree_bitwise() {
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&linear())
+            .unwrap();
+        let cached = RuleSetPredictor::new(rules.clone());
+        let uncached = RuleSetPredictor::uncached(rules);
+        assert_eq!(cached.cached_patterns(), 0);
+        assert_eq!(uncached.cached_patterns(), 0);
+        for row in [
+            HoledRow::new(vec![Some(10.0), None]),
+            HoledRow::new(vec![Some(-2.5), None]),
+            HoledRow::new(vec![None, Some(3.0)]),
+        ] {
+            let a = cached.fill(&row).unwrap();
+            let b = uncached.fill(&row).unwrap();
+            assert_eq!(a, b);
+        }
+        // Two distinct patterns were seen; the uncached path never caches.
+        assert_eq!(cached.cached_patterns(), 2);
+        assert_eq!(uncached.cached_patterns(), 0);
+        // Clones carry the warmed cache.
+        assert_eq!(cached.clone().cached_patterns(), 2);
     }
 
     #[test]

@@ -21,13 +21,31 @@
 //! information about some retained rule), we fall back to the
 //! pseudo-inverse rather than failing — the pseudo-inverse solution
 //! coincides with the exact one whenever the exact one exists.
+//!
+//! # The hole-pattern solver cache
+//!
+//! The factorization of `V'` depends only on the *hole pattern* `H` and
+//! the rule set — not on the row's values. The guessing-error loops
+//! (`GE_1`, `GE_h`) and the EM imputer solve the same few patterns for
+//! thousands of rows, so re-factoring per row wastes almost all the work.
+//! [`PatternSolver`] captures one pattern's factorization
+//! (LU or factored SVD), and [`SolverCache`] memoizes solvers keyed by a
+//! [`PatternKey`] bitmask, turning `O(rows x holes)` factorizations into
+//! `O(distinct patterns)` factorizations plus cheap per-row matvecs.
+//! [`fill_holes`] itself builds a one-shot [`PatternSolver`], so cached
+//! and uncached fills execute bit-for-bit identical arithmetic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::rules::RuleSet;
 use crate::{RatioRuleError, Result};
 use dataset::holes::HoledRow;
 use linalg::lu::Lu;
-use linalg::pinv::pseudo_inverse;
+use linalg::pinv::DEFAULT_RANK_TOL;
+use linalg::solver::SvdSolver;
 use linalg::Matrix;
+use parking_lot::RwLock;
 
 /// Which of the paper's three cases a reconstruction hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +73,305 @@ pub struct FilledRow {
     pub case: SolveCase,
 }
 
+/// Hash key identifying a hole pattern for a fixed attribute count `M`.
+///
+/// For `M <= 64` the pattern packs into a single `u64` bitmask (bit `j`
+/// set means attribute `j` is a hole) — zero-allocation hashing on the
+/// hot path. Wider schemas fall back to a `Vec<bool>` mask.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternKey {
+    /// Bitmask for `M <= 64`.
+    Small(u64),
+    /// Boolean mask (length `M`) for wider schemas.
+    Large(Vec<bool>),
+}
+
+impl PatternKey {
+    /// Builds the key for `holes` over `m` attributes.
+    ///
+    /// Indices `>= m` are rejected so a malformed pattern cannot silently
+    /// alias another one.
+    pub fn new(holes: &[usize], m: usize) -> Result<Self> {
+        if let Some(&j) = holes.iter().find(|&&j| j >= m) {
+            return Err(RatioRuleError::Invalid(format!(
+                "hole index {j} out of range for {m} attributes"
+            )));
+        }
+        if m <= 64 {
+            let mut bits = 0_u64;
+            for &j in holes {
+                bits |= 1_u64 << j;
+            }
+            Ok(PatternKey::Small(bits))
+        } else {
+            let mut mask = vec![false; m];
+            for &j in holes {
+                mask[j] = true;
+            }
+            Ok(PatternKey::Large(mask))
+        }
+    }
+}
+
+/// The factorization used by a [`PatternSolver`].
+#[derive(Debug, Clone)]
+enum SolverKind {
+    /// Square system, LU with partial pivoting (CASEs 1 and 3).
+    Direct(Lu),
+    /// Factored SVD least squares (CASE 2, and the singular-square
+    /// fallback of CASEs 1 and 3).
+    LeastSquares(SvdSolver),
+}
+
+/// The reusable, value-independent part of one hole-filling solve.
+///
+/// Everything that depends only on the rule set and the hole pattern is
+/// computed once at construction: the case, the (possibly truncated) rule
+/// matrix, and the factorization of `V'`. [`PatternSolver::fill`] then
+/// costs two triangular solves or two matvecs per row.
+///
+/// The solver owns copies of the means and rule matrix it needs, so it
+/// can be shared across threads behind an [`Arc`] with no lifetime ties
+/// to the originating [`RuleSet`].
+#[derive(Debug, Clone)]
+pub struct PatternSolver {
+    /// Sorted hole indices this solver was built for.
+    holes: Vec<usize>,
+    /// Sorted known indices (complement of `holes`).
+    known: Vec<usize>,
+    /// Column means of the training data (length `M`).
+    means: Vec<f64>,
+    /// The `M x k_used` rule matrix used for reconstruction.
+    v_used: Matrix,
+    /// Which of the paper's cases this pattern falls in.
+    case: SolveCase,
+    kind: SolverKind,
+}
+
+impl PatternSolver {
+    /// Factors the solver for the given hole pattern.
+    ///
+    /// `holes` may be in any order and contain duplicates; the pattern is
+    /// canonicalized internally. Errors mirror [`fill_holes`]: all-holes
+    /// and no-holes patterns are rejected.
+    pub fn build(rules: &RuleSet, holes: &[usize]) -> Result<Self> {
+        let m = rules.n_attributes();
+        if let Some(&j) = holes.iter().find(|&&j| j >= m) {
+            return Err(RatioRuleError::Invalid(format!(
+                "hole index {j} out of range for {m} attributes"
+            )));
+        }
+        let mut is_hole = vec![false; m];
+        for &j in holes {
+            is_hole[j] = true;
+        }
+        let holes: Vec<usize> = (0..m).filter(|&j| is_hole[j]).collect();
+        let known: Vec<usize> = (0..m).filter(|&j| !is_hole[j]).collect();
+        let h = holes.len();
+        if h == 0 {
+            return Err(RatioRuleError::Invalid("row has no holes to fill".into()));
+        }
+        if h == m {
+            return Err(RatioRuleError::Invalid("row has no known values".into()));
+        }
+
+        let k = rules.k();
+        let known_count = m - h; // rows of V'
+
+        // Decide the case and pick the rule matrix to use.
+        let (v_used, case) = if known_count < k {
+            // CASE 3: keep only the strongest (M - h) rules.
+            (
+                rules.v_matrix_truncated(known_count),
+                SolveCase::UnderSpecified {
+                    rules_used: known_count,
+                },
+            )
+        } else if known_count == k {
+            (rules.v_matrix(), SolveCase::ExactlySpecified)
+        } else {
+            (rules.v_matrix(), SolveCase::OverSpecified)
+        };
+
+        // V' = E_H V: keep the known rows, and factor it once.
+        let v_prime = v_used.select_rows(&known);
+        let kind = match case {
+            SolveCase::OverSpecified => {
+                SolverKind::LeastSquares(SvdSolver::new(&v_prime, DEFAULT_RANK_TOL)?)
+            }
+            _ => match Lu::new(&v_prime) {
+                Ok(lu) => SolverKind::Direct(lu),
+                // Singular square system: minimum-norm solution instead.
+                Err(_) => SolverKind::LeastSquares(SvdSolver::new(&v_prime, DEFAULT_RANK_TOL)?),
+            },
+        };
+
+        Ok(PatternSolver {
+            holes,
+            known,
+            means: rules.column_means().to_vec(),
+            v_used,
+            case,
+            kind,
+        })
+    }
+
+    /// The hole pattern (sorted indices) this solver was built for.
+    pub fn holes(&self) -> &[usize] {
+        &self.holes
+    }
+
+    /// Which of the paper's cases this pattern falls in.
+    pub fn case(&self) -> SolveCase {
+        self.case
+    }
+
+    /// Solves the already-factored system for one row's centered known
+    /// values, returning the RR-space coordinates `x_concept`.
+    pub fn solve_concept(&self, b: &[f64]) -> Result<Vec<f64>> {
+        match &self.kind {
+            SolverKind::Direct(lu) => lu.solve(b),
+            SolverKind::LeastSquares(s) => s.solve(b),
+        }
+        .map_err(RatioRuleError::from)
+    }
+
+    /// Fills one row whose hole pattern matches this solver's pattern.
+    pub fn fill(&self, row: &HoledRow) -> Result<FilledRow> {
+        let m = self.means.len();
+        if row.width() != m {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: m,
+                actual: row.width(),
+            });
+        }
+        if row.hole_indices() != self.holes {
+            return Err(RatioRuleError::Invalid(
+                "row hole pattern does not match the solver's pattern".into(),
+            ));
+        }
+        if let Some(&j) = self
+            .known
+            .iter()
+            .find(|&&j| !row.values[j].unwrap().is_finite())
+        {
+            return Err(RatioRuleError::Invalid(format!(
+                "non-finite known value at attribute {j}"
+            )));
+        }
+
+        // b' = centered known values.
+        let b: Vec<f64> = self
+            .known
+            .iter()
+            .map(|&j| row.values[j].unwrap() - self.means[j])
+            .collect();
+        let concept = self.solve_concept(&b)?;
+
+        // x_hat = V x_concept + means; then overwrite known positions with
+        // the given values (paper step 5).
+        let mut values = reconstruct_from(&self.v_used, &concept, &self.means)?;
+        for &j in &self.known {
+            values[j] = row.values[j].unwrap();
+        }
+
+        Ok(FilledRow {
+            values,
+            concept,
+            case: self.case,
+        })
+    }
+}
+
+/// Memoized [`PatternSolver`]s for one rule set, keyed by hole pattern.
+///
+/// Thread-safe: concurrent readers share cached solvers via [`Arc`]; a
+/// miss factors outside the lock and the first insert wins, so racing
+/// builders agree on the stored solver. Typical use:
+///
+/// ```
+/// use linalg::Matrix;
+/// use ratio_rules::cutoff::Cutoff;
+/// use ratio_rules::miner::RatioRuleMiner;
+/// use ratio_rules::reconstruct::SolverCache;
+/// use dataset::holes::HoledRow;
+///
+/// let x = Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 2.0], &[6.0, 3.0]])?;
+/// let rules = RatioRuleMiner::new(Cutoff::FixedK(1)).fit_matrix(&x)?;
+/// let cache = SolverCache::new(&rules);
+/// // Same pattern, many rows: one factorization total.
+/// for bread in [5.0, 7.0, 9.0] {
+///     let filled = cache.fill(&HoledRow::new(vec![Some(bread), None]))?;
+///     assert!((filled.values[1] - bread / 2.0).abs() < 1e-9);
+/// }
+/// assert_eq!(cache.len(), 1);
+/// # Ok::<(), ratio_rules::RatioRuleError>(())
+/// ```
+#[derive(Debug)]
+pub struct SolverCache<'r> {
+    rules: &'r RuleSet,
+    solvers: RwLock<HashMap<PatternKey, Arc<PatternSolver>>>,
+}
+
+impl<'r> SolverCache<'r> {
+    /// Creates an empty cache over `rules`.
+    pub fn new(rules: &'r RuleSet) -> Self {
+        SolverCache {
+            rules,
+            solvers: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The rule set this cache serves.
+    pub fn rules(&self) -> &'r RuleSet {
+        self.rules
+    }
+
+    /// Number of distinct hole patterns factored so far.
+    pub fn len(&self) -> usize {
+        self.solvers.read().len()
+    }
+
+    /// Whether no pattern has been factored yet.
+    pub fn is_empty(&self) -> bool {
+        self.solvers.read().is_empty()
+    }
+
+    /// Returns the solver for `holes`, factoring and caching it on first
+    /// use.
+    pub fn solver_for(&self, holes: &[usize]) -> Result<Arc<PatternSolver>> {
+        let key = PatternKey::new(holes, self.rules.n_attributes())?;
+        if let Some(solver) = self.solvers.read().get(&key) {
+            return Ok(Arc::clone(solver));
+        }
+        // Factor outside the write lock so concurrent misses on *other*
+        // patterns are not serialized behind this SVD/LU.
+        let built = Arc::new(PatternSolver::build(self.rules, holes)?);
+        let mut map = self.solvers.write();
+        Ok(Arc::clone(map.entry(key).or_insert(built)))
+    }
+
+    /// Fills `row`, reusing (or creating) the cached solver for its hole
+    /// pattern. Identical results to [`fill_holes`], amortized.
+    pub fn fill(&self, row: &HoledRow) -> Result<FilledRow> {
+        let m = self.rules.n_attributes();
+        if row.width() != m {
+            return Err(RatioRuleError::WidthMismatch {
+                expected: m,
+                actual: row.width(),
+            });
+        }
+        self.solver_for(&row.hole_indices())?.fill(row)
+    }
+}
+
 /// Fills the holes of `row` using the rule set (paper Fig. 3 pseudo-code).
+///
+/// One-shot: factors the row's hole pattern and solves it once. Loops
+/// that fill many rows should use a [`SolverCache`] (or a
+/// [`PatternSolver`] directly) to amortize the factorization; the results
+/// are bit-for-bit identical because this function runs the exact same
+/// code path.
 pub fn fill_holes(rules: &RuleSet, row: &HoledRow) -> Result<FilledRow> {
     let m = rules.n_attributes();
     if row.width() != m {
@@ -64,78 +380,7 @@ pub fn fill_holes(rules: &RuleSet, row: &HoledRow) -> Result<FilledRow> {
             actual: row.width(),
         });
     }
-    let holes = row.hole_indices();
-    let h = holes.len();
-    if h == 0 {
-        return Err(RatioRuleError::Invalid("row has no holes to fill".into()));
-    }
-    if h == m {
-        return Err(RatioRuleError::Invalid("row has no known values".into()));
-    }
-
-    let known = row.known_indices();
-    if let Some(&j) = known.iter().find(|&&j| !row.values[j].unwrap().is_finite()) {
-        return Err(RatioRuleError::Invalid(format!(
-            "non-finite known value at attribute {j}"
-        )));
-    }
-    let k = rules.k();
-    let known_count = m - h; // rows of V'
-
-    // b' = centered known values.
-    let means = rules.column_means();
-    let b: Vec<f64> = known
-        .iter()
-        .map(|&j| row.values[j].unwrap() - means[j])
-        .collect();
-
-    // Decide the case and pick the rule matrix to use.
-    let (v_used, case) = if known_count < k {
-        // CASE 3: keep only the strongest (M - h) rules.
-        (
-            rules.v_matrix_truncated(known_count),
-            SolveCase::UnderSpecified {
-                rules_used: known_count,
-            },
-        )
-    } else if known_count == k {
-        (rules.v_matrix(), SolveCase::ExactlySpecified)
-    } else {
-        (rules.v_matrix(), SolveCase::OverSpecified)
-    };
-
-    // V' = E_H V: keep the known rows.
-    let v_prime = v_used.select_rows(&known);
-
-    // Solve V' x = b'.
-    let concept = match case {
-        SolveCase::OverSpecified => {
-            let pinv = pseudo_inverse(&v_prime, 1e-12)?;
-            pinv.mul_vec(&b)?
-        }
-        _ => match Lu::new(&v_prime).and_then(|lu| lu.solve(&b)) {
-            Ok(x) => x,
-            // Singular square system: minimum-norm solution instead.
-            Err(_) => {
-                let pinv = pseudo_inverse(&v_prime, 1e-12)?;
-                pinv.mul_vec(&b)?
-            }
-        },
-    };
-
-    // x_hat = V x_concept + means; then overwrite known positions with the
-    // given values (paper step 5).
-    let reconstructed = reconstruct_from(&v_used, &concept, means)?;
-    let mut values = reconstructed;
-    for &j in &known {
-        values[j] = row.values[j].unwrap();
-    }
-
-    Ok(FilledRow {
-        values,
-        concept,
-        case,
-    })
+    PatternSolver::build(rules, &row.hole_indices())?.fill(row)
 }
 
 /// Classifies the conditioning of the linear system a hole-filling call
@@ -422,5 +667,90 @@ mod tests {
         ));
         let row = HoledRow::new(vec![Some(f64::INFINITY), None]);
         assert!(fill_holes(&rules, &row).is_err());
+    }
+
+    #[test]
+    fn pattern_key_bitmask_and_mask_forms() {
+        // Small schema: order and duplicates do not change the key.
+        let a = PatternKey::new(&[1, 3], 4).unwrap();
+        let b = PatternKey::new(&[3, 1, 3], 4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, PatternKey::Small(0b1010));
+        assert_ne!(a, PatternKey::new(&[1, 2], 4).unwrap());
+        // Out-of-range holes are rejected, not silently aliased.
+        assert!(PatternKey::new(&[4], 4).is_err());
+
+        // Wide schema: falls back to the mask form.
+        let wide = PatternKey::new(&[0, 70], 100).unwrap();
+        match wide {
+            PatternKey::Large(mask) => {
+                assert_eq!(mask.len(), 100);
+                assert!(mask[0] && mask[70]);
+                assert_eq!(mask.iter().filter(|&&b| b).count(), 2);
+            }
+            PatternKey::Small(_) => panic!("expected Large key for M = 100"),
+        }
+    }
+
+    #[test]
+    fn cache_reuses_one_solver_per_pattern() {
+        let x = rank2_4d();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        let cache = SolverCache::new(&rules);
+        assert!(cache.is_empty());
+
+        let s1 = cache.solver_for(&[0, 2]).unwrap();
+        let s2 = cache.solver_for(&[2, 0]).unwrap(); // same pattern, reordered
+        assert!(Arc::ptr_eq(&s1, &s2), "same pattern must share one solver");
+        assert_eq!(cache.len(), 1);
+
+        cache.solver_for(&[1]).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_fill_is_bit_identical_to_uncached_all_cases() {
+        let x = rank2_4d();
+        // k = 1 (over), k = 2 (exact for h = 2), k = 3 (under for h = 2).
+        for k in 1..=3 {
+            let rules = RatioRuleMiner::new(Cutoff::FixedK(k))
+                .fit_matrix(&x)
+                .unwrap();
+            let cache = SolverCache::new(&rules);
+            for hole_set in [vec![0], vec![2], vec![1, 3], vec![0, 2]] {
+                let hs = HoleSet::new(hole_set, 4).unwrap();
+                for i in [0usize, 5, 11, 23] {
+                    let row = hs.apply(x.row(i)).unwrap();
+                    let uncached = fill_holes(&rules, &row).unwrap();
+                    let cached = cache.fill(&row).unwrap();
+                    // Bit-for-bit: both paths run the same factorization
+                    // and matvec code.
+                    assert_eq!(uncached, cached, "k={k} row={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_solver_rejects_mismatched_rows() {
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&linear_2d())
+            .unwrap();
+        let solver = PatternSolver::build(&rules, &[1]).unwrap();
+        assert_eq!(solver.holes(), &[1]);
+        assert_eq!(solver.case(), SolveCase::ExactlySpecified);
+        // Different pattern.
+        assert!(solver.fill(&HoledRow::new(vec![None, Some(1.0)])).is_err());
+        // Wrong width.
+        assert!(matches!(
+            solver.fill(&HoledRow::new(vec![Some(1.0), None, None])),
+            Err(RatioRuleError::WidthMismatch { .. })
+        ));
+        // Pattern-level validation mirrors fill_holes.
+        assert!(PatternSolver::build(&rules, &[]).is_err());
+        assert!(PatternSolver::build(&rules, &[0, 1]).is_err());
+        assert!(PatternSolver::build(&rules, &[7]).is_err());
     }
 }

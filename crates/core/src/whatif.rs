@@ -6,7 +6,7 @@
 //! API on top: attributes are addressed by label, and unset attributes
 //! are the holes.
 
-use crate::reconstruct::{fill_holes, SolveCase};
+use crate::reconstruct::{fill_holes, PatternSolver, SolveCase};
 use crate::rules::RuleSet;
 use crate::{RatioRuleError, Result};
 use dataset::holes::HoledRow;
@@ -102,6 +102,49 @@ impl<'a> Scenario<'a> {
             case: filled.case,
             labels: self.rules.attribute_labels().to_vec(),
         })
+    }
+
+    /// Forecasts the scenario once per value of `label`, e.g. "milk
+    /// demand at 10 price points".
+    ///
+    /// Every forecast shares one hole pattern (the already-pinned
+    /// attributes plus `label`), so the linear system is factored once
+    /// via a [`PatternSolver`] and each value costs only a solve —
+    /// results are identical to calling [`Scenario::forecast`] per value.
+    pub fn sweep(&self, label: &str, values: &[f64]) -> Result<Vec<Forecast>> {
+        let idx = self
+            .rules
+            .attribute_labels()
+            .iter()
+            .position(|l| l == label)
+            .ok_or_else(|| RatioRuleError::Invalid(format!("unknown attribute label {label:?}")))?;
+        let holes: Vec<usize> = self
+            .pinned
+            .iter()
+            .enumerate()
+            .filter(|&(j, v)| v.is_none() && j != idx)
+            .map(|(j, _)| j)
+            .collect();
+        if holes.is_empty() {
+            return Err(RatioRuleError::Invalid(
+                "scenario pins every attribute; nothing to forecast".into(),
+            ));
+        }
+        let solver = PatternSolver::build(self.rules, &holes)?;
+        let labels = self.rules.attribute_labels().to_vec();
+        values
+            .iter()
+            .map(|&v| {
+                let mut pinned = self.pinned.clone();
+                pinned[idx] = Some(v);
+                let filled = solver.fill(&HoledRow::new(pinned))?;
+                Ok(Forecast {
+                    values: filled.values,
+                    case: filled.case,
+                    labels: labels.clone(),
+                })
+            })
+            .collect()
     }
 }
 
@@ -238,6 +281,27 @@ mod tests {
             "b = {:?}",
             fc.get("b")
         );
+    }
+
+    #[test]
+    fn sweep_matches_per_value_forecasts() {
+        let rs = rules();
+        let scenario = Scenario::new(&rs);
+        let points = [2.0, 5.0, 8.0, 11.0];
+        let swept = scenario.sweep("cheerios", &points).unwrap();
+        assert_eq!(swept.len(), points.len());
+        for (fc, &v) in swept.iter().zip(&points) {
+            let one_shot = Scenario::new(&rs)
+                .set("cheerios", v)
+                .unwrap()
+                .forecast()
+                .unwrap();
+            assert_eq!(fc, &one_shot, "sweep diverged at cheerios = {v}");
+        }
+        // Unknown label and nothing-to-forecast errors.
+        assert!(scenario.sweep("bread", &points).is_err());
+        let full = Scenario::new(&rs).set("milk", 1.0).unwrap();
+        assert!(full.sweep("cheerios", &points).is_err());
     }
 
     #[test]

@@ -88,7 +88,9 @@ pub fn center_columns(x: &Matrix) -> (Matrix, Vec<f64>) {
 /// unaffected by the scaling).
 pub fn covariance_two_pass(x: &Matrix) -> Result<Matrix> {
     let (xc, _) = center_columns(x);
-    Ok(xc.transpose().matmul(&xc)?)
+    // X_c is tall and thin (N >> M); matmul_tn forms X_c^t X_c without
+    // materializing the N x M transpose.
+    Ok(xc.matmul_tn(&xc)?)
 }
 
 #[cfg(test)]

@@ -14,6 +14,10 @@
 //! * [`svd`] — Golub–Kahan–Reinsch singular value decomposition, needed by
 //!   the paper's over-specified hole-filling case (Eqs. 7–9).
 //! * [`pinv`] — the Moore–Penrose pseudo-inverse built on the SVD.
+//! * [`solver::SvdSolver`] — the factored form of the pseudo-inverse:
+//!   decompose once, then solve each right-hand side with two matvecs.
+//!   This is what makes repeated hole-filling (the guessing-error loops)
+//!   cheap.
 //! * [`lu`], [`qr`], [`cholesky`] — direct solvers used by the
 //!   exactly-specified case, least-squares ablations, and the correlated
 //!   Gaussian data generator respectively.
@@ -49,6 +53,7 @@ pub mod matrix;
 pub mod norms;
 pub mod pinv;
 pub mod qr;
+pub mod solver;
 pub mod svd;
 pub mod tridiagonal;
 pub mod vector;

@@ -174,7 +174,15 @@ impl Matrix {
     /// Copies column `j` into a new vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
         debug_assert!(j < self.cols);
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.col_iter(j).collect()
+    }
+
+    /// Iterates over column `j` without allocating: a strided walk of the
+    /// row-major buffer. Prefer this over [`Matrix::col`] in inner loops.
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
+        debug_assert!(j < self.cols);
+        self.data[j..].iter().step_by(self.cols.max(1)).copied()
     }
 
     /// Iterates over rows as slices.
@@ -216,6 +224,58 @@ impl Matrix {
                 let b_row = rhs.row(k);
                 for (o, &bkj) in out_row.iter_mut().zip(b_row) {
                     *o += aik * bkj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs^t` without materializing the transpose.
+    ///
+    /// Each output element is a dot product of two *rows*, so both operands
+    /// stream cache-line-sequentially — the natural kernel for the tall-thin
+    /// products of the SVD solver (`W · U^t` with `W = V Σ⁺`). Requires
+    /// `self.cols == rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (o, b_row) in out_row.iter_mut().zip(rhs.row_iter()) {
+                *o = crate::vector::dot(a_row, b_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self^t * rhs` without materializing the transpose.
+    ///
+    /// Accumulates rank-1 updates row by row (`out[j][l] += a_kj * b_kl`),
+    /// so every access is a sequential row sweep. Requires
+    /// `self.rows == rhs.rows`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_tn",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for (a_row, b_row) in self.row_iter().zip(rhs.row_iter()) {
+            for (j, &akj) in a_row.iter().enumerate() {
+                if akj == 0.0 {
+                    continue;
+                }
+                for (o, &bkl) in out.row_mut(j).iter_mut().zip(b_row) {
+                    *o += akj * bkl;
                 }
             }
         }
@@ -533,6 +593,38 @@ mod tests {
         assert_eq!(a.matmul(&i3).unwrap(), a);
         let i2 = Matrix::identity(2);
         assert_eq!(i2.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn col_iter_matches_col() {
+        let m = m2x3();
+        for j in 0..3 {
+            let strided: Vec<f64> = m.col_iter(j).collect();
+            assert_eq!(strided, m.col(j));
+        }
+        assert_eq!(m.col_iter(0).count(), 2);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = m2x3();
+        let b = Matrix::from_rows(&[&[1.0, 0.5, -1.0], &[2.0, 0.0, 3.0], &[0.0, 1.0, 1.0]]).unwrap();
+        let fused = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(fused.shape(), (2, 3));
+        assert!(fused.max_abs_diff(&explicit).unwrap() < 1e-14);
+        assert!(a.matmul_nt(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m2x3();
+        let b = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 4.0]]).unwrap();
+        let fused = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fused.shape(), (3, 2));
+        assert!(fused.max_abs_diff(&explicit).unwrap() < 1e-14);
+        assert!(a.matmul_tn(&Matrix::zeros(3, 2)).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! threshold are zeroed rather than inverted, which is what makes the
 //! pseudo-inverse well-defined for rank-deficient systems.
 
-use crate::svd::Svd;
+use crate::solver::SvdSolver;
 use crate::{Matrix, Result};
 
 /// Default relative cutoff below which singular values are treated as zero.
@@ -28,24 +28,17 @@ pub const DEFAULT_RANK_TOL: f64 = 1e-12;
 /// # Ok::<(), linalg::LinalgError>(())
 /// ```
 pub fn pseudo_inverse(a: &Matrix, rel_tol: f64) -> Result<Matrix> {
-    let svd = Svd::new(a)?;
-    let smax = svd.singular_values.first().copied().unwrap_or(0.0);
-    let cutoff = rel_tol * smax;
-    let inv_s: Vec<f64> = svd
-        .singular_values
-        .iter()
-        .map(|&s| if s > cutoff && s > 0.0 { 1.0 / s } else { 0.0 })
-        .collect();
-    // A^+ = V diag(1/s) U^t.
-    let d = Matrix::from_diagonal(&inv_s);
-    svd.v.matmul(&d)?.matmul(&svd.u.transpose())
+    // A^+ = (V diag(1/s)) U^t, materialized from the factored solver.
+    SvdSolver::new(a, rel_tol)?.pseudo_inverse()
 }
 
 /// Solves `A x = b` in the minimum-norm least-squares sense via the
-/// pseudo-inverse.
+/// factored SVD — no pseudo-inverse matrix is ever materialized.
+///
+/// For repeated solves against the same `A`, build an [`SvdSolver`] once
+/// and reuse it; this helper re-factors per call.
 pub fn solve_least_squares(a: &Matrix, b: &[f64], rel_tol: f64) -> Result<Vec<f64>> {
-    let pinv = pseudo_inverse(a, rel_tol)?;
-    pinv.mul_vec(b)
+    SvdSolver::new(a, rel_tol)?.solve(b)
 }
 
 #[cfg(test)]

@@ -10,7 +10,6 @@
 // is opted out for this file.
 #![allow(clippy::needless_range_loop)]
 
-use crate::vector::dot;
 use crate::{LinalgError, Matrix, Result};
 
 /// QR decomposition `A = Q R` with `Q` having orthonormal columns
@@ -122,10 +121,10 @@ impl Qr {
                 rhs: (b.len(), 1),
             });
         }
-        // Q^t b
+        // Q^t b, one strided pass per column — no per-column allocation.
         let mut y = vec![0.0_f64; n];
-        for j in 0..n {
-            y[j] = dot(&self.q.col(j), b);
+        for (j, yj) in y.iter_mut().enumerate() {
+            *yj = self.q.col_iter(j).zip(b).map(|(q, &bv)| q * bv).sum();
         }
         // Back substitution.
         let scale = self.r.max_abs().max(1.0);

@@ -1,0 +1,194 @@
+//! Reusable least-squares solver: factor once, solve many times.
+//!
+//! The paper's hole-filling equations (Eqs. 7–9) solve `V' x = b'` through
+//! the pseudo-inverse of `V'`, and the guessing-error evaluation (Figs.
+//! 6–7) solves the *same* `V'` for thousands of right-hand sides — one per
+//! test row. Recomputing the Golub–Kahan SVD per right-hand side wastes
+//! almost all of that work: the factorization depends only on `V'`, not on
+//! `b'`.
+//!
+//! [`SvdSolver`] separates the two phases. Construction runs the SVD once
+//! and stores the factors needed for minimum-norm least-squares solves:
+//! `W = V Σ⁺` and `U`. Each subsequent [`SvdSolver::solve`] is then two
+//! cheap matrix-vector products, `x = W (Uᵗ b)` — `O(mn)` instead of the
+//! `O(mn²)`-with-a-large-constant iterative SVD.
+
+use crate::svd::Svd;
+use crate::{LinalgError, Matrix, Result};
+
+/// A factored Moore–Penrose least-squares solver for a fixed matrix `A`.
+///
+/// For any right-hand side `b`, [`SvdSolver::solve`] returns the
+/// minimum-norm least-squares solution of `A x = b` — identical (up to
+/// floating-point rounding) to `pseudo_inverse(A)? * b`, but amortizing
+/// the factorization across calls.
+#[derive(Debug, Clone)]
+pub struct SvdSolver {
+    /// `W = V Σ⁺`: right singular vectors with columns scaled by the
+    /// inverted (thresholded) singular values. Shape `n x r_cols`.
+    w: Matrix,
+    /// Left singular vectors `U` (`m x r_cols`); applied transposed via a
+    /// vector-matrix product, so the transpose is never materialized.
+    u: Matrix,
+    /// Numerical rank under the construction tolerance.
+    rank: usize,
+    /// Shape of the original matrix `A`.
+    shape: (usize, usize),
+}
+
+impl SvdSolver {
+    /// Factors `a`, zeroing singular values `<= rel_tol * sigma_max` (the
+    /// same convention as [`crate::pinv::pseudo_inverse`]).
+    pub fn new(a: &Matrix, rel_tol: f64) -> Result<Self> {
+        let svd = Svd::new(a)?;
+        let smax = svd.singular_values.first().copied().unwrap_or(0.0);
+        let cutoff = rel_tol * smax;
+        let inv_s: Vec<f64> = svd
+            .singular_values
+            .iter()
+            .map(|&s| if s > cutoff && s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect();
+        let rank = inv_s.iter().filter(|&&v| v != 0.0).count();
+        // Scale V's columns by the inverted spectrum: W = V Σ⁺. Column
+        // scaling is exact (one multiply per element), so this equals the
+        // matmul with diag(inv_s) the one-shot pseudo-inverse performs.
+        let mut w = svd.v;
+        for i in 0..w.rows() {
+            for (x, &inv) in w.row_mut(i).iter_mut().zip(&inv_s) {
+                *x *= inv;
+            }
+        }
+        Ok(SvdSolver {
+            w,
+            u: svd.u,
+            rank,
+            shape: a.shape(),
+        })
+    }
+
+    /// Shape `(m, n)` of the factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// Numerical rank under the construction tolerance.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Minimum-norm least-squares solution of `A x = b`.
+    ///
+    /// Two matvecs: `t = Uᵗ b` then `x = W t`. Returns
+    /// [`LinalgError::DimensionMismatch`] when `b.len() != m`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.shape.0 {
+            return Err(LinalgError::DimensionMismatch {
+                op: "svd_solve",
+                lhs: self.shape,
+                rhs: (b.len(), 1),
+            });
+        }
+        let t = self.u.vec_mul(b)?; // Uᵗ b without materializing Uᵗ
+        self.w.mul_vec(&t)
+    }
+
+    /// Materializes the pseudo-inverse `A⁺ = W Uᵗ` (`n x m`).
+    ///
+    /// Useful when a caller genuinely needs the matrix; for solving, prefer
+    /// [`SvdSolver::solve`].
+    pub fn pseudo_inverse(&self) -> Result<Matrix> {
+        self.w.matmul_nt(&self.u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pinv::{pseudo_inverse, DEFAULT_RANK_TOL};
+
+    fn solver(a: &Matrix) -> SvdSolver {
+        SvdSolver::new(a, DEFAULT_RANK_TOL).unwrap()
+    }
+
+    #[test]
+    fn solve_matches_one_shot_pseudo_inverse() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[-2.0, 0.5, 2.0],
+        ])
+        .unwrap();
+        let s = solver(&a);
+        assert_eq!(s.shape(), (4, 3));
+        assert_eq!(s.rank(), 3);
+        let pinv = pseudo_inverse(&a, DEFAULT_RANK_TOL).unwrap();
+        for b in [
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![-0.5, 0.25, 7.0, -1.0],
+        ] {
+            let fast = s.solve(&b).unwrap();
+            let slow = pinv.mul_vec(&b).unwrap();
+            for (x, y) in fast.iter().zip(&slow) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_pseudo_inverse_matches_pinv_module() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let s = solver(&a);
+        assert_eq!(s.rank(), 1);
+        let ours = s.pseudo_inverse().unwrap();
+        let reference = pseudo_inverse(&a, DEFAULT_RANK_TOL).unwrap();
+        assert!(ours.max_abs_diff(&reference).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn square_nonsingular_solves_exactly() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let s = solver(&a);
+        // A x = b with x = (1, -1) -> b = (-3, -4).
+        let x = s.solve(&[-3.0, -4.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimum_norm_solution_of_underdetermined_system() {
+        let a = Matrix::row_vector(&[1.0, 1.0]);
+        let s = solver(&a);
+        let x = s.solve(&[2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_on_overdetermined_system() {
+        // Fit y = 2x + 1 exactly.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0]]).unwrap();
+        let s = solver(&a);
+        let x = s.solve(&[1.0, 3.0, 5.0, 7.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero_and_zero_solution() {
+        let a = Matrix::zeros(3, 2);
+        let s = solver(&a);
+        assert_eq!(s.rank(), 0);
+        let x = s.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let s = solver(&a);
+        assert!(s.solve(&[1.0, 2.0]).is_err());
+        assert!(s.solve(&[1.0, 2.0, 3.0, 4.0]).is_err());
+    }
+}

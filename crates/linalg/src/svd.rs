@@ -72,8 +72,15 @@ impl Svd {
 
     /// Reconstructs the original matrix `U diag(s) V^t` (testing aid).
     pub fn reconstruct(&self) -> Result<Matrix> {
-        let s = Matrix::from_diagonal(&self.singular_values);
-        self.u.matmul(&s)?.matmul(&self.v.transpose())
+        // Scale U's columns by the spectrum, then multiply by V^t via the
+        // transpose-free row-dot kernel.
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            for (x, &s) in us.row_mut(i).iter_mut().zip(&self.singular_values) {
+                *x *= s;
+            }
+        }
+        us.matmul_nt(&self.v)
     }
 }
 
@@ -364,8 +371,8 @@ fn svd_tall(input: &Matrix) -> Result<Svd> {
 fn permute_cols(m: &Matrix, order: &[usize]) -> Matrix {
     let mut out = Matrix::zeros(m.rows(), order.len());
     for (new_j, &old_j) in order.iter().enumerate() {
-        for i in 0..m.rows() {
-            out[(i, new_j)] = m[(i, old_j)];
+        for (i, v) in m.col_iter(old_j).enumerate() {
+            out[(i, new_j)] = v;
         }
     }
     out

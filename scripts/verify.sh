@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + tests, then the perf-path gates
+# (benches must compile, hot crates must be clippy-clean).
+#
+# Run from anywhere: ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== benches compile (no run) =="
+cargo bench -p bench --no-run
+
+echo "== clippy -D warnings (linalg + core) =="
+cargo clippy -p linalg -p ratio-rules -- -D warnings
+
+echo "verify: OK"

@@ -150,4 +150,40 @@ proptest! {
             (filled.values[hole] - means[hole]).abs() < 1e-7 * means[hole].abs().max(1.0)
         );
     }
+
+    /// Cached hole filling is bit-for-bit identical to the one-shot path
+    /// across random rule sets and hole patterns, hitting all three solve
+    /// cases (k vs M - h decides the case; h in 1..M and k in 1..=4 on
+    /// M = 5 covers exactly-, over-, and under-specified systems).
+    #[test]
+    fn solver_cache_is_bit_identical_to_one_shot(
+        x in low_rank(30, 5, 2, 0.4),
+        k in 1usize..=4,
+        hole_bits in 1u32..31, // nonzero, not all 5 bits: 0 < h < M
+        row_idx in 0usize..30,
+    ) {
+        use ratio_rules::predictor::{Predictor, RuleSetPredictor};
+        use ratio_rules::reconstruct::SolverCache;
+
+        let rules = mine(&x, k);
+        let holes: Vec<usize> = (0..5).filter(|j| hole_bits & (1 << j) != 0).collect();
+        let hs = HoleSet::new(holes, 5).unwrap();
+        let holed = hs.apply(x.row(row_idx)).unwrap();
+
+        let one_shot = fill_holes(&rules, &holed).unwrap();
+
+        // SolverCache path: solve twice so the second fill is a cache hit.
+        let cache = SolverCache::new(&rules);
+        let cold = cache.fill(&holed).unwrap();
+        let warm = cache.fill(&holed).unwrap();
+        prop_assert_eq!(&cold, &one_shot);
+        prop_assert_eq!(&warm, &one_shot);
+        prop_assert_eq!(cache.len(), 1);
+
+        // Predictor path: cached and uncached wrappers agree exactly.
+        let cached_p = RuleSetPredictor::new(rules.clone());
+        let uncached_p = RuleSetPredictor::uncached(rules);
+        prop_assert_eq!(cached_p.fill(&holed).unwrap(), uncached_p.fill(&holed).unwrap());
+        prop_assert_eq!(cached_p.fill(&holed).unwrap(), one_shot.values);
+    }
 }
