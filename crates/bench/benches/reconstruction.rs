@@ -161,6 +161,18 @@ fn emit_trajectory() {
         std::hint::black_box(cache.fill(&holed).expect("fill"));
     }));
 
+    // One instrumented pass, outside the timed loops: shard balance and
+    // cache behaviour land in the report's "metrics" section. The timed
+    // workloads above all ran with observability disabled, so the medians
+    // keep measuring the uninstrumented hot path.
+    obs::set_enabled(true);
+    std::hint::black_box(ev.ge_h_parallel(&cached, &x, h, 4).expect("ge_h_parallel"));
+    cached.publish_metrics();
+    report.attach_metrics(&obs::global().snapshot());
+    obs::set_enabled(false);
+    obs::global().reset();
+    obs::take_trace();
+
     let ge_speedup = report
         .speedup("ge_h_uncached_n1000_m20_h5", "ge_h_cached_n1000_m20_h5")
         .expect("both measured");

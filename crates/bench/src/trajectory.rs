@@ -36,6 +36,9 @@ pub struct BenchReport {
     pub records: Vec<BenchRecord>,
     /// Derived scalar metrics, e.g. speedup ratios.
     pub derived: Vec<(String, f64)>,
+    /// Observability metrics captured from an instrumented pass (flat
+    /// `(name, value)` pairs; histograms contribute `_count` and `_sum`).
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// Times `op` `samples` times (after one untimed warmup) and returns the
@@ -85,6 +88,22 @@ impl BenchReport {
         self.derived.push((name.to_string(), value));
     }
 
+    /// Flattens an observability snapshot into the report's `metrics`
+    /// section: counters and gauges become one entry each, histograms
+    /// contribute `<name>_count` and `<name>_sum`.
+    pub fn attach_metrics(&mut self, snapshot: &obs::Snapshot) {
+        for (name, value) in &snapshot.metrics {
+            match value {
+                obs::MetricValue::Counter(v) => self.metrics.push((name.clone(), *v as f64)),
+                obs::MetricValue::Gauge(v) => self.metrics.push((name.clone(), *v)),
+                obs::MetricValue::Histogram { sum, count, .. } => {
+                    self.metrics.push((format!("{name}_count"), *count as f64));
+                    self.metrics.push((format!("{name}_sum"), *sum));
+                }
+            }
+        }
+    }
+
     /// Ratio of two already-pushed records' medians (`slow / fast`), or
     /// `None` if either name is missing.
     pub fn speedup(&self, slow: &str, fast: &str) -> Option<f64> {
@@ -110,6 +129,9 @@ impl BenchReport {
                 })
             }).collect::<Vec<_>>(),
             "derived": self.derived.iter().map(|(name, value)| {
+                serde_json::json!({ "name": name, "value": value })
+            }).collect::<Vec<_>>(),
+            "metrics": self.metrics.iter().map(|(name, value)| {
                 serde_json::json!({ "name": name, "value": value })
             }).collect::<Vec<_>>(),
         })
@@ -172,5 +194,39 @@ mod tests {
         assert_eq!(json["results"].as_array().unwrap().len(), 2);
         assert_eq!(json["results"][1]["name"], "fast");
         assert_eq!(json["derived"][0]["value"], 10.0);
+        assert_eq!(json["metrics"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn attach_metrics_flattens_counters_gauges_and_histograms() {
+        // A private registry keeps this test independent of the global
+        // observability state other tests may touch.
+        let reg = obs::Registry::new();
+        reg.counter("demo_rows_total").add(7);
+        reg.gauge("demo_gauge").set(1.5);
+        let hist = reg.histogram("demo_hist", &[10.0, 100.0]);
+        hist.observe(42.0);
+        hist.observe(3.0);
+
+        let mut report = BenchReport::new("demo");
+        report.attach_metrics(&reg.snapshot());
+        let find = |n: &str| {
+            report
+                .metrics
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(find("demo_rows_total"), Some(7.0));
+        assert_eq!(find("demo_gauge"), Some(1.5));
+        assert_eq!(find("demo_hist_count"), Some(2.0));
+        assert_eq!(find("demo_hist_sum"), Some(45.0));
+
+        let json = report.to_json();
+        let metrics = json["metrics"].as_array().unwrap();
+        assert_eq!(metrics.len(), 4);
+        assert!(metrics
+            .iter()
+            .any(|m| m["name"] == "demo_gauge" && m["value"] == 1.5));
     }
 }

@@ -10,12 +10,21 @@ pub struct Options {
     values: HashMap<String, String>,
 }
 
-/// Switches that take no value.
-const SWITCHES: &[&str] = &["no-header", "help", "json"];
+/// Switches every command accepts: `--help` and the observability toggle
+/// `--trace`. Command-specific switches are passed to [`Options::parse`]
+/// explicitly, so a flag that takes a value (like `--metrics-out`) can
+/// never be mistaken for a switch — and vice versa.
+pub const GLOBAL_SWITCHES: &[&str] = &["help", "trace"];
 
 impl Options {
     /// Parses `--key value` / `--switch` pairs.
-    pub fn parse(args: &[String]) -> Result<Options> {
+    ///
+    /// `switches` lists the command's boolean flags (on top of
+    /// [`GLOBAL_SWITCHES`]); anything else is a value flag. A value flag
+    /// followed by another `--option` is rejected rather than silently
+    /// swallowing it, which catches both "switch missing from the set"
+    /// bugs and users who forgot the value.
+    pub fn parse(args: &[String], switches: &[&str]) -> Result<Options> {
         let mut values = HashMap::new();
         let mut i = 0;
         while i < args.len() {
@@ -25,13 +34,18 @@ impl Options {
                     "unexpected positional argument {arg:?}; options are --key value"
                 )));
             };
-            if SWITCHES.contains(&name) {
+            if switches.contains(&name) || GLOBAL_SWITCHES.contains(&name) {
                 values.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else {
                 let Some(value) = args.get(i + 1) else {
                     return Err(CliError::new(format!("option --{name} needs a value")));
                 };
+                if value.starts_with("--") {
+                    return Err(CliError::new(format!(
+                        "option --{name} needs a value but got {value:?}"
+                    )));
+                }
                 values.insert(name.to_string(), value.clone());
                 i += 2;
             }
@@ -125,8 +139,12 @@ mod tests {
     use super::*;
     use ratio_rules::cutoff::Cutoff;
 
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     fn opts(args: &[&str]) -> Options {
-        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+        Options::parse(&strings(args), &["no-header"]).unwrap()
     }
 
     #[test]
@@ -141,8 +159,29 @@ mod tests {
 
     #[test]
     fn rejects_positionals_and_dangling() {
-        assert!(Options::parse(&["x.csv".to_string()]).is_err());
-        assert!(Options::parse(&["--input".to_string()]).is_err());
+        assert!(Options::parse(&strings(&["x.csv"]), &[]).is_err());
+        assert!(Options::parse(&strings(&["--input"]), &[]).is_err());
+    }
+
+    #[test]
+    fn switch_sets_are_per_command() {
+        // "no-header" is only a switch when the command says so; for a
+        // command that doesn't list it, it demands a value.
+        let o = Options::parse(&strings(&["--no-header", "csv"]), &[]).unwrap();
+        assert_eq!(o.get("no-header"), Some("csv"));
+        // Global switches work regardless of the per-command set.
+        let o = Options::parse(&strings(&["--trace", "--help"]), &[]).unwrap();
+        assert!(o.switch("trace"));
+        assert!(o.switch("help"));
+    }
+
+    #[test]
+    fn value_flags_never_swallow_options() {
+        // A value flag followed by another --option is an error, not a
+        // silently consumed "value".
+        let err = Options::parse(&strings(&["--metrics-out", "--trace"]), &[]).unwrap_err();
+        assert!(err.to_string().contains("--metrics-out"));
+        assert!(err.to_string().contains("needs a value"));
     }
 
     #[test]

@@ -15,6 +15,42 @@ use ratio_rules::reconstruct::fill_holes;
 use ratio_rules::rules::RuleSet;
 use ratio_rules::visualize::project_2d;
 
+/// Boolean switches per command, on top of
+/// [`crate::args::GLOBAL_SWITCHES`]. A command missing from this table is
+/// unknown. Keeping the sets explicit means a value flag added later
+/// (like `--metrics-out`) can never be mis-parsed as a switch.
+const COMMAND_SWITCHES: &[(&str, &[&str])] = &[
+    ("mine", &["no-header"]),
+    ("interpret", &[]),
+    ("fill", &[]),
+    ("outliers", &["no-header"]),
+    ("project", &["no-header"]),
+    ("evaluate", &["no-header"]),
+    ("impute", &["no-header"]),
+    ("whatif", &[]),
+    ("card", &["no-header"]),
+    ("profile", &["no-header"]),
+];
+
+/// Switch set for a command; `None` means the command doesn't exist.
+fn switches_for(cmd: &str) -> Option<&'static [&'static str]> {
+    COMMAND_SWITCHES
+        .iter()
+        .find(|(name, _)| *name == cmd)
+        .map(|(_, switches)| *switches)
+}
+
+/// Options every command accepts (observability plumbing lives in
+/// [`run`], not in the individual commands).
+const OBS_OPTS: &[&str] = &["trace", "metrics-out"];
+
+/// `allow_only` plus the global observability options.
+fn allow_with_obs(opts: &Options, allowed: &[&str]) -> Result<()> {
+    let mut all: Vec<&str> = allowed.to_vec();
+    all.extend_from_slice(OBS_OPTS);
+    opts.allow_only(&all)
+}
+
 fn load_csv(opts: &Options) -> Result<dataset::DataMatrix> {
     let path = opts.require("input")?;
     Ok(dataset::csv::read_csv_file(
@@ -37,7 +73,7 @@ pub fn mine(opts: &Options) -> Result<String> {
                 .into(),
         );
     }
-    opts.allow_only(&[
+    allow_with_obs(opts, &[
         "input",
         "output",
         "k",
@@ -74,7 +110,7 @@ pub fn interpret_cmd(opts: &Options) -> Result<String> {
     if opts.switch("help") {
         return Ok("interpret --model <model.json> [--threshold 0.05]\n".into());
     }
-    opts.allow_only(&["model", "threshold", "help"])?;
+    allow_with_obs(opts, &["model", "threshold", "help"])?;
     let rules = load_model(opts)?;
     let threshold: f64 = opts.get_parsed("threshold", 0.05)?;
     let mut out = ratio_rules::visualize::scree_plot(&rules, 30);
@@ -99,7 +135,7 @@ pub fn fill(opts: &Options) -> Result<String> {
             "fill --model <model.json> --row \"1.5,?,3\" (use '?' for unknown cells)\n".into(),
         );
     }
-    opts.allow_only(&["model", "row", "help"])?;
+    allow_with_obs(opts, &["model", "row", "help"])?;
     let rules = load_model(opts)?;
     let row = parse_holed_row(opts.require("row")?)?;
     let filled = fill_holes(&rules, &HoledRow::new(row.clone()))?;
@@ -119,7 +155,7 @@ pub fn outliers(opts: &Options) -> Result<String> {
     if opts.switch("help") {
         return Ok("outliers --input <csv> --model <model.json> [--top 10] [--no-header]\n".into());
     }
-    opts.allow_only(&["input", "model", "top", "no-header", "help"])?;
+    allow_with_obs(opts, &["input", "model", "top", "no-header", "help"])?;
     let data = load_csv(opts)?;
     let rules = load_model(opts)?;
     let top: usize = opts.get_parsed("top", 10)?;
@@ -144,7 +180,7 @@ pub fn project(opts: &Options) -> Result<String> {
                 .into(),
         );
     }
-    opts.allow_only(&[
+    allow_with_obs(opts, &[
         "input",
         "model",
         "axes",
@@ -191,7 +227,7 @@ pub fn evaluate(opts: &Options) -> Result<String> {
                 .into(),
         );
     }
-    opts.allow_only(&[
+    allow_with_obs(opts, &[
         "input",
         "train-frac",
         "seed",
@@ -253,6 +289,7 @@ pub fn evaluate(opts: &Options) -> Result<String> {
             100.0 * ge_rr / ge_ca
         ));
     }
+    rr.publish_metrics();
     Ok(out)
 }
 
@@ -264,7 +301,7 @@ pub fn impute(opts: &Options) -> Result<String> {
                 .into(),
         );
     }
-    opts.allow_only(&[
+    allow_with_obs(opts, &[
         "input",
         "output",
         "k",
@@ -307,7 +344,7 @@ pub fn whatif(opts: &Options) -> Result<String> {
                 .into(),
         );
     }
-    opts.allow_only(&["model", "set", "help"])?;
+    allow_with_obs(opts, &["model", "set", "help"])?;
     let rules = load_model(opts)?;
     let spec = opts.require("set")?;
     let mut scenario = ratio_rules::whatif::Scenario::new(&rules);
@@ -352,34 +389,167 @@ pub fn card(opts: &Options) -> Result<String> {
     if opts.switch("help") {
         return Ok("card --input <test csv> --model <model.json> [--no-header]\n".into());
     }
-    opts.allow_only(&["input", "model", "no-header", "help"])?;
+    allow_with_obs(opts, &["input", "model", "no-header", "help"])?;
     let data = load_csv(opts)?;
     let rules = load_model(opts)?;
     let card = ratio_rules::diagnostics::ModelCard::evaluate(&rules, data.matrix())?;
     Ok(card.render())
 }
 
-/// Dispatches a full command line (without the program name).
-pub fn run(args: &[String]) -> Result<String> {
-    let Some((cmd, rest)) = args.split_first() else {
-        return Ok(crate::USAGE.to_string());
+/// Deterministic synthetic dataset for `profile` runs without `--input`:
+/// four attributes on a planted 4:3:2:1 ratio plus a small deterministic
+/// perturbation so the covariance has a full (if skewed) spectrum.
+fn synthetic_data(rows: usize) -> Result<dataset::DataMatrix> {
+    let n = rows.max(10);
+    let m = linalg::Matrix::from_fn(n, 4, |i, j| {
+        let t = 1.0 + i as f64;
+        t * [4.0, 3.0, 2.0, 1.0][j] + ((i * 7 + j * 3) % 11) as f64 * 0.01
+    });
+    Ok(dataset::DataMatrix::with_labels(
+        m,
+        (0..n).map(|i| format!("row{i}")).collect(),
+        ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
+    )?)
+}
+
+/// `ratio-rules profile [--input data.csv] [--rows 400] [--holes 1] [--threads 2]`
+///
+/// Mines and evaluates a dataset with the observability layer enabled,
+/// so [`run`] can print the span tree and metric dump afterwards. With no
+/// `--input` it profiles a built-in synthetic matrix.
+pub fn profile(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok(
+            "profile [--input <csv>] [--rows 400] [--holes H] [--threads T] [--k N | --energy F] [--no-header]\n"
+                .into(),
+        );
+    }
+    allow_with_obs(
+        opts,
+        &[
+            "input",
+            "rows",
+            "holes",
+            "threads",
+            "k",
+            "energy",
+            "no-header",
+            "help",
+        ],
+    )?;
+    let h: usize = opts.get_parsed("holes", 1)?;
+    let threads: usize = opts.get_parsed("threads", 2)?;
+    if threads == 0 {
+        return Err(CliError::new("--threads must be at least 1"));
+    }
+    let cutoff = parse_cutoff(opts)?;
+
+    let _root = obs::Span::enter("profile");
+    let data = {
+        let _span = obs::Span::enter("load");
+        if opts.get("input").is_some() {
+            load_csv(opts)?
+        } else {
+            synthetic_data(opts.get_parsed("rows", 400)?)?
+        }
     };
-    let opts = Options::parse(rest)?;
-    match cmd.as_str() {
-        "mine" => mine(&opts),
-        "interpret" => interpret_cmd(&opts),
-        "fill" => fill(&opts),
-        "outliers" => outliers(&opts),
-        "project" => project(&opts),
-        "evaluate" => evaluate(&opts),
-        "impute" => impute(&opts),
-        "card" => card(&opts),
-        "whatif" => whatif(&opts),
-        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+    let rules = {
+        let _span = obs::Span::enter("mine");
+        RatioRuleMiner::new(cutoff).fit_data(&data)?
+    };
+    let rr = RuleSetPredictor::new(rules.clone());
+    let ev = GuessingErrorEvaluator::default();
+    let ge = {
+        let _span = obs::Span::enter("evaluate");
+        ev.ge_h_parallel(&rr, data.matrix(), h, threads)?
+    };
+    rr.publish_metrics();
+    let stats = rr.cache_stats();
+    Ok(format!(
+        "profiled {} rows x {} attributes: {} rules ({:.1}% energy), GE_{h} = {ge:.4}\n\
+         solver cache: {} hits / {} misses over {} patterns\n",
+        data.n_rows(),
+        data.n_cols(),
+        rules.k(),
+        rules.retained_energy() * 100.0,
+        stats.hits,
+        stats.misses,
+        stats.entries,
+    ))
+}
+
+fn dispatch(cmd: &str, opts: &Options) -> Result<String> {
+    match cmd {
+        "mine" => mine(opts),
+        "interpret" => interpret_cmd(opts),
+        "fill" => fill(opts),
+        "outliers" => outliers(opts),
+        "project" => project(opts),
+        "evaluate" => evaluate(opts),
+        "impute" => impute(opts),
+        "card" => card(opts),
+        "whatif" => whatif(opts),
+        "profile" => profile(opts),
         other => Err(CliError::new(format!(
             "unknown command {other:?}; run 'ratio-rules help'"
         ))),
     }
+}
+
+/// Dispatches a full command line (without the program name).
+///
+/// Owns the observability lifecycle: metrics collection turns on when the
+/// command is `profile`, `--trace` is passed, or `--metrics-out FILE` is
+/// given; the trace and registry are always drained and reset afterwards
+/// (even on error) so consecutive invocations don't bleed into each other.
+pub fn run(args: &[String]) -> Result<String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(crate::USAGE.to_string());
+    };
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        return Ok(crate::USAGE.to_string());
+    }
+    let Some(switches) = switches_for(cmd) else {
+        return Err(CliError::new(format!(
+            "unknown command {cmd:?}; run 'ratio-rules help'"
+        )));
+    };
+    let opts = Options::parse(rest, switches)?;
+    let metrics_out = opts.get("metrics-out").map(str::to_string);
+    let observing =
+        !opts.switch("help") && (cmd == "profile" || opts.switch("trace") || metrics_out.is_some());
+    if !observing {
+        return dispatch(cmd, &opts);
+    }
+
+    obs::set_enabled(true);
+    let result = dispatch(cmd, &opts);
+    // Drain and reset before propagating errors: global state must be
+    // clean for the next invocation either way.
+    let trace = obs::take_trace();
+    let snapshot = obs::global().snapshot();
+    obs::set_enabled(false);
+    obs::global().reset();
+
+    let mut out = result?;
+    if cmd == "profile" || opts.switch("trace") {
+        out.push_str("\nspans:\n");
+        out.push_str(&obs::render_trace(&trace));
+        out.push_str("\nmetrics:\n");
+        out.push_str(&obs::export::render_table(&snapshot));
+    }
+    if let Some(path) = metrics_out {
+        // File format follows the extension: Prometheus text for .prom,
+        // JSON (metrics + trace) otherwise.
+        let text = if path.ends_with(".prom") {
+            obs::export::to_prometheus(&snapshot)
+        } else {
+            obs::export::to_json(&snapshot, &trace)
+        };
+        std::fs::write(&path, text)?;
+        out.push_str(&format!("\nmetrics written to {path}\n"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -719,9 +889,94 @@ mod tests {
             "impute",
             "card",
             "whatif",
+            "profile",
         ] {
             let out = run(&args(&[cmd, "--help"])).unwrap();
             assert!(out.contains(cmd), "help for {cmd}: {out}");
         }
+    }
+
+    /// Tests below toggle the process-global observability state via
+    /// `run`; serialize them so one run's disable/reset doesn't clobber
+    /// another's collection window.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn profile_emits_span_tree_and_metric_dump() {
+        let _guard = OBS_LOCK.lock().unwrap();
+        let dir = workdir();
+        let json_out = dir.join("profile_metrics.json");
+        let out = run(&args(&[
+            "profile",
+            "--rows",
+            "120",
+            "--k",
+            "1",
+            "--threads",
+            "2",
+            "--metrics-out",
+            json_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("profiled 120 rows x 4 attributes"), "{out}");
+        assert!(out.contains("spans:"), "{out}");
+        for span in ["profile", "load", "mine", "covariance_scan", "eigensolve", "evaluate"] {
+            assert!(out.contains(span), "span {span} missing in:\n{out}");
+        }
+        assert!(out.contains("metrics:"), "{out}");
+        for metric in [
+            "covariance_rows_per_s",
+            "eigen_iterations",
+            "eigen_residual",
+            "solver_cache_hits",
+            "solver_cache_misses",
+            "ge_h_shard_0_ns",
+            "ge_h_shard_max_ns",
+        ] {
+            assert!(out.contains(metric), "metric {metric} missing in:\n{out}");
+        }
+        assert!(out.contains("metrics written to"), "{out}");
+
+        // The JSON export round-trips through the obs parser.
+        let text = std::fs::read_to_string(&json_out).unwrap();
+        let (snap, trace) = obs::export::from_json(&text).unwrap();
+        assert!(snap.counter("covariance_rows_scanned_total").unwrap() >= 120);
+        assert!(trace.iter().any(|r| r.name == "profile"));
+        assert!(trace.iter().any(|r| r.name == "eigensolve" && r.depth >= 1));
+
+        // Observability is off and the registry clean after the run.
+        assert!(!obs::enabled());
+        assert!(obs::global().snapshot().get("eigen_iterations").is_none());
+    }
+
+    #[test]
+    fn metrics_out_prom_and_trace_work_on_any_command() {
+        let _guard = OBS_LOCK.lock().unwrap();
+        let dir = workdir();
+        let csv = dir.join("obs_eval.csv");
+        let prom_out = dir.join("eval_metrics.prom");
+        write_linear_csv(&csv);
+        let out = run(&args(&[
+            "evaluate",
+            "--input",
+            csv.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--holes",
+            "2",
+            "--trace",
+            "--metrics-out",
+            prom_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Report, then span tree, then Prometheus file.
+        assert!(out.contains("GE(RR)"), "{out}");
+        assert!(out.contains("spans:"), "{out}");
+        assert!(out.contains("covariance_scan"), "{out}");
+        assert!(out.contains("metrics written to"), "{out}");
+        let prom = std::fs::read_to_string(&prom_out).unwrap();
+        assert!(prom.contains("covariance_rows_scanned_total"), "{prom}");
+        assert!(prom.contains("solver_cache_hits"), "{prom}");
+        assert!(!obs::enabled());
     }
 }

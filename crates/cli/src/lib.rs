@@ -84,7 +84,12 @@ COMMANDS:
     impute      fill holes ('?' or empty cells) throughout a CSV via EM
     card        model-quality report (per-attribute guessing error)
     whatif      what-if scenario: pin attributes, forecast the rest
+    profile     mine + evaluate with instrumentation; print spans and metrics
     help        print this message
+
+GLOBAL OPTIONS (every command):
+    --trace             append the span tree and a metric table to the output
+    --metrics-out FILE  write metrics to FILE (.prom = Prometheus text, else JSON)
 
 Run 'ratio-rules <COMMAND> --help' for per-command options.
 ";

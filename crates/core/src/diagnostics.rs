@@ -11,9 +11,10 @@ use crate::predictor::{ColAvgs, RuleSetPredictor};
 use crate::rules::RuleSet;
 use crate::{RatioRuleError, Result};
 use linalg::Matrix;
+use serde::{Deserialize, Serialize};
 
 /// Quality report for a rule set against a held-out test matrix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelCard {
     /// Rules retained.
     pub k: usize,
@@ -209,6 +210,20 @@ mod tests {
         assert!(text.contains("unexplained"));
         // Header + blank-line separated table with one row per attribute.
         assert!(text.lines().count() >= 7);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let x = mixed_quality_data();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let card = ModelCard::evaluate(&rules, &x).unwrap();
+        let json = serde_json::to_string(&card).unwrap();
+        let back: ModelCard = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, card);
+        assert_eq!(back.per_column.len(), 3);
+        assert_eq!(back.render(), card.render());
     }
 
     #[test]

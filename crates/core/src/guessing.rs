@@ -240,7 +240,10 @@ impl GuessingErrorEvaluator {
         let n_threads = n_threads.clamp(1, n);
         let chunk = n.div_ceil(n_threads);
 
-        let mut partials: Vec<Result<f64>> = Vec::new();
+        // Workers return (partial sum, rows scanned, wall ns) so all
+        // metric recording happens here after the join — no registry
+        // contention on the hot path.
+        let mut partials: Vec<Result<(f64, u64, u64)>> = Vec::new();
         crossbeam::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..n_threads {
@@ -249,7 +252,8 @@ impl GuessingErrorEvaluator {
                 if lo >= hi {
                     continue;
                 }
-                handles.push(scope.spawn(move |_| -> Result<f64> {
+                handles.push(scope.spawn(move |_| -> Result<(f64, u64, u64)> {
+                    let start = obs::enabled().then(std::time::Instant::now);
                     let mut sum_sq = 0.0_f64;
                     for i in lo..hi {
                         let row = test.row(i);
@@ -261,7 +265,8 @@ impl GuessingErrorEvaluator {
                             }
                         }
                     }
-                    Ok(sum_sq)
+                    let ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+                    Ok((sum_sq, (hi - lo) as u64, ns))
                 }));
             }
             partials = handles
@@ -272,9 +277,13 @@ impl GuessingErrorEvaluator {
         .map_err(|_| RatioRuleError::Invalid("GE worker thread panicked".into()))?;
 
         let mut total = 0.0_f64;
+        let mut shards: Vec<(u64, u64)> = Vec::with_capacity(partials.len());
         for p in partials {
-            total += p?;
+            let (sum_sq, rows, ns) = p?;
+            total += sum_sq;
+            shards.push((rows, ns));
         }
+        record_shard_metrics(&shards);
         let denom = (n * h * hole_sets.len()) as f64;
         Ok((total / denom).sqrt())
     }
@@ -291,6 +300,30 @@ impl GuessingErrorEvaluator {
         (1..=h_max)
             .map(|h| Ok((h, self.ge_h_parallel(predictor, test, h, n_threads)?)))
             .collect()
+    }
+}
+
+/// Publishes per-shard GE_h row counts and wall times plus the max/min
+/// imbalance, post-join. No-op while observability is disabled.
+fn record_shard_metrics(shards: &[(u64, u64)]) {
+    if !obs::enabled() || shards.is_empty() {
+        return;
+    }
+    // 1 us .. 10 s in decades.
+    let bounds = obs::exponential_bounds(1_000.0, 10.0, 8);
+    let mut max_ns = 0_u64;
+    let mut min_ns = u64::MAX;
+    for (i, &(rows, ns)) in shards.iter().enumerate() {
+        obs::gauge_set(&format!("ge_h_shard_{i}_rows"), rows as f64);
+        obs::gauge_set(&format!("ge_h_shard_{i}_ns"), ns as f64);
+        obs::observe("ge_h_shard_ns", &bounds, ns as f64);
+        max_ns = max_ns.max(ns);
+        min_ns = min_ns.min(ns);
+    }
+    obs::gauge_set("ge_h_shard_max_ns", max_ns as f64);
+    obs::gauge_set("ge_h_shard_min_ns", min_ns as f64);
+    if min_ns > 0 {
+        obs::gauge_set("ge_h_shard_imbalance", max_ns as f64 / min_ns as f64);
     }
 }
 
@@ -495,6 +528,23 @@ mod tests {
             assert_eq!(h_s, h_p);
             assert!((ge_s - ge_p).abs() < 1e-10 * ge_s.max(1.0));
         }
+    }
+
+    #[test]
+    fn parallel_ge_h_publishes_shard_metrics() {
+        // Enable-only (other tests in this binary may record too, so only
+        // presence and per-shard sanity are asserted).
+        obs::set_enabled(true);
+        let test = linear(12);
+        let p = ColAvgs::fit(&test).unwrap();
+        let ev = GuessingErrorEvaluator::default();
+        ev.ge_h_parallel(&p, &test, 1, 3).unwrap();
+        let snap = obs::global().snapshot();
+        assert!(snap.gauge("ge_h_shard_0_rows").unwrap() >= 1.0);
+        assert!(snap.gauge("ge_h_shard_0_ns").unwrap() >= 0.0);
+        assert!(snap.gauge("ge_h_shard_max_ns").unwrap() >= 0.0);
+        assert!(snap.gauge("ge_h_shard_min_ns").unwrap() >= 0.0);
+        assert!(snap.get("ge_h_shard_ns").is_some(), "histogram missing");
     }
 
     #[test]

@@ -69,6 +69,21 @@ pub fn fit_svd(x: &Matrix, cutoff: Cutoff, labels: Option<Vec<String>>) -> Resul
     RuleSet::new(rules, means, spectrum, labels, n)
 }
 
+/// Publishes eigensolver convergence to the global metrics registry
+/// (no-op while observability is disabled).
+fn record_eigen_convergence(iterations: usize, residual: f64, asymmetry: f64) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::gauge_set("eigen_iterations", iterations as f64);
+    obs::gauge_set("eigen_residual", residual);
+    obs::gauge_set("eigen_asymmetry", asymmetry);
+    if asymmetry > 0.0 {
+        // The solver tolerated (rather than rejected) a nonzero asymmetry.
+        obs::counter_add("eigen_symmetry_tolerance_hits_total", 1);
+    }
+}
+
 /// Configurable miner for Ratio Rules.
 #[derive(Debug, Clone, Default)]
 pub struct RatioRuleMiner {
@@ -110,8 +125,21 @@ impl RatioRuleMiner {
         let mut acc = CovarianceAccumulator::new(m);
         source.rewind()?;
         let mut buf = vec![0.0_f64; m];
-        while source.next_row(&mut buf)? {
-            acc.push_row(&buf)?;
+        {
+            let _span = obs::Span::enter("covariance_scan");
+            let start = obs::enabled().then(std::time::Instant::now);
+            let mut rows = 0u64;
+            while source.next_row(&mut buf)? {
+                acc.push_row(&buf)?;
+                rows += 1;
+            }
+            if let Some(start) = start {
+                obs::counter_add("covariance_rows_scanned_total", rows);
+                let secs = start.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    obs::gauge_set("covariance_rows_per_s", rows as f64 / secs);
+                }
+            }
         }
         self.finish(&acc)
     }
@@ -143,30 +171,40 @@ impl RatioRuleMiner {
     /// merge accumulators and finish here.
     pub fn finish(&self, acc: &CovarianceAccumulator) -> Result<RuleSet> {
         let (c, means, n) = acc.finalize()?;
-        let (eigenvalues, vectors, spectrum) = match self.solver {
-            EigenSolver::Dense => {
-                let eig = SymmetricEigen::new(&c)?;
-                let vecs: Vec<Vec<f64>> = (0..eig.dim()).map(|j| eig.eigenvector(j)).collect();
-                (eig.eigenvalues.clone(), vecs, eig.eigenvalues)
-            }
-            EigenSolver::Lanczos { max_k } => {
-                let m = c.rows();
-                let k_req = max_k.clamp(1, m);
-                let lz = lanczos_top_k(&c, k_req, None)?;
-                let vecs: Vec<Vec<f64>> = (0..k_req).map(|j| lz.eigenvectors.col(j)).collect();
-                // Pad the spectrum so the Eq. 1 denominator is exact:
-                // trace(C) = sum of ALL eigenvalues, so the unseen tail
-                // collectively holds trace - sum(top). Spreading it over
-                // the remaining slots keeps the list descending "enough"
-                // for reporting; the cutoff only needs the total.
-                let top_sum: f64 = lz.eigenvalues.iter().sum();
-                let tail = (c.trace() - top_sum).max(0.0);
-                let remaining = m - k_req;
-                let mut spectrum = lz.eigenvalues.clone();
-                if remaining > 0 {
-                    spectrum.extend(std::iter::repeat_n(tail / remaining as f64, remaining));
+        let (eigenvalues, vectors, spectrum) = {
+            let _span = obs::Span::enter("eigensolve");
+            match self.solver {
+                EigenSolver::Dense => {
+                    let eig = SymmetricEigen::new(&c)?;
+                    record_eigen_convergence(
+                        eig.convergence.iterations,
+                        eig.convergence.residual,
+                        eig.convergence.asymmetry,
+                    );
+                    let vecs: Vec<Vec<f64>> = (0..eig.dim()).map(|j| eig.eigenvector(j)).collect();
+                    (eig.eigenvalues.clone(), vecs, eig.eigenvalues)
                 }
-                (lz.eigenvalues, vecs, spectrum)
+                EigenSolver::Lanczos { max_k } => {
+                    let m = c.rows();
+                    let k_req = max_k.clamp(1, m);
+                    let lz = lanczos_top_k(&c, k_req, None)?;
+                    let asymmetry = if obs::enabled() { c.max_asymmetry() } else { 0.0 };
+                    record_eigen_convergence(lz.steps, lz.residual, asymmetry);
+                    let vecs: Vec<Vec<f64>> = (0..k_req).map(|j| lz.eigenvectors.col(j)).collect();
+                    // Pad the spectrum so the Eq. 1 denominator is exact:
+                    // trace(C) = sum of ALL eigenvalues, so the unseen tail
+                    // collectively holds trace - sum(top). Spreading it over
+                    // the remaining slots keeps the list descending "enough"
+                    // for reporting; the cutoff only needs the total.
+                    let top_sum: f64 = lz.eigenvalues.iter().sum();
+                    let tail = (c.trace() - top_sum).max(0.0);
+                    let remaining = m - k_req;
+                    let mut spectrum = lz.eigenvalues.clone();
+                    if remaining > 0 {
+                        spectrum.extend(std::iter::repeat_n(tail / remaining as f64, remaining));
+                    }
+                    (lz.eigenvalues, vecs, spectrum)
+                }
             }
         };
         let k = self.cutoff.select(&spectrum)?;
@@ -402,5 +440,29 @@ mod tests {
         let means = rules.column_means();
         assert!((means[0] - 3.006).abs() < 1e-12);
         assert!((means[1] - 1.806).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mining_publishes_observability_metrics() {
+        // Enable-only (never disable): other tests in this binary may be
+        // recording concurrently, so assertions are tolerant (>=, exists).
+        obs::set_enabled(true);
+        let _ = RatioRuleMiner::paper_defaults()
+            .fit_matrix(&figure1_matrix())
+            .unwrap();
+        let snap = obs::global().snapshot();
+        assert!(snap.counter("covariance_rows_scanned_total").unwrap() >= 5);
+        assert!(snap.gauge("covariance_rows_per_s").unwrap() > 0.0);
+        assert!(snap.gauge("eigen_iterations").is_some());
+        let residual = snap.gauge("eigen_residual").unwrap();
+        assert!(residual.is_finite() && residual >= 0.0);
+        assert!(snap.gauge("eigen_asymmetry").unwrap() >= 0.0);
+        // The spans landed in the trace with the scan preceding the solve.
+        let trace = obs::take_trace();
+        let names: Vec<&str> = trace.iter().map(|r| r.name.as_str()).collect();
+        let scan = names.iter().position(|n| *n == "covariance_scan");
+        let solve = names.iter().position(|n| *n == "eigensolve");
+        assert!(scan.is_some() && solve.is_some());
+        assert!(scan.unwrap() < solve.unwrap());
     }
 }

@@ -9,11 +9,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::reconstruct::{fill_holes, PatternKey, PatternSolver};
+use crate::reconstruct::{fill_holes, CacheStats, PatternKey, PatternSolver};
 use crate::rules::RuleSet;
 use crate::{RatioRuleError, Result};
 use dataset::holes::HoledRow;
 use linalg::Matrix;
+use obs::StripedCounter;
 use parking_lot::RwLock;
 
 /// Anything that can fill holes in a partially known row.
@@ -46,6 +47,11 @@ pub struct RuleSetPredictor {
     name: String,
     /// `None` disables memoization (the factor-per-row reference path).
     solvers: Option<RwLock<HashMap<PatternKey, Arc<PatternSolver>>>>,
+    /// Cache lookups served from `solvers` (striped: the parallel GE
+    /// loops hit this from many threads). Always 0 when caching is off.
+    hits: StripedCounter,
+    /// Cache lookups that had to factor a solver.
+    misses: StripedCounter,
 }
 
 impl Clone for RuleSetPredictor {
@@ -54,10 +60,14 @@ impl Clone for RuleSetPredictor {
             rules: self.rules.clone(),
             name: self.name.clone(),
             // Cached solvers are shared Arcs; cloning the map is cheap.
+            // Hit/miss counters start fresh: they describe one predictor's
+            // lookup history, not the shared solvers.
             solvers: self
                 .solvers
                 .as_ref()
                 .map(|s| RwLock::new(s.read().clone())),
+            hits: StripedCounter::new(),
+            misses: StripedCounter::new(),
         }
     }
 }
@@ -70,6 +80,8 @@ impl RuleSetPredictor {
             rules,
             name,
             solvers: Some(RwLock::new(HashMap::new())),
+            hits: StripedCounter::new(),
+            misses: StripedCounter::new(),
         }
     }
 
@@ -92,6 +104,28 @@ impl RuleSetPredictor {
         self.solvers.as_ref().map_or(0, |s| s.read().len())
     }
 
+    /// Snapshot of this predictor's solver-cache statistics. All zeros in
+    /// uncached mode (the factor-per-row path never consults the cache).
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.solvers {
+            Some(cache) => {
+                let map = cache.read();
+                CacheStats::from_parts(
+                    self.hits.get(),
+                    self.misses.get(),
+                    map.values().map(Arc::as_ref),
+                )
+            }
+            None => CacheStats::default(),
+        }
+    }
+
+    /// Publishes [`RuleSetPredictor::cache_stats`] as `solver_cache_*`
+    /// gauges on the global metrics registry. No-op while disabled.
+    pub fn publish_metrics(&self) {
+        self.cache_stats().publish();
+    }
+
     fn solver_for(
         &self,
         cache: &RwLock<HashMap<PatternKey, Arc<PatternSolver>>>,
@@ -99,8 +133,10 @@ impl RuleSetPredictor {
     ) -> Result<Arc<PatternSolver>> {
         let key = PatternKey::new(holes, self.rules.n_attributes())?;
         if let Some(solver) = cache.read().get(&key) {
+            self.hits.inc();
             return Ok(Arc::clone(solver));
         }
+        self.misses.inc();
         // Factor outside the write lock; first insert wins.
         let built = Arc::new(PatternSolver::build(&self.rules, holes)?);
         Ok(Arc::clone(cache.write().entry(key).or_insert(built)))
@@ -261,6 +297,30 @@ mod tests {
         assert_eq!(uncached.cached_patterns(), 0);
         // Clones carry the warmed cache.
         assert_eq!(cached.clone().cached_patterns(), 2);
+    }
+
+    #[test]
+    fn cache_stats_track_lookups_and_reset_on_clone() {
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&linear())
+            .unwrap();
+        let p = RuleSetPredictor::new(rules.clone());
+        p.fill(&HoledRow::new(vec![Some(10.0), None])).unwrap();
+        p.fill(&HoledRow::new(vec![Some(12.0), None])).unwrap();
+        p.fill(&HoledRow::new(vec![None, Some(3.0)])).unwrap();
+        let s = p.cache_stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.case1_exact, 2);
+        // Clones share the warm solvers but start new lookup counters.
+        let c = p.clone().cache_stats();
+        assert_eq!(c.entries, 2);
+        assert_eq!(c.hits + c.misses, 0);
+        // Uncached mode never touches the cache.
+        let u = RuleSetPredictor::uncached(rules);
+        u.fill(&HoledRow::new(vec![Some(10.0), None])).unwrap();
+        assert_eq!(u.cache_stats(), crate::reconstruct::CacheStats::default());
     }
 
     #[test]

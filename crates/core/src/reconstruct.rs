@@ -45,6 +45,7 @@ use linalg::lu::Lu;
 use linalg::pinv::DEFAULT_RANK_TOL;
 use linalg::solver::SvdSolver;
 use linalg::Matrix;
+use obs::StripedCounter;
 use parking_lot::RwLock;
 
 /// Which of the paper's three cases a reconstruction hit.
@@ -205,6 +206,12 @@ impl PatternSolver {
                 Err(_) => SolverKind::LeastSquares(SvdSolver::new(&v_prime, DEFAULT_RANK_TOL)?),
             },
         };
+        if obs::enabled() {
+            if let SolverKind::LeastSquares(s) = &kind {
+                obs::gauge_set("svd_sweeps", s.sweeps() as f64);
+                obs::gauge_set("svd_condition", s.condition());
+            }
+        }
 
         Ok(PatternSolver {
             holes,
@@ -224,6 +231,13 @@ impl PatternSolver {
     /// Which of the paper's cases this pattern falls in.
     pub fn case(&self) -> SolveCase {
         self.case
+    }
+
+    /// Whether a nominally-square CASE 1 / CASE 3 system turned out
+    /// singular and fell back to the minimum-norm pseudo-inverse.
+    pub fn used_singular_fallback(&self) -> bool {
+        matches!(self.kind, SolverKind::LeastSquares(_))
+            && !matches!(self.case, SolveCase::OverSpecified)
     }
 
     /// Solves the already-factored system for one row's centered known
@@ -311,6 +325,79 @@ impl PatternSolver {
 pub struct SolverCache<'r> {
     rules: &'r RuleSet,
     solvers: RwLock<HashMap<PatternKey, Arc<PatternSolver>>>,
+    /// Lookups served from the cache. Striped so the parallel GE_h scan
+    /// does not ping-pong a shared cache line; counts unconditionally
+    /// (stats work even with observability disabled).
+    hits: StripedCounter,
+    /// Lookups that had to factor a solver.
+    misses: StripedCounter,
+}
+
+/// Point-in-time statistics of a [`SolverCache`] (see
+/// [`SolverCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to factor a solver (including losers of a
+    /// first-insert-wins race, who factored but did not insert).
+    pub misses: u64,
+    /// Distinct hole patterns currently cached.
+    pub entries: usize,
+    /// Cached patterns in the paper's CASE 1 (exactly specified).
+    pub case1_exact: usize,
+    /// Cached patterns in CASE 2 (over-specified, least squares).
+    pub case2_over: usize,
+    /// Cached patterns in CASE 3 (under-specified, weakest rules dropped).
+    pub case3_under: usize,
+    /// Cached square systems that were singular and fell back to the
+    /// minimum-norm pseudo-inverse.
+    pub singular_fallbacks: usize,
+}
+
+impl CacheStats {
+    /// Tallies the per-case breakdown from the cached solvers.
+    pub(crate) fn from_parts<'a>(
+        hits: u64,
+        misses: u64,
+        solvers: impl Iterator<Item = &'a PatternSolver>,
+    ) -> Self {
+        let mut stats = CacheStats {
+            hits,
+            misses,
+            ..CacheStats::default()
+        };
+        for solver in solvers {
+            stats.entries += 1;
+            match solver.case() {
+                SolveCase::ExactlySpecified => stats.case1_exact += 1,
+                SolveCase::OverSpecified => stats.case2_over += 1,
+                SolveCase::UnderSpecified { .. } => stats.case3_under += 1,
+            }
+            if solver.used_singular_fallback() {
+                stats.singular_fallbacks += 1;
+            }
+        }
+        stats
+    }
+
+    /// Publishes this snapshot as `solver_cache_*` gauges on the global
+    /// metrics registry. No-op while observability is disabled.
+    pub fn publish(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::gauge_set("solver_cache_hits", self.hits as f64);
+        obs::gauge_set("solver_cache_misses", self.misses as f64);
+        obs::gauge_set("solver_cache_entries", self.entries as f64);
+        obs::gauge_set("solver_cache_case1_exact", self.case1_exact as f64);
+        obs::gauge_set("solver_cache_case2_over", self.case2_over as f64);
+        obs::gauge_set("solver_cache_case3_under", self.case3_under as f64);
+        obs::gauge_set(
+            "solver_cache_singular_fallbacks",
+            self.singular_fallbacks as f64,
+        );
+    }
 }
 
 impl<'r> SolverCache<'r> {
@@ -319,6 +406,8 @@ impl<'r> SolverCache<'r> {
         SolverCache {
             rules,
             solvers: RwLock::new(HashMap::new()),
+            hits: StripedCounter::new(),
+            misses: StripedCounter::new(),
         }
     }
 
@@ -342,13 +431,35 @@ impl<'r> SolverCache<'r> {
     pub fn solver_for(&self, holes: &[usize]) -> Result<Arc<PatternSolver>> {
         let key = PatternKey::new(holes, self.rules.n_attributes())?;
         if let Some(solver) = self.solvers.read().get(&key) {
+            self.hits.inc();
             return Ok(Arc::clone(solver));
         }
+        self.misses.inc();
         // Factor outside the write lock so concurrent misses on *other*
         // patterns are not serialized behind this SVD/LU.
         let built = Arc::new(PatternSolver::build(self.rules, holes)?);
         let mut map = self.solvers.write();
         Ok(Arc::clone(map.entry(key).or_insert(built)))
+    }
+
+    /// Snapshot of hit/miss counters and per-case cached-pattern counts.
+    ///
+    /// Hits and misses count every [`SolverCache::solver_for`] lookup
+    /// (including those made through [`SolverCache::fill`]); the per-case
+    /// breakdown is derived from the solvers currently cached.
+    pub fn stats(&self) -> CacheStats {
+        let map = self.solvers.read();
+        CacheStats::from_parts(
+            self.hits.get(),
+            self.misses.get(),
+            map.values().map(Arc::as_ref),
+        )
+    }
+
+    /// Publishes the current [`CacheStats`] as `solver_cache_*` gauges on
+    /// the global metrics registry. No-op while observability is disabled.
+    pub fn publish_metrics(&self) {
+        self.stats().publish();
     }
 
     /// Fills `row`, reusing (or creating) the cached solver for its hole
@@ -730,6 +841,97 @@ mod tests {
                     assert_eq!(uncached, cached, "k={k} row={i}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn cache_stats_count_hits_misses_and_cases() {
+        let x = rank2_4d();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        let cache = SolverCache::new(&rules);
+        assert_eq!(cache.stats(), CacheStats::default());
+
+        cache.solver_for(&[0, 2]).unwrap(); // exact (M - h = 2 = k)
+        cache.solver_for(&[0, 2]).unwrap(); // hit
+        cache.solver_for(&[1]).unwrap(); // over (M - h = 3 > k)
+        cache.solver_for(&[0, 1, 2]).unwrap(); // under (M - h = 1 < k)
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.case1_exact, 1);
+        assert_eq!(s.case2_over, 1);
+        assert_eq!(s.case3_under, 1);
+        assert_eq!(s.singular_fallbacks, 0);
+    }
+
+    #[test]
+    fn cache_stats_flag_singular_fallbacks() {
+        // Attribute 1 is constant, so knowing only it leaves a singular
+        // square system: the cached solver records the pinv fallback.
+        let x = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 5.0], &[3.0, 5.0], &[4.0, 5.0]]).unwrap();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&x)
+            .unwrap();
+        let cache = SolverCache::new(&rules);
+        let solver = cache.solver_for(&[0]).unwrap();
+        assert!(solver.used_singular_fallback());
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.case1_exact, 1);
+        assert_eq!(s.singular_fallbacks, 1);
+    }
+
+    #[test]
+    fn concurrent_first_insert_wins_and_stats_balance() {
+        let x = rank2_4d();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&x)
+            .unwrap();
+        let cache = SolverCache::new(&rules);
+        const N_THREADS: usize = 8;
+        let solvers: Vec<Arc<PatternSolver>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..N_THREADS)
+                .map(|_| scope.spawn(|| cache.solver_for(&[0, 2]).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // First insert wins: every racer got the same cached solver.
+        let winner = cache.solver_for(&[0, 2]).unwrap();
+        for s in &solvers {
+            assert!(Arc::ptr_eq(s, &winner), "racers must share one solver");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        // Every lookup counted exactly once (the +1 is the winner fetch).
+        assert_eq!(stats.hits + stats.misses, N_THREADS as u64 + 1);
+        assert!(stats.misses >= 1, "someone had to factor");
+        assert!(stats.hits >= 1, "the post-race fetch must hit");
+    }
+
+    #[test]
+    fn publish_metrics_lands_in_global_registry() {
+        obs::set_enabled(true);
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&linear_2d())
+            .unwrap();
+        let cache = SolverCache::new(&rules);
+        cache.fill(&HoledRow::new(vec![Some(7.0), None])).unwrap();
+        cache.fill(&HoledRow::new(vec![Some(9.0), None])).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        cache.publish_metrics();
+        // Gauges are global and other tests may republish concurrently, so
+        // only assert presence and sanity, not exact values.
+        let snap = obs::global().snapshot();
+        for name in [
+            "solver_cache_hits",
+            "solver_cache_misses",
+            "solver_cache_entries",
+        ] {
+            assert!(snap.gauge(name).unwrap() >= 0.0, "{name} missing");
         }
     }
 

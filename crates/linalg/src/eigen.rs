@@ -14,6 +14,24 @@ use crate::{Matrix, Result};
 /// Relative symmetry tolerance accepted by [`SymmetricEigen::new`].
 pub const DEFAULT_SYMMETRY_TOL: f64 = 1e-8;
 
+/// How an eigensolve converged: iteration effort, the residual left at
+/// acceptance, and how asymmetric the input actually was. Populated by
+/// every solver instead of being discarded, so the observability layer
+/// (and tests) can pin convergence behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConvergenceInfo {
+    /// Solver-specific effort: total QL iterations for
+    /// [`SymmetricEigen`], sweeps for Jacobi, Krylov steps for Lanczos.
+    pub iterations: usize,
+    /// Solver-internal residual at acceptance (e.g. the largest
+    /// off-diagonal magnitude left after deflation).
+    pub residual: f64,
+    /// Measured `max |a_ij - a_ji|` of the input — zero for exactly
+    /// symmetric matrices, positive (but within tolerance) when the
+    /// caller handed in something slightly asymmetric.
+    pub asymmetry: f64,
+}
+
 /// Eigendecomposition of a real symmetric matrix.
 ///
 /// Invariants (checked by the test suite):
@@ -28,6 +46,8 @@ pub struct SymmetricEigen {
     pub eigenvalues: Vec<f64>,
     /// Eigenvectors as columns, aligned with `eigenvalues`.
     pub eigenvectors: Matrix,
+    /// How the QL iteration converged on this input.
+    pub convergence: ConvergenceInfo,
 }
 
 impl SymmetricEigen {
@@ -41,10 +61,11 @@ impl SymmetricEigen {
 
     /// Like [`SymmetricEigen::new`] with an explicit symmetry tolerance.
     pub fn with_tolerance(a: &Matrix, sym_tol: f64) -> Result<Self> {
+        let asymmetry = a.max_asymmetry();
         let mut tri = tridiagonalize(a, sym_tol)?;
         let mut d = tri.diagonal.clone();
         let mut e = tri.off_diagonal.clone();
-        ql_implicit(&mut d, &mut e, &mut tri.q)?;
+        let ql = ql_implicit(&mut d, &mut e, &mut tri.q)?;
 
         // Sort descending and canonicalize signs.
         let n = d.len();
@@ -63,6 +84,11 @@ impl SymmetricEigen {
         Ok(SymmetricEigen {
             eigenvalues,
             eigenvectors,
+            convergence: ConvergenceInfo {
+                iterations: ql.iterations,
+                residual: ql.residual,
+                asymmetry,
+            },
         })
     }
 
@@ -234,6 +260,34 @@ mod tests {
         let a = Matrix::zeros(3, 3);
         let e = SymmetricEigen::new(&a).unwrap();
         assert!(e.eigenvalues.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn convergence_info_is_populated() {
+        // Exactly symmetric input: zero asymmetry, at least one QL
+        // iteration for a genuinely coupled matrix, tiny residual.
+        let a = sym(&[&[10.0, 2.0, 3.0], &[2.0, 7.0, 1.0], &[3.0, 1.0, 5.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.convergence.asymmetry, 0.0);
+        assert!(e.convergence.iterations >= 1);
+        assert!(e.convergence.residual.is_finite());
+        assert!(e.convergence.residual <= 1e-12 * a.max_abs());
+
+        // A diagonal matrix converges without any QL work.
+        let d = Matrix::from_diagonal(&[4.0, 2.0, 1.0]);
+        let ed = SymmetricEigen::new(&d).unwrap();
+        assert_eq!(ed.convergence.iterations, 0);
+        assert_eq!(ed.convergence.residual, 0.0);
+    }
+
+    #[test]
+    fn convergence_reports_tolerated_asymmetry() {
+        // Slightly asymmetric but within tolerance: the solve succeeds
+        // and the measured asymmetry is surfaced, not swallowed.
+        let mut a = sym(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        a[(0, 1)] += 1e-12;
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.convergence.asymmetry - 1e-12).abs() < 1e-15);
     }
 
     #[test]

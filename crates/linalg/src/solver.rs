@@ -34,6 +34,11 @@ pub struct SvdSolver {
     rank: usize,
     /// Shape of the original matrix `A`.
     shape: (usize, usize),
+    /// QR sweeps the underlying Golub–Kahan SVD needed to converge.
+    sweeps: usize,
+    /// Condition number over the *retained* spectrum:
+    /// `sigma_max / sigma_min_retained` (0.0 for a rank-0 matrix).
+    condition: f64,
 }
 
 impl SvdSolver {
@@ -49,6 +54,11 @@ impl SvdSolver {
             .map(|&s| if s > cutoff && s > 0.0 { 1.0 / s } else { 0.0 })
             .collect();
         let rank = inv_s.iter().filter(|&&v| v != 0.0).count();
+        let condition = if rank > 0 {
+            smax / svd.singular_values[rank - 1]
+        } else {
+            0.0
+        };
         // Scale V's columns by the inverted spectrum: W = V Σ⁺. Column
         // scaling is exact (one multiply per element), so this equals the
         // matmul with diag(inv_s) the one-shot pseudo-inverse performs.
@@ -60,9 +70,11 @@ impl SvdSolver {
         }
         Ok(SvdSolver {
             w,
-            u: svd.u,
             rank,
             shape: a.shape(),
+            sweeps: svd.sweeps,
+            condition,
+            u: svd.u,
         })
     }
 
@@ -74,6 +86,18 @@ impl SvdSolver {
     /// Numerical rank under the construction tolerance.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// QR sweeps the underlying SVD needed to converge (0 when the input
+    /// was already diagonal after bidiagonalization).
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Condition number over the retained spectrum:
+    /// `sigma_max / sigma_min_retained`, or 0.0 for a rank-0 matrix.
+    pub fn condition(&self) -> f64 {
+        self.condition
     }
 
     /// Minimum-norm least-squares solution of `A x = b`.
@@ -182,6 +206,20 @@ mod tests {
         assert_eq!(s.rank(), 0);
         let x = s.solve(&[1.0, 2.0, 3.0]).unwrap();
         assert!(x.iter().all(|&v| v == 0.0));
+        assert_eq!(s.condition(), 0.0);
+    }
+
+    #[test]
+    fn convergence_accessors_report_effort_and_conditioning() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0], &[0.5, -1.0]]).unwrap();
+        let s = solver(&a);
+        assert!(s.sweeps() >= 1);
+        assert!(s.condition() >= 1.0);
+        assert!(s.condition().is_finite());
+        // An orthogonal-column matrix is perfectly conditioned.
+        let q = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let sq = solver(&q);
+        assert!((sq.condition() - 1.0).abs() < 1e-12);
     }
 
     #[test]

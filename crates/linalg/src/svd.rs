@@ -26,6 +26,10 @@ pub struct Svd {
     pub singular_values: Vec<f64>,
     /// Right singular vectors (columns).
     pub v: Matrix,
+    /// Total implicit-QR sweeps spent diagonalizing the bidiagonal
+    /// form, summed over all singular values (0 when the input was
+    /// already diagonal).
+    pub sweeps: usize,
 }
 
 impl Svd {
@@ -43,6 +47,7 @@ impl Svd {
                 u: t.v,
                 singular_values: t.singular_values,
                 v: t.u,
+                sweeps: t.sweeps,
             })
         }
     }
@@ -235,6 +240,7 @@ fn svd_tall(input: &Matrix) -> Result<Svd> {
     }
 
     // --- Diagonalize the bidiagonal form --------------------------------
+    let mut total_sweeps = 0usize;
     for k in (0..n).rev() {
         let mut converged = false;
         for its in 0..MAX_SVD_ITERATIONS {
@@ -292,6 +298,7 @@ fn svd_tall(input: &Matrix) -> Result<Svd> {
             if its + 1 == MAX_SVD_ITERATIONS {
                 break;
             }
+            total_sweeps += 1;
 
             // Shift from bottom 2x2 minor.
             let mut x = w[l];
@@ -365,6 +372,7 @@ fn svd_tall(input: &Matrix) -> Result<Svd> {
         u,
         singular_values,
         v,
+        sweeps: total_sweeps,
     })
 }
 
@@ -418,6 +426,21 @@ mod tests {
         assert!((svd.singular_values[0] - 3.0).abs() < 1e-12);
         assert!((svd.singular_values[1] - 2.0).abs() < 1e-12);
         assert!((svd.singular_values[2] - 1.0).abs() < 1e-12);
+        // Already diagonal: no QR sweeps needed.
+        assert_eq!(svd.sweeps, 0);
+    }
+
+    #[test]
+    fn sweep_count_reported_for_coupled_input() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[4.0, 5.0]]).unwrap();
+        let svd = check_svd(&a, 1e-12);
+        assert!(svd.sweeps >= 1);
+        assert!(svd.sweeps <= 2 * MAX_SVD_ITERATIONS);
+        // The transpose path also reports its (possibly different) effort:
+        // it bidiagonalizes A^T, so the sweep count needn't match.
+        let svd_t = Svd::new(&a.transpose()).unwrap();
+        assert!(svd_t.sweeps >= 1);
+        assert!(svd_t.sweeps <= 2 * MAX_SVD_ITERATIONS);
     }
 
     #[test]

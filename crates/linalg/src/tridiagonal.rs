@@ -11,6 +11,17 @@ use crate::{hypot, sign, LinalgError, Matrix, Result};
 /// Maximum QL sweeps per eigenvalue before reporting non-convergence.
 pub const MAX_QL_ITERATIONS: usize = 50;
 
+/// How hard the QL iteration had to work: total implicit-shift sweeps
+/// across all eigenvalues, and the largest off-diagonal magnitude left
+/// behind at acceptance (the deflation residual).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QlConvergence {
+    /// Total QL iterations summed over all eigenvalues.
+    pub iterations: usize,
+    /// `max |e[i]|` remaining when every block was deflated.
+    pub residual: f64,
+}
+
 /// Diagonalizes a symmetric tridiagonal matrix in place.
 ///
 /// * `d` — diagonal on input, eigenvalues on output (length `n`).
@@ -20,7 +31,9 @@ pub const MAX_QL_ITERATIONS: usize = 50;
 ///   matrix).
 ///
 /// Eigenvalues come out unordered; [`crate::eigen`] sorts them.
-pub fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
+/// Returns the iteration count and final residual so callers can report
+/// convergence behaviour instead of discarding it.
+pub fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<QlConvergence> {
     let n = d.len();
     if e.len() != n || z.shape() != (n, n) {
         return Err(LinalgError::DimensionMismatch {
@@ -39,6 +52,7 @@ pub fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
     }
     e[n - 1] = 0.0;
 
+    let mut total_iterations = 0usize;
     for l in 0..n {
         let mut iter = 0usize;
         loop {
@@ -56,6 +70,7 @@ pub fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
                 break;
             }
             iter += 1;
+            total_iterations += 1;
             if iter > MAX_QL_ITERATIONS {
                 return Err(LinalgError::NoConvergence {
                     op: "ql_implicit",
@@ -106,7 +121,13 @@ pub fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
             e[m] = 0.0;
         }
     }
-    Ok(())
+    // Off-diagonals that passed the negligibility test were left in
+    // place, so the largest surviving magnitude is the residual.
+    let residual = e[..n - 1].iter().fold(0.0_f64, |acc, &v| acc.max(v.abs()));
+    Ok(QlConvergence {
+        iterations: total_iterations,
+        residual,
+    })
 }
 
 /// Convenience wrapper: eigendecomposition of a raw symmetric tridiagonal
@@ -221,5 +242,28 @@ mod tests {
         let (vals, vecs) = eigen_tridiagonal(&[5.0], &[0.0]).unwrap();
         assert_eq!(vals, vec![5.0]);
         assert_eq!(vecs, Matrix::identity(1));
+    }
+
+    #[test]
+    fn reports_iterations_and_residual() {
+        // A diagonal matrix needs zero sweeps and has zero residual.
+        let mut d = vec![3.0, 1.0, 2.0];
+        let mut e = vec![0.0, 0.0, 0.0];
+        let mut z = Matrix::identity(3);
+        let conv = ql_implicit(&mut d, &mut e, &mut z).unwrap();
+        assert_eq!(conv.iterations, 0);
+        assert_eq!(conv.residual, 0.0);
+
+        // A coupled matrix needs at least one sweep and leaves a
+        // residual below the negligibility threshold.
+        let mut d = vec![2.0; 8];
+        let mut e = vec![-1.0; 8];
+        e[0] = 0.0;
+        let mut z = Matrix::identity(8);
+        let conv = ql_implicit(&mut d, &mut e, &mut z).unwrap();
+        assert!(conv.iterations >= 1);
+        assert!(conv.iterations <= 8 * MAX_QL_ITERATIONS);
+        let scale: f64 = d.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+        assert!(conv.residual <= 2.0 * f64::EPSILON * scale.max(1.0) * 2.0);
     }
 }

@@ -81,11 +81,15 @@ proptest! {
     #[test]
     fn jacobi_agrees_with_ql_on_eigenvalues(a in symmetric(5)) {
         let e = SymmetricEigen::new(&a).unwrap();
-        let (jv, _) = jacobi_eigen(&a, 1e-8).unwrap();
+        let jac = jacobi_eigen(&a, 1e-8).unwrap();
         let scale = a.max_abs().max(1.0);
-        for (x, y) in e.eigenvalues.iter().zip(&jv) {
+        for (x, y) in e.eigenvalues.iter().zip(&jac.eigenvalues) {
             prop_assert!((x - y).abs() < 1e-8 * scale, "{x} vs {y}");
         }
+        // Both solvers report coherent convergence info.
+        prop_assert!(e.convergence.residual.is_finite());
+        prop_assert!(jac.convergence.residual.is_finite());
+        prop_assert!(jac.convergence.iterations <= linalg::jacobi::MAX_JACOBI_SWEEPS);
     }
 
     #[test]

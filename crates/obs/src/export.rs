@@ -1,0 +1,336 @@
+//! Exporters: one JSON document carrying both the metric snapshot and
+//! the span trace, and Prometheus text exposition for the metrics.
+
+use crate::json::{write_escaped, JsonValue};
+use crate::registry::{MetricValue, Snapshot};
+use crate::span::SpanRecord;
+
+fn nums(values: &[f64]) -> JsonValue {
+    JsonValue::Arr(values.iter().map(|&v| JsonValue::Num(v)).collect())
+}
+
+fn counts(values: &[u64]) -> JsonValue {
+    JsonValue::Arr(values.iter().map(|&v| JsonValue::Num(v as f64)).collect())
+}
+
+/// Build the combined `{"metrics": {...}, "trace": [...]}` document.
+pub fn to_json_value(snapshot: &Snapshot, trace: &[SpanRecord]) -> JsonValue {
+    let metrics = snapshot
+        .metrics
+        .iter()
+        .map(|(name, value)| {
+            let body = match value {
+                MetricValue::Counter(v) => JsonValue::Obj(vec![
+                    ("type".into(), JsonValue::Str("counter".into())),
+                    ("value".into(), JsonValue::Num(*v as f64)),
+                ]),
+                MetricValue::Gauge(v) => JsonValue::Obj(vec![
+                    ("type".into(), JsonValue::Str("gauge".into())),
+                    ("value".into(), JsonValue::Num(*v)),
+                ]),
+                MetricValue::Histogram {
+                    bounds,
+                    counts: bucket_counts,
+                    sum,
+                    count,
+                } => JsonValue::Obj(vec![
+                    ("type".into(), JsonValue::Str("histogram".into())),
+                    ("bounds".into(), nums(bounds)),
+                    ("counts".into(), counts(bucket_counts)),
+                    ("sum".into(), JsonValue::Num(*sum)),
+                    ("count".into(), JsonValue::Num(*count as f64)),
+                ]),
+            };
+            (name.clone(), body)
+        })
+        .collect();
+    let spans = trace
+        .iter()
+        .map(|r| {
+            JsonValue::Obj(vec![
+                ("name".into(), JsonValue::Str(r.name.clone())),
+                ("depth".into(), JsonValue::Num(r.depth as f64)),
+                ("ns".into(), JsonValue::Num(r.ns as f64)),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("metrics".into(), JsonValue::Obj(metrics)),
+        ("trace".into(), JsonValue::Arr(spans)),
+    ])
+}
+
+/// Serialize the snapshot and trace as pretty-printed JSON.
+pub fn to_json(snapshot: &Snapshot, trace: &[SpanRecord]) -> String {
+    to_json_value(snapshot, trace).write(true)
+}
+
+/// Rebuild a [`Snapshot`] and trace from [`to_json`] output.
+/// Unknown fields are ignored; malformed documents return an error
+/// string describing the first problem.
+pub fn from_json(text: &str) -> Result<(Snapshot, Vec<SpanRecord>), String> {
+    let doc = crate::json::parse(text).map_err(|e| e.to_string())?;
+    let mut metrics = Vec::new();
+    let metric_members = doc
+        .get("metrics")
+        .and_then(JsonValue::as_obj)
+        .ok_or("missing 'metrics' object")?;
+    for (name, body) in metric_members {
+        let kind = body
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("metric '{name}' missing type"))?;
+        let value = match kind {
+            "counter" => MetricValue::Counter(
+                body.get("value")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("counter '{name}' missing value"))?
+                    as u64,
+            ),
+            "gauge" => MetricValue::Gauge(
+                body.get("value")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("gauge '{name}' missing value"))?,
+            ),
+            "histogram" => {
+                let get_nums = |key: &str| -> Result<Vec<f64>, String> {
+                    body.get(key)
+                        .and_then(JsonValue::as_arr)
+                        .ok_or_else(|| format!("histogram '{name}' missing {key}"))?
+                        .iter()
+                        .map(|v| {
+                            v.as_f64()
+                                .ok_or_else(|| format!("histogram '{name}' non-numeric {key}"))
+                        })
+                        .collect()
+                };
+                MetricValue::Histogram {
+                    bounds: get_nums("bounds")?,
+                    counts: get_nums("counts")?.into_iter().map(|v| v as u64).collect(),
+                    sum: body
+                        .get("sum")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("histogram '{name}' missing sum"))?,
+                    count: body
+                        .get("count")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("histogram '{name}' missing count"))?
+                        as u64,
+                }
+            }
+            other => return Err(format!("metric '{name}' has unknown type '{other}'")),
+        };
+        metrics.push((name.clone(), value));
+    }
+    let mut trace = Vec::new();
+    if let Some(spans) = doc.get("trace").and_then(JsonValue::as_arr) {
+        for span in spans {
+            trace.push(SpanRecord {
+                name: span
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("span missing name")?
+                    .to_string(),
+                depth: span
+                    .get("depth")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("span missing depth")? as usize,
+                ns: span
+                    .get("ns")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("span missing ns")? as u64,
+            });
+        }
+    }
+    Ok((Snapshot { metrics }, trace))
+}
+
+/// Sanitize into the Prometheus metric-name alphabet
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`; invalid characters become `_` and a
+/// leading digit gains a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a HELP text: Prometheus requires `\\` and `\n` escaping.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the snapshot in Prometheus text exposition format. The HELP
+/// line carries the original (unsanitized) metric name so nothing is
+/// lost when sanitization rewrites characters.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.metrics {
+        let pname = sanitize_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# HELP {pname} {}\n", escape_help(name)));
+                out.push_str(&format!("# TYPE {pname} counter\n"));
+                out.push_str(&format!("{pname} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# HELP {pname} {}\n", escape_help(name)));
+                out.push_str(&format!("# TYPE {pname} gauge\n"));
+                out.push_str(&format!("{pname} {}\n", fmt_f64(*v)));
+            }
+            MetricValue::Histogram {
+                bounds,
+                counts,
+                sum,
+                count,
+            } => {
+                out.push_str(&format!("# HELP {pname} {}\n", escape_help(name)));
+                out.push_str(&format!("# TYPE {pname} histogram\n"));
+                let mut cumulative = 0u64;
+                for (i, &c) in counts.iter().enumerate() {
+                    cumulative += c;
+                    let le = bounds
+                        .get(i)
+                        .copied()
+                        .map_or_else(|| "+Inf".to_string(), fmt_f64);
+                    out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!("{pname}_sum {}\n", fmt_f64(*sum)));
+                out.push_str(&format!("{pname}_count {count}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Render the snapshot as an aligned human-readable table (the
+/// `profile` subcommand's metric dump).
+pub fn render_table(snapshot: &Snapshot) -> String {
+    if snapshot.metrics.is_empty() {
+        return String::from("(no metrics recorded)\n");
+    }
+    let width = snapshot
+        .metrics
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in &snapshot.metrics {
+        let rendered = match value {
+            MetricValue::Counter(v) => format!("{v}"),
+            MetricValue::Gauge(v) => {
+                if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v:.4}")
+                }
+            }
+            MetricValue::Histogram { sum, count, .. } => {
+                let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                format!("count={count} sum={sum:.0} mean={mean:.1}")
+            }
+        };
+        out.push_str(&format!("{name:<width$}  {rendered}\n"));
+    }
+    out
+}
+
+/// A small JSON-escaping helper re-exported for other crates' tests.
+pub fn escape_json_string(s: &str) -> String {
+    let mut out = String::new();
+    write_escaped(s, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> (Snapshot, Vec<SpanRecord>) {
+        let reg = Registry::new();
+        reg.counter("rows_scanned_total").add(1_000);
+        reg.gauge("rows_per_s").set(2.5e6);
+        reg.gauge("residual").set(3.25e-15);
+        let h = reg.histogram("shard_ns", &[1e3, 1e6, 1e9]);
+        h.observe(500.0);
+        h.observe(2e6);
+        h.observe(5e9);
+        let trace = vec![
+            SpanRecord {
+                name: "mine".into(),
+                depth: 0,
+                ns: 1_000_000,
+            },
+            SpanRecord {
+                name: "covariance_scan".into(),
+                depth: 1,
+                ns: 700_000,
+            },
+        ];
+        (reg.snapshot(), trace)
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let (snap, trace) = sample();
+        let text = to_json(&snap, &trace);
+        let (snap2, trace2) = from_json(&text).unwrap();
+        assert_eq!(snap, snap2);
+        assert_eq!(trace, trace2);
+    }
+
+    #[test]
+    fn json_has_the_expected_shape() {
+        let (snap, trace) = sample();
+        let doc = crate::json::parse(&to_json(&snap, &trace)).unwrap();
+        let m = doc.get("metrics").unwrap();
+        assert_eq!(
+            m.get("rows_scanned_total").unwrap().get("type").unwrap().as_str(),
+            Some("counter")
+        );
+        assert_eq!(
+            m.get("rows_per_s").unwrap().get("value").unwrap().as_f64(),
+            Some(2.5e6)
+        );
+        assert_eq!(doc.get("trace").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sanitize_name_enforces_the_prometheus_alphabet() {
+        assert_eq!(sanitize_name("rows_per_s"), "rows_per_s");
+        assert_eq!(sanitize_name("ge_h.shard-3 ns"), "ge_h_shard_3_ns");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn help_line_escapes_backslash_and_newline() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+    }
+}

@@ -1,0 +1,445 @@
+//! A minimal JSON value, writer, and recursive-descent parser.
+//!
+//! The workspace deliberately has no serde in this crate, and CI builds
+//! without the registry, so the exporter round-trip tests need a parser
+//! of their own. This one covers exactly the JSON the exporter emits
+//! (objects, arrays, strings with standard escapes, finite numbers,
+//! booleans, null) and rejects everything else with a byte offset.
+
+use std::fmt;
+
+/// An owned JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Escape `s` into `out` as a JSON string literal (with quotes).
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        // `{}` on f64 is the shortest representation that parses back
+        // to the same bits, so numeric round-trips are exact.
+        out.push_str(&format!("{v}"));
+    }
+}
+
+impl JsonValue {
+    fn write_into(&self, out: &mut String, pretty: bool, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(d));
+            }
+        };
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(v) => write_num(*v, out),
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    item.write_into(out, pretty, depth + 1);
+                }
+                if !items.is_empty() {
+                    pad(out, depth);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write_into(out, pretty, depth + 1);
+                }
+                if !members.is_empty() {
+                    pad(out, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialize; `pretty` indents with two spaces.
+    pub fn write(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, pretty, 0);
+        if pretty {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.write(f.alternate()))
+    }
+}
+
+/// A parse failure with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed).
+pub fn parse(s: &str) -> Result<JsonValue, ParseError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates are not emitted by our writer.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| ParseError {
+                message: format!("invalid number '{text}'"),
+                offset: start,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_what_it_writes() {
+        let doc = JsonValue::Obj(vec![
+            ("name".into(), JsonValue::Str("cov scan \"fast\"\n".into())),
+            ("count".into(), JsonValue::Num(42.0)),
+            ("ratio".into(), JsonValue::Num(0.8527313)),
+            ("big".into(), JsonValue::Num(1.25e300)),
+            ("neg".into(), JsonValue::Num(-17.5)),
+            ("on".into(), JsonValue::Bool(true)),
+            ("nothing".into(), JsonValue::Null),
+            (
+                "items".into(),
+                JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Str("two".into())]),
+            ),
+        ]);
+        for pretty in [false, true] {
+            let text = doc.write(pretty);
+            let back = parse(&text).unwrap();
+            assert_eq!(back, doc, "pretty={pretty} text={text}");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact() {
+        for v in [std::f64::consts::PI, 1e-300, 123456789.123456789, -0.1] {
+            let text = JsonValue::Num(v).write(false);
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {text}");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(JsonValue::Num(42.0).write(false), "42");
+        assert_eq!(JsonValue::Num(-7.0).write(false), "-7");
+    }
+
+    #[test]
+    fn control_characters_escape_and_return() {
+        let s = "tab\there \u{1} quote\" backslash\\";
+        let text = JsonValue::Str(s.into()).write(false);
+        assert_eq!(parse(&text).unwrap().as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_garbage_with_offsets() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{}trailing").is_err());
+        let err = parse("   @").unwrap_err();
+        assert_eq!(err.offset, 3);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let doc = parse(r#"{"a": {"b": [1, 2.5]}}"#).unwrap();
+        let arr = doc.get("a").unwrap().get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert!(doc.get("missing").is_none());
+    }
+}

@@ -1,0 +1,482 @@
+//! The lock-sharded metrics registry: counters, gauges, fixed-bucket
+//! histograms, plus a cache-line-striped counter for hot paths that must
+//! count even while the registry is disabled (e.g. `SolverCache` hits).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of independent shards; writers on different metric names
+/// contend only within their shard.
+const N_SHARDS: usize = 8;
+
+/// FNV-1a, the usual zero-dependency string hash.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    (h as usize) % N_SHARDS
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>), // f64 bit pattern
+    Histogram(Arc<HistogramInner>),
+}
+
+/// Monotone counter handle. Cheap to clone; detached from the registry
+/// lock once obtained.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge handle storing an `f64`.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    /// Inclusive upper bucket edges; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` per-bucket counts (last is the `+Inf` bucket).
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations as an `f64` bit pattern, updated by CAS loop.
+    sum_bits: AtomicU64,
+}
+
+/// Fixed-bucket histogram handle.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        let h = &self.0;
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(h.bounds.len());
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = h.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match h
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram {
+        /// Inclusive upper bucket edges (an implicit `+Inf` follows).
+        bounds: Vec<f64>,
+        /// Per-bucket counts, one longer than `bounds` (`+Inf` last).
+        counts: Vec<u64>,
+        /// Sum of all observations.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// A point-in-time reading of the whole registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Look up one metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Counter value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// A lock-sharded registry of named metrics.
+///
+/// Handles returned by [`counter`](Registry::counter) /
+/// [`gauge`](Registry::gauge) / [`histogram`](Registry::histogram) are
+/// `Arc`s onto the underlying atomics: hold one and recording never
+/// touches the shard locks again. Name lookups take a read lock on one
+/// shard; first registration upgrades to a write lock.
+///
+/// A name keeps the type it was first registered with; asking for the
+/// same name as a different type returns a detached handle whose
+/// recordings are invisible to [`snapshot`](Registry::snapshot) (the
+/// registry never panics on the hot path).
+pub struct Registry {
+    shards: [RwLock<HashMap<String, Metric>>; N_SHARDS],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry. Prefer [`global`] outside of tests.
+    pub fn new() -> Self {
+        Registry {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Metric>> {
+        &self.shards[shard_of(name)]
+    }
+
+    /// Counter handle for `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let shard = self.shard(name);
+        if let Some(Metric::Counter(c)) = read(shard).get(name) {
+            return Counter(Arc::clone(c));
+        }
+        let mut map = write(shard);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Metric::Counter(c) => Counter(Arc::clone(c)),
+            _ => Counter(Arc::new(AtomicU64::new(0))), // type clash: detached
+        }
+    }
+
+    /// Gauge handle for `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let shard = self.shard(name);
+        if let Some(Metric::Gauge(g)) = read(shard).get(name) {
+            return Gauge(Arc::clone(g));
+        }
+        let mut map = write(shard);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        {
+            Metric::Gauge(g) => Gauge(Arc::clone(g)),
+            _ => Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+        }
+    }
+
+    /// Histogram handle for `name`, registering it with `bounds` on
+    /// first use (later calls reuse the original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let shard = self.shard(name);
+        if let Some(Metric::Histogram(h)) = read(shard).get(name) {
+            return Histogram(Arc::clone(h));
+        }
+        let mut map = write(shard);
+        let fresh = || {
+            Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            })
+        };
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(fresh()))
+        {
+            Metric::Histogram(h) => Histogram(Arc::clone(h)),
+            _ => Histogram(fresh()),
+        }
+    }
+
+    /// Read every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut metrics = Vec::new();
+        for shard in &self.shards {
+            for (name, metric) in read(shard).iter() {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Metric::Gauge(g) => {
+                        MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                    }
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        bounds: h.bounds.clone(),
+                        counts: h
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                        count: h.count.load(Ordering::Relaxed),
+                    },
+                };
+                metrics.push((name.clone(), value));
+            }
+        }
+        metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { metrics }
+    }
+
+    /// Drop every registered metric (detached handles keep their
+    /// atomics but stop being visible).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            write(shard).clear();
+        }
+    }
+}
+
+fn read<'a>(
+    lock: &'a RwLock<HashMap<String, Metric>>,
+) -> std::sync::RwLockReadGuard<'a, HashMap<String, Metric>> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<'a>(
+    lock: &'a RwLock<HashMap<String, Metric>>,
+) -> std::sync::RwLockWriteGuard<'a, HashMap<String, Metric>> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The process-global registry used by [`counter_add`](crate::counter_add)
+/// and friends.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+const N_STRIPES: usize = 16;
+
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// A counter split across cache-line-padded stripes so that concurrent
+/// writers (e.g. the four `ge_h_parallel` shards hitting the solver
+/// cache) never ping-pong one cache line. Each thread picks a stripe
+/// once (thread-local) and sticks to it; [`get`](StripedCounter::get)
+/// sums the stripes.
+///
+/// Unlike registry metrics this counts unconditionally — it is for
+/// always-on statistics like `SolverCache` hits where even the enabled
+/// check would be wasted work.
+pub struct StripedCounter {
+    stripes: [PaddedU64; N_STRIPES],
+}
+
+impl Default for StripedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for StripedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("StripedCounter").field(&self.get()).finish()
+    }
+}
+
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: Cell<usize> = Cell::new(usize::MAX);
+    }
+    STRIPE.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % N_STRIPES;
+            s.set(idx);
+        }
+        idx
+    })
+}
+
+impl StripedCounter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: PaddedU64 = PaddedU64(AtomicU64::new(0));
+        StripedCounter {
+            stripes: [ZERO; N_STRIPES],
+        }
+    }
+
+    /// Add `delta` on this thread's stripe.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.stripes[stripe_index()].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Sum across stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_record_and_snapshot() {
+        let reg = Registry::new();
+        reg.counter("rows_total").add(41);
+        reg.counter("rows_total").inc();
+        reg.gauge("rows_per_s").set(2.5);
+        let h = reg.histogram("lat_ns", &[10.0, 100.0]);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(500.0);
+        h.observe(100.0); // boundary: inclusive upper edge
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rows_total"), Some(42));
+        assert_eq!(snap.gauge("rows_per_s"), Some(2.5));
+        match snap.get("lat_ns").unwrap() {
+            MetricValue::Histogram {
+                bounds,
+                counts,
+                sum,
+                count,
+            } => {
+                assert_eq!(bounds, &[10.0, 100.0]);
+                assert_eq!(counts, &[1, 2, 1]);
+                assert_eq!(*count, 4);
+                assert!((sum - 655.0).abs() < 1e-12);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Sorted by name.
+        let names: Vec<_> = snap.metrics.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn type_clash_returns_detached_handle_without_panicking() {
+        let reg = Registry::new();
+        reg.counter("x").add(3);
+        reg.gauge("x").set(9.0); // wrong type: detached, invisible
+        assert_eq!(reg.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.reset();
+        assert!(reg.snapshot().metrics.is_empty());
+    }
+
+    #[test]
+    fn concurrent_counting_loses_nothing() {
+        let reg = Registry::new();
+        let striped = StripedCounter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let c = reg.counter("shared_total");
+                    for _ in 0..10_000 {
+                        c.inc();
+                        striped.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("shared_total"), Some(40_000));
+        assert_eq!(striped.get(), 40_000);
+    }
+
+    #[test]
+    fn histogram_sum_survives_concurrent_cas() {
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let h = reg.histogram("conc_ns", &[1.0]);
+                    for _ in 0..1_000 {
+                        h.observe(2.0);
+                    }
+                });
+            }
+        });
+        match reg.snapshot().get("conc_ns").unwrap() {
+            MetricValue::Histogram { sum, count, .. } => {
+                assert_eq!(*count, 4_000);
+                assert!((sum - 8_000.0).abs() < 1e-9);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Scoped span timers collected into a flat, globally ordered trace.
+//!
+//! A [`Span`] measures the wall time between [`Span::enter`] and drop.
+//! Nesting depth is tracked per thread; a global sequence number taken
+//! at *enter* time keeps the trace in pre-order even though drops push
+//! records in post-order. While recording is disabled a span is a
+//! no-op: no clock read, no allocation.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span: name, nesting depth at entry, and elapsed
+/// nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name as passed to [`Span::enter`].
+    pub name: String,
+    /// Nesting depth on the entering thread (root spans are 0).
+    pub depth: usize,
+    /// Elapsed wall time in nanoseconds.
+    pub ns: u64,
+}
+
+static TRACE: Mutex<Vec<(u64, SpanRecord)>> = Mutex::new(Vec::new());
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+struct Active {
+    name: String,
+    depth: usize,
+    seq: u64,
+    start: Instant,
+}
+
+/// A scoped timer; drop it to record. See the module docs.
+pub struct Span {
+    inner: Option<Active>,
+}
+
+impl Span {
+    /// Start a span named `name`, incrementing this thread's depth.
+    /// Returns an inert span while recording is disabled.
+    pub fn enter(name: &str) -> Span {
+        if !crate::enabled() {
+            return Span { inner: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span {
+            inner: Some(Active {
+                name: name.to_string(),
+                depth,
+                seq: SEQ.fetch_add(1, Ordering::Relaxed),
+                start: Instant::now(),
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.inner.take() {
+            let ns = active.start.elapsed().as_nanos() as u64;
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            TRACE
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((
+                    active.seq,
+                    SpanRecord {
+                        name: active.name,
+                        depth: active.depth,
+                        ns,
+                    },
+                ));
+        }
+    }
+}
+
+/// Drain the global trace, returned in entry (pre-) order.
+pub fn take_trace() -> Vec<SpanRecord> {
+    let mut buf = TRACE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut records: Vec<(u64, SpanRecord)> = buf.drain(..).collect();
+    records.sort_by_key(|(seq, _)| *seq);
+    records.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Human-readable duration: `482 ns`, `3.21 us`, `14.06 ms`, `2.41 s`.
+pub fn format_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns_f / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns_f / 1e6)
+    } else {
+        format!("{:.2} s", ns_f / 1e9)
+    }
+}
+
+/// Render a trace as an indented tree with dotted leaders:
+///
+/// ```text
+/// profile ......................... 14.06 ms
+///   mine .......................... 11.21 ms
+///     covariance_scan ............. 7.90 ms
+/// ```
+pub fn render_trace(records: &[SpanRecord]) -> String {
+    if records.is_empty() {
+        return String::from("(no spans recorded)\n");
+    }
+    let mut out = String::new();
+    for r in records {
+        let label = format!("{}{} ", "  ".repeat(r.depth), r.name);
+        let dots = 40usize.saturating_sub(label.len()).max(3);
+        out.push_str(&label);
+        out.push_str(&".".repeat(dots));
+        out.push(' ');
+        out.push_str(&format_ns(r.ns));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_trace_is_pre_ordered() {
+        crate::set_enabled(true);
+        take_trace(); // start from a clean buffer
+        {
+            let _root = Span::enter("root");
+            {
+                let _child = Span::enter("child");
+                let _grandchild = Span::enter("grandchild");
+            }
+            let _sibling = Span::enter("sibling");
+        }
+        let trace = take_trace();
+        crate::set_enabled(false);
+
+        // Other tests in this process may interleave their own spans;
+        // extract ours by name to stay robust.
+        let ours: Vec<&SpanRecord> = trace
+            .iter()
+            .filter(|r| ["root", "child", "grandchild", "sibling"].contains(&r.name.as_str()))
+            .collect();
+        let names: Vec<&str> = ours.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["root", "child", "grandchild", "sibling"]);
+        let depths: Vec<usize> = ours.iter().map(|r| r.depth).collect();
+        assert_eq!(depths, vec![0, 1, 2, 1]);
+        // The root span encloses the children, so it cannot be shorter.
+        assert!(ours[0].ns >= ours[1].ns);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        crate::set_enabled(false);
+        take_trace();
+        {
+            let _s = Span::enter("invisible");
+        }
+        assert!(take_trace().iter().all(|r| r.name != "invisible"));
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let records = vec![
+            SpanRecord {
+                name: "a".into(),
+                depth: 0,
+                ns: 1_500,
+            },
+            SpanRecord {
+                name: "b".into(),
+                depth: 1,
+                ns: 900,
+            },
+        ];
+        let text = render_trace(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("a ."));
+        assert!(lines[0].ends_with("1.50 us"));
+        assert!(lines[1].starts_with("  b ."));
+        assert!(lines[1].ends_with("900 ns"));
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert_eq!(format_ns(17), "17 ns");
+        assert_eq!(format_ns(2_500), "2.50 us");
+        assert_eq!(format_ns(14_060_000), "14.06 ms");
+        assert_eq!(format_ns(2_410_000_000), "2.41 s");
+    }
+}

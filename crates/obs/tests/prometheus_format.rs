@@ -1,0 +1,172 @@
+//! Satellite: parse the Prometheus text exposition back line-by-line
+//! and check escaping, typing, histogram cumulativity, and value
+//! fidelity against the snapshot it came from.
+
+use obs::export::{sanitize_name, to_prometheus};
+use obs::registry::{MetricValue, Registry};
+
+/// A minimal line-by-line reader of the exposition format: collects
+/// `# TYPE`, `# HELP`, and sample lines per metric family.
+#[derive(Default, Debug)]
+struct Family {
+    help: Option<String>,
+    kind: Option<String>,
+    /// `(full sample name, labels, value)` in emission order.
+    samples: Vec<(String, Option<String>, f64)>,
+}
+
+fn parse_exposition(text: &str) -> std::collections::BTreeMap<String, Family> {
+    let mut families: std::collections::BTreeMap<String, Family> = Default::default();
+    for line in text.lines() {
+        assert!(!line.is_empty(), "exporter must not emit blank lines");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP has name and text");
+            families.entry(name.to_string()).or_default().help = Some(help.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE has name and kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown TYPE {kind}"
+            );
+            families.entry(name.to_string()).or_default().kind = Some(kind.to_string());
+        } else {
+            let (name_part, value_part) =
+                line.rsplit_once(' ').expect("sample line has name and value");
+            let value: f64 = match value_part {
+                "+Inf" => f64::INFINITY,
+                "-Inf" => f64::NEG_INFINITY,
+                other => other.parse().expect("sample value parses as f64"),
+            };
+            let (sample_name, labels) = match name_part.split_once('{') {
+                Some((n, l)) => (
+                    n.to_string(),
+                    Some(l.strip_suffix('}').expect("labels close").to_string()),
+                ),
+                None => (name_part.to_string(), None),
+            };
+            // A sample belongs to the family whose name is its longest
+            // prefix (histograms append _bucket/_sum/_count).
+            let family = sample_name
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count")
+                .to_string();
+            families
+                .entry(family)
+                .or_default()
+                .samples
+                .push((sample_name, labels, value));
+        }
+    }
+    families
+}
+
+#[test]
+fn exposition_round_trips_line_by_line() {
+    let reg = Registry::new();
+    reg.counter("rows_scanned_total").add(12_345);
+    reg.gauge("eigen_residual").set(7.25e-15);
+    let h = reg.histogram("ge_h_shard_ns", &[1e3, 1e6]);
+    h.observe(400.0);
+    h.observe(4e5);
+    h.observe(4e7);
+    let snap = reg.snapshot();
+    let text = to_prometheus(&snap);
+    let families = parse_exposition(&text);
+
+    // Every metric in the snapshot appears with the right TYPE, a HELP
+    // line carrying the original name, and matching values.
+    for (name, value) in &snap.metrics {
+        let pname = sanitize_name(name);
+        let family = families.get(&pname).unwrap_or_else(|| panic!("{pname} missing"));
+        assert_eq!(family.help.as_deref(), Some(name.as_str()));
+        match value {
+            MetricValue::Counter(v) => {
+                assert_eq!(family.kind.as_deref(), Some("counter"));
+                assert_eq!(family.samples.len(), 1);
+                assert_eq!(family.samples[0].0, pname);
+                assert_eq!(family.samples[0].2, *v as f64);
+            }
+            MetricValue::Gauge(v) => {
+                assert_eq!(family.kind.as_deref(), Some("gauge"));
+                assert_eq!(family.samples[0].2, *v);
+            }
+            MetricValue::Histogram {
+                bounds,
+                counts,
+                sum,
+                count,
+            } => {
+                assert_eq!(family.kind.as_deref(), Some("histogram"));
+                let buckets: Vec<_> = family
+                    .samples
+                    .iter()
+                    .filter(|(n, _, _)| n == &format!("{pname}_bucket"))
+                    .collect();
+                assert_eq!(buckets.len(), bounds.len() + 1);
+                // le labels are the bounds plus +Inf, in order; counts
+                // are cumulative and end at the total.
+                let mut cumulative = 0u64;
+                for (i, (_, labels, v)) in buckets.iter().enumerate() {
+                    let le = labels.as_deref().expect("bucket has le label");
+                    let expected_le = bounds
+                        .get(i)
+                        .map_or("le=\"+Inf\"".to_string(), |b| format!("le=\"{b}\""));
+                    assert_eq!(le, expected_le);
+                    cumulative += counts[i];
+                    assert_eq!(*v, cumulative as f64, "bucket {i} not cumulative");
+                }
+                assert_eq!(cumulative, *count);
+                let sum_sample = family
+                    .samples
+                    .iter()
+                    .find(|(n, _, _)| n == &format!("{pname}_sum"))
+                    .expect("_sum present");
+                assert!((sum_sample.2 - sum).abs() <= 1e-9 * sum.abs().max(1.0));
+                let count_sample = family
+                    .samples
+                    .iter()
+                    .find(|(n, _, _)| n == &format!("{pname}_count"))
+                    .expect("_count present");
+                assert_eq!(count_sample.2, *count as f64);
+            }
+        }
+    }
+}
+
+#[test]
+fn weird_names_are_sanitized_but_preserved_in_help() {
+    let reg = Registry::new();
+    reg.gauge("ge_h.shard 3/ns").set(1.0);
+    reg.counter("9starts-with-digit").add(2);
+    let text = to_prometheus(&reg.snapshot());
+    let families = parse_exposition(&text);
+
+    let g = families.get("ge_h_shard_3_ns").expect("sanitized gauge");
+    assert_eq!(g.help.as_deref(), Some("ge_h.shard 3/ns"));
+    let c = families.get("_9starts_with_digit").expect("sanitized counter");
+    assert_eq!(c.help.as_deref(), Some("9starts-with-digit"));
+    // Sanitized names must satisfy the Prometheus alphabet.
+    for name in families.keys() {
+        let mut chars = name.chars();
+        let first = chars.next().unwrap();
+        assert!(first.is_ascii_alphabetic() || first == '_' || first == ':');
+        assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+    }
+}
+
+#[test]
+fn help_escaping_survives_newlines_and_backslashes() {
+    let reg = Registry::new();
+    reg.gauge("odd\nname\\here").set(3.0);
+    let text = to_prometheus(&reg.snapshot());
+    // The document must still be one logical line per record.
+    for line in text.lines() {
+        if line.starts_with("# HELP") {
+            assert!(line.contains("odd\\nname\\\\here"), "got: {line}");
+        }
+    }
+    // And still parse as a well-formed family.
+    let families = parse_exposition(&text);
+    assert!(families.contains_key("odd_name_here"));
+}

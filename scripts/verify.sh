@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + tests, then the perf-path gates
-# (benches must compile, hot crates must be clippy-clean).
+# (benches must compile, hot crates must be clippy-clean), then an
+# end-to-end instrumented `profile` run on a tiny synthetic matrix.
 #
 # Run from anywhere: ./scripts/verify.sh
 set -euo pipefail
@@ -10,10 +11,30 @@ echo "== tier 1: build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== obs crate: tests =="
+cargo test -q -p obs
+
 echo "== benches compile (no run) =="
 cargo bench -p bench --no-run
 
-echo "== clippy -D warnings (linalg + core) =="
-cargo clippy -p linalg -p ratio-rules -- -D warnings
+echo "== clippy -D warnings (linalg + core + obs + cli) =="
+cargo clippy -p linalg -p ratio-rules -p obs -p ratio-rules-cli -- -D warnings
+
+echo "== profile end-to-end (synthetic, instrumented) =="
+metrics_file="$(mktemp /tmp/rr_profile_metrics.XXXXXX.json)"
+trap 'rm -f "$metrics_file"' EXIT
+out="$(cargo run --release -q --bin ratio-rules -- profile --rows 50 --k 1 --threads 2 --metrics-out "$metrics_file")"
+for needle in "spans:" "covariance_scan" "eigensolve" "metrics:" \
+              "eigen_iterations" "solver_cache_hits" "ge_h_shard_max_ns"; do
+    if ! grep -qF "$needle" <<<"$out"; then
+        echo "profile output missing '$needle'" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+done
+grep -qF "covariance_rows_scanned_total" "$metrics_file" || {
+    echo "metrics file missing covariance counter" >&2
+    exit 1
+}
 
 echo "verify: OK"
