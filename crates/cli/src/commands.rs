@@ -4,7 +4,10 @@
 
 use crate::args::{parse_cutoff, parse_holed_row, Options};
 use crate::{CliError, Result};
+use dataset::fault::{FaultPlan, FaultyRowSource};
 use dataset::holes::HoledRow;
+use dataset::retry::{BackoffPolicy, RetryingSource};
+use dataset::source::RowSource;
 use dataset::split::train_test_split;
 use ratio_rules::guessing::GuessingErrorEvaluator;
 use ratio_rules::interpret;
@@ -12,6 +15,10 @@ use ratio_rules::miner::RatioRuleMiner;
 use ratio_rules::outlier::OutlierDetector;
 use ratio_rules::predictor::{ColAvgs, RuleSetPredictor};
 use ratio_rules::reconstruct::fill_holes;
+use ratio_rules::resilience::{
+    EigenStage, JacobiStage, LanczosStage, QlStage, ResilientMiner, ScanCheckpoint, ScanPolicy,
+    ScanReport, Scanner, ServedModel,
+};
 use ratio_rules::rules::RuleSet;
 use ratio_rules::visualize::project_2d;
 
@@ -20,7 +27,7 @@ use ratio_rules::visualize::project_2d;
 /// unknown. Keeping the sets explicit means a value flag added later
 /// (like `--metrics-out`) can never be mis-parsed as a switch.
 const COMMAND_SWITCHES: &[(&str, &[&str])] = &[
-    ("mine", &["no-header"]),
+    ("mine", &["no-header", "degrade"]),
     ("interpret", &[]),
     ("fill", &[]),
     ("outliers", &["no-header"]),
@@ -65,23 +72,233 @@ fn load_model(opts: &Options) -> Result<RuleSet> {
     Ok(serde_json::from_str(&json)?)
 }
 
+/// Flags that switch `mine` onto the streaming, policy-aware scan path.
+const RESILIENCE_FLAGS: &[&str] = &[
+    "max-bad-rows",
+    "max-bad-fraction",
+    "retries",
+    "fault-rate",
+    "fault-seed",
+    "checkpoint",
+    "resume",
+    "ladder",
+];
+
+fn resilience_requested(opts: &Options) -> bool {
+    opts.switch("degrade") || RESILIENCE_FLAGS.iter().any(|f| opts.get(f).is_some())
+}
+
+/// `--max-bad-rows` / `--max-bad-fraction` → quarantine policy; neither →
+/// strict (today's behaviour).
+fn parse_scan_policy(opts: &Options) -> Result<ScanPolicy> {
+    let max_bad_rows: Option<usize> = opts
+        .get("max-bad-rows")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::new(format!("--max-bad-rows: cannot parse {s:?}")))
+        })
+        .transpose()?;
+    let max_bad_fraction: Option<f64> = opts
+        .get("max-bad-fraction")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::new(format!("--max-bad-fraction: cannot parse {s:?}")))
+        })
+        .transpose()?;
+    Ok(if max_bad_rows.is_some() || max_bad_fraction.is_some() {
+        ScanPolicy::Quarantine {
+            max_bad_rows,
+            max_bad_fraction,
+        }
+    } else {
+        ScanPolicy::Strict
+    })
+}
+
+/// Parses `--ladder jacobi,ql,lanczos` (or `none` for an empty ladder —
+/// chaos testing's forced total eigensolve failure).
+fn parse_ladder(spec: &str) -> Result<Vec<Box<dyn EigenStage>>> {
+    if spec == "none" {
+        return Ok(Vec::new());
+    }
+    spec.split(',')
+        .map(str::trim)
+        .map(|name| -> Result<Box<dyn EigenStage>> {
+            match name {
+                "jacobi" => Ok(Box::new(JacobiStage)),
+                "ql" => Ok(Box::new(QlStage)),
+                "lanczos" => Ok(Box::new(LanczosStage::default())),
+                other => Err(CliError::new(format!(
+                    "--ladder: unknown stage {other:?} (expected jacobi, ql, lanczos, or none)"
+                ))),
+            }
+        })
+        .collect()
+}
+
+/// Fault-injection plan from `--fault-rate` / `--fault-seed` (`None` when
+/// no faults are requested).
+fn parse_fault_plan(opts: &Options) -> Result<Option<FaultPlan>> {
+    let rate: f64 = opts.get_parsed("fault-rate", 0.0)?;
+    if rate <= 0.0 {
+        return Ok(None);
+    }
+    let seed: u64 = opts.get_parsed("fault-seed", 42)?;
+    Ok(Some(FaultPlan::uniform(seed, rate)))
+}
+
+fn render_scan_report(report: &ScanReport) -> String {
+    let mut out = format!(
+        "scan: {} rows absorbed, {} quarantined ({} corrupt, {} arity, {} source), \
+         {} transient retries\n",
+        report.rows_absorbed,
+        report.rows_quarantined,
+        report.by_reason.0,
+        report.by_reason.1,
+        report.by_reason.2,
+        report.transient_retries,
+    );
+    if report.resumed_from > 0 {
+        out.push_str(&format!(
+            "scan: resumed from checkpoint at row {}\n",
+            report.resumed_from
+        ));
+    }
+    for q in report.details.iter().take(5) {
+        out.push_str(&format!(
+            "  quarantined row {}: {} ({})\n",
+            q.position,
+            q.reason.name(),
+            q.detail
+        ));
+    }
+    out
+}
+
+/// The streaming scan + finish driven by the resilience flags. Generic so
+/// the fault/retry wrappers compose without boxing. `labels` come from
+/// the CSV header, captured before the wrappers hid the concrete source.
+fn mine_streaming<S: RowSource>(
+    source: &mut S,
+    m: usize,
+    labels: Option<Vec<String>>,
+    opts: &Options,
+) -> Result<String> {
+    let policy = parse_scan_policy(opts)?;
+    let mut scanner = match opts.get("resume") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            Scanner::resume(&ScanCheckpoint::from_json(&text)?, policy)?
+        }
+        None => Scanner::new(m, policy),
+    };
+    let scan_outcome = scanner.scan(source).map(|_| ());
+    // Write the checkpoint even when the scan failed: a budget-exhausted
+    // run still leaves a valid cursor to resume from after the data is
+    // repaired.
+    if let Some(cp_path) = opts.get("checkpoint") {
+        std::fs::write(cp_path, scanner.checkpoint().to_json())?;
+    }
+    scan_outcome?;
+    let (acc, report) = scanner.into_parts();
+    if report.rows_quarantined > 0 {
+        crate::mark_degraded();
+    }
+
+    let cutoff = parse_cutoff(opts)?;
+    let out_path = opts.require("output")?;
+    let mut out = String::new();
+    if opts.switch("degrade") {
+        let mut miner = ResilientMiner::new(cutoff);
+        if let Some(labels) = labels {
+            miner = miner.with_labels(labels);
+        }
+        if let Some(spec) = opts.get("ladder") {
+            miner = miner.with_ladder(parse_ladder(spec)?);
+        }
+        let (model, degradation) = miner.finish(&acc)?;
+        if degradation.degraded() {
+            crate::mark_degraded();
+        }
+        match model {
+            ServedModel::Rules(rules) => {
+                std::fs::write(out_path, serde_json::to_string_pretty(&rules)?)?;
+                out.push_str(&format!(
+                    "mined {} rules over {} attributes from {} rows ({:.1}% energy) -> {}\n",
+                    rules.k(),
+                    rules.n_attributes(),
+                    rules.n_train(),
+                    rules.retained_energy() * 100.0,
+                    out_path,
+                ));
+            }
+            ServedModel::ColAvgs(ca) => {
+                let doc = serde_json::json!({ "col_avgs": ca.means().to_vec() });
+                std::fs::write(out_path, serde_json::to_string_pretty(&doc)?)?;
+                out.push_str(&format!(
+                    "eigensolve ladder exhausted; served the col-avgs baseline \
+                     ({} attributes) -> {}\n",
+                    ca.means().len(),
+                    out_path,
+                ));
+            }
+        }
+        out.push_str(&format!("degradation: {}\n", degradation.summary()));
+    } else {
+        let mut miner = RatioRuleMiner::new(cutoff);
+        if let Some(labels) = labels {
+            miner = miner.with_labels(labels);
+        }
+        let rules = miner.finish(&acc)?;
+        std::fs::write(out_path, serde_json::to_string_pretty(&rules)?)?;
+        out.push_str(&format!(
+            "mined {} rules over {} attributes from {} rows ({:.1}% energy) -> {}\n",
+            rules.k(),
+            rules.n_attributes(),
+            rules.n_train(),
+            rules.retained_energy() * 100.0,
+            out_path,
+        ));
+    }
+    out.push_str(&render_scan_report(&report));
+    Ok(out)
+}
+
 /// `ratio-rules mine --input data.csv --output model.json [--k N | --energy F] [--no-header]`
 pub fn mine(opts: &Options) -> Result<String> {
     if opts.switch("help") {
-        return Ok(
-            "mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [--no-header]\n"
-                .into(),
-        );
+        return Ok("\
+mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [--no-header]
+     fault tolerance (streams the CSV instead of loading it):
+     [--max-bad-rows N] [--max-bad-fraction F] [--retries N]
+     [--checkpoint FILE] [--resume FILE] [--degrade] [--ladder jacobi,ql,lanczos|none]
+     [--fault-rate F] [--fault-seed S]\n"
+            .into());
     }
-    allow_with_obs(opts, &[
-        "input",
-        "output",
-        "k",
-        "energy",
-        "lanczos",
-        "no-header",
-        "help",
-    ])?;
+    allow_with_obs(
+        opts,
+        &[
+            "input",
+            "output",
+            "k",
+            "energy",
+            "lanczos",
+            "no-header",
+            "degrade",
+            "max-bad-rows",
+            "max-bad-fraction",
+            "retries",
+            "fault-rate",
+            "fault-seed",
+            "checkpoint",
+            "resume",
+            "ladder",
+            "help",
+        ],
+    )?;
+    if resilience_requested(opts) {
+        return mine_resilient(opts);
+    }
     let data = load_csv(opts)?;
     let cutoff = parse_cutoff(opts)?;
     let mut miner = RatioRuleMiner::new(cutoff);
@@ -103,6 +320,35 @@ pub fn mine(opts: &Options) -> Result<String> {
         out_path,
         rules
     ))
+}
+
+/// The fault-tolerant mine: streams the CSV through the optional fault /
+/// retry wrappers into a policy-aware [`Scanner`].
+fn mine_resilient(opts: &Options) -> Result<String> {
+    let path = opts.require("input")?;
+    let csv = dataset::source::CsvFileSource::open(path, !opts.switch("no-header"))?;
+    let m = csv.n_cols();
+    let labels = csv.col_labels().map(<[String]>::to_vec);
+
+    let plan = parse_fault_plan(opts)?;
+    let retries: usize = opts.get_parsed("retries", 0)?;
+    let backoff = BackoffPolicy {
+        max_attempts: retries + 1,
+        ..BackoffPolicy::default()
+    };
+    match (plan, retries > 0) {
+        (None, false) => mine_streaming(&mut { csv }, m, labels, opts),
+        (None, true) => mine_streaming(&mut RetryingSource::new(csv, backoff), m, labels, opts),
+        (Some(plan), false) => {
+            mine_streaming(&mut FaultyRowSource::new(csv, plan), m, labels, opts)
+        }
+        (Some(plan), true) => mine_streaming(
+            &mut RetryingSource::new(FaultyRowSource::new(csv, plan), backoff),
+            m,
+            labels,
+            opts,
+        ),
+    }
 }
 
 /// `ratio-rules interpret --model model.json [--threshold 0.05]`
@@ -419,10 +665,11 @@ fn synthetic_data(rows: usize) -> Result<dataset::DataMatrix> {
 /// `--input` it profiles a built-in synthetic matrix.
 pub fn profile(opts: &Options) -> Result<String> {
     if opts.switch("help") {
-        return Ok(
-            "profile [--input <csv>] [--rows 400] [--holes H] [--threads T] [--k N | --energy F] [--no-header]\n"
-                .into(),
-        );
+        return Ok("\
+profile [--input <csv>] [--rows 400] [--holes H] [--threads T] [--k N | --energy F] [--no-header]
+        [--fault-rate F] [--fault-seed S]   inject faults and scan under quarantine,
+                                            so the resilience metrics show in the dump\n"
+            .into());
     }
     allow_with_obs(
         opts,
@@ -434,6 +681,8 @@ pub fn profile(opts: &Options) -> Result<String> {
             "k",
             "energy",
             "no-header",
+            "fault-rate",
+            "fault-seed",
             "help",
         ],
     )?;
@@ -443,6 +692,7 @@ pub fn profile(opts: &Options) -> Result<String> {
         return Err(CliError::new("--threads must be at least 1"));
     }
     let cutoff = parse_cutoff(opts)?;
+    let plan = parse_fault_plan(opts)?;
 
     let _root = obs::Span::enter("profile");
     let data = {
@@ -453,9 +703,30 @@ pub fn profile(opts: &Options) -> Result<String> {
             synthetic_data(opts.get_parsed("rows", 400)?)?
         }
     };
+    let mut fault_line = String::new();
     let rules = {
         let _span = obs::Span::enter("mine");
-        RatioRuleMiner::new(cutoff).fit_data(&data)?
+        let miner = RatioRuleMiner::new(cutoff);
+        match plan {
+            None => miner.fit_data(&data)?,
+            Some(plan) => {
+                // Chaos profile: stream the matrix through the fault
+                // injector under an unlimited quarantine, so the scan's
+                // resilience counters land in the metric dump below.
+                let mut src = FaultyRowSource::new(
+                    dataset::source::MatrixSource::new(data.matrix()),
+                    plan,
+                );
+                let (rules, report) = miner
+                    .with_scan_policy(ScanPolicy::quarantine_unlimited())
+                    .fit_with_report(&mut src)?;
+                fault_line = format!(
+                    "faults: {} rows quarantined, {} transient retries\n",
+                    report.rows_quarantined, report.transient_retries,
+                );
+                rules
+            }
+        }
     };
     let rr = RuleSetPredictor::new(rules.clone());
     let ev = GuessingErrorEvaluator::default();
@@ -467,7 +738,7 @@ pub fn profile(opts: &Options) -> Result<String> {
     let stats = rr.cache_stats();
     Ok(format!(
         "profiled {} rows x {} attributes: {} rules ({:.1}% energy), GE_{h} = {ge:.4}\n\
-         solver cache: {} hits / {} misses over {} patterns\n",
+         solver cache: {} hits / {} misses over {} patterns\n{fault_line}",
         data.n_rows(),
         data.n_cols(),
         rules.k(),
@@ -550,6 +821,27 @@ pub fn run(args: &[String]) -> Result<String> {
         out.push_str(&format!("\nmetrics written to {path}\n"));
     }
     Ok(out)
+}
+
+/// [`run`] plus exit-code semantics: `0` success, `1` error, `2` when the
+/// command succeeded but served a degraded result (see
+/// [`crate::EXIT_DEGRADED`]), `3` when a quarantine scan blew its error
+/// budget. The binary's `main` is a thin wrapper over this.
+pub fn run_with_status(args: &[String]) -> (Result<String>, i32) {
+    // Clear any stale marker from a previous in-process invocation.
+    let _ = crate::take_degraded();
+    let result = run(args);
+    let code = match &result {
+        Ok(_) => {
+            if crate::take_degraded() {
+                crate::EXIT_DEGRADED
+            } else {
+                crate::EXIT_OK
+            }
+        }
+        Err(e) => e.code,
+    };
+    (result, code)
 }
 
 #[cfg(test)]
@@ -978,5 +1270,177 @@ mod tests {
         assert!(prom.contains("covariance_rows_scanned_total"), "{prom}");
         assert!(prom.contains("solver_cache_hits"), "{prom}");
         assert!(!obs::enabled());
+    }
+
+    /// The degraded-exit-code marker is process-global state, so every
+    /// test that drives [`run_with_status`] serializes on this lock.
+    static STATUS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn exit_codes_cover_ok_degraded_and_budget() {
+        let _guard = STATUS_LOCK.lock().unwrap();
+        let dir = workdir();
+        let csv = dir.join("status.csv");
+        write_linear_csv(&csv);
+        let model = dir.join("status_model.json");
+        let m = |extra: &[&str]| {
+            let mut base = vec![
+                "mine",
+                "--input",
+                csv.to_str().unwrap(),
+                "--output",
+                model.to_str().unwrap(),
+                "--k",
+                "1",
+            ];
+            base.extend_from_slice(extra);
+            run_with_status(&args(&base))
+        };
+
+        // Clean streaming mine: success, exit 0.
+        let (res, code) = m(&["--max-bad-rows", "5"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(code, crate::EXIT_OK);
+
+        // Faults within budget: success, but exit 2 flags the quarantine.
+        let (res, code) = m(&["--fault-rate", "0.1", "--max-bad-rows", "60", "--retries", "3"]);
+        let out = res.unwrap();
+        assert!(out.contains("quarantined"), "{out}");
+        assert_eq!(code, crate::EXIT_DEGRADED);
+
+        // Budget blown: error with the dedicated exit code.
+        let (res, code) = m(&["--fault-rate", "0.5", "--max-bad-rows", "1"]);
+        assert!(res.is_err());
+        assert_eq!(code, crate::EXIT_BUDGET_EXHAUSTED);
+
+        // Strict mode still fails fast on the first injected fault.
+        let (res, code) = m(&["--fault-rate", "0.5", "--retries", "3"]);
+        assert!(res.is_err(), "strict scan must not quarantine");
+        assert_eq!(code, crate::EXIT_ERROR);
+
+        // Ordinary errors (bad flags) keep exit 1.
+        let (res, code) = run_with_status(&args(&["mine", "--bogus", "x"]));
+        assert!(res.is_err());
+        assert_eq!(code, crate::EXIT_ERROR);
+
+        // The marker does not leak into the next invocation.
+        let (res, code) = m(&["--max-bad-rows", "5"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(code, crate::EXIT_OK);
+    }
+
+    #[test]
+    fn degrade_ladder_none_serves_col_avgs_baseline() {
+        let _guard = STATUS_LOCK.lock().unwrap();
+        let dir = workdir();
+        let csv = dir.join("degrade.csv");
+        write_linear_csv(&csv);
+        let model = dir.join("degrade_model.json");
+        let (res, code) = run_with_status(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--degrade",
+            "--ladder",
+            "none",
+        ]));
+        let out = res.unwrap();
+        assert!(out.contains("col-avgs baseline"), "{out}");
+        assert_eq!(code, crate::EXIT_DEGRADED);
+
+        // A healthy ladder on the same data serves full rules at exit 0.
+        let (res, code) = run_with_status(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--degrade",
+            "--ladder",
+            "jacobi,ql,lanczos",
+            "--k",
+            "1",
+        ]));
+        let out = res.unwrap();
+        assert!(out.contains("mined 1 rules"), "{out}");
+        assert!(out.contains("full rules"), "{out}");
+        assert_eq!(code, crate::EXIT_OK);
+
+        // Unknown ladder stages are a flag error.
+        let (res, code) = run_with_status(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--degrade",
+            "--ladder",
+            "cholesky",
+        ]));
+        assert!(res.unwrap_err().to_string().contains("unknown stage"));
+        assert_eq!(code, crate::EXIT_ERROR);
+    }
+
+    #[test]
+    fn checkpoint_and_resume_roundtrip_through_files() {
+        let dir = workdir();
+        let csv = dir.join("cp.csv");
+        write_linear_csv(&csv);
+        let model_a = dir.join("cp_model_a.json");
+        let model_b = dir.join("cp_model_b.json");
+        let cp = dir.join("cp_scan.json");
+
+        let out = run(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model_a.to_str().unwrap(),
+            "--k",
+            "1",
+            "--checkpoint",
+            cp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("mined 1 rules"), "{out}");
+        assert!(cp.exists());
+
+        // Resuming from the end-of-scan checkpoint re-mines the same model
+        // without re-absorbing any rows.
+        let out = run(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model_b.to_str().unwrap(),
+            "--k",
+            "1",
+            "--resume",
+            cp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("resumed from checkpoint"), "{out}");
+        assert!(out.contains("mined 1 rules"), "{out}");
+    }
+
+    #[test]
+    fn profile_with_faults_exposes_resilience_metrics() {
+        let _guard = OBS_LOCK.lock().unwrap();
+        let out = run(&args(&[
+            "profile",
+            "--rows",
+            "120",
+            "--fault-rate",
+            "0.05",
+            "--k",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("scan_rows_quarantined_total"), "{out}");
+        assert!(out.contains("scan_transient_retries_total"), "{out}");
+        assert!(out.contains("faults_injected_corrupt_total"), "{out}");
     }
 }

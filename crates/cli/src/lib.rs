@@ -15,12 +15,45 @@ pub mod args;
 pub mod commands;
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Exit code for a fully successful run.
+pub const EXIT_OK: i32 = 0;
+/// Exit code for ordinary errors (bad flags, missing files, ...).
+pub const EXIT_ERROR: i32 = 1;
+/// Exit code when a command succeeded but served a *degraded* result:
+/// rows were quarantined during the scan, fewer rules than the cutoff
+/// wanted were mined, or the col-avgs floor served. Scripts treat this
+/// as "usable, but look at the report".
+pub const EXIT_DEGRADED: i32 = 2;
+/// Exit code when a quarantine scan blew its error budget
+/// (`--max-bad-rows` / `--max-bad-fraction`): the input is too corrupt
+/// to trust any result.
+pub const EXIT_BUDGET_EXHAUSTED: i32 = 3;
+
+/// Process-wide "the served result is degraded" marker, set by commands
+/// and consumed by [`commands::run_with_status`]. An atomic (not a
+/// thread-local) because the scan may mark it from worker threads.
+static DEGRADED: AtomicBool = AtomicBool::new(false);
+
+/// Marks the current invocation as having served a degraded result.
+pub fn mark_degraded() {
+    DEGRADED.store(true, Ordering::SeqCst);
+}
+
+/// Reads and clears the degraded marker.
+pub fn take_degraded() -> bool {
+    DEGRADED.swap(false, Ordering::SeqCst)
+}
 
 /// CLI-level error: message plus exit-code semantics.
 #[derive(Debug)]
 pub struct CliError {
     /// Human-readable message printed to stderr.
     pub message: String,
+    /// Process exit code ([`EXIT_ERROR`] unless the error carries more
+    /// specific semantics, like [`EXIT_BUDGET_EXHAUSTED`]).
+    pub code: i32,
 }
 
 impl fmt::Display for CliError {
@@ -36,13 +69,26 @@ impl CliError {
     pub fn new(message: impl fmt::Display) -> Self {
         CliError {
             message: message.to_string(),
+            code: EXIT_ERROR,
+        }
+    }
+
+    /// Builds an error with a specific exit code.
+    pub fn with_code(message: impl fmt::Display, code: i32) -> Self {
+        CliError {
+            message: message.to_string(),
+            code,
         }
     }
 }
 
 impl From<ratio_rules::RatioRuleError> for CliError {
     fn from(e: ratio_rules::RatioRuleError) -> Self {
-        CliError::new(e)
+        let code = match &e {
+            ratio_rules::RatioRuleError::BudgetExhausted { .. } => EXIT_BUDGET_EXHAUSTED,
+            _ => EXIT_ERROR,
+        };
+        CliError::with_code(e, code)
     }
 }
 
@@ -90,6 +136,21 @@ COMMANDS:
 GLOBAL OPTIONS (every command):
     --trace             append the span tree and a metric table to the output
     --metrics-out FILE  write metrics to FILE (.prom = Prometheus text, else JSON)
+
+FAULT TOLERANCE (mine; see also 'profile --fault-rate'):
+    --max-bad-rows N       quarantine up to N bad rows instead of aborting
+    --max-bad-fraction F   ... or up to this fraction of all rows
+    --retries N            retry transient source errors up to N times
+    --checkpoint FILE      write a scan checkpoint (resume with --resume)
+    --resume FILE          resume a scan from a checkpoint file
+    --degrade              on eigensolve failure, fall back to fewer rules
+                           or the col-avgs baseline instead of erroring
+    --fault-rate F         inject faults at rate F (chaos testing)
+    --fault-seed S         seed for the injected faults (default 42)
+
+EXIT CODES:
+    0  success        2  served a degraded result (quarantined rows / fewer rules)
+    1  error          3  quarantine error budget exhausted
 
 Run 'ratio-rules <COMMAND> --help' for per-command options.
 ";

@@ -2,11 +2,12 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match ratio_rules_cli::commands::run(&args) {
+    let (result, code) = ratio_rules_cli::commands::run_with_status(&args);
+    match result {
         Ok(output) => print!("{output}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+    if code != 0 {
+        std::process::exit(code);
     }
 }

@@ -102,6 +102,141 @@ fn evaluate_runs_on_real_file() {
 }
 
 #[test]
+fn chaos_exit_codes_are_distinct() {
+    let dir = workdir();
+    let csv = dir.join("chaos.csv");
+    let model = dir.join("chaos_model.json");
+    write_sales_csv(&csv);
+
+    // Clean streaming mine (quarantine armed, no faults): exit 0.
+    let out = binary()
+        .args(["mine", "--input"])
+        .arg(&csv)
+        .arg("--output")
+        .arg(&model)
+        .args(["--k", "1", "--max-bad-rows", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Injected faults inside a generous budget: the model mines, but the
+    // exit code flags the degraded (quarantined) scan.
+    let out = binary()
+        .args(["mine", "--input"])
+        .arg(&csv)
+        .arg("--output")
+        .arg(&model)
+        .args([
+            "--k",
+            "1",
+            "--fault-rate",
+            "0.1",
+            "--max-bad-rows",
+            "50",
+            "--retries",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("quarantined"), "{stdout}");
+
+    // Budget blown: exit 3 with a budget-exhausted message.
+    let out = binary()
+        .args(["mine", "--input"])
+        .arg(&csv)
+        .arg("--output")
+        .arg(&model)
+        .args(["--k", "1", "--fault-rate", "0.5", "--max-bad-rows", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error budget exhausted"), "{stderr}");
+
+    // Strict mode (no quarantine flags) fails fast on the first fault.
+    let out = binary()
+        .args(["mine", "--input"])
+        .arg(&csv)
+        .arg("--output")
+        .arg(&model)
+        .args(["--k", "1", "--fault-rate", "0.5", "--retries", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn forced_eigensolve_failure_degrades_to_col_avgs() {
+    let dir = workdir();
+    let csv = dir.join("ladder.csv");
+    let model = dir.join("ladder_model.json");
+    write_sales_csv(&csv);
+
+    // --ladder none removes every eigensolve stage: the miner must land
+    // on the col-avgs floor instead of erroring, and exit 2.
+    let out = binary()
+        .args(["mine", "--input"])
+        .arg(&csv)
+        .arg("--output")
+        .arg(&model)
+        .args(["--degrade", "--ladder", "none"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("col-avgs baseline"), "{stdout}");
+    let doc = std::fs::read_to_string(&model).unwrap();
+    assert!(doc.contains("col_avgs"), "{doc}");
+}
+
+#[test]
+fn checkpoint_file_resumes_across_processes() {
+    let dir = workdir();
+    let csv = dir.join("resume.csv");
+    let model = dir.join("resume_model.json");
+    let cp = dir.join("resume_scan.json");
+    write_sales_csv(&csv);
+
+    let out = binary()
+        .args(["mine", "--input"])
+        .arg(&csv)
+        .arg("--output")
+        .arg(&model)
+        .args(["--k", "1", "--checkpoint"])
+        .arg(&cp)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(cp.exists());
+
+    // A second process resumes from the file written by the first.
+    let out = binary()
+        .args(["mine", "--input"])
+        .arg(&csv)
+        .arg("--output")
+        .arg(&model)
+        .args(["--k", "1", "--resume"])
+        .arg(&cp)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("resumed from checkpoint"), "{stdout}");
+}
+
+#[test]
 fn missing_file_is_a_clean_error() {
     let out = binary()
         .args([

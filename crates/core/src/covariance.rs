@@ -106,6 +106,39 @@ impl CovarianceAccumulator {
         Ok(())
     }
 
+    /// Raw internals `(n, col_sums, raw_upper)` for checkpointing. The
+    /// packed layout of `raw_upper` is documented on the field; together
+    /// with [`CovarianceAccumulator::from_parts`] this round-trips the
+    /// accumulator bit-for-bit.
+    pub fn parts(&self) -> (usize, &[f64], &[f64]) {
+        (self.n, &self.col_sums, &self.raw_upper)
+    }
+
+    /// Rebuilds an accumulator from checkpointed internals. Inverse of
+    /// [`CovarianceAccumulator::parts`]; lengths are validated against
+    /// `m`.
+    pub fn from_parts(m: usize, n: usize, col_sums: Vec<f64>, raw_upper: Vec<f64>) -> Result<Self> {
+        if col_sums.len() != m {
+            return Err(RatioRuleError::Invalid(format!(
+                "checkpoint has {} column sums for {m} attributes",
+                col_sums.len()
+            )));
+        }
+        let want = m * (m + 1) / 2;
+        if raw_upper.len() != want {
+            return Err(RatioRuleError::Invalid(format!(
+                "checkpoint has {} moment entries, expected {want}",
+                raw_upper.len()
+            )));
+        }
+        Ok(CovarianceAccumulator {
+            m,
+            n,
+            col_sums,
+            raw_upper,
+        })
+    }
+
     /// Column averages seen so far.
     pub fn column_means(&self) -> Vec<f64> {
         if self.n == 0 {

@@ -18,6 +18,17 @@ pub enum RatioRuleError {
     },
     /// The input stream yielded no rows.
     EmptyInput,
+    /// A quarantine scan exceeded its bad-row budget (see
+    /// `resilience::ScanPolicy::Quarantine`). Carried separately from
+    /// `Invalid` so callers (the CLI) can map it to a distinct exit code.
+    BudgetExhausted {
+        /// Rows quarantined when the budget tripped.
+        quarantined: usize,
+        /// Rows consumed from the stream so far.
+        scanned: usize,
+        /// Human-readable description of the exhausted limit.
+        limit: String,
+    },
     /// Invalid argument (bad cutoff, no holes, ...).
     Invalid(String),
 }
@@ -34,6 +45,17 @@ impl fmt::Display for RatioRuleError {
                 )
             }
             RatioRuleError::EmptyInput => write!(f, "input stream yielded no rows"),
+            RatioRuleError::BudgetExhausted {
+                quarantined,
+                scanned,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "error budget exhausted: {quarantined} of {scanned} scanned rows \
+                     quarantined (limit: {limit})"
+                )
+            }
             RatioRuleError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -83,5 +105,14 @@ mod tests {
         assert!(e.source().is_some());
 
         assert!(RatioRuleError::EmptyInput.to_string().contains("no rows"));
+
+        let e = RatioRuleError::BudgetExhausted {
+            quarantined: 7,
+            scanned: 50,
+            limit: "max_bad_rows = 5".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains("50") && msg.contains("max_bad_rows"));
+        assert!(e.source().is_none());
     }
 }

@@ -52,7 +52,8 @@
 //! | [`whatif`] | Sec. 3 | what-if scenario API |
 //! | [`visualize`] | Sec. 6.1 | RR-space projections and ASCII plots |
 //! | [`interpret`] | Sec. 6.2 | Table-2 style rule rendering |
-//! | [`parallel`] | extension | multi-threaded covariance scan |
+//! | [`parallel`] | extension | multi-threaded covariance scan, panic-isolated shards |
+//! | [`resilience`] | extension | scan policies, checkpoint/resume, eigensolve ladder |
 //! | [`incremental`] | extension | live model maintenance, shard merging |
 //! | [`impute`] | extension | EM imputation of holey training tables |
 //! | [`diagnostics`] | extension | model cards (per-attribute GE) |
@@ -74,6 +75,7 @@ pub mod parallel;
 pub mod predictor;
 pub mod reconstruct;
 pub mod regression;
+pub mod resilience;
 pub mod rules;
 pub mod visualize;
 pub mod whatif;

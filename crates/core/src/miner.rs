@@ -9,6 +9,7 @@
 
 use crate::covariance::CovarianceAccumulator;
 use crate::cutoff::Cutoff;
+use crate::resilience::{ScanPolicy, ScanReport, Scanner};
 use crate::rules::{RatioRule, RuleSet};
 use crate::{RatioRuleError, Result};
 use dataset::source::{MatrixSource, RowSource};
@@ -90,6 +91,7 @@ pub struct RatioRuleMiner {
     cutoff: Cutoff,
     solver: EigenSolver,
     attribute_labels: Option<Vec<String>>,
+    policy: ScanPolicy,
 }
 
 impl RatioRuleMiner {
@@ -99,6 +101,7 @@ impl RatioRuleMiner {
             cutoff,
             solver: EigenSolver::Dense,
             attribute_labels: None,
+            policy: ScanPolicy::Strict,
         }
     }
 
@@ -119,29 +122,33 @@ impl RatioRuleMiner {
         self
     }
 
-    /// Mines rules from a row stream in a single pass.
+    /// Selects the scan error policy (default [`ScanPolicy::Strict`]).
+    pub fn with_scan_policy(mut self, policy: ScanPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Mines rules from a row stream in a single pass, applying the
+    /// configured [`ScanPolicy`].
     pub fn fit<S: RowSource>(&self, source: &mut S) -> Result<RuleSet> {
-        let m = source.n_cols();
-        let mut acc = CovarianceAccumulator::new(m);
-        source.rewind()?;
-        let mut buf = vec![0.0_f64; m];
-        {
-            let _span = obs::Span::enter("covariance_scan");
-            let start = obs::enabled().then(std::time::Instant::now);
-            let mut rows = 0u64;
-            while source.next_row(&mut buf)? {
-                acc.push_row(&buf)?;
-                rows += 1;
+        match self.policy {
+            // The historical hot loop: no per-row policy dispatch, no
+            // quarantine bookkeeping.
+            ScanPolicy::Strict => {
+                let acc = crate::resilience::scan_strict(source)?;
+                self.finish(&acc)
             }
-            if let Some(start) = start {
-                obs::counter_add("covariance_rows_scanned_total", rows);
-                let secs = start.elapsed().as_secs_f64();
-                if secs > 0.0 {
-                    obs::gauge_set("covariance_rows_per_s", rows as f64 / secs);
-                }
-            }
+            ScanPolicy::Quarantine { .. } => Ok(self.fit_with_report(source)?.0),
         }
-        self.finish(&acc)
+    }
+
+    /// Like [`RatioRuleMiner::fit`] but also returns the [`ScanReport`]
+    /// (rows absorbed / quarantined, reasons, retries).
+    pub fn fit_with_report<S: RowSource>(&self, source: &mut S) -> Result<(RuleSet, ScanReport)> {
+        let mut scanner = Scanner::new(source.n_cols(), self.policy);
+        scanner.scan(source)?;
+        let (acc, report) = scanner.into_parts();
+        Ok((self.finish(&acc)?, report))
     }
 
     /// Mines rules from an in-memory matrix.
@@ -162,6 +169,7 @@ impl RatioRuleMiner {
             cutoff: self.cutoff,
             solver: self.solver,
             attribute_labels: Some(labels),
+            policy: self.policy,
         };
         miner.fit(&mut src)
     }
@@ -440,6 +448,45 @@ mod tests {
         let means = rules.column_means();
         assert!((means[0] - 3.006).abs() < 1e-12);
         assert!((means[1] - 1.806).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantine_policy_rides_out_injected_faults() {
+        use dataset::fault::{FaultPlan, FaultyRowSource};
+        let x = Matrix::from_fn(120, 3, |i, j| {
+            let t = i as f64 / 10.0;
+            t * (j as f64 + 1.0) + ((i * 7 + j * 3) % 11) as f64 * 1e-3
+        });
+        let plan = FaultPlan {
+            seed: 5,
+            transient_rate: 0.05,
+            corrupt_rate: 0.05,
+            arity_rate: 0.0,
+            truncate_after: None,
+        };
+        let miner = RatioRuleMiner::paper_defaults()
+            .with_scan_policy(crate::resilience::ScanPolicy::quarantine_unlimited());
+        let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let (rules, report) = miner.fit_with_report(&mut src).unwrap();
+        assert!(report.rows_quarantined > 0);
+        assert_eq!(report.rows_absorbed + report.rows_quarantined, 120);
+        // Identical to mining the plan's clean rows strictly.
+        let clean: Vec<&[f64]> = (0..120)
+            .filter(|&p| plan.row_is_clean(p, 3))
+            .map(|p| x.row(p))
+            .collect();
+        let clean_x = Matrix::from_rows(&clean).unwrap();
+        let reference = RatioRuleMiner::paper_defaults().fit_matrix(&clean_x).unwrap();
+        assert_eq!(rules.k(), reference.k());
+        for (a, b) in rules.rules().iter().zip(reference.rules()) {
+            assert_eq!(a.eigenvalue.to_bits(), b.eigenvalue.to_bits());
+            for (p, q) in a.loadings.iter().zip(&b.loadings) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+        // Strict mode over the same faulty stream fails fast.
+        let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        assert!(RatioRuleMiner::paper_defaults().fit(&mut src).is_err());
     }
 
     #[test]

@@ -17,11 +17,22 @@ use crate::{RatioRuleError, Result};
 use linalg::Matrix;
 use parking_lot::Mutex;
 
-/// Builds the covariance accumulator for `x` using `n_threads` crossbeam
-/// scoped threads over row shards.
-pub fn covariance_parallel(x: &Matrix, n_threads: usize) -> Result<CovarianceAccumulator> {
-    let n = x.rows();
-    let m = x.cols();
+/// Generic sharded accumulation: splits `0..n` into `n_threads`
+/// contiguous shards and runs `shard_fn(lo, hi, &mut local)` for each on
+/// its own scoped thread, merging the partial accumulators. Every shard
+/// runs under `catch_unwind`, so a panicking worker surfaces as an
+/// ordinary [`RatioRuleError`] instead of aborting the process — the
+/// other shards finish normally and the first failure (error or panic)
+/// wins. Tests inject panicking shard closures through this entry point.
+pub fn covariance_sharded<F>(
+    n: usize,
+    m: usize,
+    n_threads: usize,
+    shard_fn: F,
+) -> Result<CovarianceAccumulator>
+where
+    F: Fn(usize, usize, &mut CovarianceAccumulator) -> Result<()> + Sync,
+{
     if n == 0 || m == 0 {
         return Err(RatioRuleError::EmptyInput);
     }
@@ -40,21 +51,35 @@ pub fn covariance_parallel(x: &Matrix, n_threads: usize) -> Result<CovarianceAcc
             }
             let merged = &merged;
             let first_error = &first_error;
+            let shard_fn = &shard_fn;
             scope.spawn(move |_| {
                 // Keep the *first* reported error: a later shard must not
                 // overwrite an earlier shard's failure under the lock.
                 let report = |e: RatioRuleError| {
                     first_error.lock().get_or_insert(e);
                 };
-                let mut local = CovarianceAccumulator::new(m);
-                for i in lo..hi {
-                    if let Err(e) = local.push_row(x.row(i)) {
-                        report(e);
-                        return;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut local = CovarianceAccumulator::new(m);
+                    shard_fn(lo, hi, &mut local).map(|()| local)
+                }));
+                match outcome {
+                    Ok(Ok(local)) => {
+                        if let Err(e) = merged.lock().merge(&local) {
+                            report(e);
+                        }
                     }
-                }
-                if let Err(e) = merged.lock().merge(&local) {
-                    report(e);
+                    Ok(Err(e)) => report(e),
+                    Err(payload) => {
+                        obs::counter_add("scan_worker_panics_total", 1);
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic".into());
+                        report(RatioRuleError::Invalid(format!(
+                            "worker shard {t} (rows {lo}..{hi}) panicked: {msg}"
+                        )));
+                    }
                 }
             });
         }
@@ -65,6 +90,17 @@ pub fn covariance_parallel(x: &Matrix, n_threads: usize) -> Result<CovarianceAcc
         return Err(e);
     }
     Ok(merged.into_inner())
+}
+
+/// Builds the covariance accumulator for `x` using `n_threads` crossbeam
+/// scoped threads over row shards.
+pub fn covariance_parallel(x: &Matrix, n_threads: usize) -> Result<CovarianceAccumulator> {
+    covariance_sharded(x.rows(), x.cols(), n_threads, |lo, hi, local| {
+        for i in lo..hi {
+            local.push_row(x.row(i))?;
+        }
+        Ok(())
+    })
 }
 
 /// Mines a rule set using the parallel covariance scan, then the usual
@@ -138,6 +174,41 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert!(covariance_parallel(&Matrix::zeros(0, 3), 2).is_err());
+    }
+
+    #[test]
+    fn panicking_shard_is_an_error_not_an_abort() {
+        // One shard panics mid-scan; the caller gets a descriptive error
+        // while the process (and the other shards) survive.
+        let x = data();
+        let err = covariance_sharded(x.rows(), x.cols(), 4, |lo, hi, local| {
+            for i in lo..hi {
+                if i == 100 {
+                    panic!("simulated worker crash at row {i}");
+                }
+                local.push_row(x.row(i))?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(msg.contains("simulated worker crash"), "{msg}");
+
+        // A healthy run through the same generic entry point matches the
+        // dedicated parallel scan.
+        let via_sharded = covariance_sharded(x.rows(), x.cols(), 4, |lo, hi, local| {
+            for i in lo..hi {
+                local.push_row(x.row(i))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let direct = covariance_parallel(&x, 4).unwrap();
+        assert_eq!(via_sharded.n_rows(), direct.n_rows());
+        let (c1, _, _) = via_sharded.finalize().unwrap();
+        let (c2, _, _) = direct.finalize().unwrap();
+        assert!(c1.max_abs_diff(&c2).unwrap() < 1e-12);
     }
 
     #[test]

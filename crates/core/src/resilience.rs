@@ -1,0 +1,1546 @@
+//! Fault tolerance for the mining pipeline (extension beyond the paper).
+//!
+//! The paper's single-pass scan targets data "far larger than memory" —
+//! the regime where real deployments meet corrupt cells, ragged rows,
+//! torn reads, and mid-scan crashes. This module keeps the pipeline
+//! serving through all of them, degrading *quantifiably* instead of
+//! failing:
+//!
+//! * [`ScanPolicy`] — `Strict` (any bad row aborts, today's behaviour)
+//!   vs `Quarantine` (skip bad rows, log why, abort only when an error
+//!   *budget* is exhausted). Because the accumulator is a plain sum,
+//!   quarantining a bad row yields **bit-identical** rules to scanning
+//!   only the good rows — the property the proptests pin.
+//! * [`Scanner`] — the scan loop itself, with quarantine accounting,
+//!   obs counters, and [`ScanCheckpoint`] save/resume: the accumulator
+//!   `(n, column sums, moment matrix)` serializes exactly through the
+//!   obs JSON machinery (integers and shortest-round-trip floats), so a
+//!   resumed scan equals an uninterrupted one to the last bit.
+//! * [`ResilientMiner`] — a graceful-degradation ladder for the
+//!   eigensolve: Jacobi → tridiagonal QL → Lanczos, each attempt
+//!   validated by the residual `‖Cv - λv‖`, falling back to fewer rules
+//!   than the cutoff wanted and ultimately to the paper's own `k = 0`
+//!   baseline (column averages, Sec. 5). A [`DegradationReport`] records
+//!   which level served and why.
+
+use crate::covariance::CovarianceAccumulator;
+use crate::cutoff::Cutoff;
+use crate::miner::RatioRuleMiner;
+use crate::predictor::{ColAvgs, Predictor};
+use crate::rules::{RatioRule, RuleSet};
+use crate::{RatioRuleError, Result};
+use dataset::source::RowSource;
+use dataset::DatasetError;
+use linalg::Matrix;
+use obs::json::JsonValue;
+
+/// How many consecutive `next_row` errors a quarantine scan tolerates
+/// before concluding the source is wedged (a persistent error that never
+/// consumes a row would otherwise spin forever under an unlimited
+/// budget).
+const MAX_CONSECUTIVE_SOURCE_ERRORS: usize = 1024;
+
+/// How many per-row quarantine records a [`ScanReport`] keeps verbatim
+/// (counts are always exact; only the detailed log is capped).
+const MAX_QUARANTINE_DETAILS: usize = 64;
+
+/// Error-handling policy for the covariance scan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ScanPolicy {
+    /// Any bad row or source error aborts the scan with the original
+    /// error — the paper's implicit policy and this crate's historical
+    /// behaviour.
+    #[default]
+    Strict,
+    /// Skip bad rows, recording each with a reason, and abort only when
+    /// the error budget is exhausted. `None` limits are unlimited.
+    Quarantine {
+        /// Abort (with [`RatioRuleError::BudgetExhausted`]) as soon as
+        /// more than this many rows have been quarantined.
+        max_bad_rows: Option<usize>,
+        /// Abort at end of scan if the quarantined fraction of all
+        /// consumed rows exceeds this (checked at the end because the
+        /// denominator is only known then).
+        max_bad_fraction: Option<f64>,
+    },
+}
+
+impl ScanPolicy {
+    /// Quarantine policy with unlimited budget (never aborts on bad
+    /// rows, only counts them).
+    pub fn quarantine_unlimited() -> Self {
+        ScanPolicy::Quarantine {
+            max_bad_rows: None,
+            max_bad_fraction: None,
+        }
+    }
+}
+
+/// Why a row was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// A cell was non-finite, unparseable, or empty.
+    CorruptCell,
+    /// The row had the wrong number of fields.
+    ArityMismatch,
+    /// The source failed in a row-consuming, non-transient way.
+    SourceError,
+}
+
+impl QuarantineReason {
+    /// Stable lowercase name (used in logs and metric names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QuarantineReason::CorruptCell => "corrupt_cell",
+            QuarantineReason::ArityMismatch => "arity_mismatch",
+            QuarantineReason::SourceError => "source_error",
+        }
+    }
+}
+
+/// One quarantined row: where, why, and the original error text.
+#[derive(Debug, Clone)]
+pub struct QuarantinedRow {
+    /// 0-based position in the stream (over consumed rows).
+    pub position: usize,
+    /// Classification of the failure.
+    pub reason: QuarantineReason,
+    /// Original error message.
+    pub detail: String,
+}
+
+/// Outcome of a scan: how many rows went where.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Rows absorbed into the accumulator.
+    pub rows_absorbed: usize,
+    /// Rows quarantined (all reasons).
+    pub rows_quarantined: usize,
+    /// Quarantined rows by reason: `(corrupt, arity, source_error)`.
+    pub by_reason: (usize, usize, usize),
+    /// Transient source errors ridden out in-loop (row re-read, not
+    /// lost).
+    pub transient_retries: usize,
+    /// First [`MAX_QUARANTINE_DETAILS`] quarantined rows, verbatim.
+    pub details: Vec<QuarantinedRow>,
+    /// Stream position this scan resumed from (0 = fresh scan).
+    pub resumed_from: usize,
+}
+
+impl ScanReport {
+    fn record(&mut self, position: usize, reason: QuarantineReason, detail: String) {
+        self.rows_quarantined += 1;
+        match reason {
+            QuarantineReason::CorruptCell => self.by_reason.0 += 1,
+            QuarantineReason::ArityMismatch => self.by_reason.1 += 1,
+            QuarantineReason::SourceError => self.by_reason.2 += 1,
+        }
+        obs::counter_add("scan_rows_quarantined_total", 1);
+        obs::counter_add(
+            &format!("scan_rows_quarantined_{}_total", reason.name()),
+            1,
+        );
+        if self.details.len() < MAX_QUARANTINE_DETAILS {
+            self.details.push(QuarantinedRow {
+                position,
+                reason,
+                detail,
+            });
+        }
+    }
+}
+
+/// Classifies a dataset error for quarantine purposes. Transient errors
+/// are handled separately (the row was *not* consumed).
+fn classify(err: &DatasetError) -> QuarantineReason {
+    match err {
+        DatasetError::RaggedRows { .. } => QuarantineReason::ArityMismatch,
+        DatasetError::Parse { .. }
+        | DatasetError::EmptyCell { .. }
+        | DatasetError::NonFinite { .. } => QuarantineReason::CorruptCell,
+        _ => QuarantineReason::SourceError,
+    }
+}
+
+/// The single-pass covariance scan with a [`ScanPolicy`], quarantine
+/// accounting, and checkpoint/resume. [`crate::miner::RatioRuleMiner`]
+/// drives one of these internally; use it directly when you need
+/// checkpoints or the [`ScanReport`].
+#[derive(Debug, Clone)]
+pub struct Scanner {
+    acc: CovarianceAccumulator,
+    policy: ScanPolicy,
+    /// Rows consumed from the stream (absorbed + quarantined). This is
+    /// the resume cursor: a fresh source skips this many consumed rows.
+    rows_consumed: usize,
+    report: ScanReport,
+}
+
+impl Scanner {
+    /// Fresh scanner over `m` attributes.
+    pub fn new(m: usize, policy: ScanPolicy) -> Self {
+        Scanner {
+            acc: CovarianceAccumulator::new(m),
+            policy,
+            rows_consumed: 0,
+            report: ScanReport::default(),
+        }
+    }
+
+    /// Rebuilds a scanner from a checkpoint; the next
+    /// [`Scanner::scan`] skips the already-consumed prefix and picks up
+    /// exactly where the checkpointed scan stopped.
+    pub fn resume(checkpoint: &ScanCheckpoint, policy: ScanPolicy) -> Result<Self> {
+        let acc = checkpoint.accumulator()?;
+        let mut report = ScanReport {
+            rows_absorbed: acc.n_rows(),
+            rows_quarantined: checkpoint.rows_quarantined,
+            by_reason: checkpoint.by_reason,
+            resumed_from: checkpoint.rows_consumed,
+            ..ScanReport::default()
+        };
+        report.details.clear();
+        Ok(Scanner {
+            acc,
+            policy,
+            rows_consumed: checkpoint.rows_consumed,
+            report,
+        })
+    }
+
+    /// The accumulator filled so far.
+    pub fn accumulator(&self) -> &CovarianceAccumulator {
+        &self.acc
+    }
+
+    /// Consumes the scanner, returning the accumulator and report.
+    pub fn into_parts(self) -> (CovarianceAccumulator, ScanReport) {
+        (self.acc, self.report)
+    }
+
+    /// The scan outcome so far.
+    pub fn report(&self) -> &ScanReport {
+        &self.report
+    }
+
+    /// Snapshot for [`Scanner::resume`]. Serialize with
+    /// [`ScanCheckpoint::to_json`].
+    pub fn checkpoint(&self) -> ScanCheckpoint {
+        ScanCheckpoint::capture(&self.acc, self.rows_consumed, &self.report)
+    }
+
+    /// Scans `source` to completion under the policy, absorbing good
+    /// rows. Rewinds first; when resuming, the consumed prefix is
+    /// skipped before absorption restarts. Returns the report (also
+    /// available via [`Scanner::report`]).
+    ///
+    /// Strict mode adds nothing to the per-row happy path beyond one
+    /// predictable branch: the loop body is `next_row` + `push_row`,
+    /// exactly as before this module existed.
+    pub fn scan<S: RowSource>(&mut self, source: &mut S) -> Result<&ScanReport> {
+        let _span = obs::Span::enter("covariance_scan");
+        let start = obs::enabled().then(std::time::Instant::now);
+        // Register the resilience counters at zero so a clean scan still
+        // shows them in metric dumps (a silent absence reads as "not
+        // instrumented", not "no faults").
+        obs::counter_add("scan_rows_quarantined_total", 0);
+        obs::counter_add("scan_transient_retries_total", 0);
+        source.rewind()?;
+        self.skip_consumed_prefix(source)?;
+        let mut buf = vec![0.0_f64; self.acc.n_cols()];
+        let mut rows = 0u64;
+        let mut consecutive_errors = 0usize;
+        loop {
+            match source.next_row(&mut buf) {
+                Ok(true) => {
+                    consecutive_errors = 0;
+                    let position = self.rows_consumed;
+                    self.rows_consumed += 1;
+                    match self.acc.push_row(&buf) {
+                        Ok(()) => {
+                            self.report.rows_absorbed += 1;
+                            rows += 1;
+                        }
+                        Err(e) => match self.policy {
+                            ScanPolicy::Strict => return Err(e),
+                            ScanPolicy::Quarantine { .. } => {
+                                self.report.record(
+                                    position,
+                                    QuarantineReason::CorruptCell,
+                                    e.to_string(),
+                                );
+                                self.check_row_budget()?;
+                            }
+                        },
+                    }
+                }
+                Ok(false) => break,
+                Err(e) => match self.policy {
+                    ScanPolicy::Strict => return Err(e.into()),
+                    ScanPolicy::Quarantine { .. } => {
+                        consecutive_errors += 1;
+                        if consecutive_errors > MAX_CONSECUTIVE_SOURCE_ERRORS {
+                            return Err(RatioRuleError::Invalid(format!(
+                                "source failed {MAX_CONSECUTIVE_SOURCE_ERRORS} times in a row \
+                                 without yielding a row; last error: {e}"
+                            )));
+                        }
+                        if e.is_transient() {
+                            // The row was not consumed: loop back and
+                            // re-read it. (A RetryingSource underneath
+                            // makes this invisible; this is the last
+                            // line of defence.)
+                            self.report.transient_retries += 1;
+                            obs::counter_add("scan_transient_retries_total", 1);
+                        } else {
+                            // Row-consuming data error (bad cell, ragged
+                            // row): quarantine and move on.
+                            let position = self.rows_consumed;
+                            self.rows_consumed += 1;
+                            self.report.record(position, classify(&e), e.to_string());
+                            self.check_row_budget()?;
+                        }
+                    }
+                },
+            }
+        }
+        self.check_fraction_budget()?;
+        if let Some(start) = start {
+            obs::counter_add("covariance_rows_scanned_total", rows);
+            let secs = start.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                obs::gauge_set("covariance_rows_per_s", rows as f64 / secs);
+            }
+        }
+        Ok(&self.report)
+    }
+
+    /// Skips the rows a previous (checkpointed) scan already consumed.
+    /// Quarantined rows were consumed too, so errors during the skip are
+    /// counted against the cursor, not re-quarantined; transient errors
+    /// leave the cursor alone (the row was never consumed).
+    fn skip_consumed_prefix<S: RowSource>(&mut self, source: &mut S) -> Result<()> {
+        let mut skipped = 0usize;
+        let mut buf = vec![0.0_f64; self.acc.n_cols()];
+        let mut consecutive_errors = 0usize;
+        while skipped < self.rows_consumed {
+            match source.next_row(&mut buf) {
+                Ok(true) => {
+                    skipped += 1;
+                    consecutive_errors = 0;
+                }
+                Ok(false) => {
+                    return Err(RatioRuleError::Invalid(format!(
+                        "cannot resume: stream ended after {skipped} rows but the \
+                         checkpoint consumed {}",
+                        self.rows_consumed
+                    )));
+                }
+                Err(e) if e.is_transient() => {
+                    consecutive_errors += 1;
+                    if consecutive_errors > MAX_CONSECUTIVE_SOURCE_ERRORS {
+                        return Err(e.into());
+                    }
+                }
+                Err(e) => {
+                    // A consumed (and previously quarantined) bad row.
+                    match self.policy {
+                        ScanPolicy::Strict => return Err(e.into()),
+                        ScanPolicy::Quarantine { .. } => {
+                            skipped += 1;
+                            consecutive_errors = 0;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_row_budget(&self) -> Result<()> {
+        if let ScanPolicy::Quarantine {
+            max_bad_rows: Some(limit),
+            ..
+        } = self.policy
+        {
+            if self.report.rows_quarantined > limit {
+                obs::counter_add("scan_budget_exhausted_total", 1);
+                return Err(RatioRuleError::BudgetExhausted {
+                    quarantined: self.report.rows_quarantined,
+                    scanned: self.rows_consumed,
+                    limit: format!("max_bad_rows = {limit}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_fraction_budget(&self) -> Result<()> {
+        if let ScanPolicy::Quarantine {
+            max_bad_fraction: Some(limit),
+            ..
+        } = self.policy
+        {
+            let consumed = self.rows_consumed.max(1);
+            let fraction = self.report.rows_quarantined as f64 / consumed as f64;
+            if fraction > limit {
+                obs::counter_add("scan_budget_exhausted_total", 1);
+                return Err(RatioRuleError::BudgetExhausted {
+                    quarantined: self.report.rows_quarantined,
+                    scanned: self.rows_consumed,
+                    limit: format!("max_bad_fraction = {limit} (observed {fraction:.4})"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a [`Scanner`] mid-scan: the accumulator
+/// internals plus the stream cursor and quarantine counts. JSON numbers
+/// round-trip exactly (integral values as integers, everything else in
+/// shortest-representation form), so `resume(checkpoint)` equals the
+/// uninterrupted scan bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanCheckpoint {
+    /// Number of attributes `M`.
+    pub m: usize,
+    /// Rows absorbed into the accumulator.
+    pub n: usize,
+    /// Rows consumed from the stream (absorbed + quarantined).
+    pub rows_consumed: usize,
+    /// Rows quarantined so far.
+    pub rows_quarantined: usize,
+    /// Quarantined rows by reason `(corrupt, arity, source_error)`.
+    pub by_reason: (usize, usize, usize),
+    /// Column sums.
+    pub col_sums: Vec<f64>,
+    /// Packed upper triangle of the raw moment matrix.
+    pub raw_upper: Vec<f64>,
+}
+
+impl ScanCheckpoint {
+    /// Checkpoints a bare accumulator (no quarantine history) — the
+    /// entry point for [`crate::incremental::IncrementalMiner`], whose
+    /// ingest has no stream cursor beyond the rows absorbed.
+    pub fn from_accumulator(acc: &CovarianceAccumulator) -> Self {
+        Self::capture(acc, acc.n_rows(), &ScanReport::default())
+    }
+
+    fn capture(acc: &CovarianceAccumulator, rows_consumed: usize, report: &ScanReport) -> Self {
+        let (n, col_sums, raw_upper) = acc.parts();
+        ScanCheckpoint {
+            m: acc.n_cols(),
+            n,
+            rows_consumed,
+            rows_quarantined: report.rows_quarantined,
+            by_reason: report.by_reason,
+            col_sums: col_sums.to_vec(),
+            raw_upper: raw_upper.to_vec(),
+        }
+    }
+
+    /// Rebuilds the accumulator held in this checkpoint.
+    pub fn accumulator(&self) -> Result<CovarianceAccumulator> {
+        CovarianceAccumulator::from_parts(
+            self.m,
+            self.n,
+            self.col_sums.clone(),
+            self.raw_upper.clone(),
+        )
+    }
+
+    /// Serializes to JSON (via the obs machinery — no serde needed).
+    pub fn to_json(&self) -> String {
+        let nums = |v: &[f64]| JsonValue::Arr(v.iter().map(|&x| JsonValue::Num(x)).collect());
+        JsonValue::Obj(vec![
+            ("version".into(), JsonValue::Num(1.0)),
+            ("m".into(), JsonValue::Num(self.m as f64)),
+            ("n".into(), JsonValue::Num(self.n as f64)),
+            (
+                "rows_consumed".into(),
+                JsonValue::Num(self.rows_consumed as f64),
+            ),
+            (
+                "rows_quarantined".into(),
+                JsonValue::Num(self.rows_quarantined as f64),
+            ),
+            (
+                "quarantined_corrupt".into(),
+                JsonValue::Num(self.by_reason.0 as f64),
+            ),
+            (
+                "quarantined_arity".into(),
+                JsonValue::Num(self.by_reason.1 as f64),
+            ),
+            (
+                "quarantined_source".into(),
+                JsonValue::Num(self.by_reason.2 as f64),
+            ),
+            ("col_sums".into(), nums(&self.col_sums)),
+            ("raw_upper".into(), nums(&self.raw_upper)),
+        ])
+        .write(true)
+    }
+
+    /// Parses a checkpoint previously written by
+    /// [`ScanCheckpoint::to_json`].
+    pub fn from_json(text: &str) -> Result<Self> {
+        let bad = |what: &str| RatioRuleError::Invalid(format!("checkpoint: {what}"));
+        let doc = obs::json::parse(text)
+            .map_err(|e| RatioRuleError::Invalid(format!("checkpoint: {e}")))?;
+        let int = |key: &str| -> Result<usize> {
+            doc.get(key)
+                .and_then(JsonValue::as_f64)
+                .map(|v| v as usize)
+                .ok_or_else(|| bad(&format!("missing integer field {key:?}")))
+        };
+        let floats = |key: &str| -> Result<Vec<f64>> {
+            doc.get(key)
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| bad(&format!("missing array field {key:?}")))?
+                .iter()
+                .map(|v| v.as_f64().ok_or_else(|| bad("non-numeric array entry")))
+                .collect()
+        };
+        if int("version")? != 1 {
+            return Err(bad("unsupported version"));
+        }
+        let cp = ScanCheckpoint {
+            m: int("m")?,
+            n: int("n")?,
+            rows_consumed: int("rows_consumed")?,
+            rows_quarantined: int("rows_quarantined")?,
+            by_reason: (
+                int("quarantined_corrupt")?,
+                int("quarantined_arity")?,
+                int("quarantined_source")?,
+            ),
+            col_sums: floats("col_sums")?,
+            raw_upper: floats("raw_upper")?,
+        };
+        // Validate shape eagerly so corrupt checkpoints fail at load.
+        cp.accumulator()?;
+        Ok(cp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graceful-degradation ladder for the eigensolve
+// ---------------------------------------------------------------------
+
+/// One rung of the eigensolve ladder: produces `(eigenvalues,
+/// eigenvectors-as-columns)` in descending order, or a failure message.
+/// Implementations must not panic. Partial solvers (Lanczos) may return
+/// fewer than `M` pairs; the caller pads the spectrum via the trace.
+pub trait EigenStage {
+    /// Stable name for reports and metrics.
+    fn name(&self) -> &'static str;
+
+    /// Attempts the decomposition.
+    fn solve(&self, c: &Matrix) -> std::result::Result<(Vec<f64>, Vec<Vec<f64>>), String>;
+}
+
+/// Cyclic Jacobi (the default first rung: slowest but most robust to
+/// mild asymmetry and clustered eigenvalues).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JacobiStage;
+
+impl EigenStage for JacobiStage {
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+
+    fn solve(&self, c: &Matrix) -> std::result::Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+        let eig =
+            linalg::jacobi::jacobi_eigen(c, linalg::eigen::DEFAULT_SYMMETRY_TOL)
+                .map_err(|e| e.to_string())?;
+        let vecs = (0..eig.eigenvalues.len())
+            .map(|j| eig.eigenvectors.col(j))
+            .collect();
+        Ok((eig.eigenvalues, vecs))
+    }
+}
+
+/// Householder tridiagonalization + implicit QL (the fast dense path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QlStage;
+
+impl EigenStage for QlStage {
+    fn name(&self) -> &'static str {
+        "tridiagonal_ql"
+    }
+
+    fn solve(&self, c: &Matrix) -> std::result::Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+        let eig = linalg::eigen::SymmetricEigen::new(c).map_err(|e| e.to_string())?;
+        let vecs = (0..eig.dim()).map(|j| eig.eigenvector(j)).collect();
+        Ok((eig.eigenvalues, vecs))
+    }
+}
+
+/// Lanczos top-`k` (last resort: partial spectrum, cheapest per rule).
+#[derive(Debug, Clone, Copy)]
+pub struct LanczosStage {
+    /// Ritz pairs to extract; `None` picks `min(M, 8)`.
+    pub max_k: Option<usize>,
+}
+
+impl Default for LanczosStage {
+    fn default() -> Self {
+        LanczosStage { max_k: None }
+    }
+}
+
+impl EigenStage for LanczosStage {
+    fn name(&self) -> &'static str {
+        "lanczos"
+    }
+
+    fn solve(&self, c: &Matrix) -> std::result::Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+        let m = c.rows();
+        let k = self.max_k.unwrap_or_else(|| m.min(8)).clamp(1, m);
+        let lz = linalg::lanczos::lanczos_top_k(c, k, None).map_err(|e| e.to_string())?;
+        let vecs = (0..k).map(|j| lz.eigenvectors.col(j)).collect();
+        Ok((lz.eigenvalues, vecs))
+    }
+}
+
+/// Which level of the ladder ended up serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradationLevel {
+    /// A stage delivered everything the cutoff asked for.
+    FullRules,
+    /// Every stage fell short of the cutoff, but some rules validated.
+    FewerRules {
+        /// Rules actually served.
+        served: usize,
+        /// Rules the cutoff wanted.
+        wanted: usize,
+    },
+    /// No stage produced a single validated eigenpair; the paper's
+    /// `k = 0` column-averages baseline serves.
+    ColAvgs,
+}
+
+impl DegradationLevel {
+    /// Numeric severity for the `degradation_level` gauge
+    /// (0 full, 1 fewer rules, 2 col-avgs).
+    pub fn severity(&self) -> u8 {
+        match self {
+            DegradationLevel::FullRules => 0,
+            DegradationLevel::FewerRules { .. } => 1,
+            DegradationLevel::ColAvgs => 2,
+        }
+    }
+}
+
+/// One ladder attempt: which stage, and how it fared.
+#[derive(Debug, Clone)]
+pub struct StageAttempt {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Eigenpairs that passed residual validation (of those wanted).
+    pub validated: usize,
+    /// Why the stage was insufficient (`None` when it served).
+    pub failure: Option<String>,
+}
+
+/// What the degradation ladder did and why.
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// Level that ended up serving.
+    pub level: DegradationLevel,
+    /// Stage that served (`None` for the col-avgs floor).
+    pub served_by: Option<&'static str>,
+    /// Rules the cutoff wanted.
+    pub wanted: usize,
+    /// Every attempt, in ladder order.
+    pub attempts: Vec<StageAttempt>,
+}
+
+impl DegradationReport {
+    /// True when anything short of a full solve happened.
+    pub fn degraded(&self) -> bool {
+        self.level != DegradationLevel::FullRules
+    }
+
+    /// One-line human summary for CLI output.
+    pub fn summary(&self) -> String {
+        let tried: Vec<String> = self
+            .attempts
+            .iter()
+            .map(|a| match &a.failure {
+                Some(why) => format!("{} failed ({why})", a.stage),
+                None => format!("{} served", a.stage),
+            })
+            .collect();
+        let level = match &self.level {
+            DegradationLevel::FullRules => "full rules".to_string(),
+            DegradationLevel::FewerRules { served, wanted } => {
+                format!("degraded: {served}/{wanted} rules")
+            }
+            DegradationLevel::ColAvgs => "degraded to col-avgs baseline".to_string(),
+        };
+        if tried.is_empty() {
+            format!("{level} [no eigensolve stages in the ladder]")
+        } else {
+            format!("{level} [{}]", tried.join("; "))
+        }
+    }
+}
+
+/// What a [`ResilientMiner`] serves: the mined rules when any stage
+/// validated, or the paper's `k = 0` column-averages baseline when the
+/// whole ladder failed.
+#[derive(Debug, Clone)]
+pub enum ServedModel {
+    /// Ratio Rules (possibly fewer than the cutoff wanted).
+    Rules(RuleSet),
+    /// The `k = 0` floor: per-column training means.
+    ColAvgs(ColAvgs),
+}
+
+impl ServedModel {
+    /// Rules served (0 for the col-avgs floor).
+    pub fn k(&self) -> usize {
+        match self {
+            ServedModel::Rules(rs) => rs.k(),
+            ServedModel::ColAvgs(_) => 0,
+        }
+    }
+
+    /// The rule set, when one was served.
+    pub fn rules(&self) -> Option<&RuleSet> {
+        match self {
+            ServedModel::Rules(rs) => Some(rs),
+            ServedModel::ColAvgs(_) => None,
+        }
+    }
+
+    /// A hole-filling predictor for whatever was served.
+    pub fn into_predictor(self) -> Box<dyn Predictor> {
+        match self {
+            ServedModel::Rules(rs) => Box::new(crate::predictor::RuleSetPredictor::new(rs)),
+            ServedModel::ColAvgs(ca) => Box::new(ca),
+        }
+    }
+}
+
+/// Miner that never aborts on eigensolve failure: it walks the
+/// [`EigenStage`] ladder, validates every candidate pair by residual,
+/// and degrades to fewer rules or the col-avgs baseline instead of
+/// erroring. Scan-side resilience lives in [`Scanner`]; this type owns
+/// the solve side.
+pub struct ResilientMiner {
+    cutoff: Cutoff,
+    labels: Option<Vec<String>>,
+    ladder: Vec<Box<dyn EigenStage>>,
+    /// Relative residual tolerance for accepting an eigenpair:
+    /// `‖Cv - λv‖_inf <= tol * max(‖C‖_max, 1)`.
+    residual_tol: f64,
+}
+
+impl std::fmt::Debug for ResilientMiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientMiner")
+            .field("cutoff", &self.cutoff)
+            .field(
+                "ladder",
+                &self.ladder.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .field("residual_tol", &self.residual_tol)
+            .finish()
+    }
+}
+
+impl ResilientMiner {
+    /// Default ladder: Jacobi → tridiagonal QL → Lanczos.
+    pub fn new(cutoff: Cutoff) -> Self {
+        ResilientMiner {
+            cutoff,
+            labels: None,
+            ladder: vec![
+                Box::new(JacobiStage),
+                Box::new(QlStage),
+                Box::new(LanczosStage::default()),
+            ],
+            residual_tol: 1e-6,
+        }
+    }
+
+    /// Replaces the ladder (tests inject failing stages here).
+    pub fn with_ladder(mut self, ladder: Vec<Box<dyn EigenStage>>) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Attaches attribute labels.
+    pub fn with_labels(mut self, labels: Vec<String>) -> Self {
+        self.labels = Some(labels);
+        self
+    }
+
+    /// Overrides the residual acceptance tolerance.
+    pub fn with_residual_tol(mut self, tol: f64) -> Self {
+        self.residual_tol = tol;
+        self
+    }
+
+    /// Validated prefix length: how many leading `(λ, v)` pairs satisfy
+    /// `‖Cv - λv‖_inf <= tol * max(‖C‖_max, 1)` with finite values and
+    /// nonzero `v`. Stops at the first failure — rules are a top-`k`
+    /// prefix, so a gap invalidates everything after it.
+    fn validated_prefix(
+        &self,
+        c: &Matrix,
+        values: &[f64],
+        vectors: &[Vec<f64>],
+        want: usize,
+    ) -> usize {
+        let m = c.rows();
+        let scale = c.max_abs().max(1.0) * self.residual_tol;
+        let mut ok = 0usize;
+        for (lambda, v) in values.iter().zip(vectors).take(want) {
+            if !lambda.is_finite() || v.len() != m {
+                break;
+            }
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if !norm.is_finite() || norm < 1e-12 {
+                break;
+            }
+            // ‖Cv - λv‖_inf, computed row by row.
+            let mut worst = 0.0_f64;
+            for i in 0..m {
+                let mut cv = 0.0;
+                for (j, vj) in v.iter().enumerate() {
+                    cv += c[(i, j)] * vj;
+                }
+                worst = worst.max((cv - lambda * v[i]).abs());
+            }
+            if !worst.is_finite() || worst > scale * norm.max(1.0) {
+                break;
+            }
+            ok += 1;
+        }
+        ok
+    }
+
+    /// Pads a (possibly partial) spectrum to length `M` so the Eq. 1
+    /// energy denominator equals `trace(C)` exactly — same construction
+    /// as the Lanczos path in [`crate::miner`].
+    fn pad_spectrum(c: &Matrix, values: &[f64]) -> Vec<f64> {
+        let m = c.rows();
+        let mut spectrum = values.to_vec();
+        if spectrum.len() < m {
+            let top_sum: f64 = spectrum.iter().sum();
+            let tail = (c.trace() - top_sum).max(0.0);
+            let remaining = m - spectrum.len();
+            spectrum.extend(std::iter::repeat_n(tail / remaining as f64, remaining));
+        }
+        spectrum
+    }
+
+    /// Runs the ladder over a filled accumulator. Only truly unrecoverable
+    /// conditions (an empty accumulator) return `Err`; everything else
+    /// degrades and reports.
+    pub fn finish(
+        &self,
+        acc: &CovarianceAccumulator,
+    ) -> Result<(ServedModel, DegradationReport)> {
+        let _span = obs::Span::enter("eigensolve_ladder");
+        let (c, means, n) = acc.finalize()?;
+        let labels = self
+            .labels
+            .clone()
+            .unwrap_or_else(|| (0..acc.n_cols()).map(|j| format!("attr{j}")).collect());
+
+        let mut attempts: Vec<StageAttempt> = Vec::new();
+        // Best partial result seen so far: (validated, values, vectors,
+        // spectrum, stage).
+        let mut best: Option<(usize, Vec<f64>, Vec<Vec<f64>>, Vec<f64>, &'static str)> = None;
+        let mut wanted_overall = 0usize;
+
+        for stage in &self.ladder {
+            let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                stage.solve(&c)
+            }))
+            .unwrap_or_else(|p| {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic".into());
+                Err(format!("stage panicked: {msg}"))
+            });
+            match solved {
+                Err(why) => {
+                    obs::counter_add("eigen_stage_failures_total", 1);
+                    attempts.push(StageAttempt {
+                        stage: stage.name(),
+                        validated: 0,
+                        failure: Some(why),
+                    });
+                }
+                Ok((values, vectors)) => {
+                    let spectrum = Self::pad_spectrum(&c, &values);
+                    let wanted = match self.cutoff.select(&spectrum) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            obs::counter_add("eigen_stage_failures_total", 1);
+                            attempts.push(StageAttempt {
+                                stage: stage.name(),
+                                validated: 0,
+                                failure: Some(format!("cutoff rejected spectrum: {e}")),
+                            });
+                            continue;
+                        }
+                    };
+                    wanted_overall = wanted_overall.max(wanted);
+                    let usable = wanted.min(values.len()).min(vectors.len());
+                    let validated = self.validated_prefix(&c, &values, &vectors, usable);
+                    if validated >= wanted {
+                        attempts.push(StageAttempt {
+                            stage: stage.name(),
+                            validated,
+                            failure: None,
+                        });
+                        let rules = self.assemble(
+                            &values, &vectors, spectrum, wanted, means, labels, n,
+                        )?;
+                        let report = DegradationReport {
+                            level: DegradationLevel::FullRules,
+                            served_by: Some(stage.name()),
+                            wanted,
+                            attempts,
+                        };
+                        Self::publish(&report);
+                        return Ok((ServedModel::Rules(rules), report));
+                    }
+                    obs::counter_add("eigen_stage_failures_total", 1);
+                    attempts.push(StageAttempt {
+                        stage: stage.name(),
+                        validated,
+                        failure: Some(format!(
+                            "only {validated} of {wanted} eigenpairs passed residual validation"
+                        )),
+                    });
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|(v, ..)| validated > *v);
+                    if validated > 0 && better {
+                        best = Some((validated, values, vectors, spectrum, stage.name()));
+                    }
+                }
+            }
+        }
+
+        // No stage satisfied the cutoff: serve the best partial, else
+        // the col-avgs floor.
+        if let Some((served, values, vectors, spectrum, stage)) = best {
+            let rules =
+                self.assemble(&values, &vectors, spectrum, served, means, labels, n)?;
+            let report = DegradationReport {
+                level: DegradationLevel::FewerRules {
+                    served,
+                    wanted: wanted_overall.max(served),
+                },
+                served_by: Some(stage),
+                wanted: wanted_overall.max(served),
+                attempts,
+            };
+            Self::publish(&report);
+            return Ok((ServedModel::Rules(rules), report));
+        }
+        let report = DegradationReport {
+            level: DegradationLevel::ColAvgs,
+            served_by: None,
+            wanted: wanted_overall,
+            attempts,
+        };
+        Self::publish(&report);
+        Ok((ServedModel::ColAvgs(ColAvgs::new(means)?), report))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        values: &[f64],
+        vectors: &[Vec<f64>],
+        spectrum: Vec<f64>,
+        k: usize,
+        means: Vec<f64>,
+        labels: Vec<String>,
+        n: usize,
+    ) -> Result<RuleSet> {
+        let rules: Vec<RatioRule> = (0..k)
+            .map(|j| RatioRule {
+                loadings: vectors[j].clone(),
+                eigenvalue: values[j],
+            })
+            .collect();
+        RuleSet::new(rules, means, spectrum, labels, n)
+    }
+
+    fn publish(report: &DegradationReport) {
+        obs::gauge_set("degradation_level", report.level.severity() as f64);
+        if report.degraded() {
+            obs::counter_add("degraded_results_total", 1);
+        }
+    }
+}
+
+/// Convenience: full resilient pipeline over a row source — quarantine
+/// scan (under `policy`) then the degradation ladder. Returns the served
+/// model plus both reports.
+pub fn mine_resilient<S: RowSource>(
+    source: &mut S,
+    cutoff: Cutoff,
+    policy: ScanPolicy,
+    labels: Option<Vec<String>>,
+) -> Result<(ServedModel, ScanReport, DegradationReport)> {
+    let mut scanner = Scanner::new(source.n_cols(), policy);
+    scanner.scan(source)?;
+    let (acc, scan_report) = scanner.into_parts();
+    let mut miner = ResilientMiner::new(cutoff);
+    if let Some(labels) = labels {
+        miner = miner.with_labels(labels);
+    }
+    let (model, degradation) = miner.finish(&acc)?;
+    Ok((model, scan_report, degradation))
+}
+
+/// Strict single-pass scan used by [`RatioRuleMiner::fit`] — kept here
+/// so the policy-aware machinery and the historical hot loop live side
+/// by side. Equivalent to `Scanner::new(m, Strict).scan(source)` but
+/// without the per-row policy dispatch.
+pub(crate) fn scan_strict<S: RowSource>(source: &mut S) -> Result<CovarianceAccumulator> {
+    let m = source.n_cols();
+    let mut acc = CovarianceAccumulator::new(m);
+    source.rewind()?;
+    let mut buf = vec![0.0_f64; m];
+    let _span = obs::Span::enter("covariance_scan");
+    let start = obs::enabled().then(std::time::Instant::now);
+    let mut rows = 0u64;
+    while source.next_row(&mut buf)? {
+        acc.push_row(&buf)?;
+        rows += 1;
+    }
+    if let Some(start) = start {
+        obs::counter_add("covariance_rows_scanned_total", rows);
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            obs::gauge_set("covariance_rows_per_s", rows as f64 / secs);
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::fault::{FaultPlan, FaultyRowSource};
+    use dataset::source::MatrixSource;
+
+    fn data(n: usize, m: usize) -> Matrix {
+        Matrix::from_fn(n, m, |i, j| {
+            let t = i as f64;
+            t * (j as f64 + 1.0) + ((i * 7 + j * 3) % 11) as f64 * 0.01
+        })
+    }
+
+    fn scan_matrix(x: &Matrix, policy: ScanPolicy) -> (CovarianceAccumulator, ScanReport) {
+        let mut scanner = Scanner::new(x.cols(), policy);
+        let mut src = MatrixSource::new(x);
+        scanner.scan(&mut src).unwrap();
+        scanner.into_parts()
+    }
+
+    #[test]
+    fn strict_scan_matches_plain_accumulation() {
+        let x = data(40, 3);
+        let (acc, report) = scan_matrix(&x, ScanPolicy::Strict);
+        assert_eq!(report.rows_absorbed, 40);
+        assert_eq!(report.rows_quarantined, 0);
+        let mut plain = CovarianceAccumulator::new(3);
+        for row in x.row_iter() {
+            plain.push_row(row).unwrap();
+        }
+        let (c1, m1, _) = acc.finalize().unwrap();
+        let (c2, m2, _) = plain.finalize().unwrap();
+        assert_eq!(m1, m2, "bit-identical means");
+        assert_eq!(c1.max_abs_diff(&c2).unwrap(), 0.0, "bit-identical scatter");
+    }
+
+    #[test]
+    fn strict_scan_fails_fast_on_faults() {
+        let x = data(100, 3);
+        let plan = FaultPlan {
+            seed: 9,
+            transient_rate: 0.0,
+            corrupt_rate: 0.1,
+            arity_rate: 0.0,
+            truncate_after: None,
+        };
+        let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let mut scanner = Scanner::new(3, ScanPolicy::Strict);
+        let err = scanner.scan(&mut src).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    /// The tentpole equivalence: a quarantine scan over a faulty stream
+    /// produces the exact accumulator of a clean scan over only the
+    /// good rows.
+    #[test]
+    fn quarantine_equals_clean_subset_bitwise() {
+        let x = data(250, 4);
+        for (seed, rate) in [(1u64, 0.01), (2, 0.1), (3, 0.25)] {
+            let plan = FaultPlan {
+                seed,
+                transient_rate: rate,
+                corrupt_rate: rate,
+                arity_rate: rate,
+                truncate_after: None,
+            };
+            let mut faulty = FaultyRowSource::new(MatrixSource::new(&x), plan);
+            let mut scanner = Scanner::new(4, ScanPolicy::quarantine_unlimited());
+            scanner.scan(&mut faulty).unwrap();
+            let (acc, report) = scanner.into_parts();
+
+            // Reference: push exactly the plan's clean rows.
+            let mut reference = CovarianceAccumulator::new(4);
+            let mut clean = 0usize;
+            for pos in 0..250 {
+                if plan.row_is_clean(pos, 4) {
+                    reference.push_row(x.row(pos)).unwrap();
+                    clean += 1;
+                }
+            }
+            assert_eq!(acc.n_rows(), clean, "seed {seed} rate {rate}");
+            assert_eq!(report.rows_absorbed, clean);
+            assert_eq!(report.rows_quarantined, 250 - clean);
+            let (n1, s1, r1) = acc.parts();
+            let (n2, s2, r2) = reference.parts();
+            assert_eq!(n1, n2);
+            assert_eq!(s1, s2, "column sums must be bit-identical");
+            assert_eq!(r1, r2, "moment matrix must be bit-identical");
+            // Transients were ridden out, not quarantined.
+            let injected = faulty.log();
+            assert_eq!(report.transient_retries, injected.transient);
+            assert_eq!(report.by_reason.0, injected.corrupt);
+            assert_eq!(report.by_reason.1, injected.arity);
+        }
+    }
+
+    #[test]
+    fn max_bad_rows_budget_aborts_with_distinct_error() {
+        let x = data(200, 3);
+        let plan = FaultPlan {
+            seed: 4,
+            transient_rate: 0.0,
+            corrupt_rate: 0.2,
+            arity_rate: 0.0,
+            truncate_after: None,
+        };
+        let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let mut scanner = Scanner::new(
+            3,
+            ScanPolicy::Quarantine {
+                max_bad_rows: Some(3),
+                max_bad_fraction: None,
+            },
+        );
+        let err = scanner.scan(&mut src).unwrap_err();
+        match err {
+            RatioRuleError::BudgetExhausted {
+                quarantined, limit, ..
+            } => {
+                assert_eq!(quarantined, 4, "aborts on the first row over budget");
+                assert!(limit.contains("max_bad_rows"));
+            }
+            other => panic!("expected BudgetExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn max_bad_fraction_budget_checked_at_end() {
+        let x = data(100, 3);
+        let plan = FaultPlan {
+            seed: 4,
+            transient_rate: 0.0,
+            corrupt_rate: 0.2,
+            arity_rate: 0.0,
+            truncate_after: None,
+        };
+        // Generous fraction: passes.
+        let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let mut scanner = Scanner::new(
+            3,
+            ScanPolicy::Quarantine {
+                max_bad_rows: None,
+                max_bad_fraction: Some(0.9),
+            },
+        );
+        scanner.scan(&mut src).unwrap();
+        let quarantined = scanner.report().rows_quarantined;
+        assert!(quarantined > 0);
+        // Tight fraction: the same stream trips the budget.
+        let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let mut scanner = Scanner::new(
+            3,
+            ScanPolicy::Quarantine {
+                max_bad_rows: None,
+                max_bad_fraction: Some(0.01),
+            },
+        );
+        let err = scanner.scan(&mut src).unwrap_err();
+        assert!(matches!(err, RatioRuleError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn checkpoint_json_roundtrips_exactly() {
+        let x = data(37, 5);
+        let (acc, _) = scan_matrix(&x, ScanPolicy::Strict);
+        let report = ScanReport {
+            rows_quarantined: 3,
+            by_reason: (2, 1, 0),
+            ..ScanReport::default()
+        };
+        let cp = ScanCheckpoint::capture(&acc, 40, &report);
+        let text = cp.to_json();
+        let back = ScanCheckpoint::from_json(&text).unwrap();
+        assert_eq!(cp, back, "exact f64 round-trip through JSON");
+        let acc2 = back.accumulator().unwrap();
+        let (n1, s1, r1) = acc.parts();
+        let (n2, s2, r2) = acc2.parts();
+        assert_eq!(n1, n2);
+        assert_eq!(s1, s2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn checkpoint_rejects_corrupt_documents() {
+        assert!(ScanCheckpoint::from_json("not json").is_err());
+        assert!(ScanCheckpoint::from_json("{}").is_err());
+        // Wrong moment-vector length.
+        let bad = r#"{"version":1,"m":3,"n":2,"rows_consumed":2,
+            "rows_quarantined":0,"quarantined_corrupt":0,
+            "quarantined_arity":0,"quarantined_source":0,
+            "col_sums":[1,2,3],"raw_upper":[1,2]}"#;
+        assert!(ScanCheckpoint::from_json(bad).is_err());
+    }
+
+    /// The tentpole resume property: checkpoint at any row + resume over
+    /// the same stream == one uninterrupted scan, bit for bit.
+    #[test]
+    fn checkpoint_resume_equals_uninterrupted() {
+        let x = data(120, 4);
+        let plan = FaultPlan {
+            seed: 21,
+            transient_rate: 0.05,
+            corrupt_rate: 0.05,
+            arity_rate: 0.05,
+            truncate_after: None,
+        };
+        // Uninterrupted quarantine scan.
+        let mut whole = Scanner::new(4, ScanPolicy::quarantine_unlimited());
+        whole
+            .scan(&mut FaultyRowSource::new(MatrixSource::new(&x), plan))
+            .unwrap();
+        let (acc_whole, rep_whole) = whole.into_parts();
+
+        for stop_after in [1usize, 13, 57, 119] {
+            // First scan, truncated by an injected crash.
+            let crash_plan = FaultPlan {
+                truncate_after: Some(stop_after),
+                ..plan
+            };
+            let mut first = Scanner::new(4, ScanPolicy::quarantine_unlimited());
+            first
+                .scan(&mut FaultyRowSource::new(MatrixSource::new(&x), crash_plan))
+                .unwrap();
+            let cp = ScanCheckpoint::from_json(&first.checkpoint().to_json()).unwrap();
+            assert!(cp.rows_consumed <= stop_after + 1);
+
+            // Resume over a fresh faulty stream (transients re-armed:
+            // a new process would see them again; they must not shift
+            // the cursor).
+            let mut resumed = Scanner::resume(&cp, ScanPolicy::quarantine_unlimited()).unwrap();
+            resumed
+                .scan(&mut FaultyRowSource::new(MatrixSource::new(&x), plan))
+                .unwrap();
+            let (acc_res, rep_res) = resumed.into_parts();
+
+            let (n1, s1, r1) = acc_whole.parts();
+            let (n2, s2, r2) = acc_res.parts();
+            assert_eq!(n1, n2, "stop_after {stop_after}");
+            assert_eq!(s1, s2, "stop_after {stop_after}: column sums");
+            assert_eq!(r1, r2, "stop_after {stop_after}: moments");
+            assert_eq!(rep_whole.rows_quarantined, rep_res.rows_quarantined);
+            assert_eq!(rep_res.resumed_from, cp.rows_consumed);
+        }
+    }
+
+    #[test]
+    fn resume_past_end_of_stream_is_an_error() {
+        let x = data(10, 3);
+        let (acc, _) = scan_matrix(&x, ScanPolicy::Strict);
+        let cp = ScanCheckpoint::capture(&acc, 99, &ScanReport::default());
+        let mut scanner = Scanner::resume(&cp, ScanPolicy::Strict).unwrap();
+        let err = scanner.scan(&mut MatrixSource::new(&x)).unwrap_err();
+        assert!(err.to_string().contains("cannot resume"), "{err}");
+    }
+
+    #[test]
+    fn wedged_source_is_cut_off() {
+        /// Fails transiently forever without ever yielding a row — the
+        /// pathological case the consecutive-error cap exists for.
+        struct WedgedSrc;
+        impl dataset::source::RowSource for WedgedSrc {
+            fn n_cols(&self) -> usize {
+                2
+            }
+            fn next_row(&mut self, _buf: &mut [f64]) -> dataset::Result<bool> {
+                Err(dataset::DatasetError::Transient("stuck".into()))
+            }
+            fn rewind(&mut self) -> dataset::Result<()> {
+                Ok(())
+            }
+        }
+        let mut scanner = Scanner::new(2, ScanPolicy::quarantine_unlimited());
+        let err = scanner.scan(&mut WedgedSrc).unwrap_err();
+        assert!(err.to_string().contains("without yielding a row"), "{err}");
+    }
+
+    // ------------------------------------------------------------------
+    // Ladder tests
+    // ------------------------------------------------------------------
+
+    /// A stage that always fails (for ladder tests).
+    struct FailStage;
+    impl EigenStage for FailStage {
+        fn name(&self) -> &'static str {
+            "always_fail"
+        }
+        fn solve(&self, _c: &Matrix) -> std::result::Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+            Err("injected failure".into())
+        }
+    }
+
+    /// A stage that panics (proving panic isolation in the ladder).
+    struct PanicStage;
+    impl EigenStage for PanicStage {
+        fn name(&self) -> &'static str {
+            "panics"
+        }
+        fn solve(&self, _c: &Matrix) -> std::result::Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+            panic!("solver exploded");
+        }
+    }
+
+    /// A stage returning garbage eigenpairs that cannot pass validation.
+    struct GarbageStage;
+    impl EigenStage for GarbageStage {
+        fn name(&self) -> &'static str {
+            "garbage"
+        }
+        fn solve(&self, c: &Matrix) -> std::result::Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+            let m = c.rows();
+            Ok((vec![1.0; m], vec![vec![1.0; m]; m]))
+        }
+    }
+
+    fn filled_acc(x: &Matrix) -> CovarianceAccumulator {
+        let mut acc = CovarianceAccumulator::new(x.cols());
+        for row in x.row_iter() {
+            acc.push_row(row).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn healthy_ladder_matches_plain_miner() {
+        let x = data(80, 4);
+        let acc = filled_acc(&x);
+        let (model, report) = ResilientMiner::new(Cutoff::FixedK(2))
+            .finish(&acc)
+            .unwrap();
+        assert_eq!(report.level, DegradationLevel::FullRules);
+        assert_eq!(report.served_by, Some("jacobi"));
+        assert!(!report.degraded());
+        let rules = model.rules().unwrap();
+        let plain = RatioRuleMiner::new(Cutoff::FixedK(2)).finish(&acc).unwrap();
+        assert_eq!(rules.k(), plain.k());
+        for (a, b) in rules.rules().iter().zip(plain.rules()) {
+            assert!((a.eigenvalue - b.eigenvalue).abs() < 1e-8 * a.eigenvalue.max(1.0));
+            for (p, q) in a.loadings.iter().zip(&b.loadings) {
+                assert!((p - q).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_falls_through_failing_and_panicking_stages() {
+        let x = data(60, 3);
+        let acc = filled_acc(&x);
+        let (model, report) = ResilientMiner::new(Cutoff::FixedK(1))
+            .with_ladder(vec![
+                Box::new(FailStage),
+                Box::new(PanicStage),
+                Box::new(QlStage),
+            ])
+            .finish(&acc)
+            .unwrap();
+        assert_eq!(report.level, DegradationLevel::FullRules);
+        assert_eq!(report.served_by, Some("tridiagonal_ql"));
+        assert_eq!(report.attempts.len(), 3);
+        assert!(report.attempts[0].failure.as_deref() == Some("injected failure"));
+        assert!(report.attempts[1]
+            .failure
+            .as_deref()
+            .unwrap()
+            .contains("solver exploded"));
+        assert!(model.rules().is_some());
+    }
+
+    #[test]
+    fn total_ladder_failure_degrades_to_col_avgs() {
+        let x = data(60, 3);
+        let acc = filled_acc(&x);
+        let (model, report) = ResilientMiner::new(Cutoff::FixedK(2))
+            .with_ladder(vec![Box::new(FailStage), Box::new(GarbageStage)])
+            .finish(&acc)
+            .unwrap();
+        assert_eq!(report.level, DegradationLevel::ColAvgs);
+        assert_eq!(report.level.severity(), 2);
+        assert!(report.served_by.is_none());
+        assert!(report.degraded());
+        assert_eq!(model.k(), 0);
+        // The floor serves the exact training means — the paper's k = 0
+        // baseline.
+        let means = acc.column_means();
+        match &model {
+            ServedModel::ColAvgs(ca) => assert_eq!(ca.means(), &means[..]),
+            other => panic!("expected col-avgs, got {other:?}"),
+        }
+        // And it still predicts.
+        let p = model.into_predictor();
+        let filled = p
+            .fill(&dataset::holes::HoledRow::new(vec![None, Some(1.0), None]))
+            .unwrap();
+        assert_eq!(filled[0], means[0]);
+        assert_eq!(filled[2], means[2]);
+        // Every attempt is on record.
+        assert!(report.summary().contains("col-avgs"));
+        assert!(report.summary().contains("always_fail"));
+    }
+
+    #[test]
+    fn partial_validation_serves_fewer_rules() {
+        // A stage that returns the true top-1 pair plus garbage for the
+        // rest: validation keeps the good prefix only.
+        struct Top1Stage;
+        impl EigenStage for Top1Stage {
+            fn name(&self) -> &'static str {
+                "top1"
+            }
+            fn solve(
+                &self,
+                c: &Matrix,
+            ) -> std::result::Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+                let eig = linalg::eigen::SymmetricEigen::new(c).map_err(|e| e.to_string())?;
+                let m = c.rows();
+                let mut values = vec![eig.eigenvalues[0]];
+                let mut vectors = vec![eig.eigenvector(0)];
+                for _ in 1..m {
+                    values.push(f64::NAN);
+                    vectors.push(vec![0.0; m]);
+                }
+                Ok((values, vectors))
+            }
+        }
+        let x = data(60, 3);
+        let acc = filled_acc(&x);
+        let (model, report) = ResilientMiner::new(Cutoff::FixedK(3))
+            .with_ladder(vec![Box::new(Top1Stage)])
+            .finish(&acc)
+            .unwrap();
+        match report.level {
+            DegradationLevel::FewerRules { served, wanted } => {
+                assert_eq!(served, 1);
+                assert_eq!(wanted, 3);
+            }
+            ref other => panic!("expected FewerRules, got {other:?}"),
+        }
+        assert_eq!(model.k(), 1);
+        assert!(report.summary().contains("1/3"));
+    }
+
+    #[test]
+    fn empty_accumulator_is_still_an_error() {
+        let acc = CovarianceAccumulator::new(3);
+        assert!(ResilientMiner::new(Cutoff::default()).finish(&acc).is_err());
+    }
+
+    #[test]
+    fn mine_resilient_end_to_end_over_faulty_stream() {
+        let x = data(150, 3);
+        let plan = FaultPlan {
+            seed: 77,
+            transient_rate: 0.02,
+            corrupt_rate: 0.05,
+            arity_rate: 0.02,
+            truncate_after: None,
+        };
+        let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let (model, scan, degradation) = mine_resilient(
+            &mut src,
+            Cutoff::default(),
+            ScanPolicy::quarantine_unlimited(),
+            Some(vec!["a".into(), "b".into(), "c".into()]),
+        )
+        .unwrap();
+        assert!(scan.rows_quarantined > 0);
+        assert!(scan.rows_absorbed + scan.rows_quarantined == 150);
+        assert_eq!(degradation.level, DegradationLevel::FullRules);
+        let rules = model.rules().unwrap();
+        assert_eq!(rules.attribute_labels(), &["a", "b", "c"]);
+        // Matches mining the clean subset directly.
+        let mut reference = CovarianceAccumulator::new(3);
+        for pos in 0..150 {
+            if plan.row_is_clean(pos, 3) {
+                reference.push_row(x.row(pos)).unwrap();
+            }
+        }
+        let ref_rules = RatioRuleMiner::new(Cutoff::default())
+            .finish(&reference)
+            .unwrap();
+        assert_eq!(rules.k(), ref_rules.k());
+        for (a, b) in rules.rules().iter().zip(ref_rules.rules()) {
+            assert!((a.eigenvalue - b.eigenvalue).abs() < 1e-7 * a.eigenvalue.max(1.0));
+        }
+    }
+
+    #[test]
+    fn scan_publishes_resilience_metrics() {
+        obs::set_enabled(true);
+        let x = data(100, 3);
+        let plan = FaultPlan {
+            seed: 8,
+            transient_rate: 0.05,
+            corrupt_rate: 0.1,
+            arity_rate: 0.0,
+            truncate_after: None,
+        };
+        let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let mut scanner = Scanner::new(3, ScanPolicy::quarantine_unlimited());
+        scanner.scan(&mut src).unwrap();
+        let snap = obs::global().snapshot();
+        assert!(snap.counter("scan_rows_quarantined_total").unwrap() >= 1);
+        assert!(
+            snap.counter("scan_rows_quarantined_corrupt_cell_total")
+                .unwrap()
+                >= 1
+        );
+        assert!(snap.counter("faults_injected_corrupt_total").unwrap() >= 1);
+    }
+}

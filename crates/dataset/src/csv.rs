@@ -10,10 +10,40 @@ use linalg::Matrix;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+/// Parses one already-trimmed CSV cell into a *finite* `f64`.
+///
+/// Three failure modes, each reported with the cell's location:
+/// * empty / all-whitespace cells ([`DatasetError::EmptyCell`]);
+/// * tokens that are not numbers at all ([`DatasetError::Parse`]);
+/// * tokens `f64::from_str` happily accepts but that would poison every
+///   covariance sum downstream — `nan`, `inf`, `-inf`, `infinity` in any
+///   case ([`DatasetError::NonFinite`]).
+pub(crate) fn parse_cell(tok: &str, line: usize, column: usize) -> Result<f64> {
+    if tok.is_empty() {
+        return Err(DatasetError::EmptyCell { line, column });
+    }
+    let v: f64 = tok.parse().map_err(|_| DatasetError::Parse {
+        line,
+        column,
+        token: tok.to_string(),
+    })?;
+    if !v.is_finite() {
+        return Err(DatasetError::NonFinite {
+            line,
+            column,
+            token: tok.to_string(),
+        });
+    }
+    Ok(v)
+}
+
 /// Reads a matrix from CSV text.
 ///
 /// When `has_header` is true the first line supplies column labels;
-/// otherwise labels are generated. Empty lines are skipped.
+/// otherwise labels are generated. Empty lines are skipped. Every cell
+/// must parse as a finite number; empty cells and literal `nan`/`inf`
+/// tokens are rejected with their line and column (use
+/// [`read_csv_holed`] for files where blanks mean missing values).
 pub fn read_csv<R: Read>(reader: R, has_header: bool) -> Result<DataMatrix> {
     let buf = BufReader::new(reader);
     let mut header: Option<Vec<String>> = None;
@@ -44,12 +74,7 @@ pub fn read_csv<R: Read>(reader: R, has_header: bool) -> Result<DataMatrix> {
         }
         let mut row = Vec::with_capacity(fields.len());
         for (col, tok) in fields.iter().enumerate() {
-            let v: f64 = tok.parse().map_err(|_| DatasetError::Parse {
-                line: idx + 1,
-                column: col,
-                token: (*tok).to_string(),
-            })?;
-            row.push(v);
+            row.push(parse_cell(tok, idx + 1, col)?);
         }
         rows.push(row);
     }
@@ -127,12 +152,9 @@ pub fn read_csv_holed<R: Read>(reader: R, has_header: bool) -> Result<HoledRows>
             if tok.is_empty() || *tok == "?" {
                 row.push(None);
             } else {
-                let v: f64 = tok.parse().map_err(|_| DatasetError::Parse {
-                    line: idx + 1,
-                    column: col,
-                    token: (*tok).to_string(),
-                })?;
-                row.push(Some(v));
+                // A known cell must still be a finite number: literal
+                // `nan`/`inf` is corruption, not a hole.
+                row.push(Some(parse_cell(tok, idx + 1, col)?));
             }
         }
         rows.push(row);
@@ -226,6 +248,65 @@ mod tests {
             }
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn empty_and_whitespace_cells_located() {
+        // An empty cell inside a row is reported with line and column,
+        // not as a generic parse failure on "".
+        let err = read_csv("1,,3\n".as_bytes(), false).unwrap_err();
+        assert!(
+            matches!(err, DatasetError::EmptyCell { line: 1, column: 1 }),
+            "unexpected error {err}"
+        );
+        // Whitespace-only cells trim to empty and hit the same path.
+        let err = read_csv("a,b\n1,2\n3,   \n".as_bytes(), true).unwrap_err();
+        assert!(
+            matches!(err, DatasetError::EmptyCell { line: 3, column: 1 }),
+            "unexpected error {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("line 3") && msg.contains("column 1"), "{msg}");
+    }
+
+    #[test]
+    fn literal_nan_and_inf_tokens_rejected() {
+        // `f64::from_str` parses all of these; the reader must not let
+        // them smuggle a poisoned cell into the matrix.
+        for tok in ["nan", "NaN", "NAN", "inf", "Inf", "-inf", "infinity", "-Infinity"] {
+            let text = format!("1,2\n3,{tok}\n");
+            let err = read_csv(text.as_bytes(), false).unwrap_err();
+            match err {
+                DatasetError::NonFinite {
+                    line,
+                    column,
+                    token,
+                } => {
+                    assert_eq!((line, column), (2, 1), "token {tok}");
+                    assert_eq!(token, tok);
+                }
+                other => panic!("token {tok}: unexpected error {other}"),
+            }
+        }
+        // Still a plain parse error for garbage, with location.
+        assert!(matches!(
+            read_csv("1,2\n3,infinite\n".as_bytes(), false),
+            Err(DatasetError::Parse { line: 2, column: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn holed_reader_rejects_non_finite_tokens() {
+        // Blanks and '?' are holes, but literal nan/inf is corruption.
+        let err = read_csv_holed("1,nan\n".as_bytes(), false).unwrap_err();
+        assert!(matches!(
+            err,
+            DatasetError::NonFinite { line: 1, column: 1, .. }
+        ));
+        assert!(matches!(
+            read_csv_holed("1,2\n inf ,4\n".as_bytes(), false),
+            Err(DatasetError::NonFinite { line: 2, column: 0, .. })
+        ));
     }
 
     #[test]

@@ -27,8 +27,52 @@ pub enum DatasetError {
         /// Actual field count.
         actual: usize,
     },
+    /// A CSV cell was empty or all whitespace where a number was
+    /// required.
+    EmptyCell {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+    },
+    /// A CSV cell parsed as a non-finite number (`nan`, `inf`, ...).
+    /// `f64::from_str` accepts these tokens, but a single one silently
+    /// poisons every downstream covariance sum, so the readers reject
+    /// them explicitly with their location.
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+        /// Offending token as it appeared in the file.
+        token: String,
+    },
+    /// A transient failure (torn read, timeout, injected fault) that may
+    /// succeed if the same operation is retried. See
+    /// [`crate::retry::RetryingSource`].
+    Transient(String),
     /// Invalid argument (bad fraction, empty matrix, label mismatch...).
     Invalid(String),
+}
+
+impl DatasetError {
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// True for [`DatasetError::Transient`] and for I/O errors whose kind
+    /// is interruption/timeout-shaped; false for data errors (a corrupt
+    /// cell stays corrupt no matter how often it is re-read).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DatasetError::Transient(_) => true,
+            DatasetError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for DatasetError {
@@ -53,6 +97,23 @@ impl fmt::Display for DatasetError {
             } => {
                 write!(f, "line {line}: expected {expected} fields, found {actual}")
             }
+            DatasetError::EmptyCell { line, column } => {
+                write!(
+                    f,
+                    "line {line}, column {column}: empty cell where a number was required"
+                )
+            }
+            DatasetError::NonFinite {
+                line,
+                column,
+                token,
+            } => {
+                write!(
+                    f,
+                    "line {line}, column {column}: non-finite value {token:?} is not a valid cell"
+                )
+            }
+            DatasetError::Transient(msg) => write!(f, "transient failure: {msg}"),
             DatasetError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -103,6 +164,44 @@ mod tests {
 
         let e = DatasetError::Invalid("fraction out of range".into());
         assert!(e.to_string().contains("fraction"));
+
+        let e = DatasetError::EmptyCell { line: 7, column: 1 };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("empty cell"));
+
+        let e = DatasetError::NonFinite {
+            line: 2,
+            column: 0,
+            token: "inf".into(),
+        };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains("inf"));
+
+        let e = DatasetError::Transient("torn read".into());
+        assert!(e.to_string().contains("torn read"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(DatasetError::Transient("x".into()).is_transient());
+        let interrupted: DatasetError =
+            std::io::Error::new(std::io::ErrorKind::Interrupted, "signal").into();
+        assert!(interrupted.is_transient());
+        let timed_out: DatasetError =
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "slow disk").into();
+        assert!(timed_out.is_transient());
+        // Data errors never become correct by re-reading.
+        let missing: DatasetError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(!missing.is_transient());
+        assert!(!DatasetError::EmptyCell { line: 1, column: 0 }.is_transient());
+        assert!(!DatasetError::NonFinite {
+            line: 1,
+            column: 0,
+            token: "nan".into()
+        }
+        .is_transient());
+        assert!(!DatasetError::Invalid("bad".into()).is_transient());
     }
 
     #[test]

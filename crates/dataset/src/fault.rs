@@ -1,0 +1,436 @@
+//! Deterministic fault injection for [`RowSource`] streams.
+//!
+//! The paper's single-pass scan is aimed at data "far larger than
+//! memory" — the regime where torn reads, corrupt cells, and mid-scan
+//! truncation are facts of life, not test fixtures. [`FaultyRowSource`]
+//! wraps any [`RowSource`] and injects four fault families at seeded,
+//! position-deterministic points, so every chaos test is exactly
+//! reproducible and the "good rows" subset of a faulty stream is a pure
+//! function of `(seed, rates)`:
+//!
+//! * **transient** — `next_row` fails with [`DatasetError::Transient`]
+//!   *before* consuming the underlying row, exactly once per position;
+//!   a retry (or rewind) at the same position succeeds. This models the
+//!   torn read / timeout family that [`crate::retry::RetryingSource`]
+//!   absorbs.
+//! * **corrupt cell** — one cell of the delivered row is replaced with
+//!   `NaN`. The row *is* consumed; the fault is persistent, firing at
+//!   the same position on every pass.
+//! * **arity mismatch** — the row is consumed but reported as
+//!   [`DatasetError::RaggedRows`], as if the producer dropped a field.
+//!   Persistent per position.
+//! * **truncation** — the stream ends early at a fixed row index, once;
+//!   after a rewind the full stream is visible again (the "crash, then
+//!   resume from checkpoint" scenario).
+//!
+//! Determinism comes from hashing `(seed, position, fault-kind salt)`
+//! with SplitMix64, so faults at different positions are independent
+//! and a given `(seed, rate)` pair marks the same rows on every run.
+
+use crate::{DatasetError, Result, source::RowSource};
+
+/// SplitMix64: tiny, high-quality 64-bit mixer (Steele et al., 2014).
+/// Used as a stateless hash: same input, same output, no RNG stream to
+/// keep in sync with the cursor.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+const SALT_TRANSIENT: u64 = 0x7472_616e_7369; // "transi"
+const SALT_CORRUPT: u64 = 0x636f_7272_7570; // "corrup"
+const SALT_ARITY: u64 = 0x6172_6974_79; // "arity"
+const SALT_COLUMN: u64 = 0x636f_6c75_6d6e; // "column"
+
+/// Converts a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    // 53 high bits -> exactly representable dyadic rational.
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Seeded fault rates for a [`FaultyRowSource`]. All rates are
+/// probabilities in `[0, 1]` evaluated independently per row position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the position hashes; same seed, same faults.
+    pub seed: u64,
+    /// Probability a row position raises a one-shot transient error.
+    pub transient_rate: f64,
+    /// Probability a delivered row has one cell replaced with `NaN`.
+    pub corrupt_rate: f64,
+    /// Probability a row position reports an arity mismatch.
+    pub arity_rate: f64,
+    /// First pass ends (`Ok(false)`) after this many delivered rows.
+    pub truncate_after: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — wrapping with it is the identity.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_rate: 0.0,
+            corrupt_rate: 0.0,
+            arity_rate: 0.0,
+            truncate_after: None,
+        }
+    }
+
+    /// A plan injecting every fault family at the same `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            transient_rate: rate,
+            corrupt_rate: rate,
+            arity_rate: rate,
+            truncate_after: None,
+        }
+    }
+
+    fn draw(&self, position: usize, salt: u64) -> f64 {
+        unit(splitmix64(
+            self.seed ^ (position as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt,
+        ))
+    }
+
+    /// Whether a transient error fires (once) at this row position.
+    pub fn transient_at(&self, position: usize) -> bool {
+        self.transient_rate > 0.0 && self.draw(position, SALT_TRANSIENT) < self.transient_rate
+    }
+
+    /// Which column (if any) is corrupted at this row position.
+    pub fn corrupt_at(&self, position: usize, n_cols: usize) -> Option<usize> {
+        if n_cols > 0
+            && self.corrupt_rate > 0.0
+            && self.draw(position, SALT_CORRUPT) < self.corrupt_rate
+        {
+            Some((splitmix64(self.seed ^ position as u64 ^ SALT_COLUMN) % n_cols as u64) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Whether an arity mismatch fires at this row position.
+    pub fn arity_at(&self, position: usize) -> bool {
+        self.arity_rate > 0.0 && self.draw(position, SALT_ARITY) < self.arity_rate
+    }
+
+    /// Whether the row at this position survives every *persistent*
+    /// fault — i.e. belongs to the clean subset a quarantine scan must
+    /// reproduce bit-for-bit. Transient faults don't disqualify a row
+    /// (the row itself is intact once retried).
+    pub fn row_is_clean(&self, position: usize, n_cols: usize) -> bool {
+        !self.arity_at(position) && self.corrupt_at(position, n_cols).is_none()
+    }
+}
+
+/// Counts of faults actually injected, by family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// One-shot transient errors raised.
+    pub transient: usize,
+    /// Rows delivered with a `NaN`-corrupted cell.
+    pub corrupt: usize,
+    /// Rows reported as arity mismatches.
+    pub arity: usize,
+    /// Premature end-of-stream events.
+    pub truncations: usize,
+}
+
+impl FaultLog {
+    /// Total faults injected across all families.
+    pub fn total(&self) -> usize {
+        self.transient + self.corrupt + self.arity + self.truncations
+    }
+}
+
+/// A [`RowSource`] adapter that injects deterministic faults per
+/// [`FaultPlan`]. See the module docs for per-family semantics.
+#[derive(Debug)]
+pub struct FaultyRowSource<S> {
+    inner: S,
+    plan: FaultPlan,
+    /// Next row position (rows delivered or consumed-with-error so far
+    /// in the current pass).
+    position: usize,
+    /// Positions whose one-shot transient has already fired (global
+    /// across rewinds, so a retry pass streams clean).
+    fired_transients: std::collections::HashSet<usize>,
+    truncated: bool,
+    log: FaultLog,
+}
+
+impl<S: RowSource> FaultyRowSource<S> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyRowSource {
+            inner,
+            plan,
+            position: 0,
+            fired_transients: std::collections::HashSet::new(),
+            truncated: false,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn log(&self) -> FaultLog {
+        self.log
+    }
+
+    /// The plan driving the injection.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Unwraps the adapter, returning the inner source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: RowSource> RowSource for FaultyRowSource<S> {
+    fn n_cols(&self) -> usize {
+        self.inner.n_cols()
+    }
+
+    fn next_row(&mut self, buf: &mut [f64]) -> Result<bool> {
+        let pos = self.position;
+        // Transient first: fires *before* the inner row is touched so a
+        // retry sees the row intact. One-shot per position.
+        if self.plan.transient_at(pos) && self.fired_transients.insert(pos) {
+            self.log.transient += 1;
+            obs::counter_add("faults_injected_transient_total", 1);
+            return Err(DatasetError::Transient(format!(
+                "injected transient fault at row position {pos}"
+            )));
+        }
+        // Truncation: a one-shot premature EOF mid-stream.
+        if let Some(t) = self.plan.truncate_after {
+            if pos >= t && !self.truncated {
+                self.truncated = true;
+                self.log.truncations += 1;
+                obs::counter_add("faults_injected_truncation_total", 1);
+                return Ok(false);
+            }
+        }
+        if !self.inner.next_row(buf)? {
+            return Ok(false);
+        }
+        // The inner row is consumed from here on: persistent faults.
+        self.position += 1;
+        if self.plan.arity_at(pos) {
+            self.log.arity += 1;
+            obs::counter_add("faults_injected_arity_total", 1);
+            return Err(DatasetError::RaggedRows {
+                line: pos + 1,
+                expected: buf.len(),
+                actual: buf.len().saturating_sub(1),
+            });
+        }
+        if let Some(col) = self.plan.corrupt_at(pos, buf.len()) {
+            self.log.corrupt += 1;
+            obs::counter_add("faults_injected_corrupt_total", 1);
+            buf[col] = f64::NAN;
+        }
+        Ok(true)
+    }
+
+    fn rewind(&mut self) -> Result<()> {
+        self.inner.rewind()?;
+        self.position = 0;
+        // Truncation re-arms only if it never fired; once the crash has
+        // "happened", later passes see the whole stream (the recovery
+        // scenario). Fired transients likewise stay fired.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MatrixSource;
+    use linalg::Matrix;
+
+    fn data(n: usize) -> Matrix {
+        Matrix::from_fn(n, 3, |i, j| (i * 3 + j) as f64)
+    }
+
+    fn drain<S: RowSource>(src: &mut S) -> (Vec<Vec<f64>>, Vec<DatasetError>) {
+        let mut buf = vec![0.0; src.n_cols()];
+        let mut rows = Vec::new();
+        let mut errs = Vec::new();
+        loop {
+            match src.next_row(&mut buf) {
+                Ok(true) => rows.push(buf.clone()),
+                Ok(false) => break,
+                Err(e) => {
+                    errs.push(e);
+                    if errs.len() > 10_000 {
+                        panic!("fault stream never terminates");
+                    }
+                }
+            }
+        }
+        (rows, errs)
+    }
+
+    #[test]
+    fn zero_rate_plan_is_identity() {
+        let m = data(20);
+        let mut src = FaultyRowSource::new(MatrixSource::new(&m), FaultPlan::none(7));
+        let collected = src.collect_matrix().unwrap();
+        assert_eq!(collected, m);
+        assert_eq!(src.log(), FaultLog::default());
+    }
+
+    #[test]
+    fn faults_are_deterministic_across_instances() {
+        let m = data(200);
+        let plan = FaultPlan {
+            seed: 42,
+            transient_rate: 0.05,
+            corrupt_rate: 0.05,
+            arity_rate: 0.05,
+            truncate_after: None,
+        };
+        let mut a = FaultyRowSource::new(MatrixSource::new(&m), plan);
+        let mut b = FaultyRowSource::new(MatrixSource::new(&m), plan);
+        let (rows_a, errs_a) = drain(&mut a);
+        let (rows_b, errs_b) = drain(&mut b);
+        // Bit-level comparison: corrupted cells are NaN, and NaN != NaN
+        // under ==.
+        assert_eq!(rows_a.len(), rows_b.len());
+        for (ra, rb) in rows_a.iter().zip(&rows_b) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(errs_a.len(), errs_b.len());
+        assert_eq!(a.log(), b.log());
+        assert!(a.log().total() > 0, "5% rates over 200 rows should fire");
+    }
+
+    #[test]
+    fn transient_fault_is_one_shot_and_preserves_row() {
+        let m = data(50);
+        let plan = FaultPlan {
+            seed: 3,
+            transient_rate: 0.2,
+            corrupt_rate: 0.0,
+            arity_rate: 0.0,
+            truncate_after: None,
+        };
+        let mut src = FaultyRowSource::new(MatrixSource::new(&m), plan);
+        let mut buf = [0.0; 3];
+        let mut rows = Vec::new();
+        while rows.len() < 50 {
+            match src.next_row(&mut buf) {
+                Ok(true) => rows.push(buf.to_vec()),
+                Ok(false) => break,
+                // Immediate retry after a transient must succeed and
+                // deliver the row that was "in flight".
+                Err(e) => assert!(e.is_transient()),
+            }
+        }
+        assert!(src.log().transient > 0, "20% over 50 rows should fire");
+        let expected: Vec<Vec<f64>> = (0..50).map(|i| m.row(i).to_vec()).collect();
+        assert_eq!(rows, expected, "no row lost or reordered by transients");
+    }
+
+    #[test]
+    fn rewind_after_faults_yields_full_clean_stream() {
+        // Satellite guarantee at the injector level: once the one-shot
+        // faults have fired, a rewind replays the entire clean stream.
+        let m = data(30);
+        let plan = FaultPlan {
+            seed: 11,
+            transient_rate: 0.3,
+            corrupt_rate: 0.0,
+            arity_rate: 0.0,
+            truncate_after: Some(12),
+        };
+        let mut src = FaultyRowSource::new(MatrixSource::new(&m), plan);
+        let (first_pass, errs) = drain(&mut src);
+        assert_eq!(first_pass.len(), 12, "first pass truncated");
+        assert!(!errs.is_empty() || src.log().transient == 0);
+        let fired_in_pass_one = src.log().transient;
+        src.rewind().unwrap();
+        let (second_pass, errs2) = drain(&mut src);
+        // Transients at positions the truncated pass visited must not
+        // re-fire; only never-visited positions (>= 12) may still pop.
+        assert!(errs2.iter().all(|e| e.is_transient()));
+        assert_eq!(
+            src.log().transient - fired_in_pass_one,
+            errs2.len(),
+            "pass-two errors are exactly the not-yet-fired transients"
+        );
+        for pos in 0..12 {
+            assert!(
+                !plan.transient_at(pos) || fired_in_pass_one > 0,
+                "visited transients fired in pass one"
+            );
+        }
+        let expected: Vec<Vec<f64>> = (0..30).map(|i| m.row(i).to_vec()).collect();
+        assert_eq!(second_pass, expected, "full clean stream after rewind");
+    }
+
+    #[test]
+    fn persistent_faults_match_plan_predicates() {
+        let m = data(300);
+        let plan = FaultPlan {
+            seed: 99,
+            transient_rate: 0.0,
+            corrupt_rate: 0.1,
+            arity_rate: 0.1,
+            truncate_after: None,
+        };
+        let mut src = FaultyRowSource::new(MatrixSource::new(&m), plan);
+        let mut buf = [0.0; 3];
+        for pos in 0..300 {
+            match src.next_row(&mut buf) {
+                Ok(true) => {
+                    assert!(!plan.arity_at(pos));
+                    match plan.corrupt_at(pos, 3) {
+                        Some(col) => assert!(buf[col].is_nan()),
+                        None => {
+                            assert!(buf.iter().all(|v| v.is_finite()));
+                            assert!(plan.row_is_clean(pos, 3));
+                            assert_eq!(&buf[..], m.row(pos));
+                        }
+                    }
+                }
+                Ok(false) => panic!("stream ended early at {pos}"),
+                Err(e) => {
+                    assert!(plan.arity_at(pos), "unexpected error at {pos}: {e}");
+                    assert!(matches!(e, DatasetError::RaggedRows { .. }));
+                }
+            }
+        }
+        assert!(!src.next_row(&mut buf).unwrap());
+        assert!(src.log().corrupt > 0 && src.log().arity > 0);
+    }
+
+    #[test]
+    fn truncation_fires_once_then_stream_recovers() {
+        let m = data(10);
+        let plan = FaultPlan {
+            seed: 1,
+            transient_rate: 0.0,
+            corrupt_rate: 0.0,
+            arity_rate: 0.0,
+            truncate_after: Some(4),
+        };
+        let mut src = FaultyRowSource::new(MatrixSource::new(&m), plan);
+        let (first, _) = drain(&mut src);
+        assert_eq!(first.len(), 4);
+        assert_eq!(src.log().truncations, 1);
+        src.rewind().unwrap();
+        let (second, _) = drain(&mut src);
+        assert_eq!(second.len(), 10);
+        assert_eq!(src.log().truncations, 1, "truncation is one-shot");
+    }
+}

@@ -11,6 +11,11 @@
 //! * [`source`] — the [`source::RowSource`] streaming abstraction: the
 //!   paper's algorithm reads the matrix one row at a time from disk, and
 //!   this trait models exactly that access pattern.
+//! * [`fault`] — deterministic, seeded fault injection over any row
+//!   source (transient errors, corrupt cells, arity mismatches,
+//!   truncation) for chaos-testing the single-pass scan.
+//! * [`retry`] — retry-with-backoff adapter absorbing transient source
+//!   failures, with an injectable clock so tests run instantly.
 //! * [`holes`] — hole masks and hole-set sampling for the `GE_h` metric.
 //! * [`synth`] — synthetic stand-ins for the paper's datasets (`nba`,
 //!   `baseball`, `abalone`) and the Quest-style scale-up workload; see
@@ -42,7 +47,9 @@ pub mod categorical;
 pub mod csv;
 pub mod data_matrix;
 pub mod error;
+pub mod fault;
 pub mod holes;
+pub mod retry;
 pub mod source;
 pub mod split;
 pub mod stats;

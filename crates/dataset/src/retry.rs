@@ -1,0 +1,335 @@
+//! Retry-with-backoff for transient [`RowSource`] failures.
+//!
+//! Disk hiccups, interrupted syscalls, and the injected faults of
+//! [`crate::fault::FaultyRowSource`] share a property: the same read,
+//! re-issued, usually succeeds. [`RetryingSource`] absorbs exactly that
+//! class — errors for which [`DatasetError::is_transient`] is true —
+//! re-issuing the read up to a budget with exponential backoff, and
+//! passes every permanent error (corrupt cells, ragged rows, missing
+//! files) straight through untouched.
+//!
+//! Sleeping is routed through the [`Sleeper`] trait so tests can inject
+//! a recording no-op clock and run instantly while still asserting the
+//! exact backoff schedule.
+
+use crate::{DatasetError, Result, source::RowSource};
+use std::time::Duration;
+
+/// Abstracts "wait this long" so tests don't. The production
+/// implementation is [`ThreadSleeper`]; tests use a recording fake.
+pub trait Sleeper {
+    /// Blocks (or pretends to) for `d`.
+    fn sleep(&mut self, d: Duration);
+}
+
+/// Real wall-clock sleeper backed by [`std::thread::sleep`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&mut self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Exponential backoff schedule: attempt `i` (0-based retry index)
+/// waits `base * multiplier^i`, capped at `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Total attempts per read, including the first (must be >= 1).
+    pub max_attempts: usize,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub multiplier: f64,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn no_retries() -> Self {
+        BackoffPolicy {
+            max_attempts: 1,
+            ..BackoffPolicy::default()
+        }
+    }
+
+    /// `attempts` total tries with zero delay — the test workhorse.
+    pub fn immediate(attempts: usize) -> Self {
+        BackoffPolicy {
+            max_attempts: attempts.max(1),
+            base_delay: Duration::ZERO,
+            multiplier: 1.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Delay before retry number `retry` (0-based).
+    pub fn delay_for(&self, retry: usize) -> Duration {
+        let scaled = self.base_delay.as_secs_f64() * self.multiplier.powi(retry as i32);
+        let capped = scaled.min(self.max_delay.as_secs_f64()).max(0.0);
+        Duration::from_secs_f64(if capped.is_finite() { capped } else { 0.0 })
+    }
+}
+
+/// A [`RowSource`] adapter that retries transient failures of the inner
+/// source per a [`BackoffPolicy`]. Permanent errors pass through on the
+/// first occurrence.
+#[derive(Debug)]
+pub struct RetryingSource<S, C = ThreadSleeper> {
+    inner: S,
+    policy: BackoffPolicy,
+    sleeper: C,
+    retries: u64,
+    give_ups: u64,
+}
+
+impl<S: RowSource> RetryingSource<S, ThreadSleeper> {
+    /// Wraps `inner` with a real wall-clock sleeper.
+    pub fn new(inner: S, policy: BackoffPolicy) -> Self {
+        RetryingSource::with_sleeper(inner, policy, ThreadSleeper)
+    }
+}
+
+impl<S: RowSource, C: Sleeper> RetryingSource<S, C> {
+    /// Wraps `inner` with an explicit sleeper (tests pass a fake).
+    pub fn with_sleeper(inner: S, policy: BackoffPolicy, sleeper: C) -> Self {
+        RetryingSource {
+            inner,
+            policy,
+            sleeper,
+            retries: 0,
+            give_ups: 0,
+        }
+    }
+
+    /// Transient errors absorbed by retries so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reads that exhausted the attempt budget and surfaced the error.
+    pub fn give_ups(&self) -> u64 {
+        self.give_ups
+    }
+
+    /// Unwraps the adapter, returning the inner source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn run<T>(&mut self, mut op: impl FnMut(&mut S) -> Result<T>) -> Result<T> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last: Option<DatasetError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let d = self.policy.delay_for(attempt - 1);
+                self.sleeper.sleep(d);
+                self.retries += 1;
+                obs::counter_add("source_retries_total", 1);
+            }
+            match op(&mut self.inner) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        self.give_ups += 1;
+        obs::counter_add("source_retry_give_ups_total", 1);
+        Err(last.unwrap_or_else(|| {
+            DatasetError::Transient("retry budget exhausted with no recorded error".into())
+        }))
+    }
+}
+
+impl<S: RowSource, C: Sleeper> RowSource for RetryingSource<S, C> {
+    fn n_cols(&self) -> usize {
+        self.inner.n_cols()
+    }
+
+    fn next_row(&mut self, buf: &mut [f64]) -> Result<bool> {
+        self.run(|s| s.next_row(buf))
+    }
+
+    fn rewind(&mut self) -> Result<()> {
+        self.run(|s| s.rewind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyRowSource};
+    use crate::source::MatrixSource;
+    use linalg::Matrix;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Records requested delays instead of sleeping.
+    #[derive(Debug, Clone, Default)]
+    struct FakeSleeper(Rc<RefCell<Vec<Duration>>>);
+
+    impl Sleeper for FakeSleeper {
+        fn sleep(&mut self, d: Duration) {
+            self.0.borrow_mut().push(d);
+        }
+    }
+
+    fn data(n: usize) -> Matrix {
+        Matrix::from_fn(n, 3, |i, j| (i * 3 + j) as f64)
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let p = BackoffPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            multiplier: 3.0,
+            max_delay: Duration::from_millis(50),
+        };
+        assert_eq!(p.delay_for(0), Duration::from_millis(10));
+        assert_eq!(p.delay_for(1), Duration::from_millis(30));
+        assert_eq!(p.delay_for(2), Duration::from_millis(50), "capped");
+        assert_eq!(p.delay_for(3), Duration::from_millis(50), "still capped");
+    }
+
+    #[test]
+    fn retrying_source_absorbs_injected_transients() {
+        let m = data(100);
+        let plan = FaultPlan {
+            seed: 5,
+            transient_rate: 0.3,
+            corrupt_rate: 0.0,
+            arity_rate: 0.0,
+            truncate_after: None,
+        };
+        let delays = FakeSleeper::default();
+        let faulty = FaultyRowSource::new(MatrixSource::new(&m), plan);
+        let mut src =
+            RetryingSource::with_sleeper(faulty, BackoffPolicy::default(), delays.clone());
+        // The whole stream collects with zero surfaced errors.
+        let collected = src.collect_matrix().unwrap();
+        assert_eq!(collected, m);
+        assert!(src.retries() > 0, "30% transient rate must trigger retries");
+        assert_eq!(src.give_ups(), 0);
+        // Injected one-shot faults need exactly one retry each, at the
+        // base delay.
+        let ds = delays.0.borrow();
+        assert_eq!(ds.len() as u64, src.retries());
+        assert!(ds.iter().all(|d| *d == Duration::from_millis(10)));
+        assert_eq!(src.into_inner().log().transient as u64, ds.len() as u64);
+    }
+
+    #[test]
+    fn permanent_errors_pass_through_without_retry() {
+        let m = data(50);
+        let plan = FaultPlan {
+            seed: 5,
+            transient_rate: 0.0,
+            corrupt_rate: 0.0,
+            arity_rate: 0.2,
+            truncate_after: None,
+        };
+        let delays = FakeSleeper::default();
+        let faulty = FaultyRowSource::new(MatrixSource::new(&m), plan);
+        let mut src =
+            RetryingSource::with_sleeper(faulty, BackoffPolicy::default(), delays.clone());
+        let mut buf = [0.0; 3];
+        let mut errors = 0;
+        loop {
+            match src.next_row(&mut buf) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    assert!(matches!(e, DatasetError::RaggedRows { .. }));
+                    errors += 1;
+                }
+            }
+        }
+        assert!(errors > 0, "20% arity rate must fire");
+        assert_eq!(src.retries(), 0, "permanent errors are not retried");
+        assert!(delays.0.borrow().is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_last_transient() {
+        /// A source whose every read fails transiently.
+        struct AlwaysTorn;
+        impl RowSource for AlwaysTorn {
+            fn n_cols(&self) -> usize {
+                1
+            }
+            fn next_row(&mut self, _buf: &mut [f64]) -> Result<bool> {
+                Err(DatasetError::Transient("torn read".into()))
+            }
+            fn rewind(&mut self) -> Result<()> {
+                Ok(())
+            }
+        }
+        let mut src = RetryingSource::with_sleeper(
+            AlwaysTorn,
+            BackoffPolicy::immediate(4),
+            FakeSleeper::default(),
+        );
+        let mut buf = [0.0; 1];
+        let err = src.next_row(&mut buf).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(src.retries(), 3, "4 attempts = 1 initial + 3 retries");
+        assert_eq!(src.give_ups(), 1);
+    }
+
+    #[test]
+    fn rewind_is_also_retried() {
+        struct FlakyRewind {
+            inner_pos: usize,
+            rewind_failures: usize,
+        }
+        impl RowSource for FlakyRewind {
+            fn n_cols(&self) -> usize {
+                1
+            }
+            fn next_row(&mut self, buf: &mut [f64]) -> Result<bool> {
+                if self.inner_pos < 3 {
+                    buf[0] = self.inner_pos as f64;
+                    self.inner_pos += 1;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            fn rewind(&mut self) -> Result<()> {
+                if self.rewind_failures > 0 {
+                    self.rewind_failures -= 1;
+                    return Err(DatasetError::Transient("seek interrupted".into()));
+                }
+                self.inner_pos = 0;
+                Ok(())
+            }
+        }
+        let mut src = RetryingSource::with_sleeper(
+            FlakyRewind {
+                inner_pos: 0,
+                rewind_failures: 2,
+            },
+            BackoffPolicy::immediate(3),
+            FakeSleeper::default(),
+        );
+        let collected = src.collect_matrix().unwrap();
+        assert_eq!(collected.rows(), 3);
+        assert_eq!(src.retries(), 2);
+    }
+}

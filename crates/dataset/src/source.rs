@@ -39,6 +39,34 @@ pub trait RowSource {
     }
 }
 
+// A mutable borrow of a source is a source: lets callers thread
+// `&mut dyn RowSource` (or any wrapper stack) into generic consumers.
+impl<S: RowSource + ?Sized> RowSource for &mut S {
+    fn n_cols(&self) -> usize {
+        (**self).n_cols()
+    }
+    fn next_row(&mut self, buf: &mut [f64]) -> Result<bool> {
+        (**self).next_row(buf)
+    }
+    fn rewind(&mut self) -> Result<()> {
+        (**self).rewind()
+    }
+}
+
+// A boxed source is a source: the CLI builds `Box<dyn RowSource>` stacks
+// (file -> fault injector -> retrier) chosen at runtime.
+impl<S: RowSource + ?Sized> RowSource for Box<S> {
+    fn n_cols(&self) -> usize {
+        (**self).n_cols()
+    }
+    fn next_row(&mut self, buf: &mut [f64]) -> Result<bool> {
+        (**self).next_row(buf)
+    }
+    fn rewind(&mut self) -> Result<()> {
+        (**self).rewind()
+    }
+}
+
 /// In-memory row source over a matrix (zero-copy per row).
 #[derive(Debug, Clone)]
 pub struct MatrixSource<'a> {
@@ -86,6 +114,7 @@ pub struct CsvFileSource {
     reader: BufReader<std::fs::File>,
     n_cols: usize,
     has_header: bool,
+    labels: Option<Vec<String>>,
     line: usize,
     line_buf: String,
 }
@@ -93,7 +122,7 @@ pub struct CsvFileSource {
 impl CsvFileSource {
     /// Opens a CSV file. The column count is sniffed from the first data
     /// row; when `has_header` is true the first line is skipped on every
-    /// pass.
+    /// pass and its tokens are kept as [`col_labels`](Self::col_labels).
     pub fn open(path: impl AsRef<Path>, has_header: bool) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = std::fs::File::open(&path)?;
@@ -102,6 +131,7 @@ impl CsvFileSource {
             reader: BufReader::new(file),
             n_cols: 0,
             has_header,
+            labels: None,
             line: 0,
             line_buf: String::new(),
         };
@@ -115,6 +145,11 @@ impl CsvFileSource {
         }
         src.rewind()?;
         Ok(src)
+    }
+
+    /// Column labels from the header line, when the file has one.
+    pub fn col_labels(&self) -> Option<&[String]> {
+        self.labels.as_deref()
     }
 
     fn read_raw_row(&mut self, out: &mut Vec<f64>) -> Result<bool> {
@@ -131,12 +166,7 @@ impl CsvFileSource {
             }
             out.clear();
             for (col, tok) in trimmed.split(',').map(str::trim).enumerate() {
-                let v: f64 = tok.parse().map_err(|_| DatasetError::Parse {
-                    line: self.line,
-                    column: col,
-                    token: tok.to_string(),
-                })?;
-                out.push(v);
+                out.push(crate::csv::parse_cell(tok, self.line, col)?);
             }
             return Ok(true);
         }
@@ -171,6 +201,15 @@ impl RowSource for CsvFileSource {
             self.line_buf.clear();
             self.reader.read_line(&mut self.line_buf)?;
             self.line = 1;
+            if self.labels.is_none() {
+                self.labels = Some(
+                    self.line_buf
+                        .trim()
+                        .split(',')
+                        .map(|t| t.trim().to_string())
+                        .collect(),
+                );
+            }
         }
         Ok(())
     }
@@ -389,6 +428,95 @@ mod tests {
         assert!(ChainSource::new(vec![MatrixSource::new(&a), MatrixSource::new(&b)]).is_err());
         let empty: Vec<MatrixSource> = vec![];
         assert!(ChainSource::new(empty).is_err());
+    }
+
+    #[test]
+    fn csv_file_source_exposes_header_labels() {
+        let dir = std::env::temp_dir().join("rr_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.csv");
+        std::fs::write(&path, "height, weight\n1,2\n").unwrap();
+        let src = CsvFileSource::open(&path, true).unwrap();
+        assert_eq!(
+            src.col_labels(),
+            Some(&["height".to_string(), "weight".to_string()][..])
+        );
+        std::fs::remove_file(&path).unwrap();
+
+        let path = dir.join("nolabels.csv");
+        std::fs::write(&path, "1,2\n").unwrap();
+        let src = CsvFileSource::open(&path, false).unwrap();
+        assert!(src.col_labels().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn csv_file_source_rejects_bad_cells_with_location() {
+        let dir = std::env::temp_dir().join("rr_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("badcell.csv");
+        std::fs::write(&path, "1,2\n3,nan\n5,\n").unwrap();
+        let mut src = CsvFileSource::open(&path, false).unwrap();
+        let mut buf = [0.0; 2];
+        assert!(src.next_row(&mut buf).unwrap());
+        assert!(matches!(
+            src.next_row(&mut buf),
+            Err(DatasetError::NonFinite { line: 2, column: 1, .. })
+        ));
+        // The poisoned line was consumed; the next error is the empty cell.
+        assert!(matches!(
+            src.next_row(&mut buf),
+            Err(DatasetError::EmptyCell { line: 3, column: 1 })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    // Satellite: a source that errored mid-stream must be safely
+    // rewindable — rewinding after the failure yields the full clean
+    // stream from the top, not a stream starting past the bad row.
+    #[test]
+    fn csv_file_source_rewinds_cleanly_after_error() {
+        let dir = std::env::temp_dir().join("rr_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rewind_after_error.csv");
+        std::fs::write(&path, "a,b\n1,2\n3,oops\n5,6\n").unwrap();
+        let mut src = CsvFileSource::open(&path, true).unwrap();
+        let mut buf = [0.0; 2];
+        assert!(src.next_row(&mut buf).unwrap());
+        assert!(matches!(
+            src.next_row(&mut buf),
+            Err(DatasetError::Parse { line: 3, column: 1, .. })
+        ));
+        // Rewind heals the cursor: the stream restarts at row 1 and
+        // re-reports the same error at the same location.
+        src.rewind().unwrap();
+        assert!(src.next_row(&mut buf).unwrap());
+        assert_eq!(buf, [1.0, 2.0]);
+        assert!(matches!(
+            src.next_row(&mut buf),
+            Err(DatasetError::Parse { line: 3, column: 1, .. })
+        ));
+        // And after fixing the file on disk, the same (re-opened) path
+        // streams clean end to end.
+        std::fs::write(&path, "a,b\n1,2\n3,4\n5,6\n").unwrap();
+        let mut src = CsvFileSource::open(&path, true).unwrap();
+        let collected = src.collect_matrix().unwrap();
+        assert_eq!(
+            collected,
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn boxed_and_borrowed_sources_delegate() {
+        let m = sample_matrix();
+        let mut boxed: Box<dyn RowSource + '_> = Box::new(MatrixSource::new(&m));
+        assert_eq!(boxed.n_cols(), 2);
+        assert_eq!(boxed.collect_matrix().unwrap(), m);
+        let mut inner = MatrixSource::new(&m);
+        let mut borrowed: &mut dyn RowSource = &mut inner;
+        assert_eq!(borrowed.collect_matrix().unwrap(), m);
     }
 
     #[test]

@@ -37,4 +37,94 @@ grep -qF "covariance_rows_scanned_total" "$metrics_file" || {
     exit 1
 }
 
+echo "== chaos: fault injection end-to-end (exit codes 0/2/3) =="
+chaos_dir="$(mktemp -d /tmp/rr_chaos.XXXXXX)"
+trap 'rm -f "$metrics_file"; rm -rf "$chaos_dir"' EXIT
+csv="$chaos_dir/chaos.csv"
+{
+    echo "bread,milk,butter"
+    for i in $(seq 0 199); do
+        echo "$((10 + i)),$((20 + 2 * i)),$((5 + i))"
+    done
+} > "$csv"
+bin="target/release/ratio-rules"
+
+# Clean streaming mine under quarantine: exit 0.
+"$bin" mine --input "$csv" --output "$chaos_dir/m0.json" --k 1 --max-bad-rows 5 \
+    > /dev/null
+echo "  clean scan: exit 0 ok"
+
+# 1% and 10% fault rates inside a generous budget: model mines, exit 2.
+for rate in 0.01 0.10; do
+    set +e
+    out="$("$bin" mine --input "$csv" --output "$chaos_dir/m_$rate.json" --k 1 \
+        --fault-rate "$rate" --max-bad-rows 150 --retries 3)"
+    code=$?
+    set -e
+    if [ "$code" -ne 2 ]; then
+        echo "fault rate $rate: expected exit 2 (degraded), got $code" >&2
+        exit 1
+    fi
+    grep -qF "quarantined" <<<"$out" || {
+        echo "fault rate $rate: report missing quarantine summary" >&2
+        exit 1
+    }
+    echo "  fault rate $rate: exit 2 ok"
+done
+
+# Budget blown: exit 3 with the dedicated message.
+set +e
+err="$("$bin" mine --input "$csv" --output "$chaos_dir/m3.json" --k 1 \
+    --fault-rate 0.5 --max-bad-rows 1 2>&1 >/dev/null)"
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+    echo "expected exit 3 (budget exhausted), got $code" >&2
+    exit 1
+fi
+grep -qF "error budget exhausted" <<<"$err" || {
+    echo "budget error message missing: $err" >&2
+    exit 1
+}
+echo "  budget exhaustion: exit 3 ok"
+
+# Strict mode (the default) still fails fast: exit 1.
+set +e
+"$bin" mine --input "$csv" --output "$chaos_dir/m1.json" --k 1 \
+    --fault-rate 0.5 --retries 1 > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+    echo "expected strict fail-fast exit 1, got $code" >&2
+    exit 1
+fi
+echo "  strict fail-fast: exit 1 ok"
+
+# Forced total eigensolve failure degrades to the col-avgs floor: exit 2.
+set +e
+out="$("$bin" mine --input "$csv" --output "$chaos_dir/m_floor.json" \
+    --degrade --ladder none)"
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "expected col-avgs degradation exit 2, got $code" >&2
+    exit 1
+fi
+grep -qF "col-avgs baseline" <<<"$out" || {
+    echo "degradation output missing col-avgs marker: $out" >&2
+    exit 1
+}
+echo "  eigensolve ladder floor: exit 2 ok"
+
+# Checkpoint + resume across two processes.
+"$bin" mine --input "$csv" --output "$chaos_dir/m_cp.json" --k 1 \
+    --checkpoint "$chaos_dir/scan_cp.json" > /dev/null
+out="$("$bin" mine --input "$csv" --output "$chaos_dir/m_cp2.json" --k 1 \
+    --resume "$chaos_dir/scan_cp.json")"
+grep -qF "resumed from checkpoint" <<<"$out" || {
+    echo "resume output missing checkpoint marker: $out" >&2
+    exit 1
+}
+echo "  checkpoint/resume: ok"
+
 echo "verify: OK"

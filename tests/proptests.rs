@@ -187,3 +187,103 @@ proptest! {
         prop_assert_eq!(cached_p.fill(&holed).unwrap(), one_shot.values);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Quarantining faulty rows is *bit-identical* to never having seen
+    /// them: for any fault seed and rates, a quarantine scan over the
+    /// faulty stream produces the same accumulator (same f64 additions in
+    /// the same order) as a clean scan over the plan's clean subset.
+    #[test]
+    fn quarantine_scan_equals_clean_subset(
+        x in low_rank(80, 4, 2, 0.3),
+        seed in 0u64..1_000_000,
+        corrupt_rate in 0.0..0.4f64,
+        arity_rate in 0.0..0.3f64,
+        transient_rate in 0.0..0.3f64,
+    ) {
+        use dataset::fault::{FaultPlan, FaultyRowSource};
+        use dataset::source::MatrixSource;
+        use ratio_rules::covariance::CovarianceAccumulator;
+        use ratio_rules::resilience::{ScanPolicy, Scanner};
+
+        let plan = FaultPlan {
+            seed,
+            transient_rate,
+            corrupt_rate,
+            arity_rate,
+            truncate_after: None,
+        };
+        let mut faulty = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let mut scanner = Scanner::new(4, ScanPolicy::quarantine_unlimited());
+        scanner.scan(&mut faulty).unwrap();
+        let (acc, report) = scanner.into_parts();
+
+        let mut reference = CovarianceAccumulator::new(4);
+        let mut clean = 0usize;
+        for pos in 0..80 {
+            if plan.row_is_clean(pos, 4) {
+                reference.push_row(x.row(pos)).unwrap();
+                clean += 1;
+            }
+        }
+        prop_assert_eq!(acc.n_rows(), clean);
+        prop_assert_eq!(report.rows_absorbed, clean);
+        prop_assert_eq!(report.rows_quarantined, 80 - clean);
+        let (n1, s1, r1) = acc.parts();
+        let (n2, s2, r2) = reference.parts();
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(s1, s2, "column sums must be bit-identical");
+        prop_assert_eq!(r1, r2, "moment matrix must be bit-identical");
+    }
+
+    /// A scan interrupted at any point, checkpointed through its JSON
+    /// serialization, and resumed over a fresh stream is bit-identical to
+    /// the uninterrupted scan.
+    #[test]
+    fn checkpointed_scan_equals_uninterrupted(
+        x in low_rank(60, 4, 2, 0.3),
+        seed in 0u64..1_000_000,
+        rate in 0.0..0.25f64,
+        stop_after in 1usize..59,
+    ) {
+        use dataset::fault::{FaultPlan, FaultyRowSource};
+        use dataset::source::MatrixSource;
+        use ratio_rules::resilience::{ScanCheckpoint, ScanPolicy, Scanner};
+
+        let plan = FaultPlan {
+            seed,
+            transient_rate: rate,
+            corrupt_rate: rate,
+            arity_rate: rate,
+            truncate_after: None,
+        };
+        let mut whole = Scanner::new(4, ScanPolicy::quarantine_unlimited());
+        whole
+            .scan(&mut FaultyRowSource::new(MatrixSource::new(&x), plan))
+            .unwrap();
+        let (acc_whole, rep_whole) = whole.into_parts();
+
+        // Crash mid-scan, checkpoint through JSON, resume a fresh stream.
+        let crash_plan = FaultPlan { truncate_after: Some(stop_after), ..plan };
+        let mut first = Scanner::new(4, ScanPolicy::quarantine_unlimited());
+        first
+            .scan(&mut FaultyRowSource::new(MatrixSource::new(&x), crash_plan))
+            .unwrap();
+        let cp = ScanCheckpoint::from_json(&first.checkpoint().to_json()).unwrap();
+
+        let mut resumed = Scanner::resume(&cp, ScanPolicy::quarantine_unlimited()).unwrap();
+        resumed
+            .scan(&mut FaultyRowSource::new(MatrixSource::new(&x), plan))
+            .unwrap();
+        let (acc_res, rep_res) = resumed.into_parts();
+
+        let (n1, s1, r1) = acc_whole.parts();
+        let (n2, s2, r2) = acc_res.parts();
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(s1, s2, "column sums must survive the round-trip");
+        prop_assert_eq!(r1, r2, "moments must survive the round-trip");
+        prop_assert_eq!(rep_whole.rows_quarantined, rep_res.rows_quarantined);
+    }
+}

@@ -171,6 +171,106 @@ fn degenerate_inputs_error_cleanly() {
     ));
 }
 
+/// Full-pipeline chaos run: injected faults at 1% and 10%, quarantine
+/// policy, retrying source — the mined rules match a clean mine of the
+/// surviving rows, and the report accounts for every injected fault.
+#[test]
+fn chaos_pipeline_mines_through_injected_faults() {
+    use dataset::fault::{FaultPlan, FaultyRowSource};
+    use dataset::retry::{BackoffPolicy, RetryingSource};
+    use ratio_rules::resilience::{ScanPolicy, Scanner};
+
+    let x = Matrix::from_fn(300, 4, |i, j| {
+        let t = i as f64;
+        (t * [1.3, 0.7, 2.1, 0.4][j]).sin() * 8.0 + t * 0.02 * (j as f64 + 1.0)
+    });
+    for rate in [0.01, 0.10] {
+        let plan = FaultPlan {
+            seed: 77,
+            transient_rate: rate,
+            corrupt_rate: rate,
+            arity_rate: rate,
+            truncate_after: None,
+        };
+        let faulty = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let mut src = RetryingSource::new(faulty, BackoffPolicy::immediate(4));
+        let mut scanner = Scanner::new(
+            4,
+            ScanPolicy::Quarantine {
+                max_bad_rows: None,
+                max_bad_fraction: Some(0.5),
+            },
+        );
+        scanner.scan(&mut src).unwrap();
+        let (acc, report) = scanner.into_parts();
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(2)).finish(&acc).unwrap();
+
+        // Clean-subset reference mine must agree exactly.
+        let clean_rows: Vec<usize> = (0..300).filter(|&p| plan.row_is_clean(p, 4)).collect();
+        let clean = Matrix::from_fn(clean_rows.len(), 4, |i, j| x[(clean_rows[i], j)]);
+        let reference = RatioRuleMiner::new(Cutoff::FixedK(2))
+            .fit_matrix(&clean)
+            .unwrap();
+        assert_eq!(rules.k(), reference.k(), "rate {rate}");
+        for (a, b) in rules.rules().iter().zip(reference.rules()) {
+            assert_eq!(a.eigenvalue.to_bits(), b.eigenvalue.to_bits(), "rate {rate}");
+        }
+        assert_eq!(report.rows_absorbed, clean_rows.len(), "rate {rate}");
+        assert_eq!(report.rows_quarantined, 300 - clean_rows.len(), "rate {rate}");
+    }
+}
+
+/// Strict policy (the default) refuses to ride out faults: the first
+/// corrupt row aborts the scan with its location.
+#[test]
+fn strict_policy_fails_fast_under_faults() {
+    use dataset::fault::{FaultPlan, FaultyRowSource};
+    use ratio_rules::resilience::{ScanPolicy, Scanner};
+
+    let x = Matrix::from_fn(200, 3, |i, j| (i * 3 + j) as f64);
+    let plan = FaultPlan {
+        seed: 11,
+        transient_rate: 0.0,
+        corrupt_rate: 0.2,
+        arity_rate: 0.0,
+        truncate_after: None,
+    };
+    let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+    let mut scanner = Scanner::new(3, ScanPolicy::Strict);
+    let err = scanner.scan(&mut src).unwrap_err();
+    assert!(
+        err.to_string().contains("non-finite"),
+        "strict scan must surface the corruption: {err}"
+    );
+}
+
+/// Forcing every eigensolve stage to fail degrades to the col-avgs
+/// baseline — a usable predictor, not an error.
+#[test]
+fn total_eigensolve_failure_serves_col_avgs() {
+    use ratio_rules::predictor::Predictor;
+    use ratio_rules::resilience::{DegradationLevel, ResilientMiner, ScanPolicy, Scanner};
+
+    let x = Matrix::from_fn(50, 3, |i, j| (3.0 - j as f64) * (1.0 + i as f64));
+    let mut src = MatrixSource::new(&x);
+    let mut scanner = Scanner::new(3, ScanPolicy::Strict);
+    scanner.scan(&mut src).unwrap();
+    let (acc, _) = scanner.into_parts();
+
+    let (model, report) = ResilientMiner::new(Cutoff::FixedK(2))
+        .with_ladder(Vec::new())
+        .finish(&acc)
+        .unwrap();
+    assert_eq!(report.level, DegradationLevel::ColAvgs);
+    let predictor = model.into_predictor();
+    let filled = predictor
+        .fill(&HoledRow::new(vec![Some(3.0), None, None]))
+        .unwrap();
+    // Col-avgs ignore the pinned cell and serve the column means.
+    let col1_mean = (0..50).map(|i| x[(i, 1)]).sum::<f64>() / 50.0;
+    assert!((filled[1] - col1_mean).abs() < 1e-9);
+}
+
 /// The guessing error of RR can never be *worse* than col-avgs by more
 /// than the evaluation noise on data where both see the same means —
 /// sanity bound on the k=0 equivalence argument.
