@@ -1,0 +1,458 @@
+//! The findings baseline: `lint-baseline.json`.
+//!
+//! The gate is "no *new* findings", enforced from day one without first
+//! burning down every historical violation. Each finding is fingerprinted
+//! as `(rule, path, fnv1a64(trimmed line text))` — line *content*, not
+//! line *number*, so unrelated edits above a baselined site do not churn
+//! the file. Identical lines collapse into one entry with a count; a diff
+//! fails only where the current count exceeds the baselined one.
+//!
+//! The JSON here is read and written by the tiny parser at the bottom of
+//! this module: the analyzer is zero-dependency by design, and the subset
+//! it needs (objects, arrays, strings, u64s) is small enough to own.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Fingerprint key for one group of identical findings.
+pub type Key = (String, String, String); // (rule, path, hash)
+
+/// A parsed baseline: fingerprint → allowed count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Allowed occurrences per fingerprint.
+    pub allowed: BTreeMap<Key, u64>,
+}
+
+/// FNV-1a 64-bit, rendered as 16 hex digits. Stable across platforms and
+/// releases (the baseline file is checked in).
+pub fn fnv1a64(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Groups findings into fingerprint counts.
+pub fn group(findings: &[Finding]) -> BTreeMap<Key, u64> {
+    let mut m = BTreeMap::new();
+    for f in findings {
+        let key = (f.rule.to_string(), f.path.clone(), fnv1a64(&f.snippet));
+        *m.entry(key).or_insert(0) += 1;
+    }
+    m
+}
+
+impl Baseline {
+    /// Builds a baseline that blesses exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        Baseline {
+            allowed: group(findings),
+        }
+    }
+
+    /// Returns the findings not covered by this baseline: for each
+    /// fingerprint, the `current - allowed` newest occurrences.
+    pub fn new_findings<'f>(&self, findings: &'f [Finding]) -> Vec<&'f Finding> {
+        let mut used: BTreeMap<Key, u64> = BTreeMap::new();
+        let mut out = Vec::new();
+        for f in findings {
+            let key = (f.rule.to_string(), f.path.clone(), fnv1a64(&f.snippet));
+            let seen = used.entry(key.clone()).or_insert(0);
+            *seen += 1;
+            let allowed = self.allowed.get(&key).copied().unwrap_or(0);
+            if *seen > allowed {
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    /// Counts baseline entries that no longer match any current finding
+    /// (stale debt that could be re-baselined away).
+    pub fn stale_entries(&self, findings: &[Finding]) -> usize {
+        let current = group(findings);
+        self.allowed
+            .iter()
+            .filter(|(k, _)| !current.contains_key(*k))
+            .count()
+    }
+
+    /// Serializes to the checked-in JSON format (sorted, stable).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 1,\n  \"entries\": [\n");
+        let mut first = true;
+        for ((rule, path, hash), count) in &self.allowed {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"hash\": \"{}\", \"count\": {}}}",
+                escape(rule),
+                escape(path),
+                escape(hash),
+                count
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Parses the checked-in JSON format.
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax or shape problem; a
+    /// malformed baseline must fail the gate loudly, not pass it quietly.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_object().ok_or("baseline root must be an object")?;
+        let entries = obj
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .map(|(_, v)| v)
+            .ok_or("baseline missing \"entries\"")?;
+        let arr = entries.as_array().ok_or("\"entries\" must be an array")?;
+        let mut allowed = BTreeMap::new();
+        for (i, e) in arr.iter().enumerate() {
+            let eo = e
+                .as_object()
+                .ok_or_else(|| format!("entry {i} must be an object"))?;
+            let get_s = |name: &str| -> Result<String, String> {
+                eo.iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entry {i} missing string \"{name}\""))
+            };
+            let count = eo
+                .iter()
+                .find(|(k, _)| k == "count")
+                .and_then(|(_, v)| v.as_u64())
+                .ok_or_else(|| format!("entry {i} missing numeric \"count\""))?;
+            allowed.insert((get_s("rule")?, get_s("path")?, get_s("hash")?), count);
+        }
+        Ok(Baseline { allowed })
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal JSON value for the baseline file. Not general-purpose: no
+/// floats (counts are u64), but strings handle the full escape set so
+/// paths survive round-trips.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer (all the baseline needs).
+    Num(u64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as ordered pairs (duplicate keys preserved, first wins via
+    /// `find`).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&Vec<(String, Json)>> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    /// Returns a message with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut obj = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(obj));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at offset {pos}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                obj.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(obj));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at offset {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte {c:#x} at offset {pos}")),
+    }
+}
+
+fn lit(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = Vec::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0C),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {pos}"))?;
+                        let ch = char::from_u32(hex)
+                            .ok_or_else(|| format!("bad \\u scalar at offset {pos}"))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            c => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    fn f(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line: 1,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let fs = vec![
+            f("RR001", "crates/a/src/x.rs", "x.unwrap();"),
+            f("RR001", "crates/a/src/x.rs", "x.unwrap();"),
+            f("RR005", "crates/b/src/\"odd\".rs", "pub fn f()"),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let back = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(b, back);
+        assert_eq!(
+            back.allowed
+                .get(&(
+                    "RR001".into(),
+                    "crates/a/src/x.rs".into(),
+                    fnv1a64("x.unwrap();")
+                ))
+                .copied(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn diff_flags_only_the_excess() {
+        let old = vec![f("RR001", "p.rs", "x.unwrap();")];
+        let b = Baseline::from_findings(&old);
+        // Same set: clean.
+        assert!(b.new_findings(&old).is_empty());
+        // A second identical occurrence: exactly one new finding.
+        let now = vec![
+            f("RR001", "p.rs", "x.unwrap();"),
+            f("RR001", "p.rs", "x.unwrap();"),
+        ];
+        assert_eq!(b.new_findings(&now).len(), 1);
+        // A different line: new.
+        let other = vec![f("RR001", "p.rs", "y.unwrap();")];
+        assert_eq!(b.new_findings(&other).len(), 1);
+    }
+
+    #[test]
+    fn line_moves_do_not_churn() {
+        let mut a = f("RR001", "p.rs", "x.unwrap();");
+        a.line = 10;
+        let b = Baseline::from_findings(&[a.clone()]);
+        a.line = 999; // file shifted underneath
+        assert!(b.new_findings(&[a]).is_empty());
+    }
+
+    #[test]
+    fn stale_entries_counted() {
+        let b = Baseline::from_findings(&[f("RR001", "p.rs", "x.unwrap();")]);
+        assert_eq!(b.stale_entries(&[]), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        for bad in [
+            "",
+            "[]",
+            "{\"entries\": 3}",
+            "{\"entries\": [{\"rule\": 1}]}",
+            "{\"entries\": [",
+            "{} trailing",
+        ] {
+            assert!(Baseline::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_escapes() {
+        let v = Json::parse(r#"{"k": "a\n\"bA"}"#).unwrap();
+        match v {
+            Json::Obj(o) => assert_eq!(o[0].1, Json::Str("a\n\"bA".into())),
+            _ => panic!("not an object"),
+        }
+    }
+
+    #[test]
+    fn empty_baseline_serializes_and_parses() {
+        let b = Baseline::default();
+        let back = Baseline::from_json(&b.to_json()).unwrap();
+        assert!(back.allowed.is_empty());
+    }
+}

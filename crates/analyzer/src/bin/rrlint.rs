@@ -1,0 +1,205 @@
+//! The `rrlint` command-line front end.
+//!
+//! Exit codes: `0` clean, `1` new findings (the gate), `2` usage or I/O
+//! error. Everything interesting lives in the `analyzer` library; this
+//! file only parses flags and prints.
+
+use analyzer::baseline::Baseline;
+use analyzer::engine::{self, EngineError};
+use analyzer::rules::{self, Finding};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("rrlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "check" => check(&args[1..]),
+        "baseline" => baseline_cmd(&args[1..]),
+        "explain" => explain(&args[1..]),
+        "rules" => {
+            for r in rules::RULES {
+                println!("{}  {:<28} {}", r.id, r.name, r.summary);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}` (try `rrlint help`)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "rrlint — workspace static analysis for the Ratio Rules reproduction
+
+USAGE:
+    rrlint check    [--root DIR] [--baseline FILE]   gate: fail on new findings
+    rrlint baseline [--root DIR] [--baseline FILE] --write
+                                                     re-bless current findings
+    rrlint explain <RRNNN>                           rationale for one rule
+    rrlint rules                                     list the catalogue
+
+Suppress a finding in code (reason mandatory):
+    // rrlint-allow: RR002 exact zero is the QL deflation sentinel
+
+Rules are documented in docs/LINTS.md."
+    );
+}
+
+/// Parses `--root` / `--baseline` with defaults; rejects stray args.
+fn common_flags(args: &[String]) -> Result<(PathBuf, PathBuf, bool), String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut write = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    it.next().ok_or("--root needs a directory argument")?,
+                );
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a file argument")?,
+                ));
+            }
+            "--write" => write = true,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let root = find_workspace_root(&root)?;
+    let baseline = baseline.unwrap_or_else(|| root.join(engine::BASELINE_PATH));
+    Ok((root, baseline, write))
+}
+
+/// Walks up from `start` to the directory containing the workspace
+/// `Cargo.toml` (identified by a `[workspace]` table), so `rrlint check`
+/// works from any subdirectory.
+fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let abs = start
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve root {}: {e}", start.display()))?;
+    let mut dir = abs.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            // No workspace marker above: lint the given tree as-is.
+            return Ok(abs);
+        }
+    }
+}
+
+fn check(args: &[String]) -> Result<ExitCode, String> {
+    let (root, baseline, _) = common_flags(args)?;
+    // rrlint-allow: RR003 wall time only annotates the report footer, never results
+    let start = std::time::Instant::now();
+    let report = engine::run_check(&root, &baseline).map_err(render_engine_err)?;
+    let elapsed = start.elapsed();
+    if !report.had_baseline {
+        eprintln!(
+            "rrlint: note: no baseline at {} — every finding counts as new \
+             (run `rrlint baseline --write` to bless the current state)",
+            baseline.display()
+        );
+    }
+    for f in &report.new {
+        print_finding(f);
+    }
+    let status = if report.clean() { "OK" } else { "FAIL" };
+    println!(
+        "rrlint check: {status} — {} files, {} findings ({} baselined, {} new, {} stale baseline entries) in {:.0?}",
+        report.files,
+        report.findings.len(),
+        report.findings.len() - report.new.len(),
+        report.new.len(),
+        report.stale,
+        elapsed
+    );
+    if report.clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "rrlint: {} new finding(s). Fix them, suppress with a reason \
+             (see docs/LINTS.md), or re-bless via `rrlint baseline --write`.",
+            report.new.len()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn print_finding(f: &Finding) {
+    println!("{}:{}: {} {}", f.path, f.line, f.rule, f.message);
+    if !f.snippet.is_empty() {
+        println!("    | {}", f.snippet);
+    }
+}
+
+fn baseline_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let (root, baseline_path, write) = common_flags(args)?;
+    let findings = engine::collect_findings(&root).map_err(render_engine_err)?;
+    let blessed = Baseline::from_findings(&findings);
+    if write {
+        std::fs::write(&baseline_path, blessed.to_json())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "rrlint baseline: wrote {} entries to {}",
+            blessed.allowed.len(),
+            baseline_path.display()
+        );
+    } else {
+        print!("{}", blessed.to_json());
+        eprintln!(
+            "rrlint baseline: {} entries (dry run; pass --write to save)",
+            blessed.allowed.len()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn explain(args: &[String]) -> Result<ExitCode, String> {
+    let Some(id) = args.first() else {
+        return Err("explain needs a rule id, e.g. `rrlint explain RR002`".into());
+    };
+    let id = id.to_uppercase();
+    let Some(r) = rules::rule_info(&id) else {
+        return Err(format!(
+            "unknown rule `{id}`; `rrlint rules` lists the catalogue"
+        ));
+    };
+    println!("{} — {}\n", r.id, r.name);
+    println!("{}\n", r.summary);
+    println!("Why: {}\n", r.rationale);
+    println!("Bad:\n    {}\n", r.bad.replace('\n', "\n    "));
+    println!("Good:\n    {}\n", r.good.replace('\n', "\n    "));
+    println!(
+        "Suppress (reason mandatory):\n    // rrlint-allow: {} <why this occurrence is safe>",
+        r.id
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn render_engine_err(e: EngineError) -> String {
+    e.to_string()
+}

@@ -1,0 +1,452 @@
+//! Per-file analysis context: token stream, `cfg(test)` regions, file
+//! classification, and suppression comments.
+//!
+//! Rules never re-lex or re-scan for structure; they interrogate a
+//! [`FileCtx`] built once per file. The two structural facts rules care
+//! about are *"is this byte offset inside test-only code?"* (attribute
+//! region tracking below) and *"what kind of file is this?"* (library
+//! source vs. binary vs. integration test, from the path shape).
+
+use crate::lexer::{self, Tok, TokKind};
+use std::path::Path;
+
+/// Coarse classification from the path, following Cargo's layout rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` of some crate (or the workspace root package).
+    Lib,
+    /// `src/bin/**` or `src/main.rs`: an executable entry point.
+    Bin,
+    /// Under `tests/`, `benches/`, or `examples/`: test-only by location.
+    TestFile,
+}
+
+/// A suppression parsed from an `rrlint-allow` comment: the marker, a
+/// colon, one or more rule ids, and a mandatory reason.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule ids this comment waives, e.g. `["RR002"]`.
+    pub rules: Vec<String>,
+    /// The mandatory free-text justification.
+    pub reason: String,
+    /// Line the comment sits on; the waiver covers this line and the next.
+    pub line: u32,
+}
+
+/// A malformed suppression comment (missing reason / bad rule id).
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// Why it was rejected.
+    pub why: String,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Raw source text.
+    pub src: &'a str,
+    /// Full token stream, comments included.
+    pub toks: Vec<Tok<'a>>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items (merged,
+    /// sorted). A whole-file `#![cfg(test)]` yields one full range.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Path-derived classification.
+    pub kind: FileKind,
+    /// Name of the owning crate (`linalg`, `obs`, …); the workspace root
+    /// package is `"."`.
+    pub crate_name: String,
+    /// Valid suppressions found in the file.
+    pub suppressions: Vec<Suppression>,
+    /// Rejected suppression comments (surfaced as RR009 findings).
+    pub bad_suppressions: Vec<BadSuppression>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context for one file. `rel_path` must be
+    /// workspace-relative (used for classification and reporting).
+    pub fn new(rel_path: &Path, src: &'a str) -> Self {
+        let path = rel_path
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let toks = lexer::tokenize(src);
+        let kind = classify(&path);
+        let crate_name = crate_of(&path);
+        let test_regions = find_test_regions(src, &toks);
+        let (suppressions, bad_suppressions) = scan_suppressions(&toks);
+        FileCtx {
+            path,
+            src,
+            toks,
+            test_regions,
+            kind,
+            crate_name,
+            suppressions,
+            bad_suppressions,
+        }
+    }
+
+    /// Is the byte offset inside test-only code (or is the whole file a
+    /// test file)?
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.kind == FileKind::TestFile
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Is a finding of `rule` on `line` waived by a suppression comment
+    /// (same line or the line directly above)?
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions.iter().any(|s| {
+            (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule)
+        })
+    }
+
+    /// The 1-based source line, trimmed, for finding snippets.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// Indices of non-comment tokens, for structural scans.
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.toks.len())
+            .filter(|&i| !self.toks[i].is_comment())
+            .collect()
+    }
+}
+
+fn classify(path: &str) -> FileKind {
+    let parts: Vec<&str> = path.split('/').collect();
+    let in_dir = |d: &str| parts.iter().any(|p| *p == d);
+    if in_dir("tests") || in_dir("benches") || in_dir("examples") {
+        return FileKind::TestFile;
+    }
+    if path.ends_with("src/main.rs") || path.contains("src/bin/") {
+        return FileKind::Bin;
+    }
+    FileKind::Lib
+}
+
+fn crate_of(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    if parts.len() >= 2 && parts[0] == "crates" {
+        parts[1].to_string()
+    } else {
+        ".".to_string()
+    }
+}
+
+/// Scans the token stream for `#[cfg(test)]`-like attributes and returns
+/// the byte ranges of the items they gate.
+///
+/// Recognized as test-gating: `#[test]`, `#[bench]`, and any `#[cfg(…)]`
+/// whose argument list mentions the bare ident `test` (covers
+/// `cfg(test)`, `cfg(all(test, feature = "x"))`, `cfg(any(test, …))`).
+/// An inner `#![cfg(test)]` marks the whole file.
+fn find_test_regions(src: &str, toks: &[Tok<'_>]) -> Vec<(usize, usize)> {
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut ci = 0usize;
+    while ci < code.len() {
+        let i = code[ci];
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            let inner = matches!(code.get(ci + 1), Some(&j) if toks[j].text == "!");
+            let open = if inner { ci + 2 } else { ci + 1 };
+            if matches!(code.get(open), Some(&j) if toks[j].text == "[") {
+                let (attr_end_ci, is_test) = scan_attr(toks, &code, open);
+                if is_test {
+                    if inner {
+                        // #![cfg(test)] — whole file is test code.
+                        return vec![(0, src.len())];
+                    }
+                    let start = toks[i].start;
+                    let end = item_end(toks, &code, attr_end_ci, src.len());
+                    regions.push((start, end));
+                }
+                ci = attr_end_ci;
+                continue;
+            }
+        }
+        ci += 1;
+    }
+    merge(regions)
+}
+
+/// From the `[` at code-index `open`, scans to the matching `]`.
+/// Returns (code-index just past `]`, whether the attribute gates tests).
+fn scan_attr(toks: &[Tok<'_>], code: &[usize], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut saw_cfg = false;
+    let mut saw_test_ident = false;
+    let mut first_ident: Option<&str> = None;
+    let mut ci = open;
+    while ci < code.len() {
+        let t = &toks[code[ci]];
+        match (t.kind, t.text) {
+            (TokKind::Punct, "[") => depth += 1,
+            (TokKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    ci += 1;
+                    break;
+                }
+            }
+            (TokKind::Ident, text) => {
+                if first_ident.is_none() {
+                    first_ident = Some(text);
+                }
+                if text == "cfg" {
+                    saw_cfg = true;
+                }
+                if text == "test" {
+                    saw_test_ident = true;
+                }
+            }
+            _ => {}
+        }
+        ci += 1;
+    }
+    let is_test = matches!(first_ident, Some("test") | Some("bench"))
+        || (saw_cfg && saw_test_ident);
+    (ci, is_test)
+}
+
+/// Byte offset where the item starting at code-index `ci` ends.
+///
+/// Skips any further attributes, then walks to the first of:
+/// * a `;` at brace depth 0 (`use`/`const`/declarations), or
+/// * the close of the first top-level `{ … }` block — plus a trailing
+///   `;` if one follows directly (struct-literal initializers).
+fn item_end(toks: &[Tok<'_>], code: &[usize], mut ci: usize, eof: usize) -> usize {
+    // Skip stacked attributes: #[…] #[…] item
+    while ci + 1 < code.len()
+        && toks[code[ci]].text == "#"
+        && toks[code[ci + 1]].text == "["
+    {
+        let (next, _) = scan_attr(toks, code, ci + 1);
+        ci = next;
+    }
+    let mut brace = 0i32;
+    let mut entered = false;
+    while ci < code.len() {
+        let t = &toks[code[ci]];
+        if t.kind == TokKind::Punct {
+            match t.text {
+                "{" => {
+                    brace += 1;
+                    entered = true;
+                }
+                "}" => {
+                    brace -= 1;
+                    if entered && brace == 0 {
+                        let close_end = t.start + 1;
+                        // `const X: T = T { … };` — include the trailing
+                        // semicolon so the whole item is covered.
+                        if let Some(&j) = code.get(ci + 1) {
+                            if toks[j].text == ";" {
+                                return toks[j].start + 1;
+                            }
+                        }
+                        return close_end;
+                    }
+                }
+                ";" if brace == 0 => return t.start + 1,
+                _ => {}
+            }
+        }
+        ci += 1;
+    }
+    eof
+}
+
+fn merge(mut regions: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    regions.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(regions.len());
+    for (s, e) in regions {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Marker that starts a suppression comment.
+pub const ALLOW_MARKER: &str = "rrlint-allow:";
+
+fn scan_suppressions(toks: &[Tok<'_>]) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        let Some(at) = t.text.find(ALLOW_MARKER) else {
+            continue;
+        };
+        let rest = t.text[at + ALLOW_MARKER.len()..]
+            .trim_end_matches("*/")
+            .trim();
+        // Grammar: RRNNN[,RRNNN…] <reason…>
+        let mut rules: Vec<String> = Vec::new();
+        let mut reason = "";
+        if let Some((head, tail)) = rest.split_once(char::is_whitespace) {
+            rules = head.split(',').map(str::to_string).collect();
+            reason = tail.trim();
+        } else if !rest.is_empty() {
+            rules = rest.split(',').map(str::to_string).collect();
+        }
+        let malformed_rule = rules.is_empty()
+            || rules
+                .iter()
+                .any(|r| r.len() != 5 || !r.starts_with("RR") || !r[2..].chars().all(|c| c.is_ascii_digit()));
+        if malformed_rule {
+            bad.push(BadSuppression {
+                line: t.line,
+                why: format!("expected `{ALLOW_MARKER} RRNNN <reason>`, got `{rest}`"),
+            });
+        } else if reason.len() < 3 {
+            bad.push(BadSuppression {
+                line: t.line,
+                why: format!(
+                    "suppression of {} needs a reason string (why is this safe?)",
+                    rules.join(",")
+                ),
+            });
+        } else {
+            good.push(Suppression {
+                rules,
+                reason: reason.to_string(),
+                line: t.line,
+            });
+        }
+    }
+    (good, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn ctx<'a>(path: &str, src: &'a str) -> FileCtx<'a> {
+        FileCtx::new(Path::new(path), src)
+    }
+
+    #[test]
+    fn classification_follows_cargo_layout() {
+        assert_eq!(ctx("crates/linalg/src/svd.rs", "").kind, FileKind::Lib);
+        assert_eq!(ctx("crates/cli/src/main.rs", "").kind, FileKind::Bin);
+        assert_eq!(ctx("crates/bench/src/bin/x.rs", "").kind, FileKind::Bin);
+        assert_eq!(ctx("tests/proptests.rs", "").kind, FileKind::TestFile);
+        assert_eq!(ctx("crates/core/benches/b.rs", "").kind, FileKind::TestFile);
+        assert_eq!(ctx("crates/linalg/src/svd.rs", "").crate_name, "linalg");
+        assert_eq!(ctx("src/lib.rs", "").crate_name, ".");
+    }
+
+    #[test]
+    fn cfg_test_module_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(c.in_test(unwrap_at));
+        assert!(!c.in_test(src.find("live").unwrap()));
+        assert!(!c.in_test(src.find("after").unwrap()));
+    }
+
+    #[test]
+    fn test_attribute_on_fn() {
+        let src = "#[test]\nfn check() { panic!(); }\nfn real() {}\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        assert!(c.in_test(src.find("panic").unwrap()));
+        assert!(!c.in_test(src.find("real").unwrap()));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod t { fn f() {} }\nfn g() {}\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        assert!(c.in_test(src.find("fn f").unwrap()));
+        assert!(!c.in_test(src.find("fn g").unwrap()));
+    }
+
+    #[test]
+    fn cfg_feature_does_not_count() {
+        let src = "#[cfg(feature = \"fast\")]\nfn f() {}\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        assert!(!c.in_test(src.find("fn f").unwrap()));
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() { x.unwrap(); }\n";
+        let c = ctx("crates/x/src/extra.rs", src);
+        assert!(c.in_test(src.find("unwrap").unwrap()));
+    }
+
+    #[test]
+    fn stacked_attributes_before_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn f() {} }\nfn g() {}\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        assert!(c.in_test(src.find("fn f").unwrap()));
+        assert!(!c.in_test(src.find("fn g").unwrap()));
+    }
+
+    #[test]
+    fn semicolon_item_region() {
+        let src = "#[cfg(test)]\nuse std::mem;\nfn g() {}\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        assert!(c.in_test(src.find("std::mem").unwrap()));
+        assert!(!c.in_test(src.find("fn g").unwrap()));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_break_regions() {
+        let src = "#[cfg(test)]\nmod t { const S: &str = \"}}}{\"; fn f() {} }\nfn g() {}\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        assert!(c.in_test(src.find("fn f").unwrap()));
+        assert!(!c.in_test(src.find("fn g").unwrap()));
+    }
+
+    #[test]
+    fn suppressions_parse_and_apply() {
+        let src = "// rrlint-allow: RR002 exact zero is the algorithm's sentinel\nlet a = x == 0.0;\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        assert_eq!(c.suppressions.len(), 1);
+        assert!(c.suppressed("RR002", 2));
+        assert!(!c.suppressed("RR001", 2));
+        assert!(!c.suppressed("RR002", 3));
+    }
+
+    #[test]
+    fn suppression_without_reason_is_rejected() {
+        let src = "// rrlint-allow: RR002\nlet a = x == 0.0;\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        assert!(c.suppressions.is_empty());
+        assert_eq!(c.bad_suppressions.len(), 1);
+        assert!(c.bad_suppressions[0].why.contains("reason"));
+    }
+
+    #[test]
+    fn suppression_with_bad_rule_id_is_rejected() {
+        let src = "// rrlint-allow: RRX bogus reason here\n";
+        let c = ctx("crates/x/src/lib.rs", src);
+        assert!(c.suppressions.is_empty());
+        assert_eq!(c.bad_suppressions.len(), 1);
+    }
+
+    #[test]
+    fn multi_rule_suppression() {
+        let src = "// rrlint-allow: RR002,RR007 trusted hot-loop sentinel comparison\nassert!(x == 0.0);\n";
+        let c = ctx("crates/core/src/covariance.rs", src);
+        assert!(c.suppressed("RR002", 2));
+        assert!(c.suppressed("RR007", 2));
+    }
+}

@@ -1,0 +1,299 @@
+//! Workspace driver: find the files, build contexts, run rules, diff
+//! against the baseline.
+//!
+//! The engine is deliberately a plain library API (no process exit, no
+//! printing) so the same code path serves the `rrlint` binary, the
+//! in-repo integration tests, and the injected-violation e2e check in
+//! `scripts/verify.sh`.
+
+use crate::baseline::Baseline;
+use crate::context::FileCtx;
+use crate::rules::{self, Finding};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Errors from the engine (I/O and configuration, never findings).
+#[derive(Debug)]
+pub enum EngineError {
+    /// Reading a file or directory failed.
+    Io(PathBuf, std::io::Error),
+    /// The baseline file exists but does not parse.
+    BadBaseline(PathBuf, String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            EngineError::BadBaseline(p, why) => {
+                write!(f, "baseline {} is malformed: {why}", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Where the obs name registry lives, relative to the workspace root.
+pub const REGISTRY_PATH: &str = "crates/obs/src/names.rs";
+
+/// Default baseline location, relative to the workspace root.
+pub const BASELINE_PATH: &str = "lint-baseline.json";
+
+/// Outcome of one full `check` run.
+pub struct Report {
+    /// Every finding in the workspace, baselined or not.
+    pub findings: Vec<Finding>,
+    /// The subset not covered by the baseline (what fails the gate).
+    pub new: Vec<Finding>,
+    /// Baseline entries matching nothing anymore (burn-down progress).
+    pub stale: usize,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Whether a baseline file was found and applied.
+    pub had_baseline: bool,
+}
+
+impl Report {
+    /// Gate verdict: true when no un-baselined findings exist.
+    pub fn clean(&self) -> bool {
+        self.new.is_empty()
+    }
+}
+
+/// Collects every workspace `.rs` file under `root`, sorted for
+/// deterministic reports. Skips `target`, hidden directories, and
+/// anything that is not UTF-8 readable.
+///
+/// # Errors
+/// Returns [`EngineError::Io`] if a directory listing fails outright
+/// (unreadable single files are skipped, a missing tree is an error).
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, EngineError> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            fs::read_dir(&dir).map_err(|e| EngineError::Io(dir.clone(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| EngineError::Io(dir.clone(), e))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Loads the obs metric/span name registry: every non-test string
+/// literal in `crates/obs/src/names.rs`. Returns `None` when the file is
+/// absent (RR004 is then skipped, e.g. on foreign trees).
+pub fn load_registry(root: &Path) -> Option<Vec<String>> {
+    let path = root.join(REGISTRY_PATH);
+    let src = fs::read_to_string(&path).ok()?;
+    let ctx = FileCtx::new(Path::new(REGISTRY_PATH), &src);
+    let mut names: Vec<String> = ctx
+        .toks
+        .iter()
+        .filter(|t| t.kind == crate::lexer::TokKind::StrLit && !ctx.in_test(t.start))
+        .filter_map(|t| rules::str_lit_value(t.text))
+        .collect();
+    names.sort();
+    names.dedup();
+    Some(names)
+}
+
+/// Lints the whole workspace under `root`. `baseline` is applied when
+/// present on disk; a missing baseline means every finding is "new".
+///
+/// # Errors
+/// Returns [`EngineError`] on unreadable trees or a malformed baseline.
+pub fn run_check(root: &Path, baseline_path: &Path) -> Result<Report, EngineError> {
+    let findings = collect_findings(root)?;
+    let (baseline, had_baseline) = if baseline_path.exists() {
+        let text = fs::read_to_string(baseline_path)
+            .map_err(|e| EngineError::Io(baseline_path.to_path_buf(), e))?;
+        let b = Baseline::from_json(&text)
+            .map_err(|why| EngineError::BadBaseline(baseline_path.to_path_buf(), why))?;
+        (b, true)
+    } else {
+        (Baseline::default(), false)
+    };
+    let new: Vec<Finding> = baseline
+        .new_findings(&findings)
+        .into_iter()
+        .cloned()
+        .collect();
+    let stale = baseline.stale_entries(&findings);
+    let files = workspace_files(root)?.len();
+    Ok(Report {
+        findings,
+        new,
+        stale,
+        files,
+        had_baseline,
+    })
+}
+
+/// Runs every rule over every workspace file, no baseline applied.
+///
+/// # Errors
+/// Returns [`EngineError::Io`] when the tree cannot be walked.
+pub fn collect_findings(root: &Path) -> Result<Vec<Finding>, EngineError> {
+    let registry = load_registry(root);
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    for path in &files {
+        let Ok(src) = fs::read_to_string(path) else {
+            continue; // non-UTF-8 or vanished mid-walk: nothing to lint
+        };
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let ctx = FileCtx::new(rel, &src);
+        findings.extend(rules::check_file(&ctx, registry.as_deref()));
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
+    });
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    /// Builds a throwaway workspace tree under the system temp dir.
+    struct TempTree {
+        root: PathBuf,
+    }
+
+    impl TempTree {
+        fn new(tag: &str) -> Self {
+            let root = std::env::temp_dir().join(format!(
+                "rrlint_engine_{tag}_{}",
+                std::process::id()
+            ));
+            let _ = fs::remove_dir_all(&root);
+            fs::create_dir_all(&root).unwrap();
+            TempTree { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            let p = self.root.join(rel);
+            fs::create_dir_all(p.parent().unwrap()).unwrap();
+            fs::write(p, content).unwrap();
+        }
+    }
+
+    impl Drop for TempTree {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    const NAMES_RS: &str = r#"
+pub const ROWS: &str = "rows_total";
+pub const NAMES: &[&str] = &[ROWS];
+"#;
+
+    #[test]
+    fn end_to_end_injected_violation_fails_then_baseline_blesses() {
+        let t = TempTree::new("e2e");
+        t.write("crates/obs/src/names.rs", NAMES_RS);
+        t.write(
+            "crates/core/src/lib.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        let missing = t.root.join(BASELINE_PATH);
+
+        // No baseline: the unwrap is a new finding and the gate fails.
+        let report = run_check(&t.root, &missing).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.new.len(), 1);
+        assert_eq!(report.new[0].rule, "RR001");
+        assert!(!report.had_baseline);
+
+        // Bless it, rerun: clean.
+        let blessed = Baseline::from_findings(&report.findings);
+        fs::write(&missing, blessed.to_json()).unwrap();
+        let report2 = run_check(&t.root, &missing).unwrap();
+        assert!(report2.clean());
+        assert!(report2.had_baseline);
+
+        // Inject a *second* violation: exactly it fails the gate.
+        t.write(
+            "crates/core/src/lib.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g() { panic!(\"new\"); }\n",
+        );
+        let report3 = run_check(&t.root, &missing).unwrap();
+        assert_eq!(report3.new.len(), 1);
+        assert!(report3.new[0].message.contains("panic"));
+    }
+
+    #[test]
+    fn registry_is_loaded_and_enforced() {
+        let t = TempTree::new("registry");
+        t.write("crates/obs/src/names.rs", NAMES_RS);
+        t.write(
+            "crates/core/src/lib.rs",
+            "fn f() { obs::counter_add(\"rows_total\", 1); obs::counter_add(\"rogue_total\", 1); }\n",
+        );
+        let report = run_check(&t.root, &t.root.join(BASELINE_PATH)).unwrap();
+        let rr004: Vec<_> = report.findings.iter().filter(|f| f.rule == "RR004").collect();
+        assert_eq!(rr004.len(), 1);
+        assert!(rr004[0].message.contains("rogue_total"));
+    }
+
+    #[test]
+    fn missing_registry_disables_rr004() {
+        let t = TempTree::new("noreg");
+        t.write(
+            "crates/core/src/lib.rs",
+            "fn f() { obs::counter_add(\"anything\", 1); }\n",
+        );
+        let report = run_check(&t.root, &t.root.join(BASELINE_PATH)).unwrap();
+        assert!(report.findings.iter().all(|f| f.rule != "RR004"));
+    }
+
+    #[test]
+    fn malformed_baseline_fails_loudly() {
+        let t = TempTree::new("badbase");
+        t.write("crates/core/src/lib.rs", "fn f() {}\n");
+        let p = t.root.join(BASELINE_PATH);
+        fs::write(&p, "{ not json").unwrap();
+        assert!(matches!(
+            run_check(&t.root, &p),
+            Err(EngineError::BadBaseline(_, _))
+        ));
+    }
+
+    #[test]
+    fn target_and_hidden_dirs_are_skipped() {
+        let t = TempTree::new("skip");
+        t.write("crates/core/src/lib.rs", "fn ok() {}\n");
+        t.write("target/debug/build/junk.rs", "fn f() { x.unwrap(); }\n");
+        t.write(".git/hooks/h.rs", "fn f() { panic!(); }\n");
+        let report = run_check(&t.root, &t.root.join(BASELINE_PATH)).unwrap();
+        assert!(report.findings.is_empty());
+        assert_eq!(report.files, 1);
+    }
+
+    #[test]
+    fn findings_are_deterministically_ordered() {
+        let t = TempTree::new("order");
+        t.write("crates/b/src/lib.rs", "fn f() { x.unwrap(); }\n");
+        t.write("crates/a/src/lib.rs", "fn f() { y.unwrap(); }\n");
+        let r1 = collect_findings(&t.root).unwrap();
+        let r2 = collect_findings(&t.root).unwrap();
+        assert_eq!(r1, r2);
+        assert!(r1[0].path < r1[1].path);
+    }
+}

@@ -1,0 +1,702 @@
+//! A hand-rolled, total lexer for (the interesting subset of) Rust.
+//!
+//! `rrlint` needs exactly one guarantee from its front end: **strings and
+//! comments must never be confused with code**. Every rule in
+//! [`crate::rules`] matches identifier/punctuation shapes, so a lexer that
+//! mistook the contents of a raw string for tokens would produce phantom
+//! findings, and one that mistook a comment opener inside a string for a
+//! real comment would silently skip code. The tricky cases are exactly the
+//! ones this module spends its code on:
+//!
+//! * raw strings with arbitrary hash fences (`r##"..."##`) and their byte
+//!   and C variants (`br#"…"#`, `cr"…"`);
+//! * nested block comments (`/* /* */ */` is *one* comment);
+//! * `'a` the lifetime vs `'a'` the char literal (and `'\n'`, `'\u{1F600}'`);
+//! * raw identifiers (`r#match`) which start like raw strings;
+//! * numeric literals with underscores, exponents and type suffixes, so
+//!   `1.0_f64` is one float token and `1..2` is int-dots-int.
+//!
+//! The lexer is **total**: any byte sequence produces a token stream and
+//! never panics. Malformed input (unterminated strings, stray bytes)
+//! degrades to `Unknown` or to a literal running to end-of-file, matching
+//! the "keep scanning, stay useful" posture of the resilience layer.
+//! Totality is enforced by an in-crate seeded fuzz test and a workspace
+//! proptest (`tests/rrlint_lexer.rs`).
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// `'x'`, `'\n'`, `'\u{7fff}'`.
+    CharLit,
+    /// `b'x'`.
+    ByteLit,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    StrLit,
+    /// Integer literal (`42`, `0xFF_u8`).
+    IntLit,
+    /// Float literal (`1.0`, `2e-3`, `1_000.5f64`).
+    FloatLit,
+    /// Punctuation, one token per operator (`==`, `->`, `::`, `{`).
+    Punct,
+    /// `// …` (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, nesting respected (including `/** … */` doc comments).
+    BlockComment,
+    /// A byte sequence the lexer could not classify. Never code.
+    Unknown,
+}
+
+/// One token: kind plus location. `text` borrows from the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: &'a str,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    /// True for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src` completely. Total: never panics, consumes every byte.
+pub fn tokenize(src: &str) -> Vec<Tok<'_>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            toks: Vec::with_capacity(src.len() / 6),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32) {
+        // `start..pos` always lies on char boundaries: the lexer only
+        // advances past a full scalar value once it has seen its first
+        // byte, and multi-byte continuation bytes are consumed in
+        // `bump_char`. Guard anyway: slicing must never panic.
+        let end = self.pos.min(self.src.len());
+        if let Some(text) = self.src.get(start..end) {
+            self.toks.push(Tok {
+                kind,
+                text,
+                start,
+                line,
+            });
+        } else {
+            // Fall back to an empty-text Unknown rather than panicking on
+            // a boundary bug; the fuzz tests lean on this never firing.
+            self.toks.push(Tok {
+                kind: TokKind::Unknown,
+                text: "",
+                start,
+                line,
+            });
+        }
+    }
+
+    /// Consumes one whole UTF-8 scalar (1–4 bytes).
+    fn bump_char(&mut self) {
+        self.bump();
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+            self.pos += 1;
+        }
+    }
+
+    fn run(mut self) -> Vec<Tok<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    self.line_comment();
+                    self.emit(TokKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    self.emit(TokKind::BlockComment, start, line);
+                }
+                b'r' | b'b' | b'c' => self.letter_prefixed(start, line),
+                b'"' => {
+                    self.string_body();
+                    self.emit(TokKind::StrLit, start, line);
+                }
+                b'\'' => self.quote(start, line),
+                b'0'..=b'9' => {
+                    let kind = self.number();
+                    self.emit(kind, start, line);
+                }
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    self.ident_body();
+                    self.emit(TokKind::Ident, start, line);
+                }
+                0x80..=0xFF => {
+                    // Non-ASCII: treat alphanumerics as identifier chars,
+                    // anything else as Unknown, one scalar at a time.
+                    match self.cur_char() {
+                        Some(ch) if ch.is_alphanumeric() => {
+                            self.ident_body();
+                            self.emit(TokKind::Ident, start, line);
+                        }
+                        _ => {
+                            self.bump_char();
+                            self.emit(TokKind::Unknown, start, line);
+                        }
+                    }
+                }
+                _ => {
+                    self.punct();
+                    self.emit(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn cur_char(&self) -> Option<char> {
+        self.src.get(self.pos..)?.chars().next()
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+    }
+
+    /// Nested block comment; unterminated runs to EOF.
+    fn block_comment(&mut self) {
+        self.bump_n(2); // "/*"
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Dispatch for tokens starting `r`, `b`, or `c`: raw strings
+    /// (`r"`, `r#"`), raw identifiers (`r#ident`), byte strings (`b"`,
+    /// `br"`, `br#"`), byte chars (`b'x'`), C strings (`c"`, `cr#"`),
+    /// or a plain identifier that merely starts with one of these letters.
+    fn letter_prefixed(&mut self, start: usize, line: u32) {
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1, c2) {
+            // r"..."  r#"..."#  and raw identifiers r#match
+            (b'r', b'"', _) => {
+                self.bump();
+                self.string_body();
+                self.emit(TokKind::StrLit, start, line);
+            }
+            (b'r', b'#', _) => {
+                if self.raw_fence_is_string(1) {
+                    self.bump(); // r
+                    self.raw_string_body();
+                    self.emit(TokKind::StrLit, start, line);
+                } else {
+                    // raw identifier r#foo
+                    self.bump_n(2);
+                    self.ident_body();
+                    self.emit(TokKind::Ident, start, line);
+                }
+            }
+            // b"..."  br"..."  br#"..."#  b'x'
+            (b'b', b'"', _) => {
+                self.bump();
+                self.string_body();
+                self.emit(TokKind::StrLit, start, line);
+            }
+            (b'b', b'r', b'"') => {
+                self.bump_n(2);
+                self.string_body();
+                self.emit(TokKind::StrLit, start, line);
+            }
+            (b'b', b'r', b'#') if self.raw_fence_is_string(2) => {
+                self.bump_n(2);
+                self.raw_string_body();
+                self.emit(TokKind::StrLit, start, line);
+            }
+            (b'b', b'\'', _) => {
+                self.bump(); // b
+                self.char_body();
+                self.emit(TokKind::ByteLit, start, line);
+            }
+            // c"..."  cr"..."  cr#"..."#
+            (b'c', b'"', _) => {
+                self.bump();
+                self.string_body();
+                self.emit(TokKind::StrLit, start, line);
+            }
+            (b'c', b'r', b'"') => {
+                self.bump_n(2);
+                self.string_body();
+                self.emit(TokKind::StrLit, start, line);
+            }
+            (b'c', b'r', b'#') if self.raw_fence_is_string(2) => {
+                self.bump_n(2);
+                self.raw_string_body();
+                self.emit(TokKind::StrLit, start, line);
+            }
+            _ => {
+                self.ident_body();
+                self.emit(TokKind::Ident, start, line);
+            }
+        }
+    }
+
+    /// Looks past `offset` bytes of `#` fence: is this `#...#"` (a raw
+    /// string) rather than `#ident` (a raw identifier)?
+    fn raw_fence_is_string(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        self.peek(i) == b'"'
+    }
+
+    /// Consumes `#*"…"#*` starting at the first `#` or `"`. Caller has
+    /// consumed the `r`/`br`/`cr` prefix. Unterminated runs to EOF.
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            return; // malformed; emitted as whatever the caller decided
+        }
+        self.bump(); // opening quote
+        'scan: while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                // need `hashes` following '#'
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes `"…"` with escapes, starting at the quote. Unterminated
+    /// runs to EOF.
+    fn string_body(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// After a `'`: lifetime, loop label, or char literal.
+    fn quote(&mut self, start: usize, line: u32) {
+        // 'a' is a char, 'a is a lifetime, '\n' is a char, '_ is a
+        // lifetime. Rule: escape or non-ident first char => char literal;
+        // ident first char followed by a closing quote => char literal;
+        // otherwise lifetime.
+        let c1 = self.peek(1);
+        if c1 == b'\\' {
+            self.char_body();
+            self.emit(TokKind::CharLit, start, line);
+            return;
+        }
+        let ident_start = c1 == b'_' || c1.is_ascii_alphabetic() || c1 >= 0x80;
+        if ident_start {
+            // Find where the ident run ends (byte-wise is fine here: any
+            // non-ASCII byte extends the run, which matches how
+            // `ident_body` consumes alphanumeric scalars).
+            let mut i = 2;
+            while {
+                let b = self.peek(i);
+                b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80
+            } {
+                i += 1;
+            }
+            if i == 2 && self.peek(2) == b'\'' {
+                // 'x' — single ident char then closing quote.
+                self.char_body();
+                self.emit(TokKind::CharLit, start, line);
+            } else {
+                // Lifetime / label: consume quote + ident run.
+                self.bump(); // '
+                self.ident_body();
+                self.emit(TokKind::Lifetime, start, line);
+            }
+        } else if c1 == b'\'' {
+            // Empty '' — not valid Rust; consume both quotes as Unknown.
+            self.bump_n(2);
+            self.emit(TokKind::Unknown, start, line);
+        } else {
+            // Char literal with a non-ident char: '(', '0', '€', …
+            self.char_body();
+            self.emit(TokKind::CharLit, start, line);
+        }
+    }
+
+    /// Consumes a char/byte literal starting at `'`. Unterminated (no
+    /// closing quote before newline/EOF) stops at the newline so a stray
+    /// quote cannot swallow the rest of the file.
+    fn char_body(&mut self) {
+        self.bump(); // opening '
+        match self.peek(0) {
+            b'\\' => {
+                self.bump_n(2);
+                // \u{...}
+                if self.peek(0).is_ascii_hexdigit() || self.peek(0) == b'{' {
+                    while self.pos < self.bytes.len()
+                        && self.peek(0) != b'\''
+                        && self.peek(0) != b'\n'
+                    {
+                        self.bump();
+                    }
+                }
+            }
+            b'\n' | 0 => return,
+            _ => self.bump_char(),
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    fn ident_body(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.bump();
+            } else if b >= 0x80 {
+                match self.cur_char() {
+                    Some(ch) if ch.is_alphanumeric() => self.bump_char(),
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a numeric literal; returns Int or Float kind.
+    fn number(&mut self) -> TokKind {
+        // 0x / 0o / 0b prefixed: always integers.
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b' | b'X') {
+            self.bump_n(2);
+            while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_') {
+                self.bump();
+            }
+            self.suffix();
+            return TokKind::IntLit;
+        }
+        let mut float = false;
+        self.digits();
+        // Fractional part: `1.5` yes; `1..2` and `1.foo()` no.
+        if self.peek(0) == b'.' {
+            let after = self.peek(1);
+            let is_range = after == b'.';
+            let is_field = after == b'_' || after.is_ascii_alphabetic();
+            if !is_range && !is_field {
+                float = true;
+                self.bump(); // .
+                self.digits();
+            }
+        }
+        // Exponent: 1e9, 2.5E-3. An `e` not followed by digits is a
+        // suffix/ident, not an exponent.
+        if matches!(self.peek(0), b'e' | b'E') {
+            let mut i = 1;
+            if matches!(self.peek(1), b'+' | b'-') {
+                i = 2;
+            }
+            if self.peek(i).is_ascii_digit() {
+                float = true;
+                self.bump_n(i);
+                self.digits();
+            }
+        }
+        // Type suffix (f64, u32, usize…) — glue it onto the literal. A
+        // float suffix forces Float.
+        let suf_start = self.pos;
+        self.suffix();
+        if let Some(suf) = self.src.get(suf_start..self.pos) {
+            if suf.starts_with("f32") || suf.starts_with("f64") {
+                float = true;
+            }
+        }
+        if float {
+            TokKind::FloatLit
+        } else {
+            TokKind::IntLit
+        }
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+    }
+
+    fn suffix(&mut self) {
+        if self.peek(0) == b'_' || self.peek(0).is_ascii_alphabetic() {
+            self.ident_body();
+        }
+    }
+
+    /// Multi-char operators first, longest match wins.
+    fn punct(&mut self) {
+        const THREE: [&[u8; 3]; 2] = [b"..=", b"..."];
+        const TWO: [&[u8; 2]; 19] = [
+            b"==", b"!=", b"<=", b">=", b"&&", b"||", b"->", b"=>", b"::", b"..", b"+=", b"-=",
+            b"*=", b"/=", b"%=", b"^=", b"&=", b"|=", b"<<",
+        ];
+        // Note: ">>" is deliberately absent from TWO so `Vec<Vec<f64>>`
+        // closes two generic brackets; `>>=` etc. still lex, as two toks.
+        let trio = [self.peek(0), self.peek(1), self.peek(2)];
+        if THREE.iter().any(|p| **p == trio) {
+            self.bump_n(3);
+            return;
+        }
+        let duo = [self.peek(0), self.peek(1)];
+        if TWO.iter().any(|p| **p == duo) {
+            self.bump_n(2);
+            return;
+        }
+        self.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let ks = kinds("fn main() { let x = 1.5; }");
+        assert_eq!(ks[0], (TokKind::Ident, "fn"));
+        assert_eq!(ks[1], (TokKind::Ident, "main"));
+        assert!(ks.contains(&(TokKind::FloatLit, "1.5")));
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        let ks = kinds("a // hi\nb /* x /* nested */ y */ c");
+        assert_eq!(ks[0], (TokKind::Ident, "a"));
+        assert_eq!(ks[1], (TokKind::LineComment, "// hi"));
+        assert_eq!(ks[2], (TokKind::Ident, "b"));
+        assert_eq!(ks[3].0, TokKind::BlockComment);
+        assert_eq!(ks[3].1, "/* x /* nested */ y */");
+        assert_eq!(ks[4], (TokKind::Ident, "c"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r##"no "# escape here"##; x"####;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::StrLit && t.contains("no \"# escape")));
+        assert_eq!(ks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let ks = kinds("let r#match = 1;");
+        assert!(ks.contains(&(TokKind::Ident, "r#match")));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(ks.contains(&(TokKind::CharLit, "'a'")));
+        assert!(ks.contains(&(TokKind::CharLit, "'\\n'")));
+    }
+
+    #[test]
+    fn static_lifetime_and_label() {
+        let ks = kinds("&'static str; 'outer: loop {}");
+        assert!(ks.contains(&(TokKind::Lifetime, "'static")));
+        assert!(ks.contains(&(TokKind::Lifetime, "'outer")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ks = kinds(r##"b"bytes" br#"raw"# b'x' c"cstr""##);
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::StrLit).count(),
+            3
+        );
+        assert!(ks.contains(&(TokKind::ByteLit, "b'x'")));
+    }
+
+    #[test]
+    fn numbers() {
+        let ks = kinds("1 1.5 1e9 2.5E-3 0xFF_u8 1_000.5f64 1..2 1.max(2) 3f64");
+        assert!(ks.contains(&(TokKind::IntLit, "1")));
+        assert!(ks.contains(&(TokKind::FloatLit, "1.5")));
+        assert!(ks.contains(&(TokKind::FloatLit, "1e9")));
+        assert!(ks.contains(&(TokKind::FloatLit, "2.5E-3")));
+        assert!(ks.contains(&(TokKind::IntLit, "0xFF_u8")));
+        assert!(ks.contains(&(TokKind::FloatLit, "1_000.5f64")));
+        assert!(ks.contains(&(TokKind::FloatLit, "3f64")));
+        // 1..2 lexes as int, range, int
+        assert!(ks.contains(&(TokKind::Punct, "..")));
+        // 1.max(2): the 1 stays an int and max is an ident
+        assert!(ks.contains(&(TokKind::Ident, "max")));
+    }
+
+    #[test]
+    fn operators_lex_as_units() {
+        let ks = kinds("a == b != c -> d => e :: f ..= g");
+        for op in ["==", "!=", "->", "=>", "::", "..="] {
+            assert!(ks.contains(&(TokKind::Punct, op)), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn nested_generics_close() {
+        let ks = kinds("Vec<Vec<f64>>");
+        assert_eq!(ks.iter().filter(|(_, t)| *t == ">").count(), 2);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let ks = kinds(r#"let s = "a \" // not a comment"; x"#);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::LineComment).count(), 0);
+        assert_eq!(ks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn comment_openers_inside_strings_are_inert() {
+        let ks = kinds(r#"let s = "/* not a comment // at all"; y"#);
+        assert!(ks.iter().all(|(k, _)| *k != TokKind::BlockComment));
+        assert_eq!(ks.last().unwrap().1, "y");
+    }
+
+    #[test]
+    fn unterminated_things_reach_eof_without_panic() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated /* nested",
+            "'",
+            "b'",
+            "r#",
+            "1e",
+            "'\\u{12345",
+        ] {
+            let toks = tokenize(src);
+            assert!(!toks.is_empty(), "no tokens for {src:?}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // b after the embedded newline
+    }
+
+    #[test]
+    fn seeded_fuzz_lexing_is_total() {
+        // SplitMix64-driven byte soup, biased toward lexer-relevant
+        // bytes. Must never panic and must consume every input.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        const MENU: &[u8] = b"\"'#/r*b\\ \n{}()=<>.!:0129ae_-";
+        for round in 0..500 {
+            let len = (next() % 200) as usize;
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    let r = next();
+                    if r % 4 == 0 {
+                        (r >> 8) as u8
+                    } else {
+                        MENU[(r >> 8) as usize % MENU.len()]
+                    }
+                })
+                .collect();
+            let s = String::from_utf8_lossy(&bytes);
+            let toks = tokenize(&s);
+            // Tokens must be in order and within bounds.
+            let mut last = 0usize;
+            for t in &toks {
+                assert!(t.start >= last, "round {round}: out of order");
+                assert!(t.start + t.text.len() <= s.len());
+                last = t.start;
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `rrlint` — from-scratch static analysis for the Ratio Rules workspace.
+//!
+//! Off-the-shelf linters cannot see this project's load-bearing
+//! invariants: deterministic seeded randomness, the resilience layer's
+//! "errors are values" contract, symmetric/finite covariance matrices,
+//! and obs metric names that must match between producers and exporters.
+//! This crate enforces them with three zero-dependency layers:
+//!
+//! * [`lexer`] — a total, hand-rolled Rust lexer (raw strings, nested
+//!   block comments, `'a` vs `'a'`, byte strings) that never confuses
+//!   strings or comments with code;
+//! * [`context`] — per-file structure: `#[cfg(test)]` region tracking,
+//!   path classification, and `rrlint-allow` suppressions (reason
+//!   mandatory);
+//! * [`rules`] + [`engine`] + [`baseline`] — the `RR001`–`RR009` rule
+//!   set, the workspace walker, and the `lint-baseline.json` diff that
+//!   makes the gate "no *new* findings" from day one.
+//!
+//! The `rrlint` binary wraps [`engine::run_check`]:
+//!
+//! ```text
+//! rrlint check              # gate: exit 1 on any un-baselined finding
+//! rrlint baseline --write   # re-bless the current findings
+//! rrlint explain RR002      # rationale + examples for one rule
+//! rrlint rules              # one-line catalogue
+//! ```
+//!
+//! The companion *runtime* half of the invariant story is the
+//! `numeric-sanitizer` feature in `linalg`/`ratio-rules`, which
+//! debug-asserts finiteness and symmetry on the covariance path; see
+//! `docs/LINTS.md` for how the two halves fit together.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod context;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use engine::{run_check, Report};
+pub use rules::{Finding, RULES};

@@ -1,0 +1,780 @@
+//! The workspace rule set: `RR001`–`RR009`.
+//!
+//! Each rule is a token-shape pattern over a [`FileCtx`], scoped to the
+//! files and regions where the invariant it protects actually applies.
+//! The catalogue (rationale, examples, suppression syntax) is rendered by
+//! `rrlint explain` from the metadata here and documented in
+//! `docs/LINTS.md`. Rules are heuristic by design — they match what the
+//! lexer can see, not types — but every pattern is tuned so that the
+//! workspace conventions make the *intended* construct invisible to the
+//! rule (e.g. `linalg::cmp::exact_zero(x)` instead of `x == 0.0`).
+
+use crate::context::{FileCtx, FileKind};
+use crate::lexer::{Tok, TokKind};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `"RR002"`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation of this occurrence.
+    pub message: String,
+    /// Trimmed source line (also the baseline fingerprint input).
+    pub snippet: String,
+}
+
+/// Static description of a rule, used by `explain` and the docs test.
+pub struct RuleInfo {
+    /// `RRNNN`.
+    pub id: &'static str,
+    /// Short name.
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Why the workspace enforces it.
+    pub rationale: &'static str,
+    /// A violating line.
+    pub bad: &'static str,
+    /// The conforming alternative.
+    pub good: &'static str,
+}
+
+/// The rule catalogue, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "RR001",
+        name: "no-panic-paths",
+        summary: "no panic!/unreachable!/todo!/unimplemented!/.unwrap()/.expect() in non-test library code",
+        rationale: "The resilience layer (ScanPolicy, DegradationReport, typed errors) exists so \
+                    corrupt rows and failed solves surface as values, not aborts. A stray unwrap \
+                    in library code bypasses quarantine accounting and kills long mining runs.",
+        bad: "let c = acc.finalize().unwrap();",
+        good: "let c = acc.finalize()?;",
+    },
+    RuleInfo {
+        id: "RR002",
+        name: "no-raw-float-eq",
+        summary: "no == / != against f64 literals; use linalg::cmp helpers",
+        rationale: "Raw float equality either encodes a deliberate exact-zero sentinel (which \
+                    deserves a name: linalg::cmp::exact_zero) or is a tolerance bug waiting for \
+                    a denormal. Either way the intent must be spelled out.",
+        bad: "if norm == 0.0 { return; }",
+        good: "if cmp::exact_zero(norm) { return; }",
+    },
+    RuleInfo {
+        id: "RR003",
+        name: "no-ambient-nondeterminism",
+        summary: "no SystemTime::now/Instant::now/thread_rng-style ambient sources outside the clock/seed abstractions",
+        rationale: "Reproducibility is a paper claim: mining is deterministic given a dataset and \
+                    a seed. Wall clocks belong to obs (timing) and bench; randomness must come \
+                    from seeded generators threaded through APIs.",
+        bad: "let seed = SystemTime::now().elapsed().as_nanos();",
+        good: "let mut rng = SplitMix64::new(args.seed);",
+    },
+    RuleInfo {
+        id: "RR004",
+        name: "registered-metric-names",
+        summary: "obs metric/span name literals must appear in crates/obs/src/names.rs",
+        rationale: "Producers and exporters drift silently: a renamed counter stops matching its \
+                    dashboard and nobody notices. One checked-in registry makes every name a \
+                    reviewed, greppable constant.",
+        bad: "obs::counter_add(\"rows_scaned_total\", 1); // typo ships",
+        good: "obs::counter_add(names::COVARIANCE_ROWS_SCANNED, 1);",
+    },
+    RuleInfo {
+        id: "RR005",
+        name: "errors-doc-section",
+        summary: "public Result-returning fns need an `# Errors` doc section",
+        rationale: "Callers routing errors into the degradation ladder need to know what can \
+                    fail without reading the body. Same contract clippy::missing_errors_doc \
+                    enforces, minus the dependency on nightly-churned lint names.",
+        bad: "pub fn finalize(&self) -> Result<Matrix> {",
+        good: "/// # Errors\n/// Returns `EmptyInput` if no rows were absorbed.\npub fn finalize(&self) -> Result<Matrix> {",
+    },
+    RuleInfo {
+        id: "RR006",
+        name: "no-unsafe",
+        summary: "no unsafe blocks or functions anywhere in the workspace",
+        rationale: "The whole reproduction is safe Rust on dense f64 buffers; nothing here needs \
+                    unsafe, so any appearance is either an accident or an optimization that must \
+                    first be argued in review.",
+        bad: "unsafe { *ptr.add(i) }",
+        good: "buf[i] // bounds-checked, and the optimizer elides it in the hot loops",
+    },
+    RuleInfo {
+        id: "RR007",
+        name: "debug-assert-in-hot-loops",
+        summary: "assert!/assert_eq!/assert_ne! are forbidden in covariance/reconstruct/parallel; use debug_assert!",
+        rationale: "These files are the single-pass scan and the per-row reconstruction — the \
+                    O(N·M²) paths the paper's speed claims rest on. Release builds must not pay \
+                    for invariant checks there; debug and sanitizer builds still get them.",
+        bad: "assert!(j <= l && l < self.m);",
+        good: "debug_assert!(j <= l && l < self.m);",
+    },
+    RuleInfo {
+        id: "RR008",
+        name: "tagged-todos",
+        summary: "TODO/FIXME comments must carry a tag: TODO(#123) or TODO(RR-7)",
+        rationale: "Untagged TODOs rot: nobody owns them and nothing links them to the roadmap. \
+                    A tag ties every known gap to an issue or roadmap item that can be triaged.",
+        bad: "// TODO: handle the rank-deficient case",
+        good: "// TODO(RR-12): handle the rank-deficient case",
+    },
+    RuleInfo {
+        id: "RR009",
+        name: "suppressions-carry-reasons",
+        summary: "rrlint-allow comments must name a valid rule and give a reason",
+        rationale: "A suppression is a reviewed exception; without a reason it is just a muted \
+                    alarm. The reason string is what the next reader audits.",
+        bad: "// rrlint-allow: RR002",
+        good: "// rrlint-allow: RR002 exact zero is the QL deflation sentinel",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// The hot-loop files RR007 guards.
+const HOT_FILES: &[&str] = &[
+    "crates/core/src/covariance.rs",
+    "crates/core/src/reconstruct.rs",
+    "crates/core/src/parallel.rs",
+];
+
+/// Crates whose job is wall-clock timing; RR003 ignores `Instant::now`
+/// there (obs *is* the clock abstraction; bench measures wall time).
+const CLOCK_CRATES: &[&str] = &["obs", "bench"];
+
+/// Runs every rule against one file. `registry` is the parsed obs name
+/// registry (`None` disables RR004, e.g. when linting a foreign tree).
+pub fn check_file(ctx: &FileCtx<'_>, registry: Option<&[String]>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let code = ctx.code_indices();
+    rr001_panic_paths(ctx, &code, &mut out);
+    rr002_float_eq(ctx, &code, &mut out);
+    rr003_nondeterminism(ctx, &code, &mut out);
+    if let Some(reg) = registry {
+        rr004_metric_names(ctx, &code, reg, &mut out);
+    }
+    rr005_errors_doc(ctx, &code, &mut out);
+    rr006_unsafe(ctx, &code, &mut out);
+    rr007_hot_asserts(ctx, &code, &mut out);
+    rr008_todo_tags(ctx, &mut out);
+    rr009_bad_suppressions(ctx, &mut out);
+    // Apply suppressions last so every rule benefits uniformly (RR009
+    // itself cannot be suppressed: a broken waiver must not waive itself).
+    out.retain(|f| f.rule == "RR009" || !ctx.suppressed(f.rule, f.line));
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+fn push(ctx: &FileCtx<'_>, out: &mut Vec<Finding>, rule: &'static str, t: &Tok<'_>, msg: String) {
+    out.push(Finding {
+        rule,
+        path: ctx.path.clone(),
+        line: t.line,
+        message: msg,
+        snippet: ctx.line_text(t.line).to_string(),
+    });
+}
+
+/// RR001: panicking constructs in non-test library code.
+fn rr001_panic_paths(ctx: &FileCtx<'_>, code: &[usize], out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for (w, &i) in code.iter().enumerate() {
+        let t = &ctx.toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(t.start) {
+            continue;
+        }
+        let next = code.get(w + 1).map(|&j| &ctx.toks[j]);
+        let prev = w.checked_sub(1).and_then(|p| code.get(p)).map(|&j| &ctx.toks[j]);
+        let next_is = |s: &str| next.is_some_and(|n| n.kind == TokKind::Punct && n.text == s);
+        match t.text {
+            "unwrap" | "expect" => {
+                let method = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".");
+                if method && next_is("(") {
+                    push(
+                        ctx,
+                        out,
+                        "RR001",
+                        t,
+                        format!(
+                            ".{}() can abort a mining run; return the crate error type instead",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                if next_is("!") {
+                    push(
+                        ctx,
+                        out,
+                        "RR001",
+                        t,
+                        format!(
+                            "{}! in library code bypasses the resilience layer; return an error",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// RR002: `==` / `!=` with a float-literal operand.
+fn rr002_float_eq(ctx: &FileCtx<'_>, code: &[usize], out: &mut Vec<Finding>) {
+    for (w, &i) in code.iter().enumerate() {
+        let t = &ctx.toks[i];
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        if ctx.in_test(t.start) {
+            continue;
+        }
+        let prev_float = w
+            .checked_sub(1)
+            .and_then(|p| code.get(p))
+            .is_some_and(|&j| ctx.toks[j].kind == TokKind::FloatLit);
+        let next_float = match code.get(w + 1).map(|&j| &ctx.toks[j]) {
+            Some(n) if n.kind == TokKind::FloatLit => true,
+            // `x == -1.0`
+            Some(n) if n.kind == TokKind::Punct && n.text == "-" => code
+                .get(w + 2)
+                .is_some_and(|&j| ctx.toks[j].kind == TokKind::FloatLit),
+            _ => false,
+        };
+        if prev_float || next_float {
+            push(
+                ctx,
+                out,
+                "RR002",
+                t,
+                format!(
+                    "raw f64 `{}` against a literal; use linalg::cmp (exact_zero / approx_eq) to name the intent",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// RR003: ambient clocks and entropy outside the sanctioned homes.
+fn rr003_nondeterminism(ctx: &FileCtx<'_>, code: &[usize], out: &mut Vec<Finding>) {
+    for (w, &i) in code.iter().enumerate() {
+        let t = &ctx.toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(t.start) {
+            continue;
+        }
+        let path2 = |a: &str, b: &str| {
+            t.text == a
+                && matches!(code.get(w + 1).map(|&j| &ctx.toks[j]), Some(n) if n.text == "::")
+                && matches!(code.get(w + 2).map(|&j| &ctx.toks[j]), Some(n) if n.text == b)
+        };
+        let clock_ok = CLOCK_CRATES.contains(&ctx.crate_name.as_str());
+        if path2("SystemTime", "now") {
+            push(ctx, out, "RR003", t,
+                "SystemTime::now() makes runs irreproducible; inject a clock or derive from the seed".into());
+        } else if !clock_ok && path2("Instant", "now") {
+            push(ctx, out, "RR003", t,
+                "Instant::now() outside obs/bench; route timing through obs spans or suppress with the reason".into());
+        } else if t.text == "thread_rng" || t.text == "from_entropy" {
+            push(ctx, out, "RR003", t,
+                format!("{}() draws ambient entropy; every RNG here must be seeded and logged", t.text));
+        } else if path2("rand", "random") {
+            push(ctx, out, "RR003", t,
+                "rand::random() draws ambient entropy; thread a seeded generator instead".into());
+        }
+    }
+}
+
+/// RR004: metric/span name literals must be registered.
+fn rr004_metric_names(
+    ctx: &FileCtx<'_>,
+    code: &[usize],
+    registry: &[String],
+    out: &mut Vec<Finding>,
+) {
+    // The obs crate itself hosts the registry, generic plumbing, and doc
+    // demos; names only become production facts at producer call sites.
+    if ctx.crate_name == "obs" {
+        return;
+    }
+    for (w, &i) in code.iter().enumerate() {
+        let t = &ctx.toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(t.start) {
+            continue;
+        }
+        let nth = |k: usize| code.get(w + k).map(|&j| &ctx.toks[j]);
+        // counter_add("..")  gauge_set("..")  observe("..")
+        let free_call = matches!(t.text, "counter_add" | "gauge_set" | "observe");
+        // Span::enter("..")
+        let span_enter = t.text == "Span"
+            && matches!(nth(1), Some(n) if n.text == "::")
+            && matches!(nth(2), Some(n) if n.text == "enter");
+        // .counter("..")  .gauge("..")  .histogram("..")
+        let method_call = matches!(t.text, "counter" | "gauge" | "histogram")
+            && w.checked_sub(1)
+                .and_then(|p| code.get(p))
+                .is_some_and(|&j| ctx.toks[j].text == ".");
+        let lit_at = if free_call || method_call {
+            2
+        } else if span_enter {
+            4
+        } else {
+            continue;
+        };
+        if !matches!(nth(lit_at - 1), Some(n) if n.text == "(") {
+            continue;
+        }
+        let Some(lit) = nth(lit_at) else { continue };
+        if lit.kind != TokKind::StrLit {
+            continue; // dynamic name: the registry cannot vouch for it
+        }
+        if let Some(name) = str_lit_value(lit.text) {
+            if !registry.iter().any(|r| *r == name) {
+                push(
+                    ctx,
+                    out,
+                    "RR004",
+                    lit,
+                    format!(
+                        "metric/span name \"{name}\" is not in crates/obs/src/names.rs; register it so exporters and dashboards cannot drift"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// RR005: `pub fn … -> Result` requires an `# Errors` doc section.
+fn rr005_errors_doc(ctx: &FileCtx<'_>, code: &[usize], out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for (w, &i) in code.iter().enumerate() {
+        let t = &ctx.toks[i];
+        if t.kind != TokKind::Ident || t.text != "pub" || ctx.in_test(t.start) {
+            continue;
+        }
+        // pub(crate)/pub(super) are not public API.
+        if matches!(code.get(w + 1).map(|&j| &ctx.toks[j]), Some(n) if n.text == "(") {
+            continue;
+        }
+        // Allow qualifiers between pub and fn: const / async / unsafe / extern "C".
+        let mut k = w + 1;
+        let mut fn_at = None;
+        while k < code.len() && k <= w + 4 {
+            let q = &ctx.toks[code[k]];
+            if q.kind == TokKind::Ident && q.text == "fn" {
+                fn_at = Some(k);
+                break;
+            }
+            let qualifier = q.kind == TokKind::StrLit
+                || (q.kind == TokKind::Ident
+                    && matches!(q.text, "const" | "async" | "unsafe" | "extern"));
+            if !qualifier {
+                break;
+            }
+            k += 1;
+        }
+        let Some(fn_ci) = fn_at else { continue };
+        // Does the signature (up to body/`;`) mention Result after `->`?
+        let mut saw_arrow = false;
+        let mut returns_result = false;
+        let mut j = fn_ci + 1;
+        while j < code.len() {
+            let s = &ctx.toks[code[j]];
+            match (s.kind, s.text) {
+                (TokKind::Punct, "->") => saw_arrow = true,
+                (TokKind::Punct, "{") | (TokKind::Punct, ";") => break,
+                (TokKind::Ident, "where") => break,
+                (TokKind::Ident, "Result") if saw_arrow => returns_result = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !returns_result {
+            continue;
+        }
+        if !doc_above_mentions_errors(ctx, i) {
+            push(
+                ctx,
+                out,
+                "RR005",
+                t,
+                "public Result-returning fn without an `# Errors` doc section".into(),
+            );
+        }
+    }
+}
+
+/// Walks backwards from the raw-token index of a `pub` over doc comments
+/// and attributes, looking for `# Errors` in the doc block.
+fn doc_above_mentions_errors(ctx: &FileCtx<'_>, pub_idx: usize) -> bool {
+    let mut i = pub_idx;
+    let mut bracket_depth = 0i32;
+    while i > 0 {
+        i -= 1;
+        let t = &ctx.toks[i];
+        match t.kind {
+            TokKind::LineComment => {
+                if bracket_depth == 0
+                    && (t.text.starts_with("///") || t.text.starts_with("//!"))
+                    && t.text.contains("# Errors")
+                {
+                    return true;
+                }
+                // Plain comments inside the doc block are fine to skip.
+            }
+            TokKind::BlockComment => {
+                if bracket_depth == 0 && t.text.contains("# Errors") {
+                    return true;
+                }
+            }
+            TokKind::Punct if t.text == "]" => bracket_depth += 1,
+            TokKind::Punct if t.text == "[" => bracket_depth -= 1,
+            TokKind::Punct if t.text == "#" || t.text == "=" || t.text == "," => {}
+            // Attribute contents: idents / literals inside #[…] are part
+            // of the header; anything else at depth 0 ends the block.
+            _ if bracket_depth > 0 => {}
+            _ => break,
+        }
+    }
+    false
+}
+
+/// RR006: any `unsafe` token.
+fn rr006_unsafe(ctx: &FileCtx<'_>, code: &[usize], out: &mut Vec<Finding>) {
+    for &i in code {
+        let t = &ctx.toks[i];
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            push(
+                ctx,
+                out,
+                "RR006",
+                t,
+                "unsafe is banned workspace-wide; argue the optimization in review first".into(),
+            );
+        }
+    }
+}
+
+/// RR007: hard asserts in the hot-loop files.
+fn rr007_hot_asserts(ctx: &FileCtx<'_>, code: &[usize], out: &mut Vec<Finding>) {
+    if !HOT_FILES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    for (w, &i) in code.iter().enumerate() {
+        let t = &ctx.toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(t.start) {
+            continue;
+        }
+        if matches!(t.text, "assert" | "assert_eq" | "assert_ne")
+            && matches!(code.get(w + 1).map(|&j| &ctx.toks[j]), Some(n) if n.text == "!")
+        {
+            push(
+                ctx,
+                out,
+                "RR007",
+                t,
+                format!(
+                    "{}! in a paper-critical hot path; use debug_{}! so release scans stay branch-free",
+                    t.text, t.text
+                ),
+            );
+        }
+    }
+}
+
+/// RR008: to-do / fix-me markers in comments need an issue tag.
+fn rr008_todo_tags(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for t in ctx.toks.iter().filter(|t| t.is_comment()) {
+        for marker in ["TODO", "FIXME"] {
+            let mut from = 0usize;
+            while let Some(at) = t.text[from..].find(marker) {
+                let abs = from + at;
+                from = abs + marker.len();
+                // Word boundary on the left (avoid e.g. "TODOS" matching
+                // is handled on the right below).
+                if abs > 0 {
+                    let before = t.text.as_bytes()[abs - 1];
+                    if before.is_ascii_alphanumeric() || before == b'_' {
+                        continue;
+                    }
+                }
+                let rest = &t.text[abs + marker.len()..];
+                let tagged = rest.starts_with('(')
+                    && rest[1..]
+                        .split_once(')')
+                        .is_some_and(|(tag, _)| !tag.trim().is_empty());
+                if rest.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+                    continue; // TODOS, FIXMEs, …: not a marker
+                }
+                if !tagged {
+                    push(
+                        ctx,
+                        out,
+                        "RR008",
+                        t,
+                        format!("{marker} without a tag; write {marker}(#issue) or {marker}(RR-n) so it can be triaged"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// RR009: malformed suppression comments.
+fn rr009_bad_suppressions(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for b in &ctx.bad_suppressions {
+        out.push(Finding {
+            rule: "RR009",
+            path: ctx.path.clone(),
+            line: b.line,
+            message: b.why.clone(),
+            snippet: ctx.line_text(b.line).to_string(),
+        });
+    }
+}
+
+/// Decodes a string-literal token to its value. Returns `None` for byte
+/// strings (not names) and for escapes the linter does not model.
+pub fn str_lit_value(text: &str) -> Option<String> {
+    let t = text;
+    if t.starts_with("b\"") || t.starts_with("br") || t.starts_with("b'") {
+        return None;
+    }
+    // Raw strings: r"..." / r#"..."# / cr#"..."#
+    if let Some(stripped) = t.strip_prefix('r').or_else(|| t.strip_prefix("cr")) {
+        let hashes = stripped.bytes().take_while(|&b| b == b'#').count();
+        let inner = stripped.get(hashes..)?;
+        let inner = inner.strip_prefix('"')?;
+        let inner = inner.get(..inner.len().checked_sub(1 + hashes)?)?;
+        return Some(inner.to_string());
+    }
+    let t = t.strip_prefix('c').unwrap_or(t);
+    let inner = t.strip_prefix('"')?.strip_suffix('"')?;
+    if !inner.contains('\\') {
+        return Some(inner.to_string());
+    }
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('\'') => out.push('\''),
+            Some('0') => out.push('\0'),
+            _ => return None, // \u{…}, \xNN: not plausible metric names
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileCtx;
+    use std::path::Path;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new(Path::new(path), src);
+        check_file(&ctx, Some(&["known_total".to_string()]))
+    }
+
+    fn rules_of(fs: &[Finding]) -> Vec<&'static str> {
+        fs.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn rr001_flags_unwrap_in_lib_only() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        let fs = findings("crates/core/src/miner.rs", src);
+        assert_eq!(rules_of(&fs), vec!["RR001"]);
+        assert_eq!(fs[0].line, 1);
+        // Same code in an integration test: clean.
+        assert!(findings("crates/core/tests/it.rs", src).is_empty());
+        // Binaries are exempt (CLI already routes through run_with_status).
+        assert!(findings("crates/cli/src/main.rs", "fn main() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn rr001_flags_macros_but_not_lookalikes() {
+        let fs = findings(
+            "crates/core/src/lib.rs",
+            "fn f() { panic!(\"boom\"); let x = y.unwrap_or(3); }\n",
+        );
+        assert_eq!(rules_of(&fs), vec!["RR001"]);
+        assert!(fs[0].message.contains("panic"));
+    }
+
+    #[test]
+    fn rr001_ignores_doc_comment_examples() {
+        let src = "/// let x = v.unwrap();\n/// panic!();\nfn f() {}\n";
+        assert!(findings("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rr002_flags_float_literal_comparisons() {
+        let fs = findings(
+            "crates/linalg/src/x.rs",
+            "fn f(a: f64) -> bool { a == 0.0 || 1.5 != a || a == -2.0 }\n",
+        );
+        assert_eq!(rules_of(&fs), vec!["RR002", "RR002", "RR002"]);
+    }
+
+    #[test]
+    fn rr002_ignores_int_comparison_and_ordering() {
+        let src = "fn f(a: usize, x: f64) -> bool { a == 0 && x < 1.0 && x <= 0.5 }\n";
+        assert!(findings("crates/linalg/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rr002_exempts_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(x: f64) -> bool { x == 0.0 }\n}\n";
+        assert!(findings("crates/linalg/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rr002_suppressible_with_reason() {
+        let src = "fn f(x: f64) -> bool {\n    // rrlint-allow: RR002 canonical exact-zero helper\n    x == 0.0\n}\n";
+        assert!(findings("crates/linalg/src/cmp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rr003_flags_ambient_sources() {
+        let fs = findings(
+            "crates/dataset/src/x.rs",
+            "fn f() { let t = SystemTime::now(); let r = thread_rng(); let i = Instant::now(); }\n",
+        );
+        assert_eq!(rules_of(&fs), vec!["RR003", "RR003", "RR003"]);
+    }
+
+    #[test]
+    fn rr003_instant_allowed_in_obs_and_bench() {
+        let src = "fn f() { let i = Instant::now(); }\n";
+        assert!(findings("crates/obs/src/span.rs", src).is_empty());
+        assert!(findings("crates/bench/src/lib.rs", src).is_empty());
+        // SystemTime stays banned even there.
+        let fs = findings("crates/obs/src/span.rs", "fn g() { SystemTime::now(); }\n");
+        assert_eq!(rules_of(&fs), vec!["RR003"]);
+    }
+
+    #[test]
+    fn rr004_checks_literals_against_registry() {
+        let src = "fn f() { obs::counter_add(\"known_total\", 1); obs::counter_add(\"rogue_total\", 1); }\n";
+        let fs = findings("crates/core/src/miner.rs", src);
+        assert_eq!(rules_of(&fs), vec!["RR004"]);
+        assert!(fs[0].message.contains("rogue_total"));
+    }
+
+    #[test]
+    fn rr004_span_and_method_forms() {
+        let src = "fn f(reg: &Registry) { let _s = Span::enter(\"rogue_span\"); reg.histogram(\"rogue_hist\", &[1.0]); }\n";
+        let fs = findings("crates/core/src/miner.rs", src);
+        assert_eq!(rules_of(&fs), vec!["RR004", "RR004"]);
+    }
+
+    #[test]
+    fn rr004_dynamic_names_and_tests_skipped() {
+        let src = "fn f(n: &str) { obs::counter_add(n, 1); }\n#[cfg(test)]\nmod t { fn g() { obs::counter_add(\"ad_hoc\", 1); } }\n";
+        assert!(findings("crates/core/src/miner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rr005_requires_errors_section() {
+        let bad = "/// Does a thing.\npub fn f() -> Result<u32> { Ok(1) }\n";
+        let fs = findings("crates/core/src/x.rs", bad);
+        assert_eq!(rules_of(&fs), vec!["RR005"]);
+        let good = "/// Does a thing.\n///\n/// # Errors\n/// When the thing fails.\npub fn f() -> Result<u32> { Ok(1) }\n";
+        assert!(findings("crates/core/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn rr005_skips_private_and_non_result() {
+        let src = "fn f() -> Result<u32> { Ok(1) }\npub(crate) fn g() -> Result<u32> { Ok(1) }\npub fn h() -> u32 { 1 }\n";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rr005_sees_through_attributes() {
+        let good = "/// Doc.\n///\n/// # Errors\n/// Sometimes.\n#[inline]\npub fn f() -> Result<u32> { Ok(1) }\n";
+        assert!(findings("crates/core/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn rr005_result_in_args_is_not_a_return() {
+        let src = "/// Doc.\npub fn f(r: Result<u32, ()>) -> u32 { r.unwrap_or(0) }\n";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rr006_flags_unsafe_everywhere_even_tests() {
+        let src = "#[cfg(test)]\nmod t { fn f() { unsafe { std::hint::unreachable_unchecked() } } }\n";
+        let fs = findings("crates/core/src/x.rs", src);
+        assert!(rules_of(&fs).contains(&"RR006"));
+    }
+
+    #[test]
+    fn rr007_hot_files_require_debug_assert() {
+        let src = "fn f(m: usize) { assert!(m > 0); debug_assert!(m > 0); }\n";
+        let fs = findings("crates/core/src/covariance.rs", src);
+        assert_eq!(rules_of(&fs), vec!["RR007"]);
+        // Outside the hot files the same line is fine.
+        assert!(findings("crates/core/src/miner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rr008_requires_tags() {
+        let src = "// TODO: someday\n// TODO(RR-3): tracked\n// FIXME(#12): tracked too\n/* FIXME later */\nfn f() {}\n";
+        let fs = findings("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&fs), vec!["RR008", "RR008"]);
+        assert_eq!(fs[0].line, 1);
+        assert_eq!(fs[1].line, 4);
+    }
+
+    #[test]
+    fn rr009_reports_bad_suppressions_and_cannot_be_suppressed() {
+        let src = "// rrlint-allow: RR002\nfn f() {}\n";
+        let fs = findings("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&fs), vec!["RR009"]);
+    }
+
+    #[test]
+    fn str_lit_value_decodes() {
+        assert_eq!(str_lit_value("\"abc\""), Some("abc".into()));
+        assert_eq!(str_lit_value("\"a\\nb\""), Some("a\nb".into()));
+        assert_eq!(str_lit_value("r#\"a\"x\"#"), Some("a\"x".into()));
+        assert_eq!(str_lit_value("r\"plain\""), Some("plain".into()));
+        assert_eq!(str_lit_value("b\"bytes\""), None);
+    }
+
+    #[test]
+    fn catalogue_is_complete_and_ordered() {
+        let ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec!["RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007", "RR008", "RR009"]
+        );
+        assert!(rule_info("RR004").is_some());
+        assert!(rule_info("RR999").is_none());
+    }
+}

@@ -230,8 +230,8 @@ impl Apriori {
         out.sort_by(|a, b| {
             b.confidence
                 .partial_cmp(&a.confidence)
-                .unwrap()
-                .then(b.support.partial_cmp(&a.support).unwrap())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.support.partial_cmp(&a.support).unwrap_or(std::cmp::Ordering::Equal))
         });
         Ok(out)
     }

@@ -6,6 +6,7 @@
 //! criteria — lift is the standard representative. These are used by the
 //! baselines and the qualitative-comparison harness.
 
+use linalg::cmp::exact_zero;
 use crate::{AssocError, Result};
 
 /// 2x2 contingency counts for a rule `A => C` over `n` transactions.
@@ -46,7 +47,7 @@ impl Contingency {
         let n = self.n() as f64;
         let a = (self.both + self.a_only) as f64;
         let c = (self.both + self.c_only) as f64;
-        if a == 0.0 || c == 0.0 {
+        if exact_zero(a) || exact_zero(c) {
             return Err(AssocError::Invalid("degenerate marginals".into()));
         }
         Ok((self.both as f64 * n) / (a * c))
@@ -56,14 +57,14 @@ impl Contingency {
     /// freedom; > 3.84 is significant at the 5% level).
     pub fn chi_square(&self) -> Result<f64> {
         let n = self.n() as f64;
-        if n == 0.0 {
+        if exact_zero(n) {
             return Err(AssocError::EmptyInput);
         }
         let a = (self.both + self.a_only) as f64; // P(A) marginal count
         let c = (self.both + self.c_only) as f64; // P(C) marginal count
         let not_a = n - a;
         let not_c = n - c;
-        if a == 0.0 || c == 0.0 || not_a == 0.0 || not_c == 0.0 {
+        if exact_zero(a) || exact_zero(c) || exact_zero(not_a) || exact_zero(not_c) {
             return Err(AssocError::Invalid("degenerate marginals".into()));
         }
         let observed = [
@@ -106,7 +107,7 @@ pub fn score_rules(
             })
         })
         .collect();
-    out.sort_by(|a, b| b.chi_square.partial_cmp(&a.chi_square).unwrap());
+    out.sort_by(|a, b| b.chi_square.partial_cmp(&a.chi_square).unwrap_or(std::cmp::Ordering::Equal));
     out
 }
 

@@ -72,7 +72,7 @@ pub fn predict_hole(
         weighted += rule.confidence * target_range.midpoint();
         weight += rule.confidence;
     }
-    if fired == 0 || weight == 0.0 {
+    if fired == 0 || linalg::cmp::exact_zero(weight) {
         return Ok(PredictOutcome::NoRuleFires);
     }
     Ok(PredictOutcome::Predicted {

@@ -166,7 +166,7 @@ impl QuantitativeMiner {
                 attrs.windows(2).all(|w| w[0] != w[1])
             })
             .collect();
-        rules.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
+        rules.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
         Ok(QuantitativeModel {
             rules,
             partitioning,

@@ -58,7 +58,7 @@ impl Partitioning {
         let mut boundaries = Vec::with_capacity(x.cols());
         for j in 0..x.cols() {
             let mut col = x.col(j);
-            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let mut b = Vec::with_capacity(intervals - 1);
             for q in 1..intervals {
                 let pos = (q * n) / intervals;

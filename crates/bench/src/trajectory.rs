@@ -59,7 +59,7 @@ pub fn measure<F: FnMut()>(
             t0.elapsed().as_nanos() as f64
         })
         .collect();
-    times_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let median_ns_per_op = times_ns[times_ns.len() / 2];
     BenchRecord {
         name: name.to_string(),

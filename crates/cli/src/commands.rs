@@ -620,7 +620,7 @@ pub fn whatif(opts: &Options) -> Result<String> {
         .iter()
         .zip(forecast.values.iter().zip(rules.column_means()))
     {
-        let delta = if *mean != 0.0 {
+        let delta = if !linalg::cmp::exact_zero(*mean) {
             format!("  ({:+.1}% vs training mean)", (value / mean - 1.0) * 100.0)
         } else {
             String::new()

@@ -96,6 +96,8 @@ impl CovarianceAccumulator {
                 actual: other.m,
             });
         }
+        linalg::sanitize::check_finite_slice("covariance merge col_sums", &other.col_sums);
+        linalg::sanitize::check_finite_slice("covariance merge raw_upper", &other.raw_upper);
         self.n += other.n;
         for (a, b) in self.col_sums.iter_mut().zip(&other.col_sums) {
             *a += b;
@@ -131,6 +133,10 @@ impl CovarianceAccumulator {
                 raw_upper.len()
             )));
         }
+        // A checkpoint bypasses push_row's input validation, so this is
+        // where a corrupted snapshot can smuggle a NaN into the scan.
+        linalg::sanitize::check_finite_slice("covariance checkpoint col_sums", &col_sums);
+        linalg::sanitize::check_finite_slice("covariance checkpoint raw_upper", &raw_upper);
         Ok(CovarianceAccumulator {
             m,
             n,
@@ -164,6 +170,8 @@ impl CovarianceAccumulator {
                 c[(l, j)] = v;
             }
         }
+        linalg::sanitize::check_finite_slice("finalized scatter matrix", c.data());
+        linalg::sanitize::check_symmetric("finalized scatter matrix", c.data(), self.m, self.m, 0.0);
         Ok((c, means, self.n))
     }
 }
@@ -320,5 +328,48 @@ mod tests {
         let reference = stats::covariance_two_pass(&m).unwrap();
         let rel = c.max_abs_diff(&reference).unwrap() / reference.max_abs().max(1e-30);
         assert!(rel < 1e-3, "relative cancellation error {rel}");
+    }
+
+    /// Seeded NaN injection: `push_row` rejects non-finite input, so the
+    /// realistic smuggling route is a corrupted checkpoint restored via
+    /// `from_parts`. With the sanitizer active that must trap at the
+    /// restore boundary, not thirty QL sweeps later.
+    #[cfg(all(feature = "numeric-sanitizer", debug_assertions))]
+    #[test]
+    fn sanitizer_traps_nan_smuggled_through_checkpoint() {
+        let acc = accumulate(&x());
+        let (n, col_sums, raw_upper) = acc.parts();
+        let mut poisoned = raw_upper.to_vec();
+        poisoned[2] = f64::NAN;
+        let trapped = std::panic::catch_unwind(|| {
+            CovarianceAccumulator::from_parts(3, n, col_sums.to_vec(), poisoned)
+        })
+        .is_err();
+        assert!(trapped, "sanitizer must trap the poisoned checkpoint");
+
+        // An intact checkpoint still restores and finalizes cleanly.
+        let ok = CovarianceAccumulator::from_parts(3, n, col_sums.to_vec(), raw_upper.to_vec())
+            .unwrap();
+        ok.finalize().unwrap();
+    }
+
+    /// The merge boundary is the other sanitized entry point: a worker
+    /// shard whose accumulator went non-finite (overflow) must be caught
+    /// when merged, before it contaminates the scatter matrix.
+    #[cfg(all(feature = "numeric-sanitizer", debug_assertions))]
+    #[test]
+    fn sanitizer_traps_nonfinite_merge() {
+        let m = x();
+        let mut left = accumulate(&m);
+        let right = accumulate(&m);
+        let mut poisoned = right.clone();
+        poisoned.col_sums[0] = f64::INFINITY;
+        let trapped = std::panic::catch_unwind(move || left.merge(&poisoned)).is_err();
+        assert!(trapped, "sanitizer must trap the overflowed shard at merge");
+
+        // A healthy merge still works.
+        let mut left = accumulate(&m);
+        left.merge(&right).unwrap();
+        left.finalize().unwrap();
     }
 }

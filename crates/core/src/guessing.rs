@@ -192,7 +192,11 @@ impl GuessingErrorEvaluator {
             }
             partials = handles
                 .into_iter()
-                .map(|h| h.join().expect("GE worker"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(RatioRuleError::Invalid("GE worker thread panicked".into()))
+                    })
+                })
                 .collect();
         })
         .map_err(|_| RatioRuleError::Invalid("GE worker thread panicked".into()))?;
@@ -253,6 +257,7 @@ impl GuessingErrorEvaluator {
                     continue;
                 }
                 handles.push(scope.spawn(move |_| -> Result<(f64, u64, u64)> {
+                    // rrlint-allow: RR003 wall clock feeds obs throughput gauges only, never results
                     let start = obs::enabled().then(std::time::Instant::now);
                     let mut sum_sq = 0.0_f64;
                     for i in lo..hi {
@@ -271,7 +276,11 @@ impl GuessingErrorEvaluator {
             }
             partials = handles
                 .into_iter()
-                .map(|h| h.join().expect("GE worker"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(RatioRuleError::Invalid("GE worker thread panicked".into()))
+                    })
+                })
                 .collect();
         })
         .map_err(|_| RatioRuleError::Invalid("GE worker thread panicked".into()))?;

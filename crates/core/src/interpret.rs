@@ -67,7 +67,7 @@ fn summarize_rule(
             loading: l,
         })
         .collect();
-    significant.sort_by(|a, b| b.loading.abs().partial_cmp(&a.loading.abs()).unwrap());
+    significant.sort_by(|a, b| b.loading.abs().partial_cmp(&a.loading.abs()).unwrap_or(std::cmp::Ordering::Equal));
 
     let positive = significant
         .iter()

@@ -121,7 +121,7 @@ impl<'a> OutlierDetector<'a> {
                 }
             }
         }
-        out.sort_by(|a, b| b.z_score.partial_cmp(&a.z_score).unwrap());
+        out.sort_by(|a, b| b.z_score.partial_cmp(&a.z_score).unwrap_or(std::cmp::Ordering::Equal));
         Ok(out)
     }
 
@@ -152,7 +152,7 @@ impl<'a> OutlierDetector<'a> {
                 .sqrt();
             out.push(RowScore { row: i, residual });
         }
-        out.sort_by(|a, b| b.residual.partial_cmp(&a.residual).unwrap());
+        out.sort_by(|a, b| b.residual.partial_cmp(&a.residual).unwrap_or(std::cmp::Ordering::Equal));
         Ok(out)
     }
 }

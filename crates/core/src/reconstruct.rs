@@ -267,7 +267,7 @@ impl PatternSolver {
         if let Some(&j) = self
             .known
             .iter()
-            .find(|&&j| !row.values[j].unwrap().is_finite())
+            .find(|&&j| !row.values[j].unwrap_or(f64::NAN).is_finite())
         {
             return Err(RatioRuleError::Invalid(format!(
                 "non-finite known value at attribute {j}"
@@ -278,7 +278,7 @@ impl PatternSolver {
         let b: Vec<f64> = self
             .known
             .iter()
-            .map(|&j| row.values[j].unwrap() - self.means[j])
+            .map(|&j| row.values[j].unwrap_or(f64::NAN) - self.means[j])
             .collect();
         let concept = self.solve_concept(&b)?;
 
@@ -286,7 +286,7 @@ impl PatternSolver {
         // the given values (paper step 5).
         let mut values = reconstruct_from(&self.v_used, &concept, &self.means)?;
         for &j in &self.known {
-            values[j] = row.values[j].unwrap();
+            values[j] = row.values[j].unwrap_or(f64::NAN);
         }
 
         Ok(FilledRow {

@@ -239,6 +239,7 @@ impl Scanner {
     /// exactly as before this module existed.
     pub fn scan<S: RowSource>(&mut self, source: &mut S) -> Result<&ScanReport> {
         let _span = obs::Span::enter("covariance_scan");
+        // rrlint-allow: RR003 wall clock feeds obs throughput gauges only, never results
         let start = obs::enabled().then(std::time::Instant::now);
         // Register the resilience counters at zero so a clean scan still
         // shows them in metric dumps (a silent absence reads as "not
@@ -1019,6 +1020,7 @@ pub(crate) fn scan_strict<S: RowSource>(source: &mut S) -> Result<CovarianceAccu
     source.rewind()?;
     let mut buf = vec![0.0_f64; m];
     let _span = obs::Span::enter("covariance_scan");
+    // rrlint-allow: RR003 wall clock feeds obs throughput gauges only, never results
     let start = obs::enabled().then(std::time::Instant::now);
     let mut rows = 0u64;
     while source.next_row(&mut buf)? {

@@ -64,7 +64,7 @@ impl Projection2d {
         idx.sort_by(|&a, &b| {
             let da = (self.points[a].0 - cx).powi(2) + (self.points[a].1 - cy).powi(2);
             let db = (self.points[b].0 - cx).powi(2) + (self.points[b].1 - cy).powi(2);
-            db.partial_cmp(&da).unwrap()
+            db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
         });
         idx.truncate(count);
         idx

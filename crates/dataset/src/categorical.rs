@@ -213,7 +213,11 @@ impl OneHotEncoder {
             }
             start += width;
         }
-        unreachable!("attribute index validated above");
+        // The bounds check above makes this unreachable; keep it an Err so
+        // a future refactor that breaks the invariant degrades gracefully.
+        Err(DatasetError::Invalid(format!(
+            "attribute index {a} has no encoded block"
+        )))
     }
 
     /// Decodes a reconstructed numeric row back to mixed values: numeric
@@ -237,8 +241,15 @@ impl OneHotEncoder {
                 let (best, &score) = slice
                     .iter()
                     .enumerate()
-                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
-                    .expect(">= 2 levels");
+                    .max_by(|x, y| {
+                        x.1.partial_cmp(y.1).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .ok_or_else(|| {
+                        DatasetError::Invalid(format!(
+                            "categorical attribute {} has an empty level block",
+                            self.names[a]
+                        ))
+                    })?;
                 out.push(DecodedValue::Categorical {
                     level: self.levels[a][best].clone(),
                     score: score / self.scale,

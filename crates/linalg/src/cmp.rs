@@ -1,0 +1,115 @@
+//! Named floating-point comparisons.
+//!
+//! Raw `==` / `!=` on `f64` is banned workspace-wide (rrlint `RR002`)
+//! because it hides which of two very different things is meant:
+//!
+//! * an **algorithmic sentinel** — the EISPACK-style kernels test
+//!   *exact* zero to skip multiplies, detect deflation, and guard
+//!   divisions. Widening those to a tolerance would change iteration
+//!   counts and results; the comparison must stay bitwise and say so
+//!   ([`exact_zero`], [`exact_eq`]).
+//! * a **tolerance check** — everything else (convergence tests,
+//!   result validation) wants an explicit epsilon ([`approx_eq`],
+//!   [`approx_zero`], [`rel_eq`]).
+//!
+//! Routing both through named helpers keeps the numerics bit-identical
+//! while making every remaining float comparison in the workspace
+//! greppable and reviewed. The `numeric-sanitizer` runtime checks (see
+//! [`crate::sanitize`]) are the other half of the same policy.
+
+/// Bitwise-exact test against `0.0` (also matches `-0.0`).
+///
+/// Use where the algorithm's correctness depends on *exact* zero: a
+/// value produced by cancellation or initialization that gates a
+/// division or a skipped update. NaN is not zero.
+#[inline]
+pub fn exact_zero(x: f64) -> bool {
+    // rrlint-allow: RR002 this helper is the sanctioned home of the raw comparison
+    x == 0.0
+}
+
+/// Bitwise-exact equality (IEEE `==`; NaN is equal to nothing).
+///
+/// For sentinel comparisons and bit-for-bit reproducibility tests
+/// (checkpoint/resume, serial-vs-parallel equivalence).
+#[inline]
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    // Variable-vs-variable IEEE equality: deliberate and bitwise.
+    a == b
+}
+
+/// Absolute-tolerance equality: `|a - b| <= tol`. NaN never compares
+/// equal; two like-signed infinities do.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        // Exact fast path; also the only way infinities can match.
+        return true;
+    }
+    (a - b).abs() <= tol
+}
+
+/// Absolute-tolerance zero test: `|x| <= tol`.
+#[inline]
+pub fn approx_zero(x: f64, tol: f64) -> bool {
+    x.abs() <= tol
+}
+
+/// Relative equality: `|a - b| <= rel_tol * max(|a|, |b|)`, with the
+/// exact-equality fast path so zeros and infinities behave.
+#[inline]
+pub fn rel_eq(a: f64, b: f64, rel_tol: f64) -> bool {
+    if a == b {
+        // Exact fast path: equal values must pass at any scale.
+        return true;
+    }
+    (a - b).abs() <= rel_tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_zero_is_bitwise() {
+        assert!(exact_zero(0.0));
+        assert!(exact_zero(-0.0));
+        assert!(!exact_zero(f64::MIN_POSITIVE));
+        assert!(!exact_zero(-1e-300));
+        assert!(!exact_zero(f64::NAN));
+    }
+
+    #[test]
+    fn exact_eq_matches_ieee() {
+        assert!(exact_eq(1.5, 1.5));
+        assert!(exact_eq(0.0, -0.0));
+        assert!(!exact_eq(1.5, 1.5 + f64::EPSILON));
+        assert!(!exact_eq(f64::NAN, f64::NAN));
+        assert!(exact_eq(f64::INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn approx_eq_uses_absolute_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(!approx_eq(1.0, 1.0 + 1e-8, 1e-10));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY, 1e300));
+    }
+
+    #[test]
+    fn approx_zero_tolerates() {
+        assert!(approx_zero(1e-12, 1e-10));
+        assert!(approx_zero(-1e-12, 1e-10));
+        assert!(!approx_zero(1e-8, 1e-10));
+        assert!(!approx_zero(f64::NAN, 1.0));
+    }
+
+    #[test]
+    fn rel_eq_scales() {
+        assert!(rel_eq(1e10, 1e10 * (1.0 + 1e-13), 1e-12));
+        assert!(!rel_eq(1e10, 1e10 * (1.0 + 1e-11), 1e-12));
+        assert!(rel_eq(0.0, 0.0, 0.0));
+        assert!(!rel_eq(0.0, 1e-300, 1e-12));
+    }
+}

@@ -61,6 +61,7 @@ impl SymmetricEigen {
 
     /// Like [`SymmetricEigen::new`] with an explicit symmetry tolerance.
     pub fn with_tolerance(a: &Matrix, sym_tol: f64) -> Result<Self> {
+        crate::sanitize::check_finite_slice("eigen input", a.data());
         let asymmetry = a.max_asymmetry();
         let mut tri = tridiagonalize(a, sym_tol)?;
         let mut d = tri.diagonal.clone();
@@ -259,7 +260,7 @@ mod tests {
     fn zero_matrix() {
         let a = Matrix::zeros(3, 3);
         let e = SymmetricEigen::new(&a).unwrap();
-        assert!(e.eigenvalues.iter().all(|&l| l == 0.0));
+        assert!(e.eigenvalues.iter().all(|&l| crate::cmp::exact_zero(l)));
     }
 
     #[test]

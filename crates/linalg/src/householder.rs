@@ -6,6 +6,7 @@
 //! with the implicit-shift QL iteration in [`crate::tridiagonal`], it yields
 //! the full symmetric eigendecomposition the Ratio Rules method requires.
 
+use crate::cmp;
 use crate::{LinalgError, Matrix, Result};
 
 /// Result of tridiagonalizing a symmetric matrix.
@@ -70,7 +71,7 @@ pub fn tridiagonalize(a: &Matrix, sym_tol: f64) -> Result<Tridiagonalization> {
         let mut h = 0.0_f64;
         if l > 0 {
             let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
-            if scale == 0.0 {
+            if cmp::exact_zero(scale) {
                 // Row already in tridiagonal form; skip the transformation.
                 e[i] = z[(i, l)];
             } else {
@@ -120,7 +121,7 @@ pub fn tridiagonalize(a: &Matrix, sym_tol: f64) -> Result<Tridiagonalization> {
 
     // Accumulate the transformations into z (becomes Q).
     for i in 0..n {
-        if d[i] != 0.0 {
+        if !cmp::exact_zero(d[i]) {
             for j in 0..i {
                 let mut g = 0.0_f64;
                 for k in 0..i {

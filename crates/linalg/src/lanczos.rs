@@ -117,7 +117,7 @@ pub fn lanczos_top_k(a: &Matrix, k: usize, steps: Option<usize>) -> Result<Lancz
 
     // Pick the k largest Ritz values.
     let mut order: Vec<usize> = (0..steps_taken).collect();
-    order.sort_by(|&i, &j| theta[j].partial_cmp(&theta[i]).unwrap());
+    order.sort_by(|&i, &j| theta[j].partial_cmp(&theta[i]).unwrap_or(std::cmp::Ordering::Equal));
     order.truncate(k);
 
     let eigenvalues: Vec<f64> = order.iter().map(|&i| theta[i]).collect();

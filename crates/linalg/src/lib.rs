@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod cholesky;
+pub mod cmp;
 pub mod eigen;
 pub mod error;
 pub mod householder;
@@ -53,6 +54,7 @@ pub mod matrix;
 pub mod norms;
 pub mod pinv;
 pub mod qr;
+pub mod sanitize;
 pub mod solver;
 pub mod svd;
 pub mod tridiagonal;
@@ -78,7 +80,7 @@ pub fn hypot(a: f64, b: f64) -> f64 {
     if absa > absb {
         let r = absb / absa;
         absa * (1.0 + r * r).sqrt()
-    } else if absb == 0.0 {
+    } else if cmp::exact_zero(absb) {
         0.0
     } else {
         let r = absa / absb;
@@ -111,7 +113,7 @@ mod tests {
         ] {
             let ours = hypot(a, b);
             let std = f64::hypot(a, b);
-            if std == 0.0 {
+            if cmp::exact_zero(std) {
                 assert_eq!(ours, 0.0);
             } else {
                 assert!(

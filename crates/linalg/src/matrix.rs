@@ -1,5 +1,6 @@
 //! Dense row-major `f64` matrix.
 
+use crate::cmp;
 use crate::{LinalgError, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -218,7 +219,7 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
+                if cmp::exact_zero(aik) {
                     continue;
                 }
                 let b_row = rhs.row(k);
@@ -271,7 +272,7 @@ impl Matrix {
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         for (a_row, b_row) in self.row_iter().zip(rhs.row_iter()) {
             for (j, &akj) in a_row.iter().enumerate() {
-                if akj == 0.0 {
+                if cmp::exact_zero(akj) {
                     continue;
                 }
                 for (o, &bkl) in out.row_mut(j).iter_mut().zip(b_row) {
@@ -308,7 +309,7 @@ impl Matrix {
         }
         let mut out = vec![0.0; self.cols];
         for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
+            if cmp::exact_zero(vi) {
                 continue;
             }
             for (o, &aij) in out.iter_mut().zip(self.row(i)) {
@@ -520,7 +521,7 @@ mod tests {
     fn constructors_and_shape() {
         let z = Matrix::zeros(2, 3);
         assert_eq!(z.shape(), (2, 3));
-        assert!(z.data().iter().all(|&x| x == 0.0));
+        assert!(z.data().iter().all(|&x| cmp::exact_zero(x)));
 
         let i = Matrix::identity(3);
         assert_eq!(i[(0, 0)], 1.0);

@@ -10,6 +10,7 @@
 // is opted out for this file.
 #![allow(clippy::needless_range_loop)]
 
+use crate::cmp;
 use crate::{LinalgError, Matrix, Result};
 
 /// QR decomposition `A = Q R` with `Q` having orthonormal columns
@@ -47,7 +48,7 @@ impl Qr {
             // Build the Householder vector for column k below the diagonal.
             let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
             let alpha = -v[0].signum() * crate::vector::norm(&v);
-            if alpha == 0.0 {
+            if cmp::exact_zero(alpha) {
                 // Column already zero below (and at) the diagonal; identity
                 // reflection.
                 vs.push(vec![0.0; m - k]);
@@ -91,7 +92,7 @@ impl Qr {
         }
         for k in (0..n).rev() {
             let v = &vs[k];
-            if v.iter().all(|&x| x == 0.0) {
+            if v.iter().all(|&x| cmp::exact_zero(x)) {
                 continue;
             }
             for j in 0..n {

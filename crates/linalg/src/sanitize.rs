@@ -1,0 +1,132 @@
+//! Runtime numeric-invariant checks, gated by the `numeric-sanitizer`
+//! feature.
+//!
+//! The static half of the invariant story is `rrlint` (no raw float
+//! equality, no panics in library code); this module is the runtime
+//! half: debug assertions that the values flowing into the eigensolvers
+//! and factorizations are finite and, where required, symmetric. A NaN
+//! that sneaks past input validation — a corrupted checkpoint, an
+//! overflow in the single-pass accumulator, a bad merge — surfaces
+//! *here*, at the boundary where it entered, instead of thirty QL
+//! sweeps later as a convergence failure.
+//!
+//! Cost model: with the feature **off** (the default) or in release
+//! builds (`debug_assertions` off), every function in this module is an
+//! empty `#[inline]` stub — release behavior and codegen are unchanged,
+//! which the reconstruction-bench ±5% gate verifies. With
+//! `--features numeric-sanitizer` in a debug/test build, violations
+//! panic with the offending location, which the resilience layer's
+//! `catch_unwind` ladders already know how to contain.
+
+/// True when the sanitizer actually checks (feature on + debug build).
+#[must_use]
+pub fn active() -> bool {
+    cfg!(all(feature = "numeric-sanitizer", debug_assertions))
+}
+
+#[cfg(all(feature = "numeric-sanitizer", debug_assertions))]
+mod imp {
+    /// Panics if any element of `xs` is NaN or infinite.
+    pub fn check_finite_slice(ctx: &str, xs: &[f64]) {
+        if let Some((i, v)) = xs
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+        {
+            // rrlint-allow: RR001 failing fast is this module's contract; debug-only
+            panic!("numeric-sanitizer: {ctx}: non-finite value {v} at index {i}");
+        }
+    }
+
+    /// Panics if `x` is NaN or infinite.
+    pub fn check_finite(ctx: &str, x: f64) {
+        if !x.is_finite() {
+            // rrlint-allow: RR001 failing fast is this module's contract; debug-only
+            panic!("numeric-sanitizer: {ctx}: non-finite value {x}");
+        }
+    }
+
+    /// Panics if the row-major `rows x cols` buffer `data` is not
+    /// symmetric to within `tol` (absolute, on the element difference).
+    pub fn check_symmetric(ctx: &str, data: &[f64], rows: usize, cols: usize, tol: f64) {
+        if rows != cols {
+            // rrlint-allow: RR001 failing fast is this module's contract; debug-only
+            panic!("numeric-sanitizer: {ctx}: matrix is {rows}x{cols}, not square");
+        }
+        for i in 0..rows {
+            for j in (i + 1)..cols {
+                let a = data[i * cols + j];
+                let b = data[j * cols + i];
+                let d = (a - b).abs();
+                // NaN differences must fail too, hence not `!(d <= tol)`.
+                if d > tol || d.is_nan() {
+                    // rrlint-allow: RR001 failing fast is this module's contract; debug-only
+                    panic!(
+                        "numeric-sanitizer: {ctx}: asymmetry at ({i},{j}): {a} vs {b} (tol {tol})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(all(feature = "numeric-sanitizer", debug_assertions)))]
+mod imp {
+    /// No-op stub; the sanitizer is compiled out.
+    #[inline(always)]
+    pub fn check_finite_slice(_ctx: &str, _xs: &[f64]) {}
+    /// No-op stub; the sanitizer is compiled out.
+    #[inline(always)]
+    pub fn check_finite(_ctx: &str, _x: f64) {}
+    /// No-op stub; the sanitizer is compiled out.
+    #[inline(always)]
+    pub fn check_symmetric(_ctx: &str, _data: &[f64], _rows: usize, _cols: usize, _tol: f64) {}
+}
+
+pub use imp::{check_finite, check_finite_slice, check_symmetric};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stubs_or_checks_match_feature_state() {
+        // Finite inputs must pass in every configuration.
+        check_finite("t", 1.0);
+        check_finite_slice("t", &[0.0, -2.5, 1e300]);
+        check_symmetric("t", &[1.0, 2.0, 2.0, 1.0], 2, 2, 0.0);
+    }
+
+    #[test]
+    fn violations_caught_iff_active() {
+        let caught = std::panic::catch_unwind(|| check_finite("t", f64::NAN)).is_err();
+        assert_eq!(caught, active());
+        let caught = std::panic::catch_unwind(|| {
+            check_finite_slice("t", &[1.0, f64::INFINITY])
+        })
+        .is_err();
+        assert_eq!(caught, active());
+        let caught = std::panic::catch_unwind(|| {
+            check_symmetric("t", &[1.0, 2.0, 3.0, 1.0], 2, 2, 1e-12)
+        })
+        .is_err();
+        assert_eq!(caught, active());
+    }
+
+    #[cfg(all(feature = "numeric-sanitizer", debug_assertions))]
+    #[test]
+    fn messages_carry_location() {
+        let err = std::panic::catch_unwind(|| {
+            check_finite_slice("covariance row", &[1.0, f64::NAN])
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("covariance row"), "{msg}");
+        assert!(msg.contains("index 1"), "{msg}");
+        // NaN asymmetry must not pass the `<=` check.
+        assert!(std::panic::catch_unwind(|| {
+            check_symmetric("c", &[1.0, f64::NAN, 2.0, 1.0], 2, 2, 1e300)
+        })
+        .is_err());
+    }
+}

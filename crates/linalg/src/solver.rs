@@ -13,6 +13,7 @@
 //! cheap matrix-vector products, `x = W (Uᵗ b)` — `O(mn)` instead of the
 //! `O(mn²)`-with-a-large-constant iterative SVD.
 
+use crate::cmp;
 use crate::svd::Svd;
 use crate::{LinalgError, Matrix, Result};
 
@@ -45,6 +46,7 @@ impl SvdSolver {
     /// Factors `a`, zeroing singular values `<= rel_tol * sigma_max` (the
     /// same convention as [`crate::pinv::pseudo_inverse`]).
     pub fn new(a: &Matrix, rel_tol: f64) -> Result<Self> {
+        crate::sanitize::check_finite("solver rel_tol", rel_tol);
         let svd = Svd::new(a)?;
         let smax = svd.singular_values.first().copied().unwrap_or(0.0);
         let cutoff = rel_tol * smax;
@@ -53,7 +55,7 @@ impl SvdSolver {
             .iter()
             .map(|&s| if s > cutoff && s > 0.0 { 1.0 / s } else { 0.0 })
             .collect();
-        let rank = inv_s.iter().filter(|&&v| v != 0.0).count();
+        let rank = inv_s.iter().filter(|&&v| !cmp::exact_zero(v)).count();
         let condition = if rank > 0 {
             smax / svd.singular_values[rank - 1]
         } else {
@@ -205,7 +207,7 @@ mod tests {
         let s = solver(&a);
         assert_eq!(s.rank(), 0);
         let x = s.solve(&[1.0, 2.0, 3.0]).unwrap();
-        assert!(x.iter().all(|&v| v == 0.0));
+        assert!(x.iter().all(|&v| cmp::exact_zero(v)));
         assert_eq!(s.condition(), 0.0);
     }
 

@@ -7,6 +7,7 @@
 //! followed by implicit-shift QR on the bidiagonal form — the classic
 //! `svdcmp` routine.
 
+use crate::cmp;
 use crate::{hypot, sign, LinalgError, Matrix, Result};
 
 /// Maximum QR sweeps per singular value.
@@ -35,6 +36,7 @@ pub struct Svd {
 impl Svd {
     /// Computes the thin SVD of an arbitrary real matrix.
     pub fn new(a: &Matrix) -> Result<Self> {
+        crate::sanitize::check_finite_slice("svd input", a.data());
         if a.rows() == 0 || a.cols() == 0 {
             return Err(LinalgError::Empty { op: "svd" });
         }
@@ -55,7 +57,7 @@ impl Svd {
     /// Rank of the matrix: singular values above `tol * s_max`.
     pub fn rank(&self, rel_tol: f64) -> usize {
         let smax = self.singular_values.first().copied().unwrap_or(0.0);
-        if smax == 0.0 {
+        if cmp::exact_zero(smax) {
             return 0;
         }
         self.singular_values
@@ -68,7 +70,7 @@ impl Svd {
     pub fn condition_number(&self) -> f64 {
         let smax = self.singular_values.first().copied().unwrap_or(0.0);
         let smin = self.singular_values.last().copied().unwrap_or(0.0);
-        if smin == 0.0 {
+        if cmp::exact_zero(smin) {
             f64::INFINITY
         } else {
             smax / smin
@@ -113,7 +115,7 @@ fn svd_tall(input: &Matrix) -> Result<Svd> {
             for k in i..m {
                 scale += a[(k, i)].abs();
             }
-            if scale != 0.0 {
+            if !cmp::exact_zero(scale) {
                 let mut s = 0.0_f64;
                 for k in i..m {
                     a[(k, i)] /= scale;
@@ -146,7 +148,7 @@ fn svd_tall(input: &Matrix) -> Result<Svd> {
             for k in l..n {
                 scale += a[(i, k)].abs();
             }
-            if scale != 0.0 {
+            if !cmp::exact_zero(scale) {
                 let mut s = 0.0_f64;
                 for k in l..n {
                     a[(i, k)] /= scale;
@@ -182,7 +184,7 @@ fn svd_tall(input: &Matrix) -> Result<Svd> {
         let mut l = n; // sentinel: "previous i + 1"
         for i in (0..n).rev() {
             if i + 1 < n {
-                if g != 0.0 {
+                if !cmp::exact_zero(g) {
                     for j in l..n {
                         v[(j, i)] = (a[(i, j)] / a[(i, l)]) / g;
                     }
@@ -215,7 +217,7 @@ fn svd_tall(input: &Matrix) -> Result<Svd> {
         for j in l..n {
             a[(i, j)] = 0.0;
         }
-        if g != 0.0 {
+        if !cmp::exact_zero(g) {
             g = 1.0 / g;
             for j in l..n {
                 let mut s = 0.0_f64;
@@ -335,7 +337,7 @@ fn svd_tall(input: &Matrix) -> Result<Svd> {
                 }
                 zz = hypot(f, h);
                 w[j] = zz;
-                if zz != 0.0 {
+                if !cmp::exact_zero(zz) {
                     let inv = 1.0 / zz;
                     c = f * inv;
                     s = h * inv;
@@ -484,7 +486,7 @@ mod tests {
         let a = Matrix::zeros(3, 2);
         let svd = check_svd(&a, 1e-14);
         assert_eq!(svd.rank(1e-10), 0);
-        assert!(svd.singular_values.iter().all(|&s| s == 0.0));
+        assert!(svd.singular_values.iter().all(|&s| cmp::exact_zero(s)));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! [`crate::householder`]), it overwrites `d` with the eigenvalues and the
 //! columns of `z` with the corresponding eigenvectors.
 
+use crate::cmp;
 use crate::{hypot, sign, LinalgError, Matrix, Result};
 
 /// Maximum QL sweeps per eigenvalue before reporting non-convergence.
@@ -92,7 +93,7 @@ pub fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<QlCon
                 let b = c * e[i];
                 r = hypot(f, g);
                 e[i + 1] = r;
-                if r == 0.0 {
+                if cmp::exact_zero(r) {
                     // Recover from underflow by deflating.
                     d[i + 1] -= p;
                     e[m] = 0.0;

@@ -4,6 +4,8 @@
 //! decompositions, so they are kept free of bounds checks where the iterator
 //! style allows the compiler to elide them.
 
+use crate::cmp;
+
 /// Dot product of two equal-length slices.
 ///
 /// # Panics
@@ -71,7 +73,7 @@ pub fn mean(a: &[f64]) -> f64 {
 pub fn cosine(a: &[f64], b: &[f64]) -> Option<f64> {
     let na = norm(a);
     let nb = norm(b);
-    if na == 0.0 || nb == 0.0 {
+    if cmp::exact_zero(na) || cmp::exact_zero(nb) {
         return None;
     }
     Some((dot(a, b) / (na * nb)).clamp(-1.0, 1.0))

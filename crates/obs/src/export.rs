@@ -244,6 +244,7 @@ pub fn render_table(snapshot: &Snapshot) -> String {
         let rendered = match value {
             MetricValue::Counter(v) => format!("{v}"),
             MetricValue::Gauge(v) => {
+                // rrlint-allow: RR002 integer-valuedness test; obs is dependency-free so linalg::cmp is unavailable
                 if v.fract() == 0.0 && v.abs() < 9.0e15 {
                     format!("{}", *v as i64)
                 } else {

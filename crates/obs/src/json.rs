@@ -91,6 +91,7 @@ pub fn write_escaped(s: &str, out: &mut String) {
 fn write_num(v: f64, out: &mut String) {
     if !v.is_finite() {
         out.push_str("null");
+    // rrlint-allow: RR002 integer-valuedness test; obs is dependency-free so linalg::cmp is unavailable
     } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
         out.push_str(&format!("{}", v as i64));
     } else {
@@ -221,7 +222,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -254,7 +255,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<JsonValue, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -265,7 +266,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             members.push((key, value));
@@ -282,7 +283,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<JsonValue, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -305,7 +306,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -350,7 +351,10 @@ impl<'a> Parser<'a> {
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unexpected end of string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

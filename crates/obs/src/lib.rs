@@ -39,6 +39,7 @@
 
 pub mod export;
 pub mod json;
+pub mod names;
 pub mod registry;
 pub mod span;
 

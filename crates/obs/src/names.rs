@@ -1,0 +1,214 @@
+//! The metric and span name registry.
+//!
+//! Every metric or span name used as a **string literal** in production
+//! code anywhere in the workspace must appear as a literal in this file;
+//! `rrlint` rule `RR004` lexes this module and flags call sites whose
+//! name literal is missing here. That turns the registry into the single
+//! place to review for dashboard/scrape contract changes: renaming a
+//! metric without updating this file (and whoever consumes it) fails the
+//! lint gate.
+//!
+//! Dynamically formatted names (`format!("ge_h_shard_{i}_ns")`) cannot be
+//! checked statically and are exempt from `RR004`; the bounded families
+//! are still documented here via the helper functions at the bottom so
+//! the registry stays the one true inventory.
+//!
+//! The obs crate itself (tests, demos, doc examples) is also exempt —
+//! the rule polices *producers*, not the telemetry substrate.
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+/// Rows consumed by the single-pass covariance scan.
+pub const COVARIANCE_ROWS_SCANNED_TOTAL: &str = "covariance_rows_scanned_total";
+/// Eigensolver ladder stages that failed before one succeeded.
+pub const EIGEN_STAGE_FAILURES_TOTAL: &str = "eigen_stage_failures_total";
+/// Covariance matrices that needed symmetrization within tolerance.
+pub const EIGEN_SYMMETRY_TOLERANCE_HITS_TOTAL: &str = "eigen_symmetry_tolerance_hits_total";
+/// Rows quarantined by the fault-tolerant scan (all reasons).
+pub const SCAN_ROWS_QUARANTINED_TOTAL: &str = "scan_rows_quarantined_total";
+/// Scans aborted because the quarantine budget was exhausted.
+pub const SCAN_BUDGET_EXHAUSTED_TOTAL: &str = "scan_budget_exhausted_total";
+/// Transient source errors retried by the scan layer.
+pub const SCAN_TRANSIENT_RETRIES_TOTAL: &str = "scan_transient_retries_total";
+/// Worker panics contained by the parallel scan's catch_unwind.
+pub const SCAN_WORKER_PANICS_TOTAL: &str = "scan_worker_panics_total";
+/// Source reads retried by the dataset retry wrapper.
+pub const SOURCE_RETRIES_TOTAL: &str = "source_retries_total";
+/// Source reads abandoned after the retry budget ran out.
+pub const SOURCE_RETRY_GIVE_UPS_TOTAL: &str = "source_retry_give_ups_total";
+/// Mining runs that returned a degraded (non-full-fidelity) result.
+pub const DEGRADED_RESULTS_TOTAL: &str = "degraded_results_total";
+/// Transient faults injected by the chaos dataset wrapper.
+pub const FAULTS_INJECTED_TRANSIENT_TOTAL: &str = "faults_injected_transient_total";
+/// Corrupt-cell faults injected by the chaos dataset wrapper.
+pub const FAULTS_INJECTED_CORRUPT_TOTAL: &str = "faults_injected_corrupt_total";
+/// Arity-mismatch faults injected by the chaos dataset wrapper.
+pub const FAULTS_INJECTED_ARITY_TOTAL: &str = "faults_injected_arity_total";
+/// Truncation faults injected by the chaos dataset wrapper.
+pub const FAULTS_INJECTED_TRUNCATION_TOTAL: &str = "faults_injected_truncation_total";
+
+// Per-reason quarantine counters. Produced dynamically
+// (`scan_rows_quarantined_{reason}_total`); the expansions are listed so
+// scrape configs can be checked against this file.
+
+/// Quarantine counter: unparseable cell.
+pub const SCAN_ROWS_QUARANTINED_CORRUPT_CELL_TOTAL: &str =
+    "scan_rows_quarantined_corrupt_cell_total";
+/// Quarantine counter: row with the wrong number of columns.
+pub const SCAN_ROWS_QUARANTINED_ARITY_MISMATCH_TOTAL: &str =
+    "scan_rows_quarantined_arity_mismatch_total";
+/// Quarantine counter: row lost to a source read error.
+pub const SCAN_ROWS_QUARANTINED_SOURCE_ERROR_TOTAL: &str =
+    "scan_rows_quarantined_source_error_total";
+
+// ---------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------
+
+/// Covariance scan throughput, rows per second.
+pub const COVARIANCE_ROWS_PER_S: &str = "covariance_rows_per_s";
+/// Iterations the winning eigensolver stage used.
+pub const EIGEN_ITERATIONS: &str = "eigen_iterations";
+/// `||C v - lambda v||` residual of the accepted eigendecomposition.
+pub const EIGEN_RESIDUAL: &str = "eigen_residual";
+/// Max `|C[i][j] - C[j][i]|` observed before symmetrization.
+pub const EIGEN_ASYMMETRY: &str = "eigen_asymmetry";
+/// Degradation-ladder level of the last mining run (0 = full fidelity).
+pub const DEGRADATION_LEVEL: &str = "degradation_level";
+/// Hole-pattern solver cache hits.
+pub const SOLVER_CACHE_HITS: &str = "solver_cache_hits";
+/// Hole-pattern solver cache misses.
+pub const SOLVER_CACHE_MISSES: &str = "solver_cache_misses";
+/// Live entries in the hole-pattern solver cache.
+pub const SOLVER_CACHE_ENTRIES: &str = "solver_cache_entries";
+/// Cached solves for the exactly-specified case (b = k).
+pub const SOLVER_CACHE_CASE1_EXACT: &str = "solver_cache_case1_exact";
+/// Cached solves for the over-specified case (b > k).
+pub const SOLVER_CACHE_CASE2_OVER: &str = "solver_cache_case2_over";
+/// Cached solves for the under-specified case (b < k).
+pub const SOLVER_CACHE_CASE3_UNDER: &str = "solver_cache_case3_under";
+/// Hole-fills that fell back to column means after a singular solve.
+pub const SOLVER_CACHE_SINGULAR_FALLBACKS: &str = "solver_cache_singular_fallbacks";
+/// Worst/best shard wall-time ratio in the parallel GE_h evaluation.
+pub const GE_H_SHARD_IMBALANCE: &str = "ge_h_shard_imbalance";
+/// Slowest GE_h shard wall time, nanoseconds.
+pub const GE_H_SHARD_MAX_NS: &str = "ge_h_shard_max_ns";
+/// Fastest GE_h shard wall time, nanoseconds.
+pub const GE_H_SHARD_MIN_NS: &str = "ge_h_shard_min_ns";
+/// Golub–Kahan sweeps used by the SVD path.
+pub const SVD_SWEEPS: &str = "svd_sweeps";
+/// Condition number estimate from the SVD path.
+pub const SVD_CONDITION: &str = "svd_condition";
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+
+/// Distribution of per-shard GE_h wall times, nanoseconds.
+pub const GE_H_SHARD_NS: &str = "ge_h_shard_ns";
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+/// Whole covariance scan (serial or parallel).
+pub const SPAN_COVARIANCE_SCAN: &str = "covariance_scan";
+/// Single eigensolver stage.
+pub const SPAN_EIGENSOLVE: &str = "eigensolve";
+/// Full eigensolver degradation ladder.
+pub const SPAN_EIGENSOLVE_LADDER: &str = "eigensolve_ladder";
+/// End-to-end mining run.
+pub const SPAN_MINE: &str = "mine";
+/// Dataset load phase of a CLI command.
+pub const SPAN_LOAD: &str = "load";
+/// Evaluation phase of a CLI command.
+pub const SPAN_EVALUATE: &str = "evaluate";
+/// `ratio-rules profile` end-to-end pipeline.
+pub const SPAN_PROFILE: &str = "profile";
+
+// ---------------------------------------------------------------------
+// Dynamic families (not statically checkable; documented for humans)
+// ---------------------------------------------------------------------
+
+/// Per-shard GE_h row-count gauge name (`ge_h_shard_<i>_rows`).
+#[must_use]
+pub fn ge_h_shard_rows(shard: usize) -> String {
+    format!("ge_h_shard_{shard}_rows")
+}
+
+/// Per-shard GE_h wall-time gauge name (`ge_h_shard_<i>_ns`).
+#[must_use]
+pub fn ge_h_shard_ns(shard: usize) -> String {
+    format!("ge_h_shard_{shard}_ns")
+}
+
+/// Per-reason quarantine counter name
+/// (`scan_rows_quarantined_<reason>_total`).
+#[must_use]
+pub fn scan_rows_quarantined(reason: &str) -> String {
+    format!("scan_rows_quarantined_{reason}_total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_families_expand_to_registered_shapes() {
+        assert_eq!(
+            scan_rows_quarantined("corrupt_cell"),
+            SCAN_ROWS_QUARANTINED_CORRUPT_CELL_TOTAL
+        );
+        assert_eq!(ge_h_shard_rows(3), "ge_h_shard_3_rows");
+        assert_eq!(ge_h_shard_ns(0), "ge_h_shard_0_ns");
+    }
+
+    #[test]
+    fn names_are_prometheus_safe() {
+        for n in [
+            COVARIANCE_ROWS_SCANNED_TOTAL,
+            EIGEN_STAGE_FAILURES_TOTAL,
+            EIGEN_SYMMETRY_TOLERANCE_HITS_TOTAL,
+            SCAN_ROWS_QUARANTINED_TOTAL,
+            SCAN_BUDGET_EXHAUSTED_TOTAL,
+            SCAN_TRANSIENT_RETRIES_TOTAL,
+            SCAN_WORKER_PANICS_TOTAL,
+            SOURCE_RETRIES_TOTAL,
+            SOURCE_RETRY_GIVE_UPS_TOTAL,
+            DEGRADED_RESULTS_TOTAL,
+            FAULTS_INJECTED_TRANSIENT_TOTAL,
+            FAULTS_INJECTED_CORRUPT_TOTAL,
+            FAULTS_INJECTED_ARITY_TOTAL,
+            FAULTS_INJECTED_TRUNCATION_TOTAL,
+            COVARIANCE_ROWS_PER_S,
+            EIGEN_ITERATIONS,
+            EIGEN_RESIDUAL,
+            EIGEN_ASYMMETRY,
+            DEGRADATION_LEVEL,
+            SOLVER_CACHE_HITS,
+            SOLVER_CACHE_MISSES,
+            SOLVER_CACHE_ENTRIES,
+            SOLVER_CACHE_CASE1_EXACT,
+            SOLVER_CACHE_CASE2_OVER,
+            SOLVER_CACHE_CASE3_UNDER,
+            SOLVER_CACHE_SINGULAR_FALLBACKS,
+            GE_H_SHARD_IMBALANCE,
+            GE_H_SHARD_MAX_NS,
+            GE_H_SHARD_MIN_NS,
+            SVD_SWEEPS,
+            SVD_CONDITION,
+            GE_H_SHARD_NS,
+            SPAN_COVARIANCE_SCAN,
+            SPAN_EIGENSOLVE,
+            SPAN_EIGENSOLVE_LADDER,
+            SPAN_MINE,
+            SPAN_LOAD,
+            SPAN_EVALUATE,
+            SPAN_PROFILE,
+        ] {
+            assert_eq!(crate::export::sanitize_name(n), n, "name not Prometheus-safe: {n}");
+        }
+    }
+}

@@ -7,6 +7,33 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== rrlint: workspace static analysis (gate) =="
+cargo run --release -q -p analyzer --bin rrlint -- check
+
+echo "== rrlint: injected violation must flip the gate =="
+lint_probe="$(mktemp -d /tmp/rr_lint_probe.XXXXXX)"
+trap 'rm -rf "$lint_probe"' EXIT
+cp Cargo.toml lint-baseline.json "$lint_probe/"
+cp -r crates "$lint_probe/crates"
+cat >> "$lint_probe/crates/core/src/lib.rs" <<'EOF'
+
+/// rrlint e2e probe: a deliberate violation injected by verify.sh.
+pub fn rrlint_probe(x: f64) -> bool {
+    x == 0.25
+}
+EOF
+set +e
+cargo run --release -q -p analyzer --bin rrlint -- check --root "$lint_probe" \
+    > /dev/null 2>&1
+probe_code=$?
+set -e
+if [ "$probe_code" -ne 1 ]; then
+    echo "rrlint probe: expected exit 1 on injected RR002, got $probe_code" >&2
+    exit 1
+fi
+rm -rf "$lint_probe"
+echo "  injected RR002 flips check to exit 1: ok"
+
 echo "== tier 1: build + tests =="
 cargo build --release
 cargo test -q
@@ -14,11 +41,15 @@ cargo test -q
 echo "== obs crate: tests =="
 cargo test -q -p obs
 
+echo "== numeric-sanitizer: NaN-injection tests (debug build) =="
+cargo test -q -p ratio-rules --features numeric-sanitizer sanitizer
+cargo test -q -p linalg --features numeric-sanitizer sanitize
+
 echo "== benches compile (no run) =="
 cargo bench -p bench --no-run
 
-echo "== clippy -D warnings (linalg + core + obs + cli) =="
-cargo clippy -p linalg -p ratio-rules -p obs -p ratio-rules-cli -- -D warnings
+echo "== clippy -D warnings (whole workspace) =="
+cargo clippy --workspace -- -D warnings
 
 echo "== profile end-to-end (synthetic, instrumented) =="
 metrics_file="$(mktemp /tmp/rr_profile_metrics.XXXXXX.json)"

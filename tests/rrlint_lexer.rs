@@ -1,0 +1,83 @@
+//! Property tests for the rrlint lexer: tokenization must be *total*
+//! (never panic, never lose input) on arbitrary byte soup, and must
+//! round-trip the adversarial corners of Rust's grammar that the
+//! hand-rolled scanner handles specially.
+
+use analyzer::lexer::{tokenize, TokKind};
+use proptest::prelude::*;
+
+/// Every token's span must lie inside the source, and offsets must be
+/// strictly increasing (no token overlaps or goes backwards).
+fn well_formed(src: &str) {
+    let toks = tokenize(src);
+    let mut prev_end = 0usize;
+    for t in &toks {
+        assert!(t.start >= prev_end, "overlapping tokens in {src:?}");
+        let end = t.start + t.text.len();
+        assert!(end <= src.len(), "token past EOF in {src:?}");
+        assert_eq!(
+            &src[t.start..end],
+            t.text,
+            "token text disagrees with span in {src:?}"
+        );
+        prev_end = end;
+    }
+}
+
+proptest! {
+    /// Lexing is total: any string at all, including invalid UTF-8-free
+    /// byte soup, unterminated literals, and stray quotes, produces a
+    /// token stream without panicking.
+    #[test]
+    fn lexing_is_total_on_arbitrary_strings(src in ".{0,200}") {
+        well_formed(&src);
+    }
+
+    /// Heavy-on-delimiters alphabet: the characters most likely to
+    /// confuse a scanner (quotes, hashes, slashes, stars, primes).
+    #[test]
+    fn lexing_is_total_on_delimiter_soup(src in r#"['"r#b/*\\\n a0]{0,120}"#) {
+        well_formed(&src);
+    }
+
+    /// A string literal's contents never leak tokens: whatever we embed
+    /// in a (terminated) raw string must come back as one StrLit.
+    #[test]
+    fn raw_string_contents_are_inert(body in "[a-z ().!=]{0,40}") {
+        let src = format!("let x = r#\"{body}\"# ;");
+        let toks = tokenize(&src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::StrLit).collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert!(strs[0].text.contains(&body));
+        // Nothing inside the literal shows up as an identifier.
+        prop_assert!(!toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+    }
+}
+
+#[test]
+fn adversarial_corners_lex_as_expected() {
+    // Raw string with hashes containing a fake end fence.
+    let toks = tokenize(r####"let s = r##"he said "#no"# loudly"## ;"####);
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::StrLit).count(),
+        1
+    );
+
+    // Nested block comments.
+    let toks = tokenize("/* outer /* inner */ still comment */ fn");
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::BlockComment).count(), 1);
+    assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "fn"));
+
+    // Lifetime vs char literal.
+    let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'a'; }");
+    assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    assert!(toks.iter().any(|t| t.kind == TokKind::CharLit && t.text == "'a'"));
+
+    // Byte strings and byte chars.
+    let toks = tokenize(r#"let b = b"bytes"; let c = b'x';"#);
+    assert!(toks.iter().any(|t| t.kind == TokKind::ByteLit));
+
+    // Unterminated string at EOF must not hang or panic.
+    let toks = tokenize("let s = \"never closed");
+    assert!(!toks.is_empty());
+}
