@@ -149,7 +149,7 @@ const HOT_FILES: &[&str] = &[
 
 /// Crates whose job is wall-clock timing; RR003 ignores `Instant::now`
 /// there (obs *is* the clock abstraction; bench measures wall time).
-const CLOCK_CRATES: &[&str] = &["obs", "bench"];
+const CLOCK_CRATES: &[&str] = &["obs", "bench", "serve"];
 
 /// Runs every rule against one file. `registry` is the parsed obs name
 /// registry (`None` disables RR004, e.g. when linting a foreign tree).
@@ -673,6 +673,8 @@ mod tests {
         let src = "fn f() { let i = Instant::now(); }\n";
         assert!(findings("crates/obs/src/span.rs", src).is_empty());
         assert!(findings("crates/bench/src/lib.rs", src).is_empty());
+        // The prediction server legitimately measures deadlines/latency.
+        assert!(findings("crates/serve/src/queue.rs", src).is_empty());
         // SystemTime stays banned even there.
         let fs = findings("crates/obs/src/span.rs", "fn g() { SystemTime::now(); }\n");
         assert_eq!(rules_of(&fs), vec!["RR003"]);

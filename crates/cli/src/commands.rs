@@ -37,6 +37,7 @@ const COMMAND_SWITCHES: &[(&str, &[&str])] = &[
     ("whatif", &[]),
     ("card", &["no-header"]),
     ("profile", &["no-header"]),
+    ("serve", &[]),
 ];
 
 /// Switch set for a command; `None` means the command doesn't exist.
@@ -69,7 +70,16 @@ fn load_csv(opts: &Options) -> Result<dataset::DataMatrix> {
 fn load_model(opts: &Options) -> Result<RuleSet> {
     let path = opts.require("model")?;
     let json = std::fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
+    Ok(ratio_rules::model_json::rules_from_str(&json)?)
+}
+
+/// Like [`load_model`] but accepts the degraded `{"col_avgs": ...}`
+/// documents the resilience ladder writes; `serve` uses this so a
+/// degraded mine still serves (with the `DEGRADED` response header).
+fn load_served_model(opts: &Options) -> Result<ServedModel> {
+    let path = opts.require("model")?;
+    let json = std::fs::read_to_string(path)?;
+    Ok(ratio_rules::model_json::model_from_str(&json)?)
 }
 
 /// Flags that switch `mine` onto the streaming, policy-aware scan path.
@@ -222,7 +232,7 @@ fn mine_streaming<S: RowSource>(
         }
         match model {
             ServedModel::Rules(rules) => {
-                std::fs::write(out_path, serde_json::to_string_pretty(&rules)?)?;
+                std::fs::write(out_path, ratio_rules::model_json::rules_to_string(&rules))?;
                 out.push_str(&format!(
                     "mined {} rules over {} attributes from {} rows ({:.1}% energy) -> {}\n",
                     rules.k(),
@@ -233,8 +243,8 @@ fn mine_streaming<S: RowSource>(
                 ));
             }
             ServedModel::ColAvgs(ca) => {
-                let doc = serde_json::json!({ "col_avgs": ca.means().to_vec() });
-                std::fs::write(out_path, serde_json::to_string_pretty(&doc)?)?;
+                let doc = ratio_rules::model_json::col_avgs_to_string(ca.means());
+                std::fs::write(out_path, doc)?;
                 out.push_str(&format!(
                     "eigensolve ladder exhausted; served the col-avgs baseline \
                      ({} attributes) -> {}\n",
@@ -250,7 +260,7 @@ fn mine_streaming<S: RowSource>(
             miner = miner.with_labels(labels);
         }
         let rules = miner.finish(&acc)?;
-        std::fs::write(out_path, serde_json::to_string_pretty(&rules)?)?;
+        std::fs::write(out_path, ratio_rules::model_json::rules_to_string(&rules))?;
         out.push_str(&format!(
             "mined {} rules over {} attributes from {} rows ({:.1}% energy) -> {}\n",
             rules.k(),
@@ -310,7 +320,7 @@ mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [
     }
     let rules = miner.fit_data(&data)?;
     let out_path = opts.require("output")?;
-    std::fs::write(out_path, serde_json::to_string_pretty(&rules)?)?;
+    std::fs::write(out_path, ratio_rules::model_json::rules_to_string(&rules))?;
     Ok(format!(
         "mined {} rules over {} attributes from {} rows ({:.1}% energy) -> {}\n{}",
         rules.k(),
@@ -749,6 +759,76 @@ profile [--input <csv>] [--rows 400] [--holes H] [--threads T] [--k N | --energy
     ))
 }
 
+/// `ratio-rules serve --model model.json [--port N] [--threads N]
+/// [--max-batch N] [--batch-window-us N] [--max-queue N] [--deadline-ms N]`
+///
+/// Blocks until the process is killed. Degraded models (the resilience
+/// ladder's `{"col_avgs": ...}` floor) still serve, with every response
+/// carrying a `DEGRADED: true` header and `/whatif` answering 503.
+///
+/// # Errors
+/// Fails on unknown flags, an unreadable or malformed model file, bad
+/// numeric flag values, or a bind failure on the requested port.
+pub fn serve_cmd(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok("\
+serve --model <model.json> [--port N] [--threads N] [--max-batch N]
+      [--batch-window-us N] [--max-queue N] [--deadline-ms N]
+      endpoints: POST /predict, POST /whatif, GET /rules, GET /healthz, GET /metrics\n"
+            .into());
+    }
+    allow_with_obs(
+        opts,
+        &[
+            "model",
+            "port",
+            "threads",
+            "max-batch",
+            "batch-window-us",
+            "max-queue",
+            "deadline-ms",
+            "help",
+        ],
+    )?;
+    let model = serve::ServeModel::from_served(load_served_model(opts)?);
+    if model.is_degraded() {
+        crate::mark_degraded();
+    }
+    let port: u16 = opts.get_parsed("port", 7878)?;
+    let defaults = serve::BatchConfig::default();
+    let cfg = serve::ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        threads: opts.get_parsed("threads", 4)?,
+        batch: serve::BatchConfig {
+            max_batch: opts.get_parsed("max-batch", defaults.max_batch)?,
+            batch_window: std::time::Duration::from_micros(
+                opts.get_parsed("batch-window-us", 500u64)?,
+            ),
+            max_queue: opts.get_parsed("max-queue", defaults.max_queue)?,
+            deadline: std::time::Duration::from_millis(opts.get_parsed("deadline-ms", 2000u64)?),
+        },
+        ..serve::ServerConfig::default()
+    };
+    // The /metrics endpoint scrapes the global registry; collection must
+    // be on for the server's whole lifetime (run()'s per-invocation obs
+    // lifecycle only covers commands that return).
+    obs::set_enabled(true);
+    let degraded = model.is_degraded();
+    let server = serve::Server::start(cfg, model).map_err(CliError::new)?;
+    // Printed (not returned) because the command blocks from here on.
+    println!(
+        "serving on http://{}{}",
+        server.addr(),
+        if degraded { " (DEGRADED: col-avgs floor)" } else { "" }
+    );
+    // Block for the life of the process; a supervisor kills us. The
+    // graceful-drain path (Server::shutdown) is exercised in-process by
+    // tests/serve_e2e.rs.
+    loop {
+        std::thread::park();
+    }
+}
+
 fn dispatch(cmd: &str, opts: &Options) -> Result<String> {
     match cmd {
         "mine" => mine(opts),
@@ -761,6 +841,7 @@ fn dispatch(cmd: &str, opts: &Options) -> Result<String> {
         "card" => card(opts),
         "whatif" => whatif(opts),
         "profile" => profile(opts),
+        "serve" => serve_cmd(opts),
         other => Err(CliError::new(format!(
             "unknown command {other:?}; run 'ratio-rules help'"
         ))),

@@ -104,12 +104,6 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-impl From<serde_json::Error> for CliError {
-    fn from(e: serde_json::Error) -> Self {
-        CliError::new(e)
-    }
-}
-
 /// Result alias for CLI code.
 pub type Result<T> = std::result::Result<T, CliError>;
 
@@ -131,6 +125,7 @@ COMMANDS:
     card        model-quality report (per-attribute guessing error)
     whatif      what-if scenario: pin attributes, forecast the rest
     profile     mine + evaluate with instrumentation; print spans and metrics
+    serve       HTTP prediction server: batched hole filling over a model
     help        print this message
 
 GLOBAL OPTIONS (every command):

@@ -1,0 +1,169 @@
+//! Batched hole filling: group rows by hole pattern, factor once per
+//! group, fill row by row.
+//!
+//! The serving layer coalesces concurrent `/predict` requests into one
+//! batch; this facade is the compute side of that bargain. Rows sharing
+//! a [`PatternKey`] share one factored [`PatternSolver`] (fetched through
+//! the PR-1 solver cache, so repeat patterns across batches are also
+//! free), and each row then goes through exactly the same
+//! [`PatternSolver::fill`] call the single-shot [`RuleSetPredictor`] path
+//! uses — batched and unbatched answers are bit-for-bit identical by
+//! construction, which `tests/serve_e2e.rs` asserts over a real socket.
+
+use std::collections::HashMap;
+
+use crate::predictor::RuleSetPredictor;
+use crate::reconstruct::{FilledRow, PatternKey};
+use crate::rules::RuleSet;
+use crate::{RatioRuleError, Result};
+use dataset::holes::HoledRow;
+
+/// Batch facade over [`RuleSetPredictor`].
+#[derive(Debug)]
+pub struct BatchPredictor {
+    inner: RuleSetPredictor,
+}
+
+impl BatchPredictor {
+    /// Wraps a mined rule set with the solver cache on.
+    #[must_use]
+    pub fn new(rules: RuleSet) -> Self {
+        BatchPredictor {
+            inner: RuleSetPredictor::new(rules),
+        }
+    }
+
+    /// Wraps an existing predictor (cached or uncached).
+    #[must_use]
+    pub fn from_predictor(inner: RuleSetPredictor) -> Self {
+        BatchPredictor { inner }
+    }
+
+    /// The wrapped predictor (for cache stats or single-shot fills).
+    #[must_use]
+    pub fn predictor(&self) -> &RuleSetPredictor {
+        &self.inner
+    }
+
+    /// Expected row width `M`.
+    #[must_use]
+    pub fn n_attributes(&self) -> usize {
+        self.inner.rules().n_attributes()
+    }
+
+    /// Fills a batch of holed rows, one result per input row in input
+    /// order. Rows are grouped by hole pattern so each distinct pattern
+    /// pays for its factorization once; a row whose pattern or values are
+    /// invalid gets its own `Err` without failing the rest of the batch.
+    ///
+    /// Returns the number of distinct pattern groups alongside the
+    /// per-row results (the serving layer records it as the coalescing
+    /// ratio).
+    ///
+    /// # Errors
+    /// The call itself never fails; each per-row `Result` is `Err` when
+    /// that row's width, hole pattern, or values are invalid.
+    pub fn fill_batch(&self, rows: &[HoledRow]) -> (usize, Vec<Result<FilledRow>>) {
+        let m = self.n_attributes();
+        let mut results: Vec<Option<Result<FilledRow>>> = rows.iter().map(|_| None).collect();
+        let mut groups: HashMap<PatternKey, Vec<usize>> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            if row.width() != m {
+                results[i] = Some(Err(RatioRuleError::WidthMismatch {
+                    expected: m,
+                    actual: row.width(),
+                }));
+                continue;
+            }
+            match PatternKey::new(&row.hole_indices(), m) {
+                Ok(key) => groups.entry(key).or_default().push(i),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        let n_groups = groups.len();
+        for indices in groups.values() {
+            // All rows in a group share the pattern; factor via the first.
+            let holes = rows[indices[0]].hole_indices();
+            match self.inner.pattern_solver(&holes) {
+                Ok(solver) => {
+                    for &i in indices {
+                        results[i] = Some(solver.fill(&rows[i]));
+                    }
+                }
+                Err(e) => {
+                    // RatioRuleError is not Clone; re-render per row.
+                    let msg = e.to_string();
+                    for &i in indices {
+                        results[i] = Some(Err(RatioRuleError::Invalid(msg.clone())));
+                    }
+                }
+            }
+        }
+        let out = results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Err(RatioRuleError::Invalid("row not routed".into()))))
+            .collect();
+        (n_groups, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+    use crate::predictor::Predictor;
+    use linalg::Matrix;
+
+    fn mined() -> RuleSet {
+        let x = Matrix::from_fn(30, 4, |i, j| {
+            let t = (i + 1) as f64;
+            t * [4.0, 3.0, 2.0, 1.0][j] + ((i * 5 + j * 3) % 7) as f64 * 0.02
+        });
+        RatioRuleMiner::new(Cutoff::FixedK(2)).fit_matrix(&x).unwrap()
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_single_shot() {
+        let rules = mined();
+        let single = RuleSetPredictor::new(rules.clone());
+        let batch = BatchPredictor::new(rules);
+        let rows: Vec<HoledRow> = vec![
+            HoledRow::new(vec![Some(8.0), None, Some(4.0), Some(2.0)]),
+            HoledRow::new(vec![Some(12.0), None, Some(6.0), Some(3.0)]),
+            HoledRow::new(vec![None, Some(9.0), None, Some(3.1)]),
+            HoledRow::new(vec![Some(16.0), None, Some(8.0), Some(4.0)]),
+        ];
+        let (n_groups, filled) = batch.fill_batch(&rows);
+        assert_eq!(n_groups, 2, "two distinct hole patterns");
+        for (row, got) in rows.iter().zip(&filled) {
+            let want = single.fill(row).unwrap();
+            assert_eq!(got.as_ref().unwrap().values, want);
+        }
+        // Three same-pattern rows share one factorization.
+        let stats = batch.predictor().cache_stats();
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn bad_rows_fail_individually_not_the_batch() {
+        let batch = BatchPredictor::new(mined());
+        let rows = vec![
+            HoledRow::new(vec![Some(8.0), None, Some(4.0), Some(2.0)]),
+            HoledRow::new(vec![None, None]), // wrong width
+            HoledRow::new(vec![None, None, None, None]), // all holes
+        ];
+        let (_, filled) = batch.fill_batch(&rows);
+        assert!(filled[0].is_ok());
+        assert!(filled[1].is_err());
+        assert!(filled[2].is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let batch = BatchPredictor::new(mined());
+        let (n_groups, filled) = batch.fill_batch(&[]);
+        assert_eq!(n_groups, 0);
+        assert!(filled.is_empty());
+    }
+}

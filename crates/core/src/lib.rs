@@ -61,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod covariance;
 pub mod cutoff;
 pub mod diagnostics;
@@ -70,6 +71,7 @@ pub mod impute;
 pub mod incremental;
 pub mod interpret;
 pub mod miner;
+pub mod model_json;
 pub mod outlier;
 pub mod parallel;
 pub mod predictor;

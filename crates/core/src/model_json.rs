@@ -1,0 +1,235 @@
+//! Model (de)serialization over the zero-dependency obs JSON layer.
+//!
+//! Model files on disk keep the exact field layout the serde derives on
+//! [`RuleSet`] produce (`rules` / `column_means` / `spectrum` /
+//! `attribute_labels` / `n_train`), so files written by either path read
+//! under the other. The degraded col-avgs floor from the resilience
+//! ladder is a one-key document, `{"col_avgs": [...]}`;
+//! [`model_from_str`] tells the two apart so a server or CLI can load
+//! whatever a mine run left behind.
+//!
+//! Numbers round-trip bit-exactly: the obs writer emits the shortest
+//! `f64` representation that parses back to the same bits, which is also
+//! what `serde_json` with `float_roundtrip` accepts.
+
+use crate::predictor::ColAvgs;
+use crate::resilience::ServedModel;
+use crate::rules::{RatioRule, RuleSet};
+use crate::{RatioRuleError, Result};
+use obs::json::JsonValue;
+
+fn num_arr(values: &[f64]) -> JsonValue {
+    JsonValue::Arr(values.iter().map(|&v| JsonValue::Num(v)).collect())
+}
+
+/// Builds the on-disk JSON document for a rule set.
+#[must_use]
+pub fn rules_to_json(rules: &RuleSet) -> JsonValue {
+    let rule_objs: Vec<JsonValue> = rules
+        .rules()
+        .iter()
+        .map(|r| {
+            JsonValue::Obj(vec![
+                ("loadings".into(), num_arr(&r.loadings)),
+                ("eigenvalue".into(), JsonValue::Num(r.eigenvalue)),
+            ])
+        })
+        .collect();
+    let labels: Vec<JsonValue> = rules
+        .attribute_labels()
+        .iter()
+        .map(|l| JsonValue::Str(l.clone()))
+        .collect();
+    JsonValue::Obj(vec![
+        ("rules".into(), JsonValue::Arr(rule_objs)),
+        ("column_means".into(), num_arr(rules.column_means())),
+        ("spectrum".into(), num_arr(rules.spectrum())),
+        ("attribute_labels".into(), JsonValue::Arr(labels)),
+        (
+            "n_train".into(),
+            JsonValue::Num(rules.n_train() as f64),
+        ),
+    ])
+}
+
+/// Pretty-printed model document, ready for `fs::write`.
+#[must_use]
+pub fn rules_to_string(rules: &RuleSet) -> String {
+    rules_to_json(rules).write(true)
+}
+
+/// The degraded-model document: `{"col_avgs": [...]}`.
+#[must_use]
+pub fn col_avgs_to_string(means: &[f64]) -> String {
+    JsonValue::Obj(vec![("col_avgs".into(), num_arr(means))]).write(true)
+}
+
+fn invalid(what: &str) -> RatioRuleError {
+    RatioRuleError::Invalid(format!("model JSON: {what}"))
+}
+
+fn get<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a JsonValue> {
+    obj.get(key)
+        .ok_or_else(|| invalid(&format!("missing field {key:?}")))
+}
+
+fn f64_field(v: &JsonValue, what: &str) -> Result<f64> {
+    v.as_f64()
+        .ok_or_else(|| invalid(&format!("{what} is not a number")))
+}
+
+fn f64_vec(v: &JsonValue, what: &str) -> Result<Vec<f64>> {
+    v.as_arr()
+        .ok_or_else(|| invalid(&format!("{what} is not an array")))?
+        .iter()
+        .map(|x| f64_field(x, what))
+        .collect()
+}
+
+/// Rebuilds a [`RuleSet`] from its parsed JSON document.
+///
+/// # Errors
+/// Fails when a field is missing or mistyped, or when the decoded parts
+/// violate [`RuleSet::new`]'s shape invariants.
+pub fn rules_from_json(v: &JsonValue) -> Result<RuleSet> {
+    let rule_objs = get(v, "rules")?
+        .as_arr()
+        .ok_or_else(|| invalid("rules is not an array"))?;
+    let mut rules = Vec::with_capacity(rule_objs.len());
+    for (i, r) in rule_objs.iter().enumerate() {
+        rules.push(RatioRule {
+            loadings: f64_vec(get(r, "loadings")?, &format!("rules[{i}].loadings"))?,
+            eigenvalue: f64_field(get(r, "eigenvalue")?, &format!("rules[{i}].eigenvalue"))?,
+        });
+    }
+    let column_means = f64_vec(get(v, "column_means")?, "column_means")?;
+    let spectrum = f64_vec(get(v, "spectrum")?, "spectrum")?;
+    let labels = get(v, "attribute_labels")?
+        .as_arr()
+        .ok_or_else(|| invalid("attribute_labels is not an array"))?
+        .iter()
+        .map(|l| {
+            l.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| invalid("attribute_labels entry is not a string"))
+        })
+        .collect::<Result<Vec<String>>>()?;
+    let n_train = f64_field(get(v, "n_train")?, "n_train")?;
+    // rrlint-allow: RR002 exact integrality check on a decoded count, not a tolerance comparison
+    if !(n_train.is_finite() && n_train >= 0.0 && n_train.fract() == 0.0) {
+        return Err(invalid("n_train is not a nonnegative integer"));
+    }
+    RuleSet::new(rules, column_means, spectrum, labels, n_train as usize)
+}
+
+/// Parses a rule-set model document.
+///
+/// # Errors
+/// Fails on malformed JSON or on any condition [`rules_from_json`]
+/// rejects.
+pub fn rules_from_str(s: &str) -> Result<RuleSet> {
+    let v = obs::json::parse(s).map_err(|e| invalid(&e.to_string()))?;
+    rules_from_json(&v)
+}
+
+/// Loads whatever kind of model a mine run wrote: a full rule set, or
+/// the `{"col_avgs": [...]}` floor the degradation ladder leaves behind.
+///
+/// # Errors
+/// Fails on malformed JSON, on a col-avgs document with no columns, or
+/// on a rule-set document [`rules_from_json`] rejects.
+pub fn model_from_str(s: &str) -> Result<ServedModel> {
+    let v = obs::json::parse(s).map_err(|e| invalid(&e.to_string()))?;
+    if let Some(means) = v.get("col_avgs") {
+        let means = f64_vec(means, "col_avgs")?;
+        return Ok(ServedModel::ColAvgs(ColAvgs::new(means)?));
+    }
+    Ok(ServedModel::Rules(rules_from_json(&v)?))
+}
+
+/// Writes either model kind in its on-disk format.
+#[must_use]
+pub fn model_to_string(model: &ServedModel) -> String {
+    match model {
+        ServedModel::Rules(rs) => rules_to_string(rs),
+        ServedModel::ColAvgs(ca) => col_avgs_to_string(ca.means()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::Cutoff;
+    use crate::miner::RatioRuleMiner;
+    use linalg::Matrix;
+
+    fn mined() -> RuleSet {
+        let x = Matrix::from_fn(40, 3, |i, j| {
+            let t = (i + 1) as f64;
+            t * [3.0, 2.0, 1.0][j] + ((i * 7 + j * 13) % 5) as f64 * 0.01
+        });
+        RatioRuleMiner::new(Cutoff::FixedK(2)).fit_matrix(&x).unwrap()
+    }
+
+    #[test]
+    fn ruleset_round_trips_bit_exactly() {
+        let rules = mined();
+        let doc = rules_to_string(&rules);
+        let back = rules_from_str(&doc).unwrap();
+        assert_eq!(back, rules);
+    }
+
+    #[test]
+    fn model_loader_distinguishes_rules_from_col_avgs() {
+        let rules = mined();
+        match model_from_str(&rules_to_string(&rules)).unwrap() {
+            ServedModel::Rules(rs) => assert_eq!(rs, rules),
+            ServedModel::ColAvgs(_) => panic!("full rule set decoded as col-avgs"),
+        }
+        let doc = col_avgs_to_string(&[1.5, 2.5, 3.5]);
+        match model_from_str(&doc).unwrap() {
+            ServedModel::ColAvgs(ca) => assert_eq!(ca.means(), &[1.5, 2.5, 3.5]),
+            ServedModel::Rules(_) => panic!("col-avgs doc decoded as rules"),
+        }
+    }
+
+    #[test]
+    fn model_to_string_round_trips_both_kinds() {
+        let rules = mined();
+        for model in [
+            ServedModel::Rules(rules),
+            ServedModel::ColAvgs(ColAvgs::new(vec![4.0, 5.0]).unwrap()),
+        ] {
+            let doc = model_to_string(&model);
+            let back = model_from_str(&doc).unwrap();
+            assert_eq!(model_to_string(&back), doc);
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_context() {
+        for (doc, needle) in [
+            ("{", "model JSON"),
+            ("{}", "missing field \"rules\""),
+            (r#"{"rules": 3}"#, "rules is not an array"),
+            (r#"{"col_avgs": []}"#, "no columns"),
+            (
+                r#"{"rules":[{"loadings":[1.0],"eigenvalue":"x"}]}"#,
+                "eigenvalue is not a number",
+            ),
+        ] {
+            let err = model_from_str(doc).unwrap_err().to_string();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn n_train_must_be_a_nonnegative_integer() {
+        let rules = mined();
+        let doc = rules_to_string(&rules).replace(
+            &format!("\"n_train\": {}", rules.n_train()),
+            "\"n_train\": 39.5",
+        );
+        assert!(rules_from_str(&doc).unwrap_err().to_string().contains("n_train"));
+    }
+}

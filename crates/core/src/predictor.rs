@@ -126,6 +126,23 @@ impl RuleSetPredictor {
         self.cache_stats().publish();
     }
 
+    /// The factored solver for a hole pattern, shared through the cache
+    /// when caching is on (a cache miss factors and inserts it). In
+    /// uncached mode every call factors afresh — same answers, paper-style
+    /// cost. This is the building block batch serving uses to pay for a
+    /// pattern's factorization once per batch group instead of once per
+    /// row; see [`crate::batch::BatchPredictor`].
+    ///
+    /// # Errors
+    /// Fails when the pattern is invalid for this rule set's width (out
+    /// of range, empty, or all holes).
+    pub fn pattern_solver(&self, holes: &[usize]) -> Result<Arc<PatternSolver>> {
+        match &self.solvers {
+            Some(cache) => self.solver_for(cache, holes),
+            None => Ok(Arc::new(PatternSolver::build(&self.rules, holes)?)),
+        }
+    }
+
     fn solver_for(
         &self,
         cache: &RwLock<HashMap<PatternKey, Arc<PatternSolver>>>,

@@ -955,4 +955,88 @@ mod tests {
         assert!(PatternSolver::build(&rules, &[0, 1]).is_err());
         assert!(PatternSolver::build(&rules, &[7]).is_err());
     }
+
+    /// Deterministic splitmix64 step; unit tests avoid the rand crate so
+    /// reruns are reproducible across toolchains.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in [0, 1) from the top 53 bits.
+    fn uniform(state: &mut u64) -> f64 {
+        (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn case_routing_follows_known_count_vs_k_for_random_shapes() {
+        // Property: for any (M, h, k), the solver takes CASE 1 when
+        // M - h == k, CASE 2 when M - h > k, and CASE 3 (dropping down
+        // to M - h rules) when M - h < k — and in every case a row whose
+        // knowns sit at the column means fills to the means, i.e. all
+        // three paths agree with the k = 0 column-averages baseline.
+        let mut rng: u64 = 0x5EED_CAFE;
+        for trial in 0..60 {
+            let m = 2 + (splitmix64(&mut rng) % 7) as usize; // 2..=8
+            let h = 1 + (splitmix64(&mut rng) as usize) % (m - 1); // 1..=m-1
+            let requested = 1 + (splitmix64(&mut rng) as usize) % m; // 1..=m
+
+            // Dense random data is full rank with probability one, so
+            // FixedK keeps exactly `requested` rules; still read back
+            // rules.k() rather than assuming.
+            let n = 4 * m + 8;
+            let x = Matrix::from_fn(n, m, |_, _| 10.0 * uniform(&mut rng) - 5.0);
+            let rules = RatioRuleMiner::new(Cutoff::FixedK(requested))
+                .fit_matrix(&x)
+                .unwrap();
+            let k = rules.k();
+
+            // A random h-subset of the columns (partial Fisher-Yates).
+            let mut idx: Vec<usize> = (0..m).collect();
+            for i in 0..h {
+                let j = i + (splitmix64(&mut rng) as usize) % (m - i);
+                idx.swap(i, j);
+            }
+            let holes = &idx[..h];
+
+            let solver = PatternSolver::build(&rules, holes).unwrap();
+            let known = m - h;
+            let expected = if known == k {
+                SolveCase::ExactlySpecified
+            } else if known > k {
+                SolveCase::OverSpecified
+            } else {
+                SolveCase::UnderSpecified { rules_used: known }
+            };
+            assert_eq!(solver.case(), expected, "trial {trial}: M={m} h={h} k={k}");
+
+            // Knowns at the column means => centered right-hand side is
+            // zero => concept is zero on every solve path (direct, least
+            // squares, rule-dropping, and the singular fallback alike),
+            // so the fill is exactly the means.
+            let means = rules.column_means().to_vec();
+            let cells: Vec<Option<f64>> = (0..m)
+                .map(|c| {
+                    if holes.contains(&c) {
+                        None
+                    } else {
+                        Some(means[c])
+                    }
+                })
+                .collect();
+            let filled = solver.fill(&HoledRow::new(cells)).unwrap();
+            assert_eq!(filled.case, expected, "trial {trial}");
+            for c in 0..m {
+                assert!(
+                    (filled.values[c] - means[c]).abs() < 1e-8,
+                    "trial {trial}: col {c} filled {} vs mean {}",
+                    filled.values[c],
+                    means[c]
+                );
+            }
+        }
+    }
 }

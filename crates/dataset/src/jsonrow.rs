@@ -1,0 +1,117 @@
+//! Holed rows from JSON — the prediction-service wire format.
+//!
+//! A row is a JSON array with one entry per attribute; a hole is `null`
+//! or the CSV-style `"?"` marker, and every known cell must be a finite
+//! number (the same rule the CSV readers enforce — one `NaN` silently
+//! poisons every downstream sum).
+
+use crate::error::DatasetError;
+use crate::holes::HoledRow;
+use obs::json::JsonValue;
+
+fn cell(v: &JsonValue, row: usize, column: usize) -> Result<Option<f64>, DatasetError> {
+    match v {
+        JsonValue::Null => Ok(None),
+        JsonValue::Str(s) if s == "?" => Ok(None),
+        JsonValue::Num(x) if x.is_finite() => Ok(Some(*x)),
+        JsonValue::Num(x) => Err(DatasetError::NonFinite {
+            line: row + 1,
+            column,
+            token: format!("{x}"),
+        }),
+        other => Err(DatasetError::Invalid(format!(
+            "row {row}, cell {column}: expected a number, null, or \"?\", got {}",
+            other.write(false)
+        ))),
+    }
+}
+
+/// Decodes one row: `[1.5, null, "?", 3.0]` → knowns and holes.
+///
+/// # Errors
+/// Fails when the value is not an array, or any cell is neither a
+/// finite number, `null`, nor `"?"`.
+pub fn holed_row_from_json(v: &JsonValue) -> Result<HoledRow, DatasetError> {
+    row_at(v, 0)
+}
+
+fn row_at(v: &JsonValue, row: usize) -> Result<HoledRow, DatasetError> {
+    let cells = v
+        .as_arr()
+        .ok_or_else(|| DatasetError::Invalid(format!("row {row}: expected a JSON array")))?;
+    let values = cells
+        .iter()
+        .enumerate()
+        .map(|(j, c)| cell(c, row, j))
+        .collect::<Result<Vec<Option<f64>>, DatasetError>>()?;
+    Ok(HoledRow::new(values))
+}
+
+/// Decodes an array of rows, all `width` columns wide.
+///
+/// # Errors
+/// Fails when the value is not an array of arrays, any cell is invalid,
+/// or any row's width differs from `width` (reported like the CSV
+/// reader's ragged-row error, with the 1-based row number).
+pub fn holed_rows_from_json(v: &JsonValue, width: usize) -> Result<Vec<HoledRow>, DatasetError> {
+    let rows = v
+        .as_arr()
+        .ok_or_else(|| DatasetError::Invalid("expected a JSON array of rows".into()))?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let row = row_at(r, i)?;
+            if row.width() != width {
+                return Err(DatasetError::RaggedRows {
+                    line: i + 1,
+                    expected: width,
+                    actual: row.width(),
+                });
+            }
+            Ok(row)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> JsonValue {
+        obs::json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn decodes_numbers_nulls_and_question_marks() {
+        let row = holed_row_from_json(&parse(r#"[1.5, null, "?", -3.0]"#)).unwrap();
+        assert_eq!(row.values, vec![Some(1.5), None, None, Some(-3.0)]);
+        assert_eq!(row.hole_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_non_numeric_cells_and_non_arrays() {
+        assert!(holed_row_from_json(&parse(r#"["abc"]"#)).is_err());
+        assert!(holed_row_from_json(&parse(r#"[true]"#)).is_err());
+        assert!(holed_row_from_json(&parse(r#"{"a": 1}"#)).is_err());
+    }
+
+    #[test]
+    fn batch_decoding_enforces_width() {
+        let rows = holed_rows_from_json(&parse(r#"[[1, null], [2, 3]]"#), 2).unwrap();
+        assert_eq!(rows.len(), 2);
+        let err = holed_rows_from_json(&parse(r#"[[1, null], [2]]"#), 2).unwrap_err();
+        assert!(err.to_string().contains("expected 2 fields"), "{err}");
+    }
+
+    #[test]
+    fn values_round_trip_bit_exactly_through_json() {
+        // Shortest-roundtrip printing means a served fill can be compared
+        // bit-for-bit against an in-process one.
+        let vals = [0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300];
+        for v in vals {
+            let doc = JsonValue::Arr(vec![JsonValue::Num(v)]).write(false);
+            let row = holed_row_from_json(&parse(&doc)).unwrap();
+            assert_eq!(row.values[0], Some(v), "{doc}");
+        }
+    }
+}

@@ -49,6 +49,7 @@ pub mod data_matrix;
 pub mod error;
 pub mod fault;
 pub mod holes;
+pub mod jsonrow;
 pub mod retry;
 pub mod source;
 pub mod split;

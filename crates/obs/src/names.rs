@@ -49,6 +49,19 @@ pub const FAULTS_INJECTED_ARITY_TOTAL: &str = "faults_injected_arity_total";
 /// Truncation faults injected by the chaos dataset wrapper.
 pub const FAULTS_INJECTED_TRUNCATION_TOTAL: &str = "faults_injected_truncation_total";
 
+/// HTTP requests accepted by the prediction server (all endpoints).
+pub const SERVE_REQUESTS_TOTAL: &str = "serve_requests_total";
+/// Requests rejected with 429 because the batch queue was full.
+pub const SERVE_REJECTED_TOTAL: &str = "serve_rejected_total";
+/// Queued predictions that expired before a batch picked them up.
+pub const SERVE_TIMEOUTS_TOTAL: &str = "serve_timeouts_total";
+/// Requests that ended in a 4xx/5xx other than backpressure.
+pub const SERVE_ERRORS_TOTAL: &str = "serve_errors_total";
+/// Batches executed by the coalescing batcher.
+pub const SERVE_BATCHES_TOTAL: &str = "serve_batches_total";
+/// Rows filled by the batcher (across all batches).
+pub const SERVE_ROWS_PREDICTED_TOTAL: &str = "serve_rows_predicted_total";
+
 // Per-reason quarantine counters. Produced dynamically
 // (`scan_rows_quarantined_{reason}_total`); the expansions are listed so
 // scrape configs can be checked against this file.
@@ -101,6 +114,8 @@ pub const GE_H_SHARD_MIN_NS: &str = "ge_h_shard_min_ns";
 pub const SVD_SWEEPS: &str = "svd_sweeps";
 /// Condition number estimate from the SVD path.
 pub const SVD_CONDITION: &str = "svd_condition";
+/// Jobs waiting in the prediction server's batch queue.
+pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
 
 // ---------------------------------------------------------------------
 // Histograms
@@ -108,6 +123,11 @@ pub const SVD_CONDITION: &str = "svd_condition";
 
 /// Distribution of per-shard GE_h wall times, nanoseconds.
 pub const GE_H_SHARD_NS: &str = "ge_h_shard_ns";
+/// Distribution of rows per executed batch (coalescing effectiveness).
+pub const SERVE_BATCH_SIZE: &str = "serve_batch_size";
+/// Distribution of enqueue-to-reply latency per prediction,
+/// microseconds (p50/p99 come from this histogram).
+pub const SERVE_LATENCY_US: &str = "serve_latency_us";
 
 // ---------------------------------------------------------------------
 // Spans
@@ -127,6 +147,10 @@ pub const SPAN_LOAD: &str = "load";
 pub const SPAN_EVALUATE: &str = "evaluate";
 /// `ratio-rules profile` end-to-end pipeline.
 pub const SPAN_PROFILE: &str = "profile";
+/// One HTTP request through the prediction server.
+pub const SPAN_SERVE_REQUEST: &str = "serve_request";
+/// One coalesced batch solve inside the batcher thread.
+pub const SPAN_SERVE_BATCH: &str = "serve_batch";
 
 // ---------------------------------------------------------------------
 // Dynamic families (not statically checkable; documented for humans)
@@ -199,7 +223,16 @@ mod tests {
             GE_H_SHARD_MIN_NS,
             SVD_SWEEPS,
             SVD_CONDITION,
+            SERVE_REQUESTS_TOTAL,
+            SERVE_REJECTED_TOTAL,
+            SERVE_TIMEOUTS_TOTAL,
+            SERVE_ERRORS_TOTAL,
+            SERVE_BATCHES_TOTAL,
+            SERVE_ROWS_PREDICTED_TOTAL,
+            SERVE_QUEUE_DEPTH,
             GE_H_SHARD_NS,
+            SERVE_BATCH_SIZE,
+            SERVE_LATENCY_US,
             SPAN_COVARIANCE_SCAN,
             SPAN_EIGENSOLVE,
             SPAN_EIGENSOLVE_LADDER,
@@ -207,6 +240,8 @@ mod tests {
             SPAN_LOAD,
             SPAN_EVALUATE,
             SPAN_PROFILE,
+            SPAN_SERVE_REQUEST,
+            SPAN_SERVE_BATCH,
         ] {
             assert_eq!(crate::export::sanitize_name(n), n, "name not Prometheus-safe: {n}");
         }

@@ -1,0 +1,37 @@
+//! Batched hole-filling prediction server.
+//!
+//! The paper's headline application — reconstructing hidden values of a
+//! partially known row via Ratio-Rule hyperplane intersection
+//! (Sec. 4.4) — as an online service. A std-only HTTP/1.1 front end
+//! (hand-rolled parsing in [`protocol`], matching the obs/analyzer
+//! zero-dependency precedent) feeds a batching core ([`queue`]) that
+//! coalesces concurrent `/predict` rows sharing a hole pattern into one
+//! factored solve against the PR-1 solver cache. Batched and single-shot
+//! answers are bit-for-bit identical: both end in the same
+//! `PatternSolver::fill`.
+//!
+//! Endpoints ([`server`]):
+//!
+//! | Endpoint        | Meaning                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `POST /predict` | fill holes in rows (`{"rows": [[1.5, null, "?"]]}`)|
+//! | `POST /whatif`  | pin attributes, forecast the rest (Scenario sweep) |
+//! | `GET /rules`    | the served model document                          |
+//! | `GET /healthz`  | liveness + model shape + queue depth               |
+//! | `GET /metrics`  | Prometheus text via the obs exporter               |
+//!
+//! Capacity control is explicit: a bounded batch queue answers `429` +
+//! `Retry-After` when full, per-job deadlines expire stale work with
+//! `504`, and shutdown drains everything already accepted. Degraded
+//! models (the resilience ladder's col-avgs floor) still serve, with a
+//! `DEGRADED: true` response header. All metric and span names live in
+//! `obs::names`.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use queue::{BatchConfig, Batcher, PredictOutcome, Prediction, ServeModel, SubmitError};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,335 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! Deliberately minimal, matching the workspace's std-only policy: one
+//! request per connection (`Connection: close`), explicit
+//! `Content-Length` bodies only (no chunked encoding), and hard size
+//! limits on both the header block and the body so a misbehaving client
+//! cannot balloon server memory.
+
+use std::io::{Read, Write};
+
+/// Upper bound on the request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (includes read timeouts).
+    Io(std::io::Error),
+    /// Syntactically invalid request.
+    Malformed(String),
+    /// Head or body exceeded its size limit.
+    TooLarge(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TooLarge(msg) => write!(f, "request too large: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request. Header names are lowercased at parse time.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/predict`.
+    pub path: String,
+    /// `(lowercased-name, value)` pairs in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (`Content-Length` bytes; empty without the header).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8.
+    ///
+    /// # Errors
+    /// Fails when the body is not valid UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))
+    }
+}
+
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+/// Fails on socket errors, on syntactically invalid requests, and when
+/// [`MAX_HEAD_BYTES`] / [`MAX_BODY_BYTES`] are exceeded.
+pub fn read_request(stream: &mut dyn Read) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let body_start = loop {
+        if let Some(pos) = head_end(&buf) {
+            break pos + 4;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "headers exceed {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the header block ended".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..body_start - 4])
+        .map_err(|_| HttpError::Malformed("headers are not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line:?}")))?;
+        headers.push((
+            name.trim().to_ascii_lowercase(),
+            value.trim().to_string(),
+        ));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
+        )));
+    }
+
+    let mut body = buf[body_start..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the body ended".into(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Standard reason phrase for the statuses this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// An outgoing response. Always one-shot: `Connection: close` and an
+/// explicit `Content-Length` are appended at write time.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (content-type is set by the constructors).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition, errors).
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Appends a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the response onto the wire.
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn write_to(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n", self.body.len()));
+        head.push_str("connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body_str().unwrap(), "hello world");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse("garbage\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbad header line\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Truncated body.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(2 * MAX_HEAD_BYTES));
+        assert!(matches!(parse(&huge), Err(HttpError::TooLarge(_))));
+        let body_bomb = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&body_bomb), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .with_header("DEGRADED", "true")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("DEGRADED: true\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn status_reasons_cover_the_emitted_set() {
+        for s in [200, 400, 404, 405, 413, 429, 500, 503, 504] {
+            assert_ne!(reason(s), "Unknown", "{s}");
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! The batching core: a bounded job queue plus one batcher thread that
+//! coalesces concurrent predictions into grouped solves.
+//!
+//! HTTP workers [`Batcher::submit`] one holed row each and block on a
+//! channel for the outcome. The batcher thread waits `batch_window`
+//! after the first job arrives (or until `max_batch` jobs are queued),
+//! drains the batch, and hands it to [`BatchPredictor::fill_batch`] —
+//! rows sharing a hole pattern share one factored solver, and each row
+//! goes through the exact same `PatternSolver::fill` code path as a
+//! single-shot fill, so batching never changes an answer.
+//!
+//! Backpressure is explicit: a full queue rejects at submit time (the
+//! server turns that into `429` + `Retry-After`), and a job that sits
+//! past its deadline is answered `Expired` instead of being solved.
+//! Shutdown is graceful — the batcher keeps draining until the queue is
+//! empty before exiting, so accepted work is never dropped.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dataset::holes::HoledRow;
+use obs::names;
+use ratio_rules::batch::BatchPredictor;
+use ratio_rules::predictor::{ColAvgs, Predictor};
+use ratio_rules::reconstruct::SolveCase;
+use ratio_rules::resilience::ServedModel;
+use ratio_rules::rules::RuleSet;
+
+/// What the server serves: a full rule set behind the batching facade,
+/// or the degraded col-avgs floor the resilience ladder left behind.
+#[derive(Debug)]
+pub enum ServeModel {
+    /// Ratio Rules, solved in pattern-grouped batches.
+    Rules(BatchPredictor),
+    /// The `k = 0` floor: every hole answered with its column mean.
+    ColAvgs(ColAvgs),
+}
+
+impl ServeModel {
+    /// Adapts whatever a mine run wrote.
+    #[must_use]
+    pub fn from_served(model: ServedModel) -> Self {
+        match model {
+            ServedModel::Rules(rs) => ServeModel::Rules(BatchPredictor::new(rs)),
+            ServedModel::ColAvgs(ca) => ServeModel::ColAvgs(ca),
+        }
+    }
+
+    /// Expected row width `M`.
+    #[must_use]
+    pub fn n_attributes(&self) -> usize {
+        match self {
+            ServeModel::Rules(bp) => bp.n_attributes(),
+            ServeModel::ColAvgs(ca) => ca.n_attributes(),
+        }
+    }
+
+    /// Rules retained (0 for the col-avgs floor).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.rules().map_or(0, RuleSet::k)
+    }
+
+    /// The rule set, when serving one.
+    #[must_use]
+    pub fn rules(&self) -> Option<&RuleSet> {
+        match self {
+            ServeModel::Rules(bp) => Some(bp.predictor().rules()),
+            ServeModel::ColAvgs(_) => None,
+        }
+    }
+
+    /// Whether this is the degraded floor.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ServeModel::ColAvgs(_))
+    }
+
+    /// The `/rules` document (same on-disk format as `mine` writes).
+    #[must_use]
+    pub fn document(&self) -> String {
+        match self {
+            ServeModel::Rules(bp) => {
+                ratio_rules::model_json::rules_to_string(bp.predictor().rules())
+            }
+            ServeModel::ColAvgs(ca) => ratio_rules::model_json::col_avgs_to_string(ca.means()),
+        }
+    }
+}
+
+/// Capacity knobs for the batching core.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Most rows coalesced into one solve.
+    pub max_batch: usize,
+    /// How long the batcher holds the first job to let peers coalesce.
+    pub batch_window: Duration,
+    /// Queue bound; submits beyond it are rejected (429 upstream).
+    pub max_queue: usize,
+    /// Per-job deadline; jobs older than this are answered `Expired`.
+    pub deadline: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 32,
+            batch_window: Duration::from_micros(500),
+            max_queue: 1024,
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One fill answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Full row, holes filled.
+    pub values: Vec<f64>,
+    /// Which solve shape produced it (`col_avgs` for the floor).
+    pub case: String,
+}
+
+/// What came back for a submitted row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictOutcome {
+    /// Solved.
+    Filled(Prediction),
+    /// The row itself was invalid (width, pattern, non-finite values).
+    Failed(String),
+    /// The job sat in the queue past its deadline.
+    Expired,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at `max_queue`; retry after backing off.
+    QueueFull,
+    /// The batcher is draining for shutdown.
+    ShuttingDown,
+}
+
+/// Renders the paper's case tag for the wire.
+#[must_use]
+pub fn case_name(case: SolveCase) -> String {
+    match case {
+        SolveCase::ExactlySpecified => "exactly_specified".into(),
+        SolveCase::OverSpecified => "over_specified".into(),
+        SolveCase::UnderSpecified { rules_used } => {
+            format!("under_specified:{rules_used}")
+        }
+    }
+}
+
+struct Job {
+    row: HoledRow,
+    enqueued: Instant,
+    deadline: Instant,
+    tx: mpsc::Sender<PredictOutcome>,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: BatchConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+    batch_bounds: Vec<f64>,
+    latency_bounds: Vec<f64>,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Handle to the batcher thread. Dropping it (or calling
+/// [`Batcher::shutdown`]) drains the queue and joins the thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Spawns the batcher thread over a shared model.
+    #[must_use]
+    pub fn start(model: Arc<ServeModel>, cfg: BatchConfig) -> Batcher {
+        let shared = Arc::new(Shared {
+            // Batch sizes are small integers; latencies run from
+            // microseconds (cache-hit fills) to the multi-second
+            // deadline.
+            batch_bounds: obs::exponential_bounds(1.0, 2.0, 11),
+            latency_bounds: obs::exponential_bounds(10.0, 4.0, 12),
+            cfg,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("rr-batcher".into())
+            .spawn(move || batcher_loop(&worker_shared, &model))
+            .ok();
+        Batcher {
+            shared,
+            worker: Mutex::new(handle),
+        }
+    }
+
+    /// Enqueues one row; the returned channel yields its outcome.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] at the `max_queue` bound (the caller
+    /// should answer 429 + `Retry-After`), [`SubmitError::ShuttingDown`]
+    /// once a drain has begun.
+    pub fn submit(&self, row: HoledRow) -> Result<mpsc::Receiver<PredictOutcome>, SubmitError> {
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.lock();
+            if st.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.queue.len() >= self.shared.cfg.max_queue {
+                obs::counter_add(names::SERVE_REJECTED_TOTAL, 1);
+                return Err(SubmitError::QueueFull);
+            }
+            st.queue.push_back(Job {
+                row,
+                enqueued: now,
+                deadline: now + self.shared.cfg.deadline,
+                tx,
+            });
+            obs::gauge_set(names::SERVE_QUEUE_DEPTH, st.queue.len() as f64);
+        }
+        self.shared.cv.notify_all();
+        Ok(rx)
+    }
+
+    /// Jobs currently waiting (for tests and health reporting).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Per-job deadline configured for this batcher.
+    #[must_use]
+    pub fn deadline(&self) -> Duration {
+        self.shared.cfg.deadline
+    }
+
+    /// Stops accepting work, drains everything already queued, and joins
+    /// the batcher thread. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        let handle = self
+            .worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(shared: &Shared, model: &ServeModel) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut st = shared.lock();
+            while st.queue.is_empty() && !st.shutdown {
+                st = shared
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.queue.is_empty() {
+                // Shutdown with nothing left to drain.
+                break;
+            }
+            // Hold the first job for the coalescing window (skipped when
+            // the batch is already full or we are draining).
+            let window_end = Instant::now() + shared.cfg.batch_window;
+            while st.queue.len() < shared.cfg.max_batch && !st.shutdown {
+                let now = Instant::now();
+                if now >= window_end {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .cv
+                    .wait_timeout(st, window_end - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let n = st.queue.len().min(shared.cfg.max_batch);
+            let batch = st.queue.drain(..n).collect();
+            obs::gauge_set(names::SERVE_QUEUE_DEPTH, st.queue.len() as f64);
+            batch
+        };
+        run_batch(shared, model, batch);
+    }
+}
+
+fn run_batch(shared: &Shared, model: &ServeModel, jobs: Vec<Job>) {
+    let _span = obs::Span::enter(names::SPAN_SERVE_BATCH);
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if now > job.deadline {
+            obs::counter_add(names::SERVE_TIMEOUTS_TOTAL, 1);
+            let _ = job.tx.send(PredictOutcome::Expired);
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    obs::counter_add(names::SERVE_BATCHES_TOTAL, 1);
+    obs::counter_add(names::SERVE_ROWS_PREDICTED_TOTAL, live.len() as u64);
+    obs::observe(
+        names::SERVE_BATCH_SIZE,
+        &shared.batch_bounds,
+        live.len() as f64,
+    );
+
+    let outcomes: Vec<PredictOutcome> = match model {
+        ServeModel::Rules(bp) => {
+            let rows: Vec<HoledRow> = live.iter().map(|j| j.row.clone()).collect();
+            let (_groups, results) = bp.fill_batch(&rows);
+            results
+                .into_iter()
+                .map(|r| match r {
+                    Ok(filled) => PredictOutcome::Filled(Prediction {
+                        values: filled.values,
+                        case: case_name(filled.case),
+                    }),
+                    Err(e) => PredictOutcome::Failed(e.to_string()),
+                })
+                .collect()
+        }
+        ServeModel::ColAvgs(ca) => live
+            .iter()
+            .map(|j| match ca.fill(&j.row) {
+                Ok(values) => PredictOutcome::Filled(Prediction {
+                    values,
+                    case: "col_avgs".into(),
+                }),
+                Err(e) => PredictOutcome::Failed(e.to_string()),
+            })
+            .collect(),
+    };
+
+    for (job, outcome) in live.into_iter().zip(outcomes) {
+        obs::observe(
+            names::SERVE_LATENCY_US,
+            &shared.latency_bounds,
+            job.enqueued.elapsed().as_micros() as f64,
+        );
+        let _ = job.tx.send(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratio_rules::cutoff::Cutoff;
+    use ratio_rules::miner::RatioRuleMiner;
+    use ratio_rules::predictor::RuleSetPredictor;
+
+    fn model() -> Arc<ServeModel> {
+        let x = linalg::Matrix::from_fn(40, 3, |i, j| {
+            let t = (i + 1) as f64;
+            t * [3.0, 2.0, 1.0][j] + ((i * 7 + j) % 5) as f64 * 0.01
+        });
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1)).fit_matrix(&x).unwrap();
+        Arc::new(ServeModel::Rules(BatchPredictor::new(rules)))
+    }
+
+    #[test]
+    fn submitted_rows_come_back_identical_to_single_shot() {
+        let m = model();
+        let rules = m.rules().unwrap().clone();
+        let single = RuleSetPredictor::new(rules);
+        let b = Batcher::start(Arc::clone(&m), BatchConfig::default());
+        let rows: Vec<HoledRow> = (0..8)
+            .map(|i| HoledRow::new(vec![Some(3.0 * (i + 1) as f64), None, Some((i + 1) as f64)]))
+            .collect();
+        let rxs: Vec<_> = rows
+            .iter()
+            .map(|r| b.submit(r.clone()).unwrap())
+            .collect();
+        for (row, rx) in rows.iter().zip(rxs) {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                PredictOutcome::Filled(p) => {
+                    use ratio_rules::predictor::Predictor as _;
+                    assert_eq!(p.values, single.fill(row).unwrap());
+                    // M = 3, k = 1, one hole: 2 knowns > 1 rule.
+                    assert_eq!(p.case, "over_specified");
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_but_in_flight_jobs_finish() {
+        let m = model();
+        // A window long enough that everything below lands in one batch.
+        let cfg = BatchConfig {
+            max_batch: 4,
+            batch_window: Duration::from_millis(200),
+            max_queue: 2,
+            deadline: Duration::from_secs(5),
+        };
+        let b = Batcher::start(m, cfg);
+        let row = HoledRow::new(vec![Some(3.0), None, Some(1.0)]);
+        let rx1 = b.submit(row.clone()).unwrap();
+        let rx2 = b.submit(row.clone()).unwrap();
+        // The queue may bound either 2 or 3 deep here depending on
+        // whether the batcher has already claimed the first two; keep
+        // filling until rejected.
+        let mut rejected = false;
+        let mut extra = Vec::new();
+        for _ in 0..8 {
+            match b.submit(row.clone()) {
+                Ok(rx) => extra.push(rx),
+                Err(SubmitError::QueueFull) => {
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error: {e:?}"),
+            }
+        }
+        assert!(rejected, "queue of 2 never filled");
+        // Every accepted job still completes.
+        for rx in [rx1, rx2].into_iter().chain(extra) {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+                PredictOutcome::Filled(_)
+            ));
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work_then_refuses() {
+        let m = model();
+        let cfg = BatchConfig {
+            batch_window: Duration::from_millis(50),
+            ..BatchConfig::default()
+        };
+        let b = Batcher::start(m, cfg);
+        let row = HoledRow::new(vec![Some(3.0), None, Some(1.0)]);
+        let rxs: Vec<_> = (0..16).map(|_| b.submit(row.clone()).unwrap()).collect();
+        b.shutdown();
+        for rx in rxs {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+                PredictOutcome::Filled(_)
+            ));
+        }
+        assert_eq!(b.submit(row).unwrap_err(), SubmitError::ShuttingDown);
+    }
+
+    #[test]
+    fn invalid_rows_fail_without_poisoning_the_batch() {
+        let b = Batcher::start(model(), BatchConfig::default());
+        let good = b
+            .submit(HoledRow::new(vec![Some(3.0), None, Some(1.0)]))
+            .unwrap();
+        let bad = b.submit(HoledRow::new(vec![None, None])).unwrap();
+        assert!(matches!(
+            good.recv_timeout(Duration::from_secs(5)).unwrap(),
+            PredictOutcome::Filled(_)
+        ));
+        assert!(matches!(
+            bad.recv_timeout(Duration::from_secs(5)).unwrap(),
+            PredictOutcome::Failed(_)
+        ));
+        b.shutdown();
+    }
+
+    #[test]
+    fn col_avgs_floor_serves_means() {
+        let model = Arc::new(ServeModel::ColAvgs(
+            ColAvgs::new(vec![10.0, 20.0]).unwrap(),
+        ));
+        assert!(model.is_degraded());
+        assert_eq!(model.k(), 0);
+        let b = Batcher::start(model, BatchConfig::default());
+        let rx = b.submit(HoledRow::new(vec![None, Some(7.0)])).unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            PredictOutcome::Filled(p) => {
+                assert_eq!(p.values, vec![10.0, 7.0]);
+                assert_eq!(p.case, "col_avgs");
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        b.shutdown();
+    }
+}

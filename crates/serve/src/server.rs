@@ -1,0 +1,423 @@
+//! The TCP front end: accept loop, worker pool, and request routing.
+//!
+//! One thread accepts connections into a bounded hand-off queue; `N`
+//! worker threads pop connections, parse one request each (the protocol
+//! is one-shot, `Connection: close`), route it, and reply. `/predict`
+//! rows go through the [`Batcher`]; everything else is answered inline.
+//! Shutdown is graceful: the accept loop stops, workers finish the
+//! connections already handed off, and the batcher drains its queue
+//! before [`Server::shutdown`] returns — accepted work is never dropped.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use obs::json::JsonValue;
+use obs::names;
+use ratio_rules::whatif::{Forecast, Scenario};
+
+use crate::protocol::{read_request, HttpError, Request, Response};
+use crate::queue::{case_name, BatchConfig, Batcher, PredictOutcome, ServeModel, SubmitError};
+
+/// Server configuration (the `serve` subcommand maps its flags here).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral
+    /// port, which tests use).
+    pub addr: String,
+    /// HTTP worker threads.
+    pub threads: usize,
+    /// Batching-core knobs.
+    pub batch: BatchConfig,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            batch: BatchConfig::default(),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct ConnState {
+    queue: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+struct ConnQueue {
+    state: Mutex<ConnState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn lock(&self) -> MutexGuard<'_, ConnState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Hands a connection to the workers; answers 503 inline when the
+    /// hand-off queue is full (connection-level backpressure, distinct
+    /// from the batch queue's 429).
+    fn push(&self, stream: TcpStream) {
+        let mut st = self.lock();
+        if st.queue.len() >= self.cap {
+            drop(st);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = Response::text(503, "worker hand-off queue full\n".into())
+                .with_header("retry-after", "1")
+                .write_to(&mut stream);
+            return;
+        }
+        st.queue.push_back(stream);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut st = self.lock();
+        loop {
+            if let Some(stream) = st.queue.pop_front() {
+                return Some(stream);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Handler {
+    model: Arc<ServeModel>,
+    batcher: Batcher,
+    rules_doc: String,
+    degraded: bool,
+    io_timeout: Duration,
+}
+
+/// A running prediction server.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutting_down: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<ConnQueue>,
+    handler: Arc<Handler>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop + workers + batcher, and returns.
+    ///
+    /// # Errors
+    /// Propagates bind failures (address in use, permission).
+    pub fn start(cfg: ServerConfig, model: ServeModel) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let model = Arc::new(model);
+        let handler = Arc::new(Handler {
+            rules_doc: model.document(),
+            degraded: model.is_degraded(),
+            batcher: Batcher::start(Arc::clone(&model), cfg.batch.clone()),
+            model,
+            io_timeout: cfg.io_timeout,
+        });
+        let threads = cfg.threads.max(1);
+        let conns = Arc::new(ConnQueue {
+            state: Mutex::new(ConnState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap: threads * 4,
+        });
+        let shutting_down = Arc::new(AtomicBool::new(false));
+
+        let accept_conns = Arc::clone(&conns);
+        let accept_flag = Arc::clone(&shutting_down);
+        let accept = std::thread::Builder::new()
+            .name("rr-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => accept_conns.push(s),
+                        Err(_) => continue,
+                    }
+                }
+            })
+            .ok();
+
+        let workers = (0..threads)
+            .filter_map(|i| {
+                let conns = Arc::clone(&conns);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("rr-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = conns.pop() {
+                            handle_connection(&handler, stream);
+                        }
+                    })
+                    .ok()
+            })
+            .collect();
+
+        Ok(Server {
+            local_addr,
+            shutting_down,
+            accept,
+            workers,
+            conns,
+            handler,
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful drain: stop accepting, finish handed-off connections,
+    /// drain the batch queue, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.conns.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.handler.batcher.shutdown();
+    }
+}
+
+fn handle_connection(handler: &Handler, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(handler.io_timeout));
+    let _ = stream.set_write_timeout(Some(handler.io_timeout));
+    let response = match read_request(&mut stream) {
+        Ok(req) => route(handler, &req),
+        Err(HttpError::TooLarge(msg)) => err_response(413, &msg),
+        Err(HttpError::Malformed(msg)) => err_response(400, &msg),
+        Err(HttpError::Io(_)) => return, // client vanished; nothing to say
+    };
+    if response.status >= 400 && response.status != 429 {
+        obs::counter_add(names::SERVE_ERRORS_TOTAL, 1);
+    }
+    let response = if handler.degraded {
+        response.with_header("DEGRADED", "true")
+    } else {
+        response
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+fn err_response(status: u16, message: &str) -> Response {
+    let body = JsonValue::Obj(vec![(
+        "error".into(),
+        JsonValue::Str(message.to_string()),
+    )]);
+    Response::json(status, body.write(false))
+}
+
+fn route(handler: &Handler, req: &Request) -> Response {
+    let _span = obs::Span::enter(names::SPAN_SERVE_REQUEST);
+    obs::counter_add(names::SERVE_REQUESTS_TOTAL, 1);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(handler),
+        ("GET", "/metrics") => {
+            Response::text(200, obs::export::to_prometheus(&obs::global().snapshot()))
+        }
+        ("GET", "/rules") => Response::json(200, handler.rules_doc.clone()),
+        ("POST", "/predict") => predict(handler, req),
+        ("POST", "/whatif") => whatif(handler, req),
+        (_, "/healthz" | "/metrics" | "/rules" | "/predict" | "/whatif") => {
+            err_response(405, "method not allowed for this endpoint")
+        }
+        _ => err_response(404, "unknown endpoint"),
+    }
+}
+
+fn healthz(handler: &Handler) -> Response {
+    let body = JsonValue::Obj(vec![
+        ("status".into(), JsonValue::Str("ok".into())),
+        (
+            "attributes".into(),
+            JsonValue::Num(handler.model.n_attributes() as f64),
+        ),
+        ("k".into(), JsonValue::Num(handler.model.k() as f64)),
+        ("degraded".into(), JsonValue::Bool(handler.degraded)),
+        (
+            "queue_depth".into(),
+            JsonValue::Num(handler.batcher.queue_depth() as f64),
+        ),
+    ]);
+    Response::json(200, body.write(false))
+}
+
+fn parse_body(req: &Request) -> Result<JsonValue, Response> {
+    let text = req
+        .body_str()
+        .map_err(|e| err_response(400, &e.to_string()))?;
+    obs::json::parse(text).map_err(|e| err_response(400, &format!("body: {e}")))
+}
+
+fn num_arr(values: &[f64]) -> JsonValue {
+    JsonValue::Arr(values.iter().map(|&v| JsonValue::Num(v)).collect())
+}
+
+fn predict(handler: &Handler, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let rows_v = match body.get("rows") {
+        Some(v) => v,
+        None => return err_response(400, "missing \"rows\" (an array of rows)"),
+    };
+    let m = handler.model.n_attributes();
+    let rows = match dataset::jsonrow::holed_rows_from_json(rows_v, m) {
+        Ok(rows) => rows,
+        Err(e) => return err_response(400, &e.to_string()),
+    };
+    if rows.is_empty() {
+        return err_response(400, "\"rows\" is empty");
+    }
+
+    let mut receivers = Vec::with_capacity(rows.len());
+    for row in rows {
+        match handler.batcher.submit(row) {
+            Ok(rx) => receivers.push(rx),
+            Err(SubmitError::QueueFull) => {
+                return err_response(429, "prediction queue full; retry after backing off")
+                    .with_header("retry-after", "1");
+            }
+            Err(SubmitError::ShuttingDown) => {
+                return err_response(503, "server is draining for shutdown");
+            }
+        }
+    }
+
+    // Generous wait: the batcher answers `Expired` itself at the job
+    // deadline; this only guards against a wedged batcher thread.
+    let wait = handler.batcher.deadline() * 2 + Duration::from_secs(1);
+    let mut out_rows = Vec::with_capacity(receivers.len());
+    let mut expired = 0usize;
+    for rx in receivers {
+        let outcome = rx
+            .recv_timeout(wait)
+            .unwrap_or(PredictOutcome::Expired);
+        out_rows.push(match outcome {
+            PredictOutcome::Filled(p) => JsonValue::Obj(vec![
+                ("values".into(), num_arr(&p.values)),
+                ("case".into(), JsonValue::Str(p.case)),
+            ]),
+            PredictOutcome::Failed(msg) => {
+                JsonValue::Obj(vec![("error".into(), JsonValue::Str(msg))])
+            }
+            PredictOutcome::Expired => {
+                expired += 1;
+                JsonValue::Obj(vec![(
+                    "error".into(),
+                    JsonValue::Str("deadline expired before this row was solved".into()),
+                )])
+            }
+        });
+    }
+    let n = out_rows.len();
+    let body = JsonValue::Obj(vec![("rows".into(), JsonValue::Arr(out_rows))]);
+    let status = if expired == n { 504 } else { 200 };
+    Response::json(status, body.write(false))
+}
+
+fn forecast_json(f: &Forecast) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("values".into(), num_arr(&f.values)),
+        ("case".into(), JsonValue::Str(case_name(f.case))),
+    ])
+}
+
+fn whatif(handler: &Handler, req: &Request) -> Response {
+    let rules = match handler.model.rules() {
+        Some(r) => r,
+        None => {
+            return err_response(
+                503,
+                "what-if needs a full rule set; this server is serving the degraded col-avgs floor",
+            );
+        }
+    };
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let pins = match body.get("pin").and_then(JsonValue::as_obj) {
+        Some(p) if !p.is_empty() => p,
+        _ => return err_response(400, "missing \"pin\" (object of label -> value)"),
+    };
+    let mut scenario = Scenario::new(rules);
+    for (label, value) in pins {
+        let v = match value.as_f64() {
+            Some(v) => v,
+            None => return err_response(400, &format!("pin {label:?} is not a number")),
+        };
+        scenario = match scenario.set(label, v) {
+            Ok(s) => s,
+            Err(e) => return err_response(400, &e.to_string()),
+        };
+    }
+
+    if let Some(sweep) = body.get("sweep") {
+        let label = match sweep.get("attribute").and_then(JsonValue::as_str) {
+            Some(l) => l,
+            None => return err_response(400, "sweep needs an \"attribute\" label"),
+        };
+        let values = match sweep.get("values").and_then(JsonValue::as_arr) {
+            Some(vs) => vs,
+            None => return err_response(400, "sweep needs a \"values\" array"),
+        };
+        let values: Vec<f64> = match values.iter().map(JsonValue::as_f64).collect() {
+            Some(vs) => vs,
+            None => return err_response(400, "sweep values must all be numbers"),
+        };
+        return match scenario.sweep(label, &values) {
+            Ok(forecasts) => {
+                let arr: Vec<JsonValue> = forecasts.iter().map(forecast_json).collect();
+                Response::json(
+                    200,
+                    JsonValue::Obj(vec![("forecasts".into(), JsonValue::Arr(arr))]).write(false),
+                )
+            }
+            Err(e) => err_response(400, &e.to_string()),
+        };
+    }
+
+    match scenario.forecast() {
+        Ok(f) => Response::json(
+            200,
+            JsonValue::Obj(vec![("forecast".into(), forecast_json(&f))]).write(false),
+        ),
+        Err(e) => err_response(400, &e.to_string()),
+    }
+}

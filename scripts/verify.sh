@@ -158,4 +158,60 @@ grep -qF "resumed from checkpoint" <<<"$out" || {
 }
 echo "  checkpoint/resume: ok"
 
+echo "== serve: HTTP smoke (healthz, predict, metrics) =="
+serve_port=17878
+serve_pid=""
+trap 'rm -f "$metrics_file"; rm -rf "$chaos_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null' EXIT
+"$bin" serve --model "$chaos_dir/m0.json" --port "$serve_port" \
+    --batch-window-us 100 > /dev/null &
+serve_pid=$!
+
+# Dependency-free HTTP over bash's /dev/tcp; the server answers one
+# request per connection and closes, so `cat` terminates.
+http_get() {
+    exec 3<>"/dev/tcp/127.0.0.1/$serve_port"
+    printf 'GET %s HTTP/1.1\r\nhost: verify\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3>&- 3<&-
+}
+http_post() {
+    exec 3<>"/dev/tcp/127.0.0.1/$serve_port"
+    printf 'POST %s HTTP/1.1\r\nhost: verify\r\ncontent-length: %s\r\n\r\n%s' \
+        "$1" "${#2}" "$2" >&3
+    cat <&3
+    exec 3>&- 3<&-
+}
+
+for _ in $(seq 1 50); do
+    if health="$(http_get /healthz 2>/dev/null)" && \
+       grep -qF '"status":"ok"' <<<"$health"; then
+        break
+    fi
+    health=""
+    sleep 0.1
+done
+if [ -z "$health" ]; then
+    echo "serve: /healthz never came up on port $serve_port" >&2
+    exit 1
+fi
+echo "  /healthz: ok"
+
+predicted="$(http_post /predict '{"rows":[[12.0,null,7.0]]}')"
+grep -qF 'HTTP/1.1 200' <<<"$predicted" && grep -qF '"values"' <<<"$predicted" || {
+    echo "serve: /predict failed: $predicted" >&2
+    exit 1
+}
+echo "  /predict: ok"
+
+metrics="$(http_get /metrics)"
+for needle in serve_requests_total serve_rows_predicted_total serve_batch_size; do
+    grep -qF "$needle" <<<"$metrics" || {
+        echo "serve: /metrics missing $needle" >&2
+        exit 1
+    }
+done
+echo "  /metrics: ok"
+kill "$serve_pid"
+serve_pid=""
+
 echo "verify: OK"

@@ -287,3 +287,79 @@ proptest! {
         prop_assert_eq!(rep_whole.rows_quarantined, rep_res.rows_quarantined);
     }
 }
+
+/// Strategy: a nonnegative spectrum sorted in descending order, as
+/// produced by the eigensolver.
+fn spectrum(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..10.0f64, 1..max_len).prop_map(|mut v| {
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 1 minimality: the selected k reaches the energy threshold and
+    /// k - 1 does not. The reference prefix sums below repeat select()'s
+    /// accumulation order, so the comparison is bit-exact.
+    #[test]
+    fn cutoff_k_is_minimal(evs in spectrum(12), f in 0.01..=1.0f64) {
+        let k = Cutoff::EnergyFraction(f).select(&evs).unwrap();
+        prop_assert!((1..=evs.len()).contains(&k), "k={k} out of range");
+        let total: f64 = evs.iter().map(|l| l.max(0.0)).sum();
+        if total <= 0.0 {
+            // Degenerate all-zero spectrum: one rule by convention.
+            prop_assert_eq!(k, 1);
+        } else {
+            let mass = |n: usize| evs[..n].iter().map(|l| l.max(0.0)).sum::<f64>();
+            prop_assert!(mass(k) / total >= f, "k={k} misses the threshold");
+            if k > 1 {
+                prop_assert!(mass(k - 1) / total < f, "k={k} is not minimal");
+            }
+        }
+    }
+
+    /// Raising the energy threshold never keeps fewer rules.
+    #[test]
+    fn cutoff_k_monotone_in_threshold(
+        evs in spectrum(12),
+        f1 in 0.01..=1.0f64,
+        f2 in 0.01..=1.0f64,
+    ) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let k_lo = Cutoff::EnergyFraction(lo).select(&evs).unwrap();
+        let k_hi = Cutoff::EnergyFraction(hi).select(&evs).unwrap();
+        prop_assert!(k_lo <= k_hi, "k({lo})={k_lo} > k({hi})={k_hi}");
+    }
+
+    /// "k = 0 iff the threshold is 0": a zero (or negative) threshold is
+    /// rejected outright, so a successfully selected k is never 0.
+    #[test]
+    fn cutoff_never_selects_zero_rules(evs in spectrum(12), f in 0.01..=1.0f64) {
+        prop_assert!(Cutoff::EnergyFraction(f).select(&evs).unwrap() >= 1);
+        prop_assert!(Cutoff::EnergyFraction(0.0).select(&evs).is_err());
+        prop_assert!(Cutoff::EnergyFraction(-f).select(&evs).is_err());
+    }
+}
+
+/// Golden regression: pins k across thresholds on a fixed geometric
+/// spectrum (energy halves per rule; cumulative fractions 0.508, 0.762,
+/// 0.889, 0.952, 0.984, 1.0). A change in Eq. 1's accounting — clamping,
+/// tie-breaking, or comparison direction — shifts at least one of these.
+#[test]
+fn cutoff_golden_geometric_spectrum() {
+    let evs = [50.0, 25.0, 12.5, 6.25, 3.125, 1.5625];
+    for (f, expected) in [
+        (0.50, 1),
+        (0.76, 2),
+        (0.85, 3),
+        (0.90, 4),
+        (0.97, 5),
+        (0.99, 6),
+        (1.00, 6),
+    ] {
+        let k = Cutoff::EnergyFraction(f).select(&evs).unwrap();
+        assert_eq!(k, expected, "threshold {f}");
+    }
+}

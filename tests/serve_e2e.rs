@@ -1,0 +1,292 @@
+//! End-to-end tests of the prediction server over real sockets: an
+//! in-process [`serve::Server`] on an ephemeral port, raw `TcpStream`
+//! HTTP/1.1 clients, and bit-level comparison of batched answers against
+//! the single-shot predictor.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use dataset::holes::{HoleSet, HoledRow};
+use linalg::Matrix;
+use obs::json::JsonValue;
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::miner::RatioRuleMiner;
+use ratio_rules::predictor::{Predictor, RuleSetPredictor};
+use ratio_rules::rules::RuleSet;
+use serve::{BatchConfig, ServeModel, Server, ServerConfig};
+
+/// Rank-2 training data in 4 attributes (same construction as the core
+/// reconstruction tests).
+fn training_matrix() -> Matrix {
+    let d1 = [2.0, 1.0, 0.0, 1.0];
+    let d2 = [0.0, 1.0, 3.0, -1.0];
+    Matrix::from_fn(40, 4, |i, j| {
+        let a = (i as f64 % 7.0) - 3.0;
+        let b = ((i * 3) as f64 % 5.0) - 2.0;
+        10.0 + a * d1[j] + b * d2[j]
+    })
+}
+
+fn mine() -> RuleSet {
+    RatioRuleMiner::new(Cutoff::FixedK(2))
+        .fit_matrix(&training_matrix())
+        .unwrap()
+}
+
+fn start_server(batch: BatchConfig) -> (Server, SocketAddr) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        batch,
+        io_timeout: Duration::from_secs(10),
+    };
+    let server = Server::start(cfg, ServeModel::from_served(
+        ratio_rules::resilience::ServedModel::Rules(mine()),
+    ))
+    .unwrap();
+    let addr = server.addr();
+    (server, addr)
+}
+
+/// One-shot HTTP exchange; returns (status, headers, body).
+fn http(addr: SocketAddr, raw: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap(); // server closes
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split_ascii_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
+    http(addr, &format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<(String, String)>, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// `{}` on f64 prints the shortest decimal that round-trips, so values
+/// survive the wire bit-for-bit in both directions.
+fn rows_body(rows: &[HoledRow]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let row: Vec<String> = r
+                .values
+                .iter()
+                .map(|c| match c {
+                    Some(v) => format!("{v}"),
+                    None => "null".to_string(),
+                })
+                .collect();
+            format!("[{}]", row.join(","))
+        })
+        .collect();
+    format!("{{\"rows\":[{}]}}", cells.join(","))
+}
+
+fn predicted_values(body: &str) -> Vec<Vec<f64>> {
+    let doc = obs::json::parse(body).unwrap();
+    doc.get("rows")
+        .and_then(JsonValue::as_arr)
+        .unwrap()
+        .iter()
+        .map(|row| {
+            row.get("values")
+                .and_then(JsonValue::as_arr)
+                .unwrap_or_else(|| panic!("row without values: {row:?}"))
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_batched_predictions_are_bit_identical_to_unbatched() {
+    obs::set_enabled(true);
+    // A wide-open coalescing window so the concurrent clients land in
+    // shared batches.
+    let (server, addr) = start_server(BatchConfig {
+        max_batch: 32,
+        batch_window: Duration::from_millis(30),
+        max_queue: 1024,
+        deadline: Duration::from_secs(5),
+    });
+
+    let x = training_matrix();
+    let single = RuleSetPredictor::new(mine());
+    let patterns = [vec![0], vec![2], vec![1, 3], vec![0, 2]];
+    let n_threads = 8;
+    let barrier = Arc::new(Barrier::new(n_threads));
+    std::thread::scope(|scope| {
+        for t in 0..n_threads {
+            let barrier = Arc::clone(&barrier);
+            let x = &x;
+            let single = &single;
+            let patterns = &patterns;
+            scope.spawn(move || {
+                let hs = HoleSet::new(patterns[t % patterns.len()].clone(), 4).unwrap();
+                let rows: Vec<HoledRow> = (0..3)
+                    .map(|r| hs.apply(x.row((t * 5 + r) % 40)).unwrap())
+                    .collect();
+                barrier.wait();
+                let (status, _, body) = post(addr, "/predict", &rows_body(&rows));
+                assert_eq!(status, 200, "{body}");
+                let got = predicted_values(&body);
+                assert_eq!(got.len(), rows.len());
+                for (row, served) in rows.iter().zip(&got) {
+                    let local = single.fill(row).unwrap();
+                    assert_eq!(served, &local, "batched answer drifted from single-shot");
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
+
+#[test]
+fn tiny_queue_answers_429_without_dropping_accepted_work() {
+    obs::set_enabled(true);
+    // max_queue = 1 and a long window: the first row in a window holds
+    // the queue at capacity, so concurrent clients must see 429.
+    let (server, addr) = start_server(BatchConfig {
+        max_batch: 32,
+        batch_window: Duration::from_millis(400),
+        max_queue: 1,
+        deadline: Duration::from_secs(5),
+    });
+
+    let single = RuleSetPredictor::new(mine());
+    let row = HoleSet::new(vec![1], 4)
+        .unwrap()
+        .apply(training_matrix().row(7))
+        .unwrap();
+    let expected = single.fill(&row).unwrap();
+    let body = rows_body(std::slice::from_ref(&row));
+
+    let n_clients = 12;
+    let ok = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    let barrier = Arc::new(Barrier::new(n_clients));
+    std::thread::scope(|scope| {
+        for _ in 0..n_clients {
+            let barrier = Arc::clone(&barrier);
+            let (ok, rejected) = (&ok, &rejected);
+            let (body, expected) = (&body, &expected);
+            scope.spawn(move || {
+                barrier.wait();
+                let (status, headers, resp) = post(addr, "/predict", body);
+                match status {
+                    200 => {
+                        // Accepted work is never dropped or corrupted.
+                        assert_eq!(&predicted_values(&resp)[0], expected);
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    }
+                    429 => {
+                        assert!(
+                            headers.iter().any(|(n, v)| n == "retry-after" && v == "1"),
+                            "429 must carry retry-after"
+                        );
+                        rejected.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("unexpected status {other}: {resp}"),
+                }
+            });
+        }
+    });
+    let (ok, rejected) = (ok.into_inner(), rejected.into_inner());
+    assert_eq!(ok + rejected, n_clients);
+    assert!(ok >= 1, "at least the first client must be served");
+    assert!(rejected >= 1, "a queue of 1 must shed some of 12 clients");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_exposes_registered_serve_names() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server(BatchConfig::default());
+    let row = HoleSet::new(vec![0], 4)
+        .unwrap()
+        .apply(training_matrix().row(3))
+        .unwrap();
+    let (status, _, _) = post(addr, "/predict", &rows_body(std::slice::from_ref(&row)));
+    assert_eq!(status, 200);
+
+    let (status, _, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for name in [
+        obs::names::SERVE_REQUESTS_TOTAL,
+        obs::names::SERVE_BATCHES_TOTAL,
+        obs::names::SERVE_ROWS_PREDICTED_TOTAL,
+        obs::names::SERVE_BATCH_SIZE,
+        obs::names::SERVE_LATENCY_US,
+        obs::names::SERVE_QUEUE_DEPTH,
+    ] {
+        assert!(metrics.contains(name), "/metrics missing {name}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn health_rules_whatif_and_error_paths() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server(BatchConfig::default());
+
+    let (status, _, health) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let doc = obs::json::parse(&health).unwrap();
+    assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
+    assert_eq!(doc.get("attributes").and_then(JsonValue::as_f64), Some(4.0));
+    assert_eq!(doc.get("k").and_then(JsonValue::as_f64), Some(2.0));
+
+    // /rules serves exactly the on-disk model document.
+    let (status, _, rules_doc) = get(addr, "/rules");
+    assert_eq!(status, 200);
+    assert_eq!(rules_doc, ratio_rules::model_json::rules_to_string(&mine()));
+
+    // /whatif pins one attribute and forecasts the rest.
+    let (status, _, body) = post(addr, "/whatif", "{\"pin\":{\"attr0\":12.0}}");
+    assert_eq!(status, 200, "{body}");
+    let forecast = obs::json::parse(&body).unwrap();
+    let values = forecast
+        .get("forecast")
+        .and_then(|f| f.get("values"))
+        .and_then(JsonValue::as_arr)
+        .unwrap();
+    assert_eq!(values.len(), 4);
+    assert!(values.iter().all(|v| v.as_f64().is_some_and(f64::is_finite)));
+
+    // Error paths: unknown endpoint, wrong method, malformed body.
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(get(addr, "/predict").0, 405);
+    assert_eq!(post(addr, "/predict", "not json").0, 400);
+    assert_eq!(post(addr, "/predict", "{\"rows\":[[1.0]]}").0, 400); // width
+    server.shutdown();
+}
