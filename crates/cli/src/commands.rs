@@ -27,7 +27,8 @@ use ratio_rules::visualize::project_2d;
 /// unknown. Keeping the sets explicit means a value flag added later
 /// (like `--metrics-out`) can never be mis-parsed as a switch.
 const COMMAND_SWITCHES: &[(&str, &[&str])] = &[
-    ("mine", &["no-header", "degrade"]),
+    ("mine", &["no-header", "degrade", "columnar"]),
+    ("convert", &["no-header"]),
     ("interpret", &[]),
     ("fill", &[]),
     ("outliers", &["no-header"]),
@@ -211,6 +212,17 @@ fn mine_streaming<S: RowSource>(
     }
     scan_outcome?;
     let (acc, report) = scanner.into_parts();
+    finish_mine(&acc, &report, labels, opts)
+}
+
+/// Shared tail of the streaming and columnar mines: degrade-aware
+/// finish, model write-out, and the scan-report rendering.
+fn finish_mine(
+    acc: &ratio_rules::covariance::CovarianceAccumulator,
+    report: &ScanReport,
+    labels: Option<Vec<String>>,
+    opts: &Options,
+) -> Result<String> {
     if report.rows_quarantined > 0 {
         crate::mark_degraded();
     }
@@ -226,7 +238,7 @@ fn mine_streaming<S: RowSource>(
         if let Some(spec) = opts.get("ladder") {
             miner = miner.with_ladder(parse_ladder(spec)?);
         }
-        let (model, degradation) = miner.finish(&acc)?;
+        let (model, degradation) = miner.finish(acc)?;
         if degradation.degraded() {
             crate::mark_degraded();
         }
@@ -259,7 +271,7 @@ fn mine_streaming<S: RowSource>(
         if let Some(labels) = labels {
             miner = miner.with_labels(labels);
         }
-        let rules = miner.finish(&acc)?;
+        let rules = miner.finish(acc)?;
         std::fs::write(out_path, ratio_rules::model_json::rules_to_string(&rules))?;
         out.push_str(&format!(
             "mined {} rules over {} attributes from {} rows ({:.1}% energy) -> {}\n",
@@ -270,7 +282,7 @@ fn mine_streaming<S: RowSource>(
             out_path,
         ));
     }
-    out.push_str(&render_scan_report(&report));
+    out.push_str(&render_scan_report(report));
     Ok(out)
 }
 
@@ -282,7 +294,10 @@ mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [
      fault tolerance (streams the CSV instead of loading it):
      [--max-bad-rows N] [--max-bad-fraction F] [--retries N]
      [--checkpoint FILE] [--resume FILE] [--degrade] [--ladder jacobi,ql,lanczos|none]
-     [--fault-rate F] [--fault-seed S]\n"
+     [--fault-rate F] [--fault-seed S]
+     columnar fast path (see 'ratio-rules convert'):
+     [--columnar]   --input is an RRCB block file; the scan feeds whole
+                    panels to the blocked covariance kernel\n"
             .into());
     }
     allow_with_obs(
@@ -295,6 +310,7 @@ mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [
             "lanczos",
             "no-header",
             "degrade",
+            "columnar",
             "max-bad-rows",
             "max-bad-fraction",
             "retries",
@@ -306,6 +322,9 @@ mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [
             "help",
         ],
     )?;
+    if opts.switch("columnar") {
+        return mine_columnar(opts);
+    }
     if resilience_requested(opts) {
         return mine_resilient(opts);
     }
@@ -359,6 +378,68 @@ fn mine_resilient(opts: &Options) -> Result<String> {
             opts,
         ),
     }
+}
+
+/// The columnar mine: scans an `RRCB` block file (made by `convert`)
+/// block-at-a-time into the blocked covariance kernel. Supports the
+/// quarantine/checkpoint/degrade flags; the CSV-source chaos wrappers
+/// (`--fault-rate`, `--retries`) don't apply to raw block files.
+fn mine_columnar(opts: &Options) -> Result<String> {
+    for flag in ["fault-rate", "fault-seed", "retries"] {
+        if opts.get(flag).is_some() {
+            return Err(CliError::new(format!(
+                "--{flag} applies to CSV row sources; --columnar reads raw blocks"
+            )));
+        }
+    }
+    if opts.switch("no-header") {
+        return Err(CliError::new(
+            "--no-header applies to CSV input; RRCB block files carry their shape in the header",
+        ));
+    }
+    let path = opts.require("input")?;
+    let mut src = dataset::columnar::ColumnarBlockSource::open(path)?;
+    let policy = parse_scan_policy(opts)?;
+    let mut scanner = match opts.get("resume") {
+        Some(cp) => {
+            let text = std::fs::read_to_string(cp)?;
+            Scanner::resume(&ScanCheckpoint::from_json(&text)?, policy)?
+        }
+        None => Scanner::new(src.n_cols(), policy),
+    };
+    let scan_outcome = scanner.scan_columnar(&mut src).map(|_| ());
+    if let Some(cp_path) = opts.get("checkpoint") {
+        std::fs::write(cp_path, scanner.checkpoint().to_json())?;
+    }
+    scan_outcome?;
+    let (acc, report) = scanner.into_parts();
+    finish_mine(&acc, &report, None, opts)
+}
+
+/// `ratio-rules convert --input data.csv --output data.rrcb [--no-header]`
+///
+/// Parses the CSV once and writes the `RRCB` binary block file that
+/// `mine --columnar` scans without re-parsing.
+///
+/// # Errors
+/// Fails on unknown flags, a missing `--input`/`--output`, or any CSV
+/// parse / file I/O error.
+pub fn convert(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok(
+            "convert --input <csv> --output <rrcb> [--no-header]   CSV -> RRCB block file\n"
+                .into(),
+        );
+    }
+    allow_with_obs(opts, &["input", "output", "no-header", "help"])?;
+    let input = opts.require("input")?;
+    let output = opts.require("output")?;
+    let report =
+        dataset::columnar::convert_csv_file(input, output, !opts.switch("no-header"))?;
+    Ok(format!(
+        "converted {} rows x {} cols -> {output}\n",
+        report.rows, report.cols,
+    ))
 }
 
 /// `ratio-rules interpret --model model.json [--threshold 0.05]`
@@ -832,6 +913,7 @@ serve --model <model.json> [--port N] [--threads N] [--max-batch N]
 fn dispatch(cmd: &str, opts: &Options) -> Result<String> {
     match cmd {
         "mine" => mine(opts),
+        "convert" => convert(opts),
         "interpret" => interpret_cmd(opts),
         "fill" => fill(opts),
         "outliers" => outliers(opts),
@@ -996,6 +1078,153 @@ mod tests {
         .unwrap();
         assert!(out.contains("model card: 1 rules"));
         assert!(out.contains("GE_1"));
+    }
+
+    #[test]
+    fn convert_then_columnar_mine_matches_csv_mine() {
+        let dir = workdir();
+        let csv = dir.join("col.csv");
+        let rrcb = dir.join("col.rrcb");
+        let model_csv = dir.join("col_model_csv.json");
+        let model_col = dir.join("col_model_col.json");
+        write_linear_csv(&csv);
+
+        let out = run(&args(&[
+            "convert",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            rrcb.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("converted 60 rows x 3 cols"), "{out}");
+
+        run(&args(&[
+            "mine",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            model_csv.to_str().unwrap(),
+            "--k",
+            "1",
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "mine",
+            "--columnar",
+            "--input",
+            rrcb.to_str().unwrap(),
+            "--output",
+            model_col.to_str().unwrap(),
+            "--k",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("mined 1 rules"), "{out}");
+
+        // Same covariance bits -> same eigenpairs -> identical documents,
+        // modulo the CSV run's header labels (RRCB carries none).
+        let a = ratio_rules::model_json::rules_from_str(
+            &std::fs::read_to_string(&model_csv).unwrap(),
+        )
+        .unwrap();
+        let b = ratio_rules::model_json::rules_from_str(
+            &std::fs::read_to_string(&model_col).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(a.k(), b.k());
+        for (ra, rb) in a.rules().iter().zip(b.rules()) {
+            assert_eq!(ra.eigenvalue.to_bits(), rb.eigenvalue.to_bits());
+            for (u, v) in ra.loadings.iter().zip(&rb.loadings) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_mine_rejects_csv_only_flags() {
+        let dir = workdir();
+        let csv = dir.join("rej.csv");
+        let rrcb = dir.join("rej.rrcb");
+        write_linear_csv(&csv);
+        run(&args(&[
+            "convert",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            rrcb.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for extra in [
+            &["--fault-rate", "0.1"][..],
+            &["--retries", "2"],
+            &["--no-header"],
+        ] {
+            let mut cmd = vec![
+                "mine",
+                "--columnar",
+                "--input",
+                rrcb.to_str().unwrap(),
+                "--output",
+                "/dev/null",
+            ];
+            cmd.extend_from_slice(extra);
+            let err = run(&args(&cmd)).unwrap_err();
+            assert!(
+                err.to_string().contains(extra[0].trim_start_matches("--")),
+                "{err}"
+            );
+        }
+        // convert rejects unknown flags like every other command.
+        assert!(run(&args(&["convert", "--input", "x", "--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn columnar_mine_checkpoints_and_resumes() {
+        let dir = workdir();
+        let csv = dir.join("ck.csv");
+        let rrcb = dir.join("ck.rrcb");
+        let ckpt = dir.join("ck.json");
+        let model = dir.join("ck_model.json");
+        write_linear_csv(&csv);
+        run(&args(&[
+            "convert",
+            "--input",
+            csv.to_str().unwrap(),
+            "--output",
+            rrcb.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "mine",
+            "--columnar",
+            "--input",
+            rrcb.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--max-bad-rows",
+            "5",
+        ]))
+        .unwrap();
+        // The checkpoint consumed all 60 rows; resuming over the same
+        // file is a no-op scan that still mines the full model.
+        let out = run(&args(&[
+            "mine",
+            "--columnar",
+            "--input",
+            rrcb.to_str().unwrap(),
+            "--output",
+            model.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--max-bad-rows",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("resumed from checkpoint at row 60"), "{out}");
+        assert!(out.contains("60 rows absorbed"), "{out}");
     }
 
     #[test]

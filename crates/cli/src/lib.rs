@@ -115,7 +115,8 @@ USAGE:
     ratio-rules <COMMAND> [OPTIONS]
 
 COMMANDS:
-    mine        mine a model from a CSV file
+    mine        mine a model from a CSV file (or an RRCB file via --columnar)
+    convert     convert a CSV file to the RRCB binary block format
     interpret   print the rules of a model as a table and histograms
     fill        fill missing values ('?') in a record
     outliers    rank the rows of a CSV by outlier score

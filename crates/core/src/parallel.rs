@@ -1,13 +1,33 @@
 //! Parallel covariance scan (extension beyond the paper).
 //!
 //! The single-pass accumulator in [`crate::covariance`] is mergeable, so
-//! the one pass parallelizes trivially: shard the rows, scan each shard on
-//! its own thread, merge the partial accumulators. On 1998 hardware the
-//! paper ran serially; on a modern multicore box this is the natural
-//! implementation, and `bench/benches/covariance.rs` quantifies the
-//! speedup. The mining result is *bit-for-bit identical* to the serial
-//! scan up to floating-point reassociation across shard boundaries (the
-//! per-shard sums are exact partial sums, merged once).
+//! the one pass parallelizes trivially: shard the rows into contiguous
+//! ranges, scan each shard on its own thread into a **shard-local**
+//! accumulator, then combine. On 1998 hardware the paper ran serially;
+//! on a modern multicore box this is the natural implementation, and
+//! `bench/benches/covariance.rs` quantifies the speedup.
+//!
+//! # Determinism
+//!
+//! Everything about the combine step is a pure function of
+//! `(n, n_threads)`:
+//!
+//! * the partition is fixed (`chunk = ceil(n / n_threads)` contiguous
+//!   ranges),
+//! * every shard accumulates into its own accumulator (no shared
+//!   `Mutex` absorbing partials in completion order),
+//! * finished shards land in **indexed slots** and are reduced by a
+//!   fixed-shape pairwise tree merge in shard order,
+//! * when several shards fail, the error from the lowest shard index
+//!   wins.
+//!
+//! Thread scheduling therefore cannot influence the result: two runs at
+//! the same thread count are bit-for-bit identical, and both equal a
+//! serial fold of the same partition through the same merge tree
+//! (`sharded_scan_is_deterministic` proves both). Relative to the serial
+//! single-accumulator scan the result differs only by floating-point
+//! reassociation across shard boundaries — the per-shard sums are exact
+//! partial sums, merged once.
 
 use crate::covariance::CovarianceAccumulator;
 use crate::cutoff::Cutoff;
@@ -15,15 +35,24 @@ use crate::miner::RatioRuleMiner;
 use crate::rules::RuleSet;
 use crate::{RatioRuleError, Result};
 use linalg::Matrix;
-use parking_lot::Mutex;
+
+/// One shard's outcome, parked in its indexed slot until the scope ends.
+type ShardSlot = Option<Result<CovarianceAccumulator>>;
 
 /// Generic sharded accumulation: splits `0..n` into `n_threads`
 /// contiguous shards and runs `shard_fn(lo, hi, &mut local)` for each on
-/// its own scoped thread, merging the partial accumulators. Every shard
-/// runs under `catch_unwind`, so a panicking worker surfaces as an
+/// its own scoped thread with a truly shard-local accumulator. Every
+/// shard runs under `catch_unwind`, so a panicking worker surfaces as an
 /// ordinary [`RatioRuleError`] instead of aborting the process — the
-/// other shards finish normally and the first failure (error or panic)
-/// wins. Tests inject panicking shard closures through this entry point.
+/// other shards finish normally. Deterministic by construction: see the
+/// module docs. Tests inject panicking shard closures through this entry
+/// point.
+///
+/// # Errors
+///
+/// [`RatioRuleError::EmptyInput`] for an empty row range or zero
+/// attributes; otherwise the failure (error or contained panic) of the
+/// lowest-indexed failing shard.
 pub fn covariance_sharded<F>(
     n: usize,
     m: usize,
@@ -39,72 +68,118 @@ where
     let n_threads = n_threads.clamp(1, n);
     let chunk = n.div_ceil(n_threads);
 
-    let merged = Mutex::new(CovarianceAccumulator::new(m));
-    let mut first_error: Mutex<Option<RatioRuleError>> = Mutex::new(None);
+    // One slot per shard, written only by that shard's thread; shard
+    // order (not completion order) decides everything downstream.
+    let mut slots: Vec<ShardSlot> = Vec::new();
+    slots.resize_with(n_threads, || None);
 
     crossbeam::scope(|scope| {
-        for t in 0..n_threads {
+        for (t, slot) in slots.iter_mut().enumerate() {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n);
             if lo >= hi {
                 continue;
             }
-            let merged = &merged;
-            let first_error = &first_error;
             let shard_fn = &shard_fn;
             scope.spawn(move |_| {
-                // Keep the *first* reported error: a later shard must not
-                // overwrite an earlier shard's failure under the lock.
-                let report = |e: RatioRuleError| {
-                    first_error.lock().get_or_insert(e);
-                };
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut local = CovarianceAccumulator::new(m);
-                    shard_fn(lo, hi, &mut local).map(|()| local)
-                }));
-                match outcome {
-                    Ok(Ok(local)) => {
-                        if let Err(e) = merged.lock().merge(&local) {
-                            report(e);
-                        }
-                    }
-                    Ok(Err(e)) => report(e),
-                    Err(payload) => {
-                        obs::counter_add("scan_worker_panics_total", 1);
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "opaque panic".into());
-                        report(RatioRuleError::Invalid(format!(
-                            "worker shard {t} (rows {lo}..{hi}) panicked: {msg}"
-                        )));
-                    }
-                }
+                *slot = Some(run_shard(t, lo, hi, m, shard_fn));
             });
         }
     })
     .map_err(|_| RatioRuleError::Invalid("worker thread panicked".into()))?;
 
-    if let Some(e) = first_error.get_mut().take() {
-        return Err(e);
+    // Lowest failing shard index wins, independent of completion order.
+    let mut shards = Vec::with_capacity(n_threads);
+    for outcome in slots.into_iter().flatten() {
+        shards.push(outcome?);
     }
-    Ok(merged.into_inner())
+    tree_merge(shards)
+}
+
+/// Runs one shard body under `catch_unwind`, timing it for the
+/// per-shard throughput gauge.
+fn run_shard<F>(t: usize, lo: usize, hi: usize, m: usize, shard_fn: &F) -> Result<CovarianceAccumulator>
+where
+    F: Fn(usize, usize, &mut CovarianceAccumulator) -> Result<()> + Sync,
+{
+    // rrlint-allow: RR003 per-shard wall time feeds the scan_shard_<i>_rows_per_s gauge; obs spans key on one global name
+    let t0 = obs::enabled().then(std::time::Instant::now);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut local = CovarianceAccumulator::new(m);
+        shard_fn(lo, hi, &mut local).map(|()| local)
+    }));
+    match outcome {
+        Ok(result) => {
+            if let (Some(t0), Ok(_)) = (t0, &result) {
+                let dt = t0.elapsed().as_secs_f64();
+                if dt > 0.0 {
+                    obs::gauge_set(
+                        &obs::names::scan_shard_rows_per_s(t),
+                        (hi - lo) as f64 / dt,
+                    );
+                }
+            }
+            result
+        }
+        Err(payload) => {
+            obs::counter_add(obs::names::SCAN_WORKER_PANICS_TOTAL, 1);
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic".into());
+            Err(RatioRuleError::Invalid(format!(
+                "worker shard {t} (rows {lo}..{hi}) panicked: {msg}"
+            )))
+        }
+    }
+}
+
+/// Fixed-shape pairwise reduction in shard order: `(0+1), (2+3), ...`
+/// per round until one accumulator remains. The merge tree is a pure
+/// function of the shard count, so the reduction is bit-identical across
+/// runs and equal to folding the same shards serially through the same
+/// tree.
+fn tree_merge(mut shards: Vec<CovarianceAccumulator>) -> Result<CovarianceAccumulator> {
+    while shards.len() > 1 {
+        let mut next = Vec::with_capacity(shards.len().div_ceil(2));
+        let mut it = shards.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge(&b)?;
+            }
+            next.push(a);
+        }
+        shards = next;
+    }
+    shards.pop().ok_or(RatioRuleError::EmptyInput)
 }
 
 /// Builds the covariance accumulator for `x` using `n_threads` crossbeam
-/// scoped threads over row shards.
+/// scoped threads over row shards. Each shard feeds its contiguous
+/// row-major slice to the blocked kernel via
+/// [`CovarianceAccumulator::push_block`], so full panels fold zero-copy
+/// straight from the matrix storage.
+///
+/// # Errors
+///
+/// [`RatioRuleError::EmptyInput`] for an empty matrix; any shard failure
+/// otherwise (lowest shard index wins).
 pub fn covariance_parallel(x: &Matrix, n_threads: usize) -> Result<CovarianceAccumulator> {
-    covariance_sharded(x.rows(), x.cols(), n_threads, |lo, hi, local| {
-        for i in lo..hi {
-            local.push_row(x.row(i))?;
-        }
-        Ok(())
+    let m = x.cols();
+    let data = x.data();
+    covariance_sharded(x.rows(), m, n_threads, |lo, hi, local| {
+        local.push_block(&data[lo * m..hi * m], hi - lo)
     })
 }
 
 /// Mines a rule set using the parallel covariance scan, then the usual
 /// eigensolve + cutoff.
+///
+/// # Errors
+///
+/// Anything [`covariance_parallel`] or the eigensolver ladder can
+/// return.
 pub fn fit_parallel(x: &Matrix, cutoff: Cutoff, n_threads: usize) -> Result<RuleSet> {
     let acc = covariance_parallel(x, n_threads)?;
     RatioRuleMiner::new(cutoff).finish(&acc)
@@ -119,6 +194,18 @@ mod tests {
             let t = i as f64;
             (t * [3.0, 2.0, 1.0, 0.5, 0.1][j]).sin() * 10.0 + t * 0.01 * (j as f64 + 1.0)
         })
+    }
+
+    fn assert_parts_bits_eq(a: &CovarianceAccumulator, b: &CovarianceAccumulator) {
+        let (n1, c1, u1) = a.parts();
+        let (n2, c2, u2) = b.parts();
+        assert_eq!(n1, n2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert_eq!(x.to_bits(), y.to_bits(), "col_sums diverge");
+        }
+        for (x, y) in u1.iter().zip(&u2) {
+            assert_eq!(x.to_bits(), y.to_bits(), "raw_upper diverge");
+        }
     }
 
     #[test]
@@ -141,6 +228,40 @@ mod tests {
             for (a, b) in m_serial.iter().zip(&m_par) {
                 assert!((a - b).abs() < 1e-10);
             }
+        }
+    }
+
+    /// Satellite regression: the same sharded scan run twice at the same
+    /// thread count is bit-for-bit identical, and equals a *serial* fold
+    /// of the same partition through the same merge tree — thread
+    /// scheduling has no influence on the result.
+    #[test]
+    fn sharded_scan_is_deterministic() {
+        let x = data();
+        let (n, m) = (x.rows(), x.cols());
+        for threads in [2usize, 3, 5, 8] {
+            let run1 = covariance_parallel(&x, threads).unwrap();
+            let run2 = covariance_parallel(&x, threads).unwrap();
+            assert_parts_bits_eq(&run1, &run2);
+
+            // Reproduce the partition and merge tree without threads.
+            let clamped = threads.clamp(1, n);
+            let chunk = n.div_ceil(clamped);
+            let mut shards = Vec::new();
+            for t in 0..clamped {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let mut local = CovarianceAccumulator::new(m);
+                local
+                    .push_block(&x.data()[lo * m..hi * m], hi - lo)
+                    .unwrap();
+                shards.push(local);
+            }
+            let serial_tree = tree_merge(shards).unwrap();
+            assert_parts_bits_eq(&run1, &serial_tree);
         }
     }
 
@@ -215,7 +336,7 @@ mod tests {
     fn poisoned_row_surfaces_exactly_one_error() {
         // Poison one row in *every* shard so several workers fail
         // concurrently: the scan must still return a single, coherent
-        // error (the first one reported wins; none is overwritten).
+        // error — the lowest-indexed shard's failure, every time.
         let n = 64;
         let threads = 8;
         let x = Matrix::from_fn(n, 3, |i, j| {
@@ -232,6 +353,27 @@ mod tests {
                 msg.contains("non-finite") && msg.contains("column 1"),
                 "threads={t}: unexpected error {msg}"
             );
+        }
+    }
+
+    #[test]
+    fn failing_shard_error_is_from_lowest_index() {
+        // Shards 1 and 3 both fail; shard 1's error must win regardless
+        // of which thread finishes first.
+        let x = data();
+        for _ in 0..4 {
+            let err = covariance_sharded(x.rows(), x.cols(), 4, |lo, hi, local| {
+                let shard = lo / x.rows().div_ceil(4);
+                if shard == 1 || shard == 3 {
+                    return Err(RatioRuleError::Invalid(format!("shard {shard} failed")));
+                }
+                for i in lo..hi {
+                    local.push_row(x.row(i))?;
+                }
+                Ok(())
+            })
+            .unwrap_err();
+            assert_eq!(err.to_string(), "invalid argument: shard 1 failed");
         }
     }
 }

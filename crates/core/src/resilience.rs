@@ -29,6 +29,7 @@ use crate::miner::RatioRuleMiner;
 use crate::predictor::{ColAvgs, Predictor};
 use crate::rules::{RatioRule, RuleSet};
 use crate::{RatioRuleError, Result};
+use dataset::columnar::ColumnarBlockSource;
 use dataset::source::RowSource;
 use dataset::DatasetError;
 use linalg::Matrix;
@@ -246,6 +247,7 @@ impl Scanner {
         // instrumented", not "no faults").
         obs::counter_add("scan_rows_quarantined_total", 0);
         obs::counter_add("scan_transient_retries_total", 0);
+        obs::gauge_set(obs::names::COVARIANCE_BLOCK_ROWS, self.acc.block_rows() as f64);
         source.rewind()?;
         self.skip_consumed_prefix(source)?;
         let mut buf = vec![0.0_f64; self.acc.n_cols()];
@@ -311,6 +313,94 @@ impl Scanner {
             let secs = start.elapsed().as_secs_f64();
             if secs > 0.0 {
                 obs::gauge_set("covariance_rows_per_s", rows as f64 / secs);
+                obs::gauge_set(obs::names::SCAN_SHARD_0_ROWS_PER_S, rows as f64 / secs);
+            }
+        }
+        Ok(&self.report)
+    }
+
+    /// Scans an `RRCB` block file to completion under the policy,
+    /// feeding whole panels to the blocked covariance kernel via
+    /// [`CovarianceAccumulator::push_block`]. Quarantine accounting runs
+    /// at **block granularity**: a clean block is absorbed and counted
+    /// in one step, and only a rejected block is replayed row by row for
+    /// exact per-row attribution — the result is bit-identical to the
+    /// row-at-a-time scan either way. Resume seeks straight to the
+    /// consumed prefix (fixed-width records make that O(1)).
+    ///
+    /// Unlike [`Scanner::scan`], source I/O errors are fatal under both
+    /// policies: the file's length was validated at open, so a short
+    /// read means the file changed underneath the scan.
+    ///
+    /// # Errors
+    ///
+    /// Strict mode returns the first rejected cell; quarantine mode
+    /// fails only on an exhausted budget, an I/O error, or a checkpoint
+    /// that consumed more rows than the file holds.
+    pub fn scan_columnar(&mut self, source: &mut ColumnarBlockSource) -> Result<&ScanReport> {
+        let _span = obs::Span::enter("covariance_scan");
+        // rrlint-allow: RR003 wall clock feeds obs throughput gauges only, never results
+        let start = obs::enabled().then(std::time::Instant::now);
+        obs::counter_add("scan_rows_quarantined_total", 0);
+        obs::gauge_set(obs::names::COVARIANCE_BLOCK_ROWS, self.acc.block_rows() as f64);
+        if self.rows_consumed > source.n_rows() {
+            return Err(RatioRuleError::Invalid(format!(
+                "cannot resume: block file has {} rows but the checkpoint consumed {}",
+                source.n_rows(),
+                self.rows_consumed
+            )));
+        }
+        source.seek_row(self.rows_consumed)?;
+        let m = self.acc.n_cols();
+        let block_rows = self.acc.block_rows();
+        let mut buf = Vec::new();
+        let mut rows = 0u64;
+        loop {
+            let got = source.read_block(&mut buf, block_rows)?;
+            if got == 0 {
+                break;
+            }
+            match self.acc.push_block(&buf, got) {
+                Ok(()) => {
+                    self.rows_consumed += got;
+                    self.report.rows_absorbed += got;
+                    rows += got as u64;
+                }
+                Err(e) => match self.policy {
+                    ScanPolicy::Strict => return Err(e),
+                    ScanPolicy::Quarantine { .. } => {
+                        // Per-row attribution: replay the rejected block
+                        // one row at a time so the report names exactly
+                        // the bad rows, and the good ones still land.
+                        for r in 0..got {
+                            let position = self.rows_consumed;
+                            self.rows_consumed += 1;
+                            match self.acc.push_row(&buf[r * m..(r + 1) * m]) {
+                                Ok(()) => {
+                                    self.report.rows_absorbed += 1;
+                                    rows += 1;
+                                }
+                                Err(row_err) => {
+                                    self.report.record(
+                                        position,
+                                        QuarantineReason::CorruptCell,
+                                        row_err.to_string(),
+                                    );
+                                    self.check_row_budget()?;
+                                }
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        self.check_fraction_budget()?;
+        if let Some(start) = start {
+            obs::counter_add("covariance_rows_scanned_total", rows);
+            let secs = start.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                obs::gauge_set("covariance_rows_per_s", rows as f64 / secs);
+                obs::gauge_set(obs::names::SCAN_SHARD_0_ROWS_PER_S, rows as f64 / secs);
             }
         }
         Ok(&self.report)
@@ -429,6 +519,8 @@ impl ScanCheckpoint {
     }
 
     fn capture(acc: &CovarianceAccumulator, rows_consumed: usize, report: &ScanReport) -> Self {
+        // parts() folds any buffered panel rows into the returned copies,
+        // so a checkpoint taken mid-panel is complete.
         let (n, col_sums, raw_upper) = acc.parts();
         ScanCheckpoint {
             m: acc.n_cols(),
@@ -436,8 +528,8 @@ impl ScanCheckpoint {
             rows_consumed,
             rows_quarantined: report.rows_quarantined,
             by_reason: report.by_reason,
-            col_sums: col_sums.to_vec(),
-            raw_upper: raw_upper.to_vec(),
+            col_sums,
+            raw_upper,
         }
     }
 
@@ -1010,6 +1102,31 @@ pub fn mine_resilient<S: RowSource>(
     Ok((model, scan_report, degradation))
 }
 
+/// Convenience: the columnar twin of [`mine_resilient`] — quarantine
+/// scan over an `RRCB` block file (block-granularity accounting, blocked
+/// kernel) then the degradation ladder.
+///
+/// # Errors
+///
+/// Anything [`Scanner::scan_columnar`] or the degradation ladder can
+/// return.
+pub fn mine_resilient_columnar(
+    source: &mut ColumnarBlockSource,
+    cutoff: Cutoff,
+    policy: ScanPolicy,
+    labels: Option<Vec<String>>,
+) -> Result<(ServedModel, ScanReport, DegradationReport)> {
+    let mut scanner = Scanner::new(source.n_cols(), policy);
+    scanner.scan_columnar(source)?;
+    let (acc, scan_report) = scanner.into_parts();
+    let mut miner = ResilientMiner::new(cutoff);
+    if let Some(labels) = labels {
+        miner = miner.with_labels(labels);
+    }
+    let (model, degradation) = miner.finish(&acc)?;
+    Ok((model, scan_report, degradation))
+}
+
 /// Strict single-pass scan used by [`RatioRuleMiner::fit`] — kept here
 /// so the policy-aware machinery and the historical hot loop live side
 /// by side. Equivalent to `Scanner::new(m, Strict).scan(source)` but
@@ -1022,6 +1139,7 @@ pub(crate) fn scan_strict<S: RowSource>(source: &mut S) -> Result<CovarianceAccu
     let _span = obs::Span::enter("covariance_scan");
     // rrlint-allow: RR003 wall clock feeds obs throughput gauges only, never results
     let start = obs::enabled().then(std::time::Instant::now);
+    obs::gauge_set(obs::names::COVARIANCE_BLOCK_ROWS, acc.block_rows() as f64);
     let mut rows = 0u64;
     while source.next_row(&mut buf)? {
         acc.push_row(&buf)?;
@@ -1032,6 +1150,7 @@ pub(crate) fn scan_strict<S: RowSource>(source: &mut S) -> Result<CovarianceAccu
         let secs = start.elapsed().as_secs_f64();
         if secs > 0.0 {
             obs::gauge_set("covariance_rows_per_s", rows as f64 / secs);
+            obs::gauge_set(obs::names::SCAN_SHARD_0_ROWS_PER_S, rows as f64 / secs);
         }
     }
     Ok(acc)
@@ -1544,5 +1663,164 @@ mod tests {
                 >= 1
         );
         assert!(snap.counter("faults_injected_corrupt_total").unwrap() >= 1);
+    }
+
+    fn block_file(name: &str, x: &Matrix) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rr_resilience_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        dataset::columnar::write_block_file(&path, x.cols(), x.rows(), x.data()).unwrap();
+        path
+    }
+
+    #[test]
+    fn columnar_scan_matches_row_scan_bitwise() {
+        let x = data(137, 5);
+        let path = block_file("clean.rrcb", &x);
+        let (row_acc, _) = scan_matrix(&x, ScanPolicy::Strict);
+        for policy in [ScanPolicy::Strict, ScanPolicy::quarantine_unlimited()] {
+            let mut src = ColumnarBlockSource::open(&path).unwrap();
+            let mut scanner = Scanner::new(5, policy);
+            scanner.scan_columnar(&mut src).unwrap();
+            let (acc, report) = scanner.into_parts();
+            assert_eq!(report.rows_absorbed, 137);
+            assert_eq!(report.rows_quarantined, 0);
+            let (n1, s1, r1) = acc.parts();
+            let (n2, s2, r2) = row_acc.parts();
+            assert_eq!(n1, n2);
+            assert_eq!(s1, s2, "column sums must be bit-identical");
+            assert_eq!(r1, r2, "moment matrix must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn columnar_quarantine_attributes_exact_rows() {
+        // Poison two rows in different panels; the block file stores
+        // them verbatim (the container is format-agnostic), so the scan
+        // policy is what catches them.
+        let mut x = data(150, 4);
+        let bad = [5usize, 67, 149];
+        for &r in &bad {
+            x.data_mut()[r * 4 + 2] = f64::NAN;
+        }
+        let path = block_file("poisoned.rrcb", &x);
+        let mut src = ColumnarBlockSource::open(&path).unwrap();
+        let mut scanner = Scanner::new(4, ScanPolicy::quarantine_unlimited());
+        let report = scanner.scan_columnar(&mut src).unwrap().clone();
+        assert_eq!(report.rows_absorbed, 147);
+        assert_eq!(report.rows_quarantined, 3);
+        assert_eq!(report.by_reason, (3, 0, 0));
+        let positions: Vec<usize> = report.details.iter().map(|d| d.position).collect();
+        assert_eq!(positions, bad, "per-row attribution inside rejected blocks");
+        for d in &report.details {
+            assert!(d.detail.contains("non-finite"), "{}", d.detail);
+        }
+        // Bit-identical to pushing only the clean rows.
+        let (acc, _) = scanner.into_parts();
+        let mut reference = CovarianceAccumulator::new(4);
+        for r in 0..150 {
+            if !bad.contains(&r) {
+                reference.push_row(x.row(r)).unwrap();
+            }
+        }
+        let (n1, s1, r1) = acc.parts();
+        let (n2, s2, r2) = reference.parts();
+        assert_eq!(n1, n2);
+        assert_eq!(s1, s2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn columnar_strict_aborts_on_corrupt_block() {
+        let mut x = data(40, 3);
+        x.data_mut()[10 * 3 + 1] = f64::INFINITY;
+        let path = block_file("strict.rrcb", &x);
+        let mut src = ColumnarBlockSource::open(&path).unwrap();
+        let mut scanner = Scanner::new(3, ScanPolicy::Strict);
+        let err = scanner.scan_columnar(&mut src).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn columnar_checkpoint_resume_equals_uninterrupted() {
+        let x = data(200, 4);
+        let full = block_file("resume_full.rrcb", &x);
+        // First half as its own file: the "process died here" prefix.
+        let k = 83; // mid-panel on purpose
+        let head = Matrix::from_fn(k, 4, |i, j| x.row(i)[j]);
+        let head_path = block_file("resume_head.rrcb", &head);
+
+        let mut first = Scanner::new(4, ScanPolicy::quarantine_unlimited());
+        let mut head_src = ColumnarBlockSource::open(&head_path).unwrap();
+        first.scan_columnar(&mut head_src).unwrap();
+        let ckpt = first.checkpoint();
+        assert_eq!(ckpt.rows_consumed, k);
+
+        let mut resumed = Scanner::resume(&ckpt, ScanPolicy::quarantine_unlimited()).unwrap();
+        let mut full_src = ColumnarBlockSource::open(&full).unwrap();
+        let report = resumed.scan_columnar(&mut full_src).unwrap();
+        assert_eq!(report.resumed_from, k);
+        assert_eq!(report.rows_absorbed, 200);
+        let (acc, _) = resumed.into_parts();
+
+        let mut uninterrupted = Scanner::new(4, ScanPolicy::quarantine_unlimited());
+        let mut src = ColumnarBlockSource::open(&full).unwrap();
+        uninterrupted.scan_columnar(&mut src).unwrap();
+        let (ref_acc, _) = uninterrupted.into_parts();
+
+        let (n1, s1, r1) = acc.parts();
+        let (n2, s2, r2) = ref_acc.parts();
+        assert_eq!(n1, n2);
+        assert_eq!(s1, s2, "resumed column sums must be bit-identical");
+        assert_eq!(r1, r2, "resumed moment matrix must be bit-identical");
+    }
+
+    #[test]
+    fn columnar_resume_rejects_shrunk_file() {
+        let x = data(60, 3);
+        let path = block_file("shrunk.rrcb", &x);
+        let mut scanner = Scanner::new(3, ScanPolicy::Strict);
+        let mut src = ColumnarBlockSource::open(&path).unwrap();
+        scanner.scan_columnar(&mut src).unwrap();
+        let ckpt = scanner.checkpoint();
+
+        let small = Matrix::from_fn(10, 3, |i, j| x.row(i)[j]);
+        let small_path = block_file("shrunk_small.rrcb", &small);
+        let mut resumed = Scanner::resume(&ckpt, ScanPolicy::Strict).unwrap();
+        let mut small_src = ColumnarBlockSource::open(&small_path).unwrap();
+        let err = resumed.scan_columnar(&mut small_src).unwrap_err();
+        assert!(err.to_string().contains("cannot resume"), "{err}");
+    }
+
+    #[test]
+    fn mine_resilient_columnar_equals_row_mining_bitwise() {
+        let x = data(120, 4);
+        let path = block_file("mine.rrcb", &x);
+        let labels: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let mut src = ColumnarBlockSource::open(&path).unwrap();
+        let (model, scan, _) = mine_resilient_columnar(
+            &mut src,
+            Cutoff::default(),
+            ScanPolicy::quarantine_unlimited(),
+            Some(labels.clone()),
+        )
+        .unwrap();
+        assert_eq!(scan.rows_absorbed, 120);
+        let mut rows = MatrixSource::new(&x);
+        let (ref_model, ..) = mine_resilient(
+            &mut rows,
+            Cutoff::default(),
+            ScanPolicy::quarantine_unlimited(),
+            Some(labels),
+        )
+        .unwrap();
+        let (rules, ref_rules) = (model.rules().unwrap(), ref_model.rules().unwrap());
+        assert_eq!(rules.k(), ref_rules.k());
+        for (a, b) in rules.rules().iter().zip(ref_rules.rules()) {
+            assert_eq!(a.eigenvalue.to_bits(), b.eigenvalue.to_bits());
+            for (u, v) in a.loadings.iter().zip(&b.loadings) {
+                assert_eq!(u.to_bits(), v.to_bits(), "loadings must be bit-identical");
+            }
+        }
     }
 }

@@ -11,6 +11,9 @@
 //! * [`source`] — the [`source::RowSource`] streaming abstraction: the
 //!   paper's algorithm reads the matrix one row at a time from disk, and
 //!   this trait models exactly that access pattern.
+//! * [`columnar`] — the `RRCB` binary block format: CSV converted once,
+//!   then scanned as raw row-major `f64` blocks sized for the core
+//!   crate's blocked covariance kernel.
 //! * [`fault`] — deterministic, seeded fault injection over any row
 //!   source (transient errors, corrupt cells, arity mismatches,
 //!   truncation) for chaos-testing the single-pass scan.
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod categorical;
+pub mod columnar;
 pub mod csv;
 pub mod data_matrix;
 pub mod error;

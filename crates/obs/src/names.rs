@@ -34,6 +34,8 @@ pub const SCAN_BUDGET_EXHAUSTED_TOTAL: &str = "scan_budget_exhausted_total";
 pub const SCAN_TRANSIENT_RETRIES_TOTAL: &str = "scan_transient_retries_total";
 /// Worker panics contained by the parallel scan's catch_unwind.
 pub const SCAN_WORKER_PANICS_TOTAL: &str = "scan_worker_panics_total";
+/// Row panels folded by the blocked covariance kernel (full or partial).
+pub const SCAN_BLOCKS_TOTAL: &str = "scan_blocks_total";
 /// Source reads retried by the dataset retry wrapper.
 pub const SOURCE_RETRIES_TOTAL: &str = "source_retries_total";
 /// Source reads abandoned after the retry budget ran out.
@@ -116,6 +118,11 @@ pub const SVD_SWEEPS: &str = "svd_sweeps";
 pub const SVD_CONDITION: &str = "svd_condition";
 /// Jobs waiting in the prediction server's batch queue.
 pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+/// Panel height (rows per block) of the blocked covariance kernel.
+pub const COVARIANCE_BLOCK_ROWS: &str = "covariance_block_rows";
+/// Shard 0's scan throughput (static expansion of the
+/// `scan_shard_<i>_rows_per_s` family; shard 0 always exists).
+pub const SCAN_SHARD_0_ROWS_PER_S: &str = "scan_shard_0_rows_per_s";
 
 // ---------------------------------------------------------------------
 // Histograms
@@ -123,6 +130,8 @@ pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
 
 /// Distribution of per-shard GE_h wall times, nanoseconds.
 pub const GE_H_SHARD_NS: &str = "ge_h_shard_ns";
+/// Distribution of blocked-kernel panel-fold wall times, nanoseconds.
+pub const SCAN_FLUSH_NS: &str = "scan_flush_ns";
 /// Distribution of rows per executed batch (coalescing effectiveness).
 pub const SERVE_BATCH_SIZE: &str = "serve_batch_size";
 /// Distribution of enqueue-to-reply latency per prediction,
@@ -175,6 +184,13 @@ pub fn scan_rows_quarantined(reason: &str) -> String {
     format!("scan_rows_quarantined_{reason}_total")
 }
 
+/// Per-shard covariance-scan throughput gauge name
+/// (`scan_shard_<i>_rows_per_s`).
+#[must_use]
+pub fn scan_shard_rows_per_s(shard: usize) -> String {
+    format!("scan_shard_{shard}_rows_per_s")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +203,8 @@ mod tests {
         );
         assert_eq!(ge_h_shard_rows(3), "ge_h_shard_3_rows");
         assert_eq!(ge_h_shard_ns(0), "ge_h_shard_0_ns");
+        assert_eq!(scan_shard_rows_per_s(0), SCAN_SHARD_0_ROWS_PER_S);
+        assert_eq!(scan_shard_rows_per_s(7), "scan_shard_7_rows_per_s");
     }
 
     #[test]
@@ -199,6 +217,7 @@ mod tests {
             SCAN_BUDGET_EXHAUSTED_TOTAL,
             SCAN_TRANSIENT_RETRIES_TOTAL,
             SCAN_WORKER_PANICS_TOTAL,
+            SCAN_BLOCKS_TOTAL,
             SOURCE_RETRIES_TOTAL,
             SOURCE_RETRY_GIVE_UPS_TOTAL,
             DEGRADED_RESULTS_TOTAL,
@@ -230,7 +249,10 @@ mod tests {
             SERVE_BATCHES_TOTAL,
             SERVE_ROWS_PREDICTED_TOTAL,
             SERVE_QUEUE_DEPTH,
+            COVARIANCE_BLOCK_ROWS,
+            SCAN_SHARD_0_ROWS_PER_S,
             GE_H_SHARD_NS,
+            SCAN_FLUSH_NS,
             SERVE_BATCH_SIZE,
             SERVE_LATENCY_US,
             SPAN_COVARIANCE_SCAN,

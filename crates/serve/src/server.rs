@@ -128,6 +128,14 @@ impl Server {
     pub fn start(cfg: ServerConfig, model: ServeModel) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        // Seed the scan-side gauges so /metrics always carries them, even
+        // in a fresh serve process that mined nothing in-process; an
+        // in-process mine (profile, tests) overwrites them with real
+        // values through the same registry.
+        obs::gauge_set(
+            obs::names::COVARIANCE_BLOCK_ROWS,
+            ratio_rules::covariance::DEFAULT_BLOCK_ROWS as f64,
+        );
         let model = Arc::new(model);
         let handler = Arc::new(Handler {
             rules_doc: model.document(),

@@ -48,6 +48,14 @@ cargo test -q -p linalg --features numeric-sanitizer sanitize
 echo "== benches compile (no run) =="
 cargo bench -p bench --no-run
 
+echo "== bench --quick: scan-path divergence smoke =="
+quick_out="$(cargo bench -q -p bench --bench covariance -- --quick)"
+if ! grep -qF "quick bench OK" <<<"$quick_out"; then
+    echo "covariance --quick smoke did not report agreement" >&2
+    echo "$quick_out" >&2
+    exit 1
+fi
+
 echo "== clippy -D warnings (whole workspace) =="
 cargo clippy --workspace -- -D warnings
 

@@ -288,6 +288,118 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The blocked panel kernel is bit-identical to the row-at-a-time
+    /// scan for any block size and any `push_block` segmentation —
+    /// including final partial panels and segments that straddle panel
+    /// boundaries.
+    #[test]
+    fn blocked_scan_equals_rowwise_for_any_segmentation(
+        x in low_rank(70, 5, 2, 0.4),
+        block_rows in 1usize..100,
+        cuts in proptest::collection::vec(0usize..70, 0..6),
+    ) {
+        use ratio_rules::covariance::CovarianceAccumulator;
+
+        let mut rowwise = CovarianceAccumulator::new(5);
+        for row in x.row_iter() {
+            rowwise.push_row(row).unwrap();
+        }
+
+        let mut bounds: Vec<usize> = cuts;
+        bounds.push(0);
+        bounds.push(70);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut blocked = CovarianceAccumulator::with_block_rows(5, block_rows);
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            blocked.push_block(&x.data()[lo * 5..hi * 5], hi - lo).unwrap();
+        }
+
+        let (n1, s1, r1) = rowwise.parts();
+        let (n2, s2, r2) = blocked.parts();
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(s1, s2, "column sums must be bit-identical");
+        prop_assert_eq!(r1, r2, "moment matrix must be bit-identical");
+    }
+
+    /// An `RRCB` round-trip is lossless, and a columnar scan over it is
+    /// bit-identical to scanning the matrix row by row — for any shape
+    /// and any read-block size.
+    #[test]
+    fn columnar_scan_equals_rowwise(
+        x in low_rank(50, 4, 2, 0.5),
+        read_rows in 1usize..80,
+    ) {
+        use dataset::columnar::{write_block_file, ColumnarBlockSource};
+        use ratio_rules::covariance::CovarianceAccumulator;
+
+        let dir = std::env::temp_dir()
+            .join(format!("rr_proptest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("case_{read_rows}.rrcb"));
+        write_block_file(&path, 4, 50, x.data()).unwrap();
+
+        let mut rowwise = CovarianceAccumulator::new(4);
+        for row in x.row_iter() {
+            rowwise.push_row(row).unwrap();
+        }
+
+        let mut src = ColumnarBlockSource::open(&path).unwrap();
+        let mut columnar = CovarianceAccumulator::new(4);
+        let mut buf = Vec::new();
+        loop {
+            let got = src.read_block(&mut buf, read_rows).unwrap();
+            if got == 0 {
+                break;
+            }
+            columnar.push_block(&buf, got).unwrap();
+        }
+
+        let (n1, s1, r1) = rowwise.parts();
+        let (n2, s2, r2) = columnar.parts();
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(s1, s2, "column sums must survive the RRCB round-trip");
+        prop_assert_eq!(r1, r2, "moments must survive the RRCB round-trip");
+    }
+
+    /// A checkpoint taken after any prefix of rows — including mid-panel,
+    /// with rows still buffered — restores to an accumulator that finishes
+    /// bit-identically to the uninterrupted scan.
+    #[test]
+    fn mid_panel_checkpoint_restores_bitwise(
+        x in low_rank(40, 4, 2, 0.3),
+        block_rows in 1usize..50,
+        cut in 1usize..39,
+    ) {
+        use ratio_rules::covariance::CovarianceAccumulator;
+
+        let mut whole = CovarianceAccumulator::with_block_rows(4, block_rows);
+        for row in x.row_iter() {
+            whole.push_row(row).unwrap();
+        }
+
+        let mut first = CovarianceAccumulator::with_block_rows(4, block_rows);
+        for i in 0..cut {
+            first.push_row(x.row(i)).unwrap();
+        }
+        let (n, sums, upper) = first.parts();
+        let mut resumed = CovarianceAccumulator::from_parts(4, n, sums, upper).unwrap();
+        for i in cut..40 {
+            resumed.push_row(x.row(i)).unwrap();
+        }
+
+        let (n1, s1, r1) = whole.parts();
+        let (n2, s2, r2) = resumed.parts();
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(s1, s2, "column sums must survive the checkpoint");
+        prop_assert_eq!(r1, r2, "moments must survive the checkpoint");
+    }
+}
+
 /// Strategy: a nonnegative spectrum sorted in descending order, as
 /// produced by the eigensolver.
 fn spectrum(max_len: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -248,6 +248,11 @@ fn metrics_endpoint_exposes_registered_serve_names() {
         obs::names::SERVE_BATCH_SIZE,
         obs::names::SERVE_LATENCY_US,
         obs::names::SERVE_QUEUE_DEPTH,
+        // Scan-side gauges: the in-process mine that built this model
+        // published the real values; Server::start seeds the block-size
+        // gauge regardless, so a fresh serve process carries it too.
+        obs::names::COVARIANCE_BLOCK_ROWS,
+        obs::names::SCAN_SHARD_0_ROWS_PER_S,
     ] {
         assert!(metrics.contains(name), "/metrics missing {name}");
     }
