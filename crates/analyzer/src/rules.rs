@@ -78,10 +78,11 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "RR004",
         name: "registered-metric-names",
-        summary: "obs metric/span name literals must appear in crates/obs/src/names.rs",
+        summary: "obs metric/span/event name literals must appear in crates/obs/src/names.rs",
         rationale: "Producers and exporters drift silently: a renamed counter stops matching its \
                     dashboard and nobody notices. One checked-in registry makes every name a \
-                    reviewed, greppable constant.",
+                    reviewed, greppable constant. Covers counters/gauges/histograms, quantile \
+                    histograms, spans, and flight-recorder events.",
         bad: "obs::counter_add(\"rows_scaned_total\", 1); // typo ships",
         good: "obs::counter_add(names::COVARIANCE_ROWS_SCANNED, 1);",
     },
@@ -317,13 +318,17 @@ fn rr004_metric_names(
         }
         let nth = |k: usize| code.get(w + k).map(|&j| &ctx.toks[j]);
         // counter_add("..")  gauge_set("..")  observe("..")
-        let free_call = matches!(t.text, "counter_add" | "gauge_set" | "observe");
+        // observe_quantile("..")  flight_event("..")
+        let free_call = matches!(
+            t.text,
+            "counter_add" | "gauge_set" | "observe" | "observe_quantile" | "flight_event"
+        );
         // Span::enter("..")
         let span_enter = t.text == "Span"
             && matches!(nth(1), Some(n) if n.text == "::")
             && matches!(nth(2), Some(n) if n.text == "enter");
-        // .counter("..")  .gauge("..")  .histogram("..")
-        let method_call = matches!(t.text, "counter" | "gauge" | "histogram")
+        // .counter("..")  .gauge("..")  .histogram("..")  .quantile("..")
+        let method_call = matches!(t.text, "counter" | "gauge" | "histogram" | "quantile")
             && w.checked_sub(1)
                 .and_then(|p| code.get(p))
                 .is_some_and(|&j| ctx.toks[j].text == ".");
@@ -693,6 +698,17 @@ mod tests {
         let src = "fn f(reg: &Registry) { let _s = Span::enter(\"rogue_span\"); reg.histogram(\"rogue_hist\", &[1.0]); }\n";
         let fs = findings("crates/core/src/miner.rs", src);
         assert_eq!(rules_of(&fs), vec!["RR004", "RR004"]);
+    }
+
+    #[test]
+    fn rr004_quantile_and_flight_event_forms() {
+        let src = "fn f(reg: &Registry) { obs::observe_quantile(\"rogue_us\", 1.0); \
+                   obs::flight_event(\"rogue_event\", 0, 0, 0.0); \
+                   reg.quantile(\"rogue_q\"); \
+                   obs::flight_event(\"known_total\", 0, 0, 0.0); }\n";
+        let fs = findings("crates/core/src/miner.rs", src);
+        assert_eq!(rules_of(&fs), vec!["RR004", "RR004", "RR004"]);
+        assert!(fs.iter().any(|f| f.message.contains("rogue_event")));
     }
 
     #[test]

@@ -90,7 +90,9 @@ impl BenchReport {
 
     /// Flattens an observability snapshot into the report's `metrics`
     /// section: counters and gauges become one entry each, histograms
-    /// contribute `<name>_count` and `<name>_sum`.
+    /// contribute `<name>_count` and `<name>_sum`, quantile histograms
+    /// contribute `<name>_count`, `<name>_p50`, `<name>_p99`, and
+    /// `<name>_max`.
     pub fn attach_metrics(&mut self, snapshot: &obs::Snapshot) {
         for (name, value) in &snapshot.metrics {
             match value {
@@ -99,6 +101,12 @@ impl BenchReport {
                 obs::MetricValue::Histogram { sum, count, .. } => {
                     self.metrics.push((format!("{name}_count"), *count as f64));
                     self.metrics.push((format!("{name}_sum"), *sum));
+                }
+                obs::MetricValue::Quantile(q) => {
+                    self.metrics.push((format!("{name}_count"), q.count as f64));
+                    self.metrics.push((format!("{name}_p50"), q.quantile(0.5)));
+                    self.metrics.push((format!("{name}_p99"), q.quantile(0.99)));
+                    self.metrics.push((format!("{name}_max"), q.max));
                 }
             }
         }

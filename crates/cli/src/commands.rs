@@ -27,7 +27,7 @@ use ratio_rules::visualize::project_2d;
 /// unknown. Keeping the sets explicit means a value flag added later
 /// (like `--metrics-out`) can never be mis-parsed as a switch.
 const COMMAND_SWITCHES: &[(&str, &[&str])] = &[
-    ("mine", &["no-header", "degrade", "columnar"]),
+    ("mine", &["no-header", "degrade", "columnar", "flight"]),
     ("convert", &["no-header"]),
     ("interpret", &[]),
     ("fill", &[]),
@@ -37,8 +37,9 @@ const COMMAND_SWITCHES: &[(&str, &[&str])] = &[
     ("impute", &["no-header"]),
     ("whatif", &[]),
     ("card", &["no-header"]),
-    ("profile", &["no-header"]),
+    ("profile", &["no-header", "flight"]),
     ("serve", &[]),
+    ("serve-bench", &["quick"]),
 ];
 
 /// Switch set for a command; `None` means the command doesn't exist.
@@ -208,7 +209,9 @@ fn mine_streaming<S: RowSource>(
     // run still leaves a valid cursor to resume from after the data is
     // repaired.
     if let Some(cp_path) = opts.get("checkpoint") {
-        std::fs::write(cp_path, scanner.checkpoint().to_json())?;
+        let cp = scanner.checkpoint();
+        obs::flight_event(obs::names::EVENT_CHECKPOINT_WRITTEN, cp.n as u64, 0, 0.0);
+        std::fs::write(cp_path, cp.to_json())?;
     }
     scan_outcome?;
     let (acc, report) = scanner.into_parts();
@@ -319,6 +322,7 @@ mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [
             "checkpoint",
             "resume",
             "ladder",
+            "flight",
             "help",
         ],
     )?;
@@ -409,7 +413,9 @@ fn mine_columnar(opts: &Options) -> Result<String> {
     };
     let scan_outcome = scanner.scan_columnar(&mut src).map(|_| ());
     if let Some(cp_path) = opts.get("checkpoint") {
-        std::fs::write(cp_path, scanner.checkpoint().to_json())?;
+        let cp = scanner.checkpoint();
+        obs::flight_event(obs::names::EVENT_CHECKPOINT_WRITTEN, cp.n as u64, 0, 0.0);
+        std::fs::write(cp_path, cp.to_json())?;
     }
     scan_outcome?;
     let (acc, report) = scanner.into_parts();
@@ -774,6 +780,7 @@ profile [--input <csv>] [--rows 400] [--holes H] [--threads T] [--k N | --energy
             "no-header",
             "fault-rate",
             "fault-seed",
+            "flight",
             "help",
         ],
     )?;
@@ -855,7 +862,8 @@ pub fn serve_cmd(opts: &Options) -> Result<String> {
         return Ok("\
 serve --model <model.json> [--port N] [--threads N] [--max-batch N]
       [--batch-window-us N] [--max-queue N] [--deadline-ms N]
-      endpoints: POST /predict, POST /whatif, GET /rules, GET /healthz, GET /metrics\n"
+      endpoints: POST /predict, POST /whatif, GET /rules, GET /healthz, GET /metrics,
+                 GET /debug/trace[?id=<hex>], GET /debug/flightrecorder\n"
             .into());
     }
     allow_with_obs(
@@ -892,8 +900,10 @@ serve --model <model.json> [--port N] [--threads N] [--max-batch N]
     };
     // The /metrics endpoint scrapes the global registry; collection must
     // be on for the server's whole lifetime (run()'s per-invocation obs
-    // lifecycle only covers commands that return).
+    // lifecycle only covers commands that return). The flight recorder
+    // feeds /debug/flightrecorder, the trace store /debug/trace.
     obs::set_enabled(true);
+    obs::set_flight_enabled(true);
     let degraded = model.is_degraded();
     let server = serve::Server::start(cfg, model).map_err(CliError::new)?;
     // Printed (not returned) because the command blocks from here on.
@@ -910,6 +920,177 @@ serve --model <model.json> [--port N] [--threads N] [--max-batch N]
     }
 }
 
+/// Renders a [`serve::LoadReport`] in the `BENCH_*.json` trajectory
+/// shape (`bench`/`results`/`derived`/`metrics`), so `BENCH_serve.json`
+/// sits next to `BENCH_covariance.json` and is checkable with the same
+/// `jq` one-liners.
+fn serve_bench_json(report: &serve::LoadReport) -> String {
+    use obs::json::JsonValue;
+    let result = JsonValue::Obj(vec![
+        ("name".into(), JsonValue::Str("predict_request".into())),
+        (
+            "median_ns_per_op".into(),
+            JsonValue::Num(report.p50_us * 1e3),
+        ),
+        ("rows_per_s".into(), JsonValue::Num(report.req_per_s)),
+        ("samples".into(), JsonValue::Num(report.ok as f64)),
+    ]);
+    let derived: Vec<JsonValue> = [
+        ("req_per_s", report.req_per_s),
+        ("p50_us", report.p50_us),
+        ("p90_us", report.p90_us),
+        ("p99_us", report.p99_us),
+        ("p999_us", report.p999_us),
+        ("max_us", report.max_us),
+        ("rows_checked", report.rows_checked as f64),
+        ("mismatches", report.mismatches as f64),
+        ("errors", report.errors as f64),
+    ]
+    .iter()
+    .map(|(name, value)| {
+        JsonValue::Obj(vec![
+            ("name".into(), JsonValue::Str((*name).into())),
+            ("value".into(), JsonValue::Num(*value)),
+        ])
+    })
+    .collect();
+    JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str("serve".into())),
+        ("results".into(), JsonValue::Arr(vec![result])),
+        ("derived".into(), JsonValue::Arr(derived)),
+        ("metrics".into(), JsonValue::Arr(vec![])),
+    ])
+    .write(true)
+}
+
+/// `ratio-rules serve-bench [--rows N] [--k N | --energy F] [--requests N]
+/// [--concurrency C] [--threads T] [--max-batch N] [--batch-window-us N]
+/// [--bench-out FILE] [--trace-out FILE] [--quick]`
+///
+/// Self-contained load test: mines a synthetic model, starts an
+/// in-process server on an ephemeral port with tracing and the flight
+/// recorder on, drives it with the [`serve::loadgen`] client, and checks
+/// every served row bit for bit against single-shot fills. The full run
+/// writes `BENCH_serve.json` (trajectory shape); emission is gated on
+/// that divergence check — a run with mismatches errors instead of
+/// persisting. `--quick` is the smoke variant: small load, nothing
+/// written.
+///
+/// # Errors
+/// Fails on unknown flags, bad numeric values, a bind failure, any
+/// served-vs-single-shot mismatch, or transport errors on every request.
+pub fn serve_bench(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok("\
+serve-bench [--rows 400] [--k N | --energy F] [--requests 200] [--concurrency 4]
+            [--threads 4] [--max-batch N] [--batch-window-us N]
+            [--bench-out FILE] [--trace-out FILE] [--quick]
+            load-tests an in-process server; full runs write BENCH_serve.json\n"
+            .into());
+    }
+    allow_with_obs(
+        opts,
+        &[
+            "rows",
+            "k",
+            "energy",
+            "requests",
+            "concurrency",
+            "threads",
+            "max-batch",
+            "batch-window-us",
+            "bench-out",
+            "trace-out",
+            "quick",
+            "help",
+        ],
+    )?;
+    let quick = opts.switch("quick");
+    let data = synthetic_data(opts.get_parsed("rows", 400)?)?;
+    let rules = RatioRuleMiner::new(parse_cutoff(opts)?).fit_data(&data)?;
+    let m = rules.n_attributes();
+
+    // The whole point is measuring the *instrumented* server: tracing,
+    // quantiles, and the flight recorder all on while answers are
+    // checked bit for bit against single-shot fills.
+    obs::set_enabled(true);
+    obs::set_flight_enabled(true);
+    let defaults = serve::BatchConfig::default();
+    let cfg = serve::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: opts.get_parsed("threads", 4)?,
+        batch: serve::BatchConfig {
+            max_batch: opts.get_parsed("max-batch", defaults.max_batch)?,
+            batch_window: std::time::Duration::from_micros(
+                opts.get_parsed("batch-window-us", 500u64)?,
+            ),
+            ..defaults
+        },
+        ..serve::ServerConfig::default()
+    };
+    let model = serve::ServeModel::from_served(ServedModel::Rules(rules.clone()));
+    let server = serve::Server::start(cfg, model).map_err(CliError::new)?;
+    let addr = server.addr();
+
+    let load = serve::LoadgenConfig {
+        requests: opts.get_parsed("requests", if quick { 40 } else { 200 })?,
+        concurrency: opts.get_parsed("concurrency", 4)?,
+        ..serve::LoadgenConfig::default()
+    };
+    let report = serve::run_load(addr, m, Some(&rules), &load);
+    server.shutdown();
+
+    if let Some(path) = opts.get("trace-out") {
+        let traces = obs::trace::take_traces();
+        std::fs::write(path, obs::chrome_trace_doc(&traces))?;
+    }
+    if report.ok == 0 {
+        return Err(CliError::new(format!(
+            "serve-bench: no request succeeded ({} errors)",
+            report.errors
+        )));
+    }
+    if report.mismatches > 0 {
+        return Err(CliError::new(format!(
+            "serve-bench: {} of {} rows diverged from single-shot fills; \
+             refusing to write BENCH_serve.json",
+            report.mismatches, report.rows_checked
+        )));
+    }
+
+    let mut out = format!(
+        "serve-bench: {} requests ({} ok, {} errors) in {:.2}s = {:.0} req/s\n\
+         latency us: p50 {:.0}, p90 {:.0}, p99 {:.0}, p999 {:.0}, max {:.0}\n\
+         oracle: {} rows bit-identical to single-shot fills\n",
+        report.requests,
+        report.ok,
+        report.errors,
+        report.wall_s,
+        report.req_per_s,
+        report.p50_us,
+        report.p90_us,
+        report.p99_us,
+        report.p999_us,
+        report.max_us,
+        report.rows_checked,
+    );
+    if quick {
+        // Printed, never persisted: --quick must not churn the trajectory.
+        out.push_str("quick serve bench OK\n");
+    } else {
+        let path = match opts.get("bench-out") {
+            Some(p) => std::path::PathBuf::from(p),
+            None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("BENCH_serve.json"),
+        };
+        std::fs::write(&path, serve_bench_json(&report))?;
+        out.push_str(&format!("trajectory -> {}\n", path.display()));
+    }
+    Ok(out)
+}
+
 fn dispatch(cmd: &str, opts: &Options) -> Result<String> {
     match cmd {
         "mine" => mine(opts),
@@ -924,6 +1105,7 @@ fn dispatch(cmd: &str, opts: &Options) -> Result<String> {
         "whatif" => whatif(opts),
         "profile" => profile(opts),
         "serve" => serve_cmd(opts),
+        "serve-bench" => serve_bench(opts),
         other => Err(CliError::new(format!(
             "unknown command {other:?}; run 'ratio-rules help'"
         ))),
@@ -950,10 +1132,15 @@ pub fn run(args: &[String]) -> Result<String> {
     };
     let opts = Options::parse(rest, switches)?;
     let metrics_out = opts.get("metrics-out").map(str::to_string);
+    let flight = opts.switch("flight") && !opts.switch("help");
+    if flight {
+        obs::set_flight_enabled(true);
+    }
     let observing =
         !opts.switch("help") && (cmd == "profile" || opts.switch("trace") || metrics_out.is_some());
     if !observing {
-        return dispatch(cmd, &opts);
+        let result = dispatch(cmd, &opts);
+        return append_flight_dump(result, flight);
     }
 
     obs::set_enabled(true);
@@ -965,7 +1152,7 @@ pub fn run(args: &[String]) -> Result<String> {
     obs::set_enabled(false);
     obs::global().reset();
 
-    let mut out = result?;
+    let mut out = append_flight_dump(result, flight)?;
     if cmd == "profile" || opts.switch("trace") {
         out.push_str("\nspans:\n");
         out.push_str(&obs::render_trace(&trace));
@@ -986,10 +1173,35 @@ pub fn run(args: &[String]) -> Result<String> {
     Ok(out)
 }
 
+/// On a `--flight` run that succeeded, appends the recorder's contents
+/// to the output and retires the recorder. Errors pass through with the
+/// recorder still armed — [`run_with_status`] dumps it to stderr so the
+/// last structured events before the failure are never lost.
+fn append_flight_dump(result: Result<String>, flight: bool) -> Result<String> {
+    if !flight {
+        return result;
+    }
+    match result {
+        Ok(mut out) => {
+            let events = obs::flight_snapshot();
+            obs::set_flight_enabled(false);
+            obs::flight_clear();
+            out.push_str(&format!("\nflight recorder ({} events):\n", events.len()));
+            out.push_str(&obs::flight_to_jsonl(&events));
+            Ok(out)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// [`run`] plus exit-code semantics: `0` success, `1` error, `2` when the
 /// command succeeded but served a degraded result (see
 /// [`crate::EXIT_DEGRADED`]), `3` when a quarantine scan blew its error
 /// budget. The binary's `main` is a thin wrapper over this.
+///
+/// An error exit with the flight recorder armed (`--flight`, or a
+/// command that enables it itself) dumps the ring to stderr as JSONL —
+/// the black-box readout for a crashed run.
 pub fn run_with_status(args: &[String]) -> (Result<String>, i32) {
     // Clear any stale marker from a previous in-process invocation.
     let _ = crate::take_degraded();
@@ -1004,6 +1216,15 @@ pub fn run_with_status(args: &[String]) -> (Result<String>, i32) {
         }
         Err(e) => e.code,
     };
+    if code != crate::EXIT_OK && code != crate::EXIT_DEGRADED && obs::flight_enabled() {
+        let events = obs::flight_snapshot();
+        obs::set_flight_enabled(false);
+        obs::flight_clear();
+        if !events.is_empty() {
+            eprintln!("flight recorder ({} events):", events.len());
+            eprint!("{}", obs::flight_to_jsonl(&events));
+        }
+    }
     (result, code)
 }
 

@@ -127,11 +127,17 @@ COMMANDS:
     whatif      what-if scenario: pin attributes, forecast the rest
     profile     mine + evaluate with instrumentation; print spans and metrics
     serve       HTTP prediction server: batched hole filling over a model
+    serve-bench load-test an in-process server; writes BENCH_serve.json
     help        print this message
 
 GLOBAL OPTIONS (every command):
     --trace             append the span tree and a metric table to the output
     --metrics-out FILE  write metrics to FILE (.prom = Prometheus text, else JSON)
+
+FLIGHT RECORDER (mine, profile):
+    --flight            record structured events (quarantines, degradations,
+                        sheds, checkpoints) in a fixed-size ring; dumped as
+                        JSONL after the run, or to stderr on an error exit
 
 FAULT TOLERANCE (mine; see also 'profile --fault-rate'):
     --max-bad-rows N       quarantine up to N bad rows instead of aborting

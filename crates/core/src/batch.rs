@@ -64,7 +64,32 @@ impl BatchPredictor {
     /// The call itself never fails; each per-row `Result` is `Err` when
     /// that row's width, hole pattern, or values are invalid.
     pub fn fill_batch(&self, rows: &[HoledRow]) -> (usize, Vec<Result<FilledRow>>) {
+        self.fill_batch_traced(rows, &[], 0)
+    }
+
+    /// [`fill_batch`](Self::fill_batch) with request-scoped tracing:
+    /// `ctxs[i]` (when present) is row `i`'s trace context, and each
+    /// pattern group's solve is recorded as a `pattern_solve` span into
+    /// *every* member row's trace with identical `batch`/`group` args —
+    /// which is how a trace viewer shows which requests shared which
+    /// factorization. The numeric path is exactly `fill_batch` (that
+    /// method delegates here), so batched answers stay bit-identical to
+    /// single-shot fills whether or not tracing is on.
+    ///
+    /// `ctxs` may be shorter than `rows` (missing entries are untraced);
+    /// `batch_id` labels the spans.
+    ///
+    /// # Errors
+    /// The call itself never fails; each per-row `Result` is `Err` when
+    /// that row's width, hole pattern, or values are invalid.
+    pub fn fill_batch_traced(
+        &self,
+        rows: &[HoledRow],
+        ctxs: &[Option<obs::TraceContext>],
+        batch_id: u64,
+    ) -> (usize, Vec<Result<FilledRow>>) {
         let m = self.n_attributes();
+        let tracing = obs::enabled() && ctxs.iter().any(Option::is_some);
         let mut results: Vec<Option<Result<FilledRow>>> = rows.iter().map(|_| None).collect();
         let mut groups: HashMap<PatternKey, Vec<usize>> = HashMap::new();
         for (i, row) in rows.iter().enumerate() {
@@ -81,9 +106,13 @@ impl BatchPredictor {
             }
         }
         let n_groups = groups.len();
-        for indices in groups.values() {
+        // Deterministic group numbering for span labels: by first row.
+        let mut ordered: Vec<&Vec<usize>> = groups.values().collect();
+        ordered.sort_by_key(|indices| indices[0]);
+        for (group_no, indices) in ordered.into_iter().enumerate() {
             // All rows in a group share the pattern; factor via the first.
             let holes = rows[indices[0]].hole_indices();
+            let start_us = if tracing { obs::trace::now_us() } else { 0 };
             match self.inner.pattern_solver(&holes) {
                 Ok(solver) => {
                     for &i in indices {
@@ -95,6 +124,25 @@ impl BatchPredictor {
                     let msg = e.to_string();
                     for &i in indices {
                         results[i] = Some(Err(RatioRuleError::Invalid(msg.clone())));
+                    }
+                }
+            }
+            if tracing {
+                let dur_us = obs::trace::now_us().saturating_sub(start_us);
+                let args = [
+                    ("batch", batch_id as f64),
+                    ("group", group_no as f64),
+                    ("rows", indices.len() as f64),
+                ];
+                for &i in indices {
+                    if let Some(ctx) = ctxs.get(i).copied().flatten() {
+                        obs::trace::record_span(
+                            &ctx,
+                            obs::names::SPAN_PATTERN_SOLVE,
+                            start_us,
+                            dur_us,
+                            &args,
+                        );
                     }
                 }
             }
@@ -157,6 +205,47 @@ mod tests {
         assert!(filled[0].is_ok());
         assert!(filled[1].is_err());
         assert!(filled[2].is_err());
+    }
+
+    #[test]
+    fn traced_fill_matches_untraced_and_records_shared_solve_spans() {
+        let rules = mined();
+        let plain = BatchPredictor::new(rules.clone());
+        let traced = BatchPredictor::new(rules);
+        let rows: Vec<HoledRow> = vec![
+            HoledRow::new(vec![Some(8.0), None, Some(4.0), Some(2.0)]),
+            HoledRow::new(vec![Some(12.0), None, Some(6.0), Some(3.0)]),
+            HoledRow::new(vec![None, Some(9.0), None, Some(3.1)]),
+        ];
+        obs::set_enabled(true);
+        let ctxs: Vec<Option<obs::TraceContext>> = (0..rows.len())
+            .map(|i| Some(obs::TraceContext::root(0xba7c + i as u64)))
+            .collect();
+        let (n_groups, with_trace) = traced.fill_batch_traced(&rows, &ctxs, 42);
+        obs::set_enabled(false);
+        let (_, without) = plain.fill_batch(&rows);
+        assert_eq!(n_groups, 2);
+        for (a, b) in with_trace.iter().zip(&without) {
+            assert_eq!(a.as_ref().unwrap().values, b.as_ref().unwrap().values);
+        }
+        // Rows 0 and 1 share a pattern: their traces carry the same
+        // group label; row 2 gets a different group.
+        let span_of = |i: usize| {
+            let ctx = ctxs[i].unwrap();
+            let spans = obs::trace::get_trace(ctx.trace_id).expect("trace retained");
+            let s = spans
+                .iter()
+                .find(|s| s.name == obs::names::SPAN_PATTERN_SOLVE)
+                .expect("pattern_solve span")
+                .clone();
+            assert_eq!(s.parent_id, ctx.span_id);
+            s.args.clone()
+        };
+        let (a0, a1, a2) = (span_of(0), span_of(1), span_of(2));
+        assert_eq!(a0, a1, "shared solve: identical batch/group/rows args");
+        assert_ne!(a0, a2);
+        assert!(a0.contains(&("batch", 42.0)));
+        assert!(a0.contains(&("rows", 2.0)));
     }
 
     #[test]

@@ -48,8 +48,6 @@ pub const DEFAULT_BLOCK_ROWS: usize = 64;
 /// the auto-vectorizer two AVX-512 (or four AVX2) lanes of ILP per step.
 const TILE: usize = 16;
 
-/// Histogram bounds for the panel-fold timing, nanoseconds.
-const FLUSH_NS_BOUNDS: [f64; 6] = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
 
 /// Streaming accumulator for column averages and the covariance (scatter)
 /// matrix.
@@ -457,11 +455,9 @@ fn fold_panel_timed(
     fold_panel(m, col_sums, raw_upper, panel, rows);
     obs::counter_add(obs::names::SCAN_BLOCKS_TOTAL, 1);
     if let Some(t0) = t0 {
-        obs::observe(
-            obs::names::SCAN_FLUSH_NS,
-            &FLUSH_NS_BOUNDS,
-            t0.elapsed().as_nanos() as f64,
-        );
+        // Log-bucketed quantile: serve dashboards read p99 flush time
+        // without committing to fixed bounds up front.
+        obs::observe_quantile(obs::names::SCAN_FLUSH_NS, t0.elapsed().as_nanos() as f64);
     }
 }
 

@@ -141,6 +141,12 @@ impl ScanReport {
             &format!("scan_rows_quarantined_{}_total", reason.name()),
             1,
         );
+        obs::flight_event(
+            obs::names::EVENT_SCAN_ROW_QUARANTINED,
+            position as u64,
+            reason as u64,
+            0.0,
+        );
         if self.details.len() < MAX_QUARANTINE_DETAILS {
             self.details.push(QuarantinedRow {
                 position,
@@ -456,6 +462,12 @@ impl Scanner {
         {
             if self.report.rows_quarantined > limit {
                 obs::counter_add("scan_budget_exhausted_total", 1);
+                obs::flight_event(
+                    obs::names::EVENT_SCAN_BUDGET_EXHAUSTED,
+                    self.report.rows_quarantined as u64,
+                    self.rows_consumed as u64,
+                    0.0,
+                );
                 return Err(RatioRuleError::BudgetExhausted {
                     quarantined: self.report.rows_quarantined,
                     scanned: self.rows_consumed,
@@ -476,6 +488,12 @@ impl Scanner {
             let fraction = self.report.rows_quarantined as f64 / consumed as f64;
             if fraction > limit {
                 obs::counter_add("scan_budget_exhausted_total", 1);
+                obs::flight_event(
+                    obs::names::EVENT_SCAN_BUDGET_EXHAUSTED,
+                    self.report.rows_quarantined as u64,
+                    self.rows_consumed as u64,
+                    fraction,
+                );
                 return Err(RatioRuleError::BudgetExhausted {
                     quarantined: self.report.rows_quarantined,
                     scanned: self.rows_consumed,
@@ -968,6 +986,13 @@ impl ResilientMiner {
             match solved {
                 Err(why) => {
                     obs::counter_add("eigen_stage_failures_total", 1);
+                    let panicked = u64::from(why.starts_with("stage panicked"));
+                    obs::flight_event(
+                        obs::names::EVENT_EIGEN_STAGE_FAILED,
+                        attempts.len() as u64,
+                        panicked,
+                        0.0,
+                    );
                     attempts.push(StageAttempt {
                         stage: stage.name(),
                         validated: 0,
@@ -980,6 +1005,12 @@ impl ResilientMiner {
                         Ok(k) => k,
                         Err(e) => {
                             obs::counter_add("eigen_stage_failures_total", 1);
+                            obs::flight_event(
+                                obs::names::EVENT_EIGEN_STAGE_FAILED,
+                                attempts.len() as u64,
+                                0,
+                                0.0,
+                            );
                             attempts.push(StageAttempt {
                                 stage: stage.name(),
                                 validated: 0,
@@ -1010,6 +1041,12 @@ impl ResilientMiner {
                         return Ok((ServedModel::Rules(rules), report));
                     }
                     obs::counter_add("eigen_stage_failures_total", 1);
+                    obs::flight_event(
+                        obs::names::EVENT_EIGEN_STAGE_FAILED,
+                        attempts.len() as u64,
+                        0,
+                        0.0,
+                    );
                     attempts.push(StageAttempt {
                         stage: stage.name(),
                         validated,
@@ -1076,6 +1113,17 @@ impl ResilientMiner {
 
     fn publish(report: &DegradationReport) {
         obs::gauge_set("degradation_level", report.level.severity() as f64);
+        let served = match report.level {
+            DegradationLevel::FullRules => report.wanted,
+            DegradationLevel::FewerRules { served, .. } => served,
+            DegradationLevel::ColAvgs => 0,
+        };
+        obs::flight_event(
+            obs::names::EVENT_DEGRADATION_SERVED,
+            u64::from(report.level.severity()),
+            0,
+            served as f64,
+        );
         if report.degraded() {
             obs::counter_add("degraded_results_total", 1);
         }

@@ -40,6 +40,32 @@ pub fn to_json_value(snapshot: &Snapshot, trace: &[SpanRecord]) -> JsonValue {
                     ("sum".into(), JsonValue::Num(*sum)),
                     ("count".into(), JsonValue::Num(*count as f64)),
                 ]),
+                MetricValue::Quantile(q) => JsonValue::Obj(vec![
+                    ("type".into(), JsonValue::Str("quantile".into())),
+                    (
+                        "buckets".into(),
+                        JsonValue::Arr(
+                            q.buckets
+                                .iter()
+                                .map(|&(idx, c)| {
+                                    JsonValue::Arr(vec![
+                                        JsonValue::Num(f64::from(idx)),
+                                        JsonValue::Num(c as f64),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("sum".into(), JsonValue::Num(q.sum)),
+                    ("count".into(), JsonValue::Num(q.count as f64)),
+                    ("max".into(), JsonValue::Num(q.max)),
+                    // Derived quantiles for human readers; from_json
+                    // rebuilds from the buckets and ignores these.
+                    ("p50".into(), JsonValue::Num(q.quantile(0.5))),
+                    ("p90".into(), JsonValue::Num(q.quantile(0.9))),
+                    ("p99".into(), JsonValue::Num(q.quantile(0.99))),
+                    ("p999".into(), JsonValue::Num(q.quantile(0.999))),
+                ]),
             };
             (name.clone(), body)
         })
@@ -117,6 +143,42 @@ pub fn from_json(text: &str) -> Result<(Snapshot, Vec<SpanRecord>), String> {
                         .ok_or_else(|| format!("histogram '{name}' missing count"))?
                         as u64,
                 }
+            }
+            "quantile" => {
+                let mut buckets = Vec::new();
+                for pair in body
+                    .get("buckets")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| format!("quantile '{name}' missing buckets"))?
+                {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| format!("quantile '{name}' malformed bucket pair"))?;
+                    let idx = pair[0]
+                        .as_f64()
+                        .ok_or_else(|| format!("quantile '{name}' non-numeric bucket index"))?;
+                    let c = pair[1]
+                        .as_f64()
+                        .ok_or_else(|| format!("quantile '{name}' non-numeric bucket count"))?;
+                    buckets.push((idx as u32, c as u64));
+                }
+                MetricValue::Quantile(crate::quantile::QuantileSnapshot {
+                    buckets,
+                    count: body
+                        .get("count")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("quantile '{name}' missing count"))?
+                        as u64,
+                    sum: body
+                        .get("sum")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("quantile '{name}' missing sum"))?,
+                    max: body
+                        .get("max")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("quantile '{name}' missing max"))?,
+                })
             }
             other => return Err(format!("metric '{name}' has unknown type '{other}'")),
         };
@@ -222,6 +284,21 @@ pub fn to_prometheus(snapshot: &Snapshot) -> String {
                 out.push_str(&format!("{pname}_sum {}\n", fmt_f64(*sum)));
                 out.push_str(&format!("{pname}_count {count}\n"));
             }
+            MetricValue::Quantile(q) => {
+                out.push_str(&format!("# HELP {pname} {}\n", escape_help(name)));
+                out.push_str(&format!("# TYPE {pname} summary\n"));
+                for (label, quantile) in
+                    [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)]
+                {
+                    out.push_str(&format!(
+                        "{pname}{{quantile=\"{label}\"}} {}\n",
+                        fmt_f64(q.quantile(quantile))
+                    ));
+                }
+                out.push_str(&format!("{pname}_sum {}\n", fmt_f64(q.sum)));
+                out.push_str(&format!("{pname}_count {}\n", q.count));
+                out.push_str(&format!("{pname}_max {}\n", fmt_f64(q.max)));
+            }
         }
     }
     out
@@ -255,6 +332,13 @@ pub fn render_table(snapshot: &Snapshot) -> String {
                 let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
                 format!("count={count} sum={sum:.0} mean={mean:.1}")
             }
+            MetricValue::Quantile(q) => format!(
+                "count={} p50={:.1} p99={:.1} max={:.1}",
+                q.count,
+                q.quantile(0.5),
+                q.quantile(0.99),
+                q.max
+            ),
         };
         out.push_str(&format!("{name:<width$}  {rendered}\n"));
     }
@@ -282,6 +366,10 @@ mod tests {
         h.observe(500.0);
         h.observe(2e6);
         h.observe(5e9);
+        let q = reg.quantile("lat_us");
+        for i in 1..=200 {
+            q.observe(f64::from(i) * 12.5);
+        }
         let trace = vec![
             SpanRecord {
                 name: "mine".into(),
@@ -320,6 +408,17 @@ mod tests {
             Some(2.5e6)
         );
         assert_eq!(doc.get("trace").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn prometheus_renders_quantiles_as_a_summary() {
+        let (snap, _) = sample();
+        let text = to_prometheus(&snap);
+        assert!(text.contains("# TYPE lat_us summary"));
+        assert!(text.contains("lat_us{quantile=\"0.99\"}"));
+        assert!(text.contains("lat_us{quantile=\"0.999\"}"));
+        assert!(text.contains("lat_us_count 200"));
+        assert!(text.contains("lat_us_max 2500"));
     }
 
     #[test]

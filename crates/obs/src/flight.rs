@@ -1,0 +1,276 @@
+//! Flight recorder: a fixed-size, lock-striped ring of structured
+//! events for post-hoc incident analysis.
+//!
+//! Metrics answer "how many / how fast"; the flight recorder answers
+//! "what exactly happened just before things went wrong" — which rows
+//! were quarantined, when the degradation ladder stepped down, which
+//! requests were shed with 429/503, what each coalesced batch looked
+//! like. It is always cheap enough to leave on in production:
+//!
+//! * an event is a fixed-size `Copy` struct whose name is a `&'static
+//!   str` from [`crate::names`] — recording allocates nothing;
+//! * the buffer is [`N_STRIPES`] independent rings of
+//!   [`STRIPE_CAP`] slots each, preallocated on the first record, with
+//!   a thread-sticky stripe choice so concurrent recorders rarely share
+//!   a lock;
+//! * at capacity each stripe overwrites its own oldest slot — the
+//!   recorder keeps the most recent ~[`capacity`] events, which is the
+//!   window you want when a process is about to die.
+//!
+//! Recording is gated separately from metrics ([`set_flight_enabled`])
+//! because the CLI enables it only for `serve`, `serve-bench`, and
+//! `--flight` runs; [`flight_to_jsonl`] renders a drained snapshot as
+//! one JSON object per line for error-exit dumps and the
+//! `/debug/flightrecorder` endpoint.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Independent ring stripes (writers hash to one by thread).
+pub const N_STRIPES: usize = 8;
+
+/// Slots per stripe.
+pub const STRIPE_CAP: usize = 512;
+
+/// Total event capacity of the recorder.
+pub const fn capacity() -> usize {
+    N_STRIPES * STRIPE_CAP
+}
+
+static FLIGHT_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn flight-recorder event capture on or off, process-wide
+/// (independent of [`crate::set_enabled`]).
+pub fn set_flight_enabled(on: bool) {
+    FLIGHT_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the flight recorder is currently capturing.
+#[inline]
+pub fn flight_enabled() -> bool {
+    FLIGHT_ENABLED.load(Ordering::Relaxed)
+}
+
+/// One recorded event. `a`/`b` are event-specific integer payloads and
+/// `x` an event-specific float (e.g. for a batch-coalesce event:
+/// `a` = batch id, `b` = rows, `x` = distinct hole patterns); unused
+/// fields are zero. Interpretations are catalogued in
+/// `docs/OBSERVABILITY.md`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEvent {
+    /// Process-global record sequence (total order across stripes).
+    pub seq: u64,
+    /// Microseconds since the trace epoch ([`crate::trace::now_us`]).
+    pub t_us: u64,
+    /// Registered event name (`crate::names::EVENT_*`).
+    pub name: &'static str,
+    /// First integer payload.
+    pub a: u64,
+    /// Second integer payload.
+    pub b: u64,
+    /// Float payload.
+    pub x: f64,
+}
+
+struct Ring {
+    /// Preallocated to `STRIPE_CAP` on first use; `push` never grows it
+    /// past that, so steady-state recording does not allocate.
+    slots: Vec<FlightEvent>,
+    /// Next overwrite position once full.
+    next: usize,
+}
+
+impl Ring {
+    fn push(&mut self, event: FlightEvent) {
+        if self.slots.len() < STRIPE_CAP {
+            self.slots.push(event);
+        } else {
+            self.slots[self.next] = event;
+            self.next = (self.next + 1) % STRIPE_CAP;
+        }
+    }
+}
+
+fn stripes() -> &'static [Mutex<Ring>; N_STRIPES] {
+    static STRIPES: OnceLock<[Mutex<Ring>; N_STRIPES]> = OnceLock::new();
+    STRIPES.get_or_init(|| {
+        std::array::from_fn(|_| {
+            Mutex::new(Ring {
+                slots: Vec::with_capacity(STRIPE_CAP),
+                next: 0,
+            })
+        })
+    })
+}
+
+fn stripe_of_thread() -> usize {
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: Cell<usize> = Cell::new(usize::MAX);
+    }
+    STRIPE.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % N_STRIPES;
+            s.set(idx);
+        }
+        idx
+    })
+}
+
+/// Record one event (no-op while the recorder is disabled). `name`
+/// must be a registered `EVENT_*` constant from [`crate::names`]; the
+/// `&'static` bound plus preallocated rings keep this allocation-free.
+#[inline]
+pub fn flight_event(name: &'static str, a: u64, b: u64, x: f64) {
+    if !flight_enabled() {
+        return;
+    }
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let event = FlightEvent {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        t_us: crate::trace::now_us(),
+        name,
+        a,
+        b,
+        x,
+    };
+    let mut ring = stripes()[stripe_of_thread()]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    ring.push(event);
+}
+
+/// Copy out every retained event, in global `seq` order.
+pub fn flight_snapshot() -> Vec<FlightEvent> {
+    let mut events = Vec::new();
+    for stripe in stripes() {
+        let ring = stripe.lock().unwrap_or_else(|e| e.into_inner());
+        events.extend_from_slice(&ring.slots);
+    }
+    events.sort_by_key(|e| e.seq);
+    events
+}
+
+/// Drop every retained event (capacity stays allocated).
+pub fn flight_clear() {
+    for stripe in stripes() {
+        let mut ring = stripe.lock().unwrap_or_else(|e| e.into_inner());
+        ring.slots.clear();
+        ring.next = 0;
+    }
+}
+
+/// Render events as JSONL: one compact JSON object per line, ending
+/// with a trailing newline when non-empty.
+pub fn flight_to_jsonl(events: &[FlightEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for e in events {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"seq\":{},\"t_us\":{},\"event\":",
+            e.seq, e.t_us
+        );
+        crate::json::write_escaped(e.name, &mut line);
+        let _ = write!(line, ",\"a\":{},\"b\":{},\"x\":{}", e.a, e.b, e.x);
+        line.push('}');
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global, so every stateful scenario runs
+    // inside one test function (the Rust harness would otherwise
+    // interleave them and overwrite each other's rings).
+
+    #[test]
+    fn recorder_lifecycle_end_to_end() {
+        // Disabled: nothing captured.
+        set_flight_enabled(false);
+        flight_event("ghost_event", 1, 2, 3.0);
+        assert!(flight_snapshot().iter().all(|e| e.name != "ghost_event"));
+
+        // Enabled: events come back in sequence order with payloads.
+        flight_clear();
+        set_flight_enabled(true);
+        flight_event("order_probe", 10, 20, 0.5);
+        flight_event("order_probe", 11, 21, 1.5);
+        let mine: Vec<_> = flight_snapshot()
+            .into_iter()
+            .filter(|e| e.name == "order_probe")
+            .collect();
+        assert_eq!(mine.len(), 2);
+        assert!(mine[0].seq < mine[1].seq, "sequence order violated");
+        assert_eq!((mine[0].a, mine[0].b, mine[0].x), (10, 20, 0.5));
+
+        // Concurrent recorders: no torn payloads, nothing dropped
+        // (total volume fits the capacity).
+        flight_clear();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        flight_event("conc_probe", t, i, (t * 100 + i) as f64);
+                    }
+                });
+            }
+        });
+        let conc: Vec<_> = flight_snapshot()
+            .into_iter()
+            .filter(|e| e.name == "conc_probe")
+            .collect();
+        assert_eq!(conc.len(), 400);
+        for e in &conc {
+            assert_eq!(e.x, (e.a * 100 + e.b) as f64, "payload torn");
+        }
+
+        // Flood: each stripe overwrites its own oldest slots; the
+        // total stays bounded and only the newest survive.
+        flight_clear();
+        for i in 0..(capacity() as u64 + 500) {
+            flight_event("flood_probe", i, 0, 0.0);
+        }
+        let floods = flight_snapshot();
+        assert!(floods.len() <= capacity());
+        assert!(!floods.is_empty());
+        assert!(
+            floods.iter().all(|e| e.name == "flood_probe" && e.a >= 500),
+            "oldest not overwritten"
+        );
+
+        set_flight_enabled(false);
+        flight_clear();
+        assert!(flight_snapshot().is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_parse_as_json() {
+        let events = vec![FlightEvent {
+            seq: 3,
+            t_us: 99,
+            name: "serve_shed_429",
+            a: 7,
+            b: 0,
+            x: 1.25,
+        }];
+        let jsonl = flight_to_jsonl(&events);
+        assert!(jsonl.ends_with('\n'));
+        let line = jsonl.lines().next().expect("one line");
+        let parsed = crate::json::parse(line).expect("valid JSON");
+        assert_eq!(parsed.get("seq").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(
+            parsed.get("event").and_then(|v| v.as_str()),
+            Some("serve_shed_429")
+        );
+        assert_eq!(parsed.get("x").and_then(|v| v.as_f64()), Some(1.25));
+    }
+}

@@ -14,6 +14,13 @@
 //!   without serde, and Prometheus text exposition
 //!   ([`export::to_prometheus`]).
 //!
+//! On top of those sit three production-observability layers:
+//! log-bucketed [`quantile`] histograms for tail-latency SLO accounting
+//! (p50/p90/p99/p999 + max with bounded relative error), explicit
+//! cross-thread request [`trace`]s exportable as Chrome trace-event
+//! JSON, and a [`flight`] recorder — a fixed-size lock-striped event
+//! ring dumped as JSONL when something goes wrong.
+//!
 //! Recording is off by default. Every recording entry point starts with
 //! a single relaxed atomic load ([`enabled`]); while disabled, no clock
 //! is read, no lock is taken, and no allocation happens, so instrumented
@@ -38,13 +45,22 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod names;
+pub mod quantile;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
+pub use flight::{
+    flight_clear, flight_enabled, flight_event, flight_snapshot, flight_to_jsonl,
+    set_flight_enabled, FlightEvent,
+};
+pub use quantile::{Quantile, QuantileSnapshot};
 pub use registry::{global, MetricValue, Registry, Snapshot, StripedCounter};
 pub use span::{render_trace, take_trace, Span, SpanRecord};
+pub use trace::{chrome_trace_doc, TraceContext, TracedSpan};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -92,6 +108,16 @@ pub fn observe(name: &str, bounds: &[f64], value: f64) {
     }
 }
 
+/// Observe `value` into the named log-bucketed quantile histogram in
+/// the global registry (see [`quantile`] for the bucket grid). No-op
+/// while recording is disabled.
+#[inline]
+pub fn observe_quantile(name: &str, value: f64) {
+    if enabled() {
+        global().quantile(name).observe(value);
+    }
+}
+
 /// Exponentially spaced histogram bounds: `start, start*factor, ...`
 /// (`count` edges). Handy for nanosecond timings.
 pub fn exponential_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
@@ -114,6 +140,7 @@ mod tests {
         super::counter_add("should_not_exist_total", 7);
         super::gauge_set("should_not_exist", 1.0);
         super::observe("should_not_exist_ns", &[1.0], 0.5);
+        super::observe_quantile("should_not_exist_us", 2.0);
         let snap = super::global().snapshot();
         assert!(snap
             .metrics

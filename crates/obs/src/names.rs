@@ -130,13 +130,66 @@ pub const SCAN_SHARD_0_ROWS_PER_S: &str = "scan_shard_0_rows_per_s";
 
 /// Distribution of per-shard GE_h wall times, nanoseconds.
 pub const GE_H_SHARD_NS: &str = "ge_h_shard_ns";
-/// Distribution of blocked-kernel panel-fold wall times, nanoseconds.
-pub const SCAN_FLUSH_NS: &str = "scan_flush_ns";
 /// Distribution of rows per executed batch (coalescing effectiveness).
 pub const SERVE_BATCH_SIZE: &str = "serve_batch_size";
-/// Distribution of enqueue-to-reply latency per prediction,
-/// microseconds (p50/p99 come from this histogram).
+
+// ---------------------------------------------------------------------
+// Quantile histograms (log-bucketed; p50/p90/p99/p999 + max)
+// ---------------------------------------------------------------------
+
+/// Blocked-kernel panel-fold wall time, nanoseconds.
+pub const SCAN_FLUSH_NS: &str = "scan_flush_ns";
+/// Enqueue-to-reply latency per prediction, microseconds.
 pub const SERVE_LATENCY_US: &str = "serve_latency_us";
+/// Time a job waited in the batch queue before its batch started,
+/// microseconds.
+pub const SERVE_QUEUE_WAIT_US: &str = "serve_queue_wait_us";
+/// Wall time of one coalesced `fill_batch` solve, microseconds.
+pub const SERVE_SOLVE_US: &str = "serve_solve_us";
+/// End-to-end request latency of `/healthz`, microseconds.
+pub const SERVE_REQUEST_US_HEALTHZ: &str = "serve_request_us_healthz";
+/// End-to-end request latency of `/metrics`, microseconds.
+pub const SERVE_REQUEST_US_METRICS: &str = "serve_request_us_metrics";
+/// End-to-end request latency of `/rules`, microseconds.
+pub const SERVE_REQUEST_US_RULES: &str = "serve_request_us_rules";
+/// End-to-end request latency of `/predict`, microseconds.
+pub const SERVE_REQUEST_US_PREDICT: &str = "serve_request_us_predict";
+/// End-to-end request latency of `/whatif`, microseconds.
+pub const SERVE_REQUEST_US_WHATIF: &str = "serve_request_us_whatif";
+/// End-to-end request latency of the `/debug/*` endpoints, microseconds.
+pub const SERVE_REQUEST_US_DEBUG: &str = "serve_request_us_debug";
+/// End-to-end request latency of unrouted (404/405) requests,
+/// microseconds.
+pub const SERVE_REQUEST_US_OTHER: &str = "serve_request_us_other";
+
+// ---------------------------------------------------------------------
+// Flight-recorder events
+// ---------------------------------------------------------------------
+
+/// A scan row was quarantined. `a` = row index, `b` = reason ordinal.
+pub const EVENT_SCAN_ROW_QUARANTINED: &str = "scan_row_quarantined";
+/// The quarantine budget ran out and the scan aborted. `a` = rows
+/// quarantined, `b` = rows seen.
+pub const EVENT_SCAN_BUDGET_EXHAUSTED: &str = "scan_budget_exhausted";
+/// An eigensolver ladder stage failed. `a` = stage ordinal,
+/// `b` = 1 if the failure was a contained panic.
+pub const EVENT_EIGEN_STAGE_FAILED: &str = "eigen_stage_failed";
+/// A mining run was served at a degraded ladder level.
+/// `a` = severity (0 full, 1 fewer rules, 2 col-avgs), `x` = rules kept.
+pub const EVENT_DEGRADATION_SERVED: &str = "degradation_served";
+/// A scan checkpoint was written. `a` = rows absorbed so far.
+pub const EVENT_CHECKPOINT_WRITTEN: &str = "checkpoint_written";
+/// A request was shed with 429 (batch queue full). `a` = queue depth.
+pub const EVENT_SERVE_SHED_429: &str = "serve_shed_429";
+/// A connection was shed with 503 (connection queue full).
+/// `a` = connection-queue capacity.
+pub const EVENT_SERVE_SHED_503: &str = "serve_shed_503";
+/// A queued prediction expired before its batch ran. `a` = batch id,
+/// `x` = microseconds it waited.
+pub const EVENT_SERVE_JOB_EXPIRED: &str = "serve_job_expired";
+/// A batch was coalesced and solved. `a` = batch id, `b` = rows,
+/// `x` = distinct hole patterns (groups).
+pub const EVENT_SERVE_BATCH_COALESCED: &str = "serve_batch_coalesced";
 
 // ---------------------------------------------------------------------
 // Spans
@@ -160,6 +213,62 @@ pub const SPAN_PROFILE: &str = "profile";
 pub const SPAN_SERVE_REQUEST: &str = "serve_request";
 /// One coalesced batch solve inside the batcher thread.
 pub const SPAN_SERVE_BATCH: &str = "serve_batch";
+/// One hole-pattern group's solve inside a coalesced batch (recorded
+/// into every member request's trace with identical `batch`/`group`
+/// args, which is how shared solves show up in a trace viewer).
+pub const SPAN_PATTERN_SOLVE: &str = "pattern_solve";
+
+// ---------------------------------------------------------------------
+// Boot families
+// ---------------------------------------------------------------------
+
+/// How a boot-seeded metric family is registered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotone counter (seeded at 0).
+    Counter,
+    /// Last-write-wins gauge (seeded at 0 unless the owner knows
+    /// better, e.g. `covariance_block_rows`).
+    Gauge,
+    /// Log-bucketed quantile histogram (no bounds to choose).
+    Quantile,
+    /// Fixed-bucket histogram. Bounds live with the owning subsystem,
+    /// which must register the family at construction time; the boot
+    /// seeder skips it but the boot test still asserts presence.
+    Histogram,
+}
+
+/// Every metric family a freshly booted `serve` process must expose on
+/// `/metrics` before traffic arrives. The server seeds this list
+/// data-driven (rather than a hand-maintained call sequence), so a new
+/// family added here can never silently miss the seed path — and the
+/// boot test fails if one is added to this file but not here.
+pub const SERVE_BOOT_FAMILIES: &[(&str, FamilyKind)] = &[
+    (SERVE_REQUESTS_TOTAL, FamilyKind::Counter),
+    (SERVE_REJECTED_TOTAL, FamilyKind::Counter),
+    (SERVE_TIMEOUTS_TOTAL, FamilyKind::Counter),
+    (SERVE_ERRORS_TOTAL, FamilyKind::Counter),
+    (SERVE_BATCHES_TOTAL, FamilyKind::Counter),
+    (SERVE_ROWS_PREDICTED_TOTAL, FamilyKind::Counter),
+    (COVARIANCE_ROWS_SCANNED_TOTAL, FamilyKind::Counter),
+    (SCAN_BLOCKS_TOTAL, FamilyKind::Counter),
+    (SERVE_QUEUE_DEPTH, FamilyKind::Gauge),
+    (COVARIANCE_BLOCK_ROWS, FamilyKind::Gauge),
+    (COVARIANCE_ROWS_PER_S, FamilyKind::Gauge),
+    (SCAN_SHARD_0_ROWS_PER_S, FamilyKind::Gauge),
+    (SCAN_FLUSH_NS, FamilyKind::Quantile),
+    (SERVE_LATENCY_US, FamilyKind::Quantile),
+    (SERVE_QUEUE_WAIT_US, FamilyKind::Quantile),
+    (SERVE_SOLVE_US, FamilyKind::Quantile),
+    (SERVE_REQUEST_US_HEALTHZ, FamilyKind::Quantile),
+    (SERVE_REQUEST_US_METRICS, FamilyKind::Quantile),
+    (SERVE_REQUEST_US_RULES, FamilyKind::Quantile),
+    (SERVE_REQUEST_US_PREDICT, FamilyKind::Quantile),
+    (SERVE_REQUEST_US_WHATIF, FamilyKind::Quantile),
+    (SERVE_REQUEST_US_DEBUG, FamilyKind::Quantile),
+    (SERVE_REQUEST_US_OTHER, FamilyKind::Quantile),
+    (SERVE_BATCH_SIZE, FamilyKind::Histogram),
+];
 
 // ---------------------------------------------------------------------
 // Dynamic families (not statically checkable; documented for humans)
@@ -255,6 +364,24 @@ mod tests {
             SCAN_FLUSH_NS,
             SERVE_BATCH_SIZE,
             SERVE_LATENCY_US,
+            SERVE_QUEUE_WAIT_US,
+            SERVE_SOLVE_US,
+            SERVE_REQUEST_US_HEALTHZ,
+            SERVE_REQUEST_US_METRICS,
+            SERVE_REQUEST_US_RULES,
+            SERVE_REQUEST_US_PREDICT,
+            SERVE_REQUEST_US_WHATIF,
+            SERVE_REQUEST_US_DEBUG,
+            SERVE_REQUEST_US_OTHER,
+            EVENT_SCAN_ROW_QUARANTINED,
+            EVENT_SCAN_BUDGET_EXHAUSTED,
+            EVENT_EIGEN_STAGE_FAILED,
+            EVENT_DEGRADATION_SERVED,
+            EVENT_CHECKPOINT_WRITTEN,
+            EVENT_SERVE_SHED_429,
+            EVENT_SERVE_SHED_503,
+            EVENT_SERVE_JOB_EXPIRED,
+            EVENT_SERVE_BATCH_COALESCED,
             SPAN_COVARIANCE_SCAN,
             SPAN_EIGENSOLVE,
             SPAN_EIGENSOLVE_LADDER,
@@ -264,8 +391,19 @@ mod tests {
             SPAN_PROFILE,
             SPAN_SERVE_REQUEST,
             SPAN_SERVE_BATCH,
+            SPAN_PATTERN_SOLVE,
         ] {
             assert_eq!(crate::export::sanitize_name(n), n, "name not Prometheus-safe: {n}");
         }
+    }
+
+    #[test]
+    fn boot_families_are_distinct_and_prometheus_safe() {
+        let mut seen = std::collections::HashSet::new();
+        for &(name, _) in SERVE_BOOT_FAMILIES {
+            assert!(seen.insert(name), "duplicate boot family: {name}");
+            assert_eq!(crate::export::sanitize_name(name), name);
+        }
+        assert!(SERVE_BOOT_FAMILIES.len() >= 24);
     }
 }

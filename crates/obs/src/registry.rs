@@ -25,6 +25,7 @@ enum Metric {
     Counter(Arc<AtomicU64>),
     Gauge(Arc<AtomicU64>), // f64 bit pattern
     Histogram(Arc<HistogramInner>),
+    Quantile(Arc<crate::quantile::QuantileInner>),
 }
 
 /// Monotone counter handle. Cheap to clone; detached from the registry
@@ -125,6 +126,8 @@ pub enum MetricValue {
         /// Number of observations.
         count: u64,
     },
+    /// Log-bucketed quantile histogram (see [`crate::quantile`]).
+    Quantile(crate::quantile::QuantileSnapshot),
 }
 
 /// A point-in-time reading of the whole registry, sorted by name.
@@ -155,6 +158,14 @@ impl Snapshot {
     pub fn gauge(&self, name: &str) -> Option<f64> {
         match self.get(name) {
             Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Quantile snapshot, if `name` is a quantile histogram.
+    pub fn quantile(&self, name: &str) -> Option<&crate::quantile::QuantileSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Quantile(q)) => Some(q),
             _ => None,
         }
     }
@@ -251,6 +262,25 @@ impl Registry {
         }
     }
 
+    /// Quantile-histogram handle for `name`, registering it on first
+    /// use (the log-bucket grid is fixed, so there are no bounds to
+    /// agree on).
+    pub fn quantile(&self, name: &str) -> crate::quantile::Quantile {
+        use crate::quantile::{Quantile, QuantileInner};
+        let shard = self.shard(name);
+        if let Some(Metric::Quantile(q)) = read(shard).get(name) {
+            return Quantile(Arc::clone(q));
+        }
+        let mut map = write(shard);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Quantile(Arc::new(QuantileInner::new())))
+        {
+            Metric::Quantile(q) => Quantile(Arc::clone(q)),
+            _ => Quantile(Arc::new(QuantileInner::new())),
+        }
+    }
+
     /// Read every metric, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
         let mut metrics = Vec::new();
@@ -271,6 +301,7 @@ impl Registry {
                         sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
                         count: h.count.load(Ordering::Relaxed),
                     },
+                    Metric::Quantile(q) => MetricValue::Quantile(q.read()),
                 };
                 metrics.push((name.clone(), value));
             }
@@ -421,6 +452,27 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn quantile_registers_snapshots_and_survives_type_clash() {
+        let reg = Registry::new();
+        let q = reg.quantile("lat_us");
+        for i in 1..=100 {
+            q.observe(i as f64);
+        }
+        match reg.snapshot().get("lat_us").unwrap() {
+            MetricValue::Quantile(s) => {
+                assert_eq!(s.count, 100);
+                assert_eq!(s.max, 100.0);
+                assert!(s.quantile(0.5) >= 50.0 && s.quantile(0.5) < 55.0);
+            }
+            other => panic!("expected quantile, got {other:?}"),
+        }
+        // Asking for the same name as a counter: detached, invisible.
+        reg.counter("lat_us").add(5);
+        assert!(reg.snapshot().counter("lat_us").is_none());
+        assert!(reg.snapshot().quantile("lat_us").is_some());
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Request-scoped tracing that crosses thread boundaries.
+//!
+//! [`Span`](crate::span::Span) nests via a thread-local depth, which is
+//! the right shape for single-threaded CLI pipelines but cannot follow
+//! a serve request that hops from a connection worker into the batcher
+//! thread and back. This module adds an *explicit* context:
+//! [`TraceContext`] is a `(trace id, span id)` pair that the caller
+//! threads through function arguments and queue jobs, so a coalesced
+//! batch can record one solve span into every member request's trace.
+//!
+//! Ids are derived with splitmix64 from a caller-supplied seed plus a
+//! process-global sequence counter — deterministic inputs, no ambient
+//! entropy (RR003-clean), yet unique per request and per span.
+//!
+//! Completed spans land in a bounded in-memory store (at most
+//! [`MAX_TRACES`] traces of [`MAX_SPANS_PER_TRACE`] spans each; oldest
+//! trace evicted first) keyed by trace id, and export as Chrome
+//! trace-event JSON ([`chrome_trace_doc`]) loadable in `about:tracing`
+//! / Perfetto: one virtual thread lane per trace, so batch sharing is
+//! visible as the same-named solve span appearing in several lanes with
+//! identical `batch` args.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::json::JsonValue;
+
+/// Retained-trace cap; the oldest trace is evicted when a new trace id
+/// arrives at capacity.
+pub const MAX_TRACES: usize = 64;
+
+/// Per-trace span cap; spans beyond it are silently dropped (the store
+/// must stay bounded under pathological request shapes).
+pub const MAX_SPANS_PER_TRACE: usize = 256;
+
+/// splitmix64: the workspace's standard seeded mixing function (same
+/// constants as `dataset::fault`). Deterministic, full-period, cheap.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn next_seq() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Explicit request-scoped trace identity: which trace this work
+/// belongs to and which span is its parent. `Copy`, 16 bytes — cheap to
+/// thread through queue jobs and batch groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identifies the request's whole span tree.
+    pub trace_id: u64,
+    /// The span that owns whatever work is about to happen (the parent
+    /// of any span entered under this context).
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// A fresh root context. `seed` is caller-supplied (e.g. a server's
+    /// configured seed XOR a request counter); a process-global
+    /// sequence is mixed in so equal seeds still yield distinct traces.
+    pub fn root(seed: u64) -> TraceContext {
+        let id = splitmix64(seed ^ next_seq().rotate_left(32));
+        TraceContext {
+            trace_id: id,
+            span_id: id,
+        }
+    }
+
+    /// Derive a child context: same trace, fresh span id parented at
+    /// this context's span.
+    pub fn child(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: splitmix64(self.span_id ^ next_seq()),
+        }
+    }
+}
+
+/// One completed span inside a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (== `span_id` of the enclosing context; a root
+    /// span is its own parent).
+    pub parent_id: u64,
+    /// Registered span name (`crate::names`).
+    pub name: &'static str,
+    /// Start, microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Wall duration in microseconds.
+    pub dur_us: u64,
+    /// Numeric annotations, e.g. `[("batch", 7.0), ("rows", 3.0)]`.
+    pub args: Vec<(&'static str, f64)>,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process trace epoch (first use).
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+type TraceStore = VecDeque<(u64, Vec<TraceSpanRecord>)>;
+
+fn store() -> MutexGuard<'static, TraceStore> {
+    static STORE: OnceLock<Mutex<TraceStore>> = OnceLock::new();
+    STORE
+        .get_or_init(|| Mutex::new(VecDeque::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn push_record(rec: TraceSpanRecord) {
+    let mut traces = store();
+    if let Some((_, spans)) = traces.iter_mut().find(|(id, _)| *id == rec.trace_id) {
+        if spans.len() < MAX_SPANS_PER_TRACE {
+            spans.push(rec);
+        }
+        return;
+    }
+    if traces.len() >= MAX_TRACES {
+        traces.pop_front();
+    }
+    traces.push_back((rec.trace_id, vec![rec]));
+}
+
+/// Record a completed span directly, without a guard — for code that
+/// measures a duration itself and attributes it to a context after the
+/// fact (the batcher does this once per member request of a coalesced
+/// batch). A fresh span id is derived under `parent`. No-op while
+/// recording is disabled.
+pub fn record_span(
+    parent: &TraceContext,
+    name: &'static str,
+    start_us: u64,
+    dur_us: u64,
+    args: &[(&'static str, f64)],
+) {
+    if !crate::enabled() {
+        return;
+    }
+    push_record(TraceSpanRecord {
+        trace_id: parent.trace_id,
+        span_id: splitmix64(parent.span_id ^ next_seq()),
+        parent_id: parent.span_id,
+        name,
+        start_us,
+        dur_us,
+        args: args.to_vec(),
+    });
+}
+
+struct ActiveTraced {
+    ctx: TraceContext,
+    parent_id: u64,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    args: Vec<(&'static str, f64)>,
+}
+
+/// RAII guard for a traced span: created under a parent context,
+/// records itself into the trace store on drop. Unlike
+/// [`Span`](crate::span::Span) the identity is explicit, so the guard
+/// and the work it times may live on different threads from the rest of
+/// the request.
+pub struct TracedSpan {
+    inner: Option<ActiveTraced>,
+}
+
+impl TracedSpan {
+    /// Open a span under `parent`. Returns the guard plus the child
+    /// context to thread into any work done inside this span. The
+    /// context is derived even while recording is disabled (so
+    /// propagation code needs no branches); only the record is skipped.
+    pub fn enter(parent: &TraceContext, name: &'static str) -> (TracedSpan, TraceContext) {
+        let ctx = parent.child();
+        let inner = if crate::enabled() {
+            Some(ActiveTraced {
+                ctx,
+                parent_id: parent.span_id,
+                name,
+                start: Instant::now(),
+                start_us: now_us(),
+                args: Vec::new(),
+            })
+        } else {
+            None
+        };
+        (TracedSpan { inner }, ctx)
+    }
+
+    /// Attach a numeric annotation (kept in insertion order).
+    pub fn arg(&mut self, key: &'static str, value: f64) {
+        if let Some(active) = &mut self.inner {
+            active.args.push((key, value));
+        }
+    }
+}
+
+impl Drop for TracedSpan {
+    fn drop(&mut self) {
+        if let Some(active) = self.inner.take() {
+            push_record(TraceSpanRecord {
+                trace_id: active.ctx.trace_id,
+                span_id: active.ctx.span_id,
+                parent_id: active.parent_id,
+                name: active.name,
+                start_us: active.start_us,
+                dur_us: active.start.elapsed().as_micros() as u64,
+                args: active.args,
+            });
+        }
+    }
+}
+
+/// Drain every retained trace, oldest first.
+pub fn take_traces() -> Vec<(u64, Vec<TraceSpanRecord>)> {
+    store().drain(..).collect()
+}
+
+/// Ids of the currently retained traces, oldest first.
+pub fn trace_ids() -> Vec<u64> {
+    store().iter().map(|(id, _)| *id).collect()
+}
+
+/// Copy of one retained trace's spans, if still in the store.
+pub fn get_trace(trace_id: u64) -> Option<Vec<TraceSpanRecord>> {
+    store()
+        .iter()
+        .find(|(id, _)| *id == trace_id)
+        .map(|(_, spans)| spans.clone())
+}
+
+/// Drop all retained traces.
+pub fn clear_traces() {
+    store().clear();
+}
+
+fn hex_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Render traces as a Chrome trace-event JSON document (the
+/// `about:tracing` / Perfetto format). Each trace gets its own virtual
+/// thread lane (`tid` = 1-based index, named after the trace id); every
+/// span is a complete event (`"ph":"X"`) with microsecond `ts`/`dur`
+/// and its ids plus numeric annotations under `args`.
+pub fn chrome_trace_doc(traces: &[(u64, Vec<TraceSpanRecord>)]) -> String {
+    let mut events = Vec::new();
+    for (lane, (trace_id, spans)) in traces.iter().enumerate() {
+        let tid = (lane + 1) as f64;
+        events.push(JsonValue::Obj(vec![
+            ("name".into(), JsonValue::Str("thread_name".into())),
+            ("ph".into(), JsonValue::Str("M".into())),
+            ("pid".into(), JsonValue::Num(1.0)),
+            ("tid".into(), JsonValue::Num(tid)),
+            (
+                "args".into(),
+                JsonValue::Obj(vec![(
+                    "name".into(),
+                    JsonValue::Str(format!("trace {}", hex_id(*trace_id))),
+                )]),
+            ),
+        ]));
+        let mut ordered: Vec<&TraceSpanRecord> = spans.iter().collect();
+        ordered.sort_by_key(|s| (s.start_us, s.span_id));
+        for span in ordered {
+            let mut args = vec![
+                ("trace_id".into(), JsonValue::Str(hex_id(span.trace_id))),
+                ("span_id".into(), JsonValue::Str(hex_id(span.span_id))),
+                ("parent_id".into(), JsonValue::Str(hex_id(span.parent_id))),
+            ];
+            for (key, value) in &span.args {
+                args.push(((*key).into(), JsonValue::Num(*value)));
+            }
+            events.push(JsonValue::Obj(vec![
+                ("name".into(), JsonValue::Str(span.name.into())),
+                ("cat".into(), JsonValue::Str("rr".into())),
+                ("ph".into(), JsonValue::Str("X".into())),
+                ("ts".into(), JsonValue::Num(span.start_us as f64)),
+                ("dur".into(), JsonValue::Num(span.dur_us as f64)),
+                ("pid".into(), JsonValue::Num(1.0)),
+                ("tid".into(), JsonValue::Num(tid)),
+                ("args".into(), JsonValue::Obj(args)),
+            ]));
+        }
+    }
+    let doc = JsonValue::Obj(vec![
+        ("traceEvents".into(), JsonValue::Arr(events)),
+        ("displayTimeUnit".into(), JsonValue::Str("ms".into())),
+    ]);
+    doc.write(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The trace store is process-global; tests share it with each
+    // other, so each test uses its own trace ids and filters.
+
+    #[test]
+    fn root_contexts_are_distinct_even_with_equal_seeds() {
+        let a = TraceContext::root(42);
+        let b = TraceContext::root(42);
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_eq!(a.trace_id, a.span_id, "root span is its own parent");
+    }
+
+    #[test]
+    fn child_keeps_trace_id_and_gets_fresh_span_id() {
+        let root = TraceContext::root(7);
+        let c1 = root.child();
+        let c2 = root.child();
+        assert_eq!(c1.trace_id, root.trace_id);
+        assert_eq!(c2.trace_id, root.trace_id);
+        assert_ne!(c1.span_id, c2.span_id);
+        assert_ne!(c1.span_id, root.span_id);
+    }
+
+    #[test]
+    fn traced_spans_record_a_parented_tree() {
+        crate::set_enabled(true);
+        let root_ctx = TraceContext::root(0xbeef);
+        {
+            let (mut outer, outer_ctx) = TracedSpan::enter(&root_ctx, "outer");
+            outer.arg("rows", 3.0);
+            let (_inner, _) = TracedSpan::enter(&outer_ctx, "inner");
+        }
+        crate::set_enabled(false);
+        let spans = get_trace(root_ctx.trace_id).expect("trace retained");
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").expect("inner");
+        let outer = spans.iter().find(|s| s.name == "outer").expect("outer");
+        assert_eq!(inner.parent_id, outer.span_id);
+        assert_eq!(outer.parent_id, root_ctx.span_id);
+        assert_eq!(outer.args, vec![("rows", 3.0)]);
+    }
+
+    #[test]
+    fn record_span_attributes_cross_thread_work() {
+        crate::set_enabled(true);
+        let ctx = TraceContext::root(0xabad);
+        let start = now_us();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                record_span(&ctx, "batch_solve", start, 5, &[("batch", 1.0)]);
+            });
+        });
+        crate::set_enabled(false);
+        let spans = get_trace(ctx.trace_id).expect("trace retained");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent_id, ctx.span_id);
+        assert_eq!(spans[0].args, vec![("batch", 1.0)]);
+    }
+
+    #[test]
+    fn disabled_recording_keeps_context_but_stores_nothing() {
+        crate::set_enabled(false);
+        let root = TraceContext::root(0x0ff);
+        let (_span, child) = TracedSpan::enter(&root, "ghost");
+        assert_eq!(child.trace_id, root.trace_id);
+        drop(_span);
+        assert!(get_trace(root.trace_id).is_none());
+    }
+
+    #[test]
+    fn store_evicts_oldest_trace_at_capacity() {
+        crate::set_enabled(true);
+        let first = TraceContext::root(1);
+        record_span(&first, "s", 0, 1, &[]);
+        let mut later = Vec::new();
+        for i in 0..MAX_TRACES as u64 {
+            let ctx = TraceContext::root(1000 + i);
+            record_span(&ctx, "s", 0, 1, &[]);
+            later.push(ctx.trace_id);
+        }
+        crate::set_enabled(false);
+        assert!(get_trace(first.trace_id).is_none(), "oldest evicted");
+        assert!(get_trace(later[later.len() - 1]).is_some());
+        assert!(trace_ids().len() <= MAX_TRACES);
+        clear_traces();
+        assert!(trace_ids().is_empty());
+    }
+
+    #[test]
+    fn chrome_doc_is_parseable_and_carries_ids() {
+        let ctx = TraceContext::root(0xc0de);
+        let spans = vec![TraceSpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: 2,
+            parent_id: 1,
+            name: "serve_request",
+            start_us: 10,
+            dur_us: 25,
+            args: vec![("rows", 2.0)],
+        }];
+        let doc = chrome_trace_doc(&[(ctx.trace_id, spans)]);
+        let parsed = crate::json::parse(&doc).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2, "metadata + one span");
+        let span = &events[1];
+        assert_eq!(span.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(span.get("ts").and_then(|v| v.as_f64()), Some(10.0));
+        assert_eq!(span.get("dur").and_then(|v| v.as_f64()), Some(25.0));
+        let args = span.get("args").expect("args");
+        assert_eq!(args.get("rows").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(
+            args.get("trace_id").and_then(|v| v.as_str()),
+            Some(format!("{:016x}", ctx.trace_id)).as_deref()
+        );
+    }
+}

@@ -26,12 +26,23 @@
 //! models (the resilience ladder's col-avgs floor) still serve, with a
 //! `DEGRADED: true` response header. All metric and span names live in
 //! `obs::names`.
+//!
+//! Observability (PR 7): every request runs under its own
+//! [`obs::TraceContext`] whose span tree (request → batch → shared
+//! pattern solve) is served back on `GET /debug/trace?id=<hex>` as
+//! Chrome trace-event JSON; per-endpoint latency, queue wait, and solve
+//! time feed log-bucketed quantile histograms on `/metrics`; and
+//! structured shed/expiry/coalesce events land in the flight recorder
+//! (`GET /debug/flightrecorder`). The [`loadgen`] module is the
+//! self-contained load generator behind `ratio-rules serve-bench`.
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
+pub use loadgen::{run_load, LoadReport, LoadgenConfig};
 pub use queue::{BatchConfig, Batcher, PredictOutcome, Prediction, ServeModel, SubmitError};
 pub use server::{Server, ServerConfig};

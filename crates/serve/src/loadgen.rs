@@ -1,0 +1,302 @@
+//! Self-contained load generator for the prediction server.
+//!
+//! `ratio-rules serve-bench` needs sustained-throughput and
+//! tail-latency numbers without external tooling (`wrk`, `hey`), so the
+//! client lives here: `concurrency` threads each fire `POST /predict`
+//! requests over fresh TCP connections (the protocol is one-shot), time
+//! every request end to end, and — crucially — check each returned row
+//! against a single-shot [`RuleSetPredictor`] fill. Batched serving is
+//! only a win if it never changes an answer, so the oracle comparison
+//! is *bit-identical*: the server's JSON writer emits shortest
+//! round-trip floats and the comparison is on `f64::to_bits`.
+//!
+//! Quantiles in the report are exact (computed from the full sorted
+//! latency sample), unlike the server-side log-bucketed histograms —
+//! which makes the report a calibration check for those as well.
+//!
+//! This crate is a clock crate (`rrlint` RR003): wall-clock reads are
+//! deliberate and confined here and in the batcher.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use obs::json::JsonValue;
+use ratio_rules::predictor::{Predictor, RuleSetPredictor};
+use ratio_rules::rules::RuleSet;
+
+/// Load-generator knobs (the `serve-bench` subcommand maps flags here).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total `POST /predict` requests to send.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Rows per request body.
+    pub rows_per_request: usize,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 200,
+            concurrency: 4,
+            rows_per_request: 4,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// Requests answered 200 with a parseable body.
+    pub ok: usize,
+    /// Requests that failed (transport error or non-200 status).
+    pub errors: usize,
+    /// Wall time of the whole run, seconds.
+    pub wall_s: f64,
+    /// Sustained request throughput over the run.
+    pub req_per_s: f64,
+    /// Exact latency quantiles over successful requests, microseconds.
+    pub p50_us: f64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile latency, microseconds.
+    pub p999_us: f64,
+    /// Slowest successful request, microseconds.
+    pub max_us: f64,
+    /// Rows compared against the single-shot oracle.
+    pub rows_checked: usize,
+    /// Rows whose served bits differed from the oracle (must be 0).
+    pub mismatches: usize,
+}
+
+#[derive(Default)]
+struct ThreadStats {
+    latencies_us: Vec<f64>,
+    ok: usize,
+    errors: usize,
+    rows_checked: usize,
+    mismatches: usize,
+}
+
+/// Deterministic workload row `r` of request `req`: a clean multiple of
+/// a fixed profile with one hole whose position cycles through the
+/// columns, so the batcher sees a small set of recurring hole patterns
+/// to coalesce (the realistic case the solver cache is built for).
+fn gen_row(req: usize, r: usize, m: usize) -> Vec<Option<f64>> {
+    let base = ((req * 7 + r * 3) % 23 + 1) as f64;
+    let hole = (req + r) % m;
+    (0..m)
+        .map(|j| {
+            if j == hole {
+                None
+            } else {
+                Some(base * (m - j) as f64 + j as f64 * 0.25)
+            }
+        })
+        .collect()
+}
+
+fn body_for(req: usize, rows_per_request: usize, m: usize) -> String {
+    let rows: Vec<JsonValue> = (0..rows_per_request)
+        .map(|r| {
+            JsonValue::Arr(
+                gen_row(req, r, m)
+                    .into_iter()
+                    .map(|c| c.map_or(JsonValue::Null, JsonValue::Num))
+                    .collect(),
+            )
+        })
+        .collect();
+    JsonValue::Obj(vec![("rows".into(), JsonValue::Arr(rows))]).write(false)
+}
+
+fn post_predict(
+    addr: SocketAddr,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "POST /predict HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map_or(String::new(), |(_, b)| b.to_string());
+    Ok((status, body))
+}
+
+/// Compares one served row against the oracle's single-shot fill,
+/// bit for bit. Returns `(rows_checked, mismatches)` deltas.
+fn check_row(
+    served: &JsonValue,
+    oracle: &RuleSetPredictor,
+    req: usize,
+    r: usize,
+    m: usize,
+) -> (usize, usize) {
+    let got = match served.get("values").and_then(JsonValue::as_arr) {
+        Some(vs) => vs,
+        None => return (1, 1), // served an error for a valid row
+    };
+    let holed = dataset::holes::HoledRow::new(gen_row(req, r, m));
+    let want = match oracle.fill(&holed) {
+        Ok(w) => w,
+        Err(_) => return (0, 0), // row the oracle cannot fill; skip
+    };
+    if got.len() != want.len() {
+        return (1, 1);
+    }
+    let identical = got
+        .iter()
+        .zip(&want)
+        .all(|(g, w)| g.as_f64().map(f64::to_bits) == Some(w.to_bits()));
+    (1, usize::from(!identical))
+}
+
+/// Exact quantile of an already-sorted sample (nearest-rank).
+fn pct(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// Drives a load run against a listening server and reports sustained
+/// throughput, exact tail latencies, and oracle agreement.
+///
+/// `n_attributes` is the served model's row width `M`; `oracle` should
+/// be the same rule set the server is serving — pass `None` to skip the
+/// bit-identity check (e.g. against a degraded col-avgs server). Each
+/// thread builds its own [`RuleSetPredictor`] so oracle solves never
+/// contend.
+#[must_use]
+pub fn run_load(
+    addr: SocketAddr,
+    n_attributes: usize,
+    oracle: Option<&RuleSet>,
+    cfg: &LoadgenConfig,
+) -> LoadReport {
+    let m = n_attributes.max(1);
+    let concurrency = cfg.concurrency.max(1);
+    let stats: Mutex<Vec<ThreadStats>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..concurrency {
+            let stats = &stats;
+            scope.spawn(move || {
+                let thread_oracle = oracle.map(|rs| RuleSetPredictor::new(rs.clone()));
+                let mut local = ThreadStats::default();
+                let mut req = t;
+                while req < cfg.requests {
+                    let body = body_for(req, cfg.rows_per_request, m);
+                    let req_t0 = Instant::now();
+                    match post_predict(addr, &body, cfg.timeout) {
+                        Ok((200, resp_body)) => {
+                            local
+                                .latencies_us
+                                .push(req_t0.elapsed().as_micros() as f64);
+                            local.ok += 1;
+                            if let Some(orc) = &thread_oracle {
+                                if let Ok(doc) = obs::json::parse(&resp_body) {
+                                    let rows =
+                                        doc.get("rows").and_then(JsonValue::as_arr);
+                                    for (r, served) in
+                                        rows.unwrap_or(&[]).iter().enumerate()
+                                    {
+                                        let (c, x) = check_row(served, orc, req, r, m);
+                                        local.rows_checked += c;
+                                        local.mismatches += x;
+                                    }
+                                }
+                            }
+                        }
+                        Ok((_, _)) | Err(_) => local.errors += 1,
+                    }
+                    req += concurrency;
+                }
+                stats
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(local);
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let all = stats.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let mut latencies: Vec<f64> = all.iter().flat_map(|s| s.latencies_us.clone()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let ok = all.iter().map(|s| s.ok).sum();
+    LoadReport {
+        requests: cfg.requests,
+        ok,
+        errors: all.iter().map(|s| s.errors).sum(),
+        wall_s,
+        req_per_s: if wall_s > 0.0 { ok as f64 / wall_s } else { 0.0 },
+        p50_us: pct(&latencies, 0.50),
+        p90_us: pct(&latencies, 0.90),
+        p99_us: pct(&latencies, 0.99),
+        p999_us: pct(&latencies, 0.999),
+        max_us: latencies.last().copied().unwrap_or(0.0),
+        rows_checked: all.iter().map(|s| s.rows_checked).sum(),
+        mismatches: all.iter().map(|s| s.mismatches).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_rows_are_deterministic_with_one_hole() {
+        let a = gen_row(3, 1, 4);
+        let b = gen_row(3, 1, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|c| c.is_none()).count(), 1);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn pct_is_nearest_rank_on_the_sorted_sample() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(pct(&s, 0.50), 5.0);
+        assert_eq!(pct(&s, 0.90), 9.0);
+        assert_eq!(pct(&s, 0.999), 10.0);
+        assert_eq!(pct(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn body_encodes_holes_as_null() {
+        let body = body_for(0, 2, 3);
+        let doc = obs::json::parse(&body).expect("valid JSON");
+        let rows = doc.get("rows").and_then(JsonValue::as_arr).expect("rows");
+        assert_eq!(rows.len(), 2);
+        let first = rows[0].as_arr().expect("row array");
+        assert_eq!(first.len(), 3);
+        assert!(first.iter().any(|c| matches!(c, JsonValue::Null)));
+    }
+}

@@ -16,6 +16,7 @@
 //! empty before exiting, so accepted work is never dropped.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -161,6 +162,8 @@ struct Job {
     enqueued: Instant,
     deadline: Instant,
     tx: mpsc::Sender<PredictOutcome>,
+    /// Request trace this row belongs to (absent for untraced callers).
+    ctx: Option<obs::TraceContext>,
 }
 
 struct State {
@@ -173,7 +176,9 @@ struct Shared {
     state: Mutex<State>,
     cv: Condvar,
     batch_bounds: Vec<f64>,
-    latency_bounds: Vec<f64>,
+    /// Monotone batch label; ties every member request's spans and the
+    /// flight-recorder coalesce event to one solve.
+    batch_seq: AtomicU64,
 }
 
 impl Shared {
@@ -194,18 +199,20 @@ impl Batcher {
     #[must_use]
     pub fn start(model: Arc<ServeModel>, cfg: BatchConfig) -> Batcher {
         let shared = Arc::new(Shared {
-            // Batch sizes are small integers; latencies run from
-            // microseconds (cache-hit fills) to the multi-second
-            // deadline.
+            // Batch sizes are small integers.
             batch_bounds: obs::exponential_bounds(1.0, 2.0, 11),
-            latency_bounds: obs::exponential_bounds(10.0, 4.0, 12),
             cfg,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            batch_seq: AtomicU64::new(1),
         });
+        // The batch-size histogram has owner-chosen bounds, so the boot
+        // seeder cannot register it; doing so here keeps the family on
+        // /metrics from the first scrape.
+        obs::global().histogram(names::SERVE_BATCH_SIZE, &shared.batch_bounds);
         let worker_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("rr-batcher".into())
@@ -224,6 +231,20 @@ impl Batcher {
     /// should answer 429 + `Retry-After`), [`SubmitError::ShuttingDown`]
     /// once a drain has begun.
     pub fn submit(&self, row: HoledRow) -> Result<mpsc::Receiver<PredictOutcome>, SubmitError> {
+        self.submit_traced(row, None)
+    }
+
+    /// [`submit`](Self::submit) carrying the submitting request's trace
+    /// context, so the batch solve that eventually answers this row is
+    /// recorded into that request's span tree.
+    ///
+    /// # Errors
+    /// Same contract as [`submit`](Self::submit).
+    pub fn submit_traced(
+        &self,
+        row: HoledRow,
+        ctx: Option<obs::TraceContext>,
+    ) -> Result<mpsc::Receiver<PredictOutcome>, SubmitError> {
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
         {
@@ -233,6 +254,7 @@ impl Batcher {
             }
             if st.queue.len() >= self.shared.cfg.max_queue {
                 obs::counter_add(names::SERVE_REJECTED_TOTAL, 1);
+                obs::flight_event(names::EVENT_SERVE_SHED_429, st.queue.len() as u64, 0, 0.0);
                 return Err(SubmitError::QueueFull);
             }
             st.queue.push_back(Job {
@@ -240,6 +262,7 @@ impl Batcher {
                 enqueued: now,
                 deadline: now + self.shared.cfg.deadline,
                 tx,
+                ctx,
             });
             obs::gauge_set(names::SERVE_QUEUE_DEPTH, st.queue.len() as f64);
         }
@@ -326,11 +349,18 @@ fn batcher_loop(shared: &Shared, model: &ServeModel) {
 
 fn run_batch(shared: &Shared, model: &ServeModel, jobs: Vec<Job>) {
     let _span = obs::Span::enter(names::SPAN_SERVE_BATCH);
+    let batch_id = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
     let now = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
     for job in jobs {
         if now > job.deadline {
             obs::counter_add(names::SERVE_TIMEOUTS_TOTAL, 1);
+            obs::flight_event(
+                names::EVENT_SERVE_JOB_EXPIRED,
+                batch_id,
+                0,
+                job.enqueued.elapsed().as_micros() as f64,
+            );
             let _ = job.tx.send(PredictOutcome::Expired);
         } else {
             live.push(job);
@@ -346,12 +376,21 @@ fn run_batch(shared: &Shared, model: &ServeModel, jobs: Vec<Job>) {
         &shared.batch_bounds,
         live.len() as f64,
     );
+    for job in &live {
+        obs::observe_quantile(
+            names::SERVE_QUEUE_WAIT_US,
+            job.enqueued.elapsed().as_micros() as f64,
+        );
+    }
 
-    let outcomes: Vec<PredictOutcome> = match model {
+    let solve_start_us = obs::trace::now_us();
+    let solve_t0 = Instant::now();
+    let (groups, outcomes): (usize, Vec<PredictOutcome>) = match model {
         ServeModel::Rules(bp) => {
             let rows: Vec<HoledRow> = live.iter().map(|j| j.row.clone()).collect();
-            let (_groups, results) = bp.fill_batch(&rows);
-            results
+            let ctxs: Vec<Option<obs::TraceContext>> = live.iter().map(|j| j.ctx).collect();
+            let (groups, results) = bp.fill_batch_traced(&rows, &ctxs, batch_id);
+            let outcomes = results
                 .into_iter()
                 .map(|r| match r {
                     Ok(filled) => PredictOutcome::Filled(Prediction {
@@ -360,24 +399,55 @@ fn run_batch(shared: &Shared, model: &ServeModel, jobs: Vec<Job>) {
                     }),
                     Err(e) => PredictOutcome::Failed(e.to_string()),
                 })
-                .collect()
+                .collect();
+            (groups, outcomes)
         }
-        ServeModel::ColAvgs(ca) => live
-            .iter()
-            .map(|j| match ca.fill(&j.row) {
-                Ok(values) => PredictOutcome::Filled(Prediction {
-                    values,
-                    case: "col_avgs".into(),
-                }),
-                Err(e) => PredictOutcome::Failed(e.to_string()),
-            })
-            .collect(),
+        ServeModel::ColAvgs(ca) => {
+            let outcomes = live
+                .iter()
+                .map(|j| match ca.fill(&j.row) {
+                    Ok(values) => PredictOutcome::Filled(Prediction {
+                        values,
+                        case: "col_avgs".into(),
+                    }),
+                    Err(e) => PredictOutcome::Failed(e.to_string()),
+                })
+                .collect();
+            // The floor fills every row independently: no coalescing.
+            (live.len(), outcomes)
+        }
     };
+    let solve_dur_us = obs::trace::now_us().saturating_sub(solve_start_us);
+    obs::observe_quantile(
+        names::SERVE_SOLVE_US,
+        solve_t0.elapsed().as_micros() as f64,
+    );
+    obs::flight_event(
+        names::EVENT_SERVE_BATCH_COALESCED,
+        batch_id,
+        live.len() as u64,
+        groups as f64,
+    );
+    let batch_args = [
+        ("batch", batch_id as f64),
+        ("rows", live.len() as f64),
+        ("groups", groups as f64),
+    ];
+    for job in &live {
+        if let Some(ctx) = job.ctx {
+            obs::trace::record_span(
+                &ctx,
+                names::SPAN_SERVE_BATCH,
+                solve_start_us,
+                solve_dur_us,
+                &batch_args,
+            );
+        }
+    }
 
     for (job, outcome) in live.into_iter().zip(outcomes) {
-        obs::observe(
+        obs::observe_quantile(
             names::SERVE_LATENCY_US,
-            &shared.latency_bounds,
             job.enqueued.elapsed().as_micros() as f64,
         );
         let _ = job.tx.send(outcome);

@@ -35,6 +35,10 @@ pub struct ServerConfig {
     pub batch: BatchConfig,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
+    /// Seed for request trace ids (mixed with a per-request sequence, so
+    /// equal seeds still yield distinct traces). Deterministic input by
+    /// design — no ambient entropy.
+    pub trace_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +48,7 @@ impl Default for ServerConfig {
             threads: 4,
             batch: BatchConfig::default(),
             io_timeout: Duration::from_secs(10),
+            trace_seed: 0x5252_5345_5256_4500, // "RRSERVE\0"
         }
     }
 }
@@ -71,6 +76,7 @@ impl ConnQueue {
         let mut st = self.lock();
         if st.queue.len() >= self.cap {
             drop(st);
+            obs::flight_event(names::EVENT_SERVE_SHED_503, self.cap as u64, 0, 0.0);
             let mut stream = stream;
             let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
             let _ = Response::text(503, "worker hand-off queue full\n".into())
@@ -108,6 +114,7 @@ struct Handler {
     rules_doc: String,
     degraded: bool,
     io_timeout: Duration,
+    trace_seed: u64,
 }
 
 /// A running prediction server.
@@ -128,14 +135,7 @@ impl Server {
     pub fn start(cfg: ServerConfig, model: ServeModel) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        // Seed the scan-side gauges so /metrics always carries them, even
-        // in a fresh serve process that mined nothing in-process; an
-        // in-process mine (profile, tests) overwrites them with real
-        // values through the same registry.
-        obs::gauge_set(
-            obs::names::COVARIANCE_BLOCK_ROWS,
-            ratio_rules::covariance::DEFAULT_BLOCK_ROWS as f64,
-        );
+        seed_boot_families();
         let model = Arc::new(model);
         let handler = Arc::new(Handler {
             rules_doc: model.document(),
@@ -143,6 +143,7 @@ impl Server {
             batcher: Batcher::start(Arc::clone(&model), cfg.batch.clone()),
             model,
             io_timeout: cfg.io_timeout,
+            trace_seed: cfg.trace_seed,
         });
         let threads = cfg.threads.max(1);
         let conns = Arc::new(ConnQueue {
@@ -241,6 +242,37 @@ fn handle_connection(handler: &Handler, mut stream: TcpStream) {
     let _ = stream.flush();
 }
 
+/// Registers every family in [`names::SERVE_BOOT_FAMILIES`] so the very
+/// first `/metrics` scrape already exposes the full serve/scan surface.
+/// Data-driven: a family added to the registry list is seeded here with
+/// no code change. Fixed-bucket histograms are skipped — their bounds
+/// live with the owning subsystem (the batcher registers
+/// `serve_batch_size` itself at start).
+fn seed_boot_families() {
+    let reg = obs::global();
+    for &(name, kind) in names::SERVE_BOOT_FAMILIES {
+        match kind {
+            names::FamilyKind::Counter => {
+                reg.counter(name);
+            }
+            names::FamilyKind::Gauge => {
+                // Gauges whose true value is known statically get it;
+                // the rest start at zero until their owner writes.
+                let seed = if name == names::COVARIANCE_BLOCK_ROWS {
+                    ratio_rules::covariance::DEFAULT_BLOCK_ROWS as f64
+                } else {
+                    0.0
+                };
+                reg.gauge(name).set(seed);
+            }
+            names::FamilyKind::Quantile => {
+                reg.quantile(name);
+            }
+            names::FamilyKind::Histogram => {}
+        }
+    }
+}
+
 fn err_response(status: u16, message: &str) -> Response {
     let body = JsonValue::Obj(vec![(
         "error".into(),
@@ -250,21 +282,85 @@ fn err_response(status: u16, message: &str) -> Response {
 }
 
 fn route(handler: &Handler, req: &Request) -> Response {
-    let _span = obs::Span::enter(names::SPAN_SERVE_REQUEST);
     obs::counter_add(names::SERVE_REQUESTS_TOTAL, 1);
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => healthz(handler),
-        ("GET", "/metrics") => {
-            Response::text(200, obs::export::to_prometheus(&obs::global().snapshot()))
+    // Every request gets its own trace; the span tree is retained in the
+    // bounded trace store and served back on /debug/trace?id=<hex>.
+    let root = obs::TraceContext::root(handler.trace_seed);
+    let start_us = obs::trace::now_us();
+    let (mut span, ctx) = obs::TracedSpan::enter(&root, names::SPAN_SERVE_REQUEST);
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    let (family, response) = match (req.method.as_str(), path) {
+        ("GET", "/healthz") => (names::SERVE_REQUEST_US_HEALTHZ, healthz(handler)),
+        ("GET", "/metrics") => (
+            names::SERVE_REQUEST_US_METRICS,
+            Response::text(200, obs::export::to_prometheus(&obs::global().snapshot())),
+        ),
+        ("GET", "/rules") => (
+            names::SERVE_REQUEST_US_RULES,
+            Response::json(200, handler.rules_doc.clone()),
+        ),
+        ("POST", "/predict") => (names::SERVE_REQUEST_US_PREDICT, predict(handler, req, ctx)),
+        ("POST", "/whatif") => (names::SERVE_REQUEST_US_WHATIF, whatif(handler, req)),
+        ("GET", "/debug/trace") => (names::SERVE_REQUEST_US_DEBUG, debug_trace(query)),
+        ("GET", "/debug/flightrecorder") => {
+            (names::SERVE_REQUEST_US_DEBUG, debug_flightrecorder())
         }
-        ("GET", "/rules") => Response::json(200, handler.rules_doc.clone()),
-        ("POST", "/predict") => predict(handler, req),
-        ("POST", "/whatif") => whatif(handler, req),
-        (_, "/healthz" | "/metrics" | "/rules" | "/predict" | "/whatif") => {
-            err_response(405, "method not allowed for this endpoint")
+        (
+            _,
+            "/healthz" | "/metrics" | "/rules" | "/predict" | "/whatif" | "/debug/trace"
+            | "/debug/flightrecorder",
+        ) => (
+            names::SERVE_REQUEST_US_OTHER,
+            err_response(405, "method not allowed for this endpoint"),
+        ),
+        _ => (
+            names::SERVE_REQUEST_US_OTHER,
+            err_response(404, "unknown endpoint"),
+        ),
+    };
+    span.arg("status", f64::from(response.status));
+    drop(span);
+    obs::observe_quantile(
+        family,
+        obs::trace::now_us().saturating_sub(start_us) as f64,
+    );
+    response.with_header("x-trace-id", &format!("{:016x}", root.trace_id))
+}
+
+/// `GET /debug/trace` — lists retained trace ids; with `?id=<hex>`
+/// returns that trace as a Chrome trace-event document (open it in
+/// `about:tracing` / Perfetto).
+fn debug_trace(query: &str) -> Response {
+    let id = query.split('&').find_map(|kv| kv.strip_prefix("id="));
+    match id {
+        None => {
+            let ids: Vec<JsonValue> = obs::trace::trace_ids()
+                .iter()
+                .map(|id| JsonValue::Str(format!("{id:016x}")))
+                .collect();
+            Response::json(
+                200,
+                JsonValue::Obj(vec![("traces".into(), JsonValue::Arr(ids))]).write(false),
+            )
         }
-        _ => err_response(404, "unknown endpoint"),
+        Some(hex) => match u64::from_str_radix(hex, 16) {
+            Ok(id) => match obs::trace::get_trace(id) {
+                Some(spans) => Response::json(200, obs::chrome_trace_doc(&[(id, spans)])),
+                None => err_response(404, "trace not retained (bounded store evicts oldest)"),
+            },
+            Err(_) => err_response(400, "id must be a hex trace id"),
+        },
     }
+}
+
+/// `GET /debug/flightrecorder` — the flight recorder's ring contents as
+/// JSONL, oldest first (empty body when recording is off or nothing has
+/// happened).
+fn debug_flightrecorder() -> Response {
+    Response::text(200, obs::flight_to_jsonl(&obs::flight_snapshot()))
 }
 
 fn healthz(handler: &Handler) -> Response {
@@ -295,7 +391,7 @@ fn num_arr(values: &[f64]) -> JsonValue {
     JsonValue::Arr(values.iter().map(|&v| JsonValue::Num(v)).collect())
 }
 
-fn predict(handler: &Handler, req: &Request) -> Response {
+fn predict(handler: &Handler, req: &Request, ctx: obs::TraceContext) -> Response {
     let body = match parse_body(req) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -315,7 +411,7 @@ fn predict(handler: &Handler, req: &Request) -> Response {
 
     let mut receivers = Vec::with_capacity(rows.len());
     for row in rows {
-        match handler.batcher.submit(row) {
+        match handler.batcher.submit_traced(row, Some(ctx)) {
             Ok(rx) => receivers.push(rx),
             Err(SubmitError::QueueFull) => {
                 return err_response(429, "prediction queue full; retry after backing off")

@@ -219,7 +219,65 @@ for needle in serve_requests_total serve_rows_predicted_total serve_batch_size; 
     }
 done
 echo "  /metrics: ok"
+
+# Tail-latency quantile families must be exposed as Prometheus
+# summaries: per-endpoint request latency plus the pipeline stages.
+for needle in serve_request_us_predict serve_latency_us serve_queue_wait_us \
+              serve_solve_us; do
+    grep -qF "$needle" <<<"$metrics" || {
+        echo "serve: /metrics missing quantile family $needle" >&2
+        exit 1
+    }
+done
+grep -qF 'quantile="0.99"' <<<"$metrics" || {
+    echo "serve: /metrics missing summary quantile labels" >&2
+    exit 1
+}
+echo "  /metrics quantile families: ok"
+
+# The flight recorder endpoint returns well-formed JSONL; the /predict
+# above was batch-coalesced with the recorder armed, so the ring is
+# non-empty.
+flight_body="$(http_get /debug/flightrecorder | sed '1,/^\r\{0,1\}$/d')"
+flight_lines=0
+while IFS= read -r line; do
+    [ -z "$line" ] && continue
+    case "$line" in
+        \{*\}) ;;
+        *) echo "serve: /debug/flightrecorder non-JSON line: $line" >&2; exit 1 ;;
+    esac
+    grep -qF '"event":' <<<"$line" && grep -qF '"seq":' <<<"$line" || {
+        echo "serve: flight event missing fields: $line" >&2
+        exit 1
+    }
+    flight_lines=$((flight_lines + 1))
+done <<<"$flight_body"
+if [ "$flight_lines" -lt 1 ]; then
+    echo "serve: flight recorder empty after a coalesced /predict" >&2
+    exit 1
+fi
+echo "  /debug/flightrecorder: $flight_lines JSONL events ok"
+
+grep -qF '"traces"' <<<"$(http_get /debug/trace)" || {
+    echo "serve: /debug/trace did not list retained traces" >&2
+    exit 1
+}
+echo "  /debug/trace: ok"
 kill "$serve_pid"
 serve_pid=""
+
+echo "== serve-bench --quick: loadgen smoke (non-recording) =="
+sb_out="$("$bin" serve-bench --quick --requests 30 --concurrency 3)"
+if ! grep -qF "quick serve bench OK" <<<"$sb_out"; then
+    echo "serve-bench --quick did not report oracle agreement" >&2
+    echo "$sb_out" >&2
+    exit 1
+fi
+grep -qF " 0 errors" <<<"$sb_out" || {
+    echo "serve-bench --quick saw request errors" >&2
+    echo "$sb_out" >&2
+    exit 1
+}
+echo "  serve-bench quick: ok"
 
 echo "verify: OK"

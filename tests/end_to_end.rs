@@ -100,15 +100,15 @@ fn full_protocol_on_abalone_like_data() {
     }
 }
 
-/// A trained model survives serde persistence and keeps predicting
+/// A trained model survives JSON persistence and keeps predicting
 /// identically.
 #[test]
 fn model_persistence_roundtrip() {
     let (data, _) = dataset::synth::sports::nba_like(5).unwrap();
     let rules = RatioRuleMiner::paper_defaults().fit_data(&data).unwrap();
 
-    let json = serde_json::to_string(&rules).unwrap();
-    let restored: RuleSet = serde_json::from_str(&json).unwrap();
+    let json = ratio_rules::model_json::rules_to_string(&rules);
+    let restored: RuleSet = ratio_rules::model_json::rules_from_str(&json).unwrap();
     assert_eq!(restored, rules);
 
     let row = {

@@ -455,6 +455,94 @@ proptest! {
     }
 }
 
+/// Strategy: a latency-like sample spanning several decades (the range
+/// serve quantiles actually see: sub-microsecond to tens of seconds).
+fn latencies(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0.0..6.0f64).prop_map(|e| 10f64.powf(e - 1.0)), 1..max_len)
+}
+
+fn feed_quantile(values: &[f64]) -> obs::QuantileSnapshot {
+    let q = obs::Quantile::standalone();
+    for &v in values {
+        q.observe(v);
+    }
+    q.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quantile estimates are monotone in q and never exceed the exact
+    /// max; in particular p50 <= p99 <= max for any sample.
+    #[test]
+    fn quantile_estimates_are_monotone_and_capped(values in latencies(400)) {
+        let s = feed_quantile(&values);
+        let mut prev = 0.0;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let est = s.quantile(q);
+            prop_assert!(est >= prev, "quantile({q}) = {est} < {prev}");
+            prop_assert!(est <= s.max, "quantile({q}) = {est} > max {}", s.max);
+            prev = est;
+        }
+        prop_assert!(s.quantile(0.5) <= s.quantile(0.99));
+        prop_assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    /// Merging two snapshots is bucket-exact: identical to feeding the
+    /// concatenated sample into one histogram.
+    #[test]
+    fn quantile_merge_equals_concatenated_feed(
+        a in latencies(200),
+        b in latencies(200),
+    ) {
+        let merged = feed_quantile(&a).merge(&feed_quantile(&b));
+        let combined: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, feed_quantile(&combined));
+    }
+
+    /// Every reported quantile lands within one log bucket of the true
+    /// order statistic: relative error below 2^(1/8) - 1 (with
+    /// float-boundary slack), and never an undershoot.
+    #[test]
+    fn quantile_relative_error_is_bounded(values in latencies(500)) {
+        let s = feed_quantile(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite sample"));
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = s.quantile(q);
+            prop_assert!(
+                (est - truth).abs() / truth < 0.092,
+                "q={}: est {} vs truth {}", q, est, truth
+            );
+            prop_assert!(est >= truth * (1.0 - 1e-12), "q={}: undershoot", q);
+        }
+    }
+
+    /// count and sum aggregate exactly, and the windowed delta of a
+    /// snapshot against an earlier baseline recovers just the window.
+    #[test]
+    fn quantile_delta_recovers_the_window(
+        before in latencies(150),
+        after in latencies(150),
+    ) {
+        let q = obs::Quantile::standalone();
+        for &v in &before {
+            q.observe(v);
+        }
+        let baseline = q.snapshot();
+        prop_assert_eq!(baseline.count, before.len() as u64);
+        for &v in &after {
+            q.observe(v);
+        }
+        let window = q.snapshot().delta_since(&baseline);
+        prop_assert_eq!(window.count, after.len() as u64);
+        let window_buckets = feed_quantile(&after).buckets;
+        prop_assert_eq!(&window.buckets, &window_buckets);
+    }
+}
+
 /// Golden regression: pins k across thresholds on a fixed geometric
 /// spectrum (energy halves per rule; cumulative fractions 0.508, 0.762,
 /// 0.889, 0.952, 0.984, 1.0). A change in Eq. 1's accounting — clamping,

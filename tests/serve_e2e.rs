@@ -42,6 +42,7 @@ fn start_server(batch: BatchConfig) -> (Server, SocketAddr) {
         threads: 4,
         batch,
         io_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
     };
     let server = Server::start(cfg, ServeModel::from_served(
         ratio_rules::resilience::ServedModel::Rules(mine()),
@@ -255,6 +256,84 @@ fn metrics_endpoint_exposes_registered_serve_names() {
         obs::names::SCAN_SHARD_0_ROWS_PER_S,
     ] {
         assert!(metrics.contains(name), "/metrics missing {name}");
+    }
+    server.shutdown();
+}
+
+/// The tentpole loop over real sockets: a predict response carries its
+/// trace id, the trace is served back as a Chrome trace-event document
+/// showing request -> batch -> solve, and the flight recorder endpoint
+/// returns well-formed JSONL.
+#[test]
+fn debug_endpoints_serve_trace_and_flight_recorder() {
+    obs::set_enabled(true);
+    obs::set_flight_enabled(true);
+    let (server, addr) = start_server(BatchConfig::default());
+    let row = HoleSet::new(vec![2], 4)
+        .unwrap()
+        .apply(training_matrix().row(5))
+        .unwrap();
+    let (status, headers, _) = post(addr, "/predict", &rows_body(std::slice::from_ref(&row)));
+    assert_eq!(status, 200);
+    let trace_id = headers
+        .iter()
+        .find(|(n, _)| n == "x-trace-id")
+        .map(|(_, v)| v.clone())
+        .expect("predict response must carry x-trace-id");
+    assert_eq!(trace_id.len(), 16, "trace id is 16 hex digits: {trace_id}");
+
+    // The trace store is oldest-evicted, so fetching right away is safe.
+    let (status, _, doc) = get(addr, &format!("/debug/trace?id={trace_id}"));
+    assert_eq!(status, 200, "{doc}");
+    let parsed = obs::json::parse(&doc).unwrap();
+    let events = parsed
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("chrome trace doc");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for span in [
+        obs::names::SPAN_SERVE_REQUEST,
+        obs::names::SPAN_SERVE_BATCH,
+        obs::names::SPAN_PATTERN_SOLVE,
+    ] {
+        assert!(names.contains(&span), "trace missing span {span}: {names:?}");
+    }
+
+    // Unknown and malformed ids fail cleanly.
+    assert_eq!(get(addr, "/debug/trace?id=0000000000000000").0, 404);
+    assert_eq!(get(addr, "/debug/trace?id=zzz").0, 400);
+
+    // The flight recorder dump is JSONL: every non-empty line parses.
+    let (status, _, jsonl) = get(addr, "/debug/flightrecorder");
+    assert_eq!(status, 200);
+    let mut lines = 0;
+    for line in jsonl.lines().filter(|l| !l.is_empty()) {
+        let ev = obs::json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line}: {e:?}"));
+        assert!(ev.get("event").and_then(JsonValue::as_str).is_some());
+        assert!(ev.get("seq").and_then(JsonValue::as_f64).is_some());
+        lines += 1;
+    }
+    // The predict above was coalesced into a batch with the recorder on.
+    assert!(lines >= 1, "expected at least one flight event");
+    server.shutdown();
+}
+
+/// Satellite of the observability PR: gauge/counter/quantile seeding at
+/// boot is data-driven from the names registry, so a dashboard pointed
+/// at a fresh server sees every serve/scan family before any traffic —
+/// adding a name to `SERVE_BOOT_FAMILIES` is all it takes.
+#[test]
+fn metrics_at_boot_expose_every_registered_family() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server(BatchConfig::default());
+    // No requests before this read: boot seeding alone must cover it.
+    let (status, _, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for &(name, _kind) in obs::names::SERVE_BOOT_FAMILIES {
+        assert!(metrics.contains(name), "/metrics at boot missing {name}");
     }
     server.shutdown();
 }
