@@ -40,6 +40,8 @@ const COMMAND_SWITCHES: &[(&str, &[&str])] = &[
     ("profile", &["no-header", "flight"]),
     ("serve", &[]),
     ("serve-bench", &["quick"]),
+    ("mine-shard", &["no-header"]),
+    ("mine-distributed", &["degrade", "flight"]),
 ];
 
 /// Switch set for a command; `None` means the command doesn't exist.
@@ -300,7 +302,10 @@ mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [
      [--fault-rate F] [--fault-seed S]
      columnar fast path (see 'ratio-rules convert'):
      [--columnar]   --input is an RRCB block file; the scan feeds whole
-                    panels to the blocked covariance kernel\n"
+                    panels to the blocked covariance kernel
+     distributed oracle (see 'ratio-rules mine-distributed'):
+     [--shards W]   fold W contiguous row partitions through the pairwise
+                    tree merge; bit-identical to a W-worker distributed mine\n"
             .into());
     }
     allow_with_obs(
@@ -314,6 +319,7 @@ mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [
             "no-header",
             "degrade",
             "columnar",
+            "shards",
             "max-bad-rows",
             "max-bad-fraction",
             "retries",
@@ -327,7 +333,15 @@ mine --input <csv> --output <model.json> [--k N | --energy F] [--lanczos MAXK] [
         ],
     )?;
     if opts.switch("columnar") {
+        if opts.get("shards").is_some() {
+            return Err(CliError::new(
+                "--shards partitions an in-memory CSV; --columnar streams RRCB blocks",
+            ));
+        }
         return mine_columnar(opts);
+    }
+    if opts.get("shards").is_some() {
+        return mine_sharded(opts);
     }
     if resilience_requested(opts) {
         return mine_resilient(opts);
@@ -382,6 +396,42 @@ fn mine_resilient(opts: &Options) -> Result<String> {
             opts,
         ),
     }
+}
+
+/// `mine --shards W`: the single-process oracle for distributed mining.
+/// Scans W contiguous row partitions (the same `n.div_ceil(W)` split
+/// [`serve::coordinator::partition_rows`] produces) and folds them
+/// through the same pairwise tree merge the coordinator uses, so its
+/// model is bit-identical to a `mine-distributed` run over W live
+/// workers — that equivalence is what the chaos harness asserts.
+fn mine_sharded(opts: &Options) -> Result<String> {
+    for flag in [
+        "max-bad-rows",
+        "max-bad-fraction",
+        "retries",
+        "fault-rate",
+        "fault-seed",
+        "checkpoint",
+        "resume",
+    ] {
+        if opts.get(flag).is_some() {
+            return Err(CliError::new(format!(
+                "--{flag} streams the CSV; --shards scans in-memory partitions"
+            )));
+        }
+    }
+    let shards: usize = opts.get_parsed("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::new("--shards: need at least 1"));
+    }
+    let data = load_csv(opts)?;
+    let labels = data.col_labels().to_vec();
+    let acc = ratio_rules::parallel::covariance_parallel(data.matrix(), shards)?;
+    let report = ScanReport {
+        rows_absorbed: acc.n_rows(),
+        ..ScanReport::default()
+    };
+    finish_mine(&acc, &report, Some(labels), opts)
 }
 
 /// The columnar mine: scans an `RRCB` block file (made by `convert`)
@@ -1091,6 +1141,206 @@ serve-bench [--rows 400] [--k N | --energy F] [--requests 200] [--concurrency 4]
     Ok(out)
 }
 
+/// `ratio-rules mine-shard --input data.csv [--port N] [--no-header]
+/// [--checkpoint-dir DIR] [--chaos-* ...]`
+///
+/// Distributed-mining worker: loads its CSV replica, binds the shard
+/// scan endpoint, prints the bound address, and blocks serving
+/// `POST /scan` range requests until killed — or until an injected
+/// crash fault fires, at which point the process exits 1 like a
+/// genuinely dead worker (its checkpoint file, if `--checkpoint-dir`
+/// was given, is what a restarted worker resumes from). The chaos
+/// flags exist for the harness in `scripts/chaos_e2e.sh`; production
+/// workers leave them at zero.
+///
+/// # Errors
+/// Fails on unknown flags, a missing or malformed `--input` CSV, bad
+/// numeric flag values, or a bind failure on the requested port.
+pub fn mine_shard(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok("\
+mine-shard --input <csv> [--port N] [--no-header] [--io-timeout-ms N] [--checkpoint-dir DIR]
+           chaos injection (test harness only; all rates default 0):
+           [--chaos-seed S] [--chaos-crash F] [--chaos-hang F] [--chaos-slow F]
+           [--chaos-corrupt F] [--chaos-truncate F] [--chaos-hang-ms N] [--chaos-slow-ms N]
+           serves POST /scan and GET /healthz; exits 1 on an injected crash\n"
+            .into());
+    }
+    allow_with_obs(
+        opts,
+        &[
+            "input",
+            "no-header",
+            "port",
+            "io-timeout-ms",
+            "checkpoint-dir",
+            "chaos-seed",
+            "chaos-crash",
+            "chaos-hang",
+            "chaos-slow",
+            "chaos-corrupt",
+            "chaos-truncate",
+            "chaos-hang-ms",
+            "chaos-slow-ms",
+            "help",
+        ],
+    )?;
+    let data = load_csv(opts)?;
+    let rows = data.matrix().rows();
+    let cols = data.matrix().cols();
+    let labels = data.col_labels().to_vec();
+    let chaos = serve::ChaosPlan {
+        seed: opts.get_parsed("chaos-seed", 0u64)?,
+        crash_rate: opts.get_parsed("chaos-crash", 0.0)?,
+        hang_rate: opts.get_parsed("chaos-hang", 0.0)?,
+        slow_rate: opts.get_parsed("chaos-slow", 0.0)?,
+        corrupt_rate: opts.get_parsed("chaos-corrupt", 0.0)?,
+        truncate_rate: opts.get_parsed("chaos-truncate", 0.0)?,
+        hang_ms: opts.get_parsed("chaos-hang-ms", 600u64)?,
+        slow_ms: opts.get_parsed("chaos-slow-ms", 40u64)?,
+        ..serve::ChaosPlan::none()
+    };
+    let port: u16 = opts.get_parsed("port", 0)?;
+    let cfg = serve::ShardConfig {
+        addr: format!("127.0.0.1:{port}"),
+        io_timeout: std::time::Duration::from_millis(opts.get_parsed("io-timeout-ms", 10_000u64)?),
+        chaos,
+        checkpoint_dir: opts.get("checkpoint-dir").map(std::path::PathBuf::from),
+    };
+    // Same lifetime rule as `serve`: the worker blocks, so the
+    // per-invocation obs lifecycle in run() never gets to drain it.
+    obs::set_enabled(true);
+    obs::set_flight_enabled(true);
+    let worker =
+        serve::ShardWorker::start(cfg, data.into_matrix(), labels).map_err(CliError::new)?;
+    // Printed (not returned) because the command blocks from here on;
+    // the chaos harness scrapes this line for the ephemeral port.
+    println!(
+        "shard worker on http://{} ({rows} rows x {cols} cols)",
+        worker.addr()
+    );
+    loop {
+        if worker.is_dead() {
+            // An injected crash fault dropped the listener; finish the
+            // imitation of a dead worker by exiting like one.
+            eprintln!("shard worker: injected crash fault; exiting");
+            std::process::exit(crate::EXIT_ERROR);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+/// `ratio-rules mine-distributed --workers host:port,... --output model.json`
+///
+/// Supervising coordinator: partitions the row range over the worker
+/// fleet, dispatches shard scans with deadlines and backoff retries,
+/// reassigns dead workers' shards to probed-live survivors (resuming
+/// from their checkpoints when present), validates every payload at
+/// the trust boundary, and tree-merges the survivors into a model
+/// bit-identical to `mine --shards W`. Exits 0 clean, 2 degraded
+/// (quarantined rows or lost shards within `--max-lost-shards`), 3
+/// when a worker's quarantine budget blew or more shards were lost
+/// than allowed.
+///
+/// # Errors
+/// Fails on unknown flags, unparseable worker addresses, no live
+/// workers, dataset-shape disagreement between workers, shard losses
+/// beyond `--max-lost-shards`, a worker's quarantine-budget exhaustion,
+/// or any model write error.
+pub fn mine_distributed(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok("\
+mine-distributed --workers host:port,host:port,... --output <model.json>
+                 [--k N | --energy F] [--shards N] [--deadline-ms N]
+                 [--retries N] [--retry-base-ms N] [--reassign-budget N]
+                 [--max-lost-shards N] [--checkpoint-dir DIR] [--warmup-ms N]
+                 [--max-bad-rows N] [--max-bad-fraction F]
+                 [--degrade] [--ladder jacobi,ql,lanczos|none]
+                 chaos (test harness only): [--chaos-dup-rate F] [--chaos-seed S]
+                 exit codes: 0 clean, 2 degraded/partial, 3 budget exhausted\n"
+            .into());
+    }
+    allow_with_obs(
+        opts,
+        &[
+            "workers",
+            "output",
+            "k",
+            "energy",
+            "shards",
+            "deadline-ms",
+            "retries",
+            "retry-base-ms",
+            "reassign-budget",
+            "max-lost-shards",
+            "checkpoint-dir",
+            "warmup-ms",
+            "max-bad-rows",
+            "max-bad-fraction",
+            "chaos-dup-rate",
+            "chaos-seed",
+            "degrade",
+            "ladder",
+            "flight",
+            "help",
+        ],
+    )?;
+    let workers: Vec<std::net::SocketAddr> = opts
+        .require("workers")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::new(format!("--workers: cannot parse address {s:?}")))
+        })
+        .collect::<Result<_>>()?;
+    let shards: Option<usize> = opts
+        .get("shards")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::new(format!("--shards: cannot parse {s:?}")))
+        })
+        .transpose()?;
+    let retries: usize = opts.get_parsed("retries", 2)?;
+    let cfg = serve::CoordinatorConfig {
+        workers,
+        shards,
+        policy: parse_scan_policy(opts)?,
+        deadline: std::time::Duration::from_millis(opts.get_parsed("deadline-ms", 5000u64)?),
+        backoff: BackoffPolicy {
+            max_attempts: retries + 1,
+            base_delay: std::time::Duration::from_millis(
+                opts.get_parsed("retry-base-ms", 10u64)?,
+            ),
+            ..BackoffPolicy::default()
+        },
+        reassign_budget: opts.get_parsed("reassign-budget", 4)?,
+        max_lost_shards: opts.get_parsed("max-lost-shards", 0)?,
+        checkpoint_dir: opts.get("checkpoint-dir").map(std::path::PathBuf::from),
+        connect_warmup: std::time::Duration::from_millis(opts.get_parsed("warmup-ms", 1000u64)?),
+        chaos: serve::ChaosPlan {
+            seed: opts.get_parsed("chaos-seed", 0u64)?,
+            duplicate_rate: opts.get_parsed("chaos-dup-rate", 0.0)?,
+            ..serve::ChaosPlan::none()
+        },
+    };
+    let outcome = serve::coordinate(&cfg)?;
+    if outcome.is_degraded() {
+        crate::mark_degraded();
+    }
+    let report = ScanReport {
+        rows_absorbed: outcome.acc.n_rows(),
+        rows_quarantined: outcome.rows_quarantined,
+        by_reason: outcome.by_reason,
+        ..ScanReport::default()
+    };
+    let mut out = finish_mine(&outcome.acc, &report, Some(outcome.labels.clone()), opts)?;
+    out.push_str(&outcome.summary());
+    out.push('\n');
+    Ok(out)
+}
+
 fn dispatch(cmd: &str, opts: &Options) -> Result<String> {
     match cmd {
         "mine" => mine(opts),
@@ -1106,6 +1356,8 @@ fn dispatch(cmd: &str, opts: &Options) -> Result<String> {
         "profile" => profile(opts),
         "serve" => serve_cmd(opts),
         "serve-bench" => serve_bench(opts),
+        "mine-shard" => mine_shard(opts),
+        "mine-distributed" => mine_distributed(opts),
         other => Err(CliError::new(format!(
             "unknown command {other:?}; run 'ratio-rules help'"
         ))),

@@ -128,6 +128,10 @@ COMMANDS:
     profile     mine + evaluate with instrumentation; print spans and metrics
     serve       HTTP prediction server: batched hole filling over a model
     serve-bench load-test an in-process server; writes BENCH_serve.json
+    mine-shard  distributed-mining worker: serve shard scans over a CSV replica
+    mine-distributed
+                coordinate shard workers into one model, bit-identical to
+                'mine --shards W' (supervision: deadlines, retries, reassignment)
     help        print this message
 
 GLOBAL OPTIONS (every command):

@@ -139,8 +139,25 @@ where
 /// per round until one accumulator remains. The merge tree is a pure
 /// function of the shard count, so the reduction is bit-identical across
 /// runs and equal to folding the same shards serially through the same
-/// tree.
-fn tree_merge(mut shards: Vec<CovarianceAccumulator>) -> Result<CovarianceAccumulator> {
+/// tree. Public so distributed coordinators can merge wire-delivered
+/// shard accumulators through the exact tree the in-process scan uses.
+///
+/// Every shard is flushed before the reduction, so each merge adds
+/// fully-folded scalars. Without this, a shard with buffered panel rows
+/// would fold them into the *merged* state (a different association),
+/// and a live accumulator would merge to different bits than the same
+/// shard round-tripped through a checkpoint — which stores only the
+/// folded scalars. Flushing first makes in-process and wire-delivered
+/// shards merge identically by construction.
+///
+/// # Errors
+///
+/// [`RatioRuleError::EmptyInput`] for an empty shard list; a width
+/// mismatch or non-finite parts from any [`CovarianceAccumulator::merge`].
+pub fn tree_merge(mut shards: Vec<CovarianceAccumulator>) -> Result<CovarianceAccumulator> {
+    for shard in &mut shards {
+        shard.flush();
+    }
     while shards.len() > 1 {
         let mut next = Vec::with_capacity(shards.len().div_ceil(2));
         let mut it = shards.into_iter();

@@ -180,6 +180,10 @@ pub struct Scanner {
     /// Rows consumed from the stream (absorbed + quarantined). This is
     /// the resume cursor: a fresh source skips this many consumed rows.
     rows_consumed: usize,
+    /// Absolute consumption cap (exclusive): the scan stops once this
+    /// many rows have been consumed, leaving the rest of the stream
+    /// untouched. `None` scans to the end.
+    limit: Option<usize>,
     report: ScanReport,
 }
 
@@ -190,8 +194,31 @@ impl Scanner {
             acc: CovarianceAccumulator::new(m),
             policy,
             rows_consumed: 0,
+            limit: None,
             report: ScanReport::default(),
         }
+    }
+
+    /// Starts the consumption cursor at absolute stream row `start`
+    /// with no accumulated state — the entry point for shard workers
+    /// that own a row range. The prefix is skipped exactly like a
+    /// checkpoint resume (data-error rows count as consumed), so a
+    /// shard scan over `[start, limit)` is bit-identical to the same
+    /// rows' contribution in a whole-stream scan. Only meaningful
+    /// before the first scan call.
+    #[must_use]
+    pub fn with_start_row(mut self, start: usize) -> Self {
+        self.rows_consumed = start;
+        self
+    }
+
+    /// Caps consumption at absolute stream row `limit` (exclusive).
+    /// Combined with [`Scanner::with_start_row`] this scans exactly
+    /// the shard range `[start, limit)`.
+    #[must_use]
+    pub fn with_consumed_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
     }
 
     /// Rebuilds a scanner from a checkpoint; the next
@@ -211,6 +238,7 @@ impl Scanner {
             acc,
             policy,
             rows_consumed: checkpoint.rows_consumed,
+            limit: None,
             report,
         })
     }
@@ -260,6 +288,9 @@ impl Scanner {
         let mut rows = 0u64;
         let mut consecutive_errors = 0usize;
         loop {
+            if self.limit.is_some_and(|l| self.rows_consumed >= l) {
+                break;
+            }
             match source.next_row(&mut buf) {
                 Ok(true) => {
                     consecutive_errors = 0;
@@ -362,7 +393,15 @@ impl Scanner {
         let mut buf = Vec::new();
         let mut rows = 0u64;
         loop {
-            let got = source.read_block(&mut buf, block_rows)?;
+            let want = match self.limit {
+                Some(l) if self.rows_consumed >= l => 0,
+                Some(l) => block_rows.min(l - self.rows_consumed),
+                None => block_rows,
+            };
+            if want == 0 {
+                break;
+            }
+            let got = source.read_block(&mut buf, want)?;
             if got == 0 {
                 break;
             }
@@ -563,6 +602,13 @@ impl ScanCheckpoint {
 
     /// Serializes to JSON (via the obs machinery — no serde needed).
     pub fn to_json(&self) -> String {
+        self.to_json_value().write(true)
+    }
+
+    /// The checkpoint as a [`JsonValue`] tree, for embedding inside a
+    /// larger wire message (the shard protocol carries checkpoints in
+    /// its request/response bodies). Numbers round-trip f64-exactly.
+    pub fn to_json_value(&self) -> JsonValue {
         let nums = |v: &[f64]| JsonValue::Arr(v.iter().map(|&x| JsonValue::Num(x)).collect());
         JsonValue::Obj(vec![
             ("version".into(), JsonValue::Num(1.0)),
@@ -591,15 +637,30 @@ impl ScanCheckpoint {
             ("col_sums".into(), nums(&self.col_sums)),
             ("raw_upper".into(), nums(&self.raw_upper)),
         ])
-        .write(true)
     }
 
     /// Parses a checkpoint previously written by
     /// [`ScanCheckpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, a missing/mistyped field, an unsupported
+    /// version, or parts that fail accumulator validation.
     pub fn from_json(text: &str) -> Result<Self> {
-        let bad = |what: &str| RatioRuleError::Invalid(format!("checkpoint: {what}"));
         let doc = obs::json::parse(text)
             .map_err(|e| RatioRuleError::Invalid(format!("checkpoint: {e}")))?;
+        Self::from_json_value(&doc)
+    }
+
+    /// Parses a checkpoint from an already-parsed [`JsonValue`] tree
+    /// (e.g. one field of a shard protocol message).
+    ///
+    /// # Errors
+    ///
+    /// Missing/mistyped fields, an unsupported version, or parts that
+    /// fail accumulator validation.
+    pub fn from_json_value(doc: &JsonValue) -> Result<Self> {
+        let bad = |what: &str| RatioRuleError::Invalid(format!("checkpoint: {what}"));
         let int = |key: &str| -> Result<usize> {
             doc.get(key)
                 .and_then(JsonValue::as_f64)

@@ -78,11 +78,24 @@ impl BackoffPolicy {
         }
     }
 
-    /// Delay before retry number `retry` (0-based).
+    /// Delay before retry number `retry` (0-based), saturating at
+    /// `max_delay`. `multiplier^retry` overflows to `inf` for large
+    /// retry indices (and `retry as i32` would wrap beyond `i32::MAX`);
+    /// both paths clamp to the cap instead of sneaking `inf * 0 = NaN`
+    /// through the min/max chain.
     pub fn delay_for(&self, retry: usize) -> Duration {
-        let scaled = self.base_delay.as_secs_f64() * self.multiplier.powi(retry as i32);
-        let capped = scaled.min(self.max_delay.as_secs_f64()).max(0.0);
-        Duration::from_secs_f64(if capped.is_finite() { capped } else { 0.0 })
+        let base = self.base_delay.as_secs_f64();
+        if base <= 0.0 {
+            // A zero base stays zero at every retry index; without this
+            // early-out, `0.0 * inf` is NaN and NaN.min(cap) == cap.
+            return Duration::ZERO;
+        }
+        let factor = i32::try_from(retry).map_or(f64::INFINITY, |r| self.multiplier.powi(r));
+        let scaled = base * factor;
+        if !scaled.is_finite() {
+            return self.max_delay;
+        }
+        Duration::from_secs_f64(scaled.clamp(0.0, self.max_delay.as_secs_f64().max(0.0)))
     }
 }
 
@@ -205,6 +218,31 @@ mod tests {
         assert_eq!(p.delay_for(1), Duration::from_millis(30));
         assert_eq!(p.delay_for(2), Duration::from_millis(50), "capped");
         assert_eq!(p.delay_for(3), Duration::from_millis(50), "still capped");
+    }
+
+    #[test]
+    fn huge_retry_indices_saturate_at_max_delay() {
+        // 2^1000 overflows f64 to inf; the schedule must cap at
+        // max_delay, not collapse to zero or NaN.
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay_for(1000), p.max_delay);
+        // Beyond i32 range the exponent cannot even be computed; still
+        // the cap, never a wrapped exponent.
+        assert_eq!(p.delay_for(usize::MAX), p.max_delay);
+        // A zero base delay stays zero at every index (0 * inf is NaN;
+        // NaN.min(cap) would silently return the cap).
+        let zero_base = BackoffPolicy {
+            base_delay: Duration::ZERO,
+            ..BackoffPolicy::default()
+        };
+        assert_eq!(zero_base.delay_for(1000), Duration::ZERO);
+        // Sub-unit multipliers decay toward zero without underflow
+        // surprises.
+        let decay = BackoffPolicy {
+            multiplier: 0.5,
+            ..BackoffPolicy::default()
+        };
+        assert_eq!(decay.delay_for(1000), Duration::ZERO);
     }
 
     #[test]

@@ -64,6 +64,27 @@ pub const SERVE_BATCHES_TOTAL: &str = "serve_batches_total";
 /// Rows filled by the batcher (across all batches).
 pub const SERVE_ROWS_PREDICTED_TOTAL: &str = "serve_rows_predicted_total";
 
+/// Scan requests accepted by a `mine-shard` worker.
+pub const SHARD_SCAN_REQUESTS_TOTAL: &str = "shard_scan_requests_total";
+/// Shard scans a worker completed and replied to.
+pub const SHARD_SCANS_COMPLETED_TOTAL: &str = "shard_scans_completed_total";
+/// Faults injected by a shard worker's chaos plan.
+pub const SHARD_CHAOS_FAULTS_TOTAL: &str = "shard_chaos_faults_total";
+/// Shard assignments dispatched by the mining coordinator.
+pub const COORD_SHARDS_DISPATCHED_TOTAL: &str = "coord_shards_dispatched_total";
+/// Shard requests retried after a transport or server failure.
+pub const COORD_SHARD_RETRIES_TOTAL: &str = "coord_shard_retries_total";
+/// Shards reassigned to a surviving worker after their owner died.
+pub const COORD_SHARDS_REASSIGNED_TOTAL: &str = "coord_shards_reassigned_total";
+/// Workers the coordinator declared dead.
+pub const COORD_WORKERS_LOST_TOTAL: &str = "coord_workers_lost_total";
+/// Shard payloads rejected at the coordinator trust boundary.
+pub const COORD_PAYLOADS_REJECTED_TOTAL: &str = "coord_payloads_rejected_total";
+/// Duplicate shard deliveries dropped by the coordinator.
+pub const COORD_DUPLICATES_DROPPED_TOTAL: &str = "coord_duplicates_dropped_total";
+/// Shards abandoned after the reassignment budget ran out.
+pub const COORD_SHARDS_LOST_TOTAL: &str = "coord_shards_lost_total";
+
 // Per-reason quarantine counters. Produced dynamically
 // (`scan_rows_quarantined_{reason}_total`); the expansions are listed so
 // scrape configs can be checked against this file.
@@ -123,6 +144,10 @@ pub const COVARIANCE_BLOCK_ROWS: &str = "covariance_block_rows";
 /// Shard 0's scan throughput (static expansion of the
 /// `scan_shard_<i>_rows_per_s` family; shard 0 always exists).
 pub const SCAN_SHARD_0_ROWS_PER_S: &str = "scan_shard_0_rows_per_s";
+/// Workers the coordinator currently believes are alive.
+pub const COORD_WORKERS_HEALTHY: &str = "coord_workers_healthy";
+/// Shard accumulators merged into the coordinator's result so far.
+pub const COORD_SHARDS_MERGED: &str = "coord_shards_merged";
 
 // ---------------------------------------------------------------------
 // Histograms
@@ -161,6 +186,9 @@ pub const SERVE_REQUEST_US_DEBUG: &str = "serve_request_us_debug";
 /// End-to-end request latency of unrouted (404/405) requests,
 /// microseconds.
 pub const SERVE_REQUEST_US_OTHER: &str = "serve_request_us_other";
+/// Coordinator-observed round-trip time of one shard scan request,
+/// microseconds (includes the worker's scan, not just transport).
+pub const COORD_SHARD_RTT_US: &str = "coord_shard_rtt_us";
 
 // ---------------------------------------------------------------------
 // Flight-recorder events
@@ -190,6 +218,35 @@ pub const EVENT_SERVE_JOB_EXPIRED: &str = "serve_job_expired";
 /// A batch was coalesced and solved. `a` = batch id, `b` = rows,
 /// `x` = distinct hole patterns (groups).
 pub const EVENT_SERVE_BATCH_COALESCED: &str = "serve_batch_coalesced";
+/// A shard worker began scanning its range. `a` = start row, `b` = end
+/// row (exclusive).
+pub const EVENT_SHARD_SCAN_STARTED: &str = "shard_scan_started";
+/// A shard worker finished its range and replied. `a` = rows absorbed,
+/// `b` = rows quarantined.
+pub const EVENT_SHARD_SCAN_COMPLETED: &str = "shard_scan_completed";
+/// The worker's chaos plan injected a fault. `a` = fault ordinal
+/// (crash/hang/slow/corrupt/truncate/duplicate), `b` = request seq.
+pub const EVENT_SHARD_CHAOS_INJECTED: &str = "shard_chaos_injected";
+/// The coordinator dispatched a shard. `a` = shard index, `b` = worker
+/// index.
+pub const EVENT_COORD_SHARD_DISPATCHED: &str = "coord_shard_dispatched";
+/// A shard's accumulator arrived and passed validation. `a` = shard
+/// index, `b` = rows consumed.
+pub const EVENT_COORD_SHARD_COMPLETED: &str = "coord_shard_completed";
+/// The coordinator declared a worker dead. `a` = worker index,
+/// `b` = retries spent.
+pub const EVENT_COORD_WORKER_DEAD: &str = "coord_worker_dead";
+/// A dead worker's shard was reassigned to a survivor. `a` = shard
+/// index, `b` = new worker index, `x` = 1.0 if resuming a checkpoint.
+pub const EVENT_COORD_SHARD_REASSIGNED: &str = "coord_shard_reassigned";
+/// A shard payload failed trust-boundary validation. `a` = shard index,
+/// `b` = worker index.
+pub const EVENT_COORD_PAYLOAD_REJECTED: &str = "coord_payload_rejected";
+/// A duplicate shard delivery was dropped. `a` = shard index.
+pub const EVENT_COORD_DUPLICATE_DROPPED: &str = "coord_duplicate_dropped";
+/// The coordinator merged with shards missing (degraded result).
+/// `a` = shards merged, `b` = shards lost.
+pub const EVENT_COORD_PARTIAL_MERGE: &str = "coord_partial_merge";
 
 // ---------------------------------------------------------------------
 // Spans
@@ -217,6 +274,12 @@ pub const SPAN_SERVE_BATCH: &str = "serve_batch";
 /// into every member request's trace with identical `batch`/`group`
 /// args, which is how shared solves show up in a trace viewer).
 pub const SPAN_PATTERN_SOLVE: &str = "pattern_solve";
+/// End-to-end distributed mining run inside the coordinator.
+pub const SPAN_COORDINATE: &str = "coordinate";
+/// One shard scan request from dispatch to validated reply.
+pub const SPAN_COORD_SHARD_REQUEST: &str = "coord_shard_request";
+/// One shard scan inside a worker (request receipt to reply).
+pub const SPAN_SHARD_SCAN: &str = "shard_scan";
 
 // ---------------------------------------------------------------------
 // Boot families
@@ -268,6 +331,27 @@ pub const SERVE_BOOT_FAMILIES: &[(&str, FamilyKind)] = &[
     (SERVE_REQUEST_US_DEBUG, FamilyKind::Quantile),
     (SERVE_REQUEST_US_OTHER, FamilyKind::Quantile),
     (SERVE_BATCH_SIZE, FamilyKind::Histogram),
+];
+
+/// Every shard-lifecycle metric family a `mine-distributed` coordinator
+/// (and the shard workers it drives) must expose before the first
+/// dispatch, seeded data-driven exactly like [`SERVE_BOOT_FAMILIES`] so
+/// a clean run still shows a zero for every failure-path counter —
+/// "0 workers lost" and "not instrumented" must look different.
+pub const COORD_BOOT_FAMILIES: &[(&str, FamilyKind)] = &[
+    (SHARD_SCAN_REQUESTS_TOTAL, FamilyKind::Counter),
+    (SHARD_SCANS_COMPLETED_TOTAL, FamilyKind::Counter),
+    (SHARD_CHAOS_FAULTS_TOTAL, FamilyKind::Counter),
+    (COORD_SHARDS_DISPATCHED_TOTAL, FamilyKind::Counter),
+    (COORD_SHARD_RETRIES_TOTAL, FamilyKind::Counter),
+    (COORD_SHARDS_REASSIGNED_TOTAL, FamilyKind::Counter),
+    (COORD_WORKERS_LOST_TOTAL, FamilyKind::Counter),
+    (COORD_PAYLOADS_REJECTED_TOTAL, FamilyKind::Counter),
+    (COORD_DUPLICATES_DROPPED_TOTAL, FamilyKind::Counter),
+    (COORD_SHARDS_LOST_TOTAL, FamilyKind::Counter),
+    (COORD_WORKERS_HEALTHY, FamilyKind::Gauge),
+    (COORD_SHARDS_MERGED, FamilyKind::Gauge),
+    (COORD_SHARD_RTT_US, FamilyKind::Quantile),
 ];
 
 // ---------------------------------------------------------------------
@@ -373,6 +457,32 @@ mod tests {
             SERVE_REQUEST_US_WHATIF,
             SERVE_REQUEST_US_DEBUG,
             SERVE_REQUEST_US_OTHER,
+            SHARD_SCAN_REQUESTS_TOTAL,
+            SHARD_SCANS_COMPLETED_TOTAL,
+            SHARD_CHAOS_FAULTS_TOTAL,
+            COORD_SHARDS_DISPATCHED_TOTAL,
+            COORD_SHARD_RETRIES_TOTAL,
+            COORD_SHARDS_REASSIGNED_TOTAL,
+            COORD_WORKERS_LOST_TOTAL,
+            COORD_PAYLOADS_REJECTED_TOTAL,
+            COORD_DUPLICATES_DROPPED_TOTAL,
+            COORD_SHARDS_LOST_TOTAL,
+            COORD_WORKERS_HEALTHY,
+            COORD_SHARDS_MERGED,
+            COORD_SHARD_RTT_US,
+            EVENT_SHARD_SCAN_STARTED,
+            EVENT_SHARD_SCAN_COMPLETED,
+            EVENT_SHARD_CHAOS_INJECTED,
+            EVENT_COORD_SHARD_DISPATCHED,
+            EVENT_COORD_SHARD_COMPLETED,
+            EVENT_COORD_WORKER_DEAD,
+            EVENT_COORD_SHARD_REASSIGNED,
+            EVENT_COORD_PAYLOAD_REJECTED,
+            EVENT_COORD_DUPLICATE_DROPPED,
+            EVENT_COORD_PARTIAL_MERGE,
+            SPAN_COORDINATE,
+            SPAN_COORD_SHARD_REQUEST,
+            SPAN_SHARD_SCAN,
             EVENT_SCAN_ROW_QUARANTINED,
             EVENT_SCAN_BUDGET_EXHAUSTED,
             EVENT_EIGEN_STAGE_FAILED,
@@ -405,5 +515,15 @@ mod tests {
             assert_eq!(crate::export::sanitize_name(name), name);
         }
         assert!(SERVE_BOOT_FAMILIES.len() >= 24);
+    }
+
+    #[test]
+    fn coord_boot_families_are_distinct_and_prometheus_safe() {
+        let mut seen = std::collections::HashSet::new();
+        for &(name, _) in COORD_BOOT_FAMILIES {
+            assert!(seen.insert(name), "duplicate coord boot family: {name}");
+            assert_eq!(crate::export::sanitize_name(name), name);
+        }
+        assert!(COORD_BOOT_FAMILIES.len() >= 13);
     }
 }

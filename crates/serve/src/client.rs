@@ -1,0 +1,248 @@
+//! Minimal one-shot HTTP/1.1 client for in-workspace callers.
+//!
+//! Both the load generator and the distributed-mining coordinator speak
+//! to servers built on [`crate::protocol`], so the client side lives
+//! here once: connect (with a bounded warm-up retry on
+//! `ConnectionRefused`, because a freshly spawned server needs a moment
+//! to bind), send one request, read one `Connection: close` response.
+//!
+//! Unlike a naive `read_to_string`, the reader **enforces
+//! `Content-Length`**: a response whose body ends early is an
+//! `UnexpectedEof` error, not a silently short string. The distributed
+//! coordinator leans on this at its trust boundary — a truncated shard
+//! payload must read as a transport failure (and be retried), never as
+//! a parseable prefix.
+//!
+//! This crate is a clock crate (`rrlint` RR003): the warm-up budget is
+//! wall-clock by nature.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Connects to `addr`, retrying `ConnectionRefused` for up to `warmup`
+/// before giving up. A zero `warmup` is a single attempt.
+///
+/// # Errors
+///
+/// The final connect error once the warm-up budget is spent, or
+/// immediately for errors other than `ConnectionRefused`.
+pub fn connect_warm(
+    addr: SocketAddr,
+    timeout: Duration,
+    warmup: Duration,
+) -> io::Result<TcpStream> {
+    let t0 = Instant::now();
+    loop {
+        match TcpStream::connect_timeout(&addr, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused && t0.elapsed() < warmup => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// `body = None` sends a bodyless request (GET); `Some` posts the text
+/// with a `Content-Length` header. Returns `(status, body)`.
+///
+/// # Errors
+///
+/// Connect/write/read failures; a malformed status line; a body that
+/// ends before its declared `Content-Length` (`UnexpectedEof`).
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+    warmup: Duration,
+) -> io::Result<(u16, String)> {
+    let mut stream = connect_warm(addr, timeout, warmup)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body_text = body.unwrap_or("");
+    // One buffered write: a request split across write syscalls can race
+    // a server that responds after its first read and closes, turning
+    // the tail fragments into BrokenPipe.
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nhost: rr-client\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{}",
+        body_text.len(),
+        body_text
+    );
+    stream.write_all(raw.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// Reads one HTTP/1.1 response, enforcing `Content-Length` when the
+/// header is present (servers in this workspace always send it).
+fn read_response(stream: &mut TcpStream) -> io::Result<(u16, String)> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let body_start = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the response header block ended",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..body_start - 4]).to_string();
+    let status = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "malformed response status line")
+        })?;
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        });
+
+    let mut body = buf[body_start..].to_vec();
+    match content_length {
+        Some(len) => {
+            while body.len() < len {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("body truncated: got {} of {len} declared bytes", body.len()),
+                    ));
+                }
+                body.extend_from_slice(&chunk[..n]);
+            }
+            body.truncate(len);
+        }
+        None => {
+            // Legacy servers without the header: read to EOF.
+            loop {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    break;
+                }
+                body.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not valid UTF-8"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn one_shot_server(raw: &'static [u8]) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut s, _)) = listener.accept() {
+                let mut sink = [0u8; 4096];
+                let _ = s.read(&mut sink); // consume the request head
+                let _ = s.write_all(raw);
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn reads_an_exact_content_length_body() {
+        let addr = one_shot_server(
+            b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\nconnection: close\r\n\r\nhellotrailing-garbage",
+        );
+        let (status, body) = request(
+            addr,
+            "GET",
+            "/x",
+            None,
+            Duration::from_secs(2),
+            Duration::ZERO,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "hello"); // trailing bytes beyond the length are ignored
+    }
+
+    #[test]
+    fn truncated_bodies_are_transport_errors() {
+        let addr = one_shot_server(
+            b"HTTP/1.1 200 OK\r\ncontent-length: 100\r\nconnection: close\r\n\r\nonly-this",
+        );
+        let err = request(
+            addr,
+            "GET",
+            "/x",
+            None,
+            Duration::from_secs(2),
+            Duration::ZERO,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn warmup_retries_connection_refused_until_a_listener_appears() {
+        // Reserve a port, drop the listener, then bind it again from a
+        // delayed thread: the first connects hit ConnectionRefused.
+        let placeholder = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            let listener = TcpListener::bind(addr).expect("rebind reserved port");
+            if let Ok((mut s, _)) = listener.accept() {
+                let mut sink = [0u8; 1024];
+                let _ = s.read(&mut sink);
+                let _ = s.write_all(
+                    b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: close\r\n\r\nok",
+                );
+            }
+        });
+        let (status, body) = request(
+            addr,
+            "GET",
+            "/healthz",
+            None,
+            Duration::from_secs(2),
+            Duration::from_secs(3),
+        )
+        .expect("warm-up should absorb the refused connects");
+        assert_eq!((status, body.as_str()), (200, "ok"));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn no_warmup_fails_fast_on_refused() {
+        let placeholder = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+        let err = request(
+            addr,
+            "GET",
+            "/x",
+            None,
+            Duration::from_secs(1),
+            Duration::ZERO,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    }
+}

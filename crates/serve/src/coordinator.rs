@@ -1,0 +1,883 @@
+//! Supervising coordinator for distributed mining.
+//!
+//! `ratio-rules mine-distributed` partitions the dataset's row range
+//! exactly like the in-process parallel scan (same
+//! `n.div_ceil(shards)` contiguous chunks), dispatches each shard to a
+//! [`crate::shard`] worker over HTTP, and supervises the fleet with
+//! the full robustness ladder:
+//!
+//! - **Deadlines** — every request carries a socket deadline; a worker
+//!   that hangs is indistinguishable from a dead one, by design.
+//! - **Retries** — transport flakes and rejected payloads retry under
+//!   a [`BackoffPolicy`] before the worker is declared dead.
+//! - **Health probing** — workers are probed at boot (shape consensus)
+//!   and again before any shard is reassigned to them.
+//! - **Reassignment** — a dead worker's shard moves to a probed
+//!   survivor, resuming from the worker's crash checkpoint when one is
+//!   on the shared checkpoint directory; a bounded reassignment budget
+//!   keeps a flapping fleet from looping forever.
+//! - **Degradation** — shards that cannot be recovered inside the
+//!   budget are *lost*; up to `max_lost_shards` of them the run
+//!   completes degraded (partial-data model, accurate report), beyond
+//!   it the run fails with a budget-exhausted error.
+//!
+//! The trust boundary is explicit: every received payload is validated
+//! (shape, range completeness, finiteness, non-negative diagonal)
+//! before its accumulator exists, duplicated deliveries are dropped by
+//! per-shard slots, and the surviving accumulators fold through
+//! [`tree_merge`] — the same fixed-shape pairwise tree the in-process
+//! scan uses, which is what makes a clean distributed run
+//! **bit-identical** to `mine --shards W` on one machine.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dataset::retry::BackoffPolicy;
+use obs::json::JsonValue;
+use obs::names;
+use ratio_rules::covariance::CovarianceAccumulator;
+use ratio_rules::parallel::tree_merge;
+use ratio_rules::resilience::{ScanCheckpoint, ScanPolicy};
+use ratio_rules::RatioRuleError;
+
+use crate::client;
+use crate::shard::{
+    checkpoint_file_name, policy_to_json, ChaosPlan, Fault, SHARD_PROTOCOL_VERSION,
+};
+
+/// Coordinator configuration (`mine-distributed` maps its flags here).
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Worker addresses. At least one is required.
+    pub workers: Vec<SocketAddr>,
+    /// Shard count; `None` means one shard per worker. Bit-identity
+    /// holds against a single-process `mine --shards <this value>`.
+    pub shards: Option<usize>,
+    /// Scan policy every worker applies to its range. Quarantine
+    /// budgets are enforced **per shard**: a worker that blows its
+    /// budget fails the whole run (a retry cannot un-quarantine rows).
+    pub policy: ScanPolicy,
+    /// Per-request deadline (connect + scan + reply).
+    pub deadline: Duration,
+    /// Retry schedule per assignment before a worker is declared dead.
+    pub backoff: BackoffPolicy,
+    /// Total shard reassignments allowed across the run.
+    pub reassign_budget: usize,
+    /// Shards allowed to stay lost (degraded result) before the run
+    /// fails outright.
+    pub max_lost_shards: usize,
+    /// Directory crashing workers drop checkpoints into; reassignment
+    /// resumes from `shard_<start>_<end>.json` when present.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// How long boot-time probes retry `ConnectionRefused` while the
+    /// fleet is still binding its sockets.
+    pub connect_warmup: Duration,
+    /// Coordinator-side chaos: only `duplicate_rate` (+ `seed`) is
+    /// honored, replaying each validated payload a second time to
+    /// exercise at-least-once delivery.
+    pub chaos: ChaosPlan,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            workers: Vec::new(),
+            shards: None,
+            policy: ScanPolicy::Strict,
+            deadline: Duration::from_secs(5),
+            backoff: BackoffPolicy::default(),
+            reassign_budget: 4,
+            max_lost_shards: 0,
+            checkpoint_dir: None,
+            connect_warmup: Duration::from_secs(1),
+            chaos: ChaosPlan::none(),
+        }
+    }
+}
+
+/// What a distributed mine produced, plus the full accounting a
+/// degradation report needs.
+#[derive(Debug)]
+pub struct DistributedOutcome {
+    /// The merged accumulator (partial when `shards_lost > 0`).
+    pub acc: CovarianceAccumulator,
+    /// Column labels (worker consensus).
+    pub labels: Vec<String>,
+    /// Dataset rows (worker consensus).
+    pub n_rows: usize,
+    /// Dataset columns (worker consensus).
+    pub m: usize,
+    /// Shards the row range was partitioned into.
+    pub shards: usize,
+    /// Shards whose accumulators merged into the result.
+    pub shards_merged: usize,
+    /// Shards abandoned after the reassignment budget ran out.
+    pub shards_lost: usize,
+    /// Row ranges of the lost shards (the data the model never saw).
+    pub lost_ranges: Vec<(usize, usize)>,
+    /// Rows quarantined across all merged shards.
+    pub rows_quarantined: usize,
+    /// Quarantined rows by reason `(corrupt, arity, source_error)`.
+    pub by_reason: (usize, usize, usize),
+    /// Workers declared dead during the run.
+    pub workers_lost: usize,
+    /// Shard requests retried after a failure.
+    pub retries: usize,
+    /// Shards reassigned to a survivor.
+    pub reassignments: usize,
+    /// Shards that resumed from a crash checkpoint.
+    pub checkpoint_resumes: usize,
+    /// Duplicate deliveries dropped by the slot guard.
+    pub duplicates_dropped: usize,
+}
+
+impl DistributedOutcome {
+    /// True when the result is not full-fidelity (lost shards or
+    /// quarantined rows).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.shards_lost > 0 || self.rows_quarantined > 0
+    }
+
+    /// Human-readable degradation report for the CLI.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "distributed scan: {}/{} shards merged, {} rows x {} cols",
+            self.shards_merged, self.shards, self.n_rows, self.m
+        );
+        if self.shards_lost > 0 {
+            out.push_str(&format!("\n  LOST {} shard(s):", self.shards_lost));
+            for (lo, hi) in &self.lost_ranges {
+                out.push_str(&format!(" rows [{lo}, {hi})"));
+            }
+            out.push_str("\n  the model was mined WITHOUT those rows");
+        }
+        if self.rows_quarantined > 0 {
+            out.push_str(&format!(
+                "\n  {} row(s) quarantined (corrupt {}, arity {}, source {})",
+                self.rows_quarantined, self.by_reason.0, self.by_reason.1, self.by_reason.2
+            ));
+        }
+        out.push_str(&format!(
+            "\n  workers lost {}, retries {}, reassignments {} ({} checkpoint-resumed), duplicates dropped {}",
+            self.workers_lost,
+            self.retries,
+            self.reassignments,
+            self.checkpoint_resumes,
+            self.duplicates_dropped
+        ));
+        out
+    }
+}
+
+/// Registers every family in [`names::COORD_BOOT_FAMILIES`] so the
+/// failure-path counters all read 0 (not "absent") on a clean run.
+/// Data-driven, mirroring the serve boot seeder.
+pub fn seed_coord_boot_families() {
+    let reg = obs::global();
+    for &(name, kind) in names::COORD_BOOT_FAMILIES {
+        match kind {
+            names::FamilyKind::Counter => {
+                reg.counter(name);
+            }
+            names::FamilyKind::Gauge => {
+                reg.gauge(name).set(0.0);
+            }
+            names::FamilyKind::Quantile => {
+                reg.quantile(name);
+            }
+            names::FamilyKind::Histogram => {}
+        }
+    }
+}
+
+fn invalid(msg: String) -> RatioRuleError {
+    RatioRuleError::Invalid(msg)
+}
+
+/// A probed worker's view of the dataset.
+#[derive(Debug, Clone, PartialEq)]
+struct WorkerShape {
+    rows: usize,
+    cols: usize,
+    labels: Vec<String>,
+}
+
+/// `GET /healthz` on one worker.
+fn probe_worker(
+    addr: SocketAddr,
+    deadline: Duration,
+    warmup: Duration,
+) -> Result<WorkerShape, String> {
+    let (status, body) = client::request(addr, "GET", "/healthz", None, deadline, warmup)
+        .map_err(|e| format!("probe {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("probe {addr}: HTTP {status}"));
+    }
+    let doc = obs::json::parse(&body).map_err(|e| format!("probe {addr}: {e}"))?;
+    let int = |key: &str| -> Result<usize, String> {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("probe {addr}: missing {key:?}"))
+    };
+    let labels = doc
+        .get("labels")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("probe {addr}: missing \"labels\""))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("probe {addr}: non-string label"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(WorkerShape {
+        rows: int("rows")?,
+        cols: int("cols")?,
+        labels,
+    })
+}
+
+/// Why one shard dispatch gave up.
+enum DispatchFailure {
+    /// Transport/timeout/validation failures exhausted the retry
+    /// schedule: the worker is presumed dead.
+    WorkerDead(String),
+    /// The worker answered authoritatively that the scan cannot
+    /// succeed (quarantine budget blown): retrying or reassigning
+    /// cannot help.
+    Fatal(RatioRuleError),
+}
+
+/// One validated shard result plus accounting from its dispatch.
+struct DispatchReport {
+    shard: usize,
+    worker: usize,
+    retries: usize,
+    outcome: Result<ScanCheckpoint, DispatchFailure>,
+}
+
+fn scan_body(
+    range: (usize, usize),
+    policy: &ScanPolicy,
+    resume: Option<&ScanCheckpoint>,
+) -> String {
+    let mut fields = vec![
+        (
+            "version".into(),
+            JsonValue::Num(SHARD_PROTOCOL_VERSION as f64),
+        ),
+        ("start".into(), JsonValue::Num(range.0 as f64)),
+        ("end".into(), JsonValue::Num(range.1 as f64)),
+        ("policy".into(), policy_to_json(policy)),
+    ];
+    if let Some(cp) = resume {
+        fields.push(("resume".into(), cp.to_json_value()));
+    }
+    JsonValue::Obj(fields).write(true)
+}
+
+/// Validates a worker's 200 body at the trust boundary. Everything a
+/// hostile or corrupted payload could smuggle is checked explicitly in
+/// release mode: protocol version, assignment echo, checkpoint shape
+/// (via `from_parts`' own validation), range completeness, finiteness,
+/// and non-negative raw second moments on the diagonal.
+fn validate_payload(
+    body: &str,
+    range: (usize, usize),
+    m: usize,
+) -> Result<ScanCheckpoint, String> {
+    let doc = obs::json::parse(body).map_err(|e| format!("payload: {e}"))?;
+    let int = |key: &str| -> Result<usize, String> {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("payload: missing {key:?}"))
+    };
+    if int("version")? != SHARD_PROTOCOL_VERSION {
+        return Err("payload: unsupported protocol version".into());
+    }
+    if (int("start")?, int("end")?) != range {
+        return Err(format!(
+            "payload: answers range [{}, {}) but [{}, {}) was assigned",
+            int("start")?,
+            int("end")?,
+            range.0,
+            range.1
+        ));
+    }
+    let cp_value = doc
+        .get("checkpoint")
+        .ok_or_else(|| "payload: missing \"checkpoint\"".to_string())?;
+    let cp = ScanCheckpoint::from_json_value(cp_value).map_err(|e| e.to_string())?;
+    if cp.m != m {
+        return Err(format!("payload: {} columns, expected {m}", cp.m));
+    }
+    if cp.rows_consumed != range.1 {
+        return Err(format!(
+            "payload: consumed {} rows, shard ends at {}",
+            cp.rows_consumed, range.1
+        ));
+    }
+    if cp.n > range.1 - range.0 {
+        return Err(format!(
+            "payload: absorbed {} rows from a {}-row shard",
+            cp.n,
+            range.1 - range.0
+        ));
+    }
+    if !cp.col_sums.iter().all(|v| v.is_finite())
+        || !cp.raw_upper.iter().all(|v| v.is_finite())
+    {
+        return Err("payload: non-finite accumulator parts".into());
+    }
+    for j in 0..m {
+        // Diagonal of the packed upper triangle: sum of squares, which
+        // no honest scan can make negative.
+        let diag = cp.raw_upper[(j * (2 * m - j + 1)) / 2];
+        if diag < 0.0 {
+            return Err(format!("payload: negative raw second moment at column {j}"));
+        }
+    }
+    Ok(cp)
+}
+
+/// Runs one shard assignment against one worker, retrying under the
+/// backoff schedule. Returns the validated checkpoint or the reason
+/// the worker is presumed dead / the run must abort.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_shard(
+    cfg: &CoordinatorConfig,
+    shard: usize,
+    worker: usize,
+    addr: SocketAddr,
+    range: (usize, usize),
+    m: usize,
+    resume: Option<&ScanCheckpoint>,
+) -> DispatchReport {
+    let _span = obs::Span::enter(names::SPAN_COORD_SHARD_REQUEST);
+    obs::counter_add(names::COORD_SHARDS_DISPATCHED_TOTAL, 1);
+    obs::flight_event(
+        names::EVENT_COORD_SHARD_DISPATCHED,
+        shard as u64,
+        worker as u64,
+        0.0,
+    );
+    let body = scan_body(range, &cfg.policy, resume);
+    let attempts = cfg.backoff.max_attempts.max(1);
+    let mut retries = 0usize;
+    let mut last_err = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            // rrlint-allow: RR003 backoff sleep between retries, never results
+            std::thread::sleep(cfg.backoff.delay_for(attempt - 1));
+            retries += 1;
+            obs::counter_add(names::COORD_SHARD_RETRIES_TOTAL, 1);
+        }
+        // rrlint-allow: RR003 wall clock feeds the RTT quantile only
+        let t0 = std::time::Instant::now();
+        let reply = client::request(
+            addr,
+            "POST",
+            "/scan",
+            Some(&body),
+            cfg.deadline,
+            cfg.connect_warmup,
+        );
+        match reply {
+            Ok((200, reply_body)) => {
+                obs::observe_quantile(
+                    names::COORD_SHARD_RTT_US,
+                    t0.elapsed().as_micros() as f64,
+                );
+                match validate_payload(&reply_body, range, m) {
+                    Ok(cp) => {
+                        return DispatchReport {
+                            shard,
+                            worker,
+                            retries,
+                            outcome: Ok(cp),
+                        }
+                    }
+                    Err(msg) => {
+                        obs::counter_add(names::COORD_PAYLOADS_REJECTED_TOTAL, 1);
+                        obs::flight_event(
+                            names::EVENT_COORD_PAYLOAD_REJECTED,
+                            shard as u64,
+                            worker as u64,
+                            0.0,
+                        );
+                        last_err = msg;
+                    }
+                }
+            }
+            Ok((422, reply_body)) => {
+                let detail = obs::json::parse(&reply_body)
+                    .ok()
+                    .and_then(|d| d.get("error").and_then(JsonValue::as_str).map(str::to_string))
+                    .unwrap_or_else(|| "quarantine budget exhausted".into());
+                return DispatchReport {
+                    shard,
+                    worker,
+                    retries,
+                    outcome: Err(DispatchFailure::Fatal(RatioRuleError::BudgetExhausted {
+                        quarantined: 0,
+                        scanned: range.1 - range.0,
+                        limit: format!("shard [{}, {}): {detail}", range.0, range.1),
+                    })),
+                };
+            }
+            Ok((status, reply_body)) => {
+                last_err = format!("HTTP {status}: {}", reply_body.chars().take(120).collect::<String>());
+            }
+            Err(e) => last_err = e.to_string(),
+        }
+    }
+    DispatchReport {
+        shard,
+        worker,
+        retries,
+        outcome: Err(DispatchFailure::WorkerDead(last_err)),
+    }
+}
+
+/// Contiguous row partition identical to the in-process parallel scan:
+/// `shards.clamp(1, n)` chunks of `n.div_ceil(shards)` rows, empty
+/// tails skipped.
+#[must_use]
+pub fn partition_rows(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, n);
+    let chunk = n.div_ceil(shards);
+    (0..shards)
+        .filter_map(|t| {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            (lo < hi).then_some((lo, hi))
+        })
+        .collect()
+}
+
+struct ShardSlot {
+    range: (usize, usize),
+    payload: Option<ScanCheckpoint>,
+    lost: bool,
+    resumed: bool,
+}
+
+/// Runs the distributed mine: probe, partition, dispatch, supervise,
+/// validate, merge. The returned accumulator is ready for
+/// `RatioRuleMiner::finish`.
+///
+/// # Errors
+///
+/// - [`RatioRuleError::Invalid`] — no workers, no consensus on the
+///   dataset shape, or every worker dead at boot.
+/// - [`RatioRuleError::EmptyInput`] — the consensus dataset is empty,
+///   or every shard was lost.
+/// - [`RatioRuleError::BudgetExhausted`] — more than `max_lost_shards`
+///   shards unrecoverable, or any worker's quarantine budget blew.
+pub fn coordinate(cfg: &CoordinatorConfig) -> Result<DistributedOutcome, RatioRuleError> {
+    let _span = obs::Span::enter(names::SPAN_COORDINATE);
+    seed_coord_boot_families();
+    if cfg.workers.is_empty() {
+        return Err(invalid("mine-distributed needs at least one worker".into()));
+    }
+
+    // --- Boot probe: liveness + dataset-shape consensus. -------------
+    let mut alive = vec![false; cfg.workers.len()];
+    let mut shape: Option<WorkerShape> = None;
+    let mut workers_lost = 0usize;
+    for (w, &addr) in cfg.workers.iter().enumerate() {
+        match probe_worker(addr, cfg.deadline, cfg.connect_warmup) {
+            Ok(s) => {
+                match &shape {
+                    None => shape = Some(s),
+                    Some(prev) if *prev == s => {}
+                    Some(prev) => {
+                        return Err(invalid(format!(
+                            "workers disagree on the dataset: {addr} sees {} x {}, \
+                             consensus was {} x {}",
+                            s.rows, s.cols, prev.rows, prev.cols
+                        )));
+                    }
+                }
+                alive[w] = true;
+            }
+            Err(e) => {
+                workers_lost += 1;
+                obs::counter_add(names::COORD_WORKERS_LOST_TOTAL, 1);
+                obs::flight_event(names::EVENT_COORD_WORKER_DEAD, w as u64, 0, 0.0);
+                obs::gauge_set(
+                    names::COORD_WORKERS_HEALTHY,
+                    alive.iter().filter(|a| **a).count() as f64,
+                );
+                eprintln!("mine-distributed: worker {addr} failed its boot probe: {e}");
+            }
+        }
+    }
+    let shape = shape.ok_or_else(|| invalid("no live workers after the boot probe".into()))?;
+    obs::gauge_set(
+        names::COORD_WORKERS_HEALTHY,
+        alive.iter().filter(|a| **a).count() as f64,
+    );
+    if shape.rows == 0 || shape.cols == 0 {
+        return Err(RatioRuleError::EmptyInput);
+    }
+
+    // --- Partition exactly like covariance_sharded. -------------------
+    let shard_count = cfg.shards.unwrap_or(cfg.workers.len()).max(1);
+    let ranges = partition_rows(shape.rows, shard_count);
+    let mut slots: Vec<ShardSlot> = ranges
+        .iter()
+        .map(|&range| ShardSlot {
+            range,
+            payload: None,
+            lost: false,
+            resumed: false,
+        })
+        .collect();
+
+    // Initial assignment: round-robin over the workers alive at boot.
+    let alive_now: Vec<usize> = (0..cfg.workers.len()).filter(|&w| alive[w]).collect();
+    let mut assignment: Vec<usize> = (0..slots.len())
+        .map(|i| alive_now[i % alive_now.len()])
+        .collect();
+
+    let mut retries = 0usize;
+    let mut reassignments = 0usize;
+    let mut checkpoint_resumes = 0usize;
+    let mut duplicates_dropped = 0usize;
+    let mut delivery_seq = 0u64;
+    let mut reassign_cursor = 0usize;
+
+    loop {
+        let pending: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.payload.is_none() && !s.lost)
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+
+        // Resume checkpoints are read on the dispatching thread's side
+        // (main thread) so worker threads borrow immutably.
+        let resumes: Vec<Option<ScanCheckpoint>> = pending
+            .iter()
+            .map(|&i| {
+                if !slots[i].resumed {
+                    return None;
+                }
+                let dir = cfg.checkpoint_dir.as_ref()?;
+                let path = dir.join(checkpoint_file_name(slots[i].range.0, slots[i].range.1));
+                let text = std::fs::read_to_string(path).ok()?;
+                let cp = ScanCheckpoint::from_json(&text).ok()?;
+                (cp.m == shape.cols
+                    && cp.rows_consumed >= slots[i].range.0
+                    && cp.rows_consumed <= slots[i].range.1)
+                    .then_some(cp)
+            })
+            .collect();
+
+        let reports: Vec<DispatchReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pending
+                .iter()
+                .zip(&resumes)
+                .map(|(&i, resume)| {
+                    let worker = assignment[i];
+                    let addr = cfg.workers[worker];
+                    let range = slots[i].range;
+                    scope.spawn(move || {
+                        dispatch_shard(cfg, i, worker, addr, range, shape.cols, resume.as_ref())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .zip(&pending)
+                .map(|(h, &i)| {
+                    // A panicked dispatch thread reads as a dead worker:
+                    // the shard re-enters the supervision ladder instead
+                    // of aborting the whole coordinator.
+                    h.join().unwrap_or_else(|_| DispatchReport {
+                        shard: i,
+                        worker: assignment[i],
+                        retries: 0,
+                        outcome: Err(DispatchFailure::WorkerDead(
+                            "dispatch thread panicked".into(),
+                        )),
+                    })
+                })
+                .collect()
+        });
+
+        let mut failed: Vec<usize> = Vec::new();
+        for report in reports {
+            retries += report.retries;
+            match report.outcome {
+                Ok(cp) => {
+                    if resumes
+                        .get(pending.iter().position(|&p| p == report.shard).unwrap_or(0))
+                        .is_some_and(Option::is_some)
+                    {
+                        checkpoint_resumes += 1;
+                    }
+                    // At-least-once delivery: a chaos duplicate replays
+                    // the payload; the slot guard must drop the replay.
+                    let replay = cfg.chaos.draw(delivery_seq) == Some(Fault::Duplicate);
+                    delivery_seq += 1;
+                    let deliveries = if replay { 2 } else { 1 };
+                    for _ in 0..deliveries {
+                        let slot = &mut slots[report.shard];
+                        if slot.payload.is_some() {
+                            duplicates_dropped += 1;
+                            obs::counter_add(names::COORD_DUPLICATES_DROPPED_TOTAL, 1);
+                            obs::flight_event(
+                                names::EVENT_COORD_DUPLICATE_DROPPED,
+                                report.shard as u64,
+                                0,
+                                0.0,
+                            );
+                        } else {
+                            slot.payload = Some(cp.clone());
+                            obs::flight_event(
+                                names::EVENT_COORD_SHARD_COMPLETED,
+                                report.shard as u64,
+                                slot.range.1 as u64,
+                                0.0,
+                            );
+                        }
+                    }
+                }
+                Err(DispatchFailure::Fatal(e)) => return Err(e),
+                Err(DispatchFailure::WorkerDead(msg)) => {
+                    if alive[report.worker] {
+                        alive[report.worker] = false;
+                        workers_lost += 1;
+                        obs::counter_add(names::COORD_WORKERS_LOST_TOTAL, 1);
+                        obs::flight_event(
+                            names::EVENT_COORD_WORKER_DEAD,
+                            report.worker as u64,
+                            report.retries as u64,
+                            0.0,
+                        );
+                        obs::gauge_set(
+                            names::COORD_WORKERS_HEALTHY,
+                            alive.iter().filter(|a| **a).count() as f64,
+                        );
+                        eprintln!(
+                            "mine-distributed: worker {} declared dead on shard {}: {msg}",
+                            cfg.workers[report.worker], report.shard
+                        );
+                    }
+                    failed.push(report.shard);
+                }
+            }
+        }
+
+        // --- Reassign failed shards to probed survivors. --------------
+        for shard in failed {
+            let mut target = None;
+            for _ in 0..cfg.workers.len() {
+                let w = reassign_cursor % cfg.workers.len();
+                reassign_cursor += 1;
+                if !alive[w] {
+                    continue;
+                }
+                // Probe before trusting: the worker may have died since
+                // we last spoke to it.
+                if probe_worker(cfg.workers[w], cfg.deadline, Duration::ZERO).is_ok() {
+                    target = Some(w);
+                    break;
+                }
+                alive[w] = false;
+                workers_lost += 1;
+                obs::counter_add(names::COORD_WORKERS_LOST_TOTAL, 1);
+                obs::flight_event(names::EVENT_COORD_WORKER_DEAD, w as u64, 0, 0.0);
+                obs::gauge_set(
+                    names::COORD_WORKERS_HEALTHY,
+                    alive.iter().filter(|a| **a).count() as f64,
+                );
+            }
+            match target {
+                Some(w) if reassignments < cfg.reassign_budget => {
+                    reassignments += 1;
+                    assignment[shard] = w;
+                    slots[shard].resumed = true;
+                    obs::counter_add(names::COORD_SHARDS_REASSIGNED_TOTAL, 1);
+                    let has_checkpoint = cfg
+                        .checkpoint_dir
+                        .as_ref()
+                        .is_some_and(|d| {
+                            d.join(checkpoint_file_name(
+                                slots[shard].range.0,
+                                slots[shard].range.1,
+                            ))
+                            .exists()
+                        });
+                    obs::flight_event(
+                        names::EVENT_COORD_SHARD_REASSIGNED,
+                        shard as u64,
+                        w as u64,
+                        if has_checkpoint { 1.0 } else { 0.0 },
+                    );
+                }
+                _ => {
+                    slots[shard].lost = true;
+                    obs::counter_add(names::COORD_SHARDS_LOST_TOTAL, 1);
+                }
+            }
+        }
+    }
+
+    // --- Merge at the trust boundary. ---------------------------------
+    let lost: Vec<(usize, usize)> = slots
+        .iter()
+        .filter(|s| s.lost)
+        .map(|s| s.range)
+        .collect();
+    let merged_count = slots.iter().filter(|s| s.payload.is_some()).count();
+    if lost.len() > cfg.max_lost_shards {
+        return Err(RatioRuleError::BudgetExhausted {
+            quarantined: lost.len(),
+            scanned: merged_count,
+            limit: format!(
+                "reassignment budget spent with {} shard(s) unrecoverable \
+                 (max_lost_shards = {})",
+                lost.len(),
+                cfg.max_lost_shards
+            ),
+        });
+    }
+    let mut rows_quarantined = 0usize;
+    let mut by_reason = (0usize, 0usize, 0usize);
+    let mut accs = Vec::with_capacity(merged_count);
+    for slot in &slots {
+        if let Some(cp) = &slot.payload {
+            rows_quarantined += cp.rows_quarantined;
+            by_reason.0 += cp.by_reason.0;
+            by_reason.1 += cp.by_reason.1;
+            by_reason.2 += cp.by_reason.2;
+            accs.push(cp.accumulator()?);
+        }
+    }
+    if !lost.is_empty() {
+        obs::flight_event(
+            names::EVENT_COORD_PARTIAL_MERGE,
+            merged_count as u64,
+            lost.len() as u64,
+            0.0,
+        );
+    }
+    let acc = tree_merge(accs)?;
+    obs::gauge_set(names::COORD_SHARDS_MERGED, merged_count as f64);
+
+    Ok(DistributedOutcome {
+        acc,
+        labels: shape.labels,
+        n_rows: shape.rows,
+        m: shape.cols,
+        shards: slots.len(),
+        shards_merged: merged_count,
+        shards_lost: lost.len(),
+        lost_ranges: lost,
+        rows_quarantined,
+        by_reason,
+        workers_lost,
+        retries,
+        reassignments,
+        checkpoint_resumes,
+        duplicates_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_matches_the_parallel_scan_shape() {
+        // div_ceil chunks, empty tails skipped — the covariance_sharded
+        // contract the bit-identity argument rests on.
+        assert_eq!(partition_rows(10, 4), vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+        assert_eq!(partition_rows(4, 8), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(partition_rows(9, 2), vec![(0, 5), (5, 9)]);
+        assert_eq!(partition_rows(0, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(partition_rows(5, 1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn payload_validation_rejects_tampering() {
+        let acc = {
+            let mut a = CovarianceAccumulator::new(2);
+            a.push_row(&[1.0, 2.0]).unwrap();
+            a.push_row(&[3.0, 4.0]).unwrap();
+            a
+        };
+        let mut cp = ScanCheckpoint::from_accumulator(&acc);
+        cp.rows_consumed = 2; // shard [0, 2)
+        let ok_body = JsonValue::Obj(vec![
+            ("version".into(), JsonValue::Num(1.0)),
+            ("start".into(), JsonValue::Num(0.0)),
+            ("end".into(), JsonValue::Num(2.0)),
+            ("checkpoint".into(), cp.to_json_value()),
+        ])
+        .write(true);
+        assert!(validate_payload(&ok_body, (0, 2), 2).is_ok());
+        // Wrong range echo.
+        assert!(validate_payload(&ok_body, (0, 3), 2).is_err());
+        // Wrong width.
+        assert!(validate_payload(&ok_body, (0, 2), 3).is_err());
+        // Non-finite smuggling: an infinite sum serializes as JSON null,
+        // which must fail the checkpoint parse at the trust boundary.
+        let mut smuggled = cp.clone();
+        smuggled.col_sums[1] = f64::INFINITY;
+        let evil = JsonValue::Obj(vec![
+            ("version".into(), JsonValue::Num(1.0)),
+            ("start".into(), JsonValue::Num(0.0)),
+            ("end".into(), JsonValue::Num(2.0)),
+            ("checkpoint".into(), smuggled.to_json_value()),
+        ])
+        .write(true);
+        assert!(validate_payload(&evil, (0, 2), 2).is_err());
+        // Corrupt byte ≈ the chaos fault.
+        let mut corrupted = ok_body.clone().into_bytes();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] = b'!';
+        assert!(validate_payload(&String::from_utf8_lossy(&corrupted), (0, 2), 2).is_err());
+    }
+
+    #[test]
+    fn outcome_summary_reports_losses() {
+        let acc = CovarianceAccumulator::new(2);
+        let out = DistributedOutcome {
+            acc,
+            labels: vec!["a".into(), "b".into()],
+            n_rows: 100,
+            m: 2,
+            shards: 4,
+            shards_merged: 3,
+            shards_lost: 1,
+            lost_ranges: vec![(75, 100)],
+            rows_quarantined: 2,
+            by_reason: (2, 0, 0),
+            workers_lost: 1,
+            retries: 3,
+            reassignments: 1,
+            checkpoint_resumes: 1,
+            duplicates_dropped: 0,
+        };
+        assert!(out.is_degraded());
+        let s = out.summary();
+        assert!(s.contains("3/4 shards merged"), "{s}");
+        assert!(s.contains("rows [75, 100)"), "{s}");
+        assert!(s.contains("2 row(s) quarantined"), "{s}");
+    }
+}

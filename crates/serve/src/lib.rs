@@ -35,14 +35,29 @@
 //! structured shed/expiry/coalesce events land in the flight recorder
 //! (`GET /debug/flightrecorder`). The [`loadgen`] module is the
 //! self-contained load generator behind `ratio-rules serve-bench`.
+//!
+//! Distributed mining (PR 8) rides the same protocol layer: a
+//! [`shard`] worker scans an assigned row range and serves its
+//! accumulator as an f64-exact checkpoint, and the [`coordinator`]
+//! partitions, dispatches, supervises (deadlines, backoff retries,
+//! health probes, checkpoint-resumed reassignment), validates every
+//! payload at the trust boundary, and tree-merges the survivors into a
+//! model bit-identical to a single-process `mine --shards W`. The
+//! shared one-shot HTTP client (warm-up retries, `Content-Length`
+//! enforcement) lives in [`client`].
 
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod coordinator;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod shard;
 
+pub use coordinator::{coordinate, CoordinatorConfig, DistributedOutcome};
 pub use loadgen::{run_load, LoadReport, LoadgenConfig};
 pub use queue::{BatchConfig, Batcher, PredictOutcome, Prediction, ServeModel, SubmitError};
 pub use server::{Server, ServerConfig};
+pub use shard::{ChaosPlan, ShardConfig, ShardWorker};

@@ -17,8 +17,7 @@
 //! This crate is a clock crate (`rrlint` RR003): wall-clock reads are
 //! deliberate and confined here and in the batcher.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -120,33 +119,18 @@ fn body_for(req: usize, rows_per_request: usize, m: usize) -> String {
     JsonValue::Obj(vec![("rows".into(), JsonValue::Arr(rows))]).write(false)
 }
 
+/// How long a loadgen thread keeps retrying `ConnectionRefused` before
+/// counting the request as an error. A `serve-bench` run spawns its
+/// server and client in quick succession; without this grace window the
+/// first requests race the server's bind and fail the run outright.
+const CONNECT_WARMUP: Duration = Duration::from_millis(1500);
+
 fn post_predict(
     addr: SocketAddr,
     body: &str,
     timeout: Duration,
 ) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    write!(
-        stream,
-        "POST /predict HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n{}",
-        body.len(),
-        body
-    )?;
-    stream.flush()?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let status = response
-        .split_ascii_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .unwrap_or(0);
-    let body = response
-        .split_once("\r\n\r\n")
-        .map_or(String::new(), |(_, b)| b.to_string());
-    Ok((status, body))
+    crate::client::request(addr, "POST", "/predict", Some(body), timeout, CONNECT_WARMUP)
 }
 
 /// Compares one served row against the oracle's single-shot fill,

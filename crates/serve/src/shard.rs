@@ -1,0 +1,641 @@
+//! Shard worker: scans an assigned row range and serves the result.
+//!
+//! One worker process owns a replica of the dataset and answers scan
+//! assignments over the same std-only HTTP/1.1 protocol the prediction
+//! server speaks. The payload is the existing f64-exact
+//! [`ScanCheckpoint`] JSON, so a shard's contribution round-trips the
+//! wire bit-for-bit and the coordinator can rebuild the accumulator
+//! with [`ScanCheckpoint::accumulator`] — the paper's mergeability
+//! claim, across a process boundary.
+//!
+//! Endpoints:
+//!
+//! | Endpoint        | Meaning                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `POST /scan`    | scan `[start, end)` under a [`ScanPolicy`], reply with the checkpoint |
+//! | `GET /healthz`  | dataset shape + labels + scans served              |
+//!
+//! The worker is deliberately single-threaded: a coordinator sends one
+//! assignment at a time, and a hung scan blocking the health probe is
+//! exactly the failure the coordinator's deadline machinery exists to
+//! detect.
+//!
+//! # Chaos
+//!
+//! A seeded [`ChaosPlan`] injects the distributed failure taxonomy at
+//! the worker: **crash** (partial scan, checkpoint dropped to disk,
+//! listener closed — connections get `ECONNREFUSED` thereafter),
+//! **hang** (sleep past any reasonable deadline, no reply), **slow**
+//! (sleep, then reply normally), **corrupt** (one body byte replaced),
+//! and **truncate** (full `Content-Length` declared, half the body
+//! sent). Draws are a pure function of `(seed, request-seq)`, so a
+//! fault schedule is reproducible run to run. The sixth fault class,
+//! double-delivery, is coordinator-side (see
+//! [`crate::coordinator`]).
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use linalg::Matrix;
+use obs::json::JsonValue;
+use obs::names;
+use ratio_rules::resilience::{ScanCheckpoint, ScanPolicy, Scanner};
+use ratio_rules::RatioRuleError;
+
+use crate::protocol::{read_request, reason, HttpError, Request};
+
+/// Shard protocol version carried in every request and response.
+pub const SHARD_PROTOCOL_VERSION: usize = 1;
+
+/// One injected fault class. Ordinals are stable (flight-event `a`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Partial scan, checkpoint to disk, listener closed, no reply.
+    Crash,
+    /// Sleep far past the coordinator's deadline; no reply.
+    Hang,
+    /// Sleep briefly, then reply normally.
+    Slow,
+    /// Reply with one body byte replaced (breaks parse or validation).
+    Corrupt,
+    /// Declare the full `Content-Length` but send half the body.
+    Truncate,
+    /// Deliver the same (valid) payload twice — applied by the
+    /// coordinator's receive path, never by the worker.
+    Duplicate,
+}
+
+impl Fault {
+    /// Stable ordinal for metrics/flight events.
+    #[must_use]
+    pub fn ordinal(self) -> u64 {
+        match self {
+            Fault::Crash => 0,
+            Fault::Hang => 1,
+            Fault::Slow => 2,
+            Fault::Corrupt => 3,
+            Fault::Truncate => 4,
+            Fault::Duplicate => 5,
+        }
+    }
+}
+
+/// SplitMix64 — the same generator the dataset fault plans use, kept
+/// dependency-free. One application per draw key is enough mixing.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded fault schedule: each request sequence number draws once, and
+/// the stacked rate intervals decide which fault (if any) fires.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Base seed; equal seeds give identical fault schedules.
+    pub seed: u64,
+    /// Probability of a crash per scan request.
+    pub crash_rate: f64,
+    /// Probability of a hang per scan request.
+    pub hang_rate: f64,
+    /// Probability of a slow reply per scan request.
+    pub slow_rate: f64,
+    /// Probability of a corrupted payload per scan request.
+    pub corrupt_rate: f64,
+    /// Probability of a truncated payload per scan request.
+    pub truncate_rate: f64,
+    /// Probability of double-delivery (coordinator-side) per payload.
+    pub duplicate_rate: f64,
+    /// How long a hang sleeps, milliseconds (must exceed the
+    /// coordinator deadline to be a hang at all).
+    pub hang_ms: u64,
+    /// How long a slow reply sleeps, milliseconds (should stay inside
+    /// the deadline).
+    pub slow_ms: u64,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan {
+            seed: 0,
+            crash_rate: 0.0,
+            hang_rate: 0.0,
+            slow_rate: 0.0,
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
+            duplicate_rate: 0.0,
+            hang_ms: 600,
+            slow_ms: 40,
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// A plan that never injects anything (the default).
+    #[must_use]
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// The fault (if any) request number `seq` draws. Pure function of
+    /// `(seed, seq)`: replaying a run replays its faults.
+    #[must_use]
+    pub fn draw(&self, seq: u64) -> Option<Fault> {
+        let x = splitmix64(self.seed ^ seq.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let mut acc = 0.0;
+        for (rate, fault) in [
+            (self.crash_rate, Fault::Crash),
+            (self.hang_rate, Fault::Hang),
+            (self.slow_rate, Fault::Slow),
+            (self.corrupt_rate, Fault::Corrupt),
+            (self.truncate_rate, Fault::Truncate),
+            (self.duplicate_rate, Fault::Duplicate),
+        ] {
+            acc += rate;
+            if u < acc {
+                return Some(fault);
+            }
+        }
+        None
+    }
+}
+
+/// Worker configuration (`mine-shard` maps its flags here).
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Fault injection schedule (all-zero rates = no chaos).
+    pub chaos: ChaosPlan,
+    /// Where a crashing worker drops its last checkpoint
+    /// (`shard_<start>_<end>.json`) for a successor to resume from.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            addr: "127.0.0.1:0".into(),
+            io_timeout: Duration::from_secs(10),
+            chaos: ChaosPlan::none(),
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// Serializes a [`ScanPolicy`] for the wire.
+#[must_use]
+pub fn policy_to_json(policy: &ScanPolicy) -> JsonValue {
+    match policy {
+        ScanPolicy::Strict => JsonValue::Obj(vec![(
+            "mode".into(),
+            JsonValue::Str("strict".into()),
+        )]),
+        ScanPolicy::Quarantine {
+            max_bad_rows,
+            max_bad_fraction,
+        } => JsonValue::Obj(vec![
+            ("mode".into(), JsonValue::Str("quarantine".into())),
+            (
+                "max_bad_rows".into(),
+                max_bad_rows.map_or(JsonValue::Null, |n| JsonValue::Num(n as f64)),
+            ),
+            (
+                "max_bad_fraction".into(),
+                max_bad_fraction.map_or(JsonValue::Null, JsonValue::Num),
+            ),
+        ]),
+    }
+}
+
+/// Parses a wire [`ScanPolicy`].
+///
+/// # Errors
+///
+/// An unknown `mode` or a missing/mistyped field.
+pub fn policy_from_json(v: &JsonValue) -> Result<ScanPolicy, String> {
+    match v.get("mode").and_then(JsonValue::as_str) {
+        Some("strict") => Ok(ScanPolicy::Strict),
+        Some("quarantine") => {
+            let opt_num = |key: &str| -> Result<Option<f64>, String> {
+                match v.get(key) {
+                    None | Some(JsonValue::Null) => Ok(None),
+                    Some(n) => n
+                        .as_f64()
+                        .map(Some)
+                        .ok_or_else(|| format!("policy field {key:?} is not a number")),
+                }
+            };
+            Ok(ScanPolicy::Quarantine {
+                max_bad_rows: opt_num("max_bad_rows")?.map(|n| n as usize),
+                max_bad_fraction: opt_num("max_bad_fraction")?,
+            })
+        }
+        _ => Err("policy needs a \"mode\" of \"strict\" or \"quarantine\"".into()),
+    }
+}
+
+/// The crash-checkpoint file name for shard `[start, end)`. Worker and
+/// coordinator must agree on this, so it lives in one place.
+#[must_use]
+pub fn checkpoint_file_name(start: usize, end: usize) -> String {
+    format!("shard_{start}_{end}.json")
+}
+
+struct WorkerState {
+    data: Matrix,
+    labels: Vec<String>,
+    cfg: ShardConfig,
+    dead: AtomicBool,
+    scan_seq: AtomicU64,
+    scans_served: AtomicU64,
+}
+
+/// A running shard worker.
+pub struct ShardWorker {
+    local_addr: SocketAddr,
+    state: Arc<WorkerState>,
+    closing: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ShardWorker {
+    /// Binds and spawns the (single-threaded) accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(cfg: ShardConfig, data: Matrix, labels: Vec<String>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        crate::coordinator::seed_coord_boot_families();
+        let state = Arc::new(WorkerState {
+            data,
+            labels,
+            cfg,
+            dead: AtomicBool::new(false),
+            scan_seq: AtomicU64::new(0),
+            scans_served: AtomicU64::new(0),
+        });
+        let closing = Arc::new(AtomicBool::new(false));
+        let loop_state = Arc::clone(&state);
+        let loop_closing = Arc::clone(&closing);
+        let accept = std::thread::Builder::new()
+            .name("rr-shard".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if loop_closing.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if !handle_connection(&loop_state, stream) {
+                        // A crash fault: drop the listener so every
+                        // later connect sees ECONNREFUSED, like a dead
+                        // process.
+                        loop_state.dead.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            })
+            .ok();
+        Ok(ShardWorker {
+            local_addr,
+            state,
+            closing,
+            accept,
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a chaos crash has taken the worker down. The `mine-shard`
+    /// process polls this and exits non-zero, completing the
+    /// process-crash illusion.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.state.dead.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and joins the loop thread.
+    pub fn shutdown(mut self) {
+        self.closing.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Writes a response, optionally mutating it per an injected fault.
+/// `Content-Length` always declares the full body; a truncate fault
+/// under-delivers it so length-enforcing clients see `UnexpectedEof`.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    fault: Option<Fault>,
+) -> std::io::Result<()> {
+    let mut bytes = body.as_bytes().to_vec();
+    let mut send_len = bytes.len();
+    match fault {
+        Some(Fault::Corrupt) if !bytes.is_empty() => {
+            let mid = bytes.len() / 2;
+            bytes[mid] = b'!';
+        }
+        Some(Fault::Truncate) => send_len = bytes.len() / 2,
+        _ => {}
+    }
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        bytes.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&bytes[..send_len])?;
+    stream.flush()
+}
+
+fn error_body(message: &str) -> String {
+    JsonValue::Obj(vec![(
+        "error".into(),
+        JsonValue::Str(message.to_string()),
+    )])
+    .write(false)
+}
+
+/// Handles one connection. Returns `false` when a crash fault fired and
+/// the accept loop must die.
+fn handle_connection(state: &WorkerState, mut stream: TcpStream) -> bool {
+    let _ = stream.set_read_timeout(Some(state.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.cfg.io_timeout));
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(HttpError::Io(_)) => return true,
+        Err(e) => {
+            let _ = write_response(&mut stream, 400, &error_body(&e.to_string()), None);
+            return true;
+        }
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let labels: Vec<JsonValue> = state
+                .labels
+                .iter()
+                .map(|l| JsonValue::Str(l.clone()))
+                .collect();
+            let body = JsonValue::Obj(vec![
+                ("status".into(), JsonValue::Str("ok".into())),
+                ("rows".into(), JsonValue::Num(state.data.rows() as f64)),
+                ("cols".into(), JsonValue::Num(state.data.cols() as f64)),
+                ("labels".into(), JsonValue::Arr(labels)),
+                (
+                    "scans_served".into(),
+                    JsonValue::Num(state.scans_served.load(Ordering::SeqCst) as f64),
+                ),
+            ]);
+            let _ = write_response(&mut stream, 200, &body.write(false), None);
+            true
+        }
+        ("POST", "/scan") => handle_scan(state, &req, &mut stream),
+        _ => {
+            let _ = write_response(&mut stream, 404, &error_body("unknown endpoint"), None);
+            true
+        }
+    }
+}
+
+/// Runs one scan assignment. Returns `false` on a crash fault.
+fn handle_scan(state: &WorkerState, req: &Request, stream: &mut TcpStream) -> bool {
+    obs::counter_add(names::SHARD_SCAN_REQUESTS_TOTAL, 1);
+    let _span = obs::Span::enter(names::SPAN_SHARD_SCAN);
+    let seq = state.scan_seq.fetch_add(1, Ordering::SeqCst);
+    let fault = state.cfg.chaos.draw(seq);
+    if let Some(f) = fault {
+        obs::counter_add(names::SHARD_CHAOS_FAULTS_TOTAL, 1);
+        obs::flight_event(names::EVENT_SHARD_CHAOS_INJECTED, f.ordinal(), seq, 0.0);
+    }
+    match fault {
+        Some(Fault::Hang) => {
+            // rrlint-allow: RR003 chaos sleep, injected latency only
+            std::thread::sleep(Duration::from_millis(state.cfg.chaos.hang_ms));
+            return true; // drop the connection without replying
+        }
+        Some(Fault::Slow) => {
+            // rrlint-allow: RR003 chaos sleep, injected latency only
+            std::thread::sleep(Duration::from_millis(state.cfg.chaos.slow_ms));
+        }
+        _ => {}
+    }
+
+    let parsed = parse_scan_request(req, state.data.rows(), state.data.cols());
+    let (start, end, policy, resume) = match parsed {
+        Ok(p) => p,
+        Err(msg) => {
+            let _ = write_response(stream, 400, &error_body(&msg), None);
+            return true;
+        }
+    };
+    obs::flight_event(
+        names::EVENT_SHARD_SCAN_STARTED,
+        start as u64,
+        end as u64,
+        0.0,
+    );
+
+    // A crash fault consumes only part of the range, checkpoints what it
+    // has, and dies — the shape a SIGKILL mid-scan leaves behind.
+    let crash = matches!(fault, Some(Fault::Crash));
+    let scan_end = if crash {
+        (start + (end - start).div_ceil(2)).min(end)
+    } else {
+        end
+    };
+    let scanner = match resume {
+        Some(cp) => Scanner::resume(&cp, policy),
+        None => Ok(Scanner::new(state.data.cols(), policy).with_start_row(start)),
+    };
+    let mut scanner = match scanner {
+        Ok(s) => s.with_consumed_limit(scan_end),
+        Err(e) => {
+            let _ = write_response(stream, 400, &error_body(&e.to_string()), None);
+            return true;
+        }
+    };
+    let mut source = dataset::source::MatrixSource::new(&state.data);
+    let outcome = scanner.scan(&mut source).map(|r| r.clone());
+    match outcome {
+        Ok(report) => {
+            let checkpoint = scanner.checkpoint();
+            if crash {
+                if let Some(dir) = &state.cfg.checkpoint_dir {
+                    let path = dir.join(checkpoint_file_name(start, end));
+                    let _ = std::fs::write(path, checkpoint.to_json());
+                }
+                return false; // die without replying
+            }
+            state.scans_served.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add(names::SHARD_SCANS_COMPLETED_TOTAL, 1);
+            obs::flight_event(
+                names::EVENT_SHARD_SCAN_COMPLETED,
+                report.rows_absorbed as u64,
+                report.rows_quarantined as u64,
+                0.0,
+            );
+            let body = JsonValue::Obj(vec![
+                (
+                    "version".into(),
+                    JsonValue::Num(SHARD_PROTOCOL_VERSION as f64),
+                ),
+                ("start".into(), JsonValue::Num(start as f64)),
+                ("end".into(), JsonValue::Num(end as f64)),
+                ("checkpoint".into(), checkpoint.to_json_value()),
+            ])
+            .write(true);
+            let _ = write_response(stream, 200, &body, fault);
+            true
+        }
+        Err(RatioRuleError::BudgetExhausted {
+            quarantined,
+            scanned,
+            limit,
+        }) => {
+            // The shard's quarantine budget is blown: no retry can help,
+            // so the coordinator must treat this as fatal, not as a
+            // transport flake.
+            let body = JsonValue::Obj(vec![
+                ("error".into(), JsonValue::Str(format!("budget exhausted: {limit}"))),
+                ("budget_exhausted".into(), JsonValue::Bool(true)),
+                ("quarantined".into(), JsonValue::Num(quarantined as f64)),
+                ("scanned".into(), JsonValue::Num(scanned as f64)),
+            ])
+            .write(false);
+            let _ = write_response(stream, 422, &body, None);
+            true
+        }
+        Err(e) => {
+            let _ = write_response(stream, 500, &error_body(&e.to_string()), None);
+            true
+        }
+    }
+}
+
+type ParsedScan = (usize, usize, ScanPolicy, Option<ScanCheckpoint>);
+
+fn parse_scan_request(req: &Request, n_rows: usize, m: usize) -> Result<ParsedScan, String> {
+    let text = req.body_str().map_err(|e| e.to_string())?;
+    let doc = obs::json::parse(text).map_err(|e| format!("scan body: {e}"))?;
+    let int = |key: &str| -> Result<usize, String> {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("missing integer field {key:?}"))
+    };
+    if int("version")? != SHARD_PROTOCOL_VERSION {
+        return Err(format!(
+            "unsupported shard protocol version (worker speaks {SHARD_PROTOCOL_VERSION})"
+        ));
+    }
+    let (start, end) = (int("start")?, int("end")?);
+    if start >= end || end > n_rows {
+        return Err(format!(
+            "bad range [{start}, {end}) for a {n_rows}-row dataset"
+        ));
+    }
+    let policy = match doc.get("policy") {
+        Some(p) => policy_from_json(p)?,
+        None => ScanPolicy::Strict,
+    };
+    let resume = match doc.get("resume") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => {
+            let cp = ScanCheckpoint::from_json_value(v).map_err(|e| e.to_string())?;
+            if cp.m != m || cp.rows_consumed < start || cp.rows_consumed > end {
+                return Err(format!(
+                    "resume checkpoint (m = {}, consumed = {}) does not fit shard \
+                     [{start}, {end}) over {m} columns",
+                    cp.m, cp.rows_consumed
+                ));
+            }
+            Some(cp)
+        }
+    };
+    Ok((start, end, policy, resume))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_draws_are_deterministic_and_rate_shaped() {
+        let plan = ChaosPlan {
+            seed: 7,
+            crash_rate: 0.25,
+            ..ChaosPlan::none()
+        };
+        let a: Vec<_> = (0..64).map(|s| plan.draw(s)).collect();
+        let b: Vec<_> = (0..64).map(|s| plan.draw(s)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        let crashes = a.iter().filter(|f| **f == Some(Fault::Crash)).count();
+        assert!(crashes > 0, "a 25% rate should fire within 64 draws");
+        assert!(crashes < 40, "and not fire nearly always");
+        let none = ChaosPlan::none();
+        assert!((0..64).all(|s| none.draw(s).is_none()));
+    }
+
+    #[test]
+    fn stacked_rates_cover_every_fault_class() {
+        let plan = ChaosPlan {
+            seed: 3,
+            crash_rate: 1.0 / 6.0,
+            hang_rate: 1.0 / 6.0,
+            slow_rate: 1.0 / 6.0,
+            corrupt_rate: 1.0 / 6.0,
+            truncate_rate: 1.0 / 6.0,
+            duplicate_rate: 1.0 / 6.0,
+            ..ChaosPlan::none()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..512 {
+            if let Some(f) = plan.draw(s) {
+                seen.insert(f.ordinal());
+            }
+        }
+        assert_eq!(seen.len(), 6, "all six classes drawn: {seen:?}");
+    }
+
+    #[test]
+    fn policy_round_trips_the_wire() {
+        for p in [
+            ScanPolicy::Strict,
+            ScanPolicy::quarantine_unlimited(),
+            ScanPolicy::Quarantine {
+                max_bad_rows: Some(3),
+                max_bad_fraction: Some(0.25),
+            },
+        ] {
+            let wire = policy_to_json(&p);
+            assert_eq!(policy_from_json(&wire).unwrap(), p);
+        }
+        assert!(policy_from_json(&JsonValue::Obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_file_names_are_stable() {
+        assert_eq!(checkpoint_file_name(100, 250), "shard_100_250.json");
+    }
+}

@@ -1,0 +1,206 @@
+#!/usr/bin/env bash
+# Distributed-mining chaos harness: real `mine-shard` worker processes,
+# a real `mine-distributed` coordinator, seeded fault injection, and a
+# byte-compare against the single-process oracle `mine --shards W`.
+#
+# Scenarios (exit codes asserted per docs/DISTRIBUTED.md):
+#   1. clean fleet            -> exit 0, model `cmp`-identical to oracle
+#   2. seeded chaos fleet     -> exit 0 + identical model, or exit 3
+#                                with the budget-exhausted report; never
+#                                a silently different model
+#   3. crash + checkpoint     -> worker dies mid-scan, shard resumes on
+#                                the survivor from its checkpoint file,
+#                                exit 0 + identical model
+#   4. unrecoverable shard    -> inside --max-lost-shards: exit 2 with
+#                                the lost row range named
+#   5. budget blown           -> beyond --max-lost-shards: exit 3
+#
+# Usage: ./scripts/chaos_e2e.sh [--quick]
+#   --quick   one chaos seed instead of three (CI smoke)
+#   RR_BIN    path to a prebuilt ratio-rules binary (skips cargo build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+if [ -n "${RR_BIN:-}" ]; then
+    bin="$RR_BIN"
+else
+    cargo build --release -p ratio-rules-cli
+    bin="target/release/ratio-rules"
+fi
+[ -x "$bin" ] || { echo "chaos_e2e: binary not found: $bin" >&2; exit 1; }
+
+work="$(mktemp -d /tmp/rr_chaos_e2e.XXXXXX)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# Deterministic dataset: correlated columns + integer jitter, no RNG.
+csv="$work/data.csv"
+{
+    echo "bread,milk,butter,eggs"
+    for i in $(seq 0 239); do
+        echo "$((10 + i)),$((20 + 2 * i + i % 7)),$((5 + i + i % 3)),$((3 + 3 * i))"
+    done
+} > "$csv"
+
+# Port allocator: mutates the counter in THIS shell (a command
+# substitution would increment in a subshell and hand every worker the
+# same port). Read the result from $port.
+port=18870
+next_port() { port=$((port + 1)); }
+
+# Poll a worker's /healthz over bash's /dev/tcp until it answers.
+wait_healthy() {
+    local p="$1" reply=""
+    for _ in $(seq 1 100); do
+        if reply="$( { exec 3<>"/dev/tcp/127.0.0.1/$p" &&
+                printf 'GET /healthz HTTP/1.1\r\nhost: chaos\r\n\r\n' >&3 &&
+                cat <&3; exec 3>&- 3<&-; } 2>/dev/null)" &&
+           grep -qF '"status":"ok"' <<<"$reply"; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "chaos_e2e: worker on port $p never became healthy" >&2
+    return 1
+}
+
+# start_worker PORT [extra mine-shard flags...]
+start_worker() {
+    local p="$1"; shift
+    "$bin" mine-shard --input "$csv" --port "$p" "$@" > /dev/null 2>&1 &
+    pids+=($!)
+}
+
+join_ports() {
+    local out="" p
+    for p in "$@"; do out="$out${out:+,}127.0.0.1:$p"; done
+    echo "$out"
+}
+
+MINE_FLAGS=(--k 1)
+
+echo "== oracle: single-process mine --shards W =="
+for w in 2 3; do
+    "$bin" mine --input "$csv" --shards "$w" "${MINE_FLAGS[@]}" \
+        --output "$work/oracle_$w.json" > /dev/null
+done
+
+echo "== scenario 1: clean 3-worker fleet, bit-identical model =="
+next_port; p1=$port; next_port; p2=$port; next_port; p3=$port
+start_worker "$p1"; start_worker "$p2"; start_worker "$p3"
+wait_healthy "$p1"; wait_healthy "$p2"; wait_healthy "$p3"
+out="$("$bin" mine-distributed --workers "$(join_ports "$p1" "$p2" "$p3")" \
+    "${MINE_FLAGS[@]}" --output "$work/dist_clean.json")"
+grep -qF "3/3 shards merged" <<<"$out" || {
+    echo "clean run: summary missing merge line: $out" >&2; exit 1; }
+cmp "$work/dist_clean.json" "$work/oracle_3.json" || {
+    echo "clean run: distributed model differs from oracle bytes" >&2; exit 1; }
+echo "  clean fleet: exit 0, model bytes identical to 'mine --shards 3'"
+
+echo "== scenario 2: seeded chaos (corrupt/truncate/slow + duplicates) =="
+seeds="11 22 33"
+[ "$quick" -eq 1 ] && seeds="11"
+for seed in $seeds; do
+    next_port; c1=$port; next_port; c2=$port; next_port; c3=$port
+    chaos=(--chaos-seed "$seed" --chaos-corrupt 0.20 --chaos-truncate 0.15
+           --chaos-slow 0.15 --chaos-slow-ms 10)
+    start_worker "$c1" "${chaos[@]}"
+    start_worker "$c2" "${chaos[@]}"
+    start_worker "$c3" "${chaos[@]}"
+    wait_healthy "$c1"; wait_healthy "$c2"; wait_healthy "$c3"
+    set +e
+    out="$("$bin" mine-distributed --workers "$(join_ports "$c1" "$c2" "$c3")" \
+        "${MINE_FLAGS[@]}" --retries 3 --retry-base-ms 5 \
+        --chaos-seed "$seed" --chaos-dup-rate 0.5 \
+        --output "$work/dist_chaos_$seed.json" 2>&1)"
+    code=$?
+    set -e
+    case "$code" in
+        0)
+            cmp "$work/dist_chaos_$seed.json" "$work/oracle_3.json" || {
+                echo "seed $seed: chaos run converged to DIFFERENT bytes" >&2
+                exit 1
+            }
+            echo "  seed $seed: converged, model bytes identical to oracle"
+            ;;
+        3)
+            grep -qF "error budget exhausted" <<<"$out" || {
+                echo "seed $seed: exit 3 without the budget report: $out" >&2
+                exit 1
+            }
+            echo "  seed $seed: unrecoverable under chaos, failed loudly (exit 3)"
+            ;;
+        *)
+            echo "seed $seed: expected exit 0 or 3, got $code: $out" >&2
+            exit 1
+            ;;
+    esac
+done
+
+echo "== scenario 3: crash mid-scan, checkpoint-resumed reassignment =="
+ckpt="$work/ckpt"
+mkdir -p "$ckpt"
+next_port; k1=$port; next_port; k2=$port
+start_worker "$k1" --chaos-seed 7 --chaos-crash 1.0 --checkpoint-dir "$ckpt"
+start_worker "$k2"
+wait_healthy "$k1"; wait_healthy "$k2"
+out="$("$bin" mine-distributed --workers "$(join_ports "$k1" "$k2")" \
+    "${MINE_FLAGS[@]}" --retries 1 --retry-base-ms 5 --warmup-ms 200 \
+    --checkpoint-dir "$ckpt" --output "$work/dist_crash.json")"
+ls "$ckpt"/shard_*.json > /dev/null 2>&1 || {
+    echo "crash run: no checkpoint file dropped in $ckpt" >&2
+    echo "coordinator output was: $out" >&2
+    exit 1
+}
+cmp "$work/dist_crash.json" "$work/oracle_2.json" || {
+    echo "crash run: resumed model differs from oracle bytes" >&2; exit 1; }
+echo "  crash + resume: exit 0, checkpoint dropped, model identical to 'mine --shards 2'"
+
+echo "== scenario 4: unrecoverable shard inside --max-lost-shards: exit 2 =="
+next_port; d1=$port; next_port; d2=$port
+start_worker "$d1" --chaos-seed 7 --chaos-crash 1.0
+start_worker "$d2"
+wait_healthy "$d1"; wait_healthy "$d2"
+set +e
+out="$("$bin" mine-distributed --workers "$(join_ports "$d1" "$d2")" \
+    "${MINE_FLAGS[@]}" --retries 1 --retry-base-ms 5 --warmup-ms 200 \
+    --reassign-budget 0 --max-lost-shards 1 \
+    --output "$work/dist_degraded.json" 2>&1)"
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "degraded run: expected exit 2, got $code: $out" >&2
+    exit 1
+fi
+grep -qF "LOST 1 shard(s)" <<<"$out" || {
+    echo "degraded run: report does not name the lost shard: $out" >&2; exit 1; }
+echo "  degraded partial model: exit 2, lost row range reported"
+
+echo "== scenario 5: shard loss beyond --max-lost-shards: exit 3 =="
+next_port; b1=$port; next_port; b2=$port
+start_worker "$b1" --chaos-seed 7 --chaos-crash 1.0
+start_worker "$b2"
+wait_healthy "$b1"; wait_healthy "$b2"
+set +e
+out="$("$bin" mine-distributed --workers "$(join_ports "$b1" "$b2")" \
+    "${MINE_FLAGS[@]}" --retries 1 --retry-base-ms 5 --warmup-ms 200 \
+    --reassign-budget 0 --max-lost-shards 0 \
+    --output "$work/dist_abort.json" 2>&1)"
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+    echo "abort run: expected exit 3, got $code: $out" >&2
+    exit 1
+fi
+grep -qF "error budget exhausted" <<<"$out" || {
+    echo "abort run: missing budget-exhausted report: $out" >&2; exit 1; }
+echo "  budget blown: exit 3 with accurate report"
+
+echo "chaos_e2e: OK"

@@ -166,6 +166,9 @@ grep -qF "resumed from checkpoint" <<<"$out" || {
 }
 echo "  checkpoint/resume: ok"
 
+echo "== distributed chaos: workers + coordinator vs oracle (exit 0/2/3) =="
+RR_BIN="$bin" ./scripts/chaos_e2e.sh --quick
+
 echo "== serve: HTTP smoke (healthz, predict, metrics) =="
 serve_port=17878
 serve_pid=""

@@ -400,6 +400,81 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On integer-grid data every sum the accumulator forms is exactly
+    /// representable (values in [-100, 100], well under 2^53 of mass),
+    /// so fp addition is genuinely associative and bit-identity must
+    /// survive ANY partition arity and ANY merge order — not just the
+    /// fixed tree. The shards also round-trip the wire checkpoint JSON,
+    /// making this the property the distributed coordinator leans on
+    /// when workers deliver out of order.
+    #[test]
+    fn tree_merge_any_partition_and_order_equals_serial_on_integer_grid(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100i32..=100, 4), 1..60),
+        cuts in proptest::collection::vec(0usize..60, 0..6),
+        order_seed in 0u64..1_000_000,
+    ) {
+        use ratio_rules::covariance::CovarianceAccumulator;
+        use ratio_rules::parallel::tree_merge;
+        use ratio_rules::resilience::ScanCheckpoint;
+
+        let data: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let n = data.len();
+        let mut serial = CovarianceAccumulator::new(4);
+        for r in &data {
+            serial.push_row(r).unwrap();
+        }
+
+        // Partition bounds from the cuts, then a deterministic shuffle
+        // of the shard order from the seed (LCG-driven Fisher-Yates).
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let ranges: Vec<(usize, usize)> = bounds
+            .windows(2)
+            .filter(|w| w[0] < w[1])
+            .map(|w| (w[0], w[1]))
+            .collect();
+        let mut order: Vec<usize> = (0..ranges.len()).collect();
+        let mut s = order_seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        let shards: Vec<CovarianceAccumulator> = order
+            .iter()
+            .map(|&t| {
+                let (lo, hi) = ranges[t];
+                let mut acc = CovarianceAccumulator::new(4);
+                for r in &data[lo..hi] {
+                    acc.push_row(r).unwrap();
+                }
+                // Wire round-trip, as a real shard delivery would.
+                ScanCheckpoint::from_json(&ScanCheckpoint::from_accumulator(&acc).to_json())
+                    .unwrap()
+                    .accumulator()
+                    .unwrap()
+            })
+            .collect();
+        let merged = tree_merge(shards).unwrap();
+
+        let (n1, s1, r1) = serial.parts();
+        let (n2, s2, r2) = merged.parts();
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(s1, s2, "column sums must be bit-identical in any order");
+        prop_assert_eq!(r1, r2, "moments must be bit-identical in any order");
+    }
+}
+
 /// Strategy: a nonnegative spectrum sorted in descending order, as
 /// produced by the eigensolver.
 fn spectrum(max_len: usize) -> impl Strategy<Value = Vec<f64>> {

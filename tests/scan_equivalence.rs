@@ -13,8 +13,8 @@ use linalg::Matrix;
 use ratio_rules::covariance::CovarianceAccumulator;
 use ratio_rules::cutoff::Cutoff;
 use ratio_rules::miner::RatioRuleMiner;
-use ratio_rules::parallel::covariance_parallel;
-use ratio_rules::resilience::{ScanPolicy, Scanner};
+use ratio_rules::parallel::{covariance_parallel, tree_merge};
+use ratio_rules::resilience::{ScanCheckpoint, ScanPolicy, Scanner};
 use ratio_rules::rules::RuleSet;
 
 fn workload() -> Matrix {
@@ -76,6 +76,46 @@ fn rowwise_blocked_and_columnar_mining_are_bit_identical() {
     // bit difference must come from the scan path itself.
     let columnar_rules = RatioRuleMiner::new(cutoff).finish(&acc).unwrap();
     assert_rules_bits_eq(&reference, &columnar_rules, "columnar");
+}
+
+/// The distributed-mining bit-identity claim, minus the sockets: shard
+/// accumulators round-tripped through the wire checkpoint JSON and
+/// folded through the public [`tree_merge`] land on the exact bits of
+/// the in-process sharded scan. This is the property the chaos e2e
+/// suite (tests/distributed_chaos.rs) re-proves with real workers.
+#[test]
+fn wire_roundtripped_shard_merge_is_bit_identical_to_in_process() {
+    let x = workload();
+    let n = x.rows();
+    for shards in [2usize, 4, 8] {
+        let oracle = covariance_parallel(&x, shards).unwrap();
+
+        // Same contiguous partition as covariance_sharded, scanned
+        // row-wise (the worker's path), serialized through the f64-exact
+        // checkpoint JSON (the wire format), parsed back, and merged.
+        let chunk = n.div_ceil(shards);
+        let mut accs = Vec::new();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            let mut acc = CovarianceAccumulator::new(x.cols());
+            for i in lo..hi {
+                acc.push_row(x.row(i)).unwrap();
+            }
+            let wire = ScanCheckpoint::from_accumulator(&acc).to_json();
+            let cp = ScanCheckpoint::from_json(&wire).unwrap();
+            accs.push(cp.accumulator().unwrap());
+            lo = hi;
+        }
+        let merged = tree_merge(accs).unwrap();
+
+        let (n1, s1, r1) = oracle.parts();
+        let (n2, s2, r2) = merged.parts();
+        assert_eq!(n1, n2, "shards={shards}: row count");
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&s1), bits(&s2), "shards={shards}: column sums");
+        assert_eq!(bits(&r1), bits(&r2), "shards={shards}: raw moments");
+    }
 }
 
 #[test]
