@@ -141,7 +141,8 @@ impl Baseline {
     }
 }
 
-fn escape(s: &str) -> String {
+/// JSON string escaping, shared with the engine's `--format json` renderer.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -49,7 +49,10 @@ fn print_usage() {
         "rrlint — workspace static analysis for the Ratio Rules reproduction
 
 USAGE:
-    rrlint check    [--root DIR] [--baseline FILE]   gate: fail on new findings
+    rrlint check    [--root DIR] [--baseline FILE] [--format text|json|github]
+                    [--deny-stale]                   gate: fail on new findings
+                                                     (--deny-stale also fails on
+                                                     stale baseline entries)
     rrlint baseline [--root DIR] [--baseline FILE] --write
                                                      re-bless current findings
     rrlint explain <RRNNN>                           rationale for one rule
@@ -62,11 +65,33 @@ Rules are documented in docs/LINTS.md."
     );
 }
 
-/// Parses `--root` / `--baseline` with defaults; rejects stray args.
-fn common_flags(args: &[String]) -> Result<(PathBuf, PathBuf, bool), String> {
+/// Output shape for `rrlint check`.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    /// Human-readable report (default).
+    Text,
+    /// Machine-readable JSON for CI artifacts.
+    Json,
+    /// GitHub Actions `::error`/`::warning` annotations.
+    Github,
+}
+
+/// Everything the subcommands share, parsed from flags.
+struct Flags {
+    root: PathBuf,
+    baseline: PathBuf,
+    write: bool,
+    format: Format,
+    deny_stale: bool,
+}
+
+/// Parses common flags with defaults; rejects stray args.
+fn common_flags(args: &[String]) -> Result<Flags, String> {
     let mut root = PathBuf::from(".");
     let mut baseline: Option<PathBuf> = None;
     let mut write = false;
+    let mut format = Format::Text;
+    let mut deny_stale = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -81,12 +106,35 @@ fn common_flags(args: &[String]) -> Result<(PathBuf, PathBuf, bool), String> {
                 ));
             }
             "--write" => write = true,
+            "--deny-stale" => deny_stale = true,
+            "--format" => {
+                format = match it
+                    .next()
+                    .ok_or("--format needs text, json, or github")?
+                    .as_str()
+                {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "github" => Format::Github,
+                    other => {
+                        return Err(format!(
+                            "unknown format `{other}` (expected text, json, or github)"
+                        ))
+                    }
+                };
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     let root = find_workspace_root(&root)?;
     let baseline = baseline.unwrap_or_else(|| root.join(engine::BASELINE_PATH));
-    Ok((root, baseline, write))
+    Ok(Flags {
+        root,
+        baseline,
+        write,
+        format,
+        deny_stale,
+    })
 }
 
 /// Walks up from `start` to the directory containing the workspace
@@ -112,39 +160,66 @@ fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
 }
 
 fn check(args: &[String]) -> Result<ExitCode, String> {
-    let (root, baseline, _) = common_flags(args)?;
+    let flags = common_flags(args)?;
     // rrlint-allow: RR003 wall time only annotates the report footer, never results
     let start = std::time::Instant::now();
-    let report = engine::run_check(&root, &baseline).map_err(render_engine_err)?;
+    let report =
+        engine::run_check(&flags.root, &flags.baseline).map_err(render_engine_err)?;
     let elapsed = start.elapsed();
-    if !report.had_baseline {
-        eprintln!(
-            "rrlint: note: no baseline at {} — every finding counts as new \
-             (run `rrlint baseline --write` to bless the current state)",
-            baseline.display()
-        );
+    let stale_fails = flags.deny_stale && report.stale > 0;
+    let pass = report.clean() && !stale_fails;
+    match flags.format {
+        Format::Json => print!("{}", engine::render_json(&report)),
+        Format::Github => print!("{}", engine::render_github(&report)),
+        Format::Text => {
+            if !report.had_baseline {
+                eprintln!(
+                    "rrlint: note: no baseline at {} — every finding counts as new \
+                     (run `rrlint baseline --write` to bless the current state)",
+                    flags.baseline.display()
+                );
+            }
+            for f in &report.new {
+                print_finding(f);
+            }
+            for n in &report.dead_names {
+                println!(
+                    "warning: dead metric name: `{n}` is registered in {} but never \
+                     emitted by any producer",
+                    engine::REGISTRY_PATH
+                );
+            }
+            let status = if pass { "OK" } else { "FAIL" };
+            println!(
+                "rrlint check: {status} — {} files, {} findings ({} baselined, {} new, {} stale baseline entries, {} dead names) in {:.0?}",
+                report.files,
+                report.findings.len(),
+                report.findings.len() - report.new.len(),
+                report.new.len(),
+                report.stale,
+                report.dead_names.len(),
+                elapsed
+            );
+        }
     }
-    for f in &report.new {
-        print_finding(f);
-    }
-    let status = if report.clean() { "OK" } else { "FAIL" };
-    println!(
-        "rrlint check: {status} — {} files, {} findings ({} baselined, {} new, {} stale baseline entries) in {:.0?}",
-        report.files,
-        report.findings.len(),
-        report.findings.len() - report.new.len(),
-        report.new.len(),
-        report.stale,
-        elapsed
-    );
-    if report.clean() {
+    if pass {
         Ok(ExitCode::SUCCESS)
     } else {
-        eprintln!(
-            "rrlint: {} new finding(s). Fix them, suppress with a reason \
-             (see docs/LINTS.md), or re-bless via `rrlint baseline --write`.",
-            report.new.len()
-        );
+        if !report.clean() {
+            eprintln!(
+                "rrlint: {} new finding(s). Fix them, suppress with a reason \
+                 (see docs/LINTS.md), or re-bless via `rrlint baseline --write`.",
+                report.new.len()
+            );
+        }
+        if stale_fails {
+            eprintln!(
+                "rrlint: {} stale baseline entr{} and --deny-stale is set; run \
+                 `rrlint baseline --write` to re-bless the shrunken baseline.",
+                report.stale,
+                if report.stale == 1 { "y" } else { "ies" }
+            );
+        }
         Ok(ExitCode::FAILURE)
     }
 }
@@ -157,11 +232,12 @@ fn print_finding(f: &Finding) {
 }
 
 fn baseline_cmd(args: &[String]) -> Result<ExitCode, String> {
-    let (root, baseline_path, write) = common_flags(args)?;
-    let findings = engine::collect_findings(&root).map_err(render_engine_err)?;
+    let flags = common_flags(args)?;
+    let baseline_path = &flags.baseline;
+    let findings = engine::collect_findings(&flags.root).map_err(render_engine_err)?;
     let blessed = Baseline::from_findings(&findings);
-    if write {
-        std::fs::write(&baseline_path, blessed.to_json())
+    if flags.write {
+        std::fs::write(baseline_path, blessed.to_json())
             .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
         println!(
             "rrlint baseline: wrote {} entries to {}",

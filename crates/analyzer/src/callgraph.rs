@@ -1,0 +1,250 @@
+//! Intra-workspace call-graph approximation, keyed by fn/method name.
+//!
+//! `rrlint` has no type information, so calls resolve by name: a call to
+//! `tree_merge` from crate `core` first looks for fns named `tree_merge`
+//! in `core`, then falls back to the whole workspace. Two guards keep
+//! the approximation honest instead of fully connected:
+//!
+//! * a **stoplist** of ubiquitous names (`new`, `len`, `get`, `push`,
+//!   `iter`, …) that would otherwise wire every fn to every other; and
+//! * an **ambiguity cap**: a name defined in more than
+//!   [`AMBIGUITY_CAP`] places resolves to nothing (better a false
+//!   negative on one edge than a false positive everywhere).
+//!
+//! The graph over-approximates within those limits — exactly the right
+//! bias for RR012/RR013, which reason about what *could* be reached.
+
+use crate::index::FileIndex;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A fn identity: `(file index, fn index within the file)`.
+pub type FnId = (usize, usize);
+
+/// Method/fn names too common to resolve by name alone.
+pub const STOPLIST: &[&str] = &[
+    "new", "default", "build", "len", "is_empty", "get", "get_mut", "push",
+    "pop", "insert", "remove", "clear", "clone", "iter", "iter_mut",
+    "into_iter", "next", "collect", "map", "filter", "fold", "for_each",
+    "unwrap", "expect", "unwrap_or", "unwrap_or_else", "unwrap_or_default",
+    "ok", "err", "ok_or", "ok_or_else", "and_then", "or_else", "as_ref",
+    "as_mut", "as_str", "as_slice", "as_bytes", "to_string", "to_vec",
+    "to_owned", "from", "into", "try_from", "try_into", "fmt", "eq", "ne",
+    "cmp", "partial_cmp", "hash", "drop", "min", "max", "abs", "sqrt",
+    "powi", "powf", "exp", "ln", "floor", "ceil", "round", "sum", "product",
+    "extend", "contains", "contains_key", "keys", "values", "sort",
+    "sort_by", "sort_by_key", "sort_unstable", "binary_search", "split",
+    "join", "write", "read", "lock", "send", "recv", "name", "kind", "index",
+    "with_capacity", "capacity", "resize", "reserve", "chunks", "windows",
+    "enumerate", "zip", "rev", "take", "skip", "count", "position", "find",
+    "any", "all", "last", "first", "nth", "flat_map", "flatten", "chain",
+    "cloned", "copied", "starts_with", "ends_with", "trim", "parse",
+    "matches", "replace", "lines", "chars", "bytes", "path", "line", "id",
+    "value", "set", "add", "run", "call", "apply", "finish", "start", "stop",
+    "init", "is_some", "is_none", "is_ok", "is_err",
+    // Atomics: `flag.load(Ordering::…)` must not resolve to every fn
+    // named `load` in the workspace (ditto store/swap/fetch_*).
+    "load", "store", "swap", "compare_exchange", "compare_exchange_weak",
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+];
+
+/// A name defined in more places than this resolves to nothing.
+pub const AMBIGUITY_CAP: usize = 6;
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    edges: BTreeMap<FnId, Vec<FnId>>,
+    reverse: BTreeMap<FnId, Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Builds the graph. `files[i]` is `(crate name, index)` for the
+    /// file with [`FnId`] file-component `i`.
+    pub fn build(files: &[(String, &FileIndex)]) -> CallGraph {
+        // Definitions by bare name and by (crate, name).
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut by_crate: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        for (fi, (krate, idx)) in files.iter().enumerate() {
+            for (fj, f) in idx.fns.iter().enumerate() {
+                by_name.entry(&f.name).or_default().push((fi, fj));
+                by_crate
+                    .entry((krate, &f.name))
+                    .or_default()
+                    .push((fi, fj));
+            }
+        }
+        let mut edges: BTreeMap<FnId, Vec<FnId>> = BTreeMap::new();
+        let mut reverse: BTreeMap<FnId, Vec<FnId>> = BTreeMap::new();
+        for (fi, (krate, idx)) in files.iter().enumerate() {
+            for (fj, f) in idx.fns.iter().enumerate() {
+                let id = (fi, fj);
+                let mut out: BTreeSet<FnId> = BTreeSet::new();
+                for call in &f.calls {
+                    let name = call.name.as_str();
+                    if STOPLIST.contains(&name) {
+                        continue;
+                    }
+                    let same_crate = by_crate.get(&(krate.as_str(), name));
+                    let candidates = match same_crate {
+                        Some(c) if !c.is_empty() => c,
+                        _ => match by_name.get(name) {
+                            Some(c) => c,
+                            None => continue,
+                        },
+                    };
+                    if candidates.len() > AMBIGUITY_CAP {
+                        continue;
+                    }
+                    for &c in candidates {
+                        if c != id {
+                            out.insert(c);
+                        }
+                    }
+                }
+                for &c in &out {
+                    reverse.entry(c).or_default().push(id);
+                }
+                edges.insert(id, out.into_iter().collect());
+            }
+        }
+        CallGraph { edges, reverse }
+    }
+
+    /// Direct callees of `id` (empty when unknown).
+    pub fn callees(&self, id: FnId) -> &[FnId] {
+        self.edges.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Direct callers of `id` (empty when unknown).
+    pub fn callers(&self, id: FnId) -> &[FnId] {
+        self.reverse.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Forward closure from `roots`, roots included. `barrier` fns are
+    /// entered but not expanded (their callees stay unreached through
+    /// them).
+    pub fn reachable(
+        &self,
+        roots: &[FnId],
+        barrier: &dyn Fn(FnId) -> bool,
+    ) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = BTreeSet::new();
+        let mut queue: VecDeque<FnId> = roots.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if barrier(id) {
+                continue;
+            }
+            for &c in self.callees(id) {
+                if !seen.contains(&c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest call path `from → … → to` (BFS, not expanding through
+    /// `barrier` fns), as a list of [`FnId`]s including both endpoints.
+    pub fn path(
+        &self,
+        from: FnId,
+        goal: &dyn Fn(FnId) -> bool,
+        barrier: &dyn Fn(FnId) -> bool,
+    ) -> Option<Vec<FnId>> {
+        let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        queue.push_back(from);
+        let mut seen: BTreeSet<FnId> = BTreeSet::new();
+        seen.insert(from);
+        while let Some(id) = queue.pop_front() {
+            if id != from && goal(id) {
+                let mut path = vec![id];
+                let mut cur = id;
+                while let Some(&p) = parent.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if id != from && barrier(id) {
+                continue;
+            }
+            for &c in self.callees(id) {
+                if seen.insert(c) {
+                    parent.insert(c, id);
+                    queue.push_back(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileCtx;
+    use std::path::Path;
+
+    fn idx(path: &str, src: &str) -> FileIndex {
+        FileIndex::build(&FileCtx::new(Path::new(path), src))
+    }
+
+    #[test]
+    fn same_crate_resolution_wins() {
+        let a = idx("crates/core/src/a.rs", "fn caller() { target(); }\nfn target() {}\n");
+        let b = idx("crates/linalg/src/b.rs", "fn target() {}\n");
+        let files = vec![("core".to_string(), &a), ("linalg".to_string(), &b)];
+        let g = CallGraph::build(&files);
+        // caller is (0,0); same-crate target (0,1) only.
+        assert_eq!(g.callees((0, 0)), &[(0, 1)]);
+    }
+
+    #[test]
+    fn cross_crate_fallback_when_local_missing() {
+        let a = idx("crates/core/src/a.rs", "fn caller() { remote_leaf(); }\n");
+        let b = idx("crates/linalg/src/b.rs", "fn remote_leaf() {}\n");
+        let files = vec![("core".to_string(), &a), ("linalg".to_string(), &b)];
+        let g = CallGraph::build(&files);
+        assert_eq!(g.callees((0, 0)), &[(1, 0)]);
+    }
+
+    #[test]
+    fn stoplist_names_resolve_to_nothing() {
+        let a = idx("crates/core/src/a.rs", "fn caller(v: &[u8]) { v.len(); new(); }\nfn len() {}\nfn new() {}\n");
+        let files = vec![("core".to_string(), &a)];
+        let g = CallGraph::build(&files);
+        assert!(g.callees((0, 0)).is_empty());
+    }
+
+    #[test]
+    fn reachable_respects_barriers() {
+        let a = idx(
+            "crates/core/src/a.rs",
+            "fn root() { shield(); }\nfn shield() { let _ = catch_unwind(|| risky_leaf()); }\nfn risky_leaf() {}\n",
+        );
+        let files = vec![("core".to_string(), &a)];
+        let g = CallGraph::build(&files);
+        let barrier = |id: FnId| files[id.0].1.fns[id.1].has_catch_unwind;
+        let r = g.reachable(&[(0, 0)], &barrier);
+        assert!(r.contains(&(0, 1)), "barrier fn itself is reached");
+        assert!(!r.contains(&(0, 2)), "but not expanded through");
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let a = idx(
+            "crates/core/src/a.rs",
+            "fn entry() { middle(); }\nfn middle() { leaf_panics(); }\nfn leaf_panics() { x.unwrap(); }\n",
+        );
+        let files = vec![("core".to_string(), &a)];
+        let g = CallGraph::build(&files);
+        let goal = |id: FnId| !files[id.0].1.fns[id.1].panics.is_empty();
+        let p = g.path((0, 0), &goal, &|_| false).unwrap();
+        assert_eq!(p, vec![(0, 0), (0, 1), (0, 2)]);
+    }
+}

@@ -6,9 +6,11 @@
 //! in-repo integration tests, and the injected-violation e2e check in
 //! `scripts/verify.sh`.
 
-use crate::baseline::Baseline;
+use crate::baseline::{escape, Baseline};
 use crate::context::FileCtx;
+use crate::index::FileIndex;
 use crate::rules::{self, Finding};
+use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -52,6 +54,9 @@ pub struct Report {
     pub files: usize,
     /// Whether a baseline file was found and applied.
     pub had_baseline: bool,
+    /// Registry constants in `names.rs` that no producer ever emits
+    /// (the RR004 inverse: registered but dead). Warning-only.
+    pub dead_names: Vec<String>,
 }
 
 impl Report {
@@ -111,13 +116,156 @@ pub fn load_registry(root: &Path) -> Option<Vec<String>> {
     Some(names)
 }
 
+/// Every readable workspace source: `(workspace-relative path, text)`.
+/// Loaded once per run; contexts, indices, per-file and workspace rules
+/// all borrow from this single pass.
+pub type Sources = Vec<(PathBuf, String)>;
+
+/// Reads every workspace `.rs` file under `root` into memory.
+///
+/// # Errors
+/// Returns [`EngineError::Io`] when the tree cannot be walked
+/// (individual non-UTF-8 or vanished files are skipped).
+pub fn load_sources(root: &Path) -> Result<Sources, EngineError> {
+    let mut out = Vec::new();
+    for path in workspace_files(root)? {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue; // non-UTF-8 or vanished mid-walk: nothing to lint
+        };
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        out.push((rel, src));
+    }
+    Ok(out)
+}
+
+/// The registry names, derived from an already-loaded source set
+/// (same contract as [`load_registry`], no second disk read).
+fn registry_from(sources: &Sources) -> Option<Vec<String>> {
+    let (_, src) = sources
+        .iter()
+        .find(|(p, _)| p.to_string_lossy().replace('\\', "/") == REGISTRY_PATH)?;
+    let ctx = FileCtx::new(Path::new(REGISTRY_PATH), src);
+    let mut names: Vec<String> = ctx
+        .toks
+        .iter()
+        .filter(|t| t.kind == crate::lexer::TokKind::StrLit && !ctx.in_test(t.start))
+        .filter_map(|t| rules::str_lit_value(t.text))
+        .collect();
+    names.sort();
+    names.dedup();
+    Some(names)
+}
+
+/// Runs the per-file rules and the workspace rules over loaded sources.
+fn findings_from_sources(sources: &Sources, registry: Option<&[String]>) -> Vec<Finding> {
+    let pairs: Vec<(FileCtx<'_>, FileIndex)> = sources
+        .iter()
+        .map(|(rel, src)| {
+            let ctx = FileCtx::new(rel, src);
+            let idx = FileIndex::build(&ctx);
+            (ctx, idx)
+        })
+        .collect();
+    let mut findings = Vec::new();
+    for (ctx, _) in &pairs {
+        findings.extend(rules::check_file(ctx, registry));
+    }
+    findings.extend(rules::check_workspace(&pairs));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
+    });
+    findings
+}
+
+/// The RR004 inverse: registry constants (`pub const NAME: &str = "v";`
+/// in `names.rs`) that no other workspace file references by identifier
+/// *or* emits by literal value. Either kind of use counts as alive —
+/// producers routinely write the raw string rather than the const.
+/// Returns the dead const identifiers, sorted. Warning-only: dead names
+/// rot silently (dashboards chart a metric nothing emits), but they
+/// cannot corrupt results, so they do not fail the gate.
+pub fn dead_metric_names(sources: &Sources) -> Vec<String> {
+    let Some((_, names_src)) = sources
+        .iter()
+        .find(|(p, _)| p.to_string_lossy().replace('\\', "/") == REGISTRY_PATH)
+    else {
+        return Vec::new();
+    };
+    let ctx = FileCtx::new(Path::new(REGISTRY_PATH), names_src);
+    let code = ctx.code_indices();
+    // `const IDENT : & str = "value" ;` — the registry's own shape.
+    let mut consts: Vec<(String, String)> = Vec::new();
+    for w in 0..code.len() {
+        let tok = |k: usize| code.get(w + k).map(|&i| &ctx.toks[i]);
+        if ctx.toks[code[w]].text != "const" {
+            continue;
+        }
+        let shape = tok(2).is_some_and(|t| t.text == ":")
+            && tok(3).is_some_and(|t| t.text == "&")
+            && tok(4).is_some_and(|t| t.text == "str")
+            && tok(5).is_some_and(|t| t.text == "=")
+            && tok(6).is_some_and(|t| t.kind == crate::lexer::TokKind::StrLit);
+        if !shape {
+            continue;
+        }
+        let (Some(name), Some(lit)) = (tok(1), tok(6)) else {
+            continue;
+        };
+        if let Some(value) = rules::str_lit_value(lit.text) {
+            consts.push((name.text.to_string(), value));
+        }
+    }
+    let others: Vec<&String> = sources
+        .iter()
+        .filter(|(p, _)| p.to_string_lossy().replace('\\', "/") != REGISTRY_PATH)
+        .map(|(_, s)| s)
+        .collect();
+    let mut dead = Vec::new();
+    for (ident, value) in &consts {
+        let quoted = format!("\"{value}\"");
+        let alive = others
+            .iter()
+            .any(|s| s.contains(&quoted) || contains_word(s, ident));
+        if !alive {
+            dead.push(ident.clone());
+        }
+    }
+    dead.sort();
+    dead
+}
+
+/// Whole-word substring search (identifier boundaries on both sides),
+/// so the const `ROWS` is not "used" by an unrelated `ROWS_TOTAL`.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let is_word = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let end = at + needle.len();
+        let before_ok = at == 0 || !is_word(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_word(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
 /// Lints the whole workspace under `root`. `baseline` is applied when
 /// present on disk; a missing baseline means every finding is "new".
 ///
 /// # Errors
 /// Returns [`EngineError`] on unreadable trees or a malformed baseline.
 pub fn run_check(root: &Path, baseline_path: &Path) -> Result<Report, EngineError> {
-    let findings = collect_findings(root)?;
+    let sources = load_sources(root)?;
+    let registry = registry_from(&sources);
+    let findings = findings_from_sources(&sources, registry.as_deref());
+    let dead_names = dead_metric_names(&sources);
     let (baseline, had_baseline) = if baseline_path.exists() {
         let text = fs::read_to_string(baseline_path)
             .map_err(|e| EngineError::Io(baseline_path.to_path_buf(), e))?;
@@ -133,13 +281,14 @@ pub fn run_check(root: &Path, baseline_path: &Path) -> Result<Report, EngineErro
         .cloned()
         .collect();
     let stale = baseline.stale_entries(&findings);
-    let files = workspace_files(root)?.len();
+    let files = sources.len();
     Ok(Report {
         findings,
         new,
         stale,
         files,
         had_baseline,
+        dead_names,
     })
 }
 
@@ -148,21 +297,96 @@ pub fn run_check(root: &Path, baseline_path: &Path) -> Result<Report, EngineErro
 /// # Errors
 /// Returns [`EngineError::Io`] when the tree cannot be walked.
 pub fn collect_findings(root: &Path) -> Result<Vec<Finding>, EngineError> {
-    let registry = load_registry(root);
-    let files = workspace_files(root)?;
-    let mut findings = Vec::new();
-    for path in &files {
-        let Ok(src) = fs::read_to_string(path) else {
-            continue; // non-UTF-8 or vanished mid-walk: nothing to lint
-        };
-        let rel = path.strip_prefix(root).unwrap_or(path);
-        let ctx = FileCtx::new(rel, &src);
-        findings.extend(rules::check_file(&ctx, registry.as_deref()));
+    let sources = load_sources(root)?;
+    let registry = registry_from(&sources);
+    Ok(findings_from_sources(&sources, registry.as_deref()))
+}
+
+/// Renders one finding as a JSON object (keys stable for CI consumers).
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+        f.rule,
+        escape(&f.path),
+        f.line,
+        escape(&f.message),
+        escape(&f.snippet)
+    )
+}
+
+/// Renders the report as machine-readable JSON (`--format json`).
+/// Key layout is versioned; consumers should reject unknown versions.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    let _ = writeln!(out, "  \"clean\": {},", report.clean());
+    let _ = writeln!(out, "  \"files\": {},", report.files);
+    let _ = writeln!(out, "  \"had_baseline\": {},", report.had_baseline);
+    let _ = writeln!(out, "  \"stale_baseline_entries\": {},", report.stale);
+    let join = |fs: &[Finding]| {
+        fs.iter().map(finding_json).collect::<Vec<_>>().join(",\n    ")
+    };
+    let _ = writeln!(
+        out,
+        "  \"new\": [{}{}{}],",
+        if report.new.is_empty() { "" } else { "\n    " },
+        join(&report.new),
+        if report.new.is_empty() { "" } else { "\n  " },
+    );
+    let _ = writeln!(
+        out,
+        "  \"findings\": [{}{}{}],",
+        if report.findings.is_empty() { "" } else { "\n    " },
+        join(&report.findings),
+        if report.findings.is_empty() { "" } else { "\n  " },
+    );
+    let dead: Vec<String> =
+        report.dead_names.iter().map(|n| format!("\"{}\"", escape(n))).collect();
+    let _ = writeln!(out, "  \"dead_names\": [{}]", dead.join(", "));
+    out.push_str("}\n");
+    out
+}
+
+/// Escapes a GitHub Actions workflow-command *value* (`::error …::msg`).
+fn gh_data(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escapes a GitHub Actions workflow-command *property* (file=, title=).
+fn gh_prop(s: &str) -> String {
+    gh_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+/// Renders the report as GitHub Actions annotations
+/// (`--format github`): one `::error` per new finding, warnings for
+/// dead registry names and stale baseline entries.
+pub fn render_github(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.new {
+        let _ = writeln!(
+            out,
+            "::error file={},line={},title=rrlint {}::{}",
+            gh_prop(&f.path),
+            f.line,
+            gh_prop(f.rule),
+            gh_data(&f.message)
+        );
     }
-    findings.sort_by(|a, b| {
-        (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
-    });
-    Ok(findings)
+    for n in &report.dead_names {
+        let _ = writeln!(
+            out,
+            "::warning file={REGISTRY_PATH},title=rrlint dead-name::registry constant `{}` is never emitted by any producer; remove it or wire up the producer",
+            gh_data(n)
+        );
+    }
+    if report.stale > 0 {
+        let _ = writeln!(
+            out,
+            "::warning title=rrlint stale-baseline::{} baseline entr{} no longer match any finding; run `rrlint baseline --write` to shrink the baseline",
+            report.stale,
+            if report.stale == 1 { "y" } else { "ies" }
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -284,6 +508,71 @@ pub const NAMES: &[&str] = &[ROWS];
         let report = run_check(&t.root, &t.root.join(BASELINE_PATH)).unwrap();
         assert!(report.findings.is_empty());
         assert_eq!(report.files, 1);
+    }
+
+    #[test]
+    fn dead_registry_names_are_reported() {
+        let t = TempTree::new("dead");
+        t.write(
+            "crates/obs/src/names.rs",
+            "pub const ROWS: &str = \"rows_total\";\n\
+             pub const GHOST: &str = \"ghost_total\";\n\
+             pub const BY_IDENT: &str = \"by_ident_total\";\n\
+             pub const NAMES: &[&str] = &[ROWS, GHOST, BY_IDENT];\n",
+        );
+        // ROWS is alive by literal value, BY_IDENT by identifier; GHOST
+        // is only mentioned inside the registry itself → dead.
+        t.write(
+            "crates/core/src/lib.rs",
+            "fn f() { obs::counter_add(\"rows_total\", 1); obs::counter_add(names::BY_IDENT, 1); }\n",
+        );
+        let report = run_check(&t.root, &t.root.join(BASELINE_PATH)).unwrap();
+        assert_eq!(report.dead_names, vec!["GHOST".to_string()]);
+    }
+
+    #[test]
+    fn dead_name_ident_match_needs_word_boundary() {
+        let t = TempTree::new("deadword");
+        t.write(
+            "crates/obs/src/names.rs",
+            "pub const ROW: &str = \"row_one\";\n",
+        );
+        // `ROWS_TOTAL` must not count as a use of `ROW`.
+        t.write("crates/core/src/lib.rs", "fn f() { emit(ROWS_TOTAL); }\n");
+        let report = run_check(&t.root, &t.root.join(BASELINE_PATH)).unwrap();
+        assert_eq!(report.dead_names, vec!["ROW".to_string()]);
+    }
+
+    #[test]
+    fn json_and_github_renderers_carry_new_findings() {
+        let t = TempTree::new("render");
+        t.write(
+            "crates/core/src/lib.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        let report = run_check(&t.root, &t.root.join(BASELINE_PATH)).unwrap();
+        let j = render_json(&report);
+        assert!(j.contains("\"version\": 1"), "{j}");
+        assert!(j.contains("\"clean\": false"), "{j}");
+        assert!(j.contains("\"rule\":\"RR001\""), "{j}");
+        assert!(j.contains("\"path\":\"crates/core/src/lib.rs\""), "{j}");
+        let g = render_github(&report);
+        assert!(
+            g.contains("::error file=crates/core/src/lib.rs,line=1,title=rrlint RR001::"),
+            "{g}"
+        );
+    }
+
+    #[test]
+    fn workspace_rules_run_through_the_engine() {
+        let t = TempTree::new("wsrules");
+        t.write(
+            "crates/serve/src/server.rs",
+            "fn handle(&self, s: &mut TcpStream) {\n    let st = self.state.lock().unwrap();\n    s.write_all(b\"x\").ok();\n}\n",
+        );
+        let report = run_check(&t.root, &t.root.join(BASELINE_PATH)).unwrap();
+        let rr010: Vec<_> = report.findings.iter().filter(|f| f.rule == "RR010").collect();
+        assert_eq!(rr010.len(), 1, "{:?}", report.findings);
     }
 
     #[test]

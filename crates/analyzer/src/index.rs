@@ -1,0 +1,889 @@
+//! Lightweight semantic index over the token forest.
+//!
+//! The semantic rules (`RR010`–`RR013`) need answers the flat token
+//! stream cannot give: *which fn owns this token*, *is this `let` a lock
+//! guard and how long does it live*, *does this fn call that one*. A
+//! [`FileIndex`] extracts exactly those facts from the [`crate::tree`]
+//! forest — nothing more. It is a sketch, not a type checker:
+//!
+//! * **Item outline** — every `fn` with its name, `impl` owner,
+//!   visibility, body token range, and `cfg(test)` inheritance (a fn
+//!   inside a `#[cfg(test)]` mod is test code, via
+//!   [`crate::context::FileCtx::in_test`]).
+//! * **Guard bindings** — `let g = m.lock();`-style statements whose
+//!   initializer *ends* at `.lock()` / `.read()` / `.write()` (plus an
+//!   optional `.unwrap()` / `.expect(…)` / `.unwrap_or_else(…)`
+//!   finisher). An initializer that keeps going (`….lock().take()`)
+//!   does not bind a guard — the temporary dies at the semicolon. The
+//!   live range runs to `drop(g)` or the end of the enclosing block.
+//! * **Hash-container names** — fields, params, and locals whose
+//!   declared type mentions `HashMap`/`HashSet`, plus guards bound from
+//!   locking such a field. Name-based and file-scoped by design.
+//! * **Calls** — `name(…)` and `.name(…)` shapes per fn body, the raw
+//!   material for the [`crate::callgraph`] approximation.
+//! * **Panic sites** — the RR001 construct set (`.unwrap()`,
+//!   `.expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`)
+//!   per fn, which RR013 propagates interprocedurally.
+
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::tree::{self, Delim, Forest, Tree};
+use std::collections::BTreeSet;
+
+/// How a guard was acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockVerb {
+    /// `Mutex::lock`
+    Lock,
+    /// `RwLock::read`
+    Read,
+    /// `RwLock::write`
+    Write,
+}
+
+impl LockVerb {
+    fn of(text: &str) -> Option<LockVerb> {
+        match text {
+            "lock" => Some(LockVerb::Lock),
+            "read" => Some(LockVerb::Read),
+            "write" => Some(LockVerb::Write),
+            _ => None,
+        }
+    }
+
+    /// The method name, for messages.
+    pub fn method(self) -> &'static str {
+        match self {
+            LockVerb::Lock => "lock",
+            LockVerb::Read => "read",
+            LockVerb::Write => "write",
+        }
+    }
+}
+
+/// A `let g = m.lock();` binding and its live range.
+#[derive(Debug, Clone)]
+pub struct GuardBinding {
+    /// Bound variable name (`g`).
+    pub name: String,
+    /// Lock identity for the order graph: `Type.field` for
+    /// `self.field` receivers inside an `impl Type`, the receiver text
+    /// otherwise.
+    pub key: String,
+    /// Acquisition method.
+    pub verb: LockVerb,
+    /// 1-based line of the binding.
+    pub line: u32,
+    /// Raw-token index of the bound name.
+    pub decl_tok: usize,
+    /// Raw-token index (exclusive) where the guard dies: `drop(g)` or
+    /// the end of the enclosing block.
+    pub end_tok: usize,
+    /// The locked field is a known `HashMap`/`HashSet` container.
+    pub is_hash: bool,
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name as written (`tree_merge`, `push`, …).
+    pub name: String,
+    /// Raw-token index of the callee name.
+    pub tok: usize,
+}
+
+/// A panicking construct (the RR001 set) inside a fn body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// The construct: `unwrap`, `expect`, `panic`, ….
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Byte offset of the construct (for `in_test` checks).
+    pub start: usize,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Name as written.
+    pub name: String,
+    /// `impl` type owning this method, if any.
+    pub owner: Option<String>,
+    /// Unrestricted `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// Inside test-only code (file kind or `cfg(test)` inheritance).
+    pub is_test: bool,
+    /// 1-based line of the `fn` name.
+    pub line: u32,
+    /// Raw-token index range `[start, end]` of the body, braces
+    /// included. `None` for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Guard bindings in the body, outermost first.
+    pub guards: Vec<GuardBinding>,
+    /// Call sites in the body.
+    pub calls: Vec<Call>,
+    /// Panicking constructs in the body.
+    pub panics: Vec<PanicSite>,
+    /// Body mentions `catch_unwind` (an RR013 propagation barrier).
+    pub has_catch_unwind: bool,
+}
+
+/// The per-file index consumed by the semantic rules.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    /// Every `fn` in the file, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Names (fields/params/locals/guards) with `HashMap`/`HashSet`
+    /// types, file-scoped.
+    pub hash_names: BTreeSet<String>,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in",
+    "move", "else", "break", "continue", "await", "as", "where", "impl",
+    "dyn",
+];
+
+/// Initializer finishers that keep a guard a guard.
+const GUARD_FINISHERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+impl FileIndex {
+    /// Builds the index for one file.
+    pub fn build(ctx: &FileCtx<'_>) -> FileIndex {
+        let forest = tree::parse(&ctx.toks);
+        let mut idx = FileIndex::default();
+        collect_hash_names(ctx, &forest.roots, &mut idx.hash_names);
+        let mut b = Builder { ctx, idx };
+        b.scan_items(&forest.roots, None);
+        b.idx
+    }
+
+    /// The index of the fn whose body contains raw-token `tok`, if any.
+    pub fn fn_at(&self, tok: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .position(|f| f.body.is_some_and(|(s, e)| tok >= s && tok <= e))
+    }
+}
+
+struct Builder<'c, 'a> {
+    ctx: &'c FileCtx<'a>,
+    idx: FileIndex,
+}
+
+impl Builder<'_, '_> {
+    /// Walks one level of the forest for items, recursing into `mod`
+    /// and `impl` bodies.
+    fn scan_items(&mut self, children: &[Tree], owner: Option<&str>) {
+        let toks = &self.ctx.toks;
+        let mut i = 0usize;
+        while i < children.len() {
+            let Tree::Leaf(ti) = children[i] else {
+                i += 1;
+                continue;
+            };
+            let t = &toks[ti];
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text {
+                "fn" => {
+                    let consumed = self.scan_fn(children, i, owner);
+                    i = consumed.max(i + 1);
+                }
+                "mod" => {
+                    // `mod name { … }` — recurse; `mod name;` — nothing.
+                    if let Some(body) = next_brace_group(children, i + 1, 4) {
+                        self.scan_items(group_children(&children[body]), None);
+                        i = body + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "impl" => {
+                    let (name, body) = impl_header(self.ctx, children, i);
+                    if let Some(body) = body {
+                        self.scan_items(
+                            group_children(&children[body]),
+                            name.as_deref().or(owner),
+                        );
+                        i = body + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "trait" => {
+                    // Default method bodies still count as fns.
+                    if let Some(body) = next_brace_group(children, i + 1, 24) {
+                        self.scan_items(group_children(&children[body]), owner);
+                        i = body + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Parses one `fn` starting at element `at` (the `fn` leaf).
+    /// Returns the element index to resume scanning from.
+    fn scan_fn(&mut self, children: &[Tree], at: usize, owner: Option<&str>) -> usize {
+        let toks = &self.ctx.toks;
+        // Name: next ident leaf.
+        let Some((name_el, name_tok)) = next_ident(children, toks, at + 1) else {
+            return at + 1;
+        };
+        let name = toks[name_tok].text.to_string();
+        let is_pub = pub_before(children, toks, at);
+        // Skip generics (angle depth over leaf texts), find the params
+        // paren group, then the body brace group or a `;`.
+        let mut angle = 0i32;
+        let mut el = name_el + 1;
+        let mut params: Option<usize> = None;
+        let mut body_el: Option<usize> = None;
+        while el < children.len() {
+            match &children[el] {
+                Tree::Leaf(j) => {
+                    let txt = toks[*j].text;
+                    if toks[*j].kind == TokKind::Punct {
+                        match txt {
+                            "<" => angle += 1,
+                            ">" => angle = (angle - 1).max(0),
+                            ";" if angle == 0 && params.is_some() => break,
+                            _ => {}
+                        }
+                    }
+                }
+                Tree::Group { delim, .. } => {
+                    if *delim == Delim::Paren && angle == 0 && params.is_none() {
+                        params = Some(el);
+                    } else if *delim == Delim::Brace && params.is_some() {
+                        body_el = Some(el);
+                        break;
+                    }
+                }
+            }
+            el += 1;
+        }
+        let body = body_el.map(|b| children[b].span());
+        let mut info = FnInfo {
+            name,
+            owner: owner.map(str::to_string),
+            is_pub,
+            is_test: self.ctx.in_test(toks[name_tok].start),
+            line: toks[name_tok].line,
+            body,
+            guards: Vec::new(),
+            calls: Vec::new(),
+            panics: Vec::new(),
+            has_catch_unwind: false,
+        };
+        if let Some(b) = body_el {
+            self.scan_body(&children[b], owner, &mut info);
+            self.scan_body_tokens(&mut info);
+        }
+        self.idx.fns.push(info);
+        body_el.map_or(el + 1, |b| b + 1)
+    }
+
+    /// Recursive statement-level scan of a brace group: guard bindings.
+    fn scan_body(&mut self, block: &Tree, owner: Option<&str>, info: &mut FnInfo) {
+        let Tree::Group { children, .. } = block else {
+            return;
+        };
+        let (_, block_end) = block.span();
+        let toks = &self.ctx.toks;
+        let mut i = 0usize;
+        while i < children.len() {
+            // Recurse into any nested group (blocks, match arms, args).
+            if let Tree::Group { .. } = &children[i] {
+                self.scan_body(&children[i], owner, info);
+                i += 1;
+                continue;
+            }
+            let Tree::Leaf(ti) = children[i] else {
+                i += 1;
+                continue;
+            };
+            if toks[ti].kind == TokKind::Ident && toks[ti].text == "let" {
+                // Statement: elements up to the `;` at this level.
+                let semi = children[i..]
+                    .iter()
+                    .position(|c| matches!(c, Tree::Leaf(j) if toks[*j].text == ";"))
+                    .map(|off| i + off);
+                if let Some(semi) = semi {
+                    if let Some(g) = self.guard_binding(
+                        &children[i..semi],
+                        owner,
+                        block_end,
+                        semi_tok(&children[semi]),
+                    ) {
+                        if g.is_hash {
+                            self.idx.hash_names.insert(g.name.clone());
+                        }
+                        info.guards.push(g);
+                    }
+                    // Groups inside the statement were not visited yet.
+                    for c in &children[i..semi] {
+                        if matches!(c, Tree::Group { .. }) {
+                            self.scan_body(c, owner, info);
+                        }
+                    }
+                    i = semi + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Tries to read `stmt` (elements from `let` up to, excluding, the
+    /// `;`) as a guard binding.
+    fn guard_binding(
+        &self,
+        stmt: &[Tree],
+        owner: Option<&str>,
+        block_end: usize,
+        semi: usize,
+    ) -> Option<GuardBinding> {
+        let toks = &self.ctx.toks;
+        let code: Vec<&Tree> = stmt
+            .iter()
+            .filter(|c| !matches!(c, Tree::Leaf(j) if toks[*j].is_comment()))
+            .collect();
+        // let [mut] NAME [ : type… ] = expr…
+        let mut k = 1usize;
+        if matches!(code.get(k), Some(Tree::Leaf(j)) if toks[*j].text == "mut") {
+            k += 1;
+        }
+        let Some(Tree::Leaf(name_tok)) = code.get(k) else {
+            return None;
+        };
+        let name_tok = *name_tok;
+        if toks[name_tok].kind != TokKind::Ident {
+            return None;
+        }
+        k += 1;
+        // Optional type ascription: skip to the `=` at this level.
+        match code.get(k) {
+            Some(Tree::Leaf(j)) if toks[*j].text == "=" => {}
+            Some(Tree::Leaf(j)) if toks[*j].text == ":" => {
+                while k < code.len()
+                    && !matches!(code[k], Tree::Leaf(j) if toks[*j].text == "=")
+                {
+                    k += 1;
+                }
+            }
+            _ => return None,
+        }
+        if !matches!(code.get(k), Some(Tree::Leaf(j)) if toks[*j].text == "=") {
+            return None;
+        }
+        let expr = &code[k + 1..];
+        // Strip guard-preserving finishers off the tail:
+        // `.unwrap()` / `.expect("…")` / `.unwrap_or_else(…)`.
+        let mut end = expr.len();
+        loop {
+            if end >= 3
+                && matches!(expr[end - 1], Tree::Group { delim: Delim::Paren, .. })
+                && matches!(expr[end - 2], Tree::Leaf(j)
+                    if GUARD_FINISHERS.contains(&toks[*j].text))
+                && matches!(expr[end - 3], Tree::Leaf(j) if toks[*j].text == ".")
+            {
+                end -= 3;
+            } else {
+                break;
+            }
+        }
+        // Tail must be `. lock|read|write ()` with an EMPTY paren group
+        // (a socket `.write(buf)` has args and is not an acquisition).
+        if end < 3 {
+            return None;
+        }
+        let Tree::Group {
+            delim: Delim::Paren,
+            children: args,
+            ..
+        } = &expr[end - 1]
+        else {
+            return None;
+        };
+        if !args.is_empty() {
+            return None;
+        }
+        let Tree::Leaf(verb_tok) = expr[end - 2] else {
+            return None;
+        };
+        let verb = LockVerb::of(toks[*verb_tok].text)?;
+        if !matches!(expr[end - 3], Tree::Leaf(j) if toks[*j].text == ".") {
+            return None;
+        }
+        // Receiver: the chain of idents/dots before that final `.`.
+        let mut r = end - 3;
+        let mut chain: Vec<&str> = Vec::new();
+        while r > 0 {
+            match &expr[r - 1] {
+                Tree::Leaf(j)
+                    if toks[*j].kind == TokKind::Ident || toks[*j].text == "." =>
+                {
+                    chain.push(toks[*j].text);
+                    r -= 1;
+                }
+                _ => break,
+            }
+        }
+        if chain.is_empty() {
+            return None;
+        }
+        chain.reverse();
+        let receiver: String = chain.concat();
+        let last_field = chain
+            .iter()
+            .rev()
+            .find(|s| **s != "." && **s != "self")
+            .copied();
+        let key = match receiver.strip_prefix("self.") {
+            Some(fields) => match owner {
+                Some(o) => format!("{o}.{fields}"),
+                None => receiver.clone(),
+            },
+            None => receiver.clone(),
+        };
+        // Live range: to `drop(name)` if present, else end of block.
+        let name = toks[name_tok].text.to_string();
+        let mut end_tok = block_end + 1;
+        let mut j = semi;
+        while j + 3 <= block_end {
+            if self.ctx.toks[j].kind == TokKind::Ident
+                && self.ctx.toks[j].text == "drop"
+            {
+                let after: Vec<usize> = (j + 1..=block_end.min(j + 4))
+                    .filter(|&x| !self.ctx.toks[x].is_comment())
+                    .collect();
+                if after.len() >= 3
+                    && self.ctx.toks[after[0]].text == "("
+                    && self.ctx.toks[after[1]].text == name
+                    && self.ctx.toks[after[2]].text == ")"
+                {
+                    end_tok = j;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let is_hash = last_field.is_some_and(|f| self.idx.hash_names.contains(f));
+        Some(GuardBinding {
+            name,
+            key,
+            verb,
+            line: toks[name_tok].line,
+            decl_tok: name_tok,
+            end_tok,
+            is_hash,
+        })
+    }
+
+    /// Raw-token pass over a fn body: calls, panic sites, catch_unwind.
+    fn scan_body_tokens(&self, info: &mut FnInfo) {
+        let Some((start, end)) = info.body else {
+            return;
+        };
+        let toks = &self.ctx.toks;
+        let code: Vec<usize> = (start..=end.min(toks.len().saturating_sub(1)))
+            .filter(|&i| !toks[i].is_comment())
+            .collect();
+        for (w, &i) in code.iter().enumerate() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text == "catch_unwind" {
+                info.has_catch_unwind = true;
+            }
+            let next = code.get(w + 1).map(|&j| toks[j].text);
+            let prev = w
+                .checked_sub(1)
+                .and_then(|p| code.get(p))
+                .map(|&j| toks[j].text);
+            match t.text {
+                "unwrap" | "expect" => {
+                    if prev == Some(".") && next == Some("(") {
+                        info.panics.push(PanicSite {
+                            what: format!(".{}()", t.text),
+                            line: t.line,
+                            start: t.start,
+                        });
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    if next == Some("!") {
+                        info.panics.push(PanicSite {
+                            what: format!("{}!", t.text),
+                            line: t.line,
+                            start: t.start,
+                        });
+                    }
+                }
+                _ => {}
+            }
+            // Call shape: `name (` — not a macro, not a keyword, not a
+            // nested fn definition.
+            if next == Some("(")
+                && !NOT_CALLS.contains(&t.text)
+                && prev != Some("fn")
+            {
+                info.calls.push(Call {
+                    name: t.text.to_string(),
+                    tok: i,
+                });
+            }
+        }
+    }
+}
+
+/// `impl … {` header: the implemented type name and the body element.
+fn impl_header(
+    ctx: &FileCtx<'_>,
+    children: &[Tree],
+    at: usize,
+) -> (Option<String>, Option<usize>) {
+    let toks = &ctx.toks;
+    let mut name: Option<&str> = None;
+    let mut after_for: Option<&str> = None;
+    let mut saw_for = false;
+    let mut angle = 0i32;
+    let mut el = at + 1;
+    while el < children.len() {
+        match &children[el] {
+            Tree::Leaf(j) => {
+                let t = &toks[*j];
+                match (t.kind, t.text) {
+                    (TokKind::Punct, "<") => angle += 1,
+                    (TokKind::Punct, ">") => angle = (angle - 1).max(0),
+                    (TokKind::Ident, "for") if angle == 0 => saw_for = true,
+                    (TokKind::Ident, "where") if angle == 0 => {}
+                    (TokKind::Ident, txt) if angle == 0 => {
+                        if saw_for {
+                            after_for.get_or_insert(txt);
+                        } else {
+                            name.get_or_insert(txt);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Tree::Group { delim: Delim::Brace, .. } => {
+                let ty = after_for.or(name);
+                return (ty.map(str::to_string), Some(el));
+            }
+            Tree::Group { .. } => {}
+        }
+        el += 1;
+    }
+    (None, None)
+}
+
+/// The next brace group within `limit` elements, skipping leaves.
+fn next_brace_group(children: &[Tree], from: usize, limit: usize) -> Option<usize> {
+    children
+        .iter()
+        .enumerate()
+        .skip(from)
+        .take(limit)
+        .find_map(|(i, c)| {
+            matches!(c, Tree::Group { delim: Delim::Brace, .. }).then_some(i)
+        })
+}
+
+/// Children of a group node (empty for leaves).
+fn group_children(node: &Tree) -> &[Tree] {
+    match node {
+        Tree::Group { children, .. } => children,
+        Tree::Leaf(_) => &[],
+    }
+}
+
+/// The next ident leaf from element `from`, skipping comments.
+fn next_ident(
+    children: &[Tree],
+    toks: &[crate::lexer::Tok<'_>],
+    from: usize,
+) -> Option<(usize, usize)> {
+    children.iter().enumerate().skip(from).find_map(|(i, c)| {
+        match c {
+            Tree::Leaf(j) if toks[*j].kind == TokKind::Ident => Some((i, *j)),
+            Tree::Leaf(j) if toks[*j].is_comment() => None,
+            _ => Some((usize::MAX, usize::MAX)), // anything else: stop
+        }
+    })
+    .filter(|&(i, _)| i != usize::MAX)
+}
+
+/// Is the `fn` at element `at` preceded by an unrestricted `pub`?
+fn pub_before(children: &[Tree], toks: &[crate::lexer::Tok<'_>], at: usize) -> bool {
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        match &children[j] {
+            Tree::Leaf(ti) => {
+                let t = &toks[*ti];
+                if t.is_comment() {
+                    continue;
+                }
+                match (t.kind, t.text) {
+                    (TokKind::Ident, "pub") => {
+                        // `pub(crate) fn` has a paren group after pub.
+                        let restricted = matches!(
+                            children.get(j + 1),
+                            Some(Tree::Group { delim: Delim::Paren, .. })
+                        );
+                        return !restricted;
+                    }
+                    (TokKind::Ident, "const" | "async" | "unsafe" | "extern") => {}
+                    (TokKind::StrLit, _) => {}
+                    _ => return false,
+                }
+            }
+            // pub(crate)'s paren group, or an attribute's bracket group.
+            Tree::Group { delim: Delim::Paren | Delim::Bracket, .. } => {}
+            Tree::Group { .. } => return false,
+        }
+    }
+    false
+}
+
+fn semi_tok(node: &Tree) -> usize {
+    match node {
+        Tree::Leaf(j) => *j,
+        Tree::Group { open, .. } => *open,
+    }
+}
+
+/// Collects `HashMap`/`HashSet`-typed names across the whole forest:
+/// `name: …HashMap…` declarations (fields, params, ascribed locals) and
+/// `let name = HashMap::new()`-style initializers.
+fn collect_hash_names(
+    ctx: &FileCtx<'_>,
+    children: &[Tree],
+    out: &mut BTreeSet<String>,
+) {
+    let toks = &ctx.toks;
+    let code: Vec<&Tree> = children
+        .iter()
+        .filter(|c| !matches!(c, Tree::Leaf(j) if toks[*j].is_comment()))
+        .collect();
+    for (i, c) in code.iter().enumerate() {
+        if let Tree::Group { .. } = c {
+            collect_hash_names(ctx, group_children(c), out);
+            continue;
+        }
+        let Tree::Leaf(ti) = c else { continue };
+        let t = &toks[*ti];
+        // `name : … HashMap …` up to a `,`/`;`/`=`/group at this level.
+        if t.kind == TokKind::Punct && t.text == ":" && i > 0 {
+            let Some(Tree::Leaf(nj)) = code.get(i - 1).copied() else {
+                continue;
+            };
+            if toks[*nj].kind != TokKind::Ident {
+                continue;
+            }
+            let mut k = i + 1;
+            let mut mentions_hash = false;
+            while k < code.len() {
+                match code[k] {
+                    Tree::Leaf(j) => {
+                        let s = &toks[*j];
+                        if s.kind == TokKind::Punct
+                            && matches!(s.text, "," | ";" | "=")
+                        {
+                            break;
+                        }
+                        if s.kind == TokKind::Ident
+                            && matches!(s.text, "HashMap" | "HashSet")
+                        {
+                            mentions_hash = true;
+                        }
+                    }
+                    Tree::Group { delim: Delim::Brace, .. } => break,
+                    Tree::Group { .. } => {}
+                }
+                k += 1;
+            }
+            if mentions_hash {
+                out.insert(toks[*nj].text.to_string());
+            }
+        }
+        // `let [mut] name = … HashMap|HashSet … ;`
+        if t.kind == TokKind::Ident && t.text == "let" {
+            let mut k = i + 1;
+            if matches!(code.get(k), Some(Tree::Leaf(j)) if toks[*j].text == "mut") {
+                k += 1;
+            }
+            let Some(Tree::Leaf(nj)) = code.get(k).copied() else {
+                continue;
+            };
+            if toks[*nj].kind != TokKind::Ident {
+                continue;
+            }
+            if !matches!(code.get(k + 1), Some(Tree::Leaf(j)) if toks[*j].text == "=")
+            {
+                continue;
+            }
+            let mut m = k + 2;
+            while m < code.len() {
+                match code[m] {
+                    Tree::Leaf(j) if toks[*j].text == ";" => break,
+                    Tree::Leaf(j)
+                        if toks[*j].kind == TokKind::Ident
+                            && matches!(toks[*j].text, "HashMap" | "HashSet") =>
+                    {
+                        out.insert(toks[*nj].text.to_string());
+                        break;
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn index(path: &str, src: &str) -> FileIndex {
+        let ctx = FileCtx::new(Path::new(path), src);
+        FileIndex::build(&ctx)
+    }
+
+    #[test]
+    fn outline_finds_fns_with_owner_and_visibility() {
+        let src = "pub fn free() {}\n\
+                   impl Batcher {\n    pub fn push(&self) {}\n    fn inner(&self) {}\n}\n\
+                   impl Drop for Batcher { fn drop(&mut self) {} }\n\
+                   pub(crate) fn restricted() {}\n";
+        let idx = index("crates/serve/src/queue.rs", src);
+        let names: Vec<(&str, Option<&str>, bool)> = idx
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref(), f.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, true),
+                ("push", Some("Batcher"), true),
+                ("inner", Some("Batcher"), false),
+                ("drop", Some("Batcher"), false),
+                ("restricted", None, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_inheritance_marks_fns() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod t {\n    fn helper() {}\n}\n";
+        let idx = index("crates/core/src/x.rs", src);
+        assert!(!idx.fns.iter().find(|f| f.name == "live").unwrap().is_test);
+        assert!(idx.fns.iter().find(|f| f.name == "helper").unwrap().is_test);
+    }
+
+    #[test]
+    fn guard_binding_basic_and_live_range() {
+        let src = "impl Shared {\n  fn go(&self) {\n    let st = self.state.lock().unwrap();\n    use_it(&st);\n  }\n}\n";
+        let idx = index("crates/serve/src/queue.rs", src);
+        let f = &idx.fns[0];
+        assert_eq!(f.guards.len(), 1);
+        let g = &f.guards[0];
+        assert_eq!(g.name, "st");
+        assert_eq!(g.key, "Shared.state");
+        assert_eq!(g.verb, LockVerb::Lock);
+    }
+
+    #[test]
+    fn drop_ends_the_live_range() {
+        let src = "fn go(m: &Mutex<u32>) {\n    let g = m.lock().unwrap();\n    drop(g);\n    after();\n}\n";
+        let idx = index("crates/serve/src/server.rs", src);
+        let g = &idx.fns[0].guards[0];
+        let ctx = FileCtx::new(Path::new("crates/serve/src/server.rs"), src);
+        // `after` must lie outside the live range.
+        let after_tok = ctx
+            .toks
+            .iter()
+            .position(|t| t.text == "after")
+            .unwrap();
+        assert!(g.end_tok <= after_tok);
+    }
+
+    #[test]
+    fn continued_initializer_is_not_a_guard() {
+        // The temporary guard dies at the semicolon; `h` is a JoinHandle.
+        let src = "fn shutdown(&self) {\n    let h = self.worker.lock().unwrap().take();\n}\n";
+        let idx = index("crates/serve/src/queue.rs", src);
+        assert!(idx.fns[0].guards.is_empty());
+    }
+
+    #[test]
+    fn write_with_args_is_not_an_acquisition() {
+        let src = "fn send(s: &mut TcpStream, buf: &[u8]) {\n    let n = s.write(buf);\n}\n";
+        let idx = index("crates/serve/src/server.rs", src);
+        assert!(idx.fns[0].guards.is_empty());
+    }
+
+    #[test]
+    fn hash_names_from_fields_params_locals_and_guards() {
+        let src = "struct Cache { solvers: RwLock<HashMap<K, V>>, count: usize }\n\
+                   fn f(m: &HashMap<u32, f64>, v: &Vec<u8>) {\n\
+                       let local = HashSet::new();\n\
+                       let plain = Vec::new();\n\
+                   }\n\
+                   impl Cache {\n  fn stats(&self) {\n    let map = self.solvers.read().unwrap();\n  }\n}\n";
+        let idx = index("crates/core/src/reconstruct.rs", src);
+        assert!(idx.hash_names.contains("solvers"));
+        assert!(idx.hash_names.contains("m"));
+        assert!(idx.hash_names.contains("local"));
+        assert!(idx.hash_names.contains("map")); // guard over a hash field
+        assert!(!idx.hash_names.contains("count"));
+        assert!(!idx.hash_names.contains("v"));
+        assert!(!idx.hash_names.contains("plain"));
+    }
+
+    #[test]
+    fn calls_and_panics_are_collected() {
+        let src = "fn f() {\n    helper(1);\n    x.method();\n    y.unwrap();\n    if cond() { panic!(\"no\"); }\n    let v = vec![1];\n}\n";
+        let idx = index("crates/core/src/x.rs", src);
+        let f = &idx.fns[0];
+        let calls: Vec<&str> = f.calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(calls.contains(&"helper"));
+        assert!(calls.contains(&"method"));
+        assert!(calls.contains(&"cond"));
+        assert!(!calls.contains(&"vec")); // macro
+        assert_eq!(f.panics.len(), 2);
+        assert_eq!(f.panics[0].what, ".unwrap()");
+        assert_eq!(f.panics[1].what, "panic!");
+    }
+
+    #[test]
+    fn catch_unwind_is_detected() {
+        let src = "fn safe() {\n    let r = std::panic::catch_unwind(|| risky());\n}\nfn plain() {}\n";
+        let idx = index("crates/core/src/parallel.rs", src);
+        assert!(idx.fns[0].has_catch_unwind);
+        assert!(!idx.fns[1].has_catch_unwind);
+    }
+
+    #[test]
+    fn fn_at_maps_tokens_to_owners() {
+        let src = "fn a() { one(); }\nfn b() { two(); }\n";
+        let idx = index("crates/core/src/x.rs", src);
+        let ctx = FileCtx::new(Path::new("crates/core/src/x.rs"), src);
+        let two_tok = ctx.toks.iter().position(|t| t.text == "two").unwrap();
+        assert_eq!(idx.fn_at(two_tok), Some(1));
+        assert_eq!(idx.fn_at(0), None); // the `fn` keyword of a()
+    }
+}

@@ -12,9 +12,14 @@
 //! * [`context`] — per-file structure: `#[cfg(test)]` region tracking,
 //!   path classification, and `rrlint-allow` suppressions (reason
 //!   mandatory);
-//! * [`rules`] + [`engine`] + [`baseline`] — the `RR001`–`RR009` rule
-//!   set, the workspace walker, and the `lint-baseline.json` diff that
-//!   makes the gate "no *new* findings" from day one.
+//! * [`tree`] + [`index`] + [`callgraph`] — the structural layer:
+//!   error-tolerant delimiter trees, a per-file semantic sketch (fn
+//!   outline, lock-guard bindings and live ranges, hash-container
+//!   names), and a name-keyed call-graph approximation;
+//! * [`rules`] + [`engine`] + [`baseline`] — the `RR001`–`RR009`
+//!   token-shape rules, the `RR010`–`RR013` semantic rules, the
+//!   workspace walker, and the `lint-baseline.json` diff that makes the
+//!   gate "no *new* findings" from day one.
 //!
 //! The `rrlint` binary wraps [`engine::run_check`]:
 //!
@@ -33,10 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod context;
 pub mod engine;
+pub mod index;
 pub mod lexer;
 pub mod rules;
+pub mod tree;
 
 pub use baseline::Baseline;
 pub use engine::{run_check, Report};

@@ -1,16 +1,23 @@
-//! The workspace rule set: `RR001`–`RR009`.
+//! The workspace rule set: `RR001`–`RR013`.
 //!
-//! Each rule is a token-shape pattern over a [`FileCtx`], scoped to the
-//! files and regions where the invariant it protects actually applies.
-//! The catalogue (rationale, examples, suppression syntax) is rendered by
-//! `rrlint explain` from the metadata here and documented in
-//! `docs/LINTS.md`. Rules are heuristic by design — they match what the
-//! lexer can see, not types — but every pattern is tuned so that the
-//! workspace conventions make the *intended* construct invisible to the
-//! rule (e.g. `linalg::cmp::exact_zero(x)` instead of `x == 0.0`).
+//! `RR001`–`RR009` are token-shape patterns over a [`FileCtx`], scoped
+//! to the files and regions where the invariant each protects actually
+//! applies. `RR010`–`RR013` are *semantic* rules: they consume the
+//! [`crate::index`] sketch (lock-guard live ranges, fn outlines) and the
+//! [`crate::callgraph`] approximation, and run over the whole workspace
+//! at once via [`check_workspace`]. The catalogue (rationale, examples,
+//! suppression syntax) is rendered by `rrlint explain` from the metadata
+//! here and documented in `docs/LINTS.md`. Rules are heuristic by design
+//! — they match what the lexer and the token trees can see, not types —
+//! but every pattern is tuned so that the workspace conventions make the
+//! *intended* construct invisible to the rule (e.g.
+//! `linalg::cmp::exact_zero(x)` instead of `x == 0.0`).
 
+use crate::callgraph::{CallGraph, FnId};
 use crate::context::{FileCtx, FileKind};
+use crate::index::FileIndex;
 use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +140,50 @@ pub const RULES: &[RuleInfo] = &[
                     alarm. The reason string is what the next reader audits.",
         bad: "// rrlint-allow: RR002",
         good: "// rrlint-allow: RR002 exact zero is the QL deflation sentinel",
+    },
+    RuleInfo {
+        id: "RR010",
+        name: "no-guard-across-blocking",
+        summary: "no Mutex/RwLock guard live across a blocking call (socket/file I/O, sleep, join, foreign Condvar::wait) in serve and core::parallel",
+        rationale: "A guard held across a blocking call turns one slow peer into a stalled \
+                    batcher: every thread that needs the lock queues behind the kernel. The \
+                    serving path's tail-latency SLOs assume critical sections are compute-only. \
+                    Condvar::wait on the guard's own lock is exempt — the wait releases it.",
+        bad: "let st = self.lock(); stream.write_all(b\"503\")?;",
+        good: "let st = self.lock(); drop(st); stream.write_all(b\"503\")?;",
+    },
+    RuleInfo {
+        id: "RR011",
+        name: "consistent-lock-order",
+        summary: "nested lock acquisitions must agree on one global order (no cycles in the workspace lock-order graph)",
+        rationale: "Two threads taking the same pair of locks in opposite orders is the textbook \
+                    deadlock, and it only shows up under load. The lock-order graph built from \
+                    nested guard scopes makes the order reviewable; a cycle is a deadlock \
+                    waiting for a scheduler interleaving.",
+        bad: "fn a() { let g1 = x.lock(); let g2 = y.lock(); }  fn b() { let g2 = y.lock(); let g1 = x.lock(); }",
+        good: "fn a() { let g1 = x.lock(); let g2 = y.lock(); }  fn b() { let g1 = x.lock(); let g2 = y.lock(); }",
+    },
+    RuleInfo {
+        id: "RR012",
+        name: "no-hash-iteration-on-numeric-paths",
+        summary: "no HashMap/HashSet iteration in fns reachable from the covariance/merge/reconstruct/eigensolve paths",
+        rationale: "The paper's reproducibility contract is bit-identity: blocked == rowwise == \
+                    sharded == distributed. HashMap iteration order changes run to run \
+                    (SipHash keying), so any fold over it on a numeric result path silently \
+                    breaks the contract. Iterate a sorted Vec or a BTreeMap instead.",
+        bad: "for (k, s) in solvers.iter() { total += s.count; }",
+        good: "let mut keys: Vec<_> = solvers.keys().collect(); keys.sort(); // then fold in key order",
+    },
+    RuleInfo {
+        id: "RR013",
+        name: "no-interprocedural-panic-paths",
+        summary: "a pub lib fn must not transitively reach a panic site (unwrap/expect/panic!) without an intervening catch_unwind",
+        rationale: "RR001 flags the panic site itself; this rule walks the call graph and flags \
+                    the public entry point whose callees can abort a mining run. The resilience \
+                    layer's exit-code contract (0/2/3) only holds if panics cannot escape \
+                    library entry points uncaught.",
+        bad: "pub fn mine(d: &Data) -> Model { helper(d) }  fn helper(d: &Data) -> Model { d.finalize().unwrap() }",
+        good: "pub fn mine(d: &Data) -> Result<Model> { helper(d) }  fn helper(d: &Data) -> Result<Model> { d.finalize() }",
     },
 ];
 
@@ -553,6 +604,430 @@ fn rr009_bad_suppressions(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Workspace-level semantic rules (RR010–RR013).
+// ---------------------------------------------------------------------
+
+/// Files RR010 guards: the serving stack and the parallel scan — the
+/// places where a held guard meets blocking I/O or thread control.
+fn rr010_in_scope(path: &str) -> bool {
+    path.starts_with("crates/serve/src/") || path == "crates/core/src/parallel.rs"
+}
+
+/// Methods that block the calling thread (flagged under a live guard).
+const BLOCKING_CALLS: &[&str] = &[
+    "connect",
+    "accept",
+    "write_all",
+    "read_to_string",
+    "read_to_end",
+    "read_exact",
+    "flush",
+    "sleep",
+    "join",
+    "park",
+    "recv",
+    "recv_timeout",
+];
+
+/// Condvar wait family: blocking, but exempt when waiting *on the live
+/// guard itself* (the wait atomically releases that lock).
+const WAIT_CALLS: &[&str] = &["wait", "wait_timeout", "wait_while", "wait_timeout_while"];
+
+/// Files whose fns are the numeric result paths RR012 protects.
+/// Any fn defined here — or reachable from one — must not iterate a
+/// hash container.
+const RR012_ROOT_FILES: &[&str] = &[
+    "crates/core/src/covariance.rs",
+    "crates/core/src/parallel.rs",
+    "crates/core/src/reconstruct.rs",
+    "crates/linalg/src/eigen.rs",
+    "crates/linalg/src/jacobi.rs",
+    "crates/linalg/src/lanczos.rs",
+    "crates/linalg/src/svd.rs",
+    "crates/linalg/src/solver.rs",
+];
+
+/// Iteration methods whose order is keyed by SipHash.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Runs the semantic rules over the whole workspace at once.
+/// `files` pairs each file's [`FileCtx`] with its [`FileIndex`];
+/// suppressions apply per-site exactly as for the per-file rules.
+pub fn check_workspace(files: &[(FileCtx<'_>, FileIndex)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rr010_guard_across_blocking(files, &mut out);
+    rr011_lock_order(files, &mut out);
+    let graph_files: Vec<(String, &FileIndex)> = files
+        .iter()
+        .map(|(c, i)| (c.crate_name.clone(), i))
+        .collect();
+    let graph = CallGraph::build(&graph_files);
+    rr012_hash_iteration(files, &graph, &mut out);
+    rr013_panic_propagation(files, &graph, &mut out);
+    // Suppressions, uniformly (every semantic rule is waivable — the
+    // reason string is the review trail for each exception).
+    let ctx_of: BTreeMap<&str, &FileCtx<'_>> =
+        files.iter().map(|(c, _)| (c.path.as_str(), c)).collect();
+    out.retain(|f| {
+        ctx_of
+            .get(f.path.as_str())
+            .is_none_or(|c| !c.suppressed(f.rule, f.line))
+    });
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// RR010: a guard live range containing a blocking call.
+fn rr010_guard_across_blocking(files: &[(FileCtx<'_>, FileIndex)], out: &mut Vec<Finding>) {
+    for (ctx, idx) in files {
+        if !rr010_in_scope(&ctx.path) {
+            continue;
+        }
+        let code = ctx.code_indices();
+        for f in &idx.fns {
+            if f.is_test {
+                continue;
+            }
+            for g in &f.guards {
+                // Code tokens strictly inside the live range.
+                for (w, &i) in code.iter().enumerate() {
+                    if i <= g.decl_tok || i >= g.end_tok {
+                        continue;
+                    }
+                    let t = &ctx.toks[i];
+                    if t.kind != TokKind::Ident {
+                        continue;
+                    }
+                    let nxt = |k: usize| code.get(w + k).map(|&j| ctx.toks[j].text);
+                    let prev = w
+                        .checked_sub(1)
+                        .and_then(|p| code.get(p))
+                        .map(|&j| ctx.toks[j].text);
+                    let is_call = nxt(1) == Some("(")
+                        && matches!(prev, Some(".") | Some("::"));
+                    if is_call && BLOCKING_CALLS.contains(&t.text) {
+                        push(ctx, out, "RR010", t, format!(
+                            "guard `{}` on `{}` (from .{}()) is still live across blocking `.{}()`; drop it first or move the call out of the critical section",
+                            g.name, g.key, g.verb.method(), t.text
+                        ));
+                    } else if is_call && WAIT_CALLS.contains(&t.text) {
+                        // `cv.wait(st)` releases st's lock: exempt when
+                        // the first argument is the live guard itself.
+                        let first_arg_is_guard =
+                            nxt(2).is_some_and(|a| a == g.name.as_str());
+                        if !first_arg_is_guard {
+                            push(ctx, out, "RR010", t, format!(
+                                "Condvar::{}() waits on a different lock while guard `{}` on `{}` is live; waiting can hold `{}` indefinitely",
+                                t.text, g.name, g.key, g.key
+                            ));
+                        }
+                    } else if t.text == "File"
+                        && nxt(1) == Some("::")
+                        && matches!(nxt(2), Some("open") | Some("create"))
+                        && nxt(3) == Some("(")
+                    {
+                        push(ctx, out, "RR010", t, format!(
+                            "File::{}() under guard `{}` on `{}`; file I/O can block the critical section",
+                            nxt(2).unwrap_or(""), g.name, g.key
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// RR011: cycles in the workspace lock-order graph.
+fn rr011_lock_order(files: &[(FileCtx<'_>, FileIndex)], out: &mut Vec<Finding>) {
+    /// One observed "outer taken before inner" nesting.
+    struct Edge {
+        file: usize,
+        line: u32,
+        outer_name: String,
+        inner_name: String,
+    }
+    // (outer key, inner key) -> first site observed.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for (fi, (_, idx)) in files.iter().enumerate() {
+        for f in &idx.fns {
+            if f.is_test {
+                continue;
+            }
+            for a in &f.guards {
+                for b in &f.guards {
+                    let nested = b.decl_tok > a.decl_tok && b.decl_tok < a.end_tok;
+                    if !nested || a.key == b.key {
+                        continue;
+                    }
+                    edges
+                        .entry((a.key.clone(), b.key.clone()))
+                        .or_insert(Edge {
+                            file: fi,
+                            line: b.line,
+                            outer_name: a.name.clone(),
+                            inner_name: b.name.clone(),
+                        });
+                }
+            }
+        }
+    }
+    // Adjacency over lock keys.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (u, v) in edges.keys() {
+        adj.entry(u.as_str()).or_default().insert(v.as_str());
+    }
+    // An edge u→v is part of a cycle iff v reaches u.
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    for ((u, v), e) in &edges {
+        if !reaches(v, u) {
+            continue;
+        }
+        let ctx = &files[e.file].0;
+        out.push(Finding {
+            rule: "RR011",
+            path: ctx.path.clone(),
+            line: e.line,
+            message: format!(
+                "lock-order cycle: `{}` (guard `{}`) is acquired while holding `{}` (guard `{}`) here, but elsewhere `{}` is acquired under `{}`; pick one global order",
+                v, e.inner_name, u, e.outer_name, u, v
+            ),
+            snippet: ctx.line_text(e.line).to_string(),
+        });
+    }
+}
+
+/// RR012: hash-container iteration reachable from the numeric roots.
+fn rr012_hash_iteration(
+    files: &[(FileCtx<'_>, FileIndex)],
+    graph: &CallGraph,
+    out: &mut Vec<Finding>,
+) {
+    let mut roots: Vec<FnId> = Vec::new();
+    for (fi, (ctx, idx)) in files.iter().enumerate() {
+        if !RR012_ROOT_FILES.contains(&ctx.path.as_str()) {
+            continue;
+        }
+        for (fj, f) in idx.fns.iter().enumerate() {
+            if !f.is_test {
+                roots.push((fi, fj));
+            }
+        }
+    }
+    let reached = graph.reachable(&roots, &|_| false);
+    for &(fi, fj) in &reached {
+        let (ctx, idx) = &files[fi];
+        if ctx.kind != FileKind::Lib {
+            continue;
+        }
+        let f = &idx.fns[fj];
+        if f.is_test {
+            continue;
+        }
+        let Some((bs, be)) = f.body else { continue };
+        let code: Vec<usize> = (bs..=be.min(ctx.toks.len().saturating_sub(1)))
+            .filter(|&i| !ctx.toks[i].is_comment())
+            .collect();
+        for (w, &i) in code.iter().enumerate() {
+            let t = &ctx.toks[i];
+            if t.kind != TokKind::Ident || !HASH_ITER_METHODS.contains(&t.text) {
+                continue;
+            }
+            let is_method = w > 0
+                && ctx.toks[code[w - 1]].text == "."
+                && code.get(w + 1).is_some_and(|&j| ctx.toks[j].text == "(");
+            if !is_method {
+                continue;
+            }
+            let recv = receiver_idents(ctx, &code, w - 1);
+            if recv.iter().any(|r| idx.hash_names.contains(*r)) {
+                let on_root_file = RR012_ROOT_FILES.contains(&ctx.path.as_str());
+                push(ctx, out, "RR012", t, format!(
+                    "HashMap/HashSet iteration `.{}()` on `{}` in fn `{}`{}; hash order varies run to run and breaks the bit-identity contract — iterate sorted keys or a BTreeMap",
+                    t.text,
+                    recv.join("."),
+                    f.name,
+                    if on_root_file {
+                        " on the numeric result path".to_string()
+                    } else {
+                        " (reachable from the numeric result path)".to_string()
+                    },
+                ));
+            }
+        }
+        // Direct `for x in &m { … }` iteration (no method call).
+        for (w, &i) in code.iter().enumerate() {
+            let t = &ctx.toks[i];
+            if t.kind != TokKind::Ident || t.text != "in" {
+                continue;
+            }
+            // Walk forward: only `&`, `mut`, idents and `.` may appear
+            // before the loop body `{`; the last ident is the receiver.
+            let mut last_ident: Option<&Tok<'_>> = None;
+            let mut k = w + 1;
+            let mut simple = true;
+            while let Some(&j) = code.get(k) {
+                let s = &ctx.toks[j];
+                match (s.kind, s.text) {
+                    (TokKind::Punct, "{") => break,
+                    (TokKind::Punct, "&" | ".") => {}
+                    (TokKind::Ident, "mut" | "self") => {}
+                    (TokKind::Ident, _) => last_ident = Some(s),
+                    _ => {
+                        simple = false;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            if let (true, Some(li)) = (simple, last_ident) {
+                if idx.hash_names.contains(li.text) {
+                    push(ctx, out, "RR012", li, format!(
+                        "direct iteration over hash container `{}` in fn `{}`; hash order varies run to run — collect and sort the keys first",
+                        li.text, f.name
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Walks backwards from the `.` at code-index `dot_w`, collecting the
+/// receiver's identifier chain across call/index hops, e.g.
+/// `self.solvers.read().values()` yields `["self", "solvers", "read"]`.
+fn receiver_idents<'a>(ctx: &FileCtx<'a>, code: &[usize], dot_w: usize) -> Vec<&'a str> {
+    let mut idents: Vec<&'a str> = Vec::new();
+    let mut w = dot_w; // points at the `.`
+    loop {
+        let Some(prev) = w.checked_sub(1) else { break };
+        let t = &ctx.toks[code[prev]];
+        match (t.kind, t.text) {
+            (TokKind::Punct, ")" | "]") => {
+                // Skip to the matching opener.
+                let (open, close) = if t.text == ")" { ("(", ")") } else { ("[", "]") };
+                let mut depth = 1i32;
+                let mut q = prev;
+                while depth > 0 && q > 0 {
+                    q -= 1;
+                    let s = &ctx.toks[code[q]];
+                    if s.kind == TokKind::Punct {
+                        if s.text == close {
+                            depth += 1;
+                        } else if s.text == open {
+                            depth -= 1;
+                        }
+                    }
+                }
+                if depth != 0 {
+                    break;
+                }
+                w = q;
+            }
+            (TokKind::Ident, name) => {
+                idents.push(name);
+                // Continue only across a `.` chain.
+                match prev.checked_sub(1) {
+                    Some(pp) if ctx.toks[code[pp]].text == "." => w = pp,
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    idents.reverse();
+    idents
+}
+
+/// RR013: pub lib fns that transitively reach a panic site.
+fn rr013_panic_propagation(
+    files: &[(FileCtx<'_>, FileIndex)],
+    graph: &CallGraph,
+    out: &mut Vec<Finding>,
+) {
+    // A panic site is eligible when RR001 would own it: lib file,
+    // non-test fn, and not waived for RR001/RR013 at its line.
+    let eligible = |id: FnId| -> bool {
+        let (ctx, idx) = &files[id.0];
+        if ctx.kind != FileKind::Lib {
+            return false;
+        }
+        let f = &idx.fns[id.1];
+        !f.is_test
+            && f.panics.iter().any(|p| {
+                !ctx.suppressed("RR001", p.line) && !ctx.suppressed("RR013", p.line)
+            })
+    };
+    let barrier = |id: FnId| files[id.0].1.fns[id.1].has_catch_unwind;
+    for (fi, (ctx, idx)) in files.iter().enumerate() {
+        if ctx.kind != FileKind::Lib {
+            continue;
+        }
+        for (fj, f) in idx.fns.iter().enumerate() {
+            if !f.is_pub || f.is_test || f.has_catch_unwind || f.body.is_none() {
+                continue;
+            }
+            let Some(path) = graph.path((fi, fj), &eligible, &barrier) else {
+                continue;
+            };
+            // Depth >= 1 by construction (`path` never returns `from`
+            // alone); the entry point is where the caller can act.
+            let chain: Vec<String> = path
+                .iter()
+                .map(|&(a, b)| files[a].1.fns[b].name.clone())
+                .collect();
+            let Some(&(la, lb)) = path.last() else {
+                continue;
+            };
+            let leaf = &files[la].1.fns[lb];
+            let Some(site) = leaf.panics.iter().find(|p| {
+                !files[la].0.suppressed("RR001", p.line)
+                    && !files[la].0.suppressed("RR013", p.line)
+            }) else {
+                continue;
+            };
+            out.push(Finding {
+                rule: "RR013",
+                path: ctx.path.clone(),
+                line: f.line,
+                message: format!(
+                    "pub fn `{}` can reach a panic site with no catch_unwind in between: {} ({} at {}:{}); return the crate error type or isolate the callee",
+                    f.name,
+                    chain.join(" -> "),
+                    site.what,
+                    files[la].0.path,
+                    site.line
+                ),
+                snippet: ctx.line_text(f.line).to_string(),
+            });
+        }
+    }
+}
+
 /// Decodes a string-literal token to its value. Returns `None` for byte
 /// strings (not names) and for escapes the linter does not model.
 pub fn str_lit_value(text: &str) -> Option<String> {
@@ -790,9 +1265,264 @@ mod tests {
         let ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
         assert_eq!(
             ids,
-            vec!["RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007", "RR008", "RR009"]
+            vec![
+                "RR001", "RR002", "RR003", "RR004", "RR005", "RR006", "RR007", "RR008", "RR009",
+                "RR010", "RR011", "RR012", "RR013",
+            ]
         );
         assert!(rule_info("RR004").is_some());
+        assert!(rule_info("RR013").is_some());
         assert!(rule_info("RR999").is_none());
+    }
+
+    // --- workspace rules ---------------------------------------------
+
+    /// Builds `(FileCtx, FileIndex)` pairs and runs [`check_workspace`].
+    fn ws(files: &[(&str, &str)]) -> Vec<Finding> {
+        let pairs: Vec<(FileCtx<'_>, crate::index::FileIndex)> = files
+            .iter()
+            .map(|(p, s)| {
+                let ctx = FileCtx::new(std::path::Path::new(p), s);
+                let idx = crate::index::FileIndex::build(&ctx);
+                (ctx, idx)
+            })
+            .collect();
+        check_workspace(&pairs)
+    }
+
+    #[test]
+    fn rr010_flags_blocking_call_under_guard() {
+        let src = "\
+fn handle(&self, sock: &mut TcpStream) {
+    let st = self.state.lock().unwrap();
+    sock.write_all(b\"x\").ok();
+}
+";
+        let f = ws(&[("crates/serve/src/server.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "RR010");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("write_all"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn rr010_silent_after_drop_and_out_of_scope() {
+        let dropped = "\
+fn handle(&self, sock: &mut TcpStream) {
+    let st = self.state.lock().unwrap();
+    drop(st);
+    sock.write_all(b\"x\").ok();
+}
+";
+        assert!(ws(&[("crates/serve/src/server.rs", dropped)]).is_empty());
+        // Same code outside serve/parallel is out of RR010's scope.
+        let f = ws(&[("crates/cli/src/main.rs", "\
+fn handle(&self) {
+    let st = self.state.lock().unwrap();
+    std::thread::sleep(d);
+}
+")]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn rr010_condvar_wait_on_own_guard_is_exempt() {
+        let own = "\
+fn pop(&self) {
+    let mut st = self.inner.lock().unwrap();
+    st = self.cv.wait(st).unwrap();
+}
+";
+        assert!(ws(&[("crates/serve/src/queue.rs", own)]).is_empty());
+        let other = "\
+fn pop(&self) {
+    let st = self.inner.lock().unwrap();
+    let _g = self.cv.wait(other_guard).unwrap();
+}
+";
+        let f = ws(&[("crates/serve/src/queue.rs", other)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("different lock"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn rr011_flags_lock_order_cycle() {
+        let a = "\
+impl Pool {
+    fn ab(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        let _ = (&a, &b);
+    }
+}
+";
+        let b = "\
+impl Pool {
+    fn ba(&self) {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        let _ = (&a, &b);
+    }
+}
+";
+        let f = ws(&[
+            ("crates/serve/src/a.rs", a),
+            ("crates/serve/src/b.rs", b),
+        ]);
+        let rr011: Vec<_> = f.iter().filter(|x| x.rule == "RR011").collect();
+        assert_eq!(rr011.len(), 2, "one finding per conflicting edge: {f:?}");
+        assert!(rr011[0].message.contains("lock-order cycle"));
+    }
+
+    #[test]
+    fn rr011_consistent_order_is_silent() {
+        let a = "\
+impl Pool {
+    fn ab(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        let _ = (&a, &b);
+    }
+    fn ab2(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        let _ = (&a, &b);
+    }
+}
+";
+        let f = ws(&[("crates/serve/src/a.rs", a)]);
+        assert!(f.iter().all(|x| x.rule != "RR011"), "{f:?}");
+    }
+
+    #[test]
+    fn rr012_flags_hash_iteration_reached_from_root() {
+        let root = "\
+pub fn covariance_accumulate(chunk: &[f64]) -> f64 {
+    helper_sum(chunk)
+}
+";
+        let helper = "\
+use std::collections::HashMap;
+pub fn helper_sum(chunk: &[f64]) -> f64 {
+    let weights: HashMap<usize, f64> = HashMap::new();
+    let mut s = 0.0;
+    for (_, w) in weights.iter() {
+        s += w;
+    }
+    s
+}
+";
+        let f = ws(&[
+            ("crates/core/src/covariance.rs", root),
+            ("crates/core/src/weights.rs", helper),
+        ]);
+        let rr012: Vec<_> = f.iter().filter(|x| x.rule == "RR012").collect();
+        assert_eq!(rr012.len(), 1, "{f:?}");
+        assert!(rr012[0].path.ends_with("weights.rs"));
+        assert!(rr012[0].message.contains("reachable from"), "{}", rr012[0].message);
+    }
+
+    #[test]
+    fn rr012_direct_for_loop_and_unreachable_fn() {
+        let root = "\
+use std::collections::HashSet;
+pub fn eigensolve(n: usize) -> f64 {
+    let seen: HashSet<usize> = HashSet::new();
+    let mut s = 0.0;
+    for v in &seen {
+        s += *v as f64;
+    }
+    s
+}
+pub fn unrelated_report(seen: &HashSet<usize>) {
+    for v in seen.iter() { println!(\"{v}\"); }
+}
+";
+        let f = ws(&[("crates/linalg/src/eigen.rs", root)]);
+        let rr012: Vec<_> = f.iter().filter(|x| x.rule == "RR012").collect();
+        // Both fns live in a root file, so both are roots: the direct
+        // `for v in &seen` and the `.iter()` call each flag once.
+        assert_eq!(rr012.len(), 2, "{f:?}");
+        // BTree containers never flag.
+        let ok = "\
+use std::collections::BTreeMap;
+pub fn eigensolve(n: usize) -> f64 {
+    let seen: BTreeMap<usize, f64> = BTreeMap::new();
+    seen.values().sum()
+}
+";
+        assert!(ws(&[("crates/linalg/src/eigen.rs", ok)]).is_empty());
+    }
+
+    #[test]
+    fn rr013_reports_pub_entry_not_leaf() {
+        let src = "\
+pub fn entry(x: Option<u32>) -> u32 {
+    inner(x)
+}
+fn inner(x: Option<u32>) -> u32 {
+    deep_leaf(x)
+}
+fn deep_leaf(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+";
+        let f = ws(&[("crates/core/src/chain.rs", src)]);
+        let rr013: Vec<_> = f.iter().filter(|x| x.rule == "RR013").collect();
+        assert_eq!(rr013.len(), 1, "{f:?}");
+        assert_eq!(rr013[0].line, 1, "reported at the pub entry point");
+        assert!(rr013[0].message.contains("entry -> inner -> deep_leaf"), "{}", rr013[0].message);
+    }
+
+    #[test]
+    fn rr013_catch_unwind_and_suppression_are_barriers() {
+        let shielded = "\
+pub fn entry(x: Option<u32>) -> u32 {
+    std::panic::catch_unwind(|| deep_leaf(x)).unwrap_or(0)
+}
+fn deep_leaf(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+";
+        let f = ws(&[("crates/core/src/chain.rs", shielded)]);
+        assert!(f.iter().all(|x| x.rule != "RR013"), "{f:?}");
+        // An RR001 suppression on the leaf site clears RR013 too: the
+        // waiver reason covers the whole panic path.
+        let waived = "\
+pub fn entry(x: Option<u32>) -> u32 {
+    deep_leaf(x)
+}
+fn deep_leaf(x: Option<u32>) -> u32 {
+    // rrlint-allow: RR001 validated by caller
+    x.unwrap()
+}
+";
+        let f = ws(&[("crates/core/src/chain.rs", waived)]);
+        assert!(f.iter().all(|x| x.rule != "RR013"), "{f:?}");
+    }
+
+    #[test]
+    fn rr013_own_body_panic_is_rr001_territory() {
+        // Depth 0 (the pub fn's own unwrap) is RR001's finding, not
+        // RR013's — no double report.
+        let src = "\
+pub fn entry(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+";
+        let f = ws(&[("crates/core/src/chain.rs", src)]);
+        assert!(f.iter().all(|x| x.rule != "RR013"), "{f:?}");
+    }
+
+    #[test]
+    fn workspace_findings_respect_suppressions() {
+        let src = "\
+fn handle(&self, sock: &mut TcpStream) {
+    let st = self.state.lock().unwrap();
+    // rrlint-allow: RR010 single-threaded test server
+    sock.write_all(b\"x\").ok();
+}
+";
+        assert!(ws(&[("crates/serve/src/server.rs", src)]).is_empty());
     }
 }

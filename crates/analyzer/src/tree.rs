@@ -1,0 +1,374 @@
+//! Token trees: balanced `()`/`[]`/`{}` delimiter groups over the
+//! [`crate::lexer`] token stream.
+//!
+//! The line-oriented rules (`RR001`–`RR009`) match flat token shapes; the
+//! semantic rules (`RR010`–`RR013`) need *structure* — "which block does
+//! this `let` live in", "where does this fn body end" — without paying
+//! for a real parser. A token tree is the cheapest structure that
+//! answers those questions: every token becomes either a [`Tree::Leaf`]
+//! or a child of the innermost delimiter [`Tree::Group`] containing it.
+//!
+//! The parser inherits the lexer's totality contract:
+//!
+//! * any token stream (including unbalanced garbage) produces a forest
+//!   and never panics;
+//! * flattening the forest yields the token indices `0..n` in order —
+//!   grouping adds structure, never drops, duplicates, or reorders a
+//!   token (the round-trip property, proptested in
+//!   `tests/rrlint_lexer.rs` and fuzzed in-crate below);
+//! * a stray closer (`)` with no `(`) degrades to a plain leaf; an
+//!   unterminated opener becomes a [`Tree::Group`] with `close: None`
+//!   running to the end of its enclosing scope.
+//!
+//! Comments stay in the stream as leaves so flattening is exact; the
+//! index layer skips them the same way the flat rules do.
+
+use crate::lexer::{Tok, TokKind};
+
+/// The three delimiter families that form groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` … `)`
+    Paren,
+    /// `[` … `]`
+    Bracket,
+    /// `{` … `}`
+    Brace,
+}
+
+impl Delim {
+    /// The delimiter opened by this punctuation text, if any.
+    pub fn open_of(text: &str) -> Option<Delim> {
+        match text {
+            "(" => Some(Delim::Paren),
+            "[" => Some(Delim::Bracket),
+            "{" => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+
+    /// The delimiter closed by this punctuation text, if any.
+    pub fn close_of(text: &str) -> Option<Delim> {
+        match text {
+            ")" => Some(Delim::Paren),
+            "]" => Some(Delim::Bracket),
+            "}" => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+}
+
+/// One node of the token forest. Indices refer into the token slice the
+/// forest was parsed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tree {
+    /// A single non-delimiter token (or a stray closer).
+    Leaf(usize),
+    /// A delimited group.
+    Group {
+        /// Token index of the opening delimiter.
+        open: usize,
+        /// Token index of the closing delimiter; `None` when the opener
+        /// was never closed (unbalanced input).
+        close: Option<usize>,
+        /// Which delimiter family.
+        delim: Delim,
+        /// Children, in source order.
+        children: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// Token index range `[first, last]` covered by this node.
+    pub fn span(&self) -> (usize, usize) {
+        match self {
+            Tree::Leaf(i) => (*i, *i),
+            Tree::Group {
+                open,
+                close,
+                children,
+                ..
+            } => {
+                let last = close.unwrap_or_else(|| {
+                    children.last().map_or(*open, |c| c.span().1)
+                });
+                (*open, last)
+            }
+        }
+    }
+}
+
+/// A parsed file: the top-level sequence of trees.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Forest {
+    /// Top-level nodes in source order.
+    pub roots: Vec<Tree>,
+}
+
+impl Forest {
+    /// Flattens the forest back to token indices, in order. For any
+    /// input of `n` tokens this is exactly `0..n` — the round-trip
+    /// property the proptests pin down.
+    pub fn flatten(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        fn walk(node: &Tree, out: &mut Vec<usize>) {
+            match node {
+                Tree::Leaf(i) => out.push(*i),
+                Tree::Group {
+                    open,
+                    close,
+                    children,
+                    ..
+                } => {
+                    out.push(*open);
+                    for c in children {
+                        walk(c, out);
+                    }
+                    if let Some(c) = close {
+                        out.push(*c);
+                    }
+                }
+            }
+        }
+        for r in &self.roots {
+            walk(r, &mut out);
+        }
+        out
+    }
+}
+
+/// Parses a token stream into a delimiter forest. Total: never panics,
+/// keeps every token, tolerates arbitrary imbalance.
+pub fn parse(toks: &[Tok<'_>]) -> Forest {
+    // Each stack frame is an open group still accepting children.
+    struct Frame {
+        open: usize,
+        delim: Delim,
+        children: Vec<Tree>,
+    }
+    let mut roots: Vec<Tree> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+
+    // Appends a finished node to the innermost open group, or the roots.
+    fn sink(stack: &mut [Frame], roots: &mut Vec<Tree>, node: Tree) {
+        match stack.last_mut() {
+            Some(f) => f.children.push(node),
+            None => roots.push(node),
+        }
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            sink(&mut stack, &mut roots, Tree::Leaf(i));
+            continue;
+        }
+        if let Some(d) = Delim::open_of(t.text) {
+            stack.push(Frame {
+                open: i,
+                delim: d,
+                children: Vec::new(),
+            });
+        } else if let Some(d) = Delim::close_of(t.text) {
+            // Close the nearest matching opener; anything opened above
+            // it was never closed and collapses into `close: None`
+            // groups (e.g. `( [ )` parses as paren[ bracket… ]).
+            match stack.iter().rposition(|f| f.delim == d) {
+                Some(at) => {
+                    // Frames above the match were never closed; fold
+                    // them innermost-first into `close: None` groups,
+                    // each a child of the frame below it.
+                    let mut above: Vec<Frame> = stack.drain(at..).collect();
+                    let mut matched = above.remove(0);
+                    while let Some(f) = above.pop() {
+                        let orphan = Tree::Group {
+                            open: f.open,
+                            close: None,
+                            delim: f.delim,
+                            children: f.children,
+                        };
+                        match above.last_mut() {
+                            Some(parent) => parent.children.push(orphan),
+                            None => matched.children.push(orphan),
+                        }
+                    }
+                    let g = Tree::Group {
+                        open: matched.open,
+                        close: Some(i),
+                        delim: matched.delim,
+                        children: matched.children,
+                    };
+                    sink(&mut stack, &mut roots, g);
+                }
+                // Stray closer with no opener anywhere below: a leaf.
+                None => sink(&mut stack, &mut roots, Tree::Leaf(i)),
+            }
+        } else {
+            sink(&mut stack, &mut roots, Tree::Leaf(i));
+        }
+    }
+    // Unterminated openers at end of input.
+    while let Some(f) = stack.pop() {
+        let g = Tree::Group {
+            open: f.open,
+            close: None,
+            delim: f.delim,
+            children: f.children,
+        };
+        sink(&mut stack, &mut roots, g);
+    }
+    Forest { roots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn forest(src: &str) -> (Vec<crate::lexer::Tok<'_>>, Forest) {
+        let toks = tokenize(src);
+        let f = parse(&toks);
+        (toks, f)
+    }
+
+    /// Round-trip and balance checks that every test input must satisfy.
+    fn well_formed(src: &str) {
+        let toks = tokenize(src);
+        let f = parse(&toks);
+        let flat = f.flatten();
+        assert_eq!(
+            flat,
+            (0..toks.len()).collect::<Vec<_>>(),
+            "flatten must be the identity on {src:?}"
+        );
+        // Every closed group's delimiters must actually match.
+        fn check(node: &Tree, toks: &[crate::lexer::Tok<'_>]) {
+            if let Tree::Group {
+                open,
+                close,
+                delim,
+                children,
+            } = node
+            {
+                assert_eq!(Delim::open_of(toks[*open].text), Some(*delim));
+                if let Some(c) = close {
+                    assert_eq!(Delim::close_of(toks[*c].text), Some(*delim));
+                }
+                for ch in children {
+                    check(ch, toks);
+                }
+            }
+        }
+        for r in &f.roots {
+            check(r, &toks);
+        }
+    }
+
+    #[test]
+    fn balanced_nesting_groups() {
+        let (toks, f) = forest("fn f(a: u32) { g(a, [1, 2]); }");
+        well_formed("fn f(a: u32) { g(a, [1, 2]); }");
+        // Top level: fn, f, (…), {…}
+        assert_eq!(f.roots.len(), 4);
+        match &f.roots[3] {
+            Tree::Group { delim, children, close, .. } => {
+                assert_eq!(*delim, Delim::Brace);
+                assert!(close.is_some());
+                // g ( … ) ; — the call's args are one nested group.
+                assert!(children.iter().any(|c| matches!(
+                    c,
+                    Tree::Group { delim: Delim::Paren, .. }
+                )));
+            }
+            other => panic!("expected brace group, got {other:?} ({toks:?})"),
+        }
+    }
+
+    #[test]
+    fn stray_closer_is_a_leaf() {
+        let (_, f) = forest("a ) b");
+        well_formed("a ) b");
+        assert_eq!(f.roots.len(), 3);
+        assert!(f.roots.iter().all(|r| matches!(r, Tree::Leaf(_))));
+    }
+
+    #[test]
+    fn unterminated_opener_runs_to_eof() {
+        let (_, f) = forest("f( a, b");
+        well_formed("f( a, b");
+        let Some(Tree::Group { close, children, .. }) = f.roots.last() else {
+            panic!("expected trailing group");
+        };
+        assert_eq!(*close, None);
+        assert_eq!(children.len(), 3); // a , b
+    }
+
+    #[test]
+    fn mismatched_nesting_collapses_inner() {
+        // `( [ )` — the bracket never closes; the paren does.
+        let (toks, f) = forest("( [ )");
+        well_formed("( [ )");
+        assert_eq!(f.roots.len(), 1);
+        let Tree::Group { delim, close, children, .. } = &f.roots[0] else {
+            panic!("expected group");
+        };
+        assert_eq!(*delim, Delim::Paren);
+        assert_eq!(toks[close.unwrap()].text, ")");
+        assert!(matches!(
+            children[0],
+            Tree::Group { delim: Delim::Bracket, close: None, .. }
+        ));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_open_groups() {
+        well_formed("let s = \"{ [ (\"; // } ) ]\n/* { */ f();");
+        let (_, f) = forest("let s = \"{ [ (\"; /* ( */ f();");
+        // No group opened by delimiter bytes inside literals/comments:
+        // only the call parens group.
+        let groups: usize = f
+            .roots
+            .iter()
+            .filter(|r| matches!(r, Tree::Group { .. }))
+            .count();
+        assert_eq!(groups, 1);
+    }
+
+    #[test]
+    fn spans_cover_groups() {
+        let (toks, f) = forest("f(a, b) g");
+        let Tree::Group { .. } = &f.roots[1] else {
+            panic!("expected group")
+        };
+        let (s, e) = f.roots[1].span();
+        assert_eq!(toks[s].text, "(");
+        assert_eq!(toks[e].text, ")");
+    }
+
+    /// Seeded fuzz: random delimiter soup must round-trip and never
+    /// panic. Mirrors the proptest in `tests/rrlint_lexer.rs` so the
+    /// property is also exercised where proptest is unavailable.
+    #[test]
+    fn fuzz_round_trips_on_delimiter_soup() {
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        const PIECES: &[&str] = &[
+            "(", ")", "[", "]", "{", "}", "ident", "1.0", "\"s\"", ";", ",",
+            ".", "::", "let", "// c\n", "/* b */", "'a", "'x'", "r#\"raw\"#",
+            "==", "->", "#", "!",
+        ];
+        for _ in 0..500 {
+            let len = (next() % 40) as usize;
+            let mut src = String::new();
+            for _ in 0..len {
+                src.push_str(PIECES[(next() % PIECES.len() as u64) as usize]);
+                src.push(' ');
+            }
+            well_formed(&src);
+        }
+    }
+}

@@ -57,6 +57,9 @@ impl Default for Apriori {
 
 impl Apriori {
     /// Creates a miner with the given thresholds.
+    ///
+    /// # Errors
+    /// Rejects a `min_support` or `min_confidence` outside `(0, 1]`.
     pub fn new(min_support: f64, min_confidence: f64) -> Result<Self> {
         if !(0.0 < min_support && min_support <= 1.0) {
             return Err(AssocError::Invalid(format!(
@@ -84,6 +87,9 @@ impl Apriori {
     }
 
     /// Mines all frequent itemsets level by level.
+    ///
+    /// # Errors
+    /// Fails on an empty transaction set — there is no support to count.
     pub fn frequent_itemsets(&self, transactions: &[Vec<Item>]) -> Result<Vec<FrequentItemset>> {
         if transactions.is_empty() {
             return Err(AssocError::EmptyInput);
@@ -187,6 +193,9 @@ impl Apriori {
     }
 
     /// Generates rules from frequent itemsets.
+    ///
+    /// # Errors
+    /// Fails when `n_transactions` is zero (confidence is undefined).
     pub fn rules(
         &self,
         itemsets: &[FrequentItemset],
@@ -237,6 +246,10 @@ impl Apriori {
     }
 
     /// End-to-end: frequent itemsets, then rules.
+    ///
+    /// # Errors
+    /// Fails on an empty transaction set (see
+    /// [`Apriori::frequent_itemsets`] and [`Apriori::rules`]).
     pub fn mine(&self, transactions: &[Vec<Item>]) -> Result<Vec<AssociationRule>> {
         let itemsets = self.frequent_itemsets(transactions)?;
         self.rules(&itemsets, transactions.len())

@@ -34,6 +34,9 @@ impl Contingency {
     }
 
     /// Confidence: `P(C | A)`.
+    ///
+    /// # Errors
+    /// Fails when the antecedent never occurs (`P(C | A)` is undefined).
     pub fn confidence(&self) -> Result<f64> {
         let a = self.both + self.a_only;
         if a == 0 {
@@ -43,6 +46,9 @@ impl Contingency {
     }
 
     /// Lift: `P(A and C) / (P(A) P(C))`; 1.0 means independence.
+    ///
+    /// # Errors
+    /// Fails when either marginal is zero (lift is undefined).
     pub fn lift(&self) -> Result<f64> {
         let n = self.n() as f64;
         let a = (self.both + self.a_only) as f64;
@@ -55,6 +61,9 @@ impl Contingency {
 
     /// Pearson chi-square statistic of the 2x2 table (1 degree of
     /// freedom; > 3.84 is significant at the 5% level).
+    ///
+    /// # Errors
+    /// Fails on an empty contingency table.
     pub fn chi_square(&self) -> Result<f64> {
         let n = self.n() as f64;
         if exact_zero(n) {

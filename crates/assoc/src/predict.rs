@@ -33,6 +33,10 @@ pub enum PredictOutcome {
 
 /// Attempts to predict attribute `target` of a row with known values
 /// (`None` marks unknown attributes, including `target` itself).
+///
+/// # Errors
+/// Fails when `target` is out of range for `row`, or when `row[target]`
+/// is already known (not a hole).
 pub fn predict_hole(
     model: &QuantitativeModel,
     row: &[Option<f64>],

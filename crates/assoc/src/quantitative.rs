@@ -117,6 +117,10 @@ pub struct QuantitativeModel {
 
 impl QuantitativeMiner {
     /// Mines quantitative rules from an amounts matrix.
+    ///
+    /// # Errors
+    /// Fails when fewer than 2 intervals are configured, the matrix is
+    /// empty, or the thresholds are outside `(0, 1]`.
     pub fn mine(&self, x: &Matrix) -> Result<QuantitativeModel> {
         if self.intervals < 2 {
             return Err(AssocError::Invalid(format!(

@@ -17,6 +17,9 @@ pub type Item = usize;
 
 /// Binarizes an amounts matrix into transactions: item `j` is present in
 /// transaction `i` when `x[i][j] > threshold`.
+///
+/// # Errors
+/// Fails on an empty matrix (no rows or no columns).
 pub fn binarize(x: &Matrix, threshold: f64) -> Result<Vec<Vec<Item>>> {
     if x.rows() == 0 || x.cols() == 0 {
         return Err(AssocError::EmptyInput);
@@ -45,6 +48,9 @@ pub struct Partitioning {
 
 impl Partitioning {
     /// Builds equi-depth boundaries with `intervals` buckets per attribute.
+    ///
+    /// # Errors
+    /// Fails on an empty matrix or fewer than 2 intervals.
     pub fn equi_depth(x: &Matrix, intervals: usize) -> Result<Self> {
         if x.rows() == 0 || x.cols() == 0 {
             return Err(AssocError::EmptyInput);
@@ -111,6 +117,9 @@ impl Partitioning {
 
     /// Encodes every row of a matrix into interval items (one item per
     /// attribute).
+    ///
+    /// # Errors
+    /// Fails when the matrix width does not match the partitioning.
     pub fn encode(&self, x: &Matrix) -> Result<Vec<Vec<Item>>> {
         if x.cols() != self.boundaries.len() {
             return Err(AssocError::Invalid(format!(

@@ -12,11 +12,11 @@ use ratio_rules::cutoff::Cutoff;
 fn main() {
     println!("== Ablation: energy-cutoff sweep (GE_1, 90/10 split) ==");
     for ds in PaperDataset::ALL {
-        let data = ds.load(EXPERIMENT_SEED);
+        let data = ds.load(EXPERIMENT_SEED).expect("dataset");
         let mut rows = Vec::new();
         for f in [0.50, 0.70, 0.85, 0.95, 0.99] {
-            let c = train_contenders(&data, Cutoff::EnergyFraction(f), EXPERIMENT_SEED);
-            let (rr, ca) = ge1_pair(&c);
+            let c = train_contenders(&data, Cutoff::EnergyFraction(f), EXPERIMENT_SEED).expect("contenders");
+            let (rr, ca) = ge1_pair(&c).expect("GE1");
             rows.push(vec![
                 format!("energy {:.0}%", f * 100.0),
                 c.rr.rules().k().to_string(),
@@ -25,8 +25,8 @@ fn main() {
             ]);
         }
         for k in [1usize, 2, 3] {
-            let c = train_contenders(&data, Cutoff::FixedK(k), EXPERIMENT_SEED);
-            let (rr, ca) = ge1_pair(&c);
+            let c = train_contenders(&data, Cutoff::FixedK(k), EXPERIMENT_SEED).expect("contenders");
+            let (rr, ca) = ge1_pair(&c).expect("GE1");
             rows.push(vec![
                 format!("fixed k={k}"),
                 c.rr.rules().k().to_string(),

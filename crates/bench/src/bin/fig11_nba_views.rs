@@ -11,7 +11,7 @@ use ratio_rules::miner::RatioRuleMiner;
 use ratio_rules::visualize::project_2d;
 
 fn main() {
-    let data = PaperDataset::Nba.load(EXPERIMENT_SEED);
+    let data = PaperDataset::Nba.load(EXPERIMENT_SEED).expect("dataset");
     let rules = RatioRuleMiner::new(Cutoff::FixedK(3))
         .fit_data(&data)
         .expect("mining");

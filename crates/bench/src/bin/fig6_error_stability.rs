@@ -11,9 +11,9 @@ use ratio_rules::cutoff::Cutoff;
 fn main() {
     println!("== Figure 6: GE_h vs h (1..5), RR vs col-avgs (90/10 split) ==");
     for ds in PaperDataset::ALL {
-        let data = ds.load(EXPERIMENT_SEED);
-        let c = train_contenders(&data, Cutoff::default(), EXPERIMENT_SEED);
-        let curves = ge_curves(&c, 5);
+        let data = ds.load(EXPERIMENT_SEED).expect("dataset");
+        let c = train_contenders(&data, Cutoff::default(), EXPERIMENT_SEED).expect("contenders");
+        let curves = ge_curves(&c, 5).expect("curves");
         let rows: Vec<Vec<String>> = curves
             .iter()
             .map(|&(h, rr, ca)| {

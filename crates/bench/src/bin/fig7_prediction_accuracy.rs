@@ -12,9 +12,9 @@ fn main() {
     println!("== Figure 7: GE_1 of RR relative to col-avgs (90/10 split) ==\n");
     let mut rows = Vec::new();
     for ds in PaperDataset::ALL {
-        let data = ds.load(EXPERIMENT_SEED);
-        let c = train_contenders(&data, Cutoff::default(), EXPERIMENT_SEED);
-        let (rr, ca) = ge1_pair(&c);
+        let data = ds.load(EXPERIMENT_SEED).expect("dataset");
+        let c = train_contenders(&data, Cutoff::default(), EXPERIMENT_SEED).expect("contenders");
+        let (rr, ca) = ge1_pair(&c).expect("GE1");
         let percent = 100.0 * rr / ca;
         rows.push(vec![
             ds.name().to_string(),

@@ -12,7 +12,7 @@ use ratio_rules::visualize::project_2d;
 
 fn main() {
     for ds in [PaperDataset::Baseball, PaperDataset::Abalone] {
-        let data = ds.load(EXPERIMENT_SEED);
+        let data = ds.load(EXPERIMENT_SEED).expect("dataset");
         let rules = RatioRuleMiner::new(Cutoff::FixedK(2))
             .fit_data(&data)
             .expect("mining");

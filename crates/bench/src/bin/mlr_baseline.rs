@@ -19,7 +19,7 @@ use ratio_rules::regression::{LinearRegressionPredictor, MissingPolicy};
 fn main() {
     println!("== MLR vs Ratio Rules: GE_h for h = 1..5 (90/10 split) ==");
     for ds in PaperDataset::ALL {
-        let data = ds.load(EXPERIMENT_SEED);
+        let data = ds.load(EXPERIMENT_SEED).expect("dataset");
         let split = train_test_split(&data, 0.9, EXPERIMENT_SEED).expect("split");
         let rules = RatioRuleMiner::new(Cutoff::default())
             .fit_data(&split.train)

@@ -15,7 +15,7 @@ use ratio_rules::miner::RatioRuleMiner;
 fn main() {
     println!("== Model cards: per-attribute guessing error, RR vs col-avgs ==");
     for ds in PaperDataset::ALL {
-        let data = ds.load(EXPERIMENT_SEED);
+        let data = ds.load(EXPERIMENT_SEED).expect("dataset");
         let split = train_test_split(&data, 0.9, EXPERIMENT_SEED).expect("split");
         let rules = RatioRuleMiner::new(Cutoff::default())
             .fit_data(&split.train)

@@ -13,7 +13,7 @@ use ratio_rules::interpret;
 use ratio_rules::miner::RatioRuleMiner;
 
 fn main() {
-    let data = PaperDataset::Nba.load(EXPERIMENT_SEED);
+    let data = PaperDataset::Nba.load(EXPERIMENT_SEED).expect("dataset");
     let rules = RatioRuleMiner::new(Cutoff::FixedK(3))
         .fit_data(&data)
         .expect("mining");

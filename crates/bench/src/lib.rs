@@ -17,6 +17,7 @@ use ratio_rules::cutoff::Cutoff;
 use ratio_rules::guessing::GuessingErrorEvaluator;
 use ratio_rules::miner::RatioRuleMiner;
 use ratio_rules::predictor::{ColAvgs, RuleSetPredictor};
+use ratio_rules::RatioRuleError;
 
 /// Seed used by all experiments unless a binary overrides it.
 pub const EXPERIMENT_SEED: u64 = 1998; // the year of the paper
@@ -50,20 +51,17 @@ impl PaperDataset {
     }
 
     /// Generates the synthetic stand-in (see DESIGN.md, "Substitutions").
-    pub fn load(&self, seed: u64) -> DataMatrix {
-        match self {
-            PaperDataset::Nba => {
-                dataset::synth::sports::nba_like(seed)
-                    .expect("nba generator")
-                    .0
-            }
-            PaperDataset::Baseball => {
-                dataset::synth::sports::baseball_like(seed).expect("baseball generator")
-            }
-            PaperDataset::Abalone => {
-                dataset::synth::abalone::abalone_like(seed).expect("abalone generator")
-            }
-        }
+    ///
+    /// # Errors
+    /// Propagates generator failures; these indicate a broken synthesizer
+    /// configuration, not bad user input, so binaries typically surface
+    /// them and exit non-zero rather than recovering.
+    pub fn load(&self, seed: u64) -> Result<DataMatrix, RatioRuleError> {
+        Ok(match self {
+            PaperDataset::Nba => dataset::synth::sports::nba_like(seed)?.0,
+            PaperDataset::Baseball => dataset::synth::sports::baseball_like(seed)?,
+            PaperDataset::Abalone => dataset::synth::abalone::abalone_like(seed)?,
+        })
     }
 }
 
@@ -80,42 +78,59 @@ pub struct Contenders {
 
 /// Runs the paper's standard protocol: 90/10 split, mine RRs on train
 /// with the given cutoff, fit col-avgs on train.
-pub fn train_contenders(data: &DataMatrix, cutoff: Cutoff, seed: u64) -> Contenders {
-    let split = train_test_split(data, 0.9, seed).expect("split");
-    let rules = RatioRuleMiner::new(cutoff)
-        .fit_data(&split.train)
-        .expect("mining failed");
+///
+/// # Errors
+/// Fails when the split is degenerate (too few rows), mining fails on
+/// the training portion, or the column-averages fit does.
+pub fn train_contenders(
+    data: &DataMatrix,
+    cutoff: Cutoff,
+    seed: u64,
+) -> Result<Contenders, RatioRuleError> {
+    let split = train_test_split(data, 0.9, seed)?;
+    let rules = RatioRuleMiner::new(cutoff).fit_data(&split.train)?;
     let rr = RuleSetPredictor::new(rules);
-    let col_avgs = ColAvgs::fit(split.train.matrix()).expect("col-avgs");
-    Contenders {
+    let col_avgs = ColAvgs::fit(split.train.matrix())?;
+    Ok(Contenders {
         split,
         rr,
         col_avgs,
-    }
+    })
 }
 
 /// `GE_1` of both contenders on the held-out test portion.
 /// Returns `(ge1_rr, ge1_colavgs)`.
-pub fn ge1_pair(c: &Contenders) -> (f64, f64) {
+///
+/// # Errors
+/// Propagates evaluator failures (e.g. a test matrix whose width does
+/// not match the trained predictors).
+pub fn ge1_pair(c: &Contenders) -> Result<(f64, f64), RatioRuleError> {
     let ev = GuessingErrorEvaluator::default();
     let test = c.split.test.matrix();
-    let rr = ev.ge1(&c.rr, test).expect("GE1 RR");
-    let ca = ev.ge1(&c.col_avgs, test).expect("GE1 col-avgs");
-    (rr, ca)
+    let rr = ev.ge1(&c.rr, test)?;
+    let ca = ev.ge1(&c.col_avgs, test)?;
+    Ok((rr, ca))
 }
 
 /// `GE_h` curves for both contenders, `h = 1..=h_max`.
 /// Returns rows of `(h, ge_rr, ge_colavgs)`.
-pub fn ge_curves(c: &Contenders, h_max: usize) -> Vec<(usize, f64, f64)> {
+///
+/// # Errors
+/// Propagates evaluator failures (e.g. `h` exceeding the attribute
+/// count, or a mismatched test matrix).
+pub fn ge_curves(
+    c: &Contenders,
+    h_max: usize,
+) -> Result<Vec<(usize, f64, f64)>, RatioRuleError> {
     let ev = GuessingErrorEvaluator::default();
     let test = c.split.test.matrix();
-    (1..=h_max)
-        .map(|h| {
-            let rr = ev.ge_h(&c.rr, test, h).expect("GE_h RR");
-            let ca = ev.ge_h(&c.col_avgs, test, h).expect("GE_h col-avgs");
-            (h, rr, ca)
-        })
-        .collect()
+    let mut rows = Vec::with_capacity(h_max);
+    for h in 1..=h_max {
+        let rr = ev.ge_h(&c.rr, test, h)?;
+        let ca = ev.ge_h(&c.col_avgs, test, h)?;
+        rows.push((h, rr, ca));
+    }
+    Ok(rows)
 }
 
 /// Formats a simple aligned text table.
@@ -154,19 +169,19 @@ mod tests {
 
     #[test]
     fn dataset_registry_shapes() {
-        let nba = PaperDataset::Nba.load(1);
+        let nba = PaperDataset::Nba.load(1).unwrap();
         assert_eq!((nba.n_rows(), nba.n_cols()), (459, 12));
-        let bb = PaperDataset::Baseball.load(1);
+        let bb = PaperDataset::Baseball.load(1).unwrap();
         assert_eq!((bb.n_rows(), bb.n_cols()), (1574, 17));
-        let ab = PaperDataset::Abalone.load(1);
+        let ab = PaperDataset::Abalone.load(1).unwrap();
         assert_eq!((ab.n_rows(), ab.n_cols()), (4177, 7));
         assert_eq!(PaperDataset::Nba.name(), "nba");
     }
 
     #[test]
     fn contenders_protocol_is_90_10() {
-        let data = PaperDataset::Nba.load(EXPERIMENT_SEED);
-        let c = train_contenders(&data, Cutoff::default(), EXPERIMENT_SEED);
+        let data = PaperDataset::Nba.load(EXPERIMENT_SEED).unwrap();
+        let c = train_contenders(&data, Cutoff::default(), EXPERIMENT_SEED).unwrap();
         let n = data.n_rows();
         assert_eq!(c.split.train.n_rows(), n * 9 / 10);
         assert_eq!(c.split.test.n_rows(), n - n * 9 / 10);
@@ -177,9 +192,9 @@ mod tests {
     fn rr_beats_baseline_on_abalone() {
         // The headline claim, kept as a regression test: the near-rank-1
         // dataset gives RR a large win.
-        let data = PaperDataset::Abalone.load(EXPERIMENT_SEED);
-        let c = train_contenders(&data, Cutoff::default(), EXPERIMENT_SEED);
-        let (rr, ca) = ge1_pair(&c);
+        let data = PaperDataset::Abalone.load(EXPERIMENT_SEED).unwrap();
+        let c = train_contenders(&data, Cutoff::default(), EXPERIMENT_SEED).unwrap();
+        let (rr, ca) = ge1_pair(&c).unwrap();
         assert!(rr < ca * 0.5, "RR {rr} vs col-avgs {ca}");
     }
 

@@ -148,6 +148,9 @@ impl BenchReport {
     /// Writes `BENCH_<bench>.json` to the repository root, resolved as
     /// `<manifest_dir>/../..` (pass `env!("CARGO_MANIFEST_DIR")`).
     /// Returns the path written.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be created or written.
     pub fn write_to_repo_root(&self, manifest_dir: &str) -> std::io::Result<PathBuf> {
         let path = Path::new(manifest_dir)
             .join("..")

@@ -367,6 +367,7 @@ impl CacheStats {
             misses,
             ..CacheStats::default()
         };
+        // rrlint-allow: RR012 order-independent tallies over a generic iterator (shares the cache field's name)
         for solver in solvers {
             stats.entries += 1;
             match solver.case() {
@@ -452,6 +453,7 @@ impl<'r> SolverCache<'r> {
         CacheStats::from_parts(
             self.hits.get(),
             self.misses.get(),
+            // rrlint-allow: RR012 per-case counts are order-independent sums, never numeric results
             map.values().map(Arc::as_ref),
         )
     }

@@ -1752,22 +1752,61 @@ mod tests {
 
     #[test]
     fn scan_publishes_resilience_metrics() {
+        // One non-transient I/O error mid-stream, so the source_error
+        // quarantine reason fires alongside corrupt cells and ragged
+        // rows. The error consumes a row position but no inner row.
+        struct OneIoError<S> {
+            inner: S,
+            fired: bool,
+        }
+        impl<S: RowSource> RowSource for OneIoError<S> {
+            fn n_cols(&self) -> usize {
+                self.inner.n_cols()
+            }
+            fn next_row(&mut self, buf: &mut [f64]) -> dataset::Result<bool> {
+                if !self.fired {
+                    self.fired = true;
+                    return Err(dataset::DatasetError::Io(std::io::Error::other(
+                        "disk hiccup",
+                    )));
+                }
+                self.inner.next_row(buf)
+            }
+            fn rewind(&mut self) -> dataset::Result<()> {
+                self.inner.rewind()
+            }
+        }
         obs::set_enabled(true);
         let x = data(100, 3);
         let plan = FaultPlan {
             seed: 8,
             transient_rate: 0.05,
             corrupt_rate: 0.1,
-            arity_rate: 0.0,
+            arity_rate: 0.1,
             truncate_after: None,
         };
-        let mut src = FaultyRowSource::new(MatrixSource::new(&x), plan);
+        let mut src = OneIoError {
+            inner: FaultyRowSource::new(MatrixSource::new(&x), plan),
+            fired: false,
+        };
         let mut scanner = Scanner::new(3, ScanPolicy::quarantine_unlimited());
         scanner.scan(&mut src).unwrap();
         let snap = obs::global().snapshot();
-        assert!(snap.counter("scan_rows_quarantined_total").unwrap() >= 1);
+        assert!(snap.counter("scan_rows_quarantined_total").unwrap() >= 3);
+        // Every per-reason counter the registry declares is actually
+        // produced (rrlint's dead-name check keys off these constants).
         assert!(
-            snap.counter("scan_rows_quarantined_corrupt_cell_total")
+            snap.counter(obs::names::SCAN_ROWS_QUARANTINED_CORRUPT_CELL_TOTAL)
+                .unwrap()
+                >= 1
+        );
+        assert!(
+            snap.counter(obs::names::SCAN_ROWS_QUARANTINED_ARITY_MISMATCH_TOTAL)
+                .unwrap()
+                >= 1
+        );
+        assert!(
+            snap.counter(obs::names::SCAN_ROWS_QUARANTINED_SOURCE_ERROR_TOTAL)
                 .unwrap()
                 >= 1
         );

@@ -7,32 +7,92 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== rrlint: workspace static analysis (gate) =="
-cargo run --release -q -p analyzer --bin rrlint -- check
+echo "== rrlint: workspace static analysis (gate, stale entries deny) =="
+cargo run --release -q -p analyzer --bin rrlint -- check --deny-stale
 
-echo "== rrlint: injected violation must flip the gate =="
+echo "== rrlint: injected violations must flip the gate =="
 lint_probe="$(mktemp -d /tmp/rr_lint_probe.XXXXXX)"
 trap 'rm -rf "$lint_probe"' EXIT
 cp Cargo.toml lint-baseline.json "$lint_probe/"
 cp -r crates "$lint_probe/crates"
-cat >> "$lint_probe/crates/core/src/lib.rs" <<'EOF'
 
-/// rrlint e2e probe: a deliberate violation injected by verify.sh.
-pub fn rrlint_probe(x: f64) -> bool {
+# inject FILE: appends stdin to the scratch copy, saving the pristine
+# version for probe_check to restore.
+inject() {
+    cp "$lint_probe/$1" "$lint_probe/pristine.rs.bak"
+    cat >> "$lint_probe/$1"
+}
+# probe_check RULE FILE: the mutated scratch tree must fail the gate
+# (exit 1) and report RULE; restores FILE afterwards.
+probe_check() {
+    local rule="$1" target="$2" out code
+    set +e
+    out="$(cargo run --release -q -p analyzer --bin rrlint -- check \
+        --root "$lint_probe" 2>&1)"
+    code=$?
+    set -e
+    mv "$lint_probe/pristine.rs.bak" "$lint_probe/$target"
+    if [ "$code" -ne 1 ]; then
+        echo "rrlint probe: expected exit 1 on injected $rule, got $code" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    if ! grep -qF "$rule" <<<"$out"; then
+        echo "rrlint probe: injected $rule violation not reported" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    echo "  injected $rule flips check to exit 1: ok"
+}
+
+inject crates/core/src/lib.rs <<'EOF'
+
+/// rrlint e2e probe: a deliberate float-equality violation.
+pub fn rrlint_probe_rr002(x: f64) -> bool {
     x == 0.25
 }
 EOF
-set +e
-cargo run --release -q -p analyzer --bin rrlint -- check --root "$lint_probe" \
-    > /dev/null 2>&1
-probe_code=$?
-set -e
-if [ "$probe_code" -ne 1 ]; then
-    echo "rrlint probe: expected exit 1 on injected RR002, got $probe_code" >&2
-    exit 1
-fi
+probe_check RR002 crates/core/src/lib.rs
+
+inject crates/serve/src/lib.rs <<'EOF'
+
+/// rrlint e2e probe: a lock guard held across a blocking call.
+pub fn rrlint_probe_rr010(m: &std::sync::Mutex<u64>) -> u64 {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    *g
+}
+EOF
+probe_check RR010 crates/serve/src/lib.rs
+
+inject crates/core/src/covariance.rs <<'EOF'
+
+/// rrlint e2e probe: hash-order iteration on the numeric result path.
+pub fn rrlint_probe_rr012() -> f64 {
+    let m: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    let mut s = 0.0;
+    for v in m.values() {
+        s += *v;
+    }
+    s
+}
+EOF
+probe_check RR012 crates/core/src/covariance.rs
+
+inject crates/core/src/lib.rs <<'EOF'
+
+fn rrlint_probe_rr013_leaf() {
+    panic!("rrlint probe");
+}
+
+/// rrlint e2e probe: a panic reachable from a pub entry point.
+pub fn rrlint_probe_rr013() {
+    rrlint_probe_rr013_leaf();
+}
+EOF
+probe_check RR013 crates/core/src/lib.rs
+
 rm -rf "$lint_probe"
-echo "  injected RR002 flips check to exit 1: ok"
 
 echo "== tier 1: build + tests =="
 cargo build --release

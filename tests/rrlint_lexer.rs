@@ -1,9 +1,10 @@
-//! Property tests for the rrlint lexer: tokenization must be *total*
-//! (never panic, never lose input) on arbitrary byte soup, and must
-//! round-trip the adversarial corners of Rust's grammar that the
-//! hand-rolled scanner handles specially.
+//! Property tests for the rrlint lexer and token-tree parser: both must
+//! be *total* (never panic, never lose input) on arbitrary byte soup,
+//! and must round-trip the adversarial corners of Rust's grammar that
+//! the hand-rolled scanner handles specially.
 
-use analyzer::lexer::{tokenize, TokKind};
+use analyzer::lexer::{tokenize, Tok, TokKind};
+use analyzer::tree::{parse, Delim, Tree};
 use proptest::prelude::*;
 
 /// Every token's span must lie inside the source, and offsets must be
@@ -51,6 +52,119 @@ proptest! {
         prop_assert!(strs[0].text.contains(&body));
         // Nothing inside the literal shows up as an identifier.
         prop_assert!(!toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+    }
+}
+
+/// The token-tree parser's totality contract: flattening the forest is
+/// the identity on token indices, and every closed group's delimiters
+/// actually match.
+fn tree_well_formed(src: &str) {
+    let toks = tokenize(src);
+    let forest = parse(&toks);
+    assert_eq!(
+        forest.flatten(),
+        (0..toks.len()).collect::<Vec<_>>(),
+        "flatten must be the identity on {src:?}"
+    );
+    fn check(node: &Tree, toks: &[Tok<'_>]) {
+        if let Tree::Group {
+            open,
+            close,
+            delim,
+            children,
+        } = node
+        {
+            assert_eq!(Delim::open_of(toks[*open].text), Some(*delim));
+            if let Some(c) = close {
+                assert_eq!(Delim::close_of(toks[*c].text), Some(*delim));
+            }
+            for ch in children {
+                check(ch, toks);
+            }
+        }
+    }
+    for r in &forest.roots {
+        check(r, &toks);
+    }
+}
+
+/// Builds a syntactically balanced source from a sequence of ops:
+/// openers push a pending closer, op 3 closes the innermost group, the
+/// rest emit leaf filler; leftover openers are closed at the end.
+fn balanced_from_ops(ops: &[u8]) -> String {
+    let mut src = String::new();
+    let mut pending: Vec<&str> = Vec::new();
+    for op in ops {
+        match op {
+            0 => {
+                src.push_str("( ");
+                pending.push(") ");
+            }
+            1 => {
+                src.push_str("[ ");
+                pending.push("] ");
+            }
+            2 => {
+                src.push_str("{ ");
+                pending.push("} ");
+            }
+            3 => {
+                if let Some(c) = pending.pop() {
+                    src.push_str(c);
+                }
+            }
+            4 => src.push_str("x "),
+            5 => src.push_str("1.0 "),
+            6 => src.push_str("; "),
+            _ => src.push_str("\"s\" "),
+        }
+    }
+    while let Some(c) = pending.pop() {
+        src.push_str(c);
+    }
+    src
+}
+
+proptest! {
+    /// Parsing is total and lossless on arbitrary strings — including
+    /// wildly unbalanced delimiter garbage.
+    #[test]
+    fn tree_round_trips_on_arbitrary_strings(src in ".{0,200}") {
+        tree_well_formed(&src);
+    }
+
+    /// Concentrated delimiter soup: mismatches, stray closers, and
+    /// unterminated openers must all degrade, never panic or drop.
+    #[test]
+    fn tree_round_trips_on_delimiter_soup(
+        src in r#"[()\[\]{} a1;,.'"/*]{0,120}"#
+    ) {
+        tree_well_formed(&src);
+    }
+
+    /// Balanced input parses with every group closed: `close` is `Some`
+    /// all the way down, and no stray-closer leaves remain.
+    #[test]
+    fn balanced_input_closes_every_group(ops in prop::collection::vec(0u8..8, 0..80)) {
+        let src = balanced_from_ops(&ops);
+        tree_well_formed(&src);
+        let toks = tokenize(&src);
+        let forest = parse(&toks);
+        fn all_closed(node: &Tree) -> bool {
+            match node {
+                Tree::Leaf(_) => true,
+                Tree::Group { close, children, .. } => {
+                    close.is_some() && children.iter().all(all_closed)
+                }
+            }
+        }
+        prop_assert!(forest.roots.iter().all(all_closed), "unclosed group in {src:?}");
+        // No top-level leaf may be a closer (they'd be strays).
+        for r in &forest.roots {
+            if let Tree::Leaf(i) = r {
+                prop_assert!(Delim::close_of(toks[*i].text).is_none());
+            }
+        }
     }
 }
 
