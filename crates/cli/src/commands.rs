@@ -38,8 +38,9 @@ const COMMAND_SWITCHES: &[(&str, &[&str])] = &[
     ("whatif", &[]),
     ("card", &["no-header"]),
     ("profile", &["no-header", "flight"]),
-    ("serve", &[]),
+    ("serve", &["shed-degrade"]),
     ("serve-bench", &["quick"]),
+    ("publish", &["no-activate", "shadow"]),
     ("mine-shard", &["no-header"]),
     ("mine-distributed", &["degrade", "flight"]),
 ];
@@ -898,11 +899,18 @@ profile [--input <csv>] [--rows 400] [--holes H] [--threads T] [--k N | --energy
 }
 
 /// `ratio-rules serve --model model.json [--port N] [--threads N]
-/// [--max-batch N] [--batch-window-us N] [--max-queue N] [--deadline-ms N]`
+/// [--max-batch N] [--batch-window-us N] [--max-queue N] [--deadline-ms N]
+/// [--max-conn-requests N] [--idle-timeout-ms N] [--shed-degrade]`
 ///
-/// Blocks until the process is killed. Degraded models (the resilience
-/// ladder's `{"col_avgs": ...}` floor) still serve, with every response
-/// carrying a `DEGRADED: true` header and `/whatif` answering 503.
+/// Blocks until the process is killed. Connections are persistent
+/// (keep-alive + pipelining) until `--max-conn-requests` requests have
+/// been served on one socket or `--idle-timeout-ms` passes between
+/// them; `--shed-degrade` answers queue-full pressure from the col-avgs
+/// floor (with the `DEGRADED` header) instead of `429`. Degraded models
+/// (the resilience ladder's `{"col_avgs": ...}` floor) still serve, with
+/// every response carrying a `DEGRADED: true` header and `/whatif`
+/// answering 503. New models can be hot-swapped in over `POST /models`
+/// (see the `publish` subcommand) without dropping connections.
 ///
 /// # Errors
 /// Fails on unknown flags, an unreadable or malformed model file, bad
@@ -912,7 +920,9 @@ pub fn serve_cmd(opts: &Options) -> Result<String> {
         return Ok("\
 serve --model <model.json> [--port N] [--threads N] [--max-batch N]
       [--batch-window-us N] [--max-queue N] [--deadline-ms N]
+      [--max-conn-requests N] [--idle-timeout-ms N] [--shed-degrade]
       endpoints: POST /predict, POST /whatif, GET /rules, GET /healthz, GET /metrics,
+                 POST /models, GET /models,
                  GET /debug/trace[?id=<hex>], GET /debug/flightrecorder\n"
             .into());
     }
@@ -926,6 +936,9 @@ serve --model <model.json> [--port N] [--threads N] [--max-batch N]
             "batch-window-us",
             "max-queue",
             "deadline-ms",
+            "max-conn-requests",
+            "idle-timeout-ms",
+            "shed-degrade",
             "help",
         ],
     )?;
@@ -946,6 +959,9 @@ serve --model <model.json> [--port N] [--threads N] [--max-batch N]
             max_queue: opts.get_parsed("max-queue", defaults.max_queue)?,
             deadline: std::time::Duration::from_millis(opts.get_parsed("deadline-ms", 2000u64)?),
         },
+        max_conn_requests: opts.get_parsed("max-conn-requests", 1000usize)?,
+        idle_timeout: std::time::Duration::from_millis(opts.get_parsed("idle-timeout-ms", 5000u64)?),
+        shed_degrade: opts.switch("shed-degrade"),
         ..serve::ServerConfig::default()
     };
     // The /metrics endpoint scrapes the global registry; collection must
@@ -970,43 +986,72 @@ serve --model <model.json> [--port N] [--threads N] [--max-batch N]
     }
 }
 
-/// Renders a [`serve::LoadReport`] in the `BENCH_*.json` trajectory
-/// shape (`bench`/`results`/`derived`/`metrics`), so `BENCH_serve.json`
-/// sits next to `BENCH_covariance.json` and is checkable with the same
-/// `jq` one-liners.
-fn serve_bench_json(report: &serve::LoadReport) -> String {
+/// Renders the two [`serve::LoadReport`]s (keep-alive and cold phases
+/// of the same workload) in the `BENCH_*.json` trajectory shape
+/// (`bench`/`results`/`derived`/`metrics`), so `BENCH_serve.json` sits
+/// next to `BENCH_covariance.json` and is checkable with the same `jq`
+/// one-liners. Each phase keeps its own quantile set under a
+/// `keepalive_`/`cold_` prefix, plus the headline speedup ratio.
+fn serve_bench_json(keepalive: &serve::LoadReport, cold: &serve::LoadReport) -> String {
     use obs::json::JsonValue;
-    let result = JsonValue::Obj(vec![
-        ("name".into(), JsonValue::Str("predict_request".into())),
-        (
-            "median_ns_per_op".into(),
-            JsonValue::Num(report.p50_us * 1e3),
-        ),
-        ("rows_per_s".into(), JsonValue::Num(report.req_per_s)),
-        ("samples".into(), JsonValue::Num(report.ok as f64)),
-    ]);
-    let derived: Vec<JsonValue> = [
-        ("req_per_s", report.req_per_s),
-        ("p50_us", report.p50_us),
-        ("p90_us", report.p90_us),
-        ("p99_us", report.p99_us),
-        ("p999_us", report.p999_us),
-        ("max_us", report.max_us),
-        ("rows_checked", report.rows_checked as f64),
-        ("mismatches", report.mismatches as f64),
-        ("errors", report.errors as f64),
-    ]
-    .iter()
-    .map(|(name, value)| {
+    let result_for = |name: &str, report: &serve::LoadReport| {
         JsonValue::Obj(vec![
-            ("name".into(), JsonValue::Str((*name).into())),
-            ("value".into(), JsonValue::Num(*value)),
+            ("name".into(), JsonValue::Str(name.into())),
+            (
+                "median_ns_per_op".into(),
+                JsonValue::Num(report.p50_us * 1e3),
+            ),
+            ("rows_per_s".into(), JsonValue::Num(report.req_per_s)),
+            ("samples".into(), JsonValue::Num(report.ok as f64)),
         ])
-    })
-    .collect();
+    };
+    let mut pairs: Vec<(String, f64)> = Vec::new();
+    for (prefix, report) in [("keepalive", keepalive), ("cold", cold)] {
+        pairs.extend([
+            (format!("{prefix}_req_per_s"), report.req_per_s),
+            (format!("{prefix}_p50_us"), report.p50_us),
+            (format!("{prefix}_p90_us"), report.p90_us),
+            (format!("{prefix}_p99_us"), report.p99_us),
+            (format!("{prefix}_p999_us"), report.p999_us),
+            (format!("{prefix}_max_us"), report.max_us),
+            (format!("{prefix}_connections"), report.connections as f64),
+            (format!("{prefix}_errors"), report.errors as f64),
+        ]);
+    }
+    let speedup = if cold.req_per_s > 0.0 {
+        keepalive.req_per_s / cold.req_per_s
+    } else {
+        0.0
+    };
+    pairs.extend([
+        ("keepalive_over_cold_speedup".to_string(), speedup),
+        (
+            "rows_checked".to_string(),
+            (keepalive.rows_checked + cold.rows_checked) as f64,
+        ),
+        (
+            "mismatches".to_string(),
+            (keepalive.mismatches + cold.mismatches) as f64,
+        ),
+    ]);
+    let derived: Vec<JsonValue> = pairs
+        .into_iter()
+        .map(|(name, value)| {
+            JsonValue::Obj(vec![
+                ("name".into(), JsonValue::Str(name)),
+                ("value".into(), JsonValue::Num(value)),
+            ])
+        })
+        .collect();
     JsonValue::Obj(vec![
         ("bench".into(), JsonValue::Str("serve".into())),
-        ("results".into(), JsonValue::Arr(vec![result])),
+        (
+            "results".into(),
+            JsonValue::Arr(vec![
+                result_for("predict_keepalive", keepalive),
+                result_for("predict_cold", cold),
+            ]),
+        ),
         ("derived".into(), JsonValue::Arr(derived)),
         ("metrics".into(), JsonValue::Arr(vec![])),
     ])
@@ -1019,11 +1064,14 @@ fn serve_bench_json(report: &serve::LoadReport) -> String {
 ///
 /// Self-contained load test: mines a synthetic model, starts an
 /// in-process server on an ephemeral port with tracing and the flight
-/// recorder on, drives it with the [`serve::loadgen`] client, and checks
-/// every served row bit for bit against single-shot fills. The full run
-/// writes `BENCH_serve.json` (trajectory shape); emission is gated on
-/// that divergence check — a run with mismatches errors instead of
-/// persisting. `--quick` is the smoke variant: small load, nothing
+/// recorder on, drives the same workload twice with the
+/// [`serve::loadgen`] client — once over persistent keep-alive
+/// connections, once with a fresh TCP connection per request — and
+/// checks every served row bit for bit against single-shot fills. The
+/// full run writes `BENCH_serve.json` (trajectory shape) with both
+/// phases' quantiles and the keep-alive-over-cold speedup; emission is
+/// gated on the divergence check — a run with mismatches errors instead
+/// of persisting. `--quick` is the smoke variant: small load, nothing
 /// written.
 ///
 /// # Errors
@@ -1034,7 +1082,7 @@ pub fn serve_bench(opts: &Options) -> Result<String> {
         return Ok("\
 serve-bench [--rows 400] [--k N | --energy F] [--requests 200] [--concurrency 4]
             [--threads 4] [--max-batch N] [--batch-window-us N]
-            [--bench-out FILE] [--trace-out FILE] [--quick]
+            [--pipeline-depth 8] [--bench-out FILE] [--trace-out FILE] [--quick]
             load-tests an in-process server; full runs write BENCH_serve.json\n"
             .into());
     }
@@ -1049,6 +1097,7 @@ serve-bench [--rows 400] [--k N | --energy F] [--requests 200] [--concurrency 4]
             "threads",
             "max-batch",
             "batch-window-us",
+            "pipeline-depth",
             "bench-out",
             "trace-out",
             "quick",
@@ -1082,48 +1131,72 @@ serve-bench [--rows 400] [--k N | --energy F] [--requests 200] [--concurrency 4]
     let server = serve::Server::start(cfg, model).map_err(CliError::new)?;
     let addr = server.addr();
 
-    let load = serve::LoadgenConfig {
-        requests: opts.get_parsed("requests", if quick { 40 } else { 200 })?,
-        concurrency: opts.get_parsed("concurrency", 4)?,
+    // Same workload twice: once over persistent keep-alive connections
+    // (the production path) and once opening a fresh TCP connection per
+    // request, so BENCH_serve.json can state what connection reuse buys
+    // on identical requests. Both phases run against the same server
+    // instance and both check every row against the single-shot oracle.
+    let requests = opts.get_parsed("requests", if quick { 40 } else { 2000 })?;
+    let concurrency = opts.get_parsed("concurrency", 4)?;
+    let pipeline_depth = opts.get_parsed("pipeline-depth", 8usize)?;
+    let load_for = |keep_alive: bool| serve::LoadgenConfig {
+        requests,
+        concurrency,
+        keep_alive,
+        pipeline_depth,
         ..serve::LoadgenConfig::default()
     };
-    let report = serve::run_load(addr, m, Some(&rules), &load);
+    let keepalive = serve::run_load(addr, m, Some(&rules), &load_for(true));
+    let cold = serve::run_load(addr, m, Some(&rules), &load_for(false));
     server.shutdown();
 
     if let Some(path) = opts.get("trace-out") {
         let traces = obs::trace::take_traces();
         std::fs::write(path, obs::chrome_trace_doc(&traces))?;
     }
-    if report.ok == 0 {
-        return Err(CliError::new(format!(
-            "serve-bench: no request succeeded ({} errors)",
-            report.errors
-        )));
-    }
-    if report.mismatches > 0 {
-        return Err(CliError::new(format!(
-            "serve-bench: {} of {} rows diverged from single-shot fills; \
-             refusing to write BENCH_serve.json",
-            report.mismatches, report.rows_checked
-        )));
+    for (phase, report) in [("keep-alive", &keepalive), ("cold", &cold)] {
+        if report.ok == 0 {
+            return Err(CliError::new(format!(
+                "serve-bench: no {phase} request succeeded ({} errors)",
+                report.errors
+            )));
+        }
+        if report.mismatches > 0 {
+            return Err(CliError::new(format!(
+                "serve-bench: {} of {} {phase} rows diverged from single-shot \
+                 fills; refusing to write BENCH_serve.json",
+                report.mismatches, report.rows_checked
+            )));
+        }
     }
 
-    let mut out = format!(
-        "serve-bench: {} requests ({} ok, {} errors) in {:.2}s = {:.0} req/s\n\
-         latency us: p50 {:.0}, p90 {:.0}, p99 {:.0}, p999 {:.0}, max {:.0}\n\
-         oracle: {} rows bit-identical to single-shot fills\n",
-        report.requests,
-        report.ok,
-        report.errors,
-        report.wall_s,
-        report.req_per_s,
-        report.p50_us,
-        report.p90_us,
-        report.p99_us,
-        report.p999_us,
-        report.max_us,
-        report.rows_checked,
-    );
+    let mut out = String::new();
+    for (phase, report) in [("keep-alive", &keepalive), ("cold", &cold)] {
+        out.push_str(&format!(
+            "serve-bench[{phase}]: {} requests ({} ok, {} errors) over {} connections \
+             in {:.2}s = {:.0} req/s\n\
+             latency us: p50 {:.0}, p90 {:.0}, p99 {:.0}, p999 {:.0}, max {:.0}\n\
+             oracle: {} rows bit-identical to single-shot fills\n",
+            report.requests,
+            report.ok,
+            report.errors,
+            report.connections,
+            report.wall_s,
+            report.req_per_s,
+            report.p50_us,
+            report.p90_us,
+            report.p99_us,
+            report.p999_us,
+            report.max_us,
+            report.rows_checked,
+        ));
+    }
+    if cold.req_per_s > 0.0 {
+        out.push_str(&format!(
+            "keep-alive over cold: {:.2}x req/s\n",
+            keepalive.req_per_s / cold.req_per_s
+        ));
+    }
     if quick {
         // Printed, never persisted: --quick must not churn the trajectory.
         out.push_str("quick serve bench OK\n");
@@ -1135,10 +1208,75 @@ serve-bench [--rows 400] [--k N | --energy F] [--requests 200] [--concurrency 4]
                 .join("..")
                 .join("BENCH_serve.json"),
         };
-        std::fs::write(&path, serve_bench_json(&report))?;
+        std::fs::write(&path, serve_bench_json(&keepalive, &cold))?;
         out.push_str(&format!("trajectory -> {}\n", path.display()));
     }
     Ok(out)
+}
+
+/// `ratio-rules publish --model model.json --addr HOST:PORT [--name N]
+/// [--no-activate] [--shadow]`
+///
+/// Pushes a mined `model_json` artifact (the output of `mine`,
+/// including the degraded `{"col_avgs": ...}` floor) into a running
+/// server's hot-swap registry over `POST /models`. By default the new
+/// version becomes active immediately — in-flight requests finish on
+/// the version they resolved, new requests see the new one.
+/// `--no-activate` retains the version for `x-model-version` pinning
+/// without routing traffic to it; `--shadow` additionally replays every
+/// answered `/predict` row against it off the response path, counting
+/// `f64::to_bits` divergences on `GET /models`.
+///
+/// # Errors
+/// Fails on unknown flags, an unreadable or locally invalid model file,
+/// a malformed `--addr`, transport errors, or a non-200 response (the
+/// server re-validates at its trust boundary).
+pub fn publish(opts: &Options) -> Result<String> {
+    if opts.switch("help") {
+        return Ok("\
+publish --model <model.json> --addr <HOST:PORT> [--name N] [--no-activate] [--shadow]
+        pushes a model into a running server's hot-swap registry (POST /models)\n"
+            .into());
+    }
+    allow_with_obs(opts, &["model", "addr", "name", "no-activate", "shadow", "help"])?;
+    let model_path = opts.require("model")?;
+    let json = std::fs::read_to_string(model_path)?;
+    // Validate locally before shipping: a malformed artifact should fail
+    // here with a parse error, not as an opaque 400 from the server.
+    let _ = ratio_rules::model_json::model_from_str(&json)?;
+    let model_doc = obs::json::parse(&json).map_err(CliError::new)?;
+    let addr: std::net::SocketAddr = opts
+        .require("addr")?
+        .parse()
+        .map_err(|_| CliError::new(format!("--addr: cannot parse {:?}", opts.get("addr"))))?;
+    let name = opts.get("name").unwrap_or("unnamed").to_string();
+    let body = obs::json::JsonValue::Obj(vec![
+        ("name".into(), obs::json::JsonValue::Str(name)),
+        (
+            "activate".into(),
+            obs::json::JsonValue::Bool(!opts.switch("no-activate")),
+        ),
+        (
+            "shadow".into(),
+            obs::json::JsonValue::Bool(opts.switch("shadow")),
+        ),
+        ("model".into(), model_doc),
+    ])
+    .write(false);
+    let (status, resp) = serve::client::request(
+        addr,
+        "POST",
+        "/models",
+        Some(&body),
+        std::time::Duration::from_secs(10),
+        std::time::Duration::ZERO,
+    )?;
+    if status != 200 {
+        return Err(CliError::new(format!(
+            "publish: server answered {status}: {resp}"
+        )));
+    }
+    Ok(format!("published: {resp}\n"))
 }
 
 /// `ratio-rules mine-shard --input data.csv [--port N] [--no-header]
@@ -1356,6 +1494,7 @@ fn dispatch(cmd: &str, opts: &Options) -> Result<String> {
         "profile" => profile(opts),
         "serve" => serve_cmd(opts),
         "serve-bench" => serve_bench(opts),
+        "publish" => publish(opts),
         "mine-shard" => mine_shard(opts),
         "mine-distributed" => mine_distributed(opts),
         other => Err(CliError::new(format!(

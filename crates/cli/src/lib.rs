@@ -127,7 +127,9 @@ COMMANDS:
     whatif      what-if scenario: pin attributes, forecast the rest
     profile     mine + evaluate with instrumentation; print spans and metrics
     serve       HTTP prediction server: batched hole filling over a model
-    serve-bench load-test an in-process server; writes BENCH_serve.json
+    serve-bench load-test an in-process server (keep-alive vs cold phases);
+                writes BENCH_serve.json
+    publish     push a mined model into a running server's hot-swap registry
     mine-shard  distributed-mining worker: serve shard scans over a CSV replica
     mine-distributed
                 coordinate shard workers into one model, bit-identical to

@@ -63,6 +63,27 @@ pub const SERVE_ERRORS_TOTAL: &str = "serve_errors_total";
 pub const SERVE_BATCHES_TOTAL: &str = "serve_batches_total";
 /// Rows filled by the batcher (across all batches).
 pub const SERVE_ROWS_PREDICTED_TOTAL: &str = "serve_rows_predicted_total";
+/// TCP connections accepted by the serve front end.
+pub const SERVE_CONNECTIONS_TOTAL: &str = "serve_connections_total";
+/// Requests served over an already-open connection (request 2+ of a
+/// keep-alive connection).
+pub const SERVE_KEEPALIVE_REQUESTS_TOTAL: &str = "serve_keepalive_requests_total";
+/// Rows answered from the col-avgs floor because the batch queue was
+/// full and `shed_degrade` was on.
+pub const SERVE_SHED_DEGRADED_TOTAL: &str = "serve_shed_degraded_total";
+/// Models accepted by `POST /models`.
+pub const SERVE_MODELS_PUBLISHED_TOTAL: &str = "serve_models_published_total";
+/// Publish attempts rejected at the trust boundary.
+pub const SERVE_PUBLISH_REJECTED_TOTAL: &str = "serve_publish_rejected_total";
+/// Times unpinned traffic was re-pointed at a different version.
+pub const SERVE_MODEL_SWAPS_TOTAL: &str = "serve_model_swaps_total";
+/// Rows replayed against the shadow (canary) version.
+pub const SERVE_SHADOW_SOLVES_TOTAL: &str = "serve_shadow_solves_total";
+/// Shadow answers that differed from the active answer
+/// (`f64::to_bits`-exact comparison).
+pub const SERVE_SHADOW_DIVERGENCES_TOTAL: &str = "serve_shadow_divergences_total";
+/// Shadow replays dropped because the bounded shadow queue was full.
+pub const SERVE_SHADOW_DROPPED_TOTAL: &str = "serve_shadow_dropped_total";
 
 /// Scan requests accepted by a `mine-shard` worker.
 pub const SHARD_SCAN_REQUESTS_TOTAL: &str = "shard_scan_requests_total";
@@ -139,6 +160,12 @@ pub const SVD_SWEEPS: &str = "svd_sweeps";
 pub const SVD_CONDITION: &str = "svd_condition";
 /// Jobs waiting in the prediction server's batch queue.
 pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+/// Connections currently held open by workers.
+pub const SERVE_CONNECTIONS_ACTIVE: &str = "serve_connections_active";
+/// Model versions currently retained by the registry.
+pub const SERVE_MODEL_VERSIONS: &str = "serve_model_versions";
+/// The version number serving unpinned traffic.
+pub const SERVE_ACTIVE_MODEL_VERSION: &str = "serve_active_model_version";
 /// Panel height (rows per block) of the blocked covariance kernel.
 pub const COVARIANCE_BLOCK_ROWS: &str = "covariance_block_rows";
 /// Shard 0's scan throughput (static expansion of the
@@ -186,6 +213,8 @@ pub const SERVE_REQUEST_US_DEBUG: &str = "serve_request_us_debug";
 /// End-to-end request latency of unrouted (404/405) requests,
 /// microseconds.
 pub const SERVE_REQUEST_US_OTHER: &str = "serve_request_us_other";
+/// End-to-end `GET`/`POST /models` request latency, microseconds.
+pub const SERVE_REQUEST_US_MODELS: &str = "serve_request_us_models";
 /// Coordinator-observed round-trip time of one shard scan request,
 /// microseconds (includes the worker's scan, not just transport).
 pub const COORD_SHARD_RTT_US: &str = "coord_shard_rtt_us";
@@ -218,6 +247,17 @@ pub const EVENT_SERVE_JOB_EXPIRED: &str = "serve_job_expired";
 /// A batch was coalesced and solved. `a` = batch id, `b` = rows,
 /// `x` = distinct hole patterns (groups).
 pub const EVENT_SERVE_BATCH_COALESCED: &str = "serve_batch_coalesced";
+/// A full batch queue degraded rows to the col-avgs floor instead of
+/// rejecting (`shed_degrade` mode). `a` = rows floored, `b` = version.
+pub const EVENT_SERVE_SHED_DEGRADED: &str = "serve_shed_degraded";
+/// A model was accepted by `POST /models`. `a` = version, `b` = 1 when
+/// it was also activated.
+pub const EVENT_SERVE_MODEL_PUBLISHED: &str = "serve_model_published";
+/// Unpinned traffic was re-pointed at a version. `a` = version.
+pub const EVENT_SERVE_MODEL_SWAPPED: &str = "serve_model_swapped";
+/// A shadow replay differed from the active answer bit-for-bit.
+/// `a` = shadow version, `b` = active version.
+pub const EVENT_SERVE_SHADOW_DIVERGED: &str = "serve_shadow_diverged";
 /// A shard worker began scanning its range. `a` = start row, `b` = end
 /// row (exclusive).
 pub const EVENT_SHARD_SCAN_STARTED: &str = "shard_scan_started";
@@ -313,9 +353,21 @@ pub const SERVE_BOOT_FAMILIES: &[(&str, FamilyKind)] = &[
     (SERVE_ERRORS_TOTAL, FamilyKind::Counter),
     (SERVE_BATCHES_TOTAL, FamilyKind::Counter),
     (SERVE_ROWS_PREDICTED_TOTAL, FamilyKind::Counter),
+    (SERVE_CONNECTIONS_TOTAL, FamilyKind::Counter),
+    (SERVE_KEEPALIVE_REQUESTS_TOTAL, FamilyKind::Counter),
+    (SERVE_SHED_DEGRADED_TOTAL, FamilyKind::Counter),
+    (SERVE_MODELS_PUBLISHED_TOTAL, FamilyKind::Counter),
+    (SERVE_PUBLISH_REJECTED_TOTAL, FamilyKind::Counter),
+    (SERVE_MODEL_SWAPS_TOTAL, FamilyKind::Counter),
+    (SERVE_SHADOW_SOLVES_TOTAL, FamilyKind::Counter),
+    (SERVE_SHADOW_DIVERGENCES_TOTAL, FamilyKind::Counter),
+    (SERVE_SHADOW_DROPPED_TOTAL, FamilyKind::Counter),
     (COVARIANCE_ROWS_SCANNED_TOTAL, FamilyKind::Counter),
     (SCAN_BLOCKS_TOTAL, FamilyKind::Counter),
     (SERVE_QUEUE_DEPTH, FamilyKind::Gauge),
+    (SERVE_CONNECTIONS_ACTIVE, FamilyKind::Gauge),
+    (SERVE_MODEL_VERSIONS, FamilyKind::Gauge),
+    (SERVE_ACTIVE_MODEL_VERSION, FamilyKind::Gauge),
     (COVARIANCE_BLOCK_ROWS, FamilyKind::Gauge),
     (COVARIANCE_ROWS_PER_S, FamilyKind::Gauge),
     (SCAN_SHARD_0_ROWS_PER_S, FamilyKind::Gauge),
@@ -330,6 +382,7 @@ pub const SERVE_BOOT_FAMILIES: &[(&str, FamilyKind)] = &[
     (SERVE_REQUEST_US_WHATIF, FamilyKind::Quantile),
     (SERVE_REQUEST_US_DEBUG, FamilyKind::Quantile),
     (SERVE_REQUEST_US_OTHER, FamilyKind::Quantile),
+    (SERVE_REQUEST_US_MODELS, FamilyKind::Quantile),
     (SERVE_BATCH_SIZE, FamilyKind::Histogram),
 ];
 
@@ -457,6 +510,23 @@ mod tests {
             SERVE_REQUEST_US_WHATIF,
             SERVE_REQUEST_US_DEBUG,
             SERVE_REQUEST_US_OTHER,
+            SERVE_REQUEST_US_MODELS,
+            SERVE_CONNECTIONS_TOTAL,
+            SERVE_KEEPALIVE_REQUESTS_TOTAL,
+            SERVE_SHED_DEGRADED_TOTAL,
+            SERVE_MODELS_PUBLISHED_TOTAL,
+            SERVE_PUBLISH_REJECTED_TOTAL,
+            SERVE_MODEL_SWAPS_TOTAL,
+            SERVE_SHADOW_SOLVES_TOTAL,
+            SERVE_SHADOW_DIVERGENCES_TOTAL,
+            SERVE_SHADOW_DROPPED_TOTAL,
+            SERVE_CONNECTIONS_ACTIVE,
+            SERVE_MODEL_VERSIONS,
+            SERVE_ACTIVE_MODEL_VERSION,
+            EVENT_SERVE_SHED_DEGRADED,
+            EVENT_SERVE_MODEL_PUBLISHED,
+            EVENT_SERVE_MODEL_SWAPPED,
+            EVENT_SERVE_SHADOW_DIVERGED,
             SHARD_SCAN_REQUESTS_TOTAL,
             SHARD_SCANS_COMPLETED_TOTAL,
             SHARD_CHAOS_FAULTS_TOTAL,

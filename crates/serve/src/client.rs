@@ -35,7 +35,13 @@ pub fn connect_warm(
     let t0 = Instant::now();
     loop {
         match TcpStream::connect_timeout(&addr, timeout) {
-            Ok(s) => return Ok(s),
+            Ok(s) => {
+                // Requests go out as single buffered writes; disabling
+                // Nagle keeps pipelined keep-alive round-trips from
+                // waiting on the peer's delayed ACK.
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
             Err(e) if e.kind() == io::ErrorKind::ConnectionRefused && t0.elapsed() < warmup => {
                 std::thread::sleep(Duration::from_millis(10));
             }
@@ -64,85 +70,178 @@ pub fn request(
     let mut stream = connect_warm(addr, timeout, warmup)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let body_text = body.unwrap_or("");
+    write_request(&mut stream, method, path, body, true)?;
+    let (status, body, _close) = read_response(&mut stream)?;
+    Ok((status, body))
+}
+
+/// Writes one request. `close` selects the `Connection` header; the
+/// keep-alive load generator sends `keep-alive`, everything one-shot
+/// sends `close`.
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    close: bool,
+) -> io::Result<()> {
     // One buffered write: a request split across write syscalls can race
     // a server that responds after its first read and closes, turning
     // the tail fragments into BrokenPipe.
-    let raw = format!(
+    let raw = raw_request(method, path, body, close);
+    stream.write_all(raw.as_bytes())?;
+    stream.flush()
+}
+
+/// Serializes one request to its wire form without sending it. The
+/// pipelining load generator concatenates a whole burst and writes it
+/// as one syscall — which also lands the burst in one segment on
+/// loopback, letting the server's read-ahead coalescing see all of it
+/// at once.
+#[must_use]
+pub fn raw_request(method: &str, path: &str, body: Option<&str>, close: bool) -> String {
+    let body_text = body.unwrap_or("");
+    let connection = if close { "close" } else { "keep-alive" };
+    format!(
         "{method} {path} HTTP/1.1\r\nhost: rr-client\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n{}",
+         content-length: {}\r\nconnection: {connection}\r\n\r\n{}",
         body_text.len(),
         body_text
-    );
-    stream.write_all(raw.as_bytes())?;
-    stream.flush()?;
-    read_response(&mut stream)
+    )
 }
 
 /// Reads one HTTP/1.1 response, enforcing `Content-Length` when the
-/// header is present (servers in this workspace always send it).
-fn read_response(stream: &mut TcpStream) -> io::Result<(u16, String)> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let body_start = loop {
-        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-            break pos + 4;
+/// header is present (servers in this workspace always send it). The
+/// third element reports whether the server announced
+/// `Connection: close` (absent header counts as close, matching the
+/// workspace's historical one-shot contract).
+///
+/// One-shot: bytes read past the first response are discarded. A
+/// pipelining client must use [`ResponseReader`] instead — the server
+/// answers a burst as one write, so a single `recv` routinely carries
+/// several responses, and dropping the surplus desyncs the stream.
+///
+/// # Errors
+/// Read failures, a malformed status line, a body that ends before its
+/// declared `Content-Length` (`UnexpectedEof`), non-UTF-8 bodies.
+pub fn read_response(stream: &mut TcpStream) -> io::Result<(u16, String, bool)> {
+    ResponseReader::new().next_response(stream)
+}
+
+/// Incremental reader for pipelined responses: any bytes read past the
+/// response being parsed stay buffered for the next call, exactly like
+/// the server side's request reader. One instance must stay attached to
+/// its connection for the connection's whole life.
+#[derive(Debug, Default)]
+pub struct ResponseReader {
+    buf: Vec<u8>,
+}
+
+impl ResponseReader {
+    /// A reader with an empty buffer.
+    #[must_use]
+    pub fn new() -> ResponseReader {
+        ResponseReader {
+            buf: Vec::with_capacity(1024),
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed before the response header block ended",
-            ));
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-    let head = String::from_utf8_lossy(&buf[..body_start - 4]).to_string();
-    let status = head
-        .split_ascii_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "malformed response status line")
-        })?;
-    let content_length = head
-        .lines()
-        .find_map(|l| {
+    }
+
+    /// Drops buffered read-ahead (call after a reconnect: leftover bytes
+    /// belong to the dead connection).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Reads the next response off the stream, enforcing
+    /// `Content-Length` when present (without it, reads to EOF — the
+    /// legacy one-shot contract). Returns `(status, body, close)`.
+    ///
+    /// # Errors
+    /// Read failures, a malformed status line, a body that ends before
+    /// its declared `Content-Length` (`UnexpectedEof`), non-UTF-8
+    /// bodies.
+    pub fn next_response(&mut self, stream: &mut TcpStream) -> io::Result<(u16, String, bool)> {
+        let mut chunk = [0u8; 4096];
+        let body_start = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before the response header block ended",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..body_start - 4]).to_string();
+        let status = head
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "malformed response status line")
+            })?;
+        let content_length = head.lines().find_map(|l| {
             let (name, value) = l.split_once(':')?;
             name.trim()
                 .eq_ignore_ascii_case("content-length")
                 .then(|| value.trim().parse::<usize>().ok())?
         });
+        let close = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("connection")
+                    .then(|| value.trim().eq_ignore_ascii_case("close"))
+            })
+            .unwrap_or(true);
 
-    let mut body = buf[body_start..].to_vec();
-    match content_length {
-        Some(len) => {
-            while body.len() < len {
-                let n = stream.read(&mut chunk)?;
-                if n == 0 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        format!("body truncated: got {} of {len} declared bytes", body.len()),
-                    ));
+        let body = match content_length {
+            Some(len) => {
+                let total = body_start + len;
+                while self.buf.len() < total {
+                    let n = stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!(
+                                "body truncated: got {} of {len} declared bytes",
+                                self.buf.len() - body_start
+                            ),
+                        ));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
                 }
-                body.extend_from_slice(&chunk[..n]);
+                let body = self.buf[body_start..total].to_vec();
+                // Pipelined successors stay buffered for the next call.
+                self.buf.drain(..total);
+                body
             }
-            body.truncate(len);
-        }
-        None => {
-            // Legacy servers without the header: read to EOF.
-            loop {
-                let n = stream.read(&mut chunk)?;
-                if n == 0 {
-                    break;
+            None => {
+                // Legacy servers without the header: read to EOF.
+                loop {
+                    let n = stream.read(&mut chunk)?;
+                    if n == 0 {
+                        break;
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
                 }
-                body.extend_from_slice(&chunk[..n]);
+                let body = self.buf.split_off(body_start.min(self.buf.len()));
+                // The stream is spent; drop the consumed head too.
+                self.buf.clear();
+                body
             }
-        }
+        };
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not valid UTF-8"))?;
+        Ok((status, body, close))
     }
-    let body = String::from_utf8(body)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not valid UTF-8"))?;
-    Ok((status, body))
 }
 
 #[cfg(test)]
@@ -196,6 +295,47 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn response_reader_splits_a_coalesced_burst() {
+        // Two keep-alive responses in ONE write — exactly what the
+        // server's burst answering produces. The one-shot read_response
+        // would discard the second; ResponseReader must not.
+        let addr = one_shot_server(
+            b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\nconnection: keep-alive\r\n\r\nfirst\
+              HTTP/1.1 429 Too Many Requests\r\ncontent-length: 6\r\nconnection: keep-alive\r\n\r\nsecond",
+        );
+        let mut stream = connect_warm(addr, Duration::from_secs(2), Duration::ZERO).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        write_request(&mut stream, "GET", "/a", None, false).unwrap();
+        let mut reader = ResponseReader::new();
+        let (s1, b1, c1) = reader.next_response(&mut stream).unwrap();
+        assert_eq!((s1, b1.as_str(), c1), (200, "first", false));
+        let (s2, b2, c2) = reader.next_response(&mut stream).unwrap();
+        assert_eq!((s2, b2.as_str(), c2), (429, "second", false));
+    }
+
+    #[test]
+    fn raw_request_round_trips_through_the_server_parser() {
+        let raw = raw_request("POST", "/predict", Some("{\"x\":1}"), false);
+        let req = crate::protocol::read_request(&mut std::io::Cursor::new(
+            raw.clone().into_bytes(),
+        ))
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body_str().unwrap(), "{\"x\":1}");
+        assert!(!req.wants_close());
+        let raw_close = raw_request("GET", "/healthz", None, true);
+        let req = crate::protocol::read_request(&mut std::io::Cursor::new(
+            raw_close.into_bytes(),
+        ))
+        .unwrap();
+        assert!(req.wants_close());
+        assert!(req.body.is_empty());
     }
 
     #[test]

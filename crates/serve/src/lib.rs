@@ -19,6 +19,18 @@
 //! | `GET /rules`    | the served model document                          |
 //! | `GET /healthz`  | liveness + model shape + queue depth               |
 //! | `GET /metrics`  | Prometheus text via the obs exporter               |
+//! | `POST /models`  | publish a `model_json` artifact into the registry  |
+//! | `GET /models`   | list retained versions + shadow counters           |
+//!
+//! Connections are persistent (PR 10): the protocol layer parses
+//! pipelined HTTP/1.1 requests incrementally out of a reused buffer,
+//! answers `Connection: keep-alive` until the client asks to close, a
+//! per-connection request cap is hit, the idle timeout fires, or a
+//! drain begins. Models live in the hot-swap [`registry`]: named,
+//! versioned, atomically swapped snapshots readers never block on —
+//! with per-request version pinning (`x-model-version`) and shadow
+//! (canary) routing that replays answered rows off the response path
+//! and counts `f64::to_bits` divergences.
 //!
 //! Capacity control is explicit: a bounded batch queue answers `429` +
 //! `Retry-After` when full, per-job deadlines expire stale work with
@@ -43,8 +55,10 @@
 //! health probes, checkpoint-resumed reassignment), validates every
 //! payload at the trust boundary, and tree-merges the survivors into a
 //! model bit-identical to a single-process `mine --shards W`. The
-//! shared one-shot HTTP client (warm-up retries, `Content-Length`
-//! enforcement) lives in [`client`].
+//! shared HTTP client — one-shot requests (warm-up retries,
+//! `Content-Length` enforcement) plus the buffered [`client::ResponseReader`]
+//! pipelining clients need once the server answers a burst in one
+//! write — lives in [`client`].
 
 #![warn(missing_docs)]
 
@@ -53,11 +67,13 @@ pub mod coordinator;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
+pub mod registry;
 pub mod server;
 pub mod shard;
 
 pub use coordinator::{coordinate, CoordinatorConfig, DistributedOutcome};
 pub use loadgen::{run_load, LoadReport, LoadgenConfig};
 pub use queue::{BatchConfig, Batcher, PredictOutcome, Prediction, ServeModel, SubmitError};
+pub use registry::{ModelHandle, ModelRegistry, RegistrySnapshot};
 pub use server::{Server, ServerConfig};
 pub use shard::{ChaosPlan, ShardConfig, ShardWorker};

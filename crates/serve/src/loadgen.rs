@@ -3,7 +3,11 @@
 //! `ratio-rules serve-bench` needs sustained-throughput and
 //! tail-latency numbers without external tooling (`wrk`, `hey`), so the
 //! client lives here: `concurrency` threads each fire `POST /predict`
-//! requests over fresh TCP connections (the protocol is one-shot), time
+//! requests — over one persistent keep-alive connection per thread by
+//! default (pipelining up to [`LoadgenConfig::pipeline_depth`] requests
+//! back-to-back before reading the in-order responses), or a fresh TCP
+//! connection per request in cold mode ([`LoadgenConfig::keep_alive`]
+//! off) so the two paths can be compared on the same workload — time
 //! every request end to end, and — crucially — check each returned row
 //! against a single-shot [`RuleSetPredictor`] fill. Batched serving is
 //! only a win if it never changes an answer, so the oracle comparison
@@ -36,6 +40,18 @@ pub struct LoadgenConfig {
     pub rows_per_request: usize,
     /// Per-request socket timeout.
     pub timeout: Duration,
+    /// Reuse one connection per thread (the production path). Off =
+    /// cold mode: a fresh TCP connection per request, for the
+    /// keep-alive-vs-cold comparison `BENCH_serve.json` records.
+    pub keep_alive: bool,
+    /// Requests written back-to-back on a persistent connection before
+    /// the client starts reading the in-order responses (HTTP
+    /// pipelining). 1 = plain sequential round-trips; ignored in cold
+    /// mode. Each burst goes out as one write; per-request latency runs
+    /// from that write to the request's own response, so pipelined
+    /// quantiles include the queueing a real pipelining client
+    /// observes.
+    pub pipeline_depth: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -45,6 +61,8 @@ impl Default for LoadgenConfig {
             concurrency: 4,
             rows_per_request: 4,
             timeout: Duration::from_secs(10),
+            keep_alive: true,
+            pipeline_depth: 8,
         }
     }
 }
@@ -76,6 +94,9 @@ pub struct LoadReport {
     pub rows_checked: usize,
     /// Rows whose served bits differed from the oracle (must be 0).
     pub mismatches: usize,
+    /// TCP connections the clients opened over the whole run
+    /// (`concurrency` in keep-alive mode, ~`requests` in cold mode).
+    pub connections: usize,
 }
 
 #[derive(Default)]
@@ -85,6 +106,7 @@ struct ThreadStats {
     errors: usize,
     rows_checked: usize,
     mismatches: usize,
+    connections: usize,
 }
 
 /// Deterministic workload row `r` of request `req`: a clean multiple of
@@ -125,12 +147,175 @@ fn body_for(req: usize, rows_per_request: usize, m: usize) -> String {
 /// first requests race the server's bind and fail the run outright.
 const CONNECT_WARMUP: Duration = Duration::from_millis(1500);
 
-fn post_predict(
+/// Per-thread HTTP client: one persistent connection in keep-alive mode
+/// (re-opened when the server closes it), a fresh connection per
+/// request in cold mode.
+struct BenchClient {
     addr: SocketAddr,
-    body: &str,
     timeout: Duration,
-) -> std::io::Result<(u16, String)> {
-    crate::client::request(addr, "POST", "/predict", Some(body), timeout, CONNECT_WARMUP)
+    keep_alive: bool,
+    conn: Option<std::net::TcpStream>,
+    /// Buffered response reader tied to `conn`: the server answers a
+    /// pipelined burst as one write, so one `recv` routinely carries
+    /// several responses and the surplus must survive between reads.
+    reader: crate::client::ResponseReader,
+    connections: usize,
+}
+
+impl BenchClient {
+    fn new(addr: SocketAddr, timeout: Duration, keep_alive: bool) -> BenchClient {
+        BenchClient {
+            addr,
+            timeout,
+            keep_alive,
+            conn: None,
+            reader: crate::client::ResponseReader::new(),
+            connections: 0,
+        }
+    }
+
+    /// Drops the persistent connection and any read-ahead bytes that
+    /// belonged to it.
+    fn drop_conn(&mut self) {
+        self.conn = None;
+        self.reader.reset();
+    }
+
+    fn connect(&mut self) -> std::io::Result<std::net::TcpStream> {
+        self.connections += 1;
+        let s = crate::client::connect_warm(self.addr, self.timeout, CONNECT_WARMUP)?;
+        s.set_read_timeout(Some(self.timeout))?;
+        s.set_write_timeout(Some(self.timeout))?;
+        Ok(s)
+    }
+
+    fn post_predict(&mut self, body: &str) -> std::io::Result<(u16, String)> {
+        if !self.keep_alive {
+            let mut s = self.connect()?;
+            crate::client::write_request(&mut s, "POST", "/predict", Some(body), true)?;
+            let (status, text, _close) = crate::client::read_response(&mut s)?;
+            return Ok((status, text));
+        }
+        // One reconnect attempt absorbs a server-side close (idle
+        // timeout, per-connection request cap) racing our write.
+        let mut last_err =
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "no attempt made");
+        for attempt in 0..2 {
+            if self.conn.is_none() {
+                self.conn = Some(self.connect()?);
+            }
+            let Some(stream) = self.conn.as_mut() else {
+                continue;
+            };
+            let reader = &mut self.reader;
+            let result =
+                crate::client::write_request(stream, "POST", "/predict", Some(body), false)
+                    .and_then(|()| reader.next_response(stream));
+            match result {
+                Ok((status, text, close)) => {
+                    if close {
+                        self.drop_conn();
+                    }
+                    return Ok((status, text));
+                }
+                Err(e) => {
+                    self.drop_conn();
+                    last_err = e;
+                    if attempt == 1 {
+                        break;
+                    }
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Writes `bodies` back-to-back on the persistent connection (HTTP
+    /// pipelining), then reads the responses in order. Returns the
+    /// `(status, body, latency_us)` triples of the answered requests
+    /// plus the error that cut the burst short, if any. A server-side
+    /// close mid-burst (request cap, idle timeout) is absorbed by
+    /// reconnecting once and resending the unanswered tail.
+    fn pipeline_predict(
+        &mut self,
+        bodies: &[String],
+    ) -> (Vec<(u16, String, f64)>, Option<std::io::Error>) {
+        let mut out: Vec<(u16, String, f64)> = Vec::with_capacity(bodies.len());
+        let mut answered = 0usize;
+        for attempt in 0..2 {
+            if self.conn.is_none() {
+                match self.connect() {
+                    Ok(s) => self.conn = Some(s),
+                    Err(e) => return (out, Some(e)),
+                }
+            }
+            let Some(stream) = self.conn.as_mut() else {
+                continue;
+            };
+            let reader = &mut self.reader;
+            let pending = &bodies[answered..];
+            let burst = (|| {
+                // The whole burst goes out as ONE write: on loopback it
+                // lands as one segment, so the server's read-ahead
+                // coalescing sees every request of the burst at once and
+                // batches all their rows under a single batch window.
+                let mut wire = String::with_capacity(
+                    pending.iter().map(|b| b.len() + 160).sum(),
+                );
+                for body in pending {
+                    wire.push_str(&crate::client::raw_request(
+                        "POST", "/predict", Some(body), false,
+                    ));
+                }
+                let sent = Instant::now();
+                std::io::Write::write_all(stream, wire.as_bytes())?;
+                std::io::Write::flush(stream)?;
+                let mut got = Vec::new();
+                let mut closed = false;
+                for _ in pending {
+                    let (status, text, close) = reader.next_response(stream)?;
+                    // Latency runs from the burst write to this
+                    // request's own response — the queueing a pipelining
+                    // client actually observes.
+                    got.push((status, text, sent.elapsed().as_micros() as f64));
+                    if close {
+                        // The server discards pipelined read-ahead
+                        // after a close; the tail must be resent.
+                        closed = true;
+                        break;
+                    }
+                }
+                Ok::<_, std::io::Error>((got, closed))
+            })();
+            match burst {
+                Ok((got, closed)) => {
+                    answered += got.len();
+                    out.extend(got);
+                    if closed {
+                        self.drop_conn();
+                    }
+                    if answered == bodies.len() {
+                        return (out, None);
+                    }
+                    if attempt == 1 {
+                        return (
+                            out,
+                            Some(std::io::Error::other(
+                                "pipelined burst still unanswered after a reconnect",
+                            )),
+                        );
+                    }
+                }
+                Err(e) => {
+                    self.drop_conn();
+                    if attempt == 1 {
+                        return (out, Some(e));
+                    }
+                }
+            }
+        }
+        (out, None)
+    }
 }
 
 /// Compares one served row against the oracle's single-shot fill,
@@ -194,35 +379,76 @@ pub fn run_load(
             let stats = &stats;
             scope.spawn(move || {
                 let thread_oracle = oracle.map(|rs| RuleSetPredictor::new(rs.clone()));
+                let mut client = BenchClient::new(addr, cfg.timeout, cfg.keep_alive);
                 let mut local = ThreadStats::default();
-                let mut req = t;
-                while req < cfg.requests {
-                    let body = body_for(req, cfg.rows_per_request, m);
-                    let req_t0 = Instant::now();
-                    match post_predict(addr, &body, cfg.timeout) {
-                        Ok((200, resp_body)) => {
-                            local
-                                .latencies_us
-                                .push(req_t0.elapsed().as_micros() as f64);
-                            local.ok += 1;
-                            if let Some(orc) = &thread_oracle {
-                                if let Ok(doc) = obs::json::parse(&resp_body) {
-                                    let rows =
-                                        doc.get("rows").and_then(JsonValue::as_arr);
-                                    for (r, served) in
-                                        rows.unwrap_or(&[]).iter().enumerate()
-                                    {
-                                        let (c, x) = check_row(served, orc, req, r, m);
-                                        local.rows_checked += c;
-                                        local.mismatches += x;
-                                    }
-                                }
+                let depth = if cfg.keep_alive {
+                    cfg.pipeline_depth.max(1)
+                } else {
+                    1
+                };
+                // Bookkeeping shared by both paths: compare each 200
+                // against the oracle, count everything else as an error.
+                let mut absorb = |local: &mut ThreadStats,
+                                  req: usize,
+                                  status: u16,
+                                  resp_body: &str,
+                                  latency_us: f64| {
+                    if status != 200 {
+                        local.errors += 1;
+                        return;
+                    }
+                    local.latencies_us.push(latency_us);
+                    local.ok += 1;
+                    if let Some(orc) = &thread_oracle {
+                        if let Ok(doc) = obs::json::parse(resp_body) {
+                            let rows = doc.get("rows").and_then(JsonValue::as_arr);
+                            for (r, served) in rows.unwrap_or(&[]).iter().enumerate() {
+                                let (c, x) = check_row(served, orc, req, r, m);
+                                local.rows_checked += c;
+                                local.mismatches += x;
                             }
                         }
-                        Ok((_, _)) | Err(_) => local.errors += 1,
                     }
-                    req += concurrency;
+                };
+                let mut req = t;
+                while req < cfg.requests {
+                    // This burst's request ids (thread-strided).
+                    let mut ids = Vec::with_capacity(depth);
+                    while req < cfg.requests && ids.len() < depth {
+                        ids.push(req);
+                        req += concurrency;
+                    }
+                    if depth == 1 {
+                        let body = body_for(ids[0], cfg.rows_per_request, m);
+                        let req_t0 = Instant::now();
+                        match client.post_predict(&body) {
+                            Ok((status, resp_body)) => absorb(
+                                &mut local,
+                                ids[0],
+                                status,
+                                &resp_body,
+                                req_t0.elapsed().as_micros() as f64,
+                            ),
+                            Err(_) => local.errors += 1,
+                        }
+                    } else {
+                        let bodies: Vec<String> = ids
+                            .iter()
+                            .map(|&i| body_for(i, cfg.rows_per_request, m))
+                            .collect();
+                        let (answered, err) = client.pipeline_predict(&bodies);
+                        let n_answered = answered.len();
+                        for (&id, (status, resp_body, latency_us)) in
+                            ids.iter().zip(answered)
+                        {
+                            absorb(&mut local, id, status, &resp_body, latency_us);
+                        }
+                        if err.is_some() {
+                            local.errors += ids.len() - n_answered;
+                        }
+                    }
                 }
+                local.connections = client.connections;
                 stats
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -248,6 +474,7 @@ pub fn run_load(
         max_us: latencies.last().copied().unwrap_or(0.0),
         rows_checked: all.iter().map(|s| s.rows_checked).sum(),
         mismatches: all.iter().map(|s| s.mismatches).sum(),
+        connections: all.iter().map(|s| s.connections).sum(),
     }
 }
 

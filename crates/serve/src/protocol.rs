@@ -1,10 +1,23 @@
 //! Hand-rolled HTTP/1.1 request parsing and response writing.
 //!
-//! Deliberately minimal, matching the workspace's std-only policy: one
-//! request per connection (`Connection: close`), explicit
-//! `Content-Length` bodies only (no chunked encoding), and hard size
-//! limits on both the header block and the body so a misbehaving client
-//! cannot balloon server memory.
+//! Deliberately minimal, matching the workspace's std-only policy:
+//! explicit `Content-Length` bodies only (no chunked encoding) and hard
+//! size limits on both the header block and the body so a misbehaving
+//! client cannot balloon server memory.
+//!
+//! Since the persistent-connection rework the parser is *incremental*:
+//! [`RequestReader`] owns a reused buffer per connection, parses as many
+//! back-to-back (pipelined) requests out of it as have fully arrived,
+//! and only touches the socket when the buffer runs dry. The pure
+//! parsing step lives in [`try_parse`] so byte-boundary segmentation can
+//! be property-tested without sockets: feeding any prefix of a request
+//! stream yields either a complete request plus its exact consumed
+//! length, a "need more bytes" signal, or the same error the full
+//! stream would produce.
+//!
+//! Responses default to `Connection: close` (the historical contract;
+//! every existing caller relies on it) and opt into keep-alive via
+//! [`Response::keep_alive`].
 
 use std::io::{Read, Write};
 
@@ -74,37 +87,57 @@ impl Request {
         std::str::from_utf8(&self.body)
             .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))
     }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`). HTTP/1.1 defaults to keep-alive.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 fn head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Reads and parses one request from the stream.
+/// Outcome of a pure parse attempt over a byte prefix.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A full request plus the number of bytes it consumed from the
+    /// front of the buffer (head + body; pipelined successors follow).
+    Complete(Request, usize),
+    /// The buffer holds only a prefix of a request; read more bytes.
+    NeedMore,
+}
+
+/// Attempts to parse one request from the front of `buf` without
+/// consuming input. Size limits are enforced *incrementally*: an
+/// over-long header block or an oversized declared body errors as soon
+/// as the prefix proves the violation, even before the request is
+/// complete.
 ///
 /// # Errors
-/// Fails on socket errors, on syntactically invalid requests, and when
-/// [`MAX_HEAD_BYTES`] / [`MAX_BODY_BYTES`] are exceeded.
-pub fn read_request(stream: &mut dyn Read) -> Result<Request, HttpError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let body_start = loop {
-        if let Some(pos) = head_end(&buf) {
-            break pos + 4;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
+/// `Malformed` for syntax errors, `TooLarge` when [`MAX_HEAD_BYTES`] /
+/// [`MAX_BODY_BYTES`] are exceeded.
+pub fn try_parse(buf: &[u8]) -> Result<Parsed, HttpError> {
+    let Some(pos) = head_end(buf) else {
+        // No terminator yet: every buffered byte is head. 3 bytes of a
+        // possibly-split "\r\n\r\n" may straddle the boundary, so only
+        // flag once the buffer is unambiguously past the limit.
+        if buf.len() > MAX_HEAD_BYTES + 3 {
             return Err(HttpError::TooLarge(format!(
                 "headers exceed {MAX_HEAD_BYTES} bytes"
             )));
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(HttpError::Malformed(
-                "connection closed before the header block ended".into(),
-            ));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(Parsed::NeedMore);
     };
+    let body_start = pos + 4;
+    if body_start > MAX_HEAD_BYTES + 4 {
+        return Err(HttpError::TooLarge(format!(
+            "headers exceed {MAX_HEAD_BYTES} bytes"
+        )));
+    }
 
     let head = std::str::from_utf8(&buf[..body_start - 4])
         .map_err(|_| HttpError::Malformed("headers are not valid UTF-8".into()))?;
@@ -159,24 +192,118 @@ pub fn read_request(stream: &mut dyn Read) -> Result<Request, HttpError> {
         )));
     }
 
-    let mut body = buf[body_start..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(HttpError::Malformed(
-                "connection closed before the body ended".into(),
-            ));
-        }
-        body.extend_from_slice(&chunk[..n]);
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Ok(Parsed::NeedMore);
     }
-    body.truncate(content_length);
+    let body = buf[body_start..total].to_vec();
+    Ok(Parsed::Complete(
+        Request {
+            method,
+            path,
+            headers,
+            body,
+        },
+        total,
+    ))
+}
 
-    Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-    })
+/// Incremental request reader for a persistent connection.
+///
+/// Owns the connection's receive buffer across requests: bytes read
+/// ahead of one request (pipelined successors) stay buffered and are
+/// served without touching the socket again. The buffer is *reused* —
+/// consumed bytes are drained from the front, capacity is retained.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    buf: Vec<u8>,
+}
+
+impl RequestReader {
+    /// A reader with an empty buffer.
+    #[must_use]
+    pub fn new() -> RequestReader {
+        RequestReader {
+            buf: Vec::with_capacity(1024),
+        }
+    }
+
+    /// Whether read-ahead bytes from a previous call are still buffered
+    /// (the start of a pipelined request).
+    #[must_use]
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads and parses the next request, buffering any read-ahead.
+    ///
+    /// Returns `Ok(None)` on a clean close: EOF with the buffer empty,
+    /// i.e. exactly at a request boundary.
+    ///
+    /// # Errors
+    /// Socket errors, syntax errors, size-limit violations, and EOF in
+    /// the middle of a request (`Malformed`).
+    pub fn next_request(
+        &mut self,
+        stream: &mut dyn Read,
+    ) -> Result<Option<Request>, HttpError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match try_parse(&self.buf)? {
+                Parsed::Complete(req, consumed) => {
+                    self.buf.drain(..consumed);
+                    return Ok(Some(req));
+                }
+                Parsed::NeedMore => {}
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                if self.buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed(
+                    "connection closed mid-request".into(),
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Parses the next request out of the read-ahead buffer *without*
+    /// touching the socket. `Ok(None)` means the buffer holds at most a
+    /// prefix of a request; call [`next_request`](Self::next_request)
+    /// when blocking for the rest is acceptable. The connection worker
+    /// uses this to coalesce an already-arrived pipelined burst into
+    /// one batch-submission pass.
+    ///
+    /// # Errors
+    /// Syntax errors and size-limit violations, exactly as
+    /// `next_request` would report them for the same bytes.
+    pub fn next_buffered(&mut self) -> Result<Option<Request>, HttpError> {
+        match try_parse(&self.buf)? {
+            Parsed::Complete(req, consumed) => {
+                self.buf.drain(..consumed);
+                Ok(Some(req))
+            }
+            Parsed::NeedMore => Ok(None),
+        }
+    }
+}
+
+/// Reads and parses one request from the stream (one-shot compatibility
+/// wrapper over [`RequestReader`]; read-ahead bytes are discarded).
+///
+/// # Errors
+/// Fails on socket errors, on syntactically invalid requests, on a
+/// closed-before-complete stream, and when [`MAX_HEAD_BYTES`] /
+/// [`MAX_BODY_BYTES`] are exceeded.
+pub fn read_request(stream: &mut dyn Read) -> Result<Request, HttpError> {
+    match RequestReader::new().next_request(stream)? {
+        Some(req) => Ok(req),
+        None => Err(HttpError::Malformed(
+            "connection closed before the header block ended".into(),
+        )),
+    }
 }
 
 /// Standard reason phrase for the statuses this server emits.
@@ -196,8 +323,9 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// An outgoing response. Always one-shot: `Connection: close` and an
-/// explicit `Content-Length` are appended at write time.
+/// An outgoing response. An explicit `Content-Length` and a
+/// `Connection` header are appended at write time; the connection
+/// header says `close` unless [`Response::keep_alive`] was called.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
@@ -206,6 +334,8 @@ pub struct Response {
     pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Whether to advertise `Connection: close` (the default).
+    pub close: bool,
 }
 
 impl Response {
@@ -216,6 +346,7 @@ impl Response {
             status,
             headers: vec![("content-type".into(), "application/json".into())],
             body: body.into_bytes(),
+            close: true,
         }
     }
 
@@ -226,6 +357,7 @@ impl Response {
             status,
             headers: vec![("content-type".into(), "text/plain; charset=utf-8".into())],
             body: body.into_bytes(),
+            close: true,
         }
     }
 
@@ -236,7 +368,20 @@ impl Response {
         self
     }
 
-    /// Serializes the response onto the wire.
+    /// Marks the response as keep-alive (`Connection: keep-alive`).
+    #[must_use]
+    pub fn keep_alive(mut self) -> Response {
+        self.close = false;
+        self
+    }
+
+    /// Serializes the response onto the wire as one `write_all` call.
+    ///
+    /// A single write matters on persistent connections: a separate
+    /// head write followed by a body write puts two small segments on
+    /// the socket, and Nagle's algorithm holds the second until the
+    /// peer's delayed ACK (~40ms) — which would dominate keep-alive
+    /// latency.
     ///
     /// # Errors
     /// Propagates socket write failures.
@@ -246,9 +391,14 @@ impl Response {
             head.push_str(&format!("{name}: {value}\r\n"));
         }
         head.push_str(&format!("content-length: {}\r\n", self.body.len()));
-        head.push_str("connection: close\r\n\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        if self.close {
+            head.push_str("connection: close\r\n\r\n");
+        } else {
+            head.push_str("connection: keep-alive\r\n\r\n");
+        }
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&self.body);
+        w.write_all(&wire)?;
         w.flush()
     }
 }
@@ -311,6 +461,169 @@ mod tests {
     }
 
     #[test]
+    fn oversized_head_is_flagged_before_completion() {
+        // No "\r\n\r\n" anywhere, buffer already past the limit: the
+        // incremental parser must not wait for a terminator that may
+        // never come.
+        let prefix = vec![b'a'; MAX_HEAD_BYTES + 8];
+        assert!(matches!(try_parse(&prefix), Err(HttpError::TooLarge(_))));
+        // Just under the limit without a terminator: still waiting.
+        let under = vec![b'a'; MAX_HEAD_BYTES - 1];
+        assert!(matches!(try_parse(&under), Ok(Parsed::NeedMore)));
+    }
+
+    #[test]
+    fn wants_close_reads_the_connection_header() {
+        let req =
+            parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        let req = parse("GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+        let req = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+    }
+
+    fn pipeline_raw(n: usize) -> Vec<u8> {
+        let mut raw = Vec::new();
+        for i in 0..n {
+            let body = format!("body-{i}");
+            raw.extend_from_slice(
+                format!(
+                    "POST /predict HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                )
+                .as_bytes(),
+            );
+        }
+        raw
+    }
+
+    /// A reader that serves a fixed byte string in caller-chosen slices,
+    /// so segmentation at every byte boundary is testable without
+    /// sockets.
+    struct Segmented {
+        data: Vec<u8>,
+        cuts: Vec<usize>,
+        pos: usize,
+        next_cut: usize,
+    }
+
+    impl Read for Segmented {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let end = if self.next_cut < self.cuts.len() {
+                let c = self.cuts[self.next_cut].clamp(self.pos + 1, self.data.len());
+                self.next_cut += 1;
+                c
+            } else {
+                self.data.len()
+            };
+            let n = (end - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn drain_all(stream: &mut dyn Read) -> Result<Vec<Request>, HttpError> {
+        let mut reader = RequestReader::new();
+        let mut reqs = Vec::new();
+        while let Some(req) = reader.next_request(stream)? {
+            reqs.push(req);
+        }
+        Ok(reqs)
+    }
+
+    #[test]
+    fn every_single_split_point_parses_identically() {
+        let raw = pipeline_raw(3);
+        let oneshot = drain_all(&mut Cursor::new(raw.clone())).unwrap();
+        assert_eq!(oneshot.len(), 3);
+        for cut in 1..raw.len() {
+            let mut seg = Segmented {
+                data: raw.clone(),
+                cuts: vec![cut],
+                pos: 0,
+                next_cut: 0,
+            };
+            let got = drain_all(&mut seg).unwrap();
+            assert_eq!(got.len(), oneshot.len(), "cut at {cut}");
+            for (a, b) in got.iter().zip(oneshot.iter()) {
+                assert_eq!(a.method, b.method, "cut at {cut}");
+                assert_eq!(a.path, b.path, "cut at {cut}");
+                assert_eq!(a.headers, b.headers, "cut at {cut}");
+                assert_eq!(a.body, b.body, "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_ahead_bytes_stay_buffered_between_requests() {
+        let raw = pipeline_raw(4);
+        // One giant read: everything past request 1 is read-ahead.
+        let mut cursor = Cursor::new(raw);
+        let mut reader = RequestReader::new();
+        let first = reader.next_request(&mut cursor).unwrap().unwrap();
+        assert_eq!(first.body, b"body-0");
+        assert!(reader.has_buffered(), "pipelined successors buffered");
+        for i in 1..4 {
+            let req = reader.next_request(&mut cursor).unwrap().unwrap();
+            assert_eq!(req.body, format!("body-{i}").into_bytes());
+        }
+        assert!(reader.next_request(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn next_buffered_drains_complete_requests_without_the_socket() {
+        let raw = pipeline_raw(3);
+        let mut cursor = Cursor::new(raw);
+        let mut reader = RequestReader::new();
+        // One blocking read pulls the whole pipeline into the buffer.
+        let first = reader.next_request(&mut cursor).unwrap().unwrap();
+        assert_eq!(first.body, b"body-0");
+        // The two successors come straight out of the buffer...
+        assert_eq!(
+            reader.next_buffered().unwrap().unwrap().body,
+            b"body-1"
+        );
+        assert_eq!(
+            reader.next_buffered().unwrap().unwrap().body,
+            b"body-2"
+        );
+        // ...and a drained buffer reports None instead of blocking.
+        assert!(reader.next_buffered().unwrap().is_none());
+        assert!(!reader.has_buffered());
+    }
+
+    #[test]
+    fn next_buffered_reports_none_on_a_partial_request() {
+        let raw = pipeline_raw(2);
+        let cut = raw.len() - 3; // request 2 is incomplete
+        let mut reader = RequestReader::new();
+        let mut cursor = Cursor::new(raw[..cut].to_vec());
+        assert!(reader.next_request(&mut cursor).unwrap().is_some());
+        assert!(reader.has_buffered(), "partial request 2 is buffered");
+        assert!(reader.next_buffered().unwrap().is_none());
+        assert!(reader.has_buffered(), "prefix must stay buffered");
+    }
+
+    #[test]
+    fn eof_mid_request_is_malformed_not_clean() {
+        let raw = pipeline_raw(2);
+        let cut = raw.len() - 3; // truncate inside request 2's body
+        let mut cursor = Cursor::new(raw[..cut].to_vec());
+        let mut reader = RequestReader::new();
+        assert!(reader.next_request(&mut cursor).unwrap().is_some());
+        assert!(matches!(
+            reader.next_request(&mut cursor),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn responses_carry_length_and_close() {
         let mut out = Vec::new();
         Response::json(200, "{\"ok\":true}".into())
@@ -324,6 +637,18 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_it() {
+        let mut out = Vec::new();
+        Response::text(200, "ok".into())
+            .keep_alive()
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("connection: close\r\n"));
     }
 
     #[test]

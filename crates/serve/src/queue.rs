@@ -80,6 +80,16 @@ impl ServeModel {
         matches!(self, ServeModel::ColAvgs(_))
     }
 
+    /// Per-column training means: the col-avgs floor this model degrades
+    /// to when the queue sheds load.
+    #[must_use]
+    pub fn column_means(&self) -> &[f64] {
+        match self {
+            ServeModel::Rules(bp) => bp.predictor().rules().column_means(),
+            ServeModel::ColAvgs(ca) => ca.means(),
+        }
+    }
+
     /// The `/rules` document (same on-disk format as `mine` writes).
     #[must_use]
     pub fn document(&self) -> String {
@@ -280,6 +290,19 @@ impl Batcher {
     #[must_use]
     pub fn deadline(&self) -> Duration {
         self.shared.cfg.deadline
+    }
+
+    /// Starts a drain without blocking: new submissions are refused with
+    /// [`SubmitError::ShuttingDown`] while already-queued jobs still run
+    /// to completion. [`shutdown`](Self::shutdown) later joins the
+    /// worker; calling only `begin_drain` leaves it running until the
+    /// queue empties.
+    pub fn begin_drain(&self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
     }
 
     /// Stops accepting work, drains everything already queued, and joins

@@ -1,0 +1,670 @@
+//! Hot-swap model registry: named + versioned [`ServeModel`]s behind an
+//! atomically-swapped snapshot.
+//!
+//! The registry is the bridge between mining and serving: `mine` (or
+//! the distributed coordinator) writes a `model_json` artifact, `POST
+//! /models` ingests it here, and `/predict` traffic cuts over to the
+//! new version without dropping a connection. Three properties carry
+//! the design:
+//!
+//! * **Readers never block on a swap.** The whole registry state lives
+//!   in one immutable [`RegistrySnapshot`] behind an `Arc`; a reader
+//!   takes the `snap` mutex only long enough to clone the `Arc` (a
+//!   refcount bump — the workspace bans `unsafe`, so this is the
+//!   std-only stand-in for an atomic `Arc` swap). Writers build the
+//!   next snapshot off to the side and store it with the same
+//!   pointer-sized critical section. A request therefore sees exactly
+//!   one version end to end: whatever snapshot it grabbed at routing
+//!   time, swaps notwithstanding — no torn reads, no blended models.
+//! * **Validation at the trust boundary.** `POST /models` bodies are
+//!   checked the way the distributed coordinator checks shard payloads
+//!   (`validate_payload`): width against the active model, finiteness
+//!   of every loading / eigenvalue / mean, non-negative eigenvalues,
+//!   unit-norm rule directions. A hostile or corrupt artifact is
+//!   rejected with a reason, counted, and never reaches the hot path.
+//! * **Shadow routing off the response path.** A version marked as
+//!   shadow (canary) gets every filled `/predict` row replayed against
+//!   it on a dedicated worker thread, via a bounded channel that drops
+//!   (and counts) rather than backpressures. Divergences from the
+//!   active answer are compared `f64::to_bits`-exact and counted —
+//!   the bit-identity contract, applied across versions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use dataset::holes::HoledRow;
+use obs::json::JsonValue;
+use obs::names;
+use ratio_rules::predictor::{ColAvgs, Predictor};
+use ratio_rules::resilience::ServedModel;
+
+use crate::queue::{BatchConfig, Batcher, ServeModel};
+
+/// Most versions retained at once; publishing past this evicts the
+/// oldest version that is neither active nor shadow (its batcher is
+/// drained and joined off the swap path).
+pub const MAX_VERSIONS: usize = 8;
+
+/// Bounded shadow-replay queue; overflow drops (and counts) instead of
+/// slowing the response path.
+const SHADOW_QUEUE: usize = 256;
+
+/// One registered model version and its serving machinery.
+pub struct ModelHandle {
+    name: String,
+    version: u64,
+    model: Arc<ServeModel>,
+    batcher: Batcher,
+    floor: ColAvgs,
+    rules_doc: String,
+}
+
+impl ModelHandle {
+    /// Human-chosen model name (`"boot"` for the process-start model).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotone registry-assigned version.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The model itself.
+    #[must_use]
+    pub fn model(&self) -> &Arc<ServeModel> {
+        &self.model
+    }
+
+    /// This version's batching core.
+    #[must_use]
+    pub fn batcher(&self) -> &Batcher {
+        &self.batcher
+    }
+
+    /// The col-avgs floor for this version (load shedding target).
+    #[must_use]
+    pub fn floor(&self) -> &ColAvgs {
+        &self.floor
+    }
+
+    /// The `/rules` document for this version.
+    #[must_use]
+    pub fn rules_doc(&self) -> &str {
+        &self.rules_doc
+    }
+
+    /// Whether this version is itself the degraded col-avgs floor.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.model.is_degraded()
+    }
+
+    /// Single-shot fill against this version — the oracle path the
+    /// batcher must match bit-for-bit, reused by the shadow worker.
+    ///
+    /// # Errors
+    /// Propagates solver errors as text.
+    pub fn fill_single(&self, row: &HoledRow) -> Result<Vec<f64>, String> {
+        match self.model.as_ref() {
+            ServeModel::Rules(bp) => bp.predictor().fill(row),
+            ServeModel::ColAvgs(ca) => ca.fill(row),
+        }
+        .map_err(|e| e.to_string())
+    }
+}
+
+/// An immutable view of the registry at one instant. Requests resolve
+/// their model handle from one snapshot and keep using it; a swap
+/// mid-request cannot mix versions.
+pub struct RegistrySnapshot {
+    active: Arc<ModelHandle>,
+    shadow: Option<Arc<ModelHandle>>,
+    versions: Vec<Arc<ModelHandle>>,
+}
+
+impl RegistrySnapshot {
+    /// The version serving unpinned traffic.
+    #[must_use]
+    pub fn active(&self) -> &Arc<ModelHandle> {
+        &self.active
+    }
+
+    /// The canary version, when one is set.
+    #[must_use]
+    pub fn shadow(&self) -> Option<&Arc<ModelHandle>> {
+        self.shadow.as_ref()
+    }
+
+    /// Every retained version, oldest first.
+    #[must_use]
+    pub fn versions(&self) -> &[Arc<ModelHandle>] {
+        &self.versions
+    }
+
+    /// Looks a retained version up by number (request pinning).
+    #[must_use]
+    pub fn version(&self, v: u64) -> Option<&Arc<ModelHandle>> {
+        self.versions.iter().find(|h| h.version == v)
+    }
+}
+
+struct ShadowJob {
+    shadow: Arc<ModelHandle>,
+    row: HoledRow,
+    active_values: Vec<f64>,
+    active_version: u64,
+}
+
+/// The registry. One per server; see the module docs for the swap and
+/// shadow contracts.
+pub struct ModelRegistry {
+    snap: Mutex<Arc<RegistrySnapshot>>,
+    /// Serializes writers (publish/activate) so concurrent publishes
+    /// cannot lose versions; readers never take it.
+    writers: Mutex<()>,
+    batch_cfg: BatchConfig,
+    next_version: AtomicU64,
+    shadow_tx: Mutex<Option<mpsc::SyncSender<ShadowJob>>>,
+    shadow_worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ModelRegistry {
+    /// Builds the registry around the process-start model (version 1)
+    /// and spawns the shadow worker.
+    ///
+    /// # Errors
+    /// Fails when the initial model cannot produce its col-avgs floor
+    /// (zero-width model).
+    pub fn start(
+        name: &str,
+        model: ServeModel,
+        batch_cfg: BatchConfig,
+    ) -> Result<ModelRegistry, String> {
+        let handle = make_handle(name, 1, model, &batch_cfg)?;
+        let (tx, rx) = mpsc::sync_channel::<ShadowJob>(SHADOW_QUEUE);
+        let worker = std::thread::Builder::new()
+            .name("rr-shadow".into())
+            .spawn(move || shadow_loop(&rx))
+            .ok();
+        obs::gauge_set(names::SERVE_MODEL_VERSIONS, 1.0);
+        obs::gauge_set(names::SERVE_ACTIVE_MODEL_VERSION, 1.0);
+        Ok(ModelRegistry {
+            snap: Mutex::new(Arc::new(RegistrySnapshot {
+                active: Arc::clone(&handle),
+                shadow: None,
+                versions: vec![handle],
+            })),
+            writers: Mutex::new(()),
+            batch_cfg,
+            next_version: AtomicU64::new(2),
+            shadow_tx: Mutex::new(Some(tx)),
+            shadow_worker: Mutex::new(worker),
+        })
+    }
+
+    fn lock_snap(&self) -> MutexGuard<'_, Arc<RegistrySnapshot>> {
+        self.snap.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The current snapshot — a refcount bump, never blocked by a
+    /// publish in progress.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<RegistrySnapshot> {
+        Arc::clone(&self.lock_snap())
+    }
+
+    /// Validates and registers a mined model; optionally activates it
+    /// and/or marks it as the shadow (canary). Returns its handle.
+    ///
+    /// # Errors
+    /// Validation failures (shape, finiteness, unit norms) and
+    /// floor-construction failures, as text; rejected publishes are
+    /// counted under `serve_publish_rejected_total`.
+    pub fn publish(
+        &self,
+        served: ServedModel,
+        name: &str,
+        activate: bool,
+        shadow: bool,
+    ) -> Result<Arc<ModelHandle>, String> {
+        let result = self.publish_inner(served, name, activate, shadow);
+        if result.is_err() {
+            obs::counter_add(names::SERVE_PUBLISH_REJECTED_TOTAL, 1);
+        }
+        result
+    }
+
+    fn publish_inner(
+        &self,
+        served: ServedModel,
+        name: &str,
+        activate: bool,
+        shadow: bool,
+    ) -> Result<Arc<ModelHandle>, String> {
+        let name = name.trim();
+        if name.is_empty() || name.len() > 64 {
+            return Err("model name must be 1..=64 characters".into());
+        }
+        let expected_m = self.snapshot().active.model.n_attributes();
+        validate_served(&served, expected_m)?;
+        let version = self.next_version.fetch_add(1, Ordering::SeqCst);
+        let handle = make_handle(
+            name,
+            version,
+            ServeModel::from_served(served),
+            &self.batch_cfg,
+        )?;
+
+        let mut evicted: Vec<Arc<ModelHandle>> = Vec::new();
+        {
+            let _w = self
+                .writers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let old = self.snapshot();
+            let mut versions = old.versions.clone();
+            versions.push(Arc::clone(&handle));
+            let active = if activate {
+                Arc::clone(&handle)
+            } else {
+                Arc::clone(&old.active)
+            };
+            let shadow_handle = if shadow {
+                Some(Arc::clone(&handle))
+            } else {
+                old.shadow.clone()
+            };
+            while versions.len() > MAX_VERSIONS {
+                let Some(idx) = versions.iter().position(|h| {
+                    h.version != active.version
+                        && shadow_handle
+                            .as_ref()
+                            .is_none_or(|s| h.version != s.version)
+                }) else {
+                    break;
+                };
+                evicted.push(versions.remove(idx));
+            }
+            obs::gauge_set(names::SERVE_MODEL_VERSIONS, versions.len() as f64);
+            obs::gauge_set(names::SERVE_ACTIVE_MODEL_VERSION, active.version as f64);
+            *self.lock_snap() = Arc::new(RegistrySnapshot {
+                active,
+                shadow: shadow_handle,
+                versions,
+            });
+        }
+        obs::counter_add(names::SERVE_MODELS_PUBLISHED_TOTAL, 1);
+        obs::flight_event(
+            names::EVENT_SERVE_MODEL_PUBLISHED,
+            version,
+            u64::from(activate),
+            0.0,
+        );
+        if activate {
+            obs::counter_add(names::SERVE_MODEL_SWAPS_TOTAL, 1);
+            obs::flight_event(names::EVENT_SERVE_MODEL_SWAPPED, version, 0, 0.0);
+        }
+        // Evicted versions drain outside every lock; in-flight requests
+        // that pinned one still hold its Arc and finish normally.
+        for h in evicted {
+            h.batcher.shutdown();
+        }
+        Ok(handle)
+    }
+
+    /// Re-points unpinned traffic at an already-retained version.
+    ///
+    /// # Errors
+    /// Unknown version numbers.
+    pub fn activate(&self, version: u64) -> Result<Arc<ModelHandle>, String> {
+        let _w = self
+            .writers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let old = self.snapshot();
+        let handle = old
+            .version(version)
+            .cloned()
+            .ok_or_else(|| format!("unknown model version {version}"))?;
+        obs::gauge_set(names::SERVE_ACTIVE_MODEL_VERSION, version as f64);
+        *self.lock_snap() = Arc::new(RegistrySnapshot {
+            active: Arc::clone(&handle),
+            shadow: old.shadow.clone(),
+            versions: old.versions.clone(),
+        });
+        obs::counter_add(names::SERVE_MODEL_SWAPS_TOTAL, 1);
+        obs::flight_event(names::EVENT_SERVE_MODEL_SWAPPED, version, 0, 0.0);
+        Ok(handle)
+    }
+
+    /// Queues one answered row for shadow replay. No-op without a
+    /// shadow, when the shadow *is* the answering version, or when the
+    /// bounded queue is full (counted as dropped).
+    pub fn shadow_submit(&self, active_version: u64, row: HoledRow, active_values: Vec<f64>) {
+        let snap = self.snapshot();
+        let Some(shadow) = snap.shadow.as_ref() else {
+            return;
+        };
+        if shadow.version == active_version {
+            return;
+        }
+        let job = ShadowJob {
+            shadow: Arc::clone(shadow),
+            row,
+            active_values,
+            active_version,
+        };
+        let guard = self
+            .shadow_tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(tx) = guard.as_ref() {
+            if tx.try_send(job).is_err() {
+                obs::counter_add(names::SERVE_SHADOW_DROPPED_TOTAL, 1);
+            }
+        }
+    }
+
+    /// `GET /models` document: every retained version plus the shadow
+    /// counters.
+    #[must_use]
+    pub fn list_doc(&self) -> String {
+        let snap = self.snapshot();
+        let mut versions = snap.versions.clone();
+        versions.sort_by_key(|h| h.version);
+        let models: Vec<JsonValue> = versions
+            .iter()
+            .map(|h| {
+                JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str(h.name.clone())),
+                    ("version".into(), JsonValue::Num(h.version as f64)),
+                    ("k".into(), JsonValue::Num(h.model.k() as f64)),
+                    (
+                        "attributes".into(),
+                        JsonValue::Num(h.model.n_attributes() as f64),
+                    ),
+                    ("degraded".into(), JsonValue::Bool(h.is_degraded())),
+                    (
+                        "active".into(),
+                        JsonValue::Bool(h.version == snap.active.version),
+                    ),
+                    (
+                        "shadow".into(),
+                        JsonValue::Bool(
+                            snap.shadow
+                                .as_ref()
+                                .is_some_and(|s| s.version == h.version),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let counter = |name: &str| -> f64 {
+            obs::global().snapshot().counter(name).unwrap_or(0) as f64
+        };
+        JsonValue::Obj(vec![
+            (
+                "active_version".into(),
+                JsonValue::Num(snap.active.version as f64),
+            ),
+            ("models".into(), JsonValue::Arr(models)),
+            (
+                "shadow_solves".into(),
+                JsonValue::Num(counter(names::SERVE_SHADOW_SOLVES_TOTAL)),
+            ),
+            (
+                "shadow_divergences".into(),
+                JsonValue::Num(counter(names::SERVE_SHADOW_DIVERGENCES_TOTAL)),
+            ),
+        ])
+        .write(false)
+    }
+
+    /// Starts a drain on every retained version's batcher without
+    /// blocking (mirrors [`Batcher::begin_drain`]).
+    pub fn begin_drain(&self) {
+        for h in self.snapshot().versions() {
+            h.batcher.begin_drain();
+        }
+    }
+
+    /// Stops the shadow worker and drains every batcher. Idempotent.
+    pub fn shutdown(&self) {
+        // Dropping the sender closes the channel; the worker exits after
+        // replaying what is already queued.
+        self.shadow_tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        let worker = self
+            .shadow_worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(h) = worker {
+            let _ = h.join();
+        }
+        for h in self.snapshot().versions() {
+            h.batcher.shutdown();
+        }
+    }
+}
+
+impl Drop for ModelRegistry {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn make_handle(
+    name: &str,
+    version: u64,
+    model: ServeModel,
+    cfg: &BatchConfig,
+) -> Result<Arc<ModelHandle>, String> {
+    let floor = ColAvgs::new(model.column_means().to_vec()).map_err(|e| e.to_string())?;
+    let rules_doc = model.document();
+    let model = Arc::new(model);
+    let batcher = Batcher::start(Arc::clone(&model), cfg.clone());
+    Ok(Arc::new(ModelHandle {
+        name: name.to_string(),
+        version,
+        model,
+        batcher,
+        floor,
+        rules_doc,
+    }))
+}
+
+fn shadow_loop(rx: &mpsc::Receiver<ShadowJob>) {
+    while let Ok(job) = rx.recv() {
+        obs::counter_add(names::SERVE_SHADOW_SOLVES_TOTAL, 1);
+        let diverged = match job.shadow.fill_single(&job.row) {
+            Ok(values) => {
+                values.len() != job.active_values.len()
+                    || values
+                        .iter()
+                        .zip(job.active_values.iter())
+                        .any(|(a, b)| a.to_bits() != b.to_bits())
+            }
+            // A row the shadow cannot solve but the active did is a
+            // divergence by definition.
+            Err(_) => true,
+        };
+        if diverged {
+            obs::counter_add(names::SERVE_SHADOW_DIVERGENCES_TOTAL, 1);
+            obs::flight_event(
+                names::EVENT_SERVE_SHADOW_DIVERGED,
+                job.shadow.version,
+                job.active_version,
+                0.0,
+            );
+        }
+    }
+}
+
+/// Trust-boundary validation for ingested artifacts, mirroring the
+/// coordinator's `validate_payload`: a corrupt or hostile document must
+/// be rejected with a reason before any serving structure is built.
+fn validate_served(model: &ServedModel, expected_m: usize) -> Result<(), String> {
+    match model {
+        ServedModel::Rules(rs) => {
+            if rs.n_attributes() != expected_m {
+                return Err(format!(
+                    "model: {} attributes, the server serves {expected_m}",
+                    rs.n_attributes()
+                ));
+            }
+            if !rs.column_means().iter().all(|v| v.is_finite()) {
+                return Err("model: non-finite column means".into());
+            }
+            if !rs.spectrum().iter().all(|v| v.is_finite()) {
+                return Err("model: non-finite spectrum".into());
+            }
+            for (i, rule) in rs.rules().iter().enumerate() {
+                if rule.loadings.len() != expected_m {
+                    return Err(format!("model: rule {i} has the wrong width"));
+                }
+                if !rule.loadings.iter().all(|v| v.is_finite()) {
+                    return Err(format!("model: rule {i} has non-finite loadings"));
+                }
+                if !rule.eigenvalue.is_finite() || rule.eigenvalue < 0.0 {
+                    return Err(format!(
+                        "model: rule {i} eigenvalue {} is not a variance",
+                        rule.eigenvalue
+                    ));
+                }
+                let norm = rule.loadings.iter().map(|v| v * v).sum::<f64>().sqrt();
+                if (norm - 1.0).abs() > 1e-6 {
+                    return Err(format!(
+                        "model: rule {i} loadings are not unit-norm (|v| = {norm})"
+                    ));
+                }
+            }
+        }
+        ServedModel::ColAvgs(ca) => {
+            if ca.n_attributes() != expected_m {
+                return Err(format!(
+                    "model: {} attributes, the server serves {expected_m}",
+                    ca.n_attributes()
+                ));
+            }
+            if !ca.means().iter().all(|v| v.is_finite()) {
+                return Err("model: non-finite column means".into());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+    use ratio_rules::cutoff::Cutoff;
+    use ratio_rules::miner::RatioRuleMiner;
+
+    fn training(scale: f64) -> Matrix {
+        // Rank-1 rows t * (1, 2, 3), scaled: FixedK(1) mines cleanly.
+        Matrix::from_fn(30, 3, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0) * scale)
+    }
+
+    fn mined(scale: f64) -> ServedModel {
+        let rules = RatioRuleMiner::new(Cutoff::FixedK(1))
+            .fit_matrix(&training(scale))
+            .expect("mine");
+        ServedModel::Rules(rules)
+    }
+
+    fn registry() -> ModelRegistry {
+        let ServedModel::Rules(rules) = mined(1.0) else {
+            unreachable!("mined returns rules");
+        };
+        ModelRegistry::start(
+            "boot",
+            ServeModel::Rules(ratio_rules::batch::BatchPredictor::new(rules)),
+            BatchConfig::default(),
+        )
+        .expect("registry")
+    }
+
+    #[test]
+    fn publish_assigns_versions_and_swaps_atomically() {
+        let reg = registry();
+        assert_eq!(reg.snapshot().active().version(), 1);
+        let h2 = reg.publish(mined(2.0), "v2", true, false).expect("publish");
+        assert_eq!(h2.version(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.active().version(), 2);
+        assert_eq!(snap.versions().len(), 2);
+        // The old version is still pinnable.
+        assert!(snap.version(1).is_some());
+        reg.shutdown();
+    }
+
+    #[test]
+    fn non_activating_publish_keeps_traffic_on_the_active() {
+        let reg = registry();
+        let h = reg.publish(mined(3.0), "staged", false, true).expect("publish");
+        let snap = reg.snapshot();
+        assert_eq!(snap.active().version(), 1);
+        assert_eq!(snap.shadow().map(|s| s.version()), Some(h.version()));
+        reg.shutdown();
+    }
+
+    #[test]
+    fn rejects_wrong_width_and_non_finite_models() {
+        let reg = registry();
+        // Wrong width: a 2-column model into a 3-column server.
+        let narrow = ServedModel::ColAvgs(ColAvgs::new(vec![1.0, 2.0]).expect("floor"));
+        assert!(reg.publish(narrow, "narrow", true, false).is_err());
+        // Non-finite means.
+        let nan = ServedModel::ColAvgs(
+            ColAvgs::new(vec![1.0, f64::NAN, 3.0]).expect("floor"),
+        );
+        assert!(reg.publish(nan, "nan", true, false).is_err());
+        // Corrupted loadings: scale a mined rule off unit norm.
+        let ServedModel::Rules(rs) = mined(1.0) else {
+            unreachable!("mined returns rules");
+        };
+        let mut rules = rs.rules().to_vec();
+        for r in &mut rules {
+            for v in &mut r.loadings {
+                *v *= 2.0;
+            }
+        }
+        let corrupt = ratio_rules::rules::RuleSet::new(
+            rules,
+            rs.column_means().to_vec(),
+            rs.spectrum().to_vec(),
+            rs.attribute_labels().to_vec(),
+            rs.n_train(),
+        )
+        .expect("ruleset");
+        assert!(reg
+            .publish(ServedModel::Rules(corrupt), "corrupt", true, false)
+            .is_err());
+        // The registry is untouched.
+        assert_eq!(reg.snapshot().versions().len(), 1);
+        reg.shutdown();
+    }
+
+    #[test]
+    fn eviction_never_removes_the_active_or_shadow() {
+        let reg = registry();
+        for i in 0..(MAX_VERSIONS + 3) {
+            reg.publish(mined(1.0 + i as f64), &format!("m{i}"), false, false)
+                .expect("publish");
+        }
+        let snap = reg.snapshot();
+        assert!(snap.versions().len() <= MAX_VERSIONS);
+        // Version 1 is still active, so it survived every eviction.
+        assert_eq!(snap.active().version(), 1);
+        assert!(snap.version(1).is_some());
+        reg.shutdown();
+    }
+}

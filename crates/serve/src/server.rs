@@ -1,27 +1,45 @@
 //! The TCP front end: accept loop, worker pool, and request routing.
 //!
 //! One thread accepts connections into a bounded hand-off queue; `N`
-//! worker threads pop connections, parse one request each (the protocol
-//! is one-shot, `Connection: close`), route it, and reply. `/predict`
-//! rows go through the [`Batcher`]; everything else is answered inline.
+//! worker threads pop connections and serve them **persistently**: an
+//! incremental [`RequestReader`] parses pipelined HTTP/1.1 requests out
+//! of a reused per-connection buffer, and the worker answers
+//! `Connection: keep-alive` until the client asks to close, the
+//! per-connection request cap is reached, the idle timeout expires, or
+//! a drain begins. A worker therefore owns its connection for the
+//! connection's whole life — size `threads` to the expected number of
+//! concurrent clients, and note that the hand-off `503` now doubles as
+//! admission control for connections, not just requests.
+//!
+//! Models come from the hot-swap [`ModelRegistry`](crate::registry):
+//! every request resolves one immutable registry snapshot, so a
+//! `POST /models` swap mid-request can never mix versions. `/predict`
+//! and friends honor an `x-model-version` pinning header and stamp the
+//! answering version on the response.
+//!
 //! Shutdown is graceful: the accept loop stops, workers finish the
-//! connections already handed off, and the batcher drains its queue
-//! before [`Server::shutdown`] returns — accepted work is never dropped.
+//! connections already handed off, and every batcher drains its queue
+//! before [`Server::shutdown`] returns — accepted work is never
+//! dropped. [`Server::begin_drain`] starts the same drain without
+//! blocking, for staged rollouts (new `/predict` work answers `503` +
+//! `Retry-After`, responses switch to `Connection: close`).
 
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use obs::json::JsonValue;
 use obs::names;
+use ratio_rules::predictor::Predictor;
 use ratio_rules::whatif::{Forecast, Scenario};
 
-use crate::protocol::{read_request, HttpError, Request, Response};
-use crate::queue::{case_name, BatchConfig, Batcher, PredictOutcome, ServeModel, SubmitError};
+use crate::protocol::{HttpError, Request, RequestReader, Response};
+use crate::queue::{case_name, BatchConfig, PredictOutcome, ServeModel, SubmitError};
+use crate::registry::{ModelHandle, ModelRegistry};
 
 /// Server configuration (the `serve` subcommand maps its flags here).
 #[derive(Debug, Clone)]
@@ -29,12 +47,26 @@ pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral
     /// port, which tests use).
     pub addr: String,
-    /// HTTP worker threads.
+    /// HTTP worker threads. With persistent connections each worker
+    /// owns one connection at a time, so this is also the concurrent-
+    /// connection budget.
     pub threads: usize,
-    /// Batching-core knobs.
+    /// Batching-core knobs (applied to every registered version).
     pub batch: BatchConfig,
-    /// Per-connection socket read/write timeout.
+    /// Per-connection socket write timeout (and the read timeout while
+    /// a request is mid-flight).
     pub io_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Most requests served over one connection before the server
+    /// answers `Connection: close` (bounds per-connection state).
+    pub max_conn_requests: usize,
+    /// When the batch queue is full, answer from the col-avgs floor
+    /// (with the `DEGRADED` header) instead of `429` — degrade before
+    /// queueing to death. Off by default: explicit backpressure is the
+    /// safer contract unless the operator opts into floor answers.
+    pub shed_degrade: bool,
     /// Seed for request trace ids (mixed with a per-request sequence, so
     /// equal seeds still yield distinct traces). Deterministic input by
     /// design — no ambient entropy.
@@ -48,6 +80,9 @@ impl Default for ServerConfig {
             threads: 4,
             batch: BatchConfig::default(),
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+            max_conn_requests: 1000,
+            shed_degrade: false,
             trace_seed: 0x5252_5345_5256_4500, // "RRSERVE\0"
         }
     }
@@ -79,6 +114,12 @@ impl ConnQueue {
             obs::flight_event(names::EVENT_SERVE_SHED_503, self.cap as u64, 0, 0.0);
             let mut stream = stream;
             let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            // Consume the request (bounded by the parser's size limits
+            // and a short timeout) before answering: closing with unread
+            // bytes in the socket turns into an RST that can destroy the
+            // 503 before the client reads it.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = RequestReader::new().next_request(&mut stream);
             let _ = Response::text(503, "worker hand-off queue full\n".into())
                 .with_header("retry-after", "1")
                 .write_to(&mut stream);
@@ -109,12 +150,14 @@ impl ConnQueue {
 }
 
 struct Handler {
-    model: Arc<ServeModel>,
-    batcher: Batcher,
-    rules_doc: String,
-    degraded: bool,
+    registry: Arc<ModelRegistry>,
     io_timeout: Duration,
+    idle_timeout: Duration,
+    max_conn_requests: usize,
+    shed_degrade: bool,
     trace_seed: u64,
+    draining: AtomicBool,
+    active_conns: AtomicU64,
 }
 
 /// A running prediction server.
@@ -128,22 +171,26 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the accept loop + workers + batcher, and returns.
+    /// Binds, spawns the accept loop + workers + registry, and returns.
     ///
     /// # Errors
-    /// Propagates bind failures (address in use, permission).
+    /// Propagates bind failures (address in use, permission) and a
+    /// zero-width boot model.
     pub fn start(cfg: ServerConfig, model: ServeModel) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         seed_boot_families();
-        let model = Arc::new(model);
+        let registry = ModelRegistry::start("boot", model, cfg.batch.clone())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let handler = Arc::new(Handler {
-            rules_doc: model.document(),
-            degraded: model.is_degraded(),
-            batcher: Batcher::start(Arc::clone(&model), cfg.batch.clone()),
-            model,
+            registry: Arc::new(registry),
             io_timeout: cfg.io_timeout,
+            idle_timeout: cfg.idle_timeout,
+            max_conn_requests: cfg.max_conn_requests.max(1),
+            shed_degrade: cfg.shed_degrade,
             trace_seed: cfg.trace_seed,
+            draining: AtomicBool::new(false),
+            active_conns: AtomicU64::new(0),
         });
         let threads = cfg.threads.max(1);
         let conns = Arc::new(ConnQueue {
@@ -204,9 +251,26 @@ impl Server {
         self.local_addr
     }
 
+    /// The model registry (publish/activate programmatically; tests and
+    /// the CLI use `POST /models` over the wire instead).
+    #[must_use]
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.handler.registry)
+    }
+
+    /// Starts a non-blocking drain: new `/predict` submissions answer
+    /// `503` + `Retry-After`, every response switches to
+    /// `Connection: close`, and already-queued work still completes.
+    /// [`shutdown`](Self::shutdown) finishes the job.
+    pub fn begin_drain(&self) {
+        self.handler.draining.store(true, Ordering::SeqCst);
+        self.handler.registry.begin_drain();
+    }
+
     /// Graceful drain: stop accepting, finish handed-off connections,
-    /// drain the batch queue, join every thread.
+    /// drain every batch queue, join every thread.
     pub fn shutdown(mut self) {
+        self.begin_drain();
         self.shutting_down.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
@@ -217,29 +281,112 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        self.handler.batcher.shutdown();
+        self.handler.registry.shutdown();
     }
 }
 
+/// Most pipelined requests coalesced into one parse→submit→answer pass.
+/// Sized to the batcher's default `max_batch`; a deeper client burst
+/// still completes, it just spans multiple passes.
+const COALESCE_MAX: usize = 32;
+
 fn handle_connection(handler: &Handler, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(handler.io_timeout));
+    obs::counter_add(names::SERVE_CONNECTIONS_TOTAL, 1);
+    let active = handler.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+    obs::gauge_set(names::SERVE_CONNECTIONS_ACTIVE, active as f64);
     let _ = stream.set_write_timeout(Some(handler.io_timeout));
-    let response = match read_request(&mut stream) {
-        Ok(req) => route(handler, &req),
-        Err(HttpError::TooLarge(msg)) => err_response(413, &msg),
-        Err(HttpError::Malformed(msg)) => err_response(400, &msg),
-        Err(HttpError::Io(_)) => return, // client vanished; nothing to say
-    };
-    if response.status >= 400 && response.status != 429 {
-        obs::counter_add(names::SERVE_ERRORS_TOTAL, 1);
+    // The idle timeout doubles as the mid-request read timeout: a
+    // stalled body is indistinguishable from an idle client at this
+    // layer, and both must not pin a worker forever.
+    let _ = stream.set_read_timeout(Some(handler.idle_timeout));
+    // Nagle + delayed ACK costs ~40ms per response on a persistent
+    // connection; responses are single buffered writes, so there is
+    // nothing for Nagle to coalesce anyway.
+    let _ = stream.set_nodelay(true);
+    let mut reader = RequestReader::new();
+    let mut served = 0usize;
+    // Each outer pass handles one pipelined burst: the first request may
+    // block on the socket; successors already sitting in the read-ahead
+    // buffer join the same pass. Splitting routing into begin (submit
+    // `/predict` rows to the batcher) and finish (collect outcomes)
+    // means the whole burst shares one batch window instead of paying
+    // it once per request, sequentially — that window is the dominant
+    // per-request cost on a loaded keep-alive connection.
+    'conn: loop {
+        let mut flights: Vec<(InFlight, bool)> = Vec::new();
+        let mut fatal: Option<Response> = None;
+        loop {
+            let parsed = if flights.is_empty() {
+                reader.next_request(&mut stream)
+            } else {
+                reader.next_buffered()
+            };
+            match parsed {
+                Ok(Some(req)) => {
+                    served += 1;
+                    if served > 1 {
+                        obs::counter_add(names::SERVE_KEEPALIVE_REQUESTS_TOTAL, 1);
+                    }
+                    let close = handler.draining.load(Ordering::SeqCst)
+                        || served >= handler.max_conn_requests
+                        || req.wants_close();
+                    let stop = close || flights.len() + 1 >= COALESCE_MAX;
+                    flights.push((route_begin(handler, &req), close));
+                    if stop {
+                        break;
+                    }
+                }
+                // From `next_buffered`: the buffer holds at most a
+                // request prefix — answer what we have, the tail joins
+                // the next pass once it arrives.
+                Ok(None) if !flights.is_empty() => break,
+                // EOF exactly at a request boundary: clean close.
+                Ok(None) => break 'conn,
+                // Size-limit and syntax errors answer, then close — the
+                // remaining bytes of the offending request were never
+                // read, so the stream cannot be resynced. Pipelined
+                // requests *before* the bad one still get their answers
+                // first.
+                Err(HttpError::TooLarge(msg)) => {
+                    fatal = Some(err_response(413, &msg));
+                    break;
+                }
+                Err(HttpError::Malformed(msg)) => {
+                    fatal = Some(err_response(400, &msg));
+                    break;
+                }
+                // Idle timeout or vanished client; nothing to say.
+                Err(HttpError::Io(_)) if flights.is_empty() => break 'conn,
+                Err(HttpError::Io(_)) => break,
+            }
+        }
+        // Answer strictly in request order (the pipelining contract),
+        // serialized into one buffered write for the whole burst.
+        let mut wire: Vec<u8> = Vec::new();
+        let mut close_conn = false;
+        for (flight, close) in flights {
+            let response = route_finish(handler, flight);
+            if response.status >= 400 && response.status != 429 {
+                obs::counter_add(names::SERVE_ERRORS_TOTAL, 1);
+            }
+            let response = if close { response } else { response.keep_alive() };
+            close_conn = close_conn || close;
+            // Writing into a Vec cannot fail.
+            let _ = response.write_to(&mut wire);
+        }
+        if let Some(response) = fatal {
+            obs::counter_add(names::SERVE_ERRORS_TOTAL, 1);
+            let _ = response.write_to(&mut wire);
+            close_conn = true;
+        }
+        let write_ok = stream.write_all(&wire).is_ok() && stream.flush().is_ok();
+        if close_conn || !write_ok {
+            break;
+        }
     }
-    let response = if handler.degraded {
-        response.with_header("DEGRADED", "true")
-    } else {
-        response
-    };
-    let _ = response.write_to(&mut stream);
     let _ = stream.flush();
+    let active = handler.active_conns.fetch_sub(1, Ordering::SeqCst) - 1;
+    obs::gauge_set(names::SERVE_CONNECTIONS_ACTIVE, active as f64);
 }
 
 /// Registers every family in [`names::SERVE_BOOT_FAMILIES`] so the very
@@ -281,45 +428,155 @@ fn err_response(status: u16, message: &str) -> Response {
     Response::json(status, body.write(false))
 }
 
-fn route(handler: &Handler, req: &Request) -> Response {
+/// Resolves the model handle a request should run against: the active
+/// version from one registry snapshot, or the version pinned by the
+/// `x-model-version` header.
+fn resolve_handle(handler: &Handler, req: &Request) -> Result<Arc<ModelHandle>, Response> {
+    let snap = handler.registry.snapshot();
+    match req.header("x-model-version") {
+        None => Ok(Arc::clone(snap.active())),
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => snap.version(v).cloned().ok_or_else(|| {
+                err_response(404, &format!("model version {v} is not retained"))
+            }),
+            Err(_) => Err(err_response(
+                400,
+                "x-model-version must be a decimal version number",
+            )),
+        },
+    }
+}
+
+/// A request mid-route: begun (its `/predict` rows are already in the
+/// batcher; every other endpoint is fully answered) but not yet
+/// finished into a response. The connection worker begins a whole
+/// pipelined burst before finishing any of it.
+struct InFlight {
+    phase: Phase,
+    span: obs::TracedSpan,
+    trace_id: u64,
+    family: &'static str,
+    start_us: u64,
+}
+
+enum Phase {
+    Done(Response),
+    Predict {
+        handle: Arc<ModelHandle>,
+        pending: PendingPredict,
+    },
+}
+
+fn route_begin(handler: &Handler, req: &Request) -> InFlight {
     obs::counter_add(names::SERVE_REQUESTS_TOTAL, 1);
     // Every request gets its own trace; the span tree is retained in the
     // bounded trace store and served back on /debug/trace?id=<hex>.
     let root = obs::TraceContext::root(handler.trace_seed);
     let start_us = obs::trace::now_us();
-    let (mut span, ctx) = obs::TracedSpan::enter(&root, names::SPAN_SERVE_REQUEST);
+    let (span, ctx) = obs::TracedSpan::enter(&root, names::SPAN_SERVE_REQUEST);
     let (path, query) = match req.path.split_once('?') {
         Some((p, q)) => (p, q),
         None => (req.path.as_str(), ""),
     };
-    let (family, response) = match (req.method.as_str(), path) {
-        ("GET", "/healthz") => (names::SERVE_REQUEST_US_HEALTHZ, healthz(handler)),
-        ("GET", "/metrics") => (
-            names::SERVE_REQUEST_US_METRICS,
-            Response::text(200, obs::export::to_prometheus(&obs::global().snapshot())),
-        ),
-        ("GET", "/rules") => (
-            names::SERVE_REQUEST_US_RULES,
-            Response::json(200, handler.rules_doc.clone()),
-        ),
-        ("POST", "/predict") => (names::SERVE_REQUEST_US_PREDICT, predict(handler, req, ctx)),
-        ("POST", "/whatif") => (names::SERVE_REQUEST_US_WHATIF, whatif(handler, req)),
-        ("GET", "/debug/trace") => (names::SERVE_REQUEST_US_DEBUG, debug_trace(query)),
-        ("GET", "/debug/flightrecorder") => {
-            (names::SERVE_REQUEST_US_DEBUG, debug_flightrecorder())
+    // Model-backed endpoints resolve one handle from one snapshot and
+    // use it end to end: a hot swap mid-request cannot mix versions.
+    let model_backed = matches!(path, "/healthz" | "/rules" | "/predict" | "/whatif");
+    let handle = if model_backed {
+        match resolve_handle(handler, req) {
+            Ok(h) => Some(h),
+            Err(resp) => {
+                return InFlight {
+                    phase: Phase::Done(resp),
+                    span,
+                    trace_id: root.trace_id,
+                    family: names::SERVE_REQUEST_US_OTHER,
+                    start_us,
+                };
+            }
         }
+    } else {
+        None
+    };
+    let (family, phase) = match (req.method.as_str(), path, handle) {
+        ("GET", "/healthz", Some(h)) => (
+            names::SERVE_REQUEST_US_HEALTHZ,
+            Phase::Done(healthz(handler, &h)),
+        ),
+        ("GET", "/metrics", _) => (
+            names::SERVE_REQUEST_US_METRICS,
+            Phase::Done(Response::text(
+                200,
+                obs::export::to_prometheus(&obs::global().snapshot()),
+            )),
+        ),
+        ("GET", "/rules", Some(h)) => (
+            names::SERVE_REQUEST_US_RULES,
+            Phase::Done(stamp(Response::json(200, h.rules_doc().to_string()), &h)),
+        ),
+        ("POST", "/predict", Some(h)) => (
+            names::SERVE_REQUEST_US_PREDICT,
+            match predict_begin(handler, &h, req, ctx) {
+                Ok(pending) => Phase::Predict { handle: h, pending },
+                Err(resp) => Phase::Done(resp),
+            },
+        ),
+        ("POST", "/whatif", Some(h)) => {
+            (names::SERVE_REQUEST_US_WHATIF, Phase::Done(whatif(&h, req)))
+        }
+        ("GET", "/models", _) => (
+            names::SERVE_REQUEST_US_MODELS,
+            Phase::Done(Response::json(200, handler.registry.list_doc())),
+        ),
+        ("POST", "/models", _) => (
+            names::SERVE_REQUEST_US_MODELS,
+            Phase::Done(publish(handler, req)),
+        ),
+        ("GET", "/debug/trace", _) => {
+            (names::SERVE_REQUEST_US_DEBUG, Phase::Done(debug_trace(query)))
+        }
+        ("GET", "/debug/flightrecorder", _) => (
+            names::SERVE_REQUEST_US_DEBUG,
+            Phase::Done(debug_flightrecorder()),
+        ),
         (
             _,
-            "/healthz" | "/metrics" | "/rules" | "/predict" | "/whatif" | "/debug/trace"
-            | "/debug/flightrecorder",
+            "/healthz" | "/metrics" | "/rules" | "/predict" | "/whatif" | "/models"
+            | "/debug/trace" | "/debug/flightrecorder",
+            _,
         ) => (
             names::SERVE_REQUEST_US_OTHER,
-            err_response(405, "method not allowed for this endpoint"),
+            Phase::Done(err_response(405, "method not allowed for this endpoint")),
         ),
         _ => (
             names::SERVE_REQUEST_US_OTHER,
-            err_response(404, "unknown endpoint"),
+            Phase::Done(err_response(404, "unknown endpoint")),
         ),
+    };
+    InFlight {
+        phase,
+        span,
+        trace_id: root.trace_id,
+        family,
+        start_us,
+    }
+}
+
+/// Collects a begun request into its response: waits out the batcher
+/// for `/predict`, then closes the request span and observes the
+/// latency quantile. The request's measured latency therefore includes
+/// any time it spent parked behind burst-mates — exactly what the
+/// client observes on the wire.
+fn route_finish(handler: &Handler, flight: InFlight) -> Response {
+    let InFlight {
+        phase,
+        mut span,
+        trace_id,
+        family,
+        start_us,
+    } = flight;
+    let response = match phase {
+        Phase::Done(resp) => resp,
+        Phase::Predict { handle, pending } => predict_finish(handler, &handle, pending),
     };
     span.arg("status", f64::from(response.status));
     drop(span);
@@ -327,7 +584,18 @@ fn route(handler: &Handler, req: &Request) -> Response {
         family,
         obs::trace::now_us().saturating_sub(start_us) as f64,
     );
-    response.with_header("x-trace-id", &format!("{:016x}", root.trace_id))
+    response.with_header("x-trace-id", &format!("{trace_id:016x}"))
+}
+
+/// Stamps the answering model version (and `DEGRADED` for the col-avgs
+/// floor) on a model-backed response.
+fn stamp(response: Response, handle: &ModelHandle) -> Response {
+    let response = response.with_header("x-model-version", &handle.version().to_string());
+    if handle.is_degraded() {
+        response.with_header("DEGRADED", "true")
+    } else {
+        response
+    }
 }
 
 /// `GET /debug/trace` — lists retained trace ids; with `?id=<hex>`
@@ -363,21 +631,34 @@ fn debug_flightrecorder() -> Response {
     Response::text(200, obs::flight_to_jsonl(&obs::flight_snapshot()))
 }
 
-fn healthz(handler: &Handler) -> Response {
+fn healthz(handler: &Handler, handle: &ModelHandle) -> Response {
+    let snap = handler.registry.snapshot();
     let body = JsonValue::Obj(vec![
         ("status".into(), JsonValue::Str("ok".into())),
         (
             "attributes".into(),
-            JsonValue::Num(handler.model.n_attributes() as f64),
+            JsonValue::Num(handle.model().n_attributes() as f64),
         ),
-        ("k".into(), JsonValue::Num(handler.model.k() as f64)),
-        ("degraded".into(), JsonValue::Bool(handler.degraded)),
+        ("k".into(), JsonValue::Num(handle.model().k() as f64)),
+        ("degraded".into(), JsonValue::Bool(handle.is_degraded())),
         (
             "queue_depth".into(),
-            JsonValue::Num(handler.batcher.queue_depth() as f64),
+            JsonValue::Num(handle.batcher().queue_depth() as f64),
+        ),
+        (
+            "model_version".into(),
+            JsonValue::Num(handle.version() as f64),
+        ),
+        (
+            "model_versions".into(),
+            JsonValue::Num(snap.versions().len() as f64),
+        ),
+        (
+            "draining".into(),
+            JsonValue::Bool(handler.draining.load(Ordering::SeqCst)),
         ),
     ]);
-    Response::json(200, body.write(false))
+    stamp(Response::json(200, body.write(false)), handle)
 }
 
 fn parse_body(req: &Request) -> Result<JsonValue, Response> {
@@ -391,54 +672,116 @@ fn num_arr(values: &[f64]) -> JsonValue {
     JsonValue::Arr(values.iter().map(|&v| JsonValue::Num(v)).collect())
 }
 
-fn predict(handler: &Handler, req: &Request, ctx: obs::TraceContext) -> Response {
-    let body = match parse_body(req) {
-        Ok(v) => v,
-        Err(resp) => return resp,
-    };
+/// How one `/predict` row will be answered: by the batcher, or inline
+/// from the col-avgs floor after a shed.
+enum RowPlan {
+    Queued(mpsc::Receiver<PredictOutcome>),
+    Floor,
+}
+
+/// A `/predict` request whose rows are already submitted to the batcher
+/// but whose outcomes have not been collected yet. Splitting submission
+/// from collection lets the connection worker submit every request of a
+/// pipelined burst before any of them waits — so one batch window (and
+/// one batched solve) covers the burst.
+struct PendingPredict {
+    rows: Vec<dataset::holes::HoledRow>,
+    plans: Vec<RowPlan>,
+    shed: bool,
+}
+
+/// Parses the request body and submits its rows. Admission-control
+/// outcomes (400s, 429 queue-full, 503 draining) come back as `Err` —
+/// already-submitted rows of a rejected request are simply abandoned;
+/// the batcher solves them into dropped channels.
+fn predict_begin(
+    handler: &Handler,
+    handle: &Arc<ModelHandle>,
+    req: &Request,
+    ctx: obs::TraceContext,
+) -> Result<PendingPredict, Response> {
+    let body = parse_body(req)?;
     let rows_v = match body.get("rows") {
         Some(v) => v,
-        None => return err_response(400, "missing \"rows\" (an array of rows)"),
+        None => return Err(err_response(400, "missing \"rows\" (an array of rows)")),
     };
-    let m = handler.model.n_attributes();
-    let rows = match dataset::jsonrow::holed_rows_from_json(rows_v, m) {
-        Ok(rows) => rows,
-        Err(e) => return err_response(400, &e.to_string()),
-    };
+    let m = handle.model().n_attributes();
+    let rows = dataset::jsonrow::holed_rows_from_json(rows_v, m)
+        .map_err(|e| err_response(400, &e.to_string()))?;
     if rows.is_empty() {
-        return err_response(400, "\"rows\" is empty");
+        return Err(err_response(400, "\"rows\" is empty"));
     }
 
-    let mut receivers = Vec::with_capacity(rows.len());
-    for row in rows {
-        match handler.batcher.submit_traced(row, Some(ctx)) {
-            Ok(rx) => receivers.push(rx),
+    let mut plans = Vec::with_capacity(rows.len());
+    let mut shed = false;
+    for row in &rows {
+        if shed {
+            plans.push(RowPlan::Floor);
+            continue;
+        }
+        match handle.batcher().submit_traced(row.clone(), Some(ctx)) {
+            Ok(rx) => plans.push(RowPlan::Queued(rx)),
+            Err(SubmitError::QueueFull) if handler.shed_degrade => {
+                // Degrade before queueing to death: this row and the
+                // rest of the request answer from the col-avgs floor.
+                shed = true;
+                plans.push(RowPlan::Floor);
+            }
             Err(SubmitError::QueueFull) => {
-                return err_response(429, "prediction queue full; retry after backing off")
-                    .with_header("retry-after", "1");
+                return Err(stamp(
+                    err_response(429, "prediction queue full; retry after backing off")
+                        .with_header("retry-after", "1"),
+                    handle,
+                ));
             }
             Err(SubmitError::ShuttingDown) => {
-                return err_response(503, "server is draining for shutdown");
+                return Err(stamp(
+                    err_response(503, "server is draining for shutdown")
+                        .with_header("retry-after", "1"),
+                    handle,
+                ));
             }
         }
     }
+    Ok(PendingPredict { rows, plans, shed })
+}
 
+fn predict_finish(
+    handler: &Handler,
+    handle: &Arc<ModelHandle>,
+    pending: PendingPredict,
+) -> Response {
+    let PendingPredict { rows, plans, shed } = pending;
     // Generous wait: the batcher answers `Expired` itself at the job
     // deadline; this only guards against a wedged batcher thread.
-    let wait = handler.batcher.deadline() * 2 + Duration::from_secs(1);
-    let mut out_rows = Vec::with_capacity(receivers.len());
+    let wait = handle.batcher().deadline() * 2 + Duration::from_secs(1);
+    let mut out_rows = Vec::with_capacity(plans.len());
+    let mut filled: Vec<Option<Vec<f64>>> = Vec::with_capacity(plans.len());
     let mut expired = 0usize;
-    for rx in receivers {
-        let outcome = rx
-            .recv_timeout(wait)
-            .unwrap_or(PredictOutcome::Expired);
-        out_rows.push(match outcome {
+    let mut shed_rows = 0usize;
+    for (plan, row) in plans.into_iter().zip(rows.iter()) {
+        let outcome = match plan {
+            RowPlan::Queued(rx) => rx
+                .recv_timeout(wait)
+                .unwrap_or(PredictOutcome::Expired),
+            RowPlan::Floor => {
+                shed_rows += 1;
+                match handle.floor().fill(row) {
+                    Ok(values) => PredictOutcome::Filled(crate::queue::Prediction {
+                        values,
+                        case: "col_avgs".into(),
+                    }),
+                    Err(e) => PredictOutcome::Failed(e.to_string()),
+                }
+            }
+        };
+        out_rows.push(match &outcome {
             PredictOutcome::Filled(p) => JsonValue::Obj(vec![
                 ("values".into(), num_arr(&p.values)),
-                ("case".into(), JsonValue::Str(p.case)),
+                ("case".into(), JsonValue::Str(p.case.clone())),
             ]),
             PredictOutcome::Failed(msg) => {
-                JsonValue::Obj(vec![("error".into(), JsonValue::Str(msg))])
+                JsonValue::Obj(vec![("error".into(), JsonValue::Str(msg.clone()))])
             }
             PredictOutcome::Expired => {
                 expired += 1;
@@ -448,11 +791,90 @@ fn predict(handler: &Handler, req: &Request, ctx: obs::TraceContext) -> Response
                 )])
             }
         });
+        filled.push(match outcome {
+            // Only batcher-answered rows are shadow-replayed: a floor
+            // answer compared against a full-model shadow would always
+            // diverge, by design rather than by defect.
+            PredictOutcome::Filled(p) if !shed => Some(p.values),
+            _ => None,
+        });
+    }
+    if shed_rows > 0 {
+        obs::counter_add(names::SERVE_SHED_DEGRADED_TOTAL, shed_rows as u64);
+        obs::flight_event(
+            names::EVENT_SERVE_SHED_DEGRADED,
+            shed_rows as u64,
+            handle.version(),
+            0.0,
+        );
+    }
+    // Shadow replay happens after every row is answered, off the
+    // registry locks; the worker solves on its own thread.
+    for (row, values) in rows.iter().zip(filled.iter()) {
+        if let Some(values) = values {
+            handler
+                .registry
+                .shadow_submit(handle.version(), row.clone(), values.clone());
+        }
     }
     let n = out_rows.len();
     let body = JsonValue::Obj(vec![("rows".into(), JsonValue::Arr(out_rows))]);
     let status = if expired == n { 504 } else { 200 };
-    Response::json(status, body.write(false))
+    let response = Response::json(status, body.write(false));
+    let response = if shed_rows > 0 && !handle.is_degraded() {
+        response.with_header("DEGRADED", "true")
+    } else {
+        response
+    };
+    stamp(response, handle)
+}
+
+/// `POST /models` — ingest a `model_json` artifact into the registry.
+///
+/// Body: `{"model": <model document>, "name": "...", "activate": bool,
+/// "shadow": bool}`; `activate` defaults to true, `shadow` to false.
+fn publish(handler: &Handler, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(model_v) = body.get("model") else {
+        return err_response(400, "missing \"model\" (a model_json document)");
+    };
+    let name = body
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("unnamed");
+    let truthy = |key: &str, default: bool| -> bool {
+        match body.get(key) {
+            Some(JsonValue::Bool(b)) => *b,
+            _ => default,
+        }
+    };
+    let activate = truthy("activate", true);
+    let shadow = truthy("shadow", false);
+    // Re-serialize the subtree and run it through the same parser a
+    // `mine` artifact file goes through (bit-exact f64 round-trip).
+    let served = match ratio_rules::model_json::model_from_str(&model_v.write(false)) {
+        Ok(m) => m,
+        Err(e) => {
+            obs::counter_add(names::SERVE_PUBLISH_REJECTED_TOTAL, 1);
+            return err_response(400, &format!("model: {e}"));
+        }
+    };
+    match handler.registry.publish(served, name, activate, shadow) {
+        Ok(handle) => {
+            let doc = JsonValue::Obj(vec![
+                ("version".into(), JsonValue::Num(handle.version() as f64)),
+                ("name".into(), JsonValue::Str(handle.name().to_string())),
+                ("active".into(), JsonValue::Bool(activate)),
+                ("shadow".into(), JsonValue::Bool(shadow)),
+            ]);
+            Response::json(200, doc.write(false))
+                .with_header("x-model-version", &handle.version().to_string())
+        }
+        Err(e) => err_response(400, &e),
+    }
 }
 
 fn forecast_json(f: &Forecast) -> JsonValue {
@@ -462,13 +884,16 @@ fn forecast_json(f: &Forecast) -> JsonValue {
     ])
 }
 
-fn whatif(handler: &Handler, req: &Request) -> Response {
-    let rules = match handler.model.rules() {
+fn whatif(handle: &Arc<ModelHandle>, req: &Request) -> Response {
+    let rules = match handle.model().rules() {
         Some(r) => r,
         None => {
-            return err_response(
-                503,
-                "what-if needs a full rule set; this server is serving the degraded col-avgs floor",
+            return stamp(
+                err_response(
+                    503,
+                    "what-if needs a full rule set; this server is serving the degraded col-avgs floor",
+                ),
+                handle,
             );
         }
     };
@@ -508,9 +933,13 @@ fn whatif(handler: &Handler, req: &Request) -> Response {
         return match scenario.sweep(label, &values) {
             Ok(forecasts) => {
                 let arr: Vec<JsonValue> = forecasts.iter().map(forecast_json).collect();
-                Response::json(
-                    200,
-                    JsonValue::Obj(vec![("forecasts".into(), JsonValue::Arr(arr))]).write(false),
+                stamp(
+                    Response::json(
+                        200,
+                        JsonValue::Obj(vec![("forecasts".into(), JsonValue::Arr(arr))])
+                            .write(false),
+                    ),
+                    handle,
                 )
             }
             Err(e) => err_response(400, &e.to_string()),
@@ -518,9 +947,12 @@ fn whatif(handler: &Handler, req: &Request) -> Response {
     }
 
     match scenario.forecast() {
-        Ok(f) => Response::json(
-            200,
-            JsonValue::Obj(vec![("forecast".into(), forecast_json(&f))]).write(false),
+        Ok(f) => stamp(
+            Response::json(
+                200,
+                JsonValue::Obj(vec![("forecast".into(), forecast_json(&f))]).write(false),
+            ),
+            handle,
         ),
         Err(e) => err_response(400, &e.to_string()),
     }

@@ -237,17 +237,19 @@ trap 'rm -f "$metrics_file"; rm -rf "$chaos_dir"; [ -n "$serve_pid" ] && kill "$
     --batch-window-us 100 > /dev/null &
 serve_pid=$!
 
-# Dependency-free HTTP over bash's /dev/tcp; the server answers one
-# request per connection and closes, so `cat` terminates.
+# Dependency-free HTTP over bash's /dev/tcp. The server keeps
+# connections alive by default now, so each helper asks for
+# `connection: close` — the close after the answer is what lets `cat`
+# terminate. The keep-alive path gets its own pipelined check below.
 http_get() {
     exec 3<>"/dev/tcp/127.0.0.1/$serve_port"
-    printf 'GET %s HTTP/1.1\r\nhost: verify\r\n\r\n' "$1" >&3
+    printf 'GET %s HTTP/1.1\r\nhost: verify\r\nconnection: close\r\n\r\n' "$1" >&3
     cat <&3
     exec 3>&- 3<&-
 }
 http_post() {
     exec 3<>"/dev/tcp/127.0.0.1/$serve_port"
-    printf 'POST %s HTTP/1.1\r\nhost: verify\r\ncontent-length: %s\r\n\r\n%s' \
+    printf 'POST %s HTTP/1.1\r\nhost: verify\r\ncontent-length: %s\r\nconnection: close\r\n\r\n%s' \
         "$1" "${#2}" "$2" >&3
     cat <&3
     exec 3>&- 3<&-
@@ -326,6 +328,53 @@ grep -qF '"traces"' <<<"$(http_get /debug/trace)" || {
     exit 1
 }
 echo "  /debug/trace: ok"
+
+# Keep-alive + pipelining: two /predict requests written back-to-back on
+# ONE connection; the second asks to close so `cat` terminates. Both
+# must answer 200, proving the persistent-connection parser resyncs
+# across pipelined request boundaries.
+ka_body='{"rows":[[12.0,null,7.0]]}'
+exec 3<>"/dev/tcp/127.0.0.1/$serve_port"
+printf 'POST /predict HTTP/1.1\r\nhost: verify\r\ncontent-length: %s\r\nconnection: keep-alive\r\n\r\n%sPOST /predict HTTP/1.1\r\nhost: verify\r\ncontent-length: %s\r\nconnection: close\r\n\r\n%s' \
+    "${#ka_body}" "$ka_body" "${#ka_body}" "$ka_body" >&3
+pipelined="$(cat <&3)"
+exec 3>&- 3<&-
+ka_count="$(grep -cF 'HTTP/1.1 200' <<<"$pipelined" || true)"
+if [ "$ka_count" -ne 2 ]; then
+    echo "serve: pipelined keep-alive expected 2x 200, got $ka_count" >&2
+    echo "$pipelined" >&2
+    exit 1
+fi
+echo "  keep-alive pipelining: 2 responses on one connection ok"
+
+# Hot swap: mine a second model from different data, publish it into
+# the running server's registry over the wire, and check that /predict
+# now answers from version 2 while /models reports the swap.
+csv2="$chaos_dir/swap.csv"
+{
+    echo "bread,milk,butter"
+    for i in $(seq 0 99); do
+        echo "$((7 + 3 * i)),$((11 + i)),$((2 + 2 * i))"
+    done
+} > "$csv2"
+"$bin" mine --input "$csv2" --output "$chaos_dir/m_v2.json" --k 1 > /dev/null
+pub_out="$("$bin" publish --model "$chaos_dir/m_v2.json" --name verify-v2 \
+    --addr "127.0.0.1:$serve_port")"
+grep -qF "published:" <<<"$pub_out" || {
+    echo "serve: publish failed: $pub_out" >&2
+    exit 1
+}
+swapped="$(http_post /predict '{"rows":[[12.0,null,7.0]]}')"
+grep -qF 'HTTP/1.1 200' <<<"$swapped" && grep -qF 'x-model-version: 2' <<<"$swapped" || {
+    echo "serve: post-publish /predict did not answer from version 2: $swapped" >&2
+    exit 1
+}
+models="$(http_get /models)"
+grep -qF '"active_version":2' <<<"$models" && grep -qF '"verify-v2"' <<<"$models" || {
+    echo "serve: /models did not report the hot swap: $models" >&2
+    exit 1
+}
+echo "  hot swap: publish -> v2 active, stamped on /predict ok"
 kill "$serve_pid"
 serve_pid=""
 

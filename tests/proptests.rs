@@ -563,8 +563,10 @@ proptest! {
         prop_assert_eq!(s.quantile(1.0), s.max);
     }
 
-    /// Merging two snapshots is bucket-exact: identical to feeding the
-    /// concatenated sample into one histogram.
+    /// Merging two snapshots is bucket-exact: counts, buckets, and max
+    /// are identical to feeding the concatenated sample into one
+    /// histogram. `sum` is one fp add of two partial sums versus an
+    /// element-wise chain, so it only agrees to rounding.
     #[test]
     fn quantile_merge_equals_concatenated_feed(
         a in latencies(200),
@@ -572,7 +574,14 @@ proptest! {
     ) {
         let merged = feed_quantile(&a).merge(&feed_quantile(&b));
         let combined: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
-        prop_assert_eq!(merged, feed_quantile(&combined));
+        let fed = feed_quantile(&combined);
+        prop_assert_eq!(&merged.buckets, &fed.buckets);
+        prop_assert_eq!(merged.count, fed.count);
+        prop_assert_eq!(merged.max.to_bits(), fed.max.to_bits());
+        prop_assert!(
+            (merged.sum - fed.sum).abs() <= 1e-9 * fed.sum.abs().max(1.0),
+            "merged sum {} vs fed sum {}", merged.sum, fed.sum
+        );
     }
 
     /// Every reported quantile lands within one log bucket of the true
@@ -636,5 +645,200 @@ fn cutoff_golden_geometric_spectrum() {
     ] {
         let k = Cutoff::EnergyFraction(f).select(&evs).unwrap();
         assert_eq!(k, expected, "threshold {f}");
+    }
+}
+
+/// A `Read` impl that hands the stream back in pre-chosen segments, one
+/// segment per `read` call, to exercise every byte boundary a socket
+/// could produce (TCP may fragment anywhere, including inside
+/// `"\r\n\r\n"` or a `content-length` digit).
+struct Segmented {
+    data: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+}
+
+impl Segmented {
+    /// `raw_cuts` are arbitrary; they are folded into `0..=len` bounds.
+    fn new(data: Vec<u8>, raw_cuts: &[usize]) -> Segmented {
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|&c| c % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        Segmented { data, cuts, pos: 0 }
+    }
+}
+
+impl std::io::Read for Segmented {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let cut_end = self
+            .cuts
+            .iter()
+            .copied()
+            .find(|&c| c > self.pos)
+            .unwrap_or(self.data.len());
+        let n = (cut_end - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+const METHODS: [&str; 3] = ["GET", "POST", "PUT"];
+const PATHS: [&str; 3] = ["/predict", "/healthz", "/models"];
+
+/// Strategy: a pipelined stream of 1..`max` requests, each with a
+/// random method/path pair and a random (possibly binary) body.
+fn pipeline_requests(
+    max: usize,
+) -> impl Strategy<Value = Vec<(usize, usize, Vec<u8>)>> {
+    proptest::collection::vec(
+        (0usize..3, 0usize..3, proptest::collection::vec(0u8..=255u8, 0..160)),
+        1..max,
+    )
+}
+
+/// Serializes the generated requests back-to-back, as a pipelining
+/// client would put them on the wire.
+fn raw_stream(reqs: &[(usize, usize, Vec<u8>)]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for (i, (m, p, body)) in reqs.iter().enumerate() {
+        stream.extend_from_slice(
+            format!(
+                "{} {} HTTP/1.1\r\nx-seq: {}\r\ncontent-length: {}\r\n\r\n",
+                METHODS[*m],
+                PATHS[*p],
+                i,
+                body.len()
+            )
+            .as_bytes(),
+        );
+        stream.extend_from_slice(body);
+    }
+    stream
+}
+
+/// Reference parse: drive the pure `try_parse` over the whole buffer in
+/// one shot, draining each complete request from the front.
+fn parse_all(mut rest: &[u8]) -> Vec<serve::protocol::Request> {
+    use serve::protocol::{try_parse, Parsed};
+    let mut out = Vec::new();
+    while let Parsed::Complete(req, consumed) = try_parse(rest).unwrap() {
+        out.push(req);
+        rest = &rest[consumed..];
+    }
+    assert!(rest.is_empty(), "reference parse left {} bytes", rest.len());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any byte-boundary segmentation of a pipelined request stream
+    /// parses to exactly the same requests — method, path, header
+    /// order, and body bytes — as the one-shot parse of the full
+    /// buffer, and the reader ends exactly at a request boundary.
+    #[test]
+    fn segmented_parse_equals_one_shot(
+        reqs in pipeline_requests(6),
+        cuts in proptest::collection::vec(0usize..4096, 0..16),
+    ) {
+        use serve::protocol::RequestReader;
+
+        let stream = raw_stream(&reqs);
+        let reference = parse_all(&stream);
+        prop_assert_eq!(reference.len(), reqs.len());
+
+        let mut seg = Segmented::new(stream, &cuts);
+        let mut reader = RequestReader::new();
+        let mut got = Vec::new();
+        while let Some(req) = reader.next_request(&mut seg).unwrap() {
+            got.push(req);
+        }
+        prop_assert_eq!(got.len(), reference.len());
+        for (a, b) in got.iter().zip(&reference) {
+            prop_assert_eq!(&a.method, &b.method);
+            prop_assert_eq!(&a.path, &b.path);
+            prop_assert_eq!(&a.headers, &b.headers);
+            prop_assert_eq!(&a.body, &b.body);
+        }
+        // EOF landed exactly on a request boundary: clean close, no
+        // leftover read-ahead.
+        prop_assert!(reader.next_request(&mut seg).unwrap().is_none());
+        prop_assert!(!reader.has_buffered());
+    }
+
+    /// A request declaring a body over `MAX_BODY_BYTES` is rejected as
+    /// `TooLarge` the moment its head completes — before any body byte
+    /// arrives — for every segmentation, and every pipelined request
+    /// ahead of it still parses identically to the one-shot reference
+    /// (no desync from the poison request).
+    #[test]
+    fn oversized_body_rejected_mid_stream_without_desync(
+        lead in pipeline_requests(4),
+        cuts in proptest::collection::vec(0usize..4096, 0..16),
+        excess in 1usize..1_000_000,
+    ) {
+        use serve::protocol::{HttpError, RequestReader, MAX_BODY_BYTES};
+
+        let mut stream = raw_stream(&lead);
+        // The poison head declares an oversized body and sends none of
+        // it: the declared length alone must trigger the error.
+        stream.extend_from_slice(
+            format!(
+                "POST /predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                MAX_BODY_BYTES + excess
+            )
+            .as_bytes(),
+        );
+
+        let reference = parse_all(&raw_stream(&lead));
+        let mut seg = Segmented::new(stream, &cuts);
+        let mut reader = RequestReader::new();
+        for expected in &reference {
+            let got = reader.next_request(&mut seg).unwrap().unwrap();
+            prop_assert_eq!(&got.method, &expected.method);
+            prop_assert_eq!(&got.path, &expected.path);
+            prop_assert_eq!(&got.headers, &expected.headers);
+            prop_assert_eq!(&got.body, &expected.body);
+        }
+        match reader.next_request(&mut seg) {
+            Err(HttpError::TooLarge(msg)) => prop_assert!(msg.contains("body")),
+            other => prop_assert!(false, "expected TooLarge, got {:?}", other),
+        }
+    }
+
+    /// A header block that outgrows `MAX_HEAD_BYTES` is rejected as
+    /// `TooLarge` for every segmentation — both incrementally (no
+    /// terminator in sight yet) and when the late terminator finally
+    /// proves the overrun.
+    #[test]
+    fn oversized_head_rejected_for_any_segmentation(
+        pad in 0usize..2048,
+        cuts in proptest::collection::vec(0usize..32_768, 0..12),
+    ) {
+        use serve::protocol::{HttpError, RequestReader, MAX_HEAD_BYTES};
+
+        let mut head = b"GET /predict HTTP/1.1\r\nx-filler: ".to_vec();
+        head.resize(MAX_HEAD_BYTES + 4 + pad, b'a');
+
+        // Unterminated head: the overrun is flagged from the buffered
+        // length alone, before "\r\n\r\n" ever shows up.
+        let mut seg = Segmented::new(head.clone(), &cuts);
+        match RequestReader::new().next_request(&mut seg) {
+            Err(HttpError::TooLarge(msg)) => prop_assert!(msg.contains("headers")),
+            other => prop_assert!(false, "unterminated: expected TooLarge, got {:?}", other),
+        }
+
+        // Terminated head: same verdict once the terminator lands past
+        // the limit.
+        head.extend_from_slice(b"\r\n\r\n");
+        let mut seg = Segmented::new(head, &cuts);
+        match RequestReader::new().next_request(&mut seg) {
+            Err(HttpError::TooLarge(msg)) => prop_assert!(msg.contains("headers")),
+            other => prop_assert!(false, "terminated: expected TooLarge, got {:?}", other),
+        }
     }
 }

@@ -1,0 +1,467 @@
+//! End-to-end tests of the hot-swap model registry over real sockets:
+//! `POST /models` publishes, `GET /models` listings, `x-model-version`
+//! pinning, shadow (canary) divergence counting, and the torn-read
+//! hammer — concurrent keep-alive clients fire `/predict` through a
+//! storm of hot swaps, and every response must bit-match exactly one
+//! version's single-shot oracle with the version header agreeing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use dataset::holes::{HoleSet, HoledRow};
+use linalg::Matrix;
+use obs::json::JsonValue;
+use ratio_rules::cutoff::Cutoff;
+use ratio_rules::miner::RatioRuleMiner;
+use ratio_rules::predictor::{Predictor, RuleSetPredictor};
+use ratio_rules::rules::RuleSet;
+use serve::{BatchConfig, ServeModel, Server, ServerConfig};
+
+/// Rank-2 training data in 4 attributes; `seed` rotates the direction
+/// mix so differently-seeded models genuinely predict differently.
+fn training_matrix(seed: u64) -> Matrix {
+    let s = 1.0 + (seed % 5) as f64;
+    let d1 = [2.0, 1.0, 0.0, 1.0 + s];
+    let d2 = [0.0, 1.0 + s, 3.0, -1.0];
+    Matrix::from_fn(40, 4, |i, j| {
+        let a = (i as f64 % 7.0) - 3.0;
+        let b = ((i * 3) as f64 % 5.0) - 2.0;
+        10.0 + a * d1[j] + b * d2[j]
+    })
+}
+
+fn mine(seed: u64) -> RuleSet {
+    RatioRuleMiner::new(Cutoff::FixedK(2))
+        .fit_matrix(&training_matrix(seed))
+        .unwrap()
+}
+
+fn start_server() -> (Server, SocketAddr) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        batch: BatchConfig {
+            max_batch: 32,
+            batch_window: Duration::from_millis(1),
+            max_queue: 1024,
+            deadline: Duration::from_secs(5),
+        },
+        io_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(
+        cfg,
+        ServeModel::from_served(ratio_rules::resilience::ServedModel::Rules(mine(0))),
+    )
+    .unwrap();
+    let addr = server.addr();
+    (server, addr)
+}
+
+/// Reads `Content-Length`-framed responses off a persistent connection.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Conn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: &str, extra: &str) {
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n{extra}\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(raw.as_bytes()).unwrap();
+    }
+
+    fn next(&mut self) -> (u16, Vec<(String, String)>, String) {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed before the response head ended");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..head_end - 4].to_vec()).unwrap();
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .unwrap()
+            .split_ascii_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse().unwrap())
+            .expect("responses declare content-length");
+        let total = head_end + content_length;
+        while self.buf.len() < total {
+            let n = self.stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8(self.buf[head_end..total].to_vec()).unwrap();
+        self.buf.drain(..total);
+        (status, headers, body)
+    }
+
+    fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        extra: &str,
+    ) -> (u16, Vec<(String, String)>, String) {
+        self.send(method, path, body, extra);
+        self.next()
+    }
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn rows_body(rows: &[HoledRow]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let row: Vec<String> = r
+                .values
+                .iter()
+                .map(|c| match c {
+                    Some(v) => format!("{v}"),
+                    None => "null".to_string(),
+                })
+                .collect();
+            format!("[{}]", row.join(","))
+        })
+        .collect();
+    format!("{{\"rows\":[{}]}}", cells.join(","))
+}
+
+fn predicted_values(body: &str) -> Vec<Vec<f64>> {
+    let doc = obs::json::parse(body).unwrap();
+    doc.get("rows")
+        .and_then(JsonValue::as_arr)
+        .unwrap()
+        .iter()
+        .map(|row| {
+            row.get("values")
+                .and_then(JsonValue::as_arr)
+                .unwrap_or_else(|| panic!("row without values: {row:?}"))
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect()
+        })
+        .collect()
+}
+
+fn publish_body(rules: &RuleSet, name: &str, extra_fields: &str) -> String {
+    format!(
+        "{{\"name\":\"{name}\",{extra_fields}\"model\":{}}}",
+        ratio_rules::model_json::rules_to_string(rules)
+    )
+}
+
+#[test]
+fn publish_list_and_pin_flow() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server();
+    let v1_oracle = RuleSetPredictor::new(mine(0));
+    let v2_rules = mine(1);
+    let v2_oracle = RuleSetPredictor::new(v2_rules.clone());
+
+    let mut conn = Conn::open(addr);
+    // Publish + activate a second model over the wire.
+    let (status, headers, body) =
+        conn.roundtrip("POST", "/models", &publish_body(&v2_rules, "v2", ""), "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header(&headers, "x-model-version"), Some("2"));
+    let doc = obs::json::parse(&body).unwrap();
+    assert_eq!(doc.get("version").and_then(JsonValue::as_f64), Some(2.0));
+    assert_eq!(doc.get("active"), Some(&JsonValue::Bool(true)));
+
+    // Unpinned traffic now answers from v2, stamped with its version.
+    let row = HoleSet::new(vec![1], 4)
+        .unwrap()
+        .apply(training_matrix(1).row(5))
+        .unwrap();
+    let body_req = rows_body(std::slice::from_ref(&row));
+    let (status, headers, body) = conn.roundtrip("POST", "/predict", &body_req, "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header(&headers, "x-model-version"), Some("2"));
+    assert_eq!(predicted_values(&body)[0], v2_oracle.fill(&row).unwrap());
+
+    // The old version stays pinnable and still answers its own bits.
+    let (status, headers, body) =
+        conn.roundtrip("POST", "/predict", &body_req, "x-model-version: 1\r\n");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header(&headers, "x-model-version"), Some("1"));
+    assert_eq!(predicted_values(&body)[0], v1_oracle.fill(&row).unwrap());
+
+    // Pin errors: unknown version 404s, garbage 400s.
+    assert_eq!(
+        conn.roundtrip("POST", "/predict", &body_req, "x-model-version: 99\r\n")
+            .0,
+        404
+    );
+    assert_eq!(
+        conn.roundtrip("POST", "/predict", &body_req, "x-model-version: nope\r\n")
+            .0,
+        400
+    );
+
+    // GET /models lists both versions with the right flags.
+    let (status, _, listing) = conn.roundtrip("GET", "/models", "", "");
+    assert_eq!(status, 200);
+    let doc = obs::json::parse(&listing).unwrap();
+    assert_eq!(
+        doc.get("active_version").and_then(JsonValue::as_f64),
+        Some(2.0)
+    );
+    let models = doc.get("models").and_then(JsonValue::as_arr).unwrap();
+    assert_eq!(models.len(), 2);
+    let by_version = |v: f64| {
+        models
+            .iter()
+            .find(|m| m.get("version").and_then(JsonValue::as_f64) == Some(v))
+            .unwrap_or_else(|| panic!("version {v} missing from {listing}"))
+    };
+    assert_eq!(
+        by_version(1.0).get("active"),
+        Some(&JsonValue::Bool(false))
+    );
+    assert_eq!(by_version(2.0).get("active"), Some(&JsonValue::Bool(true)));
+    assert_eq!(
+        by_version(2.0).get("name").and_then(JsonValue::as_str),
+        Some("v2")
+    );
+
+    // /healthz reports the registry state too.
+    let (status, _, health) = conn.roundtrip("GET", "/healthz", "", "");
+    assert_eq!(status, 200);
+    let doc = obs::json::parse(&health).unwrap();
+    assert_eq!(
+        doc.get("model_version").and_then(JsonValue::as_f64),
+        Some(2.0)
+    );
+    assert_eq!(
+        doc.get("model_versions").and_then(JsonValue::as_f64),
+        Some(2.0)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn publish_rejects_invalid_payloads_without_disturbing_serving() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server();
+    let oracle = RuleSetPredictor::new(mine(0));
+    let mut conn = Conn::open(addr);
+
+    // No "model" subtree.
+    assert_eq!(
+        conn.roundtrip("POST", "/models", "{\"name\":\"x\"}", "").0,
+        400
+    );
+    // Garbage model document.
+    assert_eq!(
+        conn.roundtrip("POST", "/models", "{\"model\":{\"nope\":1}}", "")
+            .0,
+        400
+    );
+    // Wrong width: a 3-attribute model into a 4-attribute server. The
+    // document itself is valid — rejection happens at the registry's
+    // trust boundary.
+    let narrow = RatioRuleMiner::new(Cutoff::FixedK(1))
+        .fit_matrix(&Matrix::from_fn(30, 3, |i, j| {
+            (i as f64 + 1.0) * (j as f64 + 1.0)
+        }))
+        .unwrap();
+    let (status, _, body) =
+        conn.roundtrip("POST", "/models", &publish_body(&narrow, "narrow", ""), "");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("attributes"), "{body}");
+
+    // Serving is untouched: still version 1, still bit-exact.
+    let row = HoleSet::new(vec![0], 4)
+        .unwrap()
+        .apply(training_matrix(0).row(7))
+        .unwrap();
+    let (status, headers, body) =
+        conn.roundtrip("POST", "/predict", &rows_body(std::slice::from_ref(&row)), "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header(&headers, "x-model-version"), Some("1"));
+    assert_eq!(predicted_values(&body)[0], oracle.fill(&row).unwrap());
+    server.shutdown();
+}
+
+/// The torn-read hammer (tentpole acceptance): concurrent keep-alive
+/// clients fire `/predict` while the main thread hot-swaps between two
+/// models over and over. Every response must bit-match exactly one
+/// version's single-shot oracle, and the `x-model-version` header must
+/// agree with which.
+#[test]
+fn hot_swap_hammer_never_tears_a_response() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server();
+    let model_a = mine(0);
+    let model_b = mine(1);
+    let oracle_a = RuleSetPredictor::new(model_a.clone());
+    let oracle_b = RuleSetPredictor::new(model_b.clone());
+
+    // Versions alternate A, B, A, B, ...: version v serves A when v is
+    // odd (v1 = boot = A), B when even.
+    let x = training_matrix(0);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for t in 0..3usize {
+            let stop = &stop;
+            let (oracle_a, oracle_b) = (&oracle_a, &oracle_b);
+            let x = &x;
+            scope.spawn(move || {
+                let mut conn = Conn::open(addr);
+                let mut i = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let hole = (t + i) % 4;
+                    let row = HoleSet::new(vec![hole], 4)
+                        .unwrap()
+                        .apply(x.row((t * 13 + i) % 40))
+                        .unwrap();
+                    let (status, headers, body) = conn.roundtrip(
+                        "POST",
+                        "/predict",
+                        &rows_body(std::slice::from_ref(&row)),
+                        "",
+                    );
+                    assert_eq!(status, 200, "{body}");
+                    let version: u64 = header(&headers, "x-model-version")
+                        .expect("stamped version")
+                        .parse()
+                        .unwrap();
+                    let want = if version % 2 == 1 {
+                        oracle_a.fill(&row).unwrap()
+                    } else {
+                        oracle_b.fill(&row).unwrap()
+                    };
+                    let got = &predicted_values(&body)[0];
+                    assert_eq!(
+                        got, &want,
+                        "response (version {version}) does not bit-match its own \
+                         version's oracle — torn read across a swap"
+                    );
+                    i += 1;
+                }
+            });
+        }
+
+        // Ten swaps under fire, spaced so traffic lands on both sides.
+        let registry = server.registry();
+        for swap in 0..10u64 {
+            std::thread::sleep(Duration::from_millis(40));
+            let next = if swap % 2 == 0 {
+                ratio_rules::resilience::ServedModel::Rules(model_b.clone())
+            } else {
+                ratio_rules::resilience::ServedModel::Rules(model_a.clone())
+            };
+            registry
+                .publish(next, &format!("swap{swap}"), true, false)
+                .expect("publish under load");
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        stop.store(true, Ordering::SeqCst);
+    });
+    server.shutdown();
+}
+
+/// Shadow (canary) routing: a non-activated shadow version gets every
+/// answered row replayed off the response path; divergences from the
+/// active model are counted and exposed on `GET /models`.
+#[test]
+fn shadow_routing_counts_divergences_off_the_response_path() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server();
+    let oracle_a = RuleSetPredictor::new(mine(0));
+    let mut conn = Conn::open(addr);
+
+    // Publish a *different* model as shadow, without activating.
+    let (status, _, body) = conn.roundtrip(
+        "POST",
+        "/models",
+        &publish_body(&mine(1), "canary", "\"activate\":false,\"shadow\":true,"),
+        "",
+    );
+    assert_eq!(status, 200, "{body}");
+
+    // Traffic still answers from v1 (the active model), bit-exact.
+    let x = training_matrix(0);
+    for i in 0..8usize {
+        let row = HoleSet::new(vec![i % 4], 4)
+            .unwrap()
+            .apply(x.row(i * 5 % 40))
+            .unwrap();
+        let (status, headers, body) =
+            conn.roundtrip("POST", "/predict", &rows_body(std::slice::from_ref(&row)), "");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(header(&headers, "x-model-version"), Some("1"));
+        assert_eq!(predicted_values(&body)[0], oracle_a.fill(&row).unwrap());
+    }
+
+    // The shadow worker replays asynchronously; poll the listing until
+    // the counters show it solved (and diverged — the models differ).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, listing) = conn.roundtrip("GET", "/models", "", "");
+        assert_eq!(status, 200);
+        let doc = obs::json::parse(&listing).unwrap();
+        let solves = doc
+            .get("shadow_solves")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        let divergences = doc
+            .get("shadow_divergences")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        if solves >= 8.0 && divergences >= 1.0 {
+            // The listing also marks the canary.
+            let models = doc.get("models").and_then(JsonValue::as_arr).unwrap();
+            let canary = models
+                .iter()
+                .find(|m| m.get("name").and_then(JsonValue::as_str) == Some("canary"))
+                .expect("canary listed");
+            assert_eq!(canary.get("shadow"), Some(&JsonValue::Bool(true)));
+            assert_eq!(canary.get("active"), Some(&JsonValue::Bool(false)));
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shadow counters never moved: solves {solves}, divergences {divergences}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}

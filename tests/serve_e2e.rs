@@ -36,14 +36,7 @@ fn mine() -> RuleSet {
         .unwrap()
 }
 
-fn start_server(batch: BatchConfig) -> (Server, SocketAddr) {
-    let cfg = ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        threads: 4,
-        batch,
-        io_timeout: Duration::from_secs(10),
-        ..ServerConfig::default()
-    };
+fn start_server_cfg(cfg: ServerConfig) -> (Server, SocketAddr) {
     let server = Server::start(cfg, ServeModel::from_served(
         ratio_rules::resilience::ServedModel::Rules(mine()),
     ))
@@ -52,7 +45,18 @@ fn start_server(batch: BatchConfig) -> (Server, SocketAddr) {
     (server, addr)
 }
 
-/// One-shot HTTP exchange; returns (status, headers, body).
+fn start_server(batch: BatchConfig) -> (Server, SocketAddr) {
+    start_server_cfg(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        batch,
+        io_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    })
+}
+
+/// One-shot HTTP exchange (`Connection: close`); returns
+/// (status, headers, body).
 fn http(addr: SocketAddr, raw: &str) -> (u16, Vec<(String, String)>, String) {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream
@@ -79,17 +83,99 @@ fn http(addr: SocketAddr, raw: &str) -> (u16, Vec<(String, String)>, String) {
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
-    http(addr, &format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n"))
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"),
+    )
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<(String, String)>, String) {
     http(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
             body.len()
         ),
     )
+}
+
+/// A raw keep-alive POST (no `Connection` header: HTTP/1.1 persists).
+fn raw_post(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Reads `Content-Length`-framed responses off a persistent connection,
+/// retaining bytes of the *next* response that arrive coalesced with
+/// the current one (pipelined responses).
+struct RespReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl RespReader {
+    fn new(stream: TcpStream) -> RespReader {
+        RespReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn next(&mut self) -> (u16, Vec<(String, String)>, String) {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed before the response head ended");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..head_end - 4].to_vec()).unwrap();
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .unwrap()
+            .split_ascii_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse().unwrap())
+            .expect("responses always declare content-length");
+        let total = head_end + content_length;
+        while self.buf.len() < total {
+            let n = self.stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8(self.buf[head_end..total].to_vec()).unwrap();
+        self.buf.drain(..total);
+        (status, headers, body)
+    }
+
+    /// Asserts the server closed the connection (EOF, no stray bytes).
+    fn expect_eof(&mut self) {
+        assert!(self.buf.is_empty(), "unread bytes: {:?}", self.buf);
+        let mut chunk = [0u8; 64];
+        assert_eq!(self.stream.read(&mut chunk).unwrap(), 0, "expected EOF");
+    }
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
 }
 
 /// `{}` on f64 prints the shortest decimal that round-trips, so values
@@ -372,5 +458,299 @@ fn health_rules_whatif_and_error_paths() {
     assert_eq!(get(addr, "/predict").0, 405);
     assert_eq!(post(addr, "/predict", "not json").0, 400);
     assert_eq!(post(addr, "/predict", "{\"rows\":[[1.0]]}").0, 400); // width
+    server.shutdown();
+}
+
+/// Tentpole of the persistent-connection PR: many sequential requests
+/// over ONE connection, every answer bit-identical to the single-shot
+/// predictor and every response advertising keep-alive.
+#[test]
+fn keep_alive_connection_serves_sequential_requests_bit_identically() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server(BatchConfig::default());
+    let x = training_matrix();
+    let single = RuleSetPredictor::new(mine());
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut reader = RespReader::new(stream);
+    let patterns = [vec![0], vec![2], vec![1, 3]];
+    for i in 0..9 {
+        let hs = HoleSet::new(patterns[i % patterns.len()].clone(), 4).unwrap();
+        let row = hs.apply(x.row(i * 4 % 40)).unwrap();
+        reader
+            .stream
+            .write_all(raw_post("/predict", &rows_body(std::slice::from_ref(&row))).as_bytes())
+            .unwrap();
+        let (status, headers, body) = reader.next();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            header(&headers, "connection"),
+            Some("keep-alive"),
+            "request {i} must keep the connection open"
+        );
+        assert_eq!(header(&headers, "x-model-version"), Some("1"));
+        let got = predicted_values(&body);
+        assert_eq!(got[0], single.fill(&row).unwrap(), "request {i} drifted");
+    }
+    server.shutdown();
+}
+
+/// Three pipelined requests in one write answer in order, bit-identical
+/// to single-shot; the `Connection: close` on the last is honored.
+#[test]
+fn pipelined_requests_answer_in_order_and_close_honored() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server(BatchConfig::default());
+    let x = training_matrix();
+    let single = RuleSetPredictor::new(mine());
+
+    let rows: Vec<HoledRow> = (0..3)
+        .map(|i| {
+            HoleSet::new(vec![i % 4], 4)
+                .unwrap()
+                .apply(x.row(i * 7 % 40))
+                .unwrap()
+        })
+        .collect();
+    let mut raw = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let body = rows_body(std::slice::from_ref(row));
+        if i == 2 {
+            raw.push_str(&format!(
+                "POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            ));
+        } else {
+            raw.push_str(&raw_post("/predict", &body));
+        }
+    }
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut reader = RespReader::new(stream);
+    reader.stream.write_all(raw.as_bytes()).unwrap();
+    for (i, row) in rows.iter().enumerate() {
+        let (status, headers, body) = reader.next();
+        assert_eq!(status, 200, "{body}");
+        let want_conn = if i == 2 { "close" } else { "keep-alive" };
+        assert_eq!(header(&headers, "connection"), Some(want_conn), "response {i}");
+        assert_eq!(
+            predicted_values(&body)[0],
+            single.fill(row).unwrap(),
+            "pipelined response {i} drifted from single-shot"
+        );
+    }
+    reader.expect_eof();
+    server.shutdown();
+}
+
+/// An oversized request mid-pipeline answers 413 and closes without
+/// desyncing: the valid request before it is answered normally first.
+#[test]
+fn oversized_request_mid_pipeline_answers_413_then_closes() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server(BatchConfig::default());
+    let x = training_matrix();
+    let row = HoleSet::new(vec![1], 4).unwrap().apply(x.row(3)).unwrap();
+    let good = rows_body(std::slice::from_ref(&row));
+
+    let mut raw = raw_post("/predict", &good).into_bytes();
+    // Declared body over the limit: rejected from the head alone, the
+    // (unsent) body never needs to arrive.
+    raw.extend_from_slice(
+        format!(
+            "POST /predict HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+            serve::protocol::MAX_BODY_BYTES + 1
+        )
+        .as_bytes(),
+    );
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut reader = RespReader::new(stream);
+    reader.stream.write_all(&raw).unwrap();
+    let (status, _, body) = reader.next();
+    assert_eq!(status, 200, "the valid request answers first: {body}");
+    let (status, headers, _) = reader.next();
+    assert_eq!(status, 413);
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    reader.expect_eof();
+    server.shutdown();
+}
+
+/// The per-connection request cap flips the last allowed response to
+/// `Connection: close`.
+#[test]
+fn request_cap_closes_the_connection_after_the_limit() {
+    obs::set_enabled(true);
+    let (server, addr) = start_server_cfg(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        max_conn_requests: 2,
+        io_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    });
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut reader = RespReader::new(stream);
+    reader
+        .stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let (status, headers, _) = reader.next();
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+    reader
+        .stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let (status, headers, _) = reader.next();
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "connection"),
+        Some("close"),
+        "request 2 of 2 must close"
+    );
+    reader.expect_eof();
+    server.shutdown();
+}
+
+/// All three backpressure answers carry `Retry-After`: the batch
+/// queue's 429 (asserted in `tiny_queue_answers_429...` above), the
+/// drain-path 503, and the worker hand-off 503.
+#[test]
+fn drain_and_handoff_503s_carry_retry_after() {
+    obs::set_enabled(true);
+    // threads = 1: one keep-alive client owns the only worker, so the
+    // hand-off queue (cap = threads * 4) fills deterministically.
+    let (server, addr) = start_server_cfg(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        io_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    });
+    let x = training_matrix();
+    let row = HoleSet::new(vec![0], 4).unwrap().apply(x.row(1)).unwrap();
+    let body = rows_body(std::slice::from_ref(&row));
+
+    // Occupy the worker: a served keep-alive request pins it to this
+    // connection until we drop the stream.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut owner = RespReader::new(stream);
+    owner
+        .stream
+        .write_all(raw_post("/predict", &body).as_bytes())
+        .unwrap();
+    assert_eq!(owner.next().0, 200);
+
+    // Fill the hand-off queue with idle connections, then one more must
+    // be answered 503 + retry-after inline by the acceptor.
+    let _queued: Vec<TcpStream> = (0..4)
+        .map(|_| {
+            let s = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(50)); // let the acceptor enqueue
+            s
+        })
+        .collect();
+    let (status, headers, _) = get(addr, "/healthz");
+    assert_eq!(status, 503, "hand-off queue full");
+    assert_eq!(
+        header(&headers, "retry-after"),
+        Some("1"),
+        "hand-off 503 must carry retry-after"
+    );
+    drop(owner);
+    drop(_queued);
+
+    // Drain: /predict submissions answer 503 + retry-after while
+    // already-accepted work completes.
+    server.begin_drain();
+    // The freed worker picks up queued connections; retry until our
+    // request reaches a worker rather than the full hand-off queue.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, headers, resp) = post(addr, "/predict", &body);
+        assert_eq!(status, 503, "{resp}");
+        if resp.contains("draining") {
+            assert_eq!(
+                header(&headers, "retry-after"),
+                Some("1"),
+                "drain 503 must carry retry-after"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "never reached the drain path: {resp}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}
+
+/// `--shed-degrade`: when the batch queue fills, the rest of the
+/// request answers from the col-avgs floor with the `DEGRADED` header
+/// instead of a 429 — and the floored values are exactly the floor's.
+#[test]
+fn shed_degrade_answers_from_the_floor_with_degraded_header() {
+    obs::set_enabled(true);
+    // max_queue = 1 and a long window: row 0 holds the queue at
+    // capacity, so rows 1..n of the same request must shed.
+    let (server, addr) = start_server_cfg(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        batch: BatchConfig {
+            max_batch: 32,
+            batch_window: Duration::from_millis(300),
+            max_queue: 1,
+            deadline: Duration::from_secs(5),
+        },
+        shed_degrade: true,
+        io_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    });
+    let x = training_matrix();
+    let rules = mine();
+    let single = RuleSetPredictor::new(rules.clone());
+    let floor =
+        ratio_rules::predictor::ColAvgs::new(rules.column_means().to_vec()).unwrap();
+    let hs = HoleSet::new(vec![2], 4).unwrap();
+    let rows: Vec<HoledRow> = (0..3).map(|r| hs.apply(x.row(r * 9 % 40)).unwrap()).collect();
+
+    let (status, headers, body) = post(addr, "/predict", &rows_body(&rows));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        header(&headers, "degraded"),
+        Some("true"),
+        "a shed response must carry DEGRADED"
+    );
+    let got = predicted_values(&body);
+    assert_eq!(got.len(), 3);
+    // Row 0 was queued and batch-solved; rows 1..3 came from the floor.
+    assert_eq!(got[0], single.fill(&rows[0]).unwrap());
+    for (i, row) in rows.iter().enumerate().skip(1) {
+        assert_eq!(got[i], floor.fill(row).unwrap(), "row {i} is a floor answer");
+    }
+    // The response body tags floor answers with the col_avgs case.
+    let doc = obs::json::parse(&body).unwrap();
+    let cases: Vec<String> = doc
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .unwrap()
+        .iter()
+        .map(|r| r.get("case").and_then(JsonValue::as_str).unwrap().to_string())
+        .collect();
+    assert_ne!(cases[0], "col_avgs");
+    assert_eq!(&cases[1..], &["col_avgs", "col_avgs"]);
     server.shutdown();
 }
